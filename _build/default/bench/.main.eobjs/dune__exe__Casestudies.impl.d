@@ -1,0 +1,1 @@
+bench/casestudies.ml: Fireaxe Fireripper Fmt List Platform Printf Rtlsim Socgen Sys

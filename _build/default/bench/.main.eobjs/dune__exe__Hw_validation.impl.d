@@ -1,0 +1,1 @@
+bench/hw_validation.ml: Ast Builder Dsl Fireripper Firrtl Flatten Goldengate Libdn List Platform Printf Rtlsim Socgen

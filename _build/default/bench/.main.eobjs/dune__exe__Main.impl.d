@@ -1,0 +1,1 @@
+bench/main.ml: Casestudies Hw_validation Microbench Perf_figures System_figures Uarch_figures Validation

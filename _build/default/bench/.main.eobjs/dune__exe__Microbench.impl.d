@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Bechamel Benchmark Des Filename Fireripper Firrtl Hashtbl Instance List Measure Platform Printf Rtlsim Socgen Staged Sys Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/perf_figures.ml: Fireripper List Platform Printf Socgen

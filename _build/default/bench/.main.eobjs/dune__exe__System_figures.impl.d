@@ -1,0 +1,1 @@
+bench/system_figures.ml: Ddio Golang List Printf Rtlsim Socgen

@@ -1,0 +1,1 @@
+bench/uarch_figures.ml: List Printf Uarch Workloads

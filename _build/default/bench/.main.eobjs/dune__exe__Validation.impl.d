@@ -1,0 +1,1 @@
+bench/validation.ml: Fireaxe Fun List Printf Socgen

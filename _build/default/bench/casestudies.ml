@@ -1,0 +1,130 @@
+(* Case studies: the 24-core ring SoC split over five FPGAs (§V-A,
+   Fig. 6) and the split GC40-class core (§V-B).  These run the real
+   compiler and LI-BDN runtime for functional validation, and the
+   platform model for rate estimates. *)
+
+module FR = Fireripper
+
+let mhz rate = rate /. 1_000_000.
+
+(* ------------------------------------------------------------------ *)
+(* 24-core SoC on 5 FPGAs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let casestudy_24core () =
+  Printf.printf "\nCase study (Fig. 6): 24-core ring SoC on 5 FPGAs (NoC-partition-mode)\n";
+  let n_tiles = 24 in
+  let circuit () = Socgen.Ring_noc.ring_soc ~n_tiles ~period:6 () in
+  let groups = [ [ 0; 1; 2; 3; 4; 5 ]; [ 6; 7; 8; 9; 10; 11 ]; [ 12; 13; 14; 15; 16; 17 ]; [ 18; 19; 20; 21; 22; 23 ] ] in
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Noc_routers groups }
+  in
+  let plan = FR.Compile.compile ~config (circuit ()) in
+  let r = FR.Report.build plan in
+  Printf.printf "  partitions: %d (4 tile FPGAs + SoC subsystem FPGA)\n"
+    (FR.Plan.n_units plan);
+  Printf.printf "  total boundary width: %d bits; crossings/cycle: %d\n"
+    r.FR.Report.r_total_width r.FR.Report.r_crossings_per_cycle;
+  (* Functional validation: partitioned vs monolithic over 2000 cycles. *)
+  let cycles = 2_000 in
+  let mono = Rtlsim.Sim.of_circuit (circuit ()) in
+  let t0 = Sys.time () in
+  for _ = 1 to cycles do
+    Rtlsim.Sim.step mono
+  done;
+  let mono_rate = float_of_int cycles /. (Sys.time () -. t0 +. 1e-9) in
+  let h = FR.Runtime.instantiate plan in
+  FR.Runtime.run h ~cycles;
+  let mismatches = ref 0 in
+  for i = 0 to n_tiles - 1 do
+    let reg = Printf.sprintf "ttile%d$checksum_r" i in
+    let u = FR.Runtime.locate h reg in
+    if Rtlsim.Sim.get mono reg <> Rtlsim.Sim.get (FR.Runtime.sim_of h u) reg then
+      incr mismatches
+  done;
+  Printf.printf "  cycle-exactness after %d cycles: %s\n" cycles
+    (if !mismatches = 0 then "all 24 tile checksums identical"
+     else Printf.sprintf "%d MISMATCHES" !mismatches);
+  (* Rate estimate: tile FPGAs run 6 FAME-5 threads at 15 MHz, the
+     subsystem FPGA at 30 MHz, QSFP ring. *)
+  let spec =
+    Platform.Perf.of_plan
+      ~freq_mhz:(fun u -> if u = 0 then 30. else 15.)
+      ~threads:(fun u -> if u = 0 then 1 else 6)
+      ~transport:(fun ~src:_ ~dst:_ -> Platform.Transport.Qsfp)
+      plan
+  in
+  let rate = Platform.Perf.rate spec in
+  Printf.printf "  modeled simulation rate: %.2f MHz (paper: 0.58 MHz)\n" (mhz rate);
+  Printf.printf
+    "  this host's software RTL simulation of the same SoC: %.1f kHz -> modeled speedup %.0fx \
+     (paper: 1.26 kHz, 460x)\n"
+    (mono_rate /. 1_000.) (rate /. mono_rate)
+
+(* ------------------------------------------------------------------ *)
+(* Split GC40-class core on 2 FPGAs                                    *)
+(* ------------------------------------------------------------------ *)
+
+let casestudy_split_core () =
+  Printf.printf "\nCase study (§V-B): splitting a core that does not fit on one FPGA\n";
+  let p = Socgen.Bigcore.gc40ish in
+  let circuit () = Socgen.Bigcore.circuit ~p () in
+  (* Monolithic build fails for GC40: the whole core exceeds the
+     routable budget. *)
+  let whole = Platform.Resource.estimate_circuit (circuit ()) in
+  Printf.printf "  monolithic core: %s -> fits U250: %b (paper: bitstream build fails)\n"
+    (Fmt.str "%a" Platform.Resource.pp whole)
+    (Platform.Fpga.fits Platform.Fpga.u250 whole);
+  let config =
+    {
+      FR.Spec.default_config with
+      FR.Spec.selection = FR.Spec.Instances [ [ "backend" ] ];
+    }
+  in
+  let plan = FR.Compile.compile ~config (circuit ()) in
+  let r = FR.Report.build plan in
+  Printf.printf "  partition interface: %d bits (paper: >7000 bits)\n"
+    r.FR.Report.r_total_width;
+  List.iter
+    (fun (name, _, util, fits) ->
+      Printf.printf "  %-18s %s -> fits: %b\n" name
+        (Fmt.str "%a" Platform.Fpga.pp_utilization util)
+        fits)
+    (Fireaxe.utilization plan);
+  (* Functional: partitioned == monolithic. *)
+  let cycles = 3_000 in
+  let mono = Rtlsim.Sim.of_circuit (circuit ()) in
+  for _ = 1 to cycles do
+    Rtlsim.Sim.step mono
+  done;
+  let h = FR.Runtime.instantiate plan in
+  FR.Runtime.run h ~cycles;
+  let check reg =
+    let u = FR.Runtime.locate h reg in
+    Rtlsim.Sim.get mono reg = Rtlsim.Sim.get (FR.Runtime.sim_of h u) reg
+  in
+  Printf.printf "  cycle-exact after %d cycles: commits %b, checksum %b\n" cycles
+    (check "backend$commits_r") (check "backend$checksum_r");
+  let rate = Fireaxe.estimate_rate ~freq_mhz:10. plan in
+  Printf.printf "  modeled simulation rate at 10 MHz bitstreams: %.2f MHz (paper: 0.2 MHz)\n"
+    (mhz rate)
+
+
+(** §VIII-A: deployment advice for a 24-core benchmark campaign. *)
+let advisor () =
+  Printf.printf "\nDeployment advisor (§VIII-A): 24-core SoC, 200 runs of 1G cycles\n";
+  let circuit = Socgen.Ring_noc.ring_soc ~n_tiles:24 ~period:6 () in
+  let groups = List.init 4 (fun g -> List.init 6 (fun i -> (g * 6) + i)) in
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Noc_routers groups }
+  in
+  let plan = FR.Compile.compile ~config circuit in
+  let unit_estimates = List.map (fun (_, est, _, _) -> est) (Fireaxe.utilization plan) in
+  let advice =
+    Platform.Advisor.advise ~n_fpgas:(FR.Plan.n_units plan)
+      ~boundary_bits:(FR.Plan.total_boundary_width plan) ~cycles_per_run:1_000_000_000
+      ~runs:200 ~unit_estimates
+  in
+  Fmt.pr "  %a@.  %a@.  recommendation: %s@." Platform.Advisor.pp_estimate
+    advice.Platform.Advisor.a_on_prem Platform.Advisor.pp_estimate
+    advice.Platform.Advisor.a_cloud advice.Platform.Advisor.a_recommendation

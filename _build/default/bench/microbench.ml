@@ -1,0 +1,176 @@
+(* Bechamel microbenchmarks of the core engines, plus the levelization
+   ablation: how much does one-pass levelized evaluation buy over naive
+   fixpoint sweeps?  One Test.make per engine. *)
+
+open Bechamel
+open Toolkit
+
+let kite_sim () =
+  let sim = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ()) in
+  Socgen.Soc.load_program sim ~mem:"mem$mem" ~data:[]
+    (Socgen.Kite_isa.fib_program ~n:24 ~dst:60);
+  sim
+
+let test_rtlsim_step =
+  let sim = kite_sim () in
+  Test.make ~name:"rtlsim: kite SoC step" (Staged.stage (fun () -> Rtlsim.Sim.step sim))
+
+(* The levelization ablation runs on a deep-combinational, always-active
+   design (the split-core datapath), and must re-step between
+   evaluations — otherwise the naive fixpoint converges instantly on
+   already-settled values. *)
+let ablation_sim () =
+  let p =
+    { Socgen.Bigcore.tiny with Socgen.Bigcore.slots = 8; exec_ways = 8; chain_depth = 10 }
+  in
+  Rtlsim.Sim.of_circuit (Socgen.Bigcore.circuit ~p ())
+
+let test_rtlsim_levelized =
+  let sim = ablation_sim () in
+  Test.make ~name:"bigcore step: levelized eval"
+    (Staged.stage (fun () ->
+         Rtlsim.Sim.eval_comb sim;
+         Rtlsim.Sim.step_seq sim))
+
+let test_rtlsim_fixpoint =
+  let sim = ablation_sim () in
+  Test.make ~name:"bigcore step: naive fixpoint (ablation)"
+    (Staged.stage (fun () ->
+         Rtlsim.Sim.eval_comb_fixpoint sim;
+         Rtlsim.Sim.step_seq sim))
+
+let test_libdn_cycle =
+  let circuit = Socgen.Soc.single_core_soc () in
+  let config =
+    {
+      Fireripper.Spec.default_config with
+      Fireripper.Spec.selection = Fireripper.Spec.Instances [ [ "tile" ] ];
+    }
+  in
+  let plan = Fireripper.Compile.compile ~config circuit in
+  let h = Fireripper.Runtime.instantiate plan in
+  let target = ref 0 in
+  Test.make ~name:"libdn: partitioned target cycle"
+    (Staged.stage (fun () ->
+         incr target;
+         Fireripper.Runtime.run h ~cycles:!target))
+
+let test_compile =
+  Test.make ~name:"fireripper: compile kite SoC plan"
+    (Staged.stage (fun () ->
+         ignore
+           (Fireripper.Compile.compile
+              ~config:
+                {
+                  Fireripper.Spec.default_config with
+                  Fireripper.Spec.selection = Fireripper.Spec.Instances [ [ "tile" ] ];
+                }
+              (Socgen.Soc.single_core_soc ()))))
+
+let test_flatten =
+  let circuit = Socgen.Ring_noc.ring_soc ~n_tiles:8 () in
+  Test.make ~name:"firrtl: flatten 8-tile ring"
+    (Staged.stage (fun () -> ignore (Firrtl.Flatten.flatten circuit)))
+
+let test_des =
+  Test.make ~name:"des: 1000 chained events"
+    (Staged.stage (fun () ->
+         let eng = Des.Engine.create () in
+         let rec chain n = if n > 0 then Des.Engine.schedule eng ~delay:10 (fun () -> chain (n - 1)) in
+         chain 1000;
+         Des.Engine.run eng))
+
+let test_perf_model =
+  Test.make ~name:"platform: perf DES (2000 target cycles)"
+    (Staged.stage (fun () ->
+         ignore
+           (Platform.Perf.rate
+              (Platform.Perf.two_fpga_spec ~mode:Fireripper.Spec.Fast ~bits:512
+                 ~freq_mhz:90. ~transport:Platform.Transport.Qsfp))))
+
+let test_kite5_step =
+  let sim = Rtlsim.Sim.of_circuit (Socgen.Kite5_core.soc ()) in
+  Socgen.Kite5_core.load_program sim ~data:[]
+    (Socgen.Kite_isa.fib_program ~n:24 ~dst:60);
+  Test.make ~name:"rtlsim: pipelined-core SoC step"
+    (Staged.stage (fun () -> Rtlsim.Sim.step sim))
+
+let test_dram_step =
+  let sim = Rtlsim.Sim.of_circuit (Socgen.Dram.dram_soc ()) in
+  Socgen.Soc.load_program sim ~mem:"mem$mem" ~data:[]
+    (Socgen.Kite_isa.fib_program ~n:24 ~dst:60);
+  Test.make ~name:"rtlsim: DRAM-backed SoC step"
+    (Staged.stage (fun () -> Rtlsim.Sim.step sim))
+
+let test_snapshot_serialize =
+  let config =
+    {
+      Fireripper.Spec.default_config with
+      Fireripper.Spec.selection = Fireripper.Spec.Instances [ [ "tile" ] ];
+    }
+  in
+  let h =
+    Fireripper.Runtime.instantiate
+      (Fireripper.Compile.compile ~config (Socgen.Soc.single_core_soc ()))
+  in
+  Fireripper.Runtime.run h ~cycles:100;
+  Test.make ~name:"runtime: snapshot serialize (whole network)"
+    (Staged.stage (fun () -> ignore (Fireripper.Runtime.save_to_string h)))
+
+let test_remote_cycle =
+  (* Per-target-cycle cost when the extracted unit lives in a worker
+     process: what the pipe protocol costs relative to in-process
+     scheduling (compare with "libdn: partitioned target cycle"). *)
+  let worker =
+    Filename.concat
+      (Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin")
+      "fireaxe_worker.exe"
+  in
+  let config =
+    {
+      Fireripper.Spec.default_config with
+      Fireripper.Spec.selection = Fireripper.Spec.Instances [ [ "tile" ] ];
+    }
+  in
+  let plan = Fireripper.Compile.compile ~config (Socgen.Soc.single_core_soc ()) in
+  let h, _conns = Fireripper.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+  let target = ref 0 in
+  Test.make ~name:"libdn: partitioned target cycle (worker process)"
+    (Staged.stage (fun () ->
+         incr target;
+         Fireripper.Runtime.run h ~cycles:!target))
+
+let all_tests =
+  [
+    test_rtlsim_step;
+    test_rtlsim_levelized;
+    test_rtlsim_fixpoint;
+    test_libdn_cycle;
+    test_compile;
+    test_flatten;
+    test_des;
+    test_perf_model;
+    test_kite5_step;
+    test_dram_step;
+    test_snapshot_serialize;
+    test_remote_cycle;
+  ]
+
+let run () =
+  Printf.printf "\nMicrobenchmarks (Bechamel; ns per run, OLS on monotonic clock)\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-40s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+        analyzed)
+    all_tests

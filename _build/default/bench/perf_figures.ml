@@ -1,0 +1,170 @@
+(* Figures 11-14: simulation-performance sweeps from the DES platform
+   model (Section VI-A/B).  Each function prints the series the paper
+   plots; rates are in target MHz. *)
+
+module FR = Fireripper
+
+let mhz rate = rate /. 1_000_000.
+
+let freqs_mhz = [ 10.; 30.; 50.; 70.; 90. ]
+let widths = [ 128; 512; 1024; 1536; 3000; 7000 ]
+
+let sweep_two_fpga ~transport ~mode =
+  List.map
+    (fun freq ->
+      ( freq,
+        List.map
+          (fun bits ->
+            let spec = Platform.Perf.two_fpga_spec ~mode ~bits ~freq_mhz:freq ~transport in
+            (bits, mhz (Platform.Perf.rate spec)))
+          widths ))
+    freqs_mhz
+
+let print_sweep ~title ~transport =
+  Printf.printf "\n%s\n" title;
+  Printf.printf "%-6s %-6s" "freq" "mode";
+  List.iter (fun w -> Printf.printf " %8db" w) widths;
+  print_newline ();
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun (freq, series) ->
+          Printf.printf "%-6.0f %-6s" freq (FR.Spec.mode_to_string mode);
+          List.iter (fun (_, r) -> Printf.printf " %8.3f" r) series;
+          print_newline ())
+        (sweep_two_fpga ~transport ~mode))
+    [ FR.Spec.Exact; FR.Spec.Fast ]
+
+(** Figure 11: QSFP direct-attach sweep. *)
+let figure11 () =
+  print_sweep
+    ~title:
+      "Figure 11: QSFP performance sweep (target MHz vs interface width, bitstream \
+       frequency, mode)"
+    ~transport:Platform.Transport.Qsfp
+
+(** Figure 12: PCIe peer-to-peer sweep. *)
+let figure12 () =
+  print_sweep
+    ~title:
+      "Figure 12: PCIe peer-to-peer performance sweep (target MHz vs interface width, \
+       bitstream frequency, mode)"
+    ~transport:Platform.Transport.Pcie_p2p
+
+(** Host-managed PCIe reference point (Section IV-A: capped ~26.4 kHz). *)
+let host_managed_rate () =
+  let spec =
+    Platform.Perf.two_fpga_spec ~mode:FR.Spec.Fast ~bits:512 ~freq_mhz:90.
+      ~transport:Platform.Transport.Pcie_host
+  in
+  Platform.Perf.rate spec
+
+(** Figure 13 companion: the same sweep driven by *real compiled plans*
+    — ring SoCs cut into k router groups by NoC-partition-mode, priced
+    through the plan-derived channelization. *)
+let figure13_compiled () =
+  Printf.printf "\nFigure 13 (compiled plans): ring SoC cut into k FPGAs, 30 MHz, QSFP\n";
+  Printf.printf "%-6s %10s %14s\n" "FPGAs" "rate MHz" "boundary bits";
+  List.iter
+    (fun k ->
+      (* 2 tiles per extracted group, plus the subsystem partition. *)
+      let n_tiles = 2 * k in
+      let circuit = Socgen.Ring_noc.ring_soc ~n_tiles ~period:6 () in
+      let groups = List.init k (fun g -> [ 2 * g; (2 * g) + 1 ]) in
+      let config =
+        { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Noc_routers groups }
+      in
+      let plan = FR.Compile.compile ~config circuit in
+      let spec =
+        Platform.Perf.of_plan
+          ~freq_mhz:(fun _ -> 30.)
+          ~transport:(fun ~src:_ ~dst:_ -> Platform.Transport.Qsfp)
+          plan
+      in
+      Printf.printf "%-6d %10.3f %14d\n" (k + 1)
+        (mhz (Platform.Perf.rate spec))
+        (FR.Plan.total_boundary_width plan))
+    [ 1; 2; 3; 4 ];
+  Printf.printf
+    "  (flat: each FPGA only synchronizes with its ring neighbours; the measured decline\n\
+    \   in the paper and in the synthetic sweep above comes from per-hop token-exchange\n\
+    \   timing skew, which the plan-derived model treats as ideal)\n"
+
+(** Figure 13: rate vs number of FPGAs in a ring (NoC-partition-mode). *)
+let figure13 () =
+  Printf.printf "\nFigure 13: FPGA-count sweep (ring topology, fixed interface width)\n";
+  Printf.printf "%-6s" "freq";
+  List.iter (fun n -> Printf.printf " %6dFPGA" n) [ 2; 3; 4; 5 ];
+  print_newline ();
+  List.iter
+    (fun freq ->
+      Printf.printf "%-6.0f" freq;
+      List.iter
+        (fun n ->
+          let spec =
+            Platform.Perf.ring_spec ~n ~bits:256 ~freq_mhz:freq
+              ~transport:Platform.Transport.Qsfp
+          in
+          Printf.printf " %10.3f" (mhz (Platform.Perf.rate spec)))
+        [ 2; 3; 4; 5 ];
+      print_newline ())
+    [ 30.; 50.; 90. ]
+
+(** Figure 14: FAME-5 amortization — rate vs threaded tile count. *)
+let figure14 () =
+  Printf.printf
+    "\nFigure 14: FAME-5 amortization (tile FPGA fixed at 15 MHz; interface grows with \
+     tiles)\n";
+  Printf.printf "%-8s" "soc_freq";
+  List.iter (fun t -> Printf.printf " %6dtile" t) [ 1; 2; 3; 4; 5; 6 ];
+  print_newline ();
+  List.iter
+    (fun soc_freq ->
+      Printf.printf "%-8.0f" soc_freq;
+      List.iter
+        (fun tiles ->
+          let spec =
+            Platform.Perf.fame5_spec ~tiles ~bits_per_tile:250 ~tile_freq_mhz:15.
+              ~soc_freq_mhz:soc_freq ~transport:Platform.Transport.Qsfp
+          in
+          Printf.printf " %10.3f" (mhz (Platform.Perf.rate spec)))
+        [ 1; 2; 3; 4; 5; 6 ];
+      print_newline ())
+    [ 20.; 25.; 30. ]
+
+(** Headline transport rates (Sections IV and VI intro). *)
+let headline () =
+  Printf.printf "\nHeadline transport rates (fast-mode, 512b boundary, 90 MHz bitstream)\n";
+  List.iter
+    (fun transport ->
+      let spec =
+        Platform.Perf.two_fpga_spec ~mode:FR.Spec.Fast ~bits:512 ~freq_mhz:90. ~transport
+      in
+      Printf.printf "  %-22s %10.4f MHz\n"
+        (Platform.Transport.name transport)
+        (mhz (Platform.Perf.rate spec)))
+    [ Platform.Transport.Qsfp; Platform.Transport.Pcie_p2p; Platform.Transport.Pcie_host ]
+
+(** Ablation: DES model vs closed-form estimate. *)
+let ablation_perf_formula () =
+  Printf.printf "\nAblation: DES performance model vs closed-form estimate (target MHz)\n";
+  Printf.printf "%-28s %10s %10s\n" "configuration" "DES" "formula";
+  List.iter
+    (fun (label, spec) ->
+      Printf.printf "%-28s %10.3f %10.3f\n" label
+        (mhz (Platform.Perf.rate spec))
+        (mhz (Platform.Perf.analytic_rate spec)))
+    [
+      ( "fast 512b qsfp 90MHz",
+        Platform.Perf.two_fpga_spec ~mode:FR.Spec.Fast ~bits:512 ~freq_mhz:90.
+          ~transport:Platform.Transport.Qsfp );
+      ( "exact 512b qsfp 90MHz",
+        Platform.Perf.two_fpga_spec ~mode:FR.Spec.Exact ~bits:512 ~freq_mhz:90.
+          ~transport:Platform.Transport.Qsfp );
+      ( "fast 7000b qsfp 90MHz",
+        Platform.Perf.two_fpga_spec ~mode:FR.Spec.Fast ~bits:7000 ~freq_mhz:90.
+          ~transport:Platform.Transport.Qsfp );
+      ( "fast 512b p2p 90MHz",
+        Platform.Perf.two_fpga_spec ~mode:FR.Spec.Fast ~bits:512 ~freq_mhz:90.
+          ~transport:Platform.Transport.Pcie_p2p );
+    ]

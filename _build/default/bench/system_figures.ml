@@ -1,0 +1,62 @@
+(* Figure 9 (leaky-DMA) and Figure 10 (Go GC tail latency). *)
+
+let figure9 () =
+  Printf.printf
+    "\nFigure 9: leaky-DMA — NIC request-to-response latency (ns/transaction)\n";
+  Printf.printf "%-6s %-6s %10s %10s %10s\n" "bus" "cores" "RdLat" "WrLat" "LLC hit%";
+  List.iter
+    (fun (bus, series) ->
+      List.iter
+        (fun (r : Ddio.Leaky.result) ->
+          Printf.printf "%-6s %-6d %10.1f %10.1f %9.1f%%\n" bus r.Ddio.Leaky.cores
+            r.Ddio.Leaky.rd_lat_ns r.Ddio.Leaky.wr_lat_ns
+            (100. *. r.Ddio.Leaky.llc_hit_rate))
+        series)
+    (Ddio.Leaky.figure9 ())
+
+let figure10 () =
+  Printf.printf "\nFigure 10: Go GC tick tail latency (us)\n";
+  Printf.printf "%-24s %10s %10s %10s %8s\n" "configuration" "p95" "p99" "max" "GCs";
+  List.iter
+    (fun cfg ->
+      let r = Golang.Model.run cfg in
+      Printf.printf "%-24s %10.1f %10.1f %10.1f %8d\n" (Golang.Model.label cfg)
+        r.Golang.Model.p95_us r.Golang.Model.p99_us r.Golang.Model.max_us
+        r.Golang.Model.gc_cycles)
+    Golang.Model.figure10_configs;
+  let same_numa, cross_numa = Golang.Model.numa_experiment () in
+  Printf.printf
+    "Xeon corroboration (GOMAXPROCS=2): p99 same-NUMA %.0f us vs cross-NUMA %.0f us\n"
+    same_numa cross_numa
+
+(** Ablation: widening the DDIO way allocation relieves the leaky-DMA
+    pressure ("don't forget the I/O when allocating your LLC"). *)
+let ddio_ablation () =
+  Printf.printf "\nAblation: DDIO ways at 12 forwarding cores (XBar)\n";
+  Printf.printf "%-6s %10s %10s %10s\n" "ways" "RdLat" "WrLat" "LLC hit%";
+  List.iter
+    (fun (ways, (r : Ddio.Leaky.result)) ->
+      Printf.printf "%-6d %10.1f %10.1f %9.1f%%\n" ways r.Ddio.Leaky.rd_lat_ns
+        r.Ddio.Leaky.wr_lat_ns
+        (100. *. r.Ddio.Leaky.llc_hit_rate))
+    (Ddio.Leaky.ddio_ways_ablation ())
+
+
+(** Figure 9 companion, measured in cycle-exact RTL: the NIC's own
+    hardware latency counters (§V-C's modification) under growing core
+    contention on the crossbar SoC. *)
+let figure9_rtl () =
+  Printf.printf
+    "\nFigure 9 companion (RTL): NIC hardware counters vs active cores (crossbar SoC)\n";
+  Printf.printf "%-6s %10s %10s\n" "cores" "RdLat cyc" "WrLat cyc";
+  List.iter
+    (fun cores ->
+      let sim = Rtlsim.Sim.of_circuit (Socgen.Nic.nic_soc ~cores ()) in
+      Socgen.Soc.load_program sim ~mem:"mem$mem" ~data:[] Socgen.Nic.forwarding_program;
+      for _ = 1 to 6000 do
+        Rtlsim.Sim.step sim
+      done;
+      Rtlsim.Sim.eval_comb sim;
+      let rd, wr = Socgen.Nic.averages ~peek:(Rtlsim.Sim.get sim) in
+      Printf.printf "%-6d %10.2f %10.2f\n" cores rd wr)
+    [ 1; 2; 4; 6 ]

@@ -1,0 +1,76 @@
+(* Table I, Figure 7 (Embench runtimes) and Figure 8 (CPI stacks). *)
+
+let table1 () =
+  Printf.printf "\nTable I: microarchitectural parameters\n";
+  Printf.printf "%-22s" "";
+  List.iter (fun c -> Printf.printf " %12s" c.Uarch.Config.name) Uarch.Config.all;
+  print_newline ();
+  List.iter
+    (fun (label, values) ->
+      Printf.printf "%-22s" label;
+      List.iter (fun v -> Printf.printf " %12s" v) values;
+      print_newline ())
+    Uarch.Config.table1;
+  Printf.printf "%-22s" "Core+L1 area (16nm)";
+  List.iter
+    (fun c -> Printf.printf " %9.2fmm2" (Uarch.Config.area_mm2 c.Uarch.Config.name))
+    Uarch.Config.all;
+  print_newline ()
+
+let figure7 () =
+  Printf.printf "\nFigure 7: Embench runtimes (ms at %.1f GHz)\n" Uarch.Config.clock_ghz;
+  Printf.printf "%-16s %12s %12s %12s %14s\n" "benchmark" "Large BOOM" "GC40 BOOM"
+    "GC Xeon" "GC40/Large IPC";
+  let ratios =
+    List.map
+      (fun name ->
+        let large = Workloads.Embench.run ~config:Uarch.Config.large_boom name in
+        let gc40 = Workloads.Embench.run ~config:Uarch.Config.gc40_boom name in
+        let xeon = Workloads.Embench.run ~config:Uarch.Config.gc_xeon name in
+        let ratio = gc40.Uarch.Core.r_ipc /. large.Uarch.Core.r_ipc in
+        Printf.printf "%-16s %12.3f %12.3f %12.3f %13.1f%%\n" name
+          large.Uarch.Core.r_runtime_ms gc40.Uarch.Core.r_runtime_ms
+          xeon.Uarch.Core.r_runtime_ms
+          ((ratio -. 1.) *. 100.);
+        ratio)
+      Workloads.Embench.all_names
+  in
+  let avg = List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios) in
+  Printf.printf "%-16s %38s %13.1f%%\n" "average" "" ((avg -. 1.) *. 100.)
+
+let figure8 () =
+  Printf.printf "\nFigure 8: CPI stacks (cycles per instruction by stall category)\n";
+  Printf.printf "%-16s %-12s" "benchmark" "config";
+  List.iter
+    (fun c -> Printf.printf " %10s" (Uarch.Core.category_name c))
+    Uarch.Core.categories;
+  Printf.printf " %10s\n" "total";
+  List.iter
+    (fun name ->
+      List.iter
+        (fun config ->
+          let r = Workloads.Embench.run ~config name in
+          Printf.printf "%-16s %-12s" name config.Uarch.Config.name;
+          List.iter (fun (_, v) -> Printf.printf " %10.3f" v) r.Uarch.Core.r_cpi_stack;
+          Printf.printf " %10.3f\n" (1. /. r.Uarch.Core.r_ipc))
+        [ Uarch.Config.large_boom; Uarch.Config.gc40_boom ])
+    Workloads.Embench.cpi_stack_selection
+
+
+(** Ablation: next-line D-cache prefetching on the memory-bound
+    benchmarks (a microarchitectural knob the timing model exposes). *)
+let ablation_prefetch () =
+  Printf.printf "\nAblation: next-line L1D prefetch (GC40 BOOM, cycles)\n";
+  Printf.printf "%-16s %12s %12s %10s\n" "benchmark" "no prefetch" "prefetch" "speedup";
+  List.iter
+    (fun name ->
+      let off = Workloads.Embench.run ~config:Uarch.Config.gc40_boom name in
+      let on =
+        Workloads.Embench.run
+          ~config:{ Uarch.Config.gc40_boom with Uarch.Config.l1d_prefetch = true }
+          name
+      in
+      Printf.printf "%-16s %12d %12d %9.2fx\n" name off.Uarch.Core.r_cycles
+        on.Uarch.Core.r_cycles
+        (float_of_int off.Uarch.Core.r_cycles /. float_of_int on.Uarch.Core.r_cycles))
+    [ "matmult-int"; "wikisort"; "edn"; "nbody" ]

@@ -1,0 +1,1 @@
+bin/fireaxe_cli.ml: Arg Cmd Cmdliner Filename Fireaxe Fireripper Firrtl Fmt Fun Libdn List Platform Printf Rtlsim Socgen String Sys Term

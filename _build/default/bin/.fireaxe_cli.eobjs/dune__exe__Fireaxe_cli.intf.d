@@ -1,0 +1,1 @@
+bin/fireaxe_cli.mli:

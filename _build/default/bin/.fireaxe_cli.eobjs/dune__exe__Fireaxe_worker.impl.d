@@ -1,0 +1,1 @@
+bin/fireaxe_worker.ml: Array Firrtl Hashtbl Libdn List Printf Rtlsim String Sys

@@ -1,0 +1,1 @@
+bin/fireaxe_worker.mli:

@@ -1,0 +1,614 @@
+(* fireaxe-cli: drive the FireAxe flow from the command line.
+
+     fireaxe-cli describe ring=8
+     fireaxe-cli plan soc --mode fast
+     fireaxe-cli plan ring=12 --routers '0,1,2;3,4,5'
+     fireaxe-cli run multisoc=4 --cycles 5000
+     fireaxe-cli validate gemmini
+     fireaxe-cli sweep --transport p2p
+
+   Designs are built by the Socgen generators; the default module
+   selection per design mirrors the paper's case studies. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Designs                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type design = {
+  d_name : string;
+  d_circuit : unit -> Firrtl.Ast.circuit;
+  d_selection : Fireaxe.Spec.selection;
+  d_probes : string list;  (** registers worth printing after a run *)
+}
+
+let parse_design s =
+  let name, arg =
+    match String.index_opt s '=' with
+    | Some i ->
+      ( String.sub s 0 i,
+        Some (int_of_string (String.sub s (i + 1) (String.length s - i - 1))) )
+    | None -> (s, None)
+  in
+  match (name, arg) with
+  | "soc", None ->
+    Ok
+      {
+        d_name = s;
+        d_circuit = (fun () -> Socgen.Soc.single_core_soc ());
+        d_selection = Fireaxe.Spec.Instances [ [ "tile" ] ];
+        d_probes = [ "tile$core$pc"; "tile$core$retired_count" ];
+      }
+  | "dramsoc", None ->
+    Ok
+      {
+        d_name = s;
+        d_circuit = (fun () -> Socgen.Dram.dram_soc ());
+        d_selection = Fireaxe.Spec.Instances [ [ "tile" ] ];
+        d_probes = [ "tile$core$retired_count"; "mem$hits_r"; "mem$misses_r" ];
+      }
+  | "multisoc", Some n ->
+    Ok
+      {
+        d_name = s;
+        d_circuit = (fun () -> Socgen.Soc.multi_core_soc ~cores:n ());
+        d_selection =
+          Fireaxe.Spec.Instances [ List.init n (Printf.sprintf "tile%d") ];
+        d_probes = List.init n (Printf.sprintf "tile%d$core$retired_count");
+      }
+  | "ring", Some n ->
+    let half = n / 2 in
+    Ok
+      {
+        d_name = s;
+        d_circuit = (fun () -> Socgen.Ring_noc.ring_soc ~n_tiles:n ());
+        d_selection =
+          Fireaxe.Spec.Noc_routers
+            [ List.init half Fun.id; List.init (n - half) (fun i -> half + i) ];
+        d_probes =
+          List.concat_map
+            (fun i -> [ Printf.sprintf "ttile%d$rcvd_r" i ])
+            (List.init (min n 4) Fun.id);
+      }
+  | "k5soc", None ->
+    Ok
+      {
+        d_name = s;
+        d_circuit = (fun () -> Socgen.Kite5_core.soc ());
+        d_selection = Fireaxe.Spec.Instances [ [ "core" ] ];
+        d_probes = [ "core$retired_count"; "core$pc" ];
+      }
+  | "torus", Some n ->
+    (* An n x n torus, partitioned into row bands of routers. *)
+    Ok
+      {
+        d_name = s;
+        d_circuit = (fun () -> Socgen.Torus_noc.torus_soc ~width:n ~height:n ());
+        d_selection =
+          Fireaxe.Spec.Noc_routers
+            (List.init (n - 1) (fun r -> Socgen.Torus_noc.row_group ~width:n r));
+        d_probes =
+          List.concat_map
+            (fun i -> [ Printf.sprintf "ttile%d$rcvd_r" i ])
+            (List.init (min ((n * n) - 1) 4) Fun.id);
+      }
+  | "sha3", None ->
+    Ok
+      {
+        d_name = s;
+        d_circuit = (fun () -> Socgen.Soc.accel_soc Socgen.Soc.Sha3);
+        d_selection = Fireaxe.Spec.Instances [ [ "accel" ] ];
+        d_probes = [ "accel$state"; "accel$s0" ];
+      }
+  | "gemmini", None ->
+    Ok
+      {
+        d_name = s;
+        d_circuit = (fun () -> Socgen.Soc.accel_soc Socgen.Soc.Gemmini);
+        d_selection = Fireaxe.Spec.Instances [ [ "accel" ] ];
+        d_probes = [ "accel$state"; "accel$j" ];
+      }
+  | "bigcore", None ->
+    Ok
+      {
+        d_name = s;
+        d_circuit = (fun () -> Socgen.Bigcore.circuit ());
+        d_selection = Fireaxe.Spec.Instances [ [ "backend" ] ];
+        d_probes = [ "backend$commits_r"; "backend$checksum_r" ];
+      }
+  | "bigcore-tiny", None ->
+    Ok
+      {
+        d_name = s;
+        d_circuit = (fun () -> Socgen.Bigcore.circuit ~p:Socgen.Bigcore.tiny ());
+        d_selection = Fireaxe.Spec.Instances [ [ "backend" ] ];
+        d_probes = [ "backend$commits_r"; "backend$checksum_r" ];
+      }
+  | _ when Sys.file_exists s ->
+    (* Any other argument naming a file loads a textual circuit. *)
+    (try
+       let circuit = Firrtl.Text.load ~path:s in
+       (* Default selection: every top-level instance except the last
+          goes to one extracted partition; refine with --select. *)
+       let insts = Firrtl.Hierarchy.instances (Firrtl.Ast.main_module circuit) in
+       let selection =
+         match insts with
+         | (first, _) :: _ -> Fireaxe.Spec.Instances [ [ first ] ]
+         | [] -> Fireaxe.Spec.Instances []
+       in
+       Ok
+         {
+           d_name = s;
+           d_circuit = (fun () -> circuit);
+           d_selection = selection;
+           d_probes = [];
+         }
+     with Firrtl.Text.Parse_error m -> Error (`Msg (Printf.sprintf "%s: %s" s m)))
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown design %S (try: soc, dramsoc, k5soc, multisoc=<n>, ring=<n>, torus=<n>, sha3, gemmini, bigcore, \
+            bigcore-tiny, or a .fir file)"
+           s))
+
+let design_conv =
+  Arg.conv ((fun s -> parse_design s), fun ppf d -> Fmt.string ppf d.d_name)
+
+let design_arg =
+  Arg.(
+    required
+    & pos 0 (some design_conv) None
+    & info [] ~docv:"DESIGN" ~doc:"Target design (soc, dramsoc, k5soc, multisoc=<n>, ring=<n>, torus=<n>, sha3, gemmini, bigcore, bigcore-tiny).")
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mode_arg =
+  let mode = Arg.enum [ ("exact", Fireaxe.Spec.Exact); ("fast", Fireaxe.Spec.Fast) ] in
+  Arg.(value & opt mode Fireaxe.Spec.Exact & info [ "mode" ] ~doc:"Partitioning mode.")
+
+let parse_groups kind s =
+  String.split_on_char ';' s
+  |> List.map (fun group ->
+         String.split_on_char ',' group |> List.filter (fun x -> x <> "") |> List.map kind)
+
+let select_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "select" ]
+        ~doc:
+          "Explicit module selection: instance paths separated by commas, partitions by \
+           semicolons (e.g. 'tile0,tile1;tile2').")
+
+let routers_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "routers" ]
+        ~doc:"NoC-partition-mode selection: router indices, partitions by semicolons.")
+
+let selection_of design select routers =
+  match (select, routers) with
+  | Some s, _ -> Fireaxe.Spec.Instances (parse_groups Fun.id s)
+  | None, Some r -> Fireaxe.Spec.Noc_routers (parse_groups int_of_string r)
+  | None, None -> design.d_selection
+
+let config_of design mode select routers =
+  {
+    Fireaxe.Spec.default_config with
+    Fireaxe.Spec.mode;
+    Fireaxe.Spec.selection = selection_of design select routers;
+  }
+
+let transport_arg =
+  let t =
+    Arg.enum
+      [
+        ("qsfp", Platform.Transport.Qsfp);
+        ("p2p", Platform.Transport.Pcie_p2p);
+        ("host", Platform.Transport.Pcie_host);
+      ]
+  in
+  Arg.(value & opt t Platform.Transport.Qsfp & info [ "transport" ] ~doc:"FPGA-to-FPGA transport.")
+
+let freq_arg =
+  Arg.(value & opt float 30. & info [ "freq" ] ~doc:"Bitstream frequency in MHz.")
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let describe design =
+  let circuit = design.d_circuit () in
+  print_endline (Firrtl.Printer.summary circuit);
+  let est = Platform.Resource.estimate_circuit circuit in
+  Fmt.pr "resources: %a@." Platform.Resource.pp est;
+  Fmt.pr "on a U250: %a (fits: %b)@."
+    Platform.Fpga.pp_utilization
+    (Platform.Fpga.utilization Platform.Fpga.u250 est)
+    (Platform.Fpga.fits Platform.Fpga.u250 est)
+
+let describe_cmd =
+  Cmd.v
+    (Cmd.info "describe" ~doc:"Summarize a design and its FPGA resource footprint.")
+    Term.(const describe $ design_arg)
+
+let auto_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "auto" ]
+        ~doc:"Automatically partition onto this many FPGAs (overrides --select/--routers).")
+
+let plan design mode select routers auto transport freq =
+  let plan =
+    match auto with
+    | Some n_fpgas ->
+      let plan, assignment = Fireaxe.auto_partition ~mode ~n_fpgas (design.d_circuit ()) in
+      Fmt.pr "automatic assignment:@.%a" Fireripper.Auto.pp_assignment assignment;
+      plan
+    | None ->
+      Fireaxe.compile ~config:(config_of design mode select routers) (design.d_circuit ())
+  in
+  print_string (Fireaxe.Report.to_string (Fireaxe.report plan));
+  Fmt.pr "estimated rate (%s, %.0f MHz): %.3f MHz@."
+    (Platform.Transport.name transport)
+    freq
+    (Fireaxe.estimate_rate ~freq_mhz:freq ~transport plan /. 1e6);
+  List.iter
+    (fun (name, est, util, fits) ->
+      Fmt.pr "unit %-16s %a | %a | fits: %b@." name Platform.Resource.pp est
+        Platform.Fpga.pp_utilization util fits)
+    (Fireaxe.utilization plan)
+
+let plan_cmd =
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Compile a partition plan and print FireRipper's quick feedback.")
+    Term.(
+      const plan $ design_arg $ mode_arg $ select_arg $ routers_arg $ auto_arg
+      $ transport_arg $ freq_arg)
+
+(* The worker binary for --remote lives next to this CLI binary. *)
+let worker_path () =
+  Filename.concat (Filename.dirname Sys.executable_name) "fireaxe_worker.exe"
+
+let run_remote design plan cycles =
+  let n = Fireaxe.Plan.n_units plan in
+  let h, conns =
+    Fireaxe.Runtime.instantiate_remote ~worker:(worker_path ())
+      ~remote_units:(List.init n Fun.id) plan
+  in
+  Fmt.pr "spawned %d worker processes (one per unit)@." (List.length conns);
+  Fireaxe.Runtime.run h ~cycles;
+  Fmt.pr "ran %d target cycles across %d processes (%d token transfers)@." cycles n
+    (Fireaxe.Runtime.token_transfers h);
+  (* Cross-check against the monolithic simulation, reading each probe
+     from whichever worker holds it. *)
+  let mono = Rtlsim.Sim.of_circuit (design.d_circuit ()) in
+  for _ = 1 to cycles do
+    Rtlsim.Sim.step mono
+  done;
+  List.iter
+    (fun probe ->
+      match List.find_opt (fun (_, c) -> Libdn.Remote_engine.has c probe) conns with
+      | None -> Fmt.pr "  %-28s (not found in any worker)@." probe
+      | Some (_, c) ->
+        let v = Libdn.Remote_engine.get c probe in
+        let m = Rtlsim.Sim.get mono probe in
+        Fmt.pr "  %-28s = %-8d (monolithic %d%s)@." probe v m
+          (if v = m then ", exact" else " -- DIFFERS"))
+    design.d_probes;
+  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
+
+let run design mode select routers cycles vcd_path sample every resume save_snap check remote =
+  let circuit = design.d_circuit () in
+  let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
+  if remote then run_remote design plan cycles
+  else begin
+  let h = Fireaxe.instantiate plan in
+  (match resume with
+  | Some path ->
+    Fireaxe.Runtime.load h ~path;
+    Fmt.pr "resumed from %s at target cycle %d@." path (Fireaxe.Runtime.cycle h 0)
+  | None -> ());
+  (match (vcd_path, sample) with
+  | None, Some signals ->
+    (* AutoCounter-style out-of-band sampling while the run advances. *)
+    let signals = String.split_on_char ',' signals in
+    let samples = Fireaxe.Counters.collect h ~signals ~every ~cycles in
+    print_string (Fireaxe.Counters.to_csv samples)
+  | None, None -> Fireaxe.Runtime.run h ~cycles
+  | Some path, _ ->
+    (* Dump the probe signals of the unit that holds them, sampled per
+       target cycle. *)
+    let u = Fireaxe.Runtime.locate h (List.hd design.d_probes) in
+    let sim = Fireaxe.Runtime.sim_of h u in
+    let signals = List.filter (fun p -> Fireaxe.Runtime.locate h p = u) design.d_probes in
+    let vcd = Rtlsim.Vcd.create sim ~signals in
+    for c = 1 to cycles do
+      Fireaxe.Runtime.run h ~cycles:c;
+      Rtlsim.Vcd.sample vcd
+    done;
+    Rtlsim.Vcd.save vcd ~path;
+    Fmt.pr "wrote %s@." path);
+  Fmt.pr "ran %d target cycles on %d partitions (%d token transfers)@." cycles
+    (Fireaxe.Plan.n_units plan)
+    (Fireaxe.Runtime.token_transfers h);
+  (match save_snap with
+  | Some path ->
+    Fireaxe.Runtime.save h ~path;
+    Fmt.pr "snapshot written to %s@." path
+  | None -> ());
+  if check then begin
+    match Fireaxe.Runtime.assertions_violated h with
+    | [] ->
+      Fmt.pr "assertions: %d polled, none violated@."
+        (List.length (Fireaxe.Runtime.assertions h))
+    | bad -> Fmt.pr "ASSERTION VIOLATIONS: %s@." (String.concat ", " bad)
+  end;
+  (* Cross-check against the monolithic simulation. *)
+  let mono = Rtlsim.Sim.of_circuit (design.d_circuit ()) in
+  for _ = 1 to cycles do
+    Rtlsim.Sim.step mono
+  done;
+  List.iter
+    (fun probe ->
+      let u = Fireaxe.Runtime.locate h probe in
+      let v = Rtlsim.Sim.get (Fireaxe.Runtime.sim_of h u) probe in
+      let m = Rtlsim.Sim.get mono probe in
+      Fmt.pr "  %-28s = %-8d (monolithic %d%s)@." probe v m
+        (if v = m then ", exact" else " -- DIFFERS"))
+    design.d_probes
+  end
+
+let cycles_arg =
+  Arg.(value & opt int 1000 & info [ "cycles" ] ~doc:"Target cycles to simulate.")
+
+let vcd_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~doc:"Dump the design's probe signals to this VCD file.")
+
+let sample_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sample" ]
+        ~docv:"SIGNALS"
+        ~doc:"Comma-separated flattened signal names to sample AutoCounter-style; prints CSV.")
+
+let every_arg =
+  Arg.(value & opt int 100 & info [ "every" ] ~doc:"Sampling period in target cycles.")
+
+let remote_arg =
+  Arg.(
+    value & flag
+    & info [ "remote" ]
+        ~doc:"Host every partition in its own worker process (one per simulated FPGA).")
+
+let check_arg =
+  Arg.(value & flag & info [ "check" ] ~doc:"Poll synthesized assertion wires after the run.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE" ~doc:"Restore a snapshot before running.")
+
+let save_snap_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE" ~doc:"Write a whole-simulation snapshot after running.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a partitioned simulation and cross-check it against the monolithic one.")
+    Term.(
+      const run $ design_arg $ mode_arg $ select_arg $ routers_arg $ cycles_arg $ vcd_arg
+      $ sample_arg $ every_arg $ resume_arg $ save_snap_arg $ check_arg $ remote_arg)
+
+let sweep transport =
+  Fmt.pr "simulation rate (MHz) vs interface width, %s@." (Platform.Transport.name transport);
+  Fmt.pr "%-8s" "width";
+  List.iter (fun m -> Fmt.pr " %10s" m) [ "exact"; "fast" ];
+  Fmt.pr "@.";
+  List.iter
+    (fun bits ->
+      Fmt.pr "%-8d" bits;
+      List.iter
+        (fun mode ->
+          let spec = Platform.Perf.two_fpga_spec ~mode ~bits ~freq_mhz:90. ~transport in
+          Fmt.pr " %10.3f" (Platform.Perf.rate spec /. 1e6))
+        [ Fireaxe.Spec.Exact; Fireaxe.Spec.Fast ];
+      Fmt.pr "@.")
+    [ 128; 512; 1024; 1536; 3000; 7000 ]
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Print the interface-width performance sweep for a transport.")
+    Term.(const sweep $ transport_arg)
+
+let validate design =
+  (* Generic validation: run until a design-specific "finished" register
+     condition; for designs without one, compare state after N cycles. *)
+  match design.d_name with
+  | "soc" ->
+    let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
+    let v =
+      Fireaxe.validate ~name:design.d_name
+        ~circuit:(fun () -> Socgen.Soc.single_core_soc ())
+        ~selection:design.d_selection
+        ~setup:(fun ~poke ->
+          List.iteri (fun i w -> poke ~mem:"mem$mem" i w) (Socgen.Kite_isa.assemble program);
+          List.iter (fun i -> poke ~mem:"mem$mem" (32 + i) (i * 3)) (List.init 16 Fun.id))
+        ~finished:(fun ~peek -> peek "tile$core$state" = Socgen.Kite_core.s_halted)
+        ()
+    in
+    Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@." v.Fireaxe.v_monolithic_cycles
+      v.Fireaxe.v_exact_cycles v.Fireaxe.v_exact_error_pct v.Fireaxe.v_fast_cycles
+      v.Fireaxe.v_fast_error_pct
+  | "dramsoc" ->
+    let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
+    let v =
+      Fireaxe.validate ~name:design.d_name
+        ~circuit:(fun () -> Socgen.Dram.dram_soc ())
+        ~selection:design.d_selection
+        ~setup:(fun ~poke ->
+          List.iteri (fun i w -> poke ~mem:"mem$mem" i w) (Socgen.Kite_isa.assemble program);
+          List.iter (fun i -> poke ~mem:"mem$mem" (32 + i) (i * 3)) (List.init 16 Fun.id))
+        ~finished:(fun ~peek -> peek "tile$core$state" = Socgen.Kite_core.s_halted)
+        ()
+    in
+    Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@." v.Fireaxe.v_monolithic_cycles
+      v.Fireaxe.v_exact_cycles v.Fireaxe.v_exact_error_pct v.Fireaxe.v_fast_cycles
+      v.Fireaxe.v_fast_error_pct
+  | "sha3" | "gemmini" ->
+    let kind, done_state =
+      if design.d_name = "sha3" then (Socgen.Soc.Sha3, Socgen.Accel.h_done)
+      else (Socgen.Soc.Gemmini, Socgen.Accel.g_done)
+    in
+    let v =
+      Fireaxe.validate ~name:design.d_name
+        ~circuit:(fun () -> Socgen.Soc.accel_soc kind)
+        ~selection:design.d_selection
+        ~setup:(fun ~poke ->
+          List.iteri (fun i v -> poke ~mem:"mem$mem" (16 + i) v)
+            (List.init 48 (fun i -> i + 1));
+          List.iteri (fun i v -> poke ~mem:"mem$mem" (80 + i) v)
+            (List.init 16 (fun i -> i + 1)))
+        ~finished:(fun ~peek -> peek "accel$state" = done_state)
+        ()
+    in
+    Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@." v.Fireaxe.v_monolithic_cycles
+      v.Fireaxe.v_exact_cycles v.Fireaxe.v_exact_error_pct v.Fireaxe.v_fast_cycles
+      v.Fireaxe.v_fast_error_pct
+  | "k5soc" ->
+    let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
+    let v =
+      Fireaxe.validate ~name:design.d_name
+        ~circuit:(fun () -> Socgen.Kite5_core.soc ())
+        ~selection:design.d_selection
+        ~setup:(fun ~poke ->
+          List.iteri (fun i w -> poke ~mem:"core$imem" i w) (Socgen.Kite_isa.assemble program);
+          List.iter (fun i -> poke ~mem:"mem$mem" (32 + i) (i * 3)) (List.init 16 Fun.id))
+        ~finished:(fun ~peek -> peek "core$halted_r" = 1)
+        ()
+    in
+    Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@." v.Fireaxe.v_monolithic_cycles
+      v.Fireaxe.v_exact_cycles v.Fireaxe.v_exact_error_pct v.Fireaxe.v_fast_cycles
+      v.Fireaxe.v_fast_error_pct
+  | _ -> Fmt.pr "validate supports: soc, dramsoc, k5soc, sha3, gemmini (use 'run' for other designs)@."
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Table II methodology: monolithic vs exact vs fast cycle counts.")
+    Term.(const validate $ design_arg)
+
+let runs_arg = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Simulations in the campaign.")
+
+let cycles_per_run_arg =
+  Arg.(
+    value
+    & opt int 1_000_000_000
+    & info [ "cycles-per-run" ] ~doc:"Target cycles per simulation.")
+
+let advise design runs cycles_per_run =
+  let plan =
+    Fireaxe.compile
+      ~config:(config_of design Fireaxe.Spec.Exact None None)
+      (design.d_circuit ())
+  in
+  let unit_estimates = List.map (fun (_, est, _, _) -> est) (Fireaxe.utilization plan) in
+  let boundary = Fireaxe.Plan.total_boundary_width plan in
+  let advice =
+    Platform.Advisor.advise ~n_fpgas:(Fireaxe.Plan.n_units plan) ~boundary_bits:boundary
+      ~cycles_per_run ~runs ~unit_estimates
+  in
+  Fmt.pr "%a@.%a@.recommendation: %s@." Platform.Advisor.pp_estimate
+    advice.Platform.Advisor.a_on_prem Platform.Advisor.pp_estimate
+    advice.Platform.Advisor.a_cloud advice.Platform.Advisor.a_recommendation
+
+let emit design path =
+  Firrtl.Text.save (design.d_circuit ()) ~path;
+  Fmt.pr "wrote %s@." path
+
+let emit_path_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Output path.")
+
+(* The TracerV bridge as a CLI verb: trace the design's core through a
+   partitioned run, print the disassembled head of the trace and the
+   FirePerf hot-PC profile. *)
+let trace design mode select routers cycles head =
+  let core_signals =
+    match design.d_name with
+    | "soc" -> Some ("tile$core$pc", "tile$core$retired_count", "mem$mem")
+    | "k5soc" -> Some ("core$mw_pc", "core$retired_count", "core$imem")
+    | _ -> None
+  in
+  match core_signals with
+  | None -> Fmt.pr "trace supports: soc, k5soc@."
+  | Some (pc, retired, imem) ->
+    let circuit = design.d_circuit () in
+    let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
+    let h = Fireaxe.instantiate plan in
+    let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
+    let iu = Fireaxe.Runtime.locate h imem in
+    List.iteri
+      (fun i w -> Rtlsim.Sim.poke_mem (Fireaxe.Runtime.sim_of h iu) imem i w)
+      (Socgen.Kite_isa.assemble program);
+    let mu = Fireaxe.Runtime.locate h "mem$mem" in
+    List.iter
+      (fun i -> Rtlsim.Sim.poke_mem (Fireaxe.Runtime.sim_of h mu) "mem$mem" (32 + i) (i * 3))
+      (List.init 16 Fun.id);
+    let events = Fireaxe.Tracer.of_handle h ~pc ~retired ~cycles in
+    Fmt.pr "%d commits in %d cycles (IPC %.3f)@." (List.length events) cycles
+      (Fireaxe.Tracer.ipc events ~cycles);
+    let fetch a = Rtlsim.Sim.peek_mem (Fireaxe.Runtime.sim_of h iu) imem a in
+    let disasm w = Socgen.Kite_isa.to_string (Socgen.Kite_isa.decode w) in
+    List.iteri
+      (fun i l -> if i < head then Fmt.pr "%s@." l)
+      (Fireaxe.Tracer.render events ~fetch ~disasm);
+    Fmt.pr "hot PCs:@.";
+    List.iteri
+      (fun i (pcv, n) ->
+        if i < 5 then Fmt.pr "  %04x %5d  %s@." pcv n (disasm (fetch pcv)))
+      (Fireaxe.Tracer.histogram events)
+
+let head_arg =
+  Arg.(value & opt int 12 & info [ "head" ] ~doc:"Trace lines to print.")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"TracerV: committed-instruction trace + hot-PC profile of a partitioned run.")
+    Term.(
+      const trace $ design_arg $ mode_arg $ select_arg $ routers_arg $ cycles_arg $ head_arg)
+
+let emit_cmd =
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Serialize a generated design to the textual circuit format.")
+    Term.(const emit $ design_arg $ emit_path_arg)
+
+let advise_cmd =
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Hybrid cloud/on-prem deployment advice for a simulation campaign (paper              Section VIII-A).")
+    Term.(const advise $ design_arg $ runs_arg $ cycles_per_run_arg)
+
+let () =
+  let info =
+    Cmd.info "fireaxe-cli" ~version:"1.0.0"
+      ~doc:"Partitioned FPGA-accelerated RTL simulation (FireAxe reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            describe_cmd; plan_cmd; run_cmd; trace_cmd; sweep_cmd; validate_cmd; advise_cmd;
+            emit_cmd;
+          ]))

@@ -1,0 +1,60 @@
+(* Worker process for multi-process partitioned simulation: loads a
+   (flattened) circuit from the .fir file given on the command line and
+   serves the Remote_engine pipe protocol on stdin/stdout.  One worker
+   hosts one partition unit — the process-level stand-in for one FPGA. *)
+
+let () =
+  if Array.length Sys.argv <> 2 then begin
+    prerr_endline "usage: fireaxe-worker <circuit.fir>";
+    exit 2
+  end;
+  let circuit = Firrtl.Text.load ~path:Sys.argv.(1) in
+  let sim = Rtlsim.Sim.of_circuit circuit in
+  let eng = Libdn.Engine.of_sim sim in
+  let cones = Hashtbl.create 8 in
+  let checkpoints = Hashtbl.create 8 in
+  let next_id = ref 0 in
+  let fresh tbl v =
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.replace tbl id v;
+    id
+  in
+  let reply fmt =
+    Printf.ksprintf
+      (fun line ->
+        print_string line;
+        print_newline ();
+        flush stdout)
+      fmt
+  in
+  let words line = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+  let bad line = failwith (Printf.sprintf "fireaxe-worker: bad command %S" line) in
+  let running = ref true in
+  reply "ready";
+  while !running do
+    match input_line stdin with
+    | exception End_of_file -> running := false
+    | line -> (
+      match words line with
+      | [ "set"; name; v ] -> eng.Libdn.Engine.set_input name (int_of_string v)
+      | [ "get"; name ] -> reply "%d" (eng.Libdn.Engine.get name)
+      | [ "eval" ] -> eng.Libdn.Engine.eval_comb ()
+      | [ "step" ] -> eng.Libdn.Engine.step_seq ()
+      | "cone" :: roots -> reply "%d" (fresh cones (eng.Libdn.Engine.make_cone_eval roots))
+      | [ "runcone"; id ] -> (Hashtbl.find cones (int_of_string id)) ()
+      | [ "deps"; port ] ->
+        reply "%s" (String.concat " " (eng.Libdn.Engine.output_comb_deps port))
+      | [ "checkpoint" ] -> reply "%d" (fresh checkpoints (eng.Libdn.Engine.checkpoint ()))
+      | [ "restore"; id ] -> (Hashtbl.find checkpoints (int_of_string id)) ()
+      | [ "poke"; mem; addr; v ] ->
+        Rtlsim.Sim.poke_mem sim mem (int_of_string addr) (int_of_string v)
+      | [ "peek"; mem; addr ] -> reply "%d" (Rtlsim.Sim.peek_mem sim mem (int_of_string addr))
+      | [ "has"; name ] ->
+        reply "%d"
+          (if Hashtbl.mem sim.Rtlsim.Sim.slots name || Hashtbl.mem sim.Rtlsim.Sim.mems name
+           then 1
+           else 0)
+      | [ "quit" ] -> running := false
+      | _ -> bad line)
+  done

@@ -1,0 +1,1 @@
+examples/auto_partition.ml: Fireaxe Fireripper Fmt List Printf Rtlsim Socgen String

@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Fireaxe List Printf Rtlsim Socgen

@@ -1,0 +1,1 @@
+examples/debug_bridges.ml: Ast Builder Dsl Fireaxe Firrtl List Printf Rtlsim Socgen String

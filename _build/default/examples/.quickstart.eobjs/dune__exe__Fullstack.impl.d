@@ -1,0 +1,1 @@
+examples/fullstack.ml: Filename Fireaxe List Printf Rtlsim Socgen Sys

@@ -1,0 +1,1 @@
+examples/fullstack.mli:

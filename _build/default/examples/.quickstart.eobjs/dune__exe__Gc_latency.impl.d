@@ -1,0 +1,1 @@
+examples/gc_latency.ml: Golang List Printf

@@ -1,0 +1,1 @@
+examples/hello_uart.ml: Buffer Char Fireaxe Libdn List Printf Rtlsim Socgen String

@@ -1,0 +1,1 @@
+examples/hello_uart.mli:

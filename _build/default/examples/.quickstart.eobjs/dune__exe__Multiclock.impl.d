@@ -1,0 +1,1 @@
+examples/multiclock.ml: Ast Builder Dsl Fireaxe Firrtl Format List Printf Rtlsim Socgen

@@ -1,0 +1,1 @@
+examples/multiprocess.ml: Filename Fireaxe Libdn List Printf Rtlsim Socgen Sys

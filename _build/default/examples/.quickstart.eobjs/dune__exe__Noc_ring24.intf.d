@@ -1,0 +1,1 @@
+examples/noc_ring24.mli:

@@ -1,0 +1,1 @@
+examples/partition_soc.ml: Fireaxe List Platform Printf Socgen

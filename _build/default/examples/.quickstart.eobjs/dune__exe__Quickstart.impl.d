@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Builder Dsl Fireaxe Firrtl Printf Rtlsim

@@ -1,0 +1,1 @@
+examples/split_core.ml: Fireaxe Fireripper Fmt List Platform Printf Rtlsim Socgen

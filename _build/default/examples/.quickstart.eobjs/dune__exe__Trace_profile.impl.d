@@ -1,0 +1,1 @@
+examples/trace_profile.ml: Fireaxe List Printf Rtlsim Socgen

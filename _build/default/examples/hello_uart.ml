@@ -1,0 +1,53 @@
+(* Hello world through a memory-mapped UART — the host-driver pattern of
+   §IV-A.  A Kite program stores characters to the device address space;
+   the UART queues them; a host-side driver (the code below, standing in
+   for FireSim's C++ simulation drivers) polls the device and drains the
+   bytes.  The same program, driver and output work whether the SoC is
+   one simulation or partitioned across two model FPGAs with the core
+   tile on the far side.
+
+   Run with: dune exec examples/hello_uart.exe *)
+
+let message = "FireAxe says hello across two FPGAs\n"
+
+let data =
+  List.mapi (fun i c -> (40 + i, Char.code c)) (List.init (String.length message) (String.get message))
+
+let program = Socgen.Mmio.print_program ~base:40 ~n:(String.length message)
+
+let () =
+  (* Monolithic reference. *)
+  let mono_out, mono_cycles = Socgen.Mmio.run_monolithic ~program ~data () in
+  Printf.printf "monolithic SoC printed %S in %d cycles\n" mono_out mono_cycles;
+  (* Partitioned: pull the tile onto the second FPGA, keep the UART and
+     the driver on the base. *)
+  let config =
+    {
+      Fireaxe.Spec.default_config with
+      Fireaxe.Spec.selection = Fireaxe.Spec.Instances [ [ "tile" ] ];
+    }
+  in
+  let plan = Fireaxe.compile ~config (Socgen.Mmio.uart_soc ()) in
+  let h = Fireaxe.instantiate plan in
+  let base = Fireaxe.Runtime.sim_of h (Fireaxe.Runtime.locate h "mem$mem") in
+  Socgen.Soc.load_program base ~mem:"mem$mem" ~data program;
+  let tile = Fireaxe.Runtime.sim_of h (Fireaxe.Runtime.locate h "tile$core$state") in
+  let collected = Buffer.create 64 in
+  let cycle = ref 0 in
+  let finished () =
+    Rtlsim.Sim.get tile "tile$core$state" = Socgen.Kite_core.s_halted
+    && Rtlsim.Sim.get base "uart$occ" = 0
+  in
+  while (not (finished ())) && !cycle < 100_000 do
+    Socgen.Mmio.driver_step
+      ~peek:(Rtlsim.Sim.get base)
+      ~peek_mem:(Rtlsim.Sim.peek_mem base)
+      ~poke:(fun name v -> (Fireaxe.Runtime.engine h 0).Libdn.Engine.set_input name v)
+      collected;
+    incr cycle;
+    Fireaxe.Runtime.run h ~cycles:!cycle
+  done;
+  Printf.printf "partitioned SoC printed %S in %d cycles\n" (Buffer.contents collected) !cycle;
+  Printf.printf "identical output: %b; identical cycle count (exact mode): %b\n"
+    (Buffer.contents collected = mono_out)
+    (!cycle = mono_cycles)

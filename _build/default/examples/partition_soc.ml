@@ -1,0 +1,47 @@
+(* Partitioning a Kite SoC: pull the core tile (with its L1) onto a
+   second FPGA, run a real program under exact- and fast-mode, and show
+   the trade-off the paper's Table II captures — exact is cycle-identical
+   to the monolithic simulation, fast is faster on the host platform but
+   cycle-approximate.
+
+   Run with: dune exec examples/partition_soc.exe *)
+
+let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60
+let data = List.init 16 (fun i -> (32 + i, i * i))
+
+let () =
+  let v =
+    Fireaxe.validate ~name:"kite SoC"
+      ~circuit:(fun () -> Socgen.Soc.single_core_soc ~mem_latency:2 ())
+      ~selection:(Fireaxe.Spec.Instances [ [ "tile" ] ])
+      ~setup:(fun ~poke ->
+        List.iteri (fun i w -> poke ~mem:"mem$mem" i w) (Socgen.Kite_isa.assemble program);
+        List.iter (fun (a, w) -> poke ~mem:"mem$mem" a w) data)
+      ~finished:(fun ~peek -> peek "tile$core$state" = Socgen.Kite_core.s_halted)
+      ()
+  in
+  Printf.printf "program halt cycle:\n";
+  Printf.printf "  monolithic  : %d cycles\n" v.Fireaxe.v_monolithic_cycles;
+  Printf.printf "  exact-mode  : %d cycles (error %.2f%%)\n" v.Fireaxe.v_exact_cycles
+    v.Fireaxe.v_exact_error_pct;
+  Printf.printf "  fast-mode   : %d cycles (error %.2f%%)\n" v.Fireaxe.v_fast_cycles
+    v.Fireaxe.v_fast_error_pct;
+  (* Estimated host-platform rates for the same plan. *)
+  List.iter
+    (fun (label, mode) ->
+      let config =
+        {
+          Fireaxe.Spec.default_config with
+          Fireaxe.Spec.mode;
+          Fireaxe.Spec.selection = Fireaxe.Spec.Instances [ [ "tile" ] ];
+        }
+      in
+      let plan = Fireaxe.compile ~config (Socgen.Soc.single_core_soc ()) in
+      Printf.printf "\n%s-mode estimated simulation rates (90 MHz bitstreams):\n" label;
+      List.iter
+        (fun transport ->
+          Printf.printf "  %-22s %8.3f MHz\n"
+            (Platform.Transport.name transport)
+            (Fireaxe.estimate_rate ~freq_mhz:90. ~transport plan /. 1e6))
+        [ Platform.Transport.Qsfp; Platform.Transport.Pcie_p2p; Platform.Transport.Pcie_host ])
+    [ ("exact", Fireaxe.Spec.Exact); ("fast", Fireaxe.Spec.Fast) ]

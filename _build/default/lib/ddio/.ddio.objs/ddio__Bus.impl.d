@@ -1,0 +1,1 @@
+lib/ddio/bus.ml: Array

@@ -1,0 +1,1 @@
+lib/ddio/leaky.ml: Array Bus Des List Llc

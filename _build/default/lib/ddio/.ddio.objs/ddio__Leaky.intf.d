@@ -1,0 +1,1 @@
+lib/ddio/leaky.mli:

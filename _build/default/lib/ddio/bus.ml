@@ -1,0 +1,71 @@
+(* Bus models for the leaky-DMA study: a central crossbar arbiter (low
+   base latency, one shared arbitration point that saturates under load)
+   and a ring NoC (higher base hop latency, distributed per-link
+   bandwidth that scales).
+
+   Request and response channels are separate resources — as on real
+   interconnects — and the two ring directions are distinct physical
+   links.  Servers track their busy horizon, so queueing delay emerges
+   from arrival order. *)
+
+type server = { mutable busy_until : int }
+
+(* Serves a request arriving at [arrival]; returns completion time. *)
+let serve srv ~arrival ~service =
+  let start = max arrival srv.busy_until in
+  srv.busy_until <- start + service;
+  srv.busy_until
+
+type channel =
+  | Req
+  | Resp
+
+type t =
+  | Xbar of {
+      req : server;
+      resp : server;
+      service_ps : int;
+      base_ps : int;
+    }
+  | Ring of {
+      cw : server array;  (** clockwise links, indexed by source node *)
+      ccw : server array;
+      per_hop_service_ps : int;
+      per_hop_wire_ps : int;
+    }
+
+let xbar () =
+  Xbar { req = { busy_until = 0 }; resp = { busy_until = 0 }; service_ps = 2_600; base_ps = 6_000 }
+
+let ring ~nodes =
+  Ring
+    {
+      cw = Array.init nodes (fun _ -> { busy_until = 0 });
+      ccw = Array.init nodes (fun _ -> { busy_until = 0 });
+      per_hop_service_ps = 800;
+      per_hop_wire_ps = 3_500;
+    }
+
+(** Transports one line-sized transaction from [src] to [dst] on the
+    given channel, arriving at [arrival]; returns delivery time. *)
+let traverse t ~channel ~src ~dst ~arrival =
+  match t with
+  | Xbar { req; resp; service_ps; base_ps } ->
+    ignore (src, dst);
+    let srv = match channel with Req -> req | Resp -> resp in
+    serve srv ~arrival ~service:service_ps + base_ps
+  | Ring { cw; ccw; per_hop_service_ps; per_hop_wire_ps } ->
+    let n = Array.length cw in
+    let fwd = (dst - src + n) mod n and bwd = (src - dst + n) mod n in
+    let hops, step, links = if fwd <= bwd then (fwd, 1, cw) else (bwd, n - 1, ccw) in
+    let time = ref arrival in
+    let node = ref src in
+    for _ = 1 to max 1 hops do
+      time := serve links.(!node) ~arrival:!time ~service:per_hop_service_ps + per_hop_wire_ps;
+      node := (!node + step) mod n
+    done;
+    !time
+
+let name = function
+  | Xbar _ -> "XBar"
+  | Ring _ -> "Ring"

@@ -1,0 +1,23 @@
+(** Bus models for the leaky-DMA study: a central crossbar (one shared
+    arbitration point per channel direction) and a ring with per-hop
+    directional links.  Queueing delay emerges from server busy
+    horizons. *)
+
+type server = { mutable busy_until : int }
+
+(** Serves a request arriving at [arrival]; returns completion time. *)
+val serve : server -> arrival:int -> service:int -> int
+
+type channel =
+  | Req
+  | Resp
+
+type t
+
+val xbar : unit -> t
+val ring : nodes:int -> t
+
+(** Transports one line-sized transaction; returns delivery time. *)
+val traverse : t -> channel:channel -> src:int -> dst:int -> arrival:int -> int
+
+val name : t -> string

@@ -1,0 +1,172 @@
+(* The leaky-DMA experiment (Figure 9, §V-C).
+
+   Server SoC: 12 cores forwarding packets, a NIC with one RX/TX queue
+   pair per core (RSS-style), a 128 kB LLC of which 2 ways per set are
+   dedicated to DDIO, and DRAM behind it.  The client side drives 1500 B
+   packets (24 cache lines) into each active core's RX queue; the core
+   reads the packet, writes it to its TX buffer, and the NIC reads it
+   back out.  Latency is measured from the NIC's perspective: the
+   request-to-response time of its LLC writes (RX path) and reads (TX
+   path), averaged per bus transaction.
+
+   Scaling the number of forwarding cores grows the in-flight buffer
+   footprint past the DDIO ways: incoming DMA evicts unprocessed
+   packets, adding writebacks and DRAM refills to the NIC's
+   transactions, while the bus carries the extra traffic — the crossbar
+   saturating faster than the ring beyond ~6 cores. *)
+
+let lines_per_packet = 24
+let descriptors_per_core = 128
+
+(* Service times (ps). *)
+let llc_hit = 16_000
+let dram = 25_000
+let dram_banks = 16
+let line_issue_gap = 4_000 (* back-to-back issue spacing within a burst *)
+let core_packet_work = 1_000_000 (* per-packet compute, excluding memory *)
+let packet_interval = 3_000_000 (* per active core *)
+
+type topology =
+  | Topo_xbar
+  | Topo_ring
+
+type result = {
+  cores : int;
+  rd_lat_ns : float;  (** NIC TX reads *)
+  wr_lat_ns : float;  (** NIC RX writes *)
+  llc_hit_rate : float;
+}
+
+(* Line address of (core, direction, slot, line); direction 0 = RX.
+   Each buffer region is skewed by a 61-line offset so different cores'
+   buffers spread over the LLC sets instead of aliasing (buffer bases
+   would otherwise all be multiples of the set count). *)
+let line_addr ~core ~dir ~slot ~line =
+  let region = (core * 2) + dir in
+  ((region * descriptors_per_core) + slot) * lines_per_packet + line + (region * 61)
+
+let run ?(ddio_ways = 2) ~topology ~active_cores ~packets_per_core () =
+  let llc = Llc.create ~size_kb:128 ~ways:8 ~ddio_ways in
+  let bus =
+    match topology with
+    | Topo_xbar -> Bus.xbar ()
+    | Topo_ring -> Bus.ring ~nodes:14
+  in
+  let dram_ch = Array.init dram_banks (fun _ -> Bus.{ busy_until = 0 }) in
+  let eng = Des.Engine.create () in
+  let rd_lat = Des.Stats.create () in
+  let wr_lat = Des.Stats.create () in
+  (* Node map for the ring: NIC = 0, LLC home striped over 1..12, cores 1..12. *)
+  let nic_node = 0 in
+  let llc_node addr = 1 + (addr mod 12) in
+  let core_node c = 1 + c in
+  (* One line transaction: bus to the LLC slice, cache lookup, DRAM when
+     needed; returns completion time. *)
+  let line_txn ~src ~io ~write ~arrival addr =
+    let at_llc = Bus.traverse bus ~channel:Bus.Req ~src ~dst:(llc_node addr) ~arrival in
+    let finish =
+      match Llc.access llc ~io ~write addr with
+      | Llc.Hit -> at_llc + llc_hit
+      | Llc.Miss ->
+        if write then at_llc + llc_hit
+        else Bus.serve dram_ch.(addr mod dram_banks) ~arrival:at_llc ~service:dram + llc_hit
+      | Llc.Miss_writeback ->
+        (* Dirty victim drains to DRAM before the fill completes. *)
+        let wb_done = Bus.serve dram_ch.(addr mod dram_banks) ~arrival:at_llc ~service:dram in
+        if write then wb_done + llc_hit
+        else Bus.serve dram_ch.((addr + 1) mod dram_banks) ~arrival:wb_done ~service:dram + llc_hit
+    in
+    (* Response travels back on the response channel. *)
+    Bus.traverse bus ~channel:Bus.Resp ~src:(llc_node addr) ~dst:src ~arrival:finish
+  in
+  (* Per-core pipeline: NIC RX write -> core forward -> NIC TX read. *)
+  let core_free = Array.make active_cores 0 in
+  let inflight = Array.make active_cores 0 in
+  let dropped = ref 0 in
+  let rec rx_packet core slot n =
+    if n > 0 then begin
+      let start = Des.Engine.now eng in
+      if inflight.(core) >= descriptors_per_core then begin
+        (* Descriptor queue full: the packet is dropped (load shedding,
+           as on a real NIC) and the flow continues. *)
+        incr dropped;
+        Des.Engine.schedule eng ~delay:packet_interval (fun () ->
+            rx_packet core slot (n - 1))
+      end
+      else begin
+        inflight.(core) <- inflight.(core) + 1;
+        (* NIC writes the packet's lines into the DDIO ways,
+           pipelined back to back. *)
+        let last = ref start in
+        for line = 0 to lines_per_packet - 1 do
+          let addr = line_addr ~core ~dir:0 ~slot ~line in
+          let issue = start + (line * line_issue_gap) in
+          let done_ = line_txn ~src:nic_node ~io:true ~write:true ~arrival:issue addr in
+          Des.Stats.add wr_lat ((done_ - issue) / 1000);
+          last := max !last done_
+        done;
+        (* Hand to the core. *)
+        let core_start = max !last core_free.(core) in
+        Des.Engine.at eng ~time:core_start (fun () -> forward core slot);
+        (* Next arrival. *)
+        Des.Engine.at eng
+          ~time:(max (start + packet_interval) (Des.Engine.now eng))
+          (fun () -> rx_packet core ((slot + 1) mod descriptors_per_core) (n - 1))
+      end
+    end
+  and forward core slot =
+    (* The core reads the RX packet and writes the TX copy, two
+       pipelined bursts. *)
+    let start = Des.Engine.now eng in
+    let last = ref start in
+    for line = 0 to lines_per_packet - 1 do
+      let issue = start + (2 * line * line_issue_gap) in
+      let rx = line_addr ~core ~dir:0 ~slot ~line in
+      last := max !last (line_txn ~src:(core_node core) ~io:false ~write:false ~arrival:issue rx);
+      let tx = line_addr ~core ~dir:1 ~slot ~line in
+      last := max !last (line_txn ~src:(core_node core) ~io:false ~write:true ~arrival:(issue + line_issue_gap) tx)
+    done;
+    let finish = !last + core_packet_work in
+    core_free.(core) <- finish;
+    Des.Engine.at eng ~time:finish (fun () -> tx_packet core slot)
+  and tx_packet core slot =
+    (* The NIC reads the TX packet out, pipelined. *)
+    let start = Des.Engine.now eng in
+    for line = 0 to lines_per_packet - 1 do
+      let addr = line_addr ~core ~dir:1 ~slot ~line in
+      let issue = start + (line * line_issue_gap) in
+      let done_ = line_txn ~src:nic_node ~io:true ~write:false ~arrival:issue addr in
+      Des.Stats.add rd_lat ((done_ - issue) / 1000)
+    done;
+    inflight.(core) <- inflight.(core) - 1
+  in
+  for core = 0 to active_cores - 1 do
+    (* Stagger the flows so they do not start in lockstep. *)
+    Des.Engine.schedule eng ~delay:(core * 97_000) (fun () ->
+        rx_packet core 0 packets_per_core)
+  done;
+  Des.Engine.run eng;
+  {
+    cores = active_cores;
+    rd_lat_ns = Des.Stats.mean rd_lat;
+    wr_lat_ns = Des.Stats.mean wr_lat;
+    llc_hit_rate = Llc.hit_rate llc;
+  }
+
+(** The Figure 9 sweep: 1..12 forwarding cores, both topologies. *)
+let figure9 ?(packets_per_core = 400) () =
+  List.map
+    (fun topology ->
+      ( (match topology with Topo_xbar -> "XBar" | Topo_ring -> "Ring"),
+        List.map
+          (fun cores -> run ~topology ~active_cores:cores ~packets_per_core ())
+          [ 1; 2; 4; 6; 8; 10; 12 ] ))
+    [ Topo_xbar; Topo_ring ]
+
+(** Ablation: dedicating more LLC ways to DDIO relieves the thrash (the
+    "don't forget the I/O when allocating your LLC" observation). *)
+let ddio_ways_ablation ?(packets_per_core = 400) () =
+  List.map
+    (fun ways ->
+      (ways, run ~ddio_ways:ways ~topology:Topo_xbar ~active_cores:12 ~packets_per_core ()))
+    [ 1; 2; 4; 8 ]

@@ -1,0 +1,27 @@
+(** The leaky-DMA experiment (paper Figure 9, §V-C): per-core NIC
+    RX/TX queues over a DDIO-partitioned LLC, with crossbar vs ring
+    interconnects; latency measured from the NIC per bus transaction. *)
+
+val lines_per_packet : int
+val descriptors_per_core : int
+
+type topology =
+  | Topo_xbar
+  | Topo_ring
+
+type result = {
+  cores : int;
+  rd_lat_ns : float;  (** NIC TX reads *)
+  wr_lat_ns : float;  (** NIC RX writes *)
+  llc_hit_rate : float;
+}
+
+(** Runs one configuration; deterministic. *)
+val run :
+  ?ddio_ways:int -> topology:topology -> active_cores:int -> packets_per_core:int -> unit -> result
+
+(** The Figure 9 sweep: 1..12 forwarding cores, both topologies. *)
+val figure9 : ?packets_per_core:int -> unit -> (string * result list) list
+
+(** DDIO way-allocation ablation at 12 cores. *)
+val ddio_ways_ablation : ?packets_per_core:int -> unit -> (int * result) list

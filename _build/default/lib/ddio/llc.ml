@@ -1,0 +1,78 @@
+(* A set-associative last-level cache with DDIO way partitioning: I/O
+   writes may only allocate into a limited subset of ways per set (the
+   DDIO portion), while core accesses use the full set.  This is the
+   mechanism behind the leaky-DMA effect (Farshin et al.): once the
+   in-flight packet buffers outgrow the DDIO ways, incoming DMA evicts
+   packets the cores have not processed yet and lines ping-pong between
+   LLC and DRAM. *)
+
+type line = {
+  mutable tag : int;
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable lru : int;
+}
+
+type t = {
+  sets : line array array;  (** [set].(way) *)
+  ways : int;
+  ddio_ways : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+let create ~size_kb ~ways ~ddio_ways =
+  let lines = size_kb * 1024 / 64 in
+  let n_sets = lines / ways in
+  {
+    sets =
+      Array.init n_sets (fun _ ->
+          Array.init ways (fun _ -> { tag = -1; valid = false; dirty = false; lru = 0 }));
+    ways;
+    ddio_ways;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+type outcome =
+  | Hit
+  | Miss  (** clean fill *)
+  | Miss_writeback  (** dirty victim written back to DRAM first *)
+
+(** One line access.  [io] restricts allocation to the DDIO ways.
+    [write] marks the line dirty. *)
+let access t ~io ~write addr =
+  t.clock <- t.clock + 1;
+  let set = t.sets.(addr land (Array.length t.sets - 1)) in
+  let tag = addr / Array.length t.sets in
+  let found = ref None in
+  Array.iter (fun l -> if l.valid && l.tag = tag && !found = None then found := Some l) set;
+  match !found with
+  | Some l ->
+    l.lru <- t.clock;
+    if write then l.dirty <- true;
+    t.hits <- t.hits + 1;
+    Hit
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Victim selection: LRU within the allowed ways. *)
+    let lo, hi = if io then (0, t.ddio_ways - 1) else (0, t.ways - 1) in
+    let victim = ref set.(lo) in
+    for w = lo to hi do
+      if (not set.(w).valid) || set.(w).lru < !victim.lru then victim := set.(w)
+    done;
+    let wb = !victim.valid && !victim.dirty in
+    if wb then t.writebacks <- t.writebacks + 1;
+    !victim.tag <- tag;
+    !victim.valid <- true;
+    !victim.dirty <- write;
+    !victim.lru <- t.clock;
+    if wb then Miss_writeback else Miss
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total

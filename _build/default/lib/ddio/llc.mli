@@ -1,0 +1,19 @@
+(** A set-associative last-level cache with DDIO way partitioning: I/O
+    writes may only allocate into the first [ddio_ways] ways per set,
+    core accesses use the full set — the mechanism behind the leaky-DMA
+    effect (paper §V-C). *)
+
+type t
+
+val create : size_kb:int -> ways:int -> ddio_ways:int -> t
+
+type outcome =
+  | Hit
+  | Miss  (** clean fill *)
+  | Miss_writeback  (** dirty victim written back to DRAM first *)
+
+(** One line access.  [io] restricts allocation to the DDIO ways;
+    [write] marks the line dirty. *)
+val access : t -> io:bool -> write:bool -> int -> outcome
+
+val hit_rate : t -> float

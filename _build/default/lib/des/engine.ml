@@ -1,0 +1,115 @@
+(* A small deterministic discrete-event simulation engine.
+
+   Time is an integer count of picoseconds, so host-platform quantities
+   (PCIe microseconds, 90 MHz bitstream clocks, QSFP serialization) mix
+   without rounding surprises.  Events scheduled for the same instant
+   fire in scheduling order (a monotone sequence number breaks ties), so
+   every run is reproducible. *)
+
+type time = int
+
+let ps = 1
+let ns = 1_000
+let us = 1_000_000
+let ms = 1_000_000_000
+let second = 1_000_000_000_000
+
+type event = {
+  ev_time : time;
+  ev_seq : int;
+  ev_fn : unit -> unit;
+}
+
+(* Binary min-heap on (time, seq). *)
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable now : time;
+  mutable seq : int;
+  mutable processed : int;
+}
+
+let create () =
+  {
+    heap = Array.make 64 { ev_time = 0; ev_seq = 0; ev_fn = ignore };
+    size = 0;
+    now = 0;
+    seq = 0;
+    processed = 0;
+  }
+
+let now t = t.now
+let events_processed t = t.processed
+
+let earlier a b = a.ev_time < b.ev_time || (a.ev_time = b.ev_time && a.ev_seq < b.ev_seq)
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) ev in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if earlier t.heap.(i) t.heap.(parent) then begin
+        let tmp = t.heap.(i) in
+        t.heap.(i) <- t.heap.(parent);
+        t.heap.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.size - 1)
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  let rec down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(!smallest);
+      t.heap.(!smallest) <- tmp;
+      down !smallest
+    end
+  in
+  down 0;
+  top
+
+(** Schedules [fn] to run [delay] picoseconds from now. *)
+let schedule t ~delay fn =
+  if delay < 0 then invalid_arg "schedule: negative delay";
+  push t { ev_time = t.now + delay; ev_seq = t.seq; ev_fn = fn };
+  t.seq <- t.seq + 1
+
+(** Schedules [fn] at an absolute time (>= now). *)
+let at t ~time fn =
+  if time < t.now then invalid_arg "at: time in the past";
+  push t { ev_time = time; ev_seq = t.seq; ev_fn = fn };
+  t.seq <- t.seq + 1
+
+(** Runs until the queue drains or simulated time passes [until]. *)
+let run ?until ?(max_events = max_int) t =
+  let continue_ () =
+    t.size > 0
+    && t.processed < max_events
+    && match until with Some u -> t.heap.(0).ev_time <= u | None -> true
+  in
+  while continue_ () do
+    let ev = pop t in
+    t.now <- ev.ev_time;
+    t.processed <- t.processed + 1;
+    ev.ev_fn ()
+  done;
+  match until with Some u when t.now < u && t.size = 0 -> t.now <- u | _ -> ()
+
+(** Repeats [fn] every [period] until it returns [false]. *)
+let rec periodic t ~period fn =
+  schedule t ~delay:period (fun () -> if fn () then periodic t ~period fn)

@@ -1,0 +1,39 @@
+(** A small deterministic discrete-event simulation engine.
+
+    Time is an integer count of picoseconds.  Events scheduled for the
+    same instant fire in scheduling order, so every run is
+    reproducible. *)
+
+type time = int
+
+val ps : time
+val ns : time
+val us : time
+val ms : time
+val second : time
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time. *)
+val now : t -> time
+
+(** Number of events executed so far. *)
+val events_processed : t -> int
+
+(** [schedule t ~delay fn] runs [fn] [delay] picoseconds from now.
+    Raises [Invalid_argument] on negative delays. *)
+val schedule : t -> delay:time -> (unit -> unit) -> unit
+
+(** [at t ~time fn] runs [fn] at an absolute time (>= now).  Raises
+    [Invalid_argument] on past times. *)
+val at : t -> time:time -> (unit -> unit) -> unit
+
+(** Runs until the queue drains, simulated time passes [until], or
+    [max_events] events have fired. *)
+val run : ?until:time -> ?max_events:int -> t -> unit
+
+(** [periodic t ~period fn] repeats [fn] every [period] until it returns
+    [false]. *)
+val periodic : t -> period:time -> (unit -> bool) -> unit

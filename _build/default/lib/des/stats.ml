@@ -1,0 +1,69 @@
+(* Online statistics for DES experiments: samples with mean and exact
+   percentiles (sorted on demand), plus a deterministic splitmix-style
+   PRNG so experiments never depend on global random state. *)
+
+type t = {
+  mutable samples : int array;
+  mutable n : int;
+}
+
+let create () = { samples = Array.make 1024 0; n = 0 }
+
+let add t v =
+  if t.n = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.n) 0 in
+    Array.blit t.samples 0 bigger 0 t.n;
+    t.samples <- bigger
+  end;
+  t.samples.(t.n) <- v;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let mean t =
+  if t.n = 0 then 0.
+  else
+    float_of_int (Array.fold_left ( + ) 0 (Array.sub t.samples 0 t.n)) /. float_of_int t.n
+
+(** Exact percentile (nearest-rank), [p] in 0..100. *)
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let sorted = Array.sub t.samples 0 t.n in
+    Array.sort compare sorted;
+    let rank = max 0 (min (t.n - 1) ((p * t.n / 100) - if p * t.n mod 100 = 0 then 1 else 0)) in
+    sorted.(rank)
+  end
+
+let max_value t =
+  if t.n = 0 then 0 else Array.fold_left max min_int (Array.sub t.samples 0 t.n)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic PRNG (splitmix64 folded to 62 bits)                   *)
+(* ------------------------------------------------------------------ *)
+
+type rng = { mutable state : int }
+
+let rng ~seed = { state = seed lxor 0x243F6A8885A308 }
+
+let next r =
+  (* splitmix-style mixing, kept within OCaml's boxed-free int range *)
+  r.state <- (r.state + 0x1E3779B97F4A7C15) land max_int;
+  let z = r.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+  z lxor (z lsr 31)
+
+(** Uniform integer in [0, bound). *)
+let int r bound = if bound <= 0 then 0 else next r mod bound
+
+(** Bernoulli draw with probability [p]. *)
+let bernoulli r p = float_of_int (int r 1_000_000) /. 1_000_000. < p
+
+(** Geometric-ish exponential sample with the given mean (integer). *)
+let exponential r mean =
+  if mean <= 0 then 0
+  else begin
+    let u = (float_of_int (int r 1_000_000) +. 1.) /. 1_000_001. in
+    int_of_float (-.float_of_int mean *. log u)
+  end

@@ -1,0 +1,32 @@
+(** Online statistics and a deterministic PRNG for DES experiments. *)
+
+(** A growable sample collection with exact (nearest-rank) percentiles. *)
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+val count : t -> int
+val mean : t -> float
+
+(** [percentile t p] for [p] in 0..100; 0 when empty. *)
+val percentile : t -> int -> int
+
+val max_value : t -> int
+
+(** Splitmix-style deterministic PRNG: experiments never depend on the
+    global [Random] state. *)
+type rng
+
+val rng : seed:int -> rng
+
+(** Next raw non-negative value. *)
+val next : rng -> int
+
+(** Uniform integer in [0, bound); 0 when [bound <= 0]. *)
+val int : rng -> int -> int
+
+(** Bernoulli draw with probability [p]. *)
+val bernoulli : rng -> float -> bool
+
+(** Exponential-ish sample with the given integer mean. *)
+val exponential : rng -> int -> int

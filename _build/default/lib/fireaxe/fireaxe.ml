@@ -1,0 +1,239 @@
+(* FireAxe: partitioned FPGA-accelerated simulation of large-scale RTL
+   designs — the library's public entry point.
+
+   The typical flow mirrors the paper:
+
+   {ol
+   {- build a target circuit ({!Firrtl.Builder}, or the generators in
+      [Socgen]);}
+   {- pick a partitioning {!Spec.config} — mode (exact/fast) and module
+      selection (explicit instance paths or NoC router indices);}
+   {- {!compile} it with FireRipper into a {!Fireripper.Plan.t}; inspect
+      the {!report} for boundary widths and chain lengths;}
+   {- {!instantiate} the plan as an executable LI-BDN network and run
+      it; or {!estimate_rate} its simulation performance on a modeled
+      host platform ({!Platform});}
+   {- {!validate} a design end to end: monolithic vs exact-mode (always
+      cycle-identical) vs fast-mode (bounded error), as in Table II.}} *)
+
+module Spec = Fireripper.Spec
+module Plan = Fireripper.Plan
+module Compile = Fireripper.Compile
+module Runtime = Fireripper.Runtime
+module Report = Fireripper.Report
+module Hw = Fireripper.Hw
+module Auto = Fireripper.Auto
+module Counters = Fireripper.Counters
+module Tracer = Fireripper.Tracer
+module Clockdiv = Goldengate.Clockdiv
+
+(** Compiles a monolithic circuit into a partition plan. *)
+let compile = Compile.compile
+
+(** Quick feedback about a plan: units, interface widths, chain lengths,
+    crossings per cycle. *)
+let report plan = Report.build plan
+
+let instantiate = Runtime.instantiate
+
+(* ------------------------------------------------------------------ *)
+(* Running to a condition                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Steps a monolithic simulation until [finished] (register predicate)
+    holds; returns the cycle count. *)
+let run_monolithic_until circuit ~setup ~finished ~max_cycles =
+  let sim = Rtlsim.Sim.of_circuit circuit in
+  setup ~poke:(fun ~mem addr v -> Rtlsim.Sim.poke_mem sim mem addr v);
+  Rtlsim.Sim.run_until sim ~max_cycles (fun s -> finished ~peek:(Rtlsim.Sim.get s))
+
+(** Runs a partitioned simulation cycle by cycle until [finished] holds
+    on the partitioned state; returns the cycle count.  [peek] resolves
+    flattened register names in whichever unit holds them. *)
+let run_partitioned_until handle ~setup ~finished ~max_cycles =
+  setup ~poke:(fun ~mem addr v ->
+      let u = Runtime.locate handle mem in
+      Rtlsim.Sim.poke_mem (Runtime.sim_of handle u) mem addr v);
+  let peek name =
+    let u = Runtime.locate handle name in
+    Rtlsim.Sim.get (Runtime.sim_of handle u) name
+  in
+  let rec go c =
+    if c > max_cycles then
+      failwith "run_partitioned_until: max cycles exceeded"
+    else begin
+      Runtime.run handle ~cycles:c;
+      if finished ~peek then c else go (c + 1)
+    end
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Validation (the Table II methodology)                               *)
+(* ------------------------------------------------------------------ *)
+
+type validation = {
+  v_name : string;
+  v_monolithic_cycles : int;
+  v_exact_cycles : int;
+  v_fast_cycles : int;
+  v_exact_error_pct : float;
+  v_fast_error_pct : float;
+}
+
+let error_pct ~reference cycles =
+  100. *. Float.abs (float_of_int (cycles - reference)) /. float_of_int reference
+
+(** Runs the same workload monolithically, exact-partitioned and
+    fast-partitioned, and reports cycle counts and error rates.
+    [circuit] is re-generated per run so simulations are independent. *)
+let validate ~name ~circuit ~selection ?(setup = fun ~poke:_ -> ()) ~finished
+    ?(max_cycles = 1_000_000) () =
+  let mono =
+    run_monolithic_until (circuit ()) ~setup ~finished ~max_cycles
+  in
+  let partitioned mode =
+    let config = { Spec.default_config with Spec.mode; selection } in
+    let plan = compile ~config (circuit ()) in
+    let handle = instantiate plan in
+    run_partitioned_until handle ~setup ~finished ~max_cycles
+  in
+  let exact = partitioned Spec.Exact in
+  let fast = partitioned Spec.Fast in
+  {
+    v_name = name;
+    v_monolithic_cycles = mono;
+    v_exact_cycles = exact;
+    v_fast_cycles = fast;
+    v_exact_error_pct = error_pct ~reference:mono exact;
+    v_fast_error_pct = error_pct ~reference:mono fast;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Divergence hunting                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type divergence = {
+  d_cycle : int;
+  d_signal : string;
+  d_golden : int;
+  d_partitioned : int;
+}
+
+(** Finds the first cycle at which any of [signals] differs between a
+    golden monolithic simulation and a partitioned run — the §V-A
+    debugging workflow.  The scan advances in [stride]-cycle windows,
+    checkpointing the partitioned network and snapshotting the golden
+    simulation at each window start; when a window ends divergent, both
+    are rolled back and replayed cycle by cycle to pinpoint the first
+    bad cycle and signal.  Returns [None] if no divergence appears
+    within [max_cycles]. *)
+let find_divergence ~golden ~handle ~signals ?(stride = 500) ~max_cycles () =
+  let units = List.map (fun s -> (s, Runtime.locate handle s)) signals in
+  let differs () =
+    List.find_opt
+      (fun (s, u) ->
+        Rtlsim.Sim.get golden s <> Rtlsim.Sim.get (Runtime.sim_of handle u) s)
+      units
+  in
+  let run_both ~upto =
+    while Rtlsim.Sim.cycle golden < upto do
+      Rtlsim.Sim.step golden
+    done;
+    Runtime.run handle ~cycles:upto
+  in
+  let rec window start =
+    if start >= max_cycles then None
+    else begin
+      let upto = min max_cycles (start + stride) in
+      let golden_state = Rtlsim.Sim.save_state golden in
+      let golden_cycle = Rtlsim.Sim.cycle golden in
+      let restore_handle = Runtime.checkpoint handle in
+      run_both ~upto;
+      match differs () with
+      | None -> window upto
+      | Some _ ->
+        (* Roll back and replay this window one cycle at a time. *)
+        Rtlsim.Sim.restore_state golden golden_state;
+        restore_handle ();
+        let rec fine c =
+          if c > upto then None
+          else begin
+            (* The golden sim's cycle counter is not part of save_state;
+               drive it by explicit steps from the window start. *)
+            Rtlsim.Sim.step golden;
+            Runtime.run handle ~cycles:c;
+            match differs () with
+            | Some (s, u) ->
+              Some
+                {
+                  d_cycle = c;
+                  d_signal = s;
+                  d_golden = Rtlsim.Sim.get golden s;
+                  d_partitioned = Rtlsim.Sim.get (Runtime.sim_of handle u) s;
+                }
+            | None -> fine (c + 1)
+          end
+        in
+        fine (golden_cycle + 1)
+    end
+  in
+  window 0
+
+(* ------------------------------------------------------------------ *)
+(* Automated partitioning (§VIII-B)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Automatically assigns the main module's instances to [n_fpgas]
+    partitions using the RTL-level LUT estimator and wire-width
+    connectivity, then compiles the resulting plan.  Returns the plan
+    together with the assignment (per-bin instances, loads, cut width). *)
+let auto_partition ?(mode = Spec.Exact) ?(board = Platform.Fpga.u250) ?(threshold = 0.85)
+    ~n_fpgas circuit =
+  let estimator =
+    {
+      Fireripper.Auto.est_luts =
+        (fun c module_name ->
+          let sub =
+            Firrtl.Hierarchy.prune { c with Firrtl.Ast.main = module_name }
+          in
+          (Platform.Resource.estimate_circuit sub).Platform.Resource.luts);
+      Fireripper.Auto.est_capacity =
+        int_of_float (threshold *. float_of_int board.Platform.Fpga.luts);
+    }
+  in
+  let assignment = Fireripper.Auto.assign ~estimator ~n_fpgas circuit in
+  let config =
+    {
+      Spec.default_config with
+      Spec.mode;
+      Spec.selection = Fireripper.Auto.to_selection assignment;
+    }
+  in
+  (Compile.compile ~config circuit, assignment)
+
+(* ------------------------------------------------------------------ *)
+(* Platform estimates                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Estimated simulation rate (target Hz) of a plan on the modeled host
+    platform. *)
+let estimate_rate ?(freq_mhz = 30.) ?(threads = fun _ -> 1)
+    ?(transport = Platform.Transport.Qsfp) plan =
+  Platform.Perf.rate
+    (Platform.Perf.of_plan
+       ~freq_mhz:(fun _ -> freq_mhz)
+       ~threads
+       ~transport:(fun ~src:_ ~dst:_ -> transport)
+       plan)
+
+(** Per-unit FPGA resource utilization of a plan on [board].
+    [threads unit] declares FAME-5 thread counts (shared logic). *)
+let utilization ?(board = Platform.Fpga.u250) ?(threads = fun _ -> 1) plan =
+  Array.to_list plan.Plan.p_units
+  |> List.map (fun (u : Plan.unit_part) ->
+         let est = Platform.Resource.estimate_unit ~threads:(threads u.Plan.u_index) u in
+         ( u.Plan.u_name,
+           est,
+           Platform.Fpga.utilization board est,
+           Platform.Fpga.fits board est ))

@@ -1,0 +1,114 @@
+(** FireAxe: partitioned FPGA-accelerated simulation of large-scale RTL
+    designs — the library's public entry point.
+
+    Typical flow: build a circuit (the [Firrtl] builder or [Socgen]
+    generators), {!compile} a partitioning with FireRipper, inspect the
+    {!report}, then either {!instantiate} and run the LI-BDN network,
+    price it with {!estimate_rate}, or {!validate} end to end (the
+    Table II methodology). *)
+
+module Spec = Fireripper.Spec
+module Plan = Fireripper.Plan
+module Compile = Fireripper.Compile
+module Runtime = Fireripper.Runtime
+module Report = Fireripper.Report
+module Hw = Fireripper.Hw
+module Auto = Fireripper.Auto
+
+(** AutoCounter-style periodic statistics sampling from a running
+    partitioned simulation. *)
+module Counters = Fireripper.Counters
+
+(** TracerV-style committed-instruction tracing, monolithic or
+    partitioned. *)
+module Tracer = Fireripper.Tracer
+
+(** Multi-clock support: enable-gate a module to a slower clock domain
+    before partitioning. *)
+module Clockdiv = Goldengate.Clockdiv
+
+val compile : ?config:Spec.config -> Firrtl.Ast.circuit -> Plan.t
+val report : Plan.t -> Report.t
+val instantiate : ?fame5:bool -> Plan.t -> Runtime.handle
+
+(** Steps a monolithic simulation to [finished]; returns the cycle. *)
+val run_monolithic_until :
+  Firrtl.Ast.circuit ->
+  setup:(poke:(mem:string -> int -> int -> unit) -> unit) ->
+  finished:(peek:(string -> int) -> bool) ->
+  max_cycles:int ->
+  int
+
+(** Runs a partitioned simulation cycle by cycle to [finished]. *)
+val run_partitioned_until :
+  Runtime.handle ->
+  setup:(poke:(mem:string -> int -> int -> unit) -> unit) ->
+  finished:(peek:(string -> int) -> bool) ->
+  max_cycles:int ->
+  int
+
+type validation = {
+  v_name : string;
+  v_monolithic_cycles : int;
+  v_exact_cycles : int;
+  v_fast_cycles : int;
+  v_exact_error_pct : float;
+  v_fast_error_pct : float;
+}
+
+(** Runs the same workload monolithically, exact-partitioned and
+    fast-partitioned (Table II): exact is always cycle-identical. *)
+val validate :
+  name:string ->
+  circuit:(unit -> Firrtl.Ast.circuit) ->
+  selection:Spec.selection ->
+  ?setup:(poke:(mem:string -> int -> int -> unit) -> unit) ->
+  finished:(peek:(string -> int) -> bool) ->
+  ?max_cycles:int ->
+  unit ->
+  validation
+
+type divergence = {
+  d_cycle : int;
+  d_signal : string;
+  d_golden : int;
+  d_partitioned : int;
+}
+
+(** Finds the first cycle at which any of [signals] differs between a
+    golden monolithic simulation and a partitioned run, striding in
+    checkpointed windows and rolling back to pinpoint the exact cycle
+    (the §V-A debugging workflow). *)
+val find_divergence :
+  golden:Rtlsim.Sim.t ->
+  handle:Runtime.handle ->
+  signals:string list ->
+  ?stride:int ->
+  max_cycles:int ->
+  unit ->
+  divergence option
+
+(** Automated partitioning (§VIII-B): greedy instance assignment onto
+    [n_fpgas] by size and connectivity, then compilation. *)
+val auto_partition :
+  ?mode:Spec.mode ->
+  ?board:Platform.Fpga.board ->
+  ?threshold:float ->
+  n_fpgas:int ->
+  Firrtl.Ast.circuit ->
+  Plan.t * Fireripper.Auto.assignment
+
+(** Estimated simulation rate (target Hz) on the modeled platform. *)
+val estimate_rate :
+  ?freq_mhz:float ->
+  ?threads:(int -> int) ->
+  ?transport:Platform.Transport.kind ->
+  Plan.t ->
+  float
+
+(** Per-unit (name, estimate, utilization, fits) on [board]. *)
+val utilization :
+  ?board:Platform.Fpga.board ->
+  ?threads:(int -> int) ->
+  Plan.t ->
+  (string * Platform.Resource.estimate * Platform.Fpga.utilization * bool) list

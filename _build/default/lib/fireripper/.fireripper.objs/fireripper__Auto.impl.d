@@ -1,0 +1,1 @@
+lib/fireripper/auto.ml: Array Ast Firrtl Fmt Hashtbl Hierarchy List Option Spec

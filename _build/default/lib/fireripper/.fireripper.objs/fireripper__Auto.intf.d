@@ -1,0 +1,1 @@
+lib/fireripper/auto.mli: Firrtl Format Spec

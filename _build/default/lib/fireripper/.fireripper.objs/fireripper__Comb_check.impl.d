@@ -1,0 +1,1 @@
+lib/fireripper/comb_check.ml: Analysis Array Firrtl Fmt Hashtbl Lazy List Plan Printf Spec String

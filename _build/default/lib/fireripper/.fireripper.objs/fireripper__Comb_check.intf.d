@@ -1,0 +1,1 @@
+lib/fireripper/comb_check.mli: Format Plan

@@ -1,0 +1,1 @@
+lib/fireripper/compile.ml: Array Ast Comb_check Fastmode Firrtl Hashtbl Hierarchy List Logs Option Plan Printf Select Spec

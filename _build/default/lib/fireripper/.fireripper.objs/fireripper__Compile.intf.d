@@ -1,0 +1,1 @@
+lib/fireripper/compile.mli: Firrtl Plan Spec

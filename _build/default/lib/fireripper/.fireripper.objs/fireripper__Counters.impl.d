@@ -1,0 +1,1 @@
+lib/fireripper/counters.ml: Buffer List Rtlsim Runtime

@@ -1,0 +1,1 @@
+lib/fireripper/counters.mli: Runtime

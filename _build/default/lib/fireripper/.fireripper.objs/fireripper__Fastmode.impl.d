@@ -1,0 +1,1 @@
+lib/fireripper/fastmode.ml: Ast Dsl Firrtl Hierarchy List Option

@@ -1,0 +1,1 @@
+lib/fireripper/fastmode.mli: Firrtl

@@ -1,0 +1,1 @@
+lib/fireripper/hw.ml: Array Ast Builder Dsl Firrtl Goldengate Lazy Libdn List Plan Printf Rtlsim Spec String

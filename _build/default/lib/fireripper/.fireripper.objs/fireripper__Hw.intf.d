@@ -1,0 +1,1 @@
+lib/fireripper/hw.mli: Firrtl Plan Rtlsim

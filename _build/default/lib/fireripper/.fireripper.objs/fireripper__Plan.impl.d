@@ -1,0 +1,1 @@
+lib/fireripper/plan.ml: Analysis Array Ast Firrtl Flatten Hashtbl Lazy Libdn List Option Printf Spec

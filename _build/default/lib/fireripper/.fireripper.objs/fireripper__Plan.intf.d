@@ -1,0 +1,1 @@
+lib/fireripper/plan.mli: Analysis Ast Firrtl Hashtbl Lazy Libdn Spec

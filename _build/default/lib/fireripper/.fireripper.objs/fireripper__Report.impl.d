@@ -1,0 +1,1 @@
+lib/fireripper/report.ml: Array Ast Comb_check Firrtl Fmt Libdn List Plan Spec

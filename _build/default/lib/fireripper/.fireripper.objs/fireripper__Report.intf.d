@@ -1,0 +1,1 @@
+lib/fireripper/report.mli: Format Plan Spec

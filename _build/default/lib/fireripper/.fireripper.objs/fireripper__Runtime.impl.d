@@ -1,0 +1,1 @@
+lib/fireripper/runtime.ml: Array Ast Buffer Filename Firrtl Flatten Goldengate Hashtbl Hierarchy Lazy Libdn List Option Plan Printf Rtlsim Spec String Sys

@@ -1,0 +1,1 @@
+lib/fireripper/runtime.mli: Goldengate Libdn Plan Rtlsim

@@ -1,0 +1,1 @@
+lib/fireripper/select.ml: Ast Firrtl Hashtbl Hierarchy List Option Spec

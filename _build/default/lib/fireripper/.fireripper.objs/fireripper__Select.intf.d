@@ -1,0 +1,1 @@
+lib/fireripper/select.mli: Firrtl Hashtbl Spec

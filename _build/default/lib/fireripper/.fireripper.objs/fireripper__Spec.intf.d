@@ -1,0 +1,1 @@
+lib/fireripper/spec.mli: Format

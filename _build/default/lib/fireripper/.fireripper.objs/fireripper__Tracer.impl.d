@@ -1,0 +1,1 @@
+lib/fireripper/tracer.ml: Hashtbl List Option Printf Rtlsim Runtime String

@@ -1,0 +1,1 @@
+lib/fireripper/tracer.mli: Rtlsim Runtime

@@ -1,0 +1,132 @@
+(* Automated partitioning (§VIII-B, "Further Automating the Partitioning
+   Flow").  The paper leaves this as future work: FireRipper should make
+   per-FPGA resource estimates from the RTL-level representation and
+   search for boundaries amenable to partitioning.  This module
+   implements that flow:
+
+   - every top-level instance of the main module is sized by a
+     caller-supplied estimator (the [Fireaxe] facade plugs in the
+     RTL-level LUT estimator from [Platform.Resource]);
+   - connectivity between instances is weighted by the bit width of the
+     wires joining them (the partition-interface width a cut there would
+     create);
+   - a greedy grower assigns instances to [n_fpgas] bins, biggest first,
+     preferring the bin with the strongest existing connectivity (to
+     keep cuts narrow) among those with remaining LUT capacity.
+
+   Bin 0 is the base partition (it also keeps the main module's own
+   logic); bins 1.. become extracted partitions, so the result plugs
+   directly into {!Compile.compile} as an [Instances] selection. *)
+
+open Firrtl
+
+type estimator = {
+  est_luts : Ast.circuit -> string -> int;
+      (** LUT estimate for one module (by name) of the circuit *)
+  est_capacity : int;  (** usable LUTs per FPGA *)
+}
+
+(* Boundary bits between each pair of top-level instances. *)
+let pair_widths circuit =
+  let main = Ast.main_module circuit in
+  let env = Ast.module_env circuit main in
+  let widths = Hashtbl.create 64 in
+  let add a b w =
+    if a <> b then begin
+      let key = (min a b, max a b) in
+      Hashtbl.replace widths key (w + Option.value ~default:0 (Hashtbl.find_opt widths key))
+    end
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Ast.Connect { dst; src } -> (
+        match Ast.split_instance_ref dst with
+        | Some (di, _) ->
+          let w = env.Ast.width_of_name dst in
+          List.iter
+            (fun r ->
+              match Ast.split_instance_ref r with
+              | Some (si, _) -> add di si w
+              | None -> ())
+            (Ast.expr_refs src)
+        | None -> ())
+      | Ast.Reg_update _ | Ast.Mem_write _ -> ())
+    main.Ast.stmts;
+  widths
+
+type assignment = {
+  a_groups : string list array;  (** instance names per bin; bin 0 = base *)
+  a_luts : int array;  (** estimated LUTs per bin *)
+  a_cut_bits : int;  (** total boundary bits the assignment creates *)
+}
+
+(** Greedily assigns the main module's instances to [n_fpgas] bins.
+    Raises {!Spec.Compile_error} when even the greedy packing cannot fit
+    within per-FPGA capacity. *)
+let assign ~estimator ~n_fpgas circuit =
+  if n_fpgas < 2 then Spec.compile_error "auto-partitioning needs at least 2 FPGAs";
+  let main = Ast.main_module circuit in
+  let insts = Hierarchy.instances main in
+  let sizes =
+    List.map (fun (name, of_module) -> (name, estimator.est_luts circuit of_module)) insts
+  in
+  let widths = pair_widths circuit in
+  let width_between a b =
+    Option.value ~default:0 (Hashtbl.find_opt widths (min a b, max a b))
+  in
+  let bins = Array.make n_fpgas [] in
+  let loads = Array.make n_fpgas 0 in
+  (* Biggest instances first; ties broken by name for determinism. *)
+  let ordered = List.sort (fun (a, sa) (b, sb) -> compare (-sa, a) (-sb, b)) sizes in
+  List.iter
+    (fun (name, size) ->
+      let score bin =
+        let connectivity =
+          List.fold_left (fun acc other -> acc + width_between name other) 0 bins.(bin)
+        in
+        let fits = loads.(bin) + size <= estimator.est_capacity in
+        (* Prefer fitting bins; among them, strongest connectivity to
+           keep cuts narrow, then lightest load. *)
+        ((if fits then 1 else 0), connectivity, -loads.(bin))
+      in
+      let best = ref 0 in
+      for bin = 1 to n_fpgas - 1 do
+        if score bin > score !best then best := bin
+      done;
+      if loads.(!best) + size > estimator.est_capacity then
+        Spec.compile_error
+          "auto-partitioning: instance %s (%d LUTs) does not fit on any of %d FPGAs \
+           (capacity %d LUTs each)"
+          name size n_fpgas estimator.est_capacity;
+      bins.(!best) <- name :: bins.(!best);
+      loads.(!best) <- loads.(!best) + size)
+    ordered;
+  (* Cut size: width between instances landing in different bins. *)
+  let bin_of = Hashtbl.create 16 in
+  Array.iteri (fun b names -> List.iter (fun n -> Hashtbl.replace bin_of n b) names) bins;
+  let cut =
+    Hashtbl.fold
+      (fun (a, b) w acc ->
+        match (Hashtbl.find_opt bin_of a, Hashtbl.find_opt bin_of b) with
+        | Some ba, Some bb when ba <> bb -> acc + w
+        | _ -> acc)
+      widths 0
+  in
+  { a_groups = Array.map List.rev bins; a_luts = loads; a_cut_bits = cut }
+
+(** Converts an assignment to a FireRipper selection: bins 1.. become
+    extracted partitions (bin 0 stays with the main logic as the base);
+    empty bins are dropped. *)
+let to_selection assignment =
+  Spec.Instances
+    (Array.to_list assignment.a_groups |> List.tl |> List.filter (fun g -> g <> []))
+
+let pp_assignment ppf a =
+  Array.iteri
+    (fun bin names ->
+      Fmt.pf ppf "  FPGA %d (%d LUTs est.): %a@." bin a.a_luts.(bin)
+        Fmt.(list ~sep:comma string)
+        names)
+    a.a_groups;
+  Fmt.pf ppf "  total cut width: %d bits@." a.a_cut_bits

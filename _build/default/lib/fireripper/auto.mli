@@ -1,0 +1,24 @@
+(** Automated partitioning (paper §VIII-B, future work): size every
+    top-level instance, weigh inter-instance connectivity by wire width,
+    and greedily assign instances to FPGAs preferring narrow cuts. *)
+
+type estimator = {
+  est_luts : Firrtl.Ast.circuit -> string -> int;
+      (** LUT estimate for one module (by name) of the circuit *)
+  est_capacity : int;  (** usable LUTs per FPGA *)
+}
+
+type assignment = {
+  a_groups : string list array;  (** instance names per bin; bin 0 = base *)
+  a_luts : int array;  (** estimated LUTs per bin *)
+  a_cut_bits : int;  (** total boundary bits the assignment creates *)
+}
+
+(** Greedy assignment of the main module's instances to [n_fpgas] bins.
+    Raises {!Spec.Compile_error} when packing cannot fit. *)
+val assign : estimator:estimator -> n_fpgas:int -> Firrtl.Ast.circuit -> assignment
+
+(** Bins 1.. as a FireRipper selection (bin 0 stays with the base). *)
+val to_selection : assignment -> Spec.selection
+
+val pp_assignment : Format.formatter -> assignment -> unit

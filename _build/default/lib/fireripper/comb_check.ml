@@ -1,0 +1,86 @@
+(* Cross-partition combinational chain-length analysis (Section III-A1).
+
+   A boundary output port with no combinational input dependency has
+   chain length 1 (a "source" port).  A sink output port's chain length
+   is 1 + the maximum chain length of the boundary output ports that
+   drive the inputs it depends on, following nets across partitions.
+   Exact-mode compilation requires every chain length <= 2: longer
+   chains would need additional link crossings per simulated cycle, so
+   FireRipper refuses them and reports the offending port chain.  A
+   combinational cycle through the boundary is a hard error in every
+   mode. *)
+
+open Firrtl
+
+type result = {
+  max_chain : int;
+  longest : (int * string) list;  (** the (unit, port) chain, output ports *)
+}
+
+(** Computes chain lengths of every boundary output port.  Raises
+    {!Spec.Compile_error} on a cross-partition combinational cycle. *)
+let analyze (plan : Plan.t) =
+  (* Driver of each (unit, input port): the net source feeding it. *)
+  let driver = Hashtbl.create 64 in
+  List.iter
+    (fun (net : Plan.net) ->
+      List.iter (fun dst -> Hashtbl.replace driver dst net.Plan.n_src) net.Plan.n_dsts)
+    plan.Plan.p_nets;
+  let memo = Hashtbl.create 64 in
+  let rec chain visiting (u, port) =
+    match Hashtbl.find_opt memo (u, port) with
+    | Some r -> r
+    | None ->
+      if List.mem (u, port) visiting then
+        Spec.compile_error
+          "combinational cycle through the partition boundary: %s"
+          (String.concat " <- "
+             (List.map (fun (u, p) -> Printf.sprintf "%d:%s" u p)
+                (((u, port) :: visiting) |> List.rev)));
+      let deps =
+        Analysis.comb_inputs (Lazy.force plan.Plan.p_units.(u).Plan.u_analysis) port
+      in
+      let r =
+        List.fold_left
+          (fun (best_len, best_path) inp ->
+            match Hashtbl.find_opt driver (u, inp) with
+            | None -> (best_len, best_path) (* external input: testbench-driven *)
+            | Some src ->
+              let len, path = chain ((u, port) :: visiting) src in
+              if len + 1 > best_len then (len + 1, (u, port) :: path)
+              else (best_len, best_path))
+          (1, [ (u, port) ])
+          deps
+      in
+      Hashtbl.replace memo (u, port) r;
+      r
+  in
+  let outputs =
+    List.map (fun (net : Plan.net) -> net.Plan.n_src) plan.Plan.p_nets
+    |> List.sort_uniq compare
+  in
+  List.fold_left
+    (fun acc src ->
+      let len, path = chain [] src in
+      if len > acc.max_chain then { max_chain = len; longest = path } else acc)
+    { max_chain = 0; longest = [] }
+    outputs
+
+let pp_chain plan ppf chain =
+  Fmt.pf ppf "%a"
+    Fmt.(list ~sep:(any " <- ") string)
+    (List.map
+       (fun (u, p) -> Printf.sprintf "%s:%s" plan.Plan.p_units.(u).Plan.u_name p)
+       chain)
+
+(** Enforces the exact-mode chain bound, mirroring the paper: compilation
+    terminates "while providing the user with the chain of combinational
+    ports that caused the termination". *)
+let enforce plan =
+  let r = analyze plan in
+  if r.max_chain > 2 then
+    Spec.compile_error
+      "exact-mode partition boundary has a combinational dependency chain of length %d \
+       (max 2): %s"
+      r.max_chain
+      (Fmt.str "%a" (pp_chain plan) r.longest)

@@ -1,0 +1,17 @@
+(** Cross-partition combinational chain-length analysis (§III-A1).
+    Exact-mode requires chains of length <= 2; longer chains are
+    refused with the offending port chain, mirroring the paper. *)
+
+type result = {
+  max_chain : int;
+  longest : (int * string) list;  (** the (unit, port) output-port chain *)
+}
+
+(** Chain lengths of every boundary output port; raises
+    {!Spec.Compile_error} on a cross-partition combinational cycle. *)
+val analyze : Plan.t -> result
+
+val pp_chain : Plan.t -> Format.formatter -> (int * string) list -> unit
+
+(** Enforces the exact-mode bound (<= 2), naming the chain on failure. *)
+val enforce : Plan.t -> unit

@@ -1,0 +1,270 @@
+(* FireRipper's compile pipeline (Section III-C, Fig. 5):
+
+   1. resolve the module selection into instance paths per partition;
+   2. Reparent: promote every selected instance to the top of the
+      hierarchy, punching ports through the enclosing modules;
+   3. Grouping: wrap each partition's instances in a wrapper module;
+   4. Extract: split each wrapper out of the main hierarchy, leaving the
+      base partition (the rest) behind;
+   5. elide pure feedthroughs in the base so wrapper-to-wrapper nets
+      (e.g. NoC ring links between neighbouring FPGAs) connect their
+      partitions directly instead of detouring through the base;
+   6. fast-mode only: rewrite annotated ready-valid boundaries (skid
+      buffers / valid-gating) on both sides of each cut;
+   7. exact-mode only: enforce the combinational chain-length bound.
+
+   The result is a {!Plan.t}; {!Runtime} instantiates it as an LI-BDN
+   network, and the platform library prices its simulation rate. *)
+
+open Firrtl
+open Spec
+
+let wrapper_name k = Printf.sprintf "fireaxe_part%d" k
+
+(* Step 5: replace [base-out <- base-in] feedthrough pairs with direct
+   wrapper-to-wrapper nets. *)
+let elide_feedthroughs base nets =
+  let main = Ast.main_module base in
+  (* Nets keyed by source endpoint for in-place surgery. *)
+  let by_src = Hashtbl.create 64 in
+  List.iter (fun (n : Plan.net) -> Hashtbl.replace by_src n.Plan.n_src n) nets;
+  (* Base boundary ports that talk to wrappers. *)
+  let base_out = Hashtbl.create 64 in
+  (* port -> net source key *)
+  let base_in = Hashtbl.create 64 in
+  (* port -> wrapper source endpoint *)
+  List.iter
+    (fun (n : Plan.net) ->
+      let su, sp = n.Plan.n_src in
+      if su = 0 then Hashtbl.replace base_out sp n.Plan.n_src
+      else
+        List.iter
+          (fun (du, dp) -> if du = 0 then Hashtbl.replace base_in dp n.Plan.n_src)
+          n.Plan.n_dsts)
+    nets;
+  let removed_out_ports = Hashtbl.create 16 in
+  let removed_stmts = Hashtbl.create 16 in
+  List.iteri
+    (fun si s ->
+      match s with
+      | Ast.Connect { dst; src = Ast.Ref p } when Hashtbl.mem base_out dst -> (
+        match Hashtbl.find_opt base_in p with
+        | Some wrapper_src ->
+          (* Merge net (0,dst) into the wrapper-source net. *)
+          let dead = Hashtbl.find by_src (0, dst) in
+          let live = Hashtbl.find by_src wrapper_src in
+          Hashtbl.replace by_src wrapper_src
+            { live with Plan.n_dsts = live.Plan.n_dsts @ dead.Plan.n_dsts };
+          Hashtbl.remove by_src (0, dst);
+          Hashtbl.replace removed_out_ports dst ();
+          Hashtbl.replace removed_stmts si ()
+        | None -> ())
+      | _ -> ())
+    main.Ast.stmts;
+  let stmts =
+    List.filteri (fun si _ -> not (Hashtbl.mem removed_stmts si)) main.Ast.stmts
+  in
+  (* Drop base input ports that no longer have any use. *)
+  let used = Hashtbl.create 256 in
+  let note e = List.iter (fun r -> Hashtbl.replace used r ()) (Ast.expr_refs e) in
+  List.iter
+    (fun s ->
+      match s with
+      | Ast.Connect { src; _ } -> note src
+      | Ast.Reg_update { next; enable; _ } ->
+        note next;
+        Option.iter note enable
+      | Ast.Mem_write { addr; data; enable; _ } ->
+        note addr;
+        note data;
+        note enable)
+    stmts;
+  let removed_in_ports = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun p wrapper_src ->
+      if not (Hashtbl.mem used p) then begin
+        Hashtbl.replace removed_in_ports p ();
+        match Hashtbl.find_opt by_src wrapper_src with
+        | Some net ->
+          Hashtbl.replace by_src wrapper_src
+            { net with Plan.n_dsts = List.filter (fun d -> d <> (0, p)) net.Plan.n_dsts }
+        | None -> ()
+      end)
+    base_in;
+  let ports =
+    List.filter
+      (fun (p : Ast.port) ->
+        not (Hashtbl.mem removed_out_ports p.Ast.pname || Hashtbl.mem removed_in_ports p.Ast.pname))
+      main.Ast.ports
+  in
+  let main' = { main with Ast.ports; stmts } in
+  let nets' =
+    Hashtbl.fold (fun _ n acc -> n :: acc) by_src []
+    |> List.filter (fun (n : Plan.net) -> n.Plan.n_dsts <> [])
+    |> List.sort compare
+  in
+  (Hierarchy.replace_module base main', nets')
+
+(* Step 6 helper: translate an annotation's port names to the peer
+   partition across the nets, and apply the flipped rewrite there. *)
+let apply_fastmode units nets annots_per_wrapper =
+  let by_src = Hashtbl.create 64 in
+  List.iter (fun (n : Plan.net) -> Hashtbl.replace by_src n.Plan.n_src n) nets;
+  let into_unit = Hashtbl.create 64 in
+  (* (dst unit, dst port) -> src endpoint *)
+  List.iter
+    (fun (n : Plan.net) ->
+      List.iter (fun d -> Hashtbl.replace into_unit d n.Plan.n_src) n.Plan.n_dsts)
+    nets;
+  (* Where does output port [p] of unit [k] land? *)
+  let out_peer k p =
+    match Hashtbl.find_opt by_src (k, p) with
+    | Some { Plan.n_dsts = [ d ]; _ } -> Some d
+    | Some _ | None -> None
+  in
+  (* Who drives input port [p] of unit [k]? *)
+  let in_peer k p = Hashtbl.find_opt into_unit (k, p) in
+  let units = Array.copy units in
+  List.iter
+    (fun (k, annots) ->
+      List.iter
+        (fun a ->
+          match a with
+          | Ast.Noc_router _ -> ()
+          | Ast.Ready_valid { role; valid; ready; payload } -> (
+            (* Apply on the annotated side. *)
+            units.(k) <-
+              Plan.make_unit k units.(k).Plan.u_name
+                (Fastmode.apply_circuit units.(k).Plan.u_circuit [ a ]);
+            (* Translate to the peer side and apply flipped. *)
+            let ends =
+              match role with
+              | Ast.Rv_source ->
+                (* valid/payload leave unit k; ready enters it. *)
+                let v = out_peer k valid in
+                let r = in_peer k ready in
+                let pay = List.map (out_peer k) payload in
+                (v, r, pay)
+              | Ast.Rv_sink ->
+                let v = in_peer k valid in
+                let r = out_peer k ready in
+                let pay = List.map (in_peer k) payload in
+                (v, r, pay)
+            in
+            match ends with
+            | Some (uv, pv), Some (ur, pr), pay
+              when List.for_all (function Some (u, _) -> u = uv | None -> false) pay
+                   && ur = uv ->
+              let peer_annot =
+                Ast.Ready_valid
+                  {
+                    role;
+                    valid = pv;
+                    ready = pr;
+                    payload = List.map (function Some (_, p) -> p | None -> assert false) pay;
+                  }
+              in
+              units.(uv) <-
+                Plan.make_unit uv units.(uv).Plan.u_name
+                  (Fastmode.apply_circuit ~flip:true units.(uv).Plan.u_circuit [ peer_annot ])
+            | _ ->
+              Logs.warn (fun m ->
+                  m "fast-mode: ready-valid bundle at %s/%s spans multiple peers; skipped"
+                    units.(k).Plan.u_name valid)))
+        annots)
+    annots_per_wrapper;
+  units
+
+(** Compiles a monolithic circuit into a partition plan. *)
+let compile ?(config = default_config) circuit =
+  Ast.check_circuit circuit;
+  let original = circuit in
+  let groups = Select.resolve circuit config.selection in
+  if groups = [] then compile_error "empty selection: nothing to partition";
+  (* Reparent. *)
+  let circuit, group_insts =
+    List.fold_left_map
+      (fun c paths ->
+        let c, insts =
+          List.fold_left_map (fun c path -> Hierarchy.promote_path c path) c paths
+        in
+        (c, insts))
+      circuit groups
+  in
+  (* Grouping. *)
+  let circuit, wrappers =
+    List.fold_left
+      (fun (c, acc) (k, insts) ->
+        let g = Hierarchy.group_in_main c ~insts ~wrapper:(wrapper_name k) in
+        (g.Hierarchy.g_circuit, (k, g.Hierarchy.g_wrapper_inst) :: acc))
+      (circuit, [])
+      (List.mapi (fun i insts -> (i + 1, insts)) group_insts)
+    |> fun (c, acc) -> (c, List.rev acc)
+  in
+  let annots_per_wrapper =
+    List.map
+      (fun (k, _) -> (k, (Ast.find_module circuit (wrapper_name k)).Ast.annots))
+      wrappers
+  in
+  (* Extract. *)
+  let rest, parts =
+    List.fold_left
+      (fun (c, acc) (k, wrapper_inst) ->
+        let split = Hierarchy.split_at_wrapper c ~wrapper_inst in
+        (split.Hierarchy.sp_rest, (k, split) :: acc))
+      (circuit, []) wrappers
+    |> fun (c, acc) -> (c, List.rev acc)
+  in
+  (* Initial nets: everything goes through the base. *)
+  let nets =
+    List.concat_map
+      (fun (k, (split : Hierarchy.split)) ->
+        List.map
+          (fun (bp : Hierarchy.boundary_port) ->
+            match bp.Hierarchy.bp_dir with
+            | Ast.Input ->
+              {
+                Plan.n_src = (0, bp.Hierarchy.bp_name);
+                n_dsts = [ (k, bp.Hierarchy.bp_name) ];
+                n_width = bp.Hierarchy.bp_width;
+              }
+            | Ast.Output ->
+              {
+                Plan.n_src = (k, bp.Hierarchy.bp_name);
+                n_dsts = [ (0, bp.Hierarchy.bp_name) ];
+                n_width = bp.Hierarchy.bp_width;
+              })
+          split.Hierarchy.sp_boundary)
+      parts
+  in
+  let base, nets = elide_feedthroughs rest nets in
+  let units =
+    Array.of_list
+      (Plan.make_unit 0 "base" base
+      :: List.map
+           (fun (k, (split : Hierarchy.split)) ->
+             Plan.make_unit k (wrapper_name k) split.Hierarchy.sp_partition)
+           parts)
+  in
+  let units =
+    match config.mode with
+    | Fast -> apply_fastmode units nets annots_per_wrapper
+    | Exact -> units
+  in
+  let plan =
+    { Plan.p_mode = config.mode; p_units = units; p_nets = nets; p_original = original }
+  in
+  Array.iter (fun u -> Ast.check_circuit u.Plan.u_circuit) plan.Plan.p_units;
+  (match config.mode with
+  | Exact when not config.allow_long_chains -> Comb_check.enforce plan
+  | Exact | Fast -> ());
+  plan
+
+
+(** The module-removal view (Fig. 5b): the base partition alone, with
+    the removed modules' boundary punched to top-level ports — e.g. to
+    co-simulate the rest against an external implementation of the
+    extracted modules. *)
+let remove ?(config = Spec.default_config) circuit =
+  let plan = compile ~config:{ config with Spec.allow_long_chains = true } circuit in
+  plan.Plan.p_units.(0).Plan.u_circuit

@@ -1,0 +1,15 @@
+(** FireRipper's compile pipeline (paper §III-C, Fig. 5): resolve the
+    selection, Reparent, Group, Extract, elide base feedthroughs,
+    apply fast-mode boundary repairs, enforce the exact-mode chain
+    bound, and produce a {!Plan.t}. *)
+
+val wrapper_name : int -> string
+
+(** Compiles a monolithic circuit into a partition plan.  Raises
+    {!Spec.Compile_error} (selection/chain problems) or
+    [Firrtl.Ast.Ir_error] (malformed circuits). *)
+val compile : ?config:Spec.config -> Firrtl.Ast.circuit -> Plan.t
+
+(** The module-removal view (Fig. 5b): the base partition alone, with
+    the removed modules' boundary punched to top-level ports. *)
+val remove : ?config:Spec.config -> Firrtl.Ast.circuit -> Firrtl.Ast.circuit

@@ -1,0 +1,23 @@
+(** AutoCounter-style statistics bridge: periodic host-side sampling of
+    target counters in a running partitioned simulation.  Signals are
+    read directly from the owning unit's RTL state, so sampling adds no
+    tokens to the LI-BDN network. *)
+
+type sample = {
+  s_cycle : int;
+  s_values : (string * int) list;  (** in the order [signals] was given *)
+}
+
+(** Advances the simulation [cycles] target cycles, recording [signals]
+    every [every] cycles (and at the end).  Signals are flattened names
+    anywhere in the partitioned design. *)
+val collect :
+  Runtime.handle -> signals:string list -> every:int -> cycles:int -> sample list
+
+(** Renders samples as CSV with a [cycle] column followed by one column
+    per signal. *)
+val to_csv : sample list -> string
+
+(** Per-interval rates of change, in counts per kilocycle — the form
+    AutoCounter plots (IPC, hit rates, packet rates). *)
+val rates : sample list -> (int * (string * float) list) list

@@ -1,0 +1,171 @@
+(* Fast-mode boundary repairs (Section III-A2, Fig. 3c).
+
+   Fast-mode seeds one token per input channel, which injects one cycle
+   of latency at the partition boundary.  Credit-based interfaces absorb
+   that latency natively; ready-valid interfaces lose backpressure
+   (Fig. 3b).  FireRipper therefore rewrites each annotated ready-valid
+   bundle at the boundary:
+
+   - on the ready-valid *source* side, the transmitted valid becomes
+     [valid && ready] so a transaction is sent exactly once, in the
+     cycle the source dequeues it;
+   - on the ready-valid *sink* side, a small skid buffer absorbs the
+     in-flight transactions, and the transmitted ready is asserted only
+     while the buffer is nearly empty so the delayed backpressure can
+     never overflow it.
+
+   Both rewrites happen on the partition's main module in place; the
+   rewritten design is itself wrapped in an LI-BDN, so fast-mode results
+   remain cycle-exact with respect to the *modified* target RTL. *)
+
+open Firrtl
+
+let skid_depth = 4
+
+(* Source side: gate the outgoing valid with the (one-cycle delayed)
+   incoming ready. *)
+let gate_valid main ~valid ~ready =
+  Hierarchy.assert_fresh main (valid ^ "#raw");
+  let raw = valid ^ "#raw" in
+  let stmts =
+    List.map
+      (fun s ->
+        match s with
+        | Ast.Connect { dst; src } when dst = valid -> Ast.Connect { dst = raw; src }
+        | s -> s)
+      main.Ast.stmts
+  in
+  {
+    main with
+    Ast.comps = main.Ast.comps @ [ Ast.Wire { name = raw; width = 1 } ];
+    stmts =
+      stmts
+      @ [ Ast.Connect { dst = valid; src = Dsl.(ref_ raw &: ref_ ready) } ];
+  }
+
+(* Sink side: a [skid_depth]-deep queue between the boundary and the
+   original logic.  Transmitted ready is asserted while occupancy <= 1,
+   which tolerates the one-cycle-delayed deassertion without loss. *)
+let insert_skid main ~valid ~ready ~payload =
+  let pre s = valid ^ "#q_" ^ s in
+  List.iter
+    (fun n -> Hierarchy.assert_fresh main (pre n))
+    ([ "head"; "tail"; "occ"; "valid"; "inner_ready"; "enq"; "deq" ] @ payload);
+  let q_valid = pre "valid" in
+  let inner_ready = pre "inner_ready" in
+  (* Reroute the original logic's view of the bundle through the queue. *)
+  let rename n =
+    if n = valid then q_valid else if List.mem n payload then pre n else n
+  in
+  let stmts =
+    List.map
+      (fun s ->
+        match s with
+        | Ast.Connect { dst; src } ->
+          let src = Ast.map_refs rename src in
+          if dst = ready then Ast.Connect { dst = inner_ready; src }
+          else Ast.Connect { dst; src }
+        | Ast.Reg_update { reg; next; enable } ->
+          Ast.Reg_update
+            {
+              reg;
+              next = Ast.map_refs rename next;
+              enable = Option.map (Ast.map_refs rename) enable;
+            }
+        | Ast.Mem_write { mem; addr; data; enable } ->
+          Ast.Mem_write
+            {
+              mem;
+              addr = Ast.map_refs rename addr;
+              data = Ast.map_refs rename data;
+              enable = Ast.map_refs rename enable;
+            })
+      main.Ast.stmts
+  in
+  let payload_widths =
+    List.map (fun p -> (p, (Ast.find_port main p).Ast.pwidth)) payload
+  in
+  let comps =
+    main.Ast.comps
+    @ [
+        Ast.Reg { name = pre "head"; width = 2; init = 0 };
+        Ast.Reg { name = pre "tail"; width = 2; init = 0 };
+        Ast.Reg { name = pre "occ"; width = 3; init = 0 };
+        Ast.Wire { name = q_valid; width = 1 };
+        Ast.Wire { name = inner_ready; width = 1 };
+        Ast.Wire { name = pre "enq"; width = 1 };
+        Ast.Wire { name = pre "deq"; width = 1 };
+      ]
+    @ List.concat_map
+        (fun (p, w) ->
+          [
+            Ast.Mem { name = pre (p ^ "_mem"); width = w; depth = skid_depth };
+            Ast.Wire { name = pre p; width = w };
+          ])
+        payload_widths
+  in
+  let occ = Dsl.ref_ (pre "occ") in
+  let head = Dsl.ref_ (pre "head") in
+  let tail = Dsl.ref_ (pre "tail") in
+  let enq = Dsl.ref_ (pre "enq") in
+  let deq = Dsl.ref_ (pre "deq") in
+  (* Combinational bypass: with an empty queue an arriving transaction is
+     presented to the inner logic in the same cycle, and only stored when
+     the inner side does not take it.  This keeps the steady-state cost
+     of fast-mode at exactly the one injected link cycle per direction. *)
+  let empty = Dsl.(occ ==: lit ~width:3 0) in
+  let new_stmts =
+    [
+      Ast.Connect
+        {
+          dst = pre "enq";
+          src = Dsl.(ref_ valid &: not_ (empty &: ref_ inner_ready));
+        };
+      Ast.Connect { dst = pre "deq"; src = Dsl.(ref_ inner_ready &: not_ empty) };
+      Ast.Connect { dst = q_valid; src = Dsl.(not_ empty |: ref_ valid) };
+      Ast.Connect { dst = ready; src = Dsl.(occ <=: lit ~width:3 1) };
+      Ast.Reg_update { reg = pre "tail"; next = Dsl.(tail +: lit ~width:2 1); enable = Some enq };
+      Ast.Reg_update { reg = pre "head"; next = Dsl.(head +: lit ~width:2 1); enable = Some deq };
+      Ast.Reg_update { reg = pre "occ"; next = Dsl.(occ +: enq -: deq); enable = None };
+    ]
+    @ List.concat_map
+        (fun (p, _) ->
+          [
+            Ast.Mem_write
+              { mem = pre (p ^ "_mem"); addr = tail; data = Dsl.ref_ p; enable = enq };
+            Ast.Connect
+              {
+                dst = pre p;
+                src = Dsl.(mux empty (ref_ p) (read (pre (p ^ "_mem")) head));
+              };
+          ])
+        payload_widths
+  in
+  { main with Ast.comps = comps; stmts = stmts @ new_stmts }
+
+let flip_role = function
+  | Ast.Rv_source -> Ast.Rv_sink
+  | Ast.Rv_sink -> Ast.Rv_source
+
+(** Applies the fast-mode rewrites for one ready-valid annotation to a
+    partition's main module.  [flip] selects the peer's perspective:
+    annotations state the extracted module's role, so the partition
+    containing that module applies them as-is and the partition on the
+    other side of the boundary applies them flipped. *)
+let apply_annotation ?(flip = false) main annot =
+  match annot with
+  | Ast.Noc_router _ -> main
+  | Ast.Ready_valid { role; valid; ready; payload } ->
+    let role = if flip then flip_role role else role in
+    let have p = List.exists (fun (q : Ast.port) -> q.Ast.pname = p) main.Ast.ports in
+    if not (List.for_all have (valid :: ready :: payload)) then main
+    else (
+      match role with
+      | Ast.Rv_source -> gate_valid main ~valid ~ready
+      | Ast.Rv_sink -> insert_skid main ~valid ~ready ~payload)
+
+(** Rewrites a partition circuit's main module for every annotation. *)
+let apply_circuit ?(flip = false) circuit annots =
+  let main = Ast.main_module circuit in
+  let main' = List.fold_left (fun m a -> apply_annotation ~flip m a) main annots in
+  Hierarchy.replace_module circuit main'

@@ -1,0 +1,30 @@
+(** Fast-mode boundary repairs (§III-A2, Fig. 3c): on ready-valid
+    bundles crossing a seeded boundary, the source side's transmitted
+    valid becomes [valid && ready], and the sink side gets a skid
+    buffer with conservatively-asserted ready, so no transaction is
+    lost or duplicated under the injected cycle of latency. *)
+
+val skid_depth : int
+
+(** Source-side rewrite on a partition main module. *)
+val gate_valid : Firrtl.Ast.module_def -> valid:string -> ready:string -> Firrtl.Ast.module_def
+
+(** Sink-side rewrite: inserts the skid buffer between the boundary and
+    the original logic. *)
+val insert_skid :
+  Firrtl.Ast.module_def ->
+  valid:string ->
+  ready:string ->
+  payload:string list ->
+  Firrtl.Ast.module_def
+
+val flip_role : Firrtl.Ast.rv_role -> Firrtl.Ast.rv_role
+
+(** Applies one annotation's rewrite ([flip] selects the peer's
+    perspective); annotations whose ports are absent are skipped. *)
+val apply_annotation :
+  ?flip:bool -> Firrtl.Ast.module_def -> Firrtl.Ast.annotation -> Firrtl.Ast.module_def
+
+(** Rewrites a partition circuit's main module for every annotation. *)
+val apply_circuit :
+  ?flip:bool -> Firrtl.Ast.circuit -> Firrtl.Ast.annotation list -> Firrtl.Ast.circuit

@@ -1,0 +1,125 @@
+(* Hardware instantiation of a partition plan: every unit is wrapped in
+   generated FAME-1 control logic (token queues, output FSMs, fireFSM,
+   clock-gated target — [Goldengate.Fame1_rtl]) and the plan's channel
+   pairs become credit-flow links with a configurable host-cycle
+   latency.  The resulting host-level circuit runs under the ordinary
+   RTL simulator on the host clock, which is as close as a simulation
+   substrate gets to what FireAxe flashes onto FPGAs: target-cycle
+   exactness comes out of actual hardware semantics, and host-cycles-
+   per-target-cycle (FMR) is measured, not modeled. *)
+
+open Firrtl
+
+let unit_inst k = Printf.sprintf "u%d" k
+
+(** Flat signal name of [name] from unit [k] inside the host simulation
+    (wrapper instance, then the gated target instance). *)
+let host_signal ~unit name = Printf.sprintf "%s$target$%s" (unit_inst unit) name
+
+(** Builds the host-level circuit for a plan.  [latency] is the link
+    latency in host cycles (uniform across links). *)
+let build ?(latency = 0) (plan : Plan.t) =
+  let pairs = Plan.channel_pairs plan in
+  let seeded = plan.Plan.p_mode = Spec.Fast in
+  let wrappers =
+    Array.map
+      (fun (u : Plan.unit_part) ->
+        let ins =
+          List.filter_map
+            (fun cp ->
+              if cp.Plan.cp_dst_unit = u.Plan.u_index then Some cp.Plan.cp_in else None)
+            pairs
+        in
+        let outs =
+          List.filter_map
+            (fun cp ->
+              if cp.Plan.cp_src_unit = u.Plan.u_index then Some cp.Plan.cp_out else None)
+            pairs
+        in
+        Goldengate.Fame1_rtl.wrap
+          ~name:(Printf.sprintf "host_unit%d" u.Plan.u_index)
+          ~flat:(Lazy.force u.Plan.u_flat) ~ins ~outs ~seeded ())
+      plan.Plan.p_units
+  in
+  let b = Builder.create "host_top" in
+  Array.iteri (fun k (w, _) -> ignore (Builder.inst b (unit_inst k) w.Ast.name)) wrappers;
+  List.iter
+    (fun cp ->
+      let ports =
+        List.map2
+          (fun (sp, w) (dp, _) -> (sp, dp, w))
+          cp.Plan.cp_out.Libdn.Channel.ports cp.Plan.cp_in.Libdn.Channel.ports
+      in
+      Goldengate.Fame1_rtl.link b ~latency
+        ~src:(unit_inst cp.Plan.cp_src_unit, cp.Plan.cp_out.Libdn.Channel.name)
+        ~dst:(unit_inst cp.Plan.cp_dst_unit, cp.Plan.cp_in.Libdn.Channel.name)
+        ~ports)
+    pairs;
+  (* Tie off external target inputs and expose the per-unit target-cycle
+     counters. *)
+  Array.iteri
+    (fun k (w, _) ->
+      List.iter
+        (fun (p : Ast.port) ->
+          let is_ext =
+            String.length p.Ast.pname >= 4 && String.sub p.Ast.pname 0 4 = "ext$"
+          in
+          if p.Ast.pdir = Ast.Input && is_ext then
+            Builder.connect_in b (unit_inst k) p.Ast.pname (Dsl.lit ~width:p.Ast.pwidth 0))
+        w.Ast.ports;
+      Builder.output b (Printf.sprintf "cycles%d" k) 32;
+      Builder.connect b
+        (Printf.sprintf "cycles%d" k)
+        (Builder.of_inst (unit_inst k) "target_cycles"))
+    wrappers;
+  (* One top-level cycle limit for all units. *)
+  let limit = Builder.input b "cycle_limit" 32 in
+  Array.iteri (fun k _ -> Builder.connect_in b (unit_inst k) "cycle_limit" limit) wrappers;
+  let modules =
+    Array.to_list wrappers |> List.concat_map (fun (w, t) -> [ t; w ])
+  in
+  {
+    Ast.cname = plan.Plan.p_original.Ast.cname ^ "$host";
+    main = "host_top";
+    modules = modules @ [ Builder.finish b ];
+  }
+
+type run = {
+  hr_sim : Rtlsim.Sim.t;
+  hr_host_cycles : int;
+  hr_target_cycles : int;
+}
+
+(** Simulates the host circuit until unit 0 completes [target_cycles]
+    (or [pred] holds, when given); returns the simulation for state
+    inspection plus the measured host/target cycle counts. *)
+let run ?(latency = 0) ?(max_host_cycles = 10_000_000) ?pred ~target_cycles plan ~setup =
+  let sim = Rtlsim.Sim.of_circuit (build ~latency plan) in
+  Rtlsim.Sim.set_input sim "cycle_limit" target_cycles;
+  setup sim;
+  let host = ref 0 in
+  let n_units = Array.length plan.Plan.p_units in
+  Rtlsim.Sim.eval_comb sim;
+  let done_ () =
+    (* Every unit must complete the target cycle count: partitions can
+       transiently lag one another by a cycle. *)
+    (let all = ref true in
+     for k = 0 to n_units - 1 do
+       if Rtlsim.Sim.get sim (Printf.sprintf "cycles%d" k) < target_cycles then all := false
+     done;
+     !all)
+    || match pred with Some p -> p sim | None -> false
+  in
+  while (not (done_ ())) && !host < max_host_cycles do
+    Rtlsim.Sim.step sim;
+    Rtlsim.Sim.eval_comb sim;
+    incr host
+  done;
+  if !host >= max_host_cycles then
+    Spec.compile_error "hardware run exceeded %d host cycles" max_host_cycles;
+  { hr_sim = sim; hr_host_cycles = !host; hr_target_cycles = Rtlsim.Sim.get sim "cycles0" }
+
+(** Measured host-cycles-per-target-cycle of the plan's hardware. *)
+let fmr ?(latency = 0) ?(target_cycles = 500) plan =
+  let r = run ~latency ~target_cycles plan ~setup:(fun _ -> ()) in
+  float_of_int r.hr_host_cycles /. float_of_int (max 1 r.hr_target_cycles)

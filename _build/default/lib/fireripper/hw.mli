@@ -1,0 +1,34 @@
+(** Hardware instantiation of a partition plan: every unit wrapped in
+    generated FAME-1 control logic, channel pairs becoming credit-flow
+    links, the whole thing one host-level circuit executed on the host
+    clock — measured FMR instead of modeled. *)
+
+val unit_inst : int -> string
+
+(** Flat signal name of [name] from unit [unit] inside the host
+    simulation. *)
+val host_signal : unit:int -> string -> string
+
+(** Builds the host-level circuit; [latency] is the per-link latency in
+    host cycles. *)
+val build : ?latency:int -> Plan.t -> Firrtl.Ast.circuit
+
+type run = {
+  hr_sim : Rtlsim.Sim.t;
+  hr_host_cycles : int;
+  hr_target_cycles : int;
+}
+
+(** Simulates the host circuit until unit 0 reaches [target_cycles] or
+    [pred] holds; [setup] pokes initial state (program images). *)
+val run :
+  ?latency:int ->
+  ?max_host_cycles:int ->
+  ?pred:(Rtlsim.Sim.t -> bool) ->
+  target_cycles:int ->
+  Plan.t ->
+  setup:(Rtlsim.Sim.t -> unit) ->
+  run
+
+(** Measured host-cycles-per-target-cycle of the plan's hardware. *)
+val fmr : ?latency:int -> ?target_cycles:int -> Plan.t -> float

@@ -1,0 +1,57 @@
+(** Partition plans — the output of FireRipper's compile pipeline: one
+    circuit per unit (unit 0 is the base partition) plus the boundary
+    nets, with the LI-BDN channelization derived per mode. *)
+
+open Firrtl
+
+type unit_part = {
+  u_index : int;
+  u_name : string;
+  u_circuit : Ast.circuit;
+  u_flat : Ast.module_def Lazy.t;
+  u_analysis : Analysis.t Lazy.t;
+}
+
+val make_unit : int -> string -> Ast.circuit -> unit_part
+
+type net = {
+  n_src : int * string;  (** (unit, output port) *)
+  n_dsts : (int * string) list;  (** (unit, input port) fan-out *)
+  n_width : int;
+}
+
+type t = {
+  p_mode : Spec.mode;
+  p_units : unit_part array;
+  p_nets : net list;
+  p_original : Ast.circuit;
+}
+
+type channel_class =
+  | Class_source  (** chain depth 1: no combinational input dependency *)
+  | Class_sink  (** chain depth 2 *)
+  | Class_level of int  (** depth >= 3 (allow_long_chains only) *)
+  | Class_mono  (** fast-mode: one channel per direction *)
+
+type channel_pair = {
+  cp_src_unit : int;
+  cp_dst_unit : int;
+  cp_class : channel_class;
+  cp_out : Libdn.Channel.spec;  (** named ports on the source unit *)
+  cp_in : Libdn.Channel.spec;  (** positionally matching ports on dst *)
+}
+
+(** Cross-partition combinational chain depth per net source; raises on
+    a combinational cycle through the boundary. *)
+val chain_depths : t -> (int * string, int) Hashtbl.t
+
+(** Every directed channel between unit pairs: exact-mode splits ports
+    by chain-depth level (source/sink for depths 1/2, generalized
+    beyond); fast-mode aggregates per direction. *)
+val channel_pairs : t -> channel_pair list
+
+(** Boundary bits per unordered unit pair (the interface-width knob). *)
+val pair_widths : t -> ((int * int) * int) list
+
+val total_boundary_width : t -> int
+val n_units : t -> int

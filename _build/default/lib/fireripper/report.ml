@@ -1,0 +1,60 @@
+(* Quick feedback about a partition plan: the paper emphasizes that
+   FireRipper gives hardware designers fast insight into the partition
+   interface and the expected simulation behaviour before any bitstream
+   (here: before any simulation) is built. *)
+
+open Firrtl
+
+type t = {
+  r_mode : Spec.mode;
+  r_units : (string * int) list;  (** unit name, boundary port count *)
+  r_pair_widths : ((int * int) * int) list;  (** bits between unit pairs *)
+  r_total_width : int;
+  r_max_chain : int;
+  r_crossings_per_cycle : int;
+      (** link crossings (each direction) needed to simulate one cycle *)
+  r_channels : (string * string * int) list;  (** src unit, channel, bits *)
+}
+
+let build (plan : Plan.t) =
+  let chain = Comb_check.analyze plan in
+  let pairs = Plan.channel_pairs plan in
+  {
+    r_mode = plan.Plan.p_mode;
+    r_units =
+      Array.to_list plan.Plan.p_units
+      |> List.map (fun (u : Plan.unit_part) ->
+             ( u.Plan.u_name,
+               List.length (Ast.main_module u.Plan.u_circuit).Ast.ports ));
+    r_pair_widths = Plan.pair_widths plan;
+    r_total_width = Plan.total_boundary_width plan;
+    r_max_chain = chain.Comb_check.max_chain;
+    r_crossings_per_cycle =
+      (match plan.Plan.p_mode with
+      | Spec.Fast -> 1
+      | Spec.Exact -> max 1 chain.Comb_check.max_chain);
+    r_channels =
+      List.map
+        (fun cp ->
+          ( plan.Plan.p_units.(cp.Plan.cp_src_unit).Plan.u_name,
+            cp.Plan.cp_out.Libdn.Channel.name,
+            Libdn.Channel.width cp.Plan.cp_out ))
+        pairs;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "partition plan (%s-mode):@." (Spec.mode_to_string r.r_mode);
+  List.iter
+    (fun (name, ports) -> Fmt.pf ppf "  unit %-16s %d boundary ports@." name ports)
+    r.r_units;
+  List.iter
+    (fun ((a, b), w) -> Fmt.pf ppf "  interface %d<->%d: %d bits@." a b w)
+    r.r_pair_widths;
+  Fmt.pf ppf "  total boundary width: %d bits@." r.r_total_width;
+  Fmt.pf ppf "  max combinational chain: %d@." r.r_max_chain;
+  Fmt.pf ppf "  link crossings per target cycle: %d@." r.r_crossings_per_cycle;
+  List.iter
+    (fun (u, ch, w) -> Fmt.pf ppf "  channel %s.%s: %d bits@." u ch w)
+    r.r_channels
+
+let to_string r = Fmt.str "%a" pp r

@@ -1,0 +1,18 @@
+(** Quick feedback about a partition plan: unit inventory, interface
+    widths, combinational chain lengths and expected link crossings —
+    the fast pre-build insight the paper emphasizes. *)
+
+type t = {
+  r_mode : Spec.mode;
+  r_units : (string * int) list;  (** unit name, boundary port count *)
+  r_pair_widths : ((int * int) * int) list;  (** bits between unit pairs *)
+  r_total_width : int;
+  r_max_chain : int;
+  r_crossings_per_cycle : int;
+      (** link crossings (each direction) needed to simulate one cycle *)
+  r_channels : (string * string * int) list;  (** src unit, channel, bits *)
+}
+
+val build : Plan.t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

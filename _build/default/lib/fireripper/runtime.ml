@@ -1,0 +1,405 @@
+(* Instantiates a partition plan as an executable LI-BDN network.
+
+   Each plan unit becomes one network partition backed by either a plain
+   RTL simulation engine or — when the unit is a pure wrapper around N
+   instances of one module and [fame5] is requested — a FAME-5
+   multithreaded engine sharing one combinational evaluator across N
+   register banks (the optimization of Section VI-B). *)
+
+open Firrtl
+
+type handle = {
+  h_plan : Plan.t;
+  h_net : Libdn.Network.t;
+  h_engines : Libdn.Engine.t array;  (** indexed by plan unit *)
+  h_sims : Rtlsim.Sim.t option array;  (** backing sims of non-FAME-5 units *)
+  h_fame5 : Goldengate.Fame5.t option array;
+}
+
+(* A wrapper is FAME-5 eligible when it contains only instances of a
+   single module, and every statement is a pure feedthrough between a
+   punched port [inst#p] and the matching instance port [inst.p]. *)
+let fame5_eligible (u : Plan.unit_part) =
+  let main = Ast.main_module u.Plan.u_circuit in
+  let insts = Hierarchy.instances main in
+  match insts with
+  | [] | [ _ ] -> None
+  | (_, m0) :: rest when List.for_all (fun (_, m) -> m = m0) rest ->
+    let pure_feedthrough s =
+      match s with
+      | Ast.Connect { dst; src = Ast.Ref r } -> (
+        match (Ast.split_instance_ref dst, Ast.split_instance_ref r) with
+        | Some (i, p), None -> r = i ^ Hierarchy.sep ^ p
+        | None, Some (i, p) -> dst = i ^ Hierarchy.sep ^ p
+        | _ -> false)
+      | _ -> false
+    in
+    let no_local_comps =
+      List.for_all
+        (fun c -> match c with Ast.Inst _ -> true | _ -> false)
+        main.Ast.comps
+    in
+    if no_local_comps && List.for_all pure_feedthrough main.Ast.stmts then
+      Some (List.map fst insts, m0)
+    else None
+  | _ -> None
+
+let zero_token (spec : Libdn.Channel.spec) =
+  Array.make (List.length spec.Libdn.Channel.ports) 0
+
+(* Wires [engines] (one per plan unit, in order) into an LI-BDN
+   network: FAME-1 wrap, channel connections, fast-mode seed tokens. *)
+let build_network (plan : Plan.t) engines =
+  let pairs = Plan.channel_pairs plan in
+  let net = Libdn.Network.create () in
+  (* Partitions are added in unit order so network index = unit index. *)
+  Array.iteri
+    (fun k engine ->
+      let ins =
+        List.filter_map
+          (fun cp -> if cp.Plan.cp_dst_unit = k then Some cp.Plan.cp_in else None)
+          pairs
+      in
+      let outs =
+        List.filter_map
+          (fun cp -> if cp.Plan.cp_src_unit = k then Some cp.Plan.cp_out else None)
+          pairs
+      in
+      let w = Goldengate.Fame1.wrap_engine ~engine ~ins ~outs in
+      let idx =
+        Goldengate.Fame1.add_to_network net ~name:plan.Plan.p_units.(k).Plan.u_name w
+      in
+      assert (idx = k))
+    engines;
+  List.iter
+    (fun cp ->
+      Libdn.Network.connect net
+        ~src:(cp.Plan.cp_src_unit, cp.Plan.cp_out.Libdn.Channel.name)
+        ~dst:(cp.Plan.cp_dst_unit, cp.Plan.cp_in.Libdn.Channel.name);
+      match plan.Plan.p_mode with
+      | Spec.Fast ->
+        Libdn.Network.seed net ~part:cp.Plan.cp_dst_unit
+          ~chan:cp.Plan.cp_in.Libdn.Channel.name (zero_token cp.Plan.cp_in)
+      | Spec.Exact -> ())
+    pairs;
+  net
+
+(** Builds the network.  [fame5] requests multithreading of eligible
+    wrapper units (duplicate-module partitions). *)
+let instantiate ?(fame5 = false) (plan : Plan.t) =
+  let n = Plan.n_units plan in
+  let engines = Array.make n None in
+  let sims = Array.make n None in
+  let fame5s = Array.make n None in
+  Array.iter
+    (fun (u : Plan.unit_part) ->
+      let engine =
+        match if fame5 then fame5_eligible u else None with
+        | Some (insts, tile_module) ->
+          let tile_circuit =
+            { u.Plan.u_circuit with Ast.main = tile_module; cname = tile_module }
+          in
+          let tile_flat = Flatten.flatten (Hierarchy.prune tile_circuit) in
+          let f5 = Goldengate.Fame5.create ~flat:tile_flat ~insts in
+          fame5s.(u.Plan.u_index) <- Some f5;
+          Goldengate.Fame5.engine f5
+        | None ->
+          let sim = Rtlsim.Sim.create (Lazy.force u.Plan.u_flat) in
+          sims.(u.Plan.u_index) <- Some sim;
+          Libdn.Engine.of_sim sim
+      in
+      engines.(u.Plan.u_index) <- Some engine)
+    plan.Plan.p_units;
+  let engines = Array.map Option.get engines in
+  let net = build_network plan engines in
+  { h_plan = plan; h_net = net; h_engines = engines; h_sims = sims; h_fame5 = fame5s }
+
+(** Builds the network with the units in [remote_units] hosted in their
+    own worker PROCESSES (the software analogue of separate FPGAs);
+    everything else stays in-process.  Returns the handle and the live
+    connections, in [remote_units] order — [Libdn.Remote_engine.close]
+    them when done.  Remote units have no local simulator, so [sim_of],
+    [locate] and snapshots skip them; use the connection's poke/peek
+    instead. *)
+let instantiate_remote ~worker ~remote_units (plan : Plan.t) =
+  let n = Plan.n_units plan in
+  let engines = Array.make n None in
+  let sims = Array.make n None in
+  let fame5s = Array.make n None in
+  let conns = ref [] in
+  Array.iter
+    (fun (u : Plan.unit_part) ->
+      let engine =
+        if List.mem u.Plan.u_index remote_units then begin
+          let flat = Lazy.force u.Plan.u_flat in
+          let circuit =
+            { Ast.cname = flat.Ast.name; main = flat.Ast.name; modules = [ flat ] }
+          in
+          let path = Filename.temp_file "fireaxe_unit" ".fir" in
+          Firrtl.Text.save circuit ~path;
+          let conn = Libdn.Remote_engine.spawn ~worker ~fir_path:path in
+          Sys.remove path;
+          conns := (u.Plan.u_index, conn) :: !conns;
+          Libdn.Remote_engine.engine conn
+        end
+        else begin
+          let sim = Rtlsim.Sim.create (Lazy.force u.Plan.u_flat) in
+          sims.(u.Plan.u_index) <- Some sim;
+          Libdn.Engine.of_sim sim
+        end
+      in
+      engines.(u.Plan.u_index) <- Some engine)
+    plan.Plan.p_units;
+  let engines = Array.map Option.get engines in
+  let net = build_network plan engines in
+  ( { h_plan = plan; h_net = net; h_engines = engines; h_sims = sims; h_fame5 = fame5s },
+    List.rev !conns )
+
+let run h ~cycles = Libdn.Network.run h.h_net ~cycles
+
+let run_until h ~max_cycles pred =
+  Libdn.Network.run_until h.h_net ~max_cycles (fun _ -> pred h)
+
+let engine h k = h.h_engines.(k)
+
+let set_drive h k f = Libdn.Network.set_drive h.h_net k f
+
+let cycle h k = Libdn.Network.cycle_of h.h_net k
+
+let token_transfers h = Libdn.Network.token_transfers h.h_net
+
+(** The FAME-5 context of a threaded unit, for per-thread state setup. *)
+let fame5_of h k = h.h_fame5.(k)
+
+(** Captures the entire partitioned simulation (all units' architectural
+    state plus in-flight tokens); the returned thunk rolls it back. *)
+let checkpoint h = Libdn.Network.checkpoint h.h_net
+
+(** The backing RTL simulation of a non-threaded unit — used to load
+    program images into partitioned memories and to inspect state. *)
+let sim_of h k =
+  match h.h_sims.(k) with
+  | Some sim -> sim
+  | None -> invalid_arg "sim_of: unit is FAME-5 threaded; use fame5_of"
+
+(** Which unit ended up holding the (flattened) signal or memory [name],
+    searching all units.  Returns (unit index, name). *)
+let locate h name =
+  let found = ref None in
+  Array.iteri
+    (fun k sim ->
+      match sim with
+      | Some sim when !found = None ->
+        if Hashtbl.mem sim.Rtlsim.Sim.slots name || Hashtbl.mem sim.Rtlsim.Sim.mems name
+        then found := Some k
+      | _ -> ())
+    h.h_sims;
+  match !found with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "locate: %s not found in any unit" name)
+
+(* ------------------------------------------------------------------ *)
+(* Disk snapshots                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Serializes the whole partitioned simulation — every unit's
+   architectural state plus the network's in-flight tokens — as a text
+   blob, so a long run can be snapshotted to disk and resumed in a fresh
+   process (instantiate the same plan, then [restore_from_string]).
+   FAME-5-threaded handles are refused: bank state lives behind the
+   engine abstraction. *)
+let save_to_string h =
+  Array.iteri
+    (fun i f5 ->
+      match f5 with
+      | Some _ ->
+        invalid_arg
+          (Printf.sprintf "save_to_string: unit %d is FAME-5 threaded; snapshot unthreaded"
+             i)
+      | None -> ())
+    h.h_fame5;
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "fireaxe-snapshot 1\n";
+  Buffer.add_string buf (Printf.sprintf "units %d\n" (Array.length h.h_sims));
+  Array.iteri
+    (fun i sim ->
+      match sim with
+      | Some sim ->
+        Buffer.add_string buf (Printf.sprintf "unit %d\n" i);
+        Buffer.add_string buf (Rtlsim.Sim.state_to_string (Rtlsim.Sim.save_state sim));
+        Buffer.add_string buf "endunit\n"
+      | None ->
+        invalid_arg (Printf.sprintf "save_to_string: unit %d has no simulator state" i))
+    h.h_sims;
+  let sn = Libdn.Network.snapshot h.h_net in
+  Buffer.add_string buf
+    (Printf.sprintf "network %d %d\n"
+       (Array.length sn.Libdn.Network.sn_parts)
+       sn.Libdn.Network.sn_transfers);
+  Array.iter
+    (fun (queues, fired, cycle) ->
+      Buffer.add_string buf
+        (Printf.sprintf "part %d %d %d\n" cycle (Array.length queues) (Array.length fired));
+      Array.iter
+        (fun toks ->
+          Buffer.add_string buf (Printf.sprintf "chan %d\n" (List.length toks));
+          List.iter
+            (fun tok ->
+              Buffer.add_string buf (Printf.sprintf "tok %d" (Array.length tok));
+              Array.iter
+                (fun v ->
+                  Buffer.add_char buf ' ';
+                  Buffer.add_string buf (string_of_int v))
+                tok;
+              Buffer.add_char buf '\n')
+            toks)
+        queues;
+      Buffer.add_string buf "fired";
+      Array.iter (fun f -> Buffer.add_string buf (if f then " 1" else " 0")) fired;
+      Buffer.add_char buf '\n')
+    sn.Libdn.Network.sn_parts;
+  Buffer.contents buf
+
+let snapshot_fail fmt =
+  Printf.ksprintf (fun m -> raise (Rtlsim.Sim.Sim_error ("snapshot: " ^ m))) fmt
+
+let restore_from_string h text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+    |> Array.of_list
+  in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length lines then snapshot_fail "truncated snapshot"
+    else begin
+      let l = lines.(!pos) in
+      incr pos;
+      l
+    end
+  in
+  let words l = Rtlsim.Sim.snapshot_words l in
+  let int_of = Rtlsim.Sim.snapshot_int in
+  (match words (next ()) with
+  | [ "fireaxe-snapshot"; "1" ] -> ()
+  | _ -> snapshot_fail "bad header");
+  let n_units =
+    match words (next ()) with
+    | [ "units"; n ] -> int_of n
+    | _ -> snapshot_fail "bad units line"
+  in
+  if n_units <> Array.length h.h_sims then
+    snapshot_fail "snapshot has %d units, handle has %d" n_units (Array.length h.h_sims);
+  for i = 0 to n_units - 1 do
+    (match words (next ()) with
+    | [ "unit"; k ] when int_of k = i -> ()
+    | _ -> snapshot_fail "expected unit %d" i);
+    let body = Buffer.create 4096 in
+    let rec collect () =
+      let l = next () in
+      if String.trim l <> "endunit" then begin
+        Buffer.add_string body l;
+        Buffer.add_char body '\n';
+        collect ()
+      end
+    in
+    collect ();
+    match h.h_sims.(i) with
+    | Some sim ->
+      Rtlsim.Sim.restore_state sim (Rtlsim.Sim.state_of_string (Buffer.contents body))
+    | None -> snapshot_fail "unit %d has no simulator to restore into" i
+  done;
+  let n_parts, transfers =
+    match words (next ()) with
+    | [ "network"; n; t ] -> (int_of n, int_of t)
+    | _ -> snapshot_fail "bad network line"
+  in
+  let parts =
+    Array.init n_parts (fun _ ->
+        let cycle, n_ins, n_outs =
+          match words (next ()) with
+          | [ "part"; c; ni; no ] -> (int_of c, int_of ni, int_of no)
+          | _ -> snapshot_fail "bad part line"
+        in
+        let queues =
+          Array.init n_ins (fun _ ->
+              let n_toks =
+                match words (next ()) with
+                | [ "chan"; n ] -> int_of n
+                | _ -> snapshot_fail "bad chan line"
+              in
+              List.init n_toks (fun _ ->
+                  match words (next ()) with
+                  | "tok" :: len :: values ->
+                    let tok = Array.of_list (List.map int_of values) in
+                    if Array.length tok <> int_of len then
+                      snapshot_fail "token declares %s values, has %d" len
+                        (Array.length tok);
+                    tok
+                  | _ -> snapshot_fail "bad tok line"))
+        in
+        let fired =
+          match words (next ()) with
+          | "fired" :: flags ->
+            let flags = Array.of_list (List.map (fun f -> int_of f <> 0) flags) in
+            if Array.length flags <> n_outs then
+              snapshot_fail "part declares %d outputs, fired line has %d" n_outs
+                (Array.length flags);
+            flags
+          | _ -> snapshot_fail "bad fired line"
+        in
+        (queues, fired, cycle))
+  in
+  Libdn.Network.restore h.h_net
+    { Libdn.Network.sn_parts = parts; sn_transfers = transfers }
+
+(** Writes {!save_to_string} to [path]. *)
+let save h ~path =
+  let oc = open_out path in
+  output_string oc (save_to_string h);
+  close_out oc
+
+(** Restores a snapshot file into a freshly instantiated handle of the
+    same plan. *)
+let load h ~path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  restore_from_string h text
+
+(* ------------------------------------------------------------------ *)
+(* Synthesized assertions                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Assertion wires live inside unit simulators like any other logic;
+   the host polls them across all units (FAME-5 units are skipped: bank
+   state is checked through their own engines). *)
+let assertions h =
+  Array.to_list h.h_sims
+  |> List.concat_map (function
+       | Some sim ->
+         List.map (fun s -> (locate h s, s)) (Rtlsim.Assertions.signals sim)
+       | None -> [])
+
+let assertions_violated h =
+  Array.to_list h.h_sims
+  |> List.concat_map (function
+       | Some sim -> Rtlsim.Assertions.violated sim
+       | None -> [])
+
+(** Runs to [max_cycles] target cycles, polling assertions each cycle:
+    [Ok cycles_run] or [Error (cycle, violated)]. *)
+let run_checked h ~max_cycles =
+  let from = Libdn.Network.cycle_of h.h_net 0 in
+  let rec go cyc =
+    match assertions_violated h with
+    | _ :: _ as bad -> Error (cyc, bad)
+    | [] ->
+      if cyc >= max_cycles then Ok cyc
+      else begin
+        run h ~cycles:(from + cyc + 1);
+        go (cyc + 1)
+      end
+  in
+  go 0

@@ -1,0 +1,79 @@
+(** Instantiates a partition plan as an executable LI-BDN network, with
+    optional FAME-5 threading of duplicate-module wrapper units. *)
+
+type handle = {
+  h_plan : Plan.t;
+  h_net : Libdn.Network.t;
+  h_engines : Libdn.Engine.t array;
+  h_sims : Rtlsim.Sim.t option array;
+  h_fame5 : Goldengate.Fame5.t option array;
+}
+
+(** FAME-5 eligibility of a wrapper unit: only instances of one module,
+    connected by pure punched-port feedthroughs.  Returns the instance
+    names and their module. *)
+val fame5_eligible : Plan.unit_part -> (string list * string) option
+
+(** Builds the network; [fame5] threads eligible wrapper units. *)
+val instantiate : ?fame5:bool -> Plan.t -> handle
+
+(** Builds the network with the listed units hosted in their own worker
+    processes (the software analogue of separate FPGAs), spawned from
+    the [worker] binary.  Returns the live connections in
+    [remote_units] order; close them when done.  Remote units have no
+    local simulator ([sim_of]/[locate]/snapshots skip them) — use the
+    connection's poke/peek instead. *)
+val instantiate_remote :
+  worker:string ->
+  remote_units:int list ->
+  Plan.t ->
+  handle * (int * Libdn.Remote_engine.conn) list
+
+val run : handle -> cycles:int -> unit
+val run_until : handle -> max_cycles:int -> (handle -> bool) -> int
+val engine : handle -> int -> Libdn.Engine.t
+val set_drive : handle -> int -> (Libdn.Engine.t -> int -> unit) -> unit
+val cycle : handle -> int -> int
+val token_transfers : handle -> int
+
+(** The FAME-5 context of a threaded unit, for per-thread state setup. *)
+val fame5_of : handle -> int -> Goldengate.Fame5.t option
+
+(** The backing RTL simulation of a non-threaded unit (program loading,
+    state inspection).  Raises for FAME-5 units. *)
+val sim_of : handle -> int -> Rtlsim.Sim.t
+
+(** Which unit holds the (flattened) signal or memory [name]. *)
+val locate : handle -> string -> int
+
+(** Captures the entire partitioned simulation; the thunk rolls back. *)
+val checkpoint : handle -> unit -> unit
+
+(** Serializes the whole partitioned simulation (unit architectural
+    state + in-flight network tokens) as text, so a long run can be
+    snapshotted to disk and resumed in a fresh process: instantiate the
+    same plan, then {!restore_from_string}.  Refuses FAME-5-threaded
+    handles. *)
+val save_to_string : handle -> string
+
+(** Restores a {!save_to_string} snapshot into a handle instantiated
+    from the same plan.  Raises [Rtlsim.Sim.Sim_error] on malformed or
+    mismatched snapshots. *)
+val restore_from_string : handle -> string -> unit
+
+(** {!save_to_string} / {!restore_from_string} against a file. *)
+val save : handle -> path:string -> unit
+
+val load : handle -> path:string -> unit
+
+(** Synthesized [assert$] wires across all (unthreaded) units, as
+    (unit, flattened name). *)
+val assertions : handle -> (int * string) list
+
+(** Assertion wires currently violated, across all units. *)
+val assertions_violated : handle -> string list
+
+(** Runs up to [max_cycles] further target cycles, polling assertions
+    each cycle: [Ok cycles_run] or [Error (cycle, violated)] at the
+    first violating cycle. *)
+val run_checked : handle -> max_cycles:int -> (int, int * string list) result

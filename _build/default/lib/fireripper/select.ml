@@ -1,0 +1,106 @@
+(* Module selection: resolves a user selection into concrete instance
+   paths per extracted partition.
+
+   NoC-partition-mode (Fig. 4): the user names router-node indices
+   instead of module paths.  Router instances are located through
+   [Noc_router] annotations; the group then absorbs every sibling module
+   that hangs off the selected routers without touching any router
+   outside the group (protocol converters, then the tiles behind them,
+   recursively to a fixpoint). *)
+
+open Firrtl
+open Spec
+
+(** Instance paths of all router-annotated modules, keyed by index. *)
+let router_paths circuit =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun path ->
+      let _, _, of_module = Hierarchy.resolve_path circuit path in
+      let m = Ast.find_module circuit of_module in
+      List.iter
+        (fun a ->
+          match a with
+          | Ast.Noc_router { index } ->
+            if Hashtbl.mem tbl index then
+              compile_error "router index %d appears on more than one instance" index
+            else Hashtbl.replace tbl index path
+          | Ast.Ready_valid _ -> ())
+        m.Ast.annots)
+    (Hierarchy.instance_paths circuit);
+  tbl
+
+let parent_of path = List.rev (List.tl (List.rev path))
+let last_of path = List.hd (List.rev path)
+
+(** Expands one group of router indices into the set of instance paths
+    to extract together. *)
+let expand_router_group circuit routers group =
+  let paths =
+    List.map
+      (fun idx ->
+        match Hashtbl.find_opt routers idx with
+        | Some p -> p
+        | None -> compile_error "no NoC router with index %d" idx)
+      group
+  in
+  let parents = List.sort_uniq compare (List.map parent_of paths) in
+  let parent_path =
+    match parents with
+    | [ p ] -> p
+    | _ -> compile_error "routers of one partition group must share a parent module"
+  in
+  let parent_module =
+    match parent_path with
+    | [] -> Ast.main_module circuit
+    | _ ->
+      let _, _, of_module = Hierarchy.resolve_path circuit parent_path in
+      Ast.find_module circuit of_module
+  in
+  (* Router instances (any index) among the siblings, for the
+     "not connected to any other router" test. *)
+  let all_router_insts =
+    Hashtbl.fold
+      (fun _ path acc -> if parent_of path = parent_path then last_of path :: acc else acc)
+      routers []
+  in
+  let selected_routers = List.map last_of paths in
+  let outside_routers =
+    List.filter (fun r -> not (List.mem r selected_routers)) all_router_insts
+  in
+  let adj = Hierarchy.instance_adjacency parent_module in
+  let neighbours i = Option.value ~default:[] (Hashtbl.find_opt adj i) in
+  let selected = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace selected i ()) selected_routers;
+  (* Absorb to a fixpoint: any sibling touching the selection that does
+     not touch a router outside the group comes along. *)
+  let all_insts = List.map fst (Hierarchy.instances parent_module) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        (* Router nodes are only ever selected explicitly by index. *)
+        if (not (Hashtbl.mem selected i)) && not (List.mem i all_router_insts) then begin
+          let ns = neighbours i in
+          let touches_selection = List.exists (Hashtbl.mem selected) ns in
+          let touches_outside_router =
+            List.exists (fun n -> List.mem n outside_routers) ns
+          in
+          if touches_selection && not touches_outside_router then begin
+            Hashtbl.replace selected i ();
+            changed := true
+          end
+        end)
+      all_insts
+  done;
+  List.filter (fun i -> Hashtbl.mem selected i) all_insts
+  |> List.map (fun i -> parent_path @ [ i ])
+
+(** Resolves a selection to instance-path groups (one per partition). *)
+let resolve circuit selection =
+  match selection with
+  | Instances groups -> List.map (List.map parse_path) groups
+  | Noc_routers groups ->
+    let routers = router_paths circuit in
+    List.map (expand_router_group circuit routers) groups

@@ -1,0 +1,15 @@
+(** Module selection: resolves a user selection into instance paths per
+    partition.  NoC-partition-mode (Fig. 4) locates router instances by
+    their [Noc_router] annotations and absorbs the sibling modules
+    hanging off each selected router group (protocol converters, tiles)
+    to a fixpoint, never crossing a router outside the group. *)
+
+(** Instance paths of all router-annotated modules, keyed by index. *)
+val router_paths : Firrtl.Ast.circuit -> (int, string list) Hashtbl.t
+
+(** Expands one group of router indices into instance paths. *)
+val expand_router_group :
+  Firrtl.Ast.circuit -> (int, string list) Hashtbl.t -> int list -> string list list
+
+(** Resolves a selection to instance-path groups (one per partition). *)
+val resolve : Firrtl.Ast.circuit -> Spec.selection -> string list list list

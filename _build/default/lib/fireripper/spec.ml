@@ -1,0 +1,43 @@
+(* User-facing partitioning specification (Section III of the paper).
+
+   The user picks a partitioning mode (exact vs. fast), and describes
+   which target modules go to which extracted partition.  Module
+   selection is either explicit instance paths (fine-grained control) or
+   NoC-partition-mode: sets of router-node indices, from which FireRipper
+   derives the module groups by walking the circuit (Fig. 4). *)
+
+exception Compile_error of string
+
+let compile_error fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+type mode =
+  | Exact  (** Cycle-exact; combinational boundary chains bounded by 2. *)
+  | Fast
+      (** One token crossing per cycle via seed tokens; requires
+          latency-insensitive boundaries, repaired with skid buffers and
+          valid-gating on annotated ready-valid bundles. *)
+
+let mode_to_string = function
+  | Exact -> "exact"
+  | Fast -> "fast"
+
+type selection =
+  | Instances of string list list
+      (** One extracted partition per inner list of instance paths
+          (paths are "a.b.c" through the module hierarchy). *)
+  | Noc_routers of int list list
+      (** One extracted partition per inner list of router-node
+          indices (NoC-partition-mode). *)
+
+type config = {
+  mode : mode;
+  selection : selection;
+  allow_long_chains : bool;
+      (** Testing/ablation escape hatch: skip the chain-length-2 bound in
+          exact mode (the generic LI-BDN scheduler can still execute such
+          plans, at more link crossings per cycle). *)
+}
+
+let default_config = { mode = Exact; selection = Instances []; allow_long_chains = false }
+
+let parse_path s = String.split_on_char '.' s

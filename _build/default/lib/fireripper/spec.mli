@@ -1,0 +1,39 @@
+(** User-facing partitioning specification (paper Section III): the
+    partitioning mode and the module selection. *)
+
+exception Compile_error of string
+
+(** Raises {!Compile_error} with a formatted message. *)
+val compile_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type mode =
+  | Exact  (** Cycle-exact; combinational boundary chains bounded by 2. *)
+  | Fast
+      (** One token crossing per cycle via seed tokens; requires
+          latency-insensitive boundaries, repaired with skid buffers and
+          valid-gating on annotated ready-valid bundles. *)
+
+val mode_to_string : mode -> string
+
+type selection =
+  | Instances of string list list
+      (** One extracted partition per inner list of dotted instance
+          paths. *)
+  | Noc_routers of int list list
+      (** One extracted partition per inner list of router-node indices
+          (NoC-partition-mode, Fig. 4). *)
+
+type config = {
+  mode : mode;
+  selection : selection;
+  allow_long_chains : bool;
+      (** Escape hatch: lift the exact-mode chain-length-2 bound.  The
+          compiler then channelizes by chain-depth level, which stays
+          deadlock-free for any acyclic depth at the cost of more link
+          crossings per cycle. *)
+}
+
+val default_config : config
+
+(** Splits a dotted instance path ("a.b.c") into components. *)
+val parse_path : string -> string list

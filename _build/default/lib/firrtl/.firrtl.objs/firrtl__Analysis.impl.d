@@ -1,0 +1,1 @@
+lib/firrtl/analysis.ml: Ast Hashtbl List Option

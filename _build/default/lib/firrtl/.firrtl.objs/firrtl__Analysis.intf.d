@@ -1,0 +1,1 @@
+lib/firrtl/analysis.mli: Ast Hashtbl

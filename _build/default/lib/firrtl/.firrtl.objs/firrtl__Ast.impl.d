@@ -1,0 +1,1 @@
+lib/firrtl/ast.ml: Format Hashtbl List Option String

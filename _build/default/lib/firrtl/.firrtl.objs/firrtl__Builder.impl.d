@@ -1,0 +1,1 @@
+lib/firrtl/builder.ml: Ast List Printf

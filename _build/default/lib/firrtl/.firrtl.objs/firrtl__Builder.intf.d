@@ -1,0 +1,1 @@
+lib/firrtl/builder.mli: Ast

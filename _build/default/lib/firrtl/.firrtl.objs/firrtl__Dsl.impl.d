@@ -1,0 +1,1 @@
+lib/firrtl/dsl.ml: Ast List

@@ -1,0 +1,1 @@
+lib/firrtl/flatten.ml: Ast List Option

@@ -1,0 +1,1 @@
+lib/firrtl/hierarchy.ml: Ast Builder Hashtbl List Option

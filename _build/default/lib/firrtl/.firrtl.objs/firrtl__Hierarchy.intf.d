@@ -1,0 +1,1 @@
+lib/firrtl/hierarchy.mli: Ast Hashtbl

@@ -1,0 +1,1 @@
+lib/firrtl/printer.ml: Ast Fmt List

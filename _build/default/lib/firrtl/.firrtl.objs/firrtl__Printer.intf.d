@@ -1,0 +1,1 @@
+lib/firrtl/printer.mli: Ast Format

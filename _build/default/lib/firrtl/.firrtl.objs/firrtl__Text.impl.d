@@ -1,0 +1,1 @@
+lib/firrtl/text.ml: Ast Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/firrtl/text.mli: Ast

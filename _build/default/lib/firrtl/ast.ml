@@ -1,0 +1,370 @@
+(* Structural IR for digital circuits, in the spirit of FIRRTL.
+
+   A circuit is a set of module definitions with a designated main module.
+   Modules contain ports, components (wires, registers, memories, module
+   instances) and statements (connections, register updates, memory
+   writes).  All values are unsigned integers of a fixed bit width between
+   1 and 62, so that every value fits in an OCaml [int] with room to
+   spare.  Arithmetic wraps modulo [2^width]. *)
+
+exception Ir_error of string
+
+let ir_error fmt = Format.kasprintf (fun s -> raise (Ir_error s)) fmt
+
+let max_width = 62
+
+type width = int
+
+type dir =
+  | Input
+  | Output
+
+type port = {
+  pname : string;
+  pdir : dir;
+  pwidth : width;
+}
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop =
+  | Not
+  | Neg
+  | Andr
+  | Orr
+  | Xorr
+
+type expr =
+  | Lit of { value : int; width : width }
+  | Ref of string
+      (** A local name: port, wire, register, or an instance port written
+          as ["inst.port"]. *)
+  | Mux of expr * expr * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Bits of { e : expr; hi : int; lo : int }  (** Bit slice, inclusive. *)
+  | Cat of expr * expr  (** [Cat (hi, lo)]: hi bits above lo bits. *)
+  | Read of { mem : string; addr : expr }
+      (** Asynchronous (combinational) memory read. *)
+
+type component =
+  | Wire of { name : string; width : width }
+  | Reg of { name : string; width : width; init : int }
+  | Mem of { name : string; width : width; depth : int }
+  | Inst of { name : string; of_module : string }
+
+type stmt =
+  | Connect of { dst : string; src : expr }
+      (** [dst] is a wire, an output port, or an instance input port
+          ["inst.port"].  Exactly one connect per destination. *)
+  | Reg_update of { reg : string; next : expr; enable : expr option }
+      (** [reg <= next] each cycle (when [enable] holds, if present). *)
+  | Mem_write of { mem : string; addr : expr; data : expr; enable : expr }
+
+type rv_role =
+  | Rv_source  (** The module drives valid/payload and receives ready. *)
+  | Rv_sink  (** The module receives valid/payload and drives ready. *)
+
+(* Annotations carry micro-architectural intent that the FireRipper
+   compiler exploits: ready-valid bundles at module boundaries (fast-mode
+   backpressure repair) and NoC router identities (NoC-partition-mode). *)
+type annotation =
+  | Ready_valid of {
+      role : rv_role;
+      valid : string;
+      ready : string;
+      payload : string list;
+    }
+  | Noc_router of { index : int }
+
+type module_def = {
+  name : string;
+  ports : port list;
+  comps : component list;
+  stmts : stmt list;
+  annots : annotation list;
+}
+
+type circuit = {
+  cname : string;
+  main : string;
+  modules : module_def list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Basic accessors                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let find_module circuit name =
+  match List.find_opt (fun m -> m.name = name) circuit.modules with
+  | Some m -> m
+  | None -> ir_error "circuit %s: no module named %s" circuit.cname name
+
+let main_module circuit = find_module circuit circuit.main
+
+let find_port m name =
+  match List.find_opt (fun p -> p.pname = name) m.ports with
+  | Some p -> p
+  | None -> ir_error "module %s: no port named %s" m.name name
+
+let input_ports m = List.filter (fun p -> p.pdir = Input) m.ports
+let output_ports m = List.filter (fun p -> p.pdir = Output) m.ports
+
+(** Splits an instance-port reference ["inst.port"] into [Some (inst,
+    port)]; returns [None] for plain local names. *)
+let split_instance_ref name =
+  match String.index_opt name '.' with
+  | None -> None
+  | Some i ->
+    Some (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+
+let instance_ref inst port = inst ^ "." ^ port
+
+(* ------------------------------------------------------------------ *)
+(* Value helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mask width =
+  if width < 1 || width > max_width then
+    ir_error "width %d out of supported range 1..%d" width max_width
+  else (1 lsl width) - 1
+
+let truncate width v = v land mask width
+
+(* ------------------------------------------------------------------ *)
+(* Width inference                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Width environment: resolves a [Ref] or memory name to its width. *)
+type env = {
+  width_of_name : string -> width;
+  width_of_mem : string -> width;
+}
+
+let rec width_of env expr =
+  match expr with
+  | Lit { width; _ } -> width
+  | Ref name -> env.width_of_name name
+  | Mux (_, t, f) -> max (width_of env t) (width_of env f)
+  | Binop (op, a, b) -> (
+    match op with
+    | Eq | Neq | Lt | Le | Gt | Ge -> 1
+    | Add | Sub | Mul | Div | Rem | And | Or | Xor -> max (width_of env a) (width_of env b)
+    | Shl | Shr -> width_of env a)
+  | Unop (op, a) -> (
+    match op with
+    | Not | Neg -> width_of env a
+    | Andr | Orr | Xorr -> 1)
+  | Bits { hi; lo; _ } ->
+    if hi < lo || lo < 0 then ir_error "bad bit slice [%d:%d]" hi lo
+    else hi - lo + 1
+  | Cat (a, b) -> width_of env a + width_of env b
+  | Read { mem; _ } -> env.width_of_mem mem
+
+(** Width environment for names local to a module definition.  Instance
+    ports resolve through [lookup_module]. *)
+let module_env circuit m =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace tbl p.pname p.pwidth) m.ports;
+  let mems = Hashtbl.create 8 in
+  List.iter
+    (fun comp ->
+      match comp with
+      | Wire { name; width } | Reg { name; width; _ } -> Hashtbl.replace tbl name width
+      | Mem { name; width; _ } -> Hashtbl.replace mems name width
+      | Inst _ -> ())
+    m.comps;
+  let insts = Hashtbl.create 8 in
+  List.iter
+    (fun comp ->
+      match comp with
+      | Inst { name; of_module } -> Hashtbl.replace insts name of_module
+      | Wire _ | Reg _ | Mem _ -> ())
+    m.comps;
+  let width_of_name name =
+    match Hashtbl.find_opt tbl name with
+    | Some w -> w
+    | None -> (
+      match split_instance_ref name with
+      | Some (inst, port) -> (
+        match Hashtbl.find_opt insts inst with
+        | Some of_module -> (find_port (find_module circuit of_module) port).pwidth
+        | None -> ir_error "module %s: unknown instance %s" m.name inst)
+      | None -> ir_error "module %s: unknown name %s" m.name name)
+  in
+  let width_of_mem name =
+    match Hashtbl.find_opt mems name with
+    | Some w -> w
+    | None -> ir_error "module %s: unknown memory %s" m.name name
+  in
+  { width_of_name; width_of_mem }
+
+(* ------------------------------------------------------------------ *)
+(* Expression traversal                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** All [Ref] names read by [expr] (memory names excluded; address
+    expressions included). *)
+let rec refs_of_expr expr acc =
+  match expr with
+  | Lit _ -> acc
+  | Ref name -> name :: acc
+  | Mux (c, t, f) -> refs_of_expr c (refs_of_expr t (refs_of_expr f acc))
+  | Binop (_, a, b) | Cat (a, b) -> refs_of_expr a (refs_of_expr b acc)
+  | Unop (_, a) | Bits { e = a; _ } -> refs_of_expr a acc
+  | Read { addr; _ } -> refs_of_expr addr acc
+
+let expr_refs expr = refs_of_expr expr []
+
+let rec map_refs f expr =
+  match expr with
+  | Lit _ -> expr
+  | Ref name -> Ref (f name)
+  | Mux (c, t, fa) -> Mux (map_refs f c, map_refs f t, map_refs f fa)
+  | Binop (op, a, b) -> Binop (op, map_refs f a, map_refs f b)
+  | Unop (op, a) -> Unop (op, map_refs f a)
+  | Bits { e; hi; lo } -> Bits { e = map_refs f e; hi; lo }
+  | Cat (a, b) -> Cat (map_refs f a, map_refs f b)
+  | Read { mem; addr } -> Read { mem; addr = map_refs f addr }
+
+(** Renames both [Ref]s and memory names. *)
+let rec map_names f expr =
+  match expr with
+  | Lit _ -> expr
+  | Ref name -> Ref (f name)
+  | Mux (c, t, fa) -> Mux (map_names f c, map_names f t, map_names f fa)
+  | Binop (op, a, b) -> Binop (op, map_names f a, map_names f b)
+  | Unop (op, a) -> Unop (op, map_names f a)
+  | Bits { e; hi; lo } -> Bits { e = map_names f e; hi; lo }
+  | Cat (a, b) -> Cat (map_names f a, map_names f b)
+  | Read { mem; addr } -> Read { mem = f mem; addr = map_names f addr }
+
+(* ------------------------------------------------------------------ *)
+(* Structural checks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let duplicate_names names =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then true
+      else begin
+        Hashtbl.replace seen n ();
+        false
+      end)
+    names
+
+(** Validates one module: unique names, every wire / output / instance
+    input driven exactly once, every register updated exactly once,
+    widths within range, all references resolvable. *)
+let check_module circuit m =
+  let names =
+    List.map (fun p -> p.pname) m.ports
+    @ List.filter_map
+        (fun c ->
+          match c with
+          | Wire { name; _ } | Reg { name; _ } | Mem { name; _ } | Inst { name; _ } ->
+            Some name)
+        m.comps
+  in
+  (match duplicate_names names with
+  | [] -> ()
+  | d :: _ -> ir_error "module %s: duplicate name %s" m.name d);
+  List.iter
+    (fun p ->
+      if p.pwidth < 1 || p.pwidth > max_width then
+        ir_error "module %s: port %s has bad width %d" m.name p.pname p.pwidth)
+    m.ports;
+  List.iter
+    (fun c ->
+      match c with
+      | Wire { name; width } | Reg { name; width; _ } | Mem { name; width; _ } ->
+        if width < 1 || width > max_width then
+          ir_error "module %s: %s has bad width %d" m.name name width
+      | Inst { of_module; _ } -> ignore (find_module circuit of_module))
+    m.comps;
+  let env = module_env circuit m in
+  (* Every expression must type-check (resolve + have a width). *)
+  let check_expr e = ignore (width_of env e) in
+  List.iter
+    (fun s ->
+      match s with
+      | Connect { dst; src } ->
+        ignore (env.width_of_name dst);
+        check_expr src
+      | Reg_update { reg; next; enable } ->
+        ignore (env.width_of_name reg);
+        check_expr next;
+        Option.iter check_expr enable
+      | Mem_write { mem; addr; data; enable } ->
+        ignore (env.width_of_mem mem);
+        check_expr addr;
+        check_expr data;
+        check_expr enable)
+    m.stmts;
+  (* Drivers: wires, output ports and instance inputs exactly once. *)
+  let driven = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match s with
+      | Connect { dst; _ } ->
+        if Hashtbl.mem driven dst then
+          ir_error "module %s: %s driven more than once" m.name dst
+        else Hashtbl.replace driven dst ()
+      | Reg_update _ | Mem_write _ -> ())
+    m.stmts;
+  let needs_driver dst = Hashtbl.mem driven dst in
+  List.iter
+    (fun p ->
+      if p.pdir = Output && not (needs_driver p.pname) then
+        ir_error "module %s: output port %s is undriven" m.name p.pname)
+    m.ports;
+  List.iter
+    (fun c ->
+      match c with
+      | Wire { name; _ } ->
+        if not (needs_driver name) then
+          ir_error "module %s: wire %s is undriven" m.name name
+      | Inst { name; of_module } ->
+        let sub = find_module circuit of_module in
+        List.iter
+          (fun p ->
+            if p.pdir = Input && not (needs_driver (instance_ref name p.pname)) then
+              ir_error "module %s: instance input %s.%s is undriven" m.name name
+                p.pname)
+          sub.ports
+      | Reg _ | Mem _ -> ())
+    m.comps;
+  let reg_updates = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match s with
+      | Reg_update { reg; _ } ->
+        if Hashtbl.mem reg_updates reg then
+          ir_error "module %s: register %s updated more than once" m.name reg
+        else Hashtbl.replace reg_updates reg ()
+      | Connect _ | Mem_write _ -> ())
+    m.stmts
+
+let check_circuit circuit =
+  (match duplicate_names (List.map (fun m -> m.name) circuit.modules) with
+  | [] -> ()
+  | d :: _ -> ir_error "circuit %s: duplicate module %s" circuit.cname d);
+  ignore (main_module circuit);
+  List.iter (check_module circuit) circuit.modules

@@ -1,0 +1,103 @@
+(* Imperative builder for module definitions.  Generators create a
+   builder, declare ports and components, emit statements, and call
+   [finish] to obtain a checked-for-shape [Ast.module_def]. *)
+
+open Ast
+
+type t = {
+  bname : string;
+  mutable ports : port list;  (* reversed *)
+  mutable comps : component list;  (* reversed *)
+  mutable stmts : stmt list;  (* reversed *)
+  mutable annots : annotation list;  (* reversed *)
+  mutable fresh : int;
+}
+
+let create bname = { bname; ports = []; comps = []; stmts = []; annots = []; fresh = 0 }
+
+let name b = b.bname
+
+let input b pname pwidth =
+  b.ports <- { pname; pdir = Input; pwidth } :: b.ports;
+  Ref pname
+
+(** Declares an output port; drive it later with [connect]. *)
+let output b pname pwidth =
+  b.ports <- { pname; pdir = Output; pwidth } :: b.ports
+
+let wire b name width =
+  b.comps <- Wire { name; width } :: b.comps;
+  Ref name
+
+let reg b ?(init = 0) name width =
+  b.comps <- Reg { name; width; init } :: b.comps;
+  Ref name
+
+let mem b name ~width ~depth =
+  b.comps <- Mem { name; width; depth } :: b.comps;
+  name
+
+let inst b name of_module =
+  b.comps <- Inst { name; of_module } :: b.comps;
+  name
+
+let connect b dst src = b.stmts <- Connect { dst; src } :: b.stmts
+
+(** Connects an instance input port: [connect_in b inst "port" e]. *)
+let connect_in b inst port src =
+  b.stmts <- Connect { dst = instance_ref inst port; src } :: b.stmts
+
+(** Reference to an instance output port. *)
+let of_inst inst port = Ref (instance_ref inst port)
+
+let reg_next b ?enable reg next = b.stmts <- Reg_update { reg; next; enable } :: b.stmts
+
+let mem_write b mem ~addr ~data ~enable =
+  b.stmts <- Mem_write { mem; addr; data; enable } :: b.stmts
+
+let annotate b a = b.annots <- a :: b.annots
+
+(** Declares a fresh intermediate wire driven by [src]; returns a
+    reference to it.  Used to name subexpressions. *)
+(* Synthesized assertion: a conventionally named 1-bit wire, active
+   high on violation.  Flattening preserves the marker in the name, so
+   harnesses (Rtlsim.Assertions, the partition runtime) can find every
+   assertion anywhere in the hierarchy. *)
+let assertion_prefix = "assert$"
+
+let assertion b name violated =
+  let n = assertion_prefix ^ name in
+  ignore (wire b n 1);
+  connect b n violated
+
+(* Synthesized printf: a conventionally named fire wire plus argument
+   wires.  The host side (Rtlsim.Printfs) scans for the markers and
+   logs (cycle, label, args) whenever the fire wire is high. *)
+let printf_prefix = "printf$"
+
+let printf b name ~fire args =
+  let base = printf_prefix ^ name in
+  ignore (wire b (base ^ "$fire") 1);
+  connect b (base ^ "$fire") fire;
+  List.iteri
+    (fun k (arg, width) ->
+      let n = Printf.sprintf "%s$arg%d" base k in
+      ignore (wire b n width);
+      connect b n arg)
+    args
+
+let node b ~width src =
+  let n = Printf.sprintf "_node_%d" b.fresh in
+  b.fresh <- b.fresh + 1;
+  b.comps <- Wire { name = n; width } :: b.comps;
+  b.stmts <- Connect { dst = n; src } :: b.stmts;
+  Ref n
+
+let finish b =
+  {
+    name = b.bname;
+    ports = List.rev b.ports;
+    comps = List.rev b.comps;
+    stmts = List.rev b.stmts;
+    annots = List.rev b.annots;
+  }

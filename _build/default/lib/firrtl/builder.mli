@@ -1,0 +1,60 @@
+(** Imperative builder for module definitions: declare ports and
+    components, emit statements, and call {!finish} to obtain an
+    [Ast.module_def]. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+(** Declares an input port and returns a reference to it. *)
+val input : t -> string -> Ast.width -> Ast.expr
+
+(** Declares an output port; drive it later with {!connect}. *)
+val output : t -> string -> Ast.width -> unit
+
+val wire : t -> string -> Ast.width -> Ast.expr
+val reg : t -> ?init:int -> string -> Ast.width -> Ast.expr
+
+(** Declares a memory; returns its name (read it with [Dsl.read]). *)
+val mem : t -> string -> width:Ast.width -> depth:int -> string
+
+(** Declares an instance; returns its name. *)
+val inst : t -> string -> string -> string
+
+val connect : t -> string -> Ast.expr -> unit
+
+(** Connects an instance input port. *)
+val connect_in : t -> string -> string -> Ast.expr -> unit
+
+(** Reference to an instance output port. *)
+val of_inst : string -> string -> Ast.expr
+
+(** Registers [reg <= next] (guarded by [enable] when given). *)
+val reg_next : t -> ?enable:Ast.expr -> string -> Ast.expr -> unit
+
+val mem_write : t -> string -> addr:Ast.expr -> data:Ast.expr -> enable:Ast.expr -> unit
+val annotate : t -> Ast.annotation -> unit
+
+(** Synthesized assertion (FireSim-style): declares the conventionally
+    named 1-bit wire [assert$<name>], active high on violation; found
+    by harnesses anywhere in the flattened hierarchy. *)
+val assertion : t -> string -> Ast.expr -> unit
+
+(** The [assert$] name marker. *)
+val assertion_prefix : string
+
+(** Synthesized printf (FireSim-style): declares the fire wire
+    [printf$<name>$fire] and one [printf$<name>$arg<k>] wire per
+    (argument, width) pair; the host logs args on cycles where fire is
+    high (see [Rtlsim.Printfs]). *)
+val printf : t -> string -> fire:Ast.expr -> (Ast.expr * Ast.width) list -> unit
+
+(** The [printf$] name marker. *)
+val printf_prefix : string
+
+(** Declares a fresh intermediate wire driven by the expression and
+    returns a reference to it. *)
+val node : t -> width:Ast.width -> Ast.expr -> Ast.expr
+
+val finish : t -> Ast.module_def

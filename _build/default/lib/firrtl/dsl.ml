@@ -1,0 +1,55 @@
+(* Expression combinators for building [Ast.expr] values concisely.
+   Open this module locally (e.g. [Dsl.(a +: b)]) when constructing
+   circuits. *)
+
+open Ast
+
+let lit ~width value =
+  if value < 0 || value > mask width then
+    ir_error "literal %d does not fit in %d bits" value width
+  else Lit { value; width }
+
+let one = Lit { value = 1; width = 1 }
+let zero = Lit { value = 0; width = 1 }
+let ref_ name = Ref name
+
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+let ( %: ) a b = Binop (Rem, a, b)
+let ( &: ) a b = Binop (And, a, b)
+let ( |: ) a b = Binop (Or, a, b)
+let ( ^: ) a b = Binop (Xor, a, b)
+let ( <<: ) a b = Binop (Shl, a, b)
+let ( >>: ) a b = Binop (Shr, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Neq, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( >: ) a b = Binop (Gt, a, b)
+let ( >=: ) a b = Binop (Ge, a, b)
+
+let not_ a = Unop (Not, a)
+let neg a = Unop (Neg, a)
+let andr a = Unop (Andr, a)
+let orr a = Unop (Orr, a)
+let xorr a = Unop (Xorr, a)
+
+let mux c t f = Mux (c, t, f)
+let bits e ~hi ~lo = Bits { e; hi; lo }
+let bit e i = Bits { e; hi = i; lo = i }
+let cat hi lo = Cat (hi, lo)
+let read mem addr = Read { mem; addr }
+
+(** [cat_list [a; b; c]] concatenates with [a] in the most significant
+    position. *)
+let cat_list exprs =
+  match exprs with
+  | [] -> ir_error "cat_list: empty list"
+  | e :: rest -> List.fold_left (fun acc x -> Cat (acc, x)) e rest
+
+(** Chained mux: selects the first expression whose condition holds,
+    falling back to [default]. *)
+let select ~default cases =
+  List.fold_right (fun (cond, value) acc -> Mux (cond, value, acc)) cases default

@@ -1,0 +1,39 @@
+(** Expression combinators for building [Ast.expr] values concisely;
+    open locally, e.g. [Dsl.(a +: b)]. *)
+
+val lit : width:Ast.width -> int -> Ast.expr
+val one : Ast.expr
+val zero : Ast.expr
+val ref_ : string -> Ast.expr
+val ( +: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( -: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( *: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( /: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( %: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( &: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( |: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( ^: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <<: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >>: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( ==: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <>: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <=: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >=: ) : Ast.expr -> Ast.expr -> Ast.expr
+val not_ : Ast.expr -> Ast.expr
+val neg : Ast.expr -> Ast.expr
+val andr : Ast.expr -> Ast.expr
+val orr : Ast.expr -> Ast.expr
+val xorr : Ast.expr -> Ast.expr
+val mux : Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr
+val bits : Ast.expr -> hi:int -> lo:int -> Ast.expr
+val bit : Ast.expr -> int -> Ast.expr
+val cat : Ast.expr -> Ast.expr -> Ast.expr
+val read : string -> Ast.expr -> Ast.expr
+
+(** Concatenates with the first element most significant. *)
+val cat_list : Ast.expr list -> Ast.expr
+
+(** First matching condition wins, else [default]. *)
+val select : default:Ast.expr -> (Ast.expr * Ast.expr) list -> Ast.expr

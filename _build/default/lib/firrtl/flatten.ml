@@ -1,0 +1,78 @@
+(* Hierarchy flattening: inlines every module instance reachable from the
+   main module into one flat module containing only wires, registers and
+   memories.  Instance ports become wires named [path$inst$port]; local
+   names are prefixed by their instance path.  The flat form is what the
+   RTL simulator and the combinational-dependency analysis consume. *)
+
+open Ast
+
+let sep = "$"
+
+(** Flat name of a local name [n] under instance-path prefix [prefix]
+    (either empty or ending in [sep]). *)
+let flat_name prefix n =
+  match split_instance_ref n with
+  | Some (inst, port) -> prefix ^ inst ^ sep ^ port
+  | None -> prefix ^ n
+
+let flatten circuit =
+  check_circuit circuit;
+  let comps = ref [] in
+  let stmts = ref [] in
+  let main = main_module circuit in
+  let rec go prefix m =
+    let rename n = flat_name prefix n in
+    List.iter
+      (fun comp ->
+        match comp with
+        | Wire { name; width } -> comps := Wire { name = prefix ^ name; width } :: !comps
+        | Reg { name; width; init } ->
+          comps := Reg { name = prefix ^ name; width; init } :: !comps
+        | Mem { name; width; depth } ->
+          comps := Mem { name = prefix ^ name; width; depth } :: !comps
+        | Inst { name; of_module } ->
+          let sub = find_module circuit of_module in
+          (* Instance ports become plain wires at the flat level. *)
+          List.iter
+            (fun p ->
+              comps :=
+                Wire { name = prefix ^ name ^ sep ^ p.pname; width = p.pwidth }
+                :: !comps)
+            sub.ports;
+          go (prefix ^ name ^ sep) sub)
+      m.comps;
+    List.iter
+      (fun s ->
+        let s' =
+          match s with
+          | Connect { dst; src } -> Connect { dst = rename dst; src = map_names rename src }
+          | Reg_update { reg; next; enable } ->
+            Reg_update
+              {
+                reg = rename reg;
+                next = map_names rename next;
+                enable = Option.map (map_names rename) enable;
+              }
+          | Mem_write { mem; addr; data; enable } ->
+            Mem_write
+              {
+                mem = rename mem;
+                addr = map_names rename addr;
+                data = map_names rename data;
+                enable = map_names rename enable;
+              }
+        in
+        stmts := s' :: !stmts)
+      m.stmts
+  in
+  go "" main;
+  {
+    name = main.name;
+    ports = main.ports;
+    comps = List.rev !comps;
+    stmts = List.rev !stmts;
+    annots = main.annots;
+  }
+
+(** Wraps a flat (instance-free) module as a single-module circuit. *)
+let to_circuit flat = { cname = flat.name; main = flat.name; modules = [ flat ] }

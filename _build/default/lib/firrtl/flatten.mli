@@ -1,0 +1,16 @@
+(** Hierarchy flattening: inlines every instance reachable from main
+    into one flat module (wires, registers, memories only).  Instance
+    ports become wires named [path$inst$port]. *)
+
+(** The flat-name separator ("$"). *)
+val sep : string
+
+(** Flat name of a local or instance-port name under a prefix. *)
+val flat_name : string -> string -> string
+
+(** Flattens a checked circuit; raises [Ast.Ir_error] on malformed
+    input. *)
+val flatten : Ast.circuit -> Ast.module_def
+
+(** Wraps a flat module as a single-module circuit. *)
+val to_circuit : Ast.module_def -> Ast.circuit

@@ -1,0 +1,616 @@
+(* Module-hierarchy queries and surgery.
+
+   These are the mechanical transforms FireRipper (the FireAxe
+   partitioning compiler) is built from, mirroring Fig. 5 of the paper:
+
+   - [promote_path]  (Reparent): hoists an instance up the hierarchy one
+     level at a time, punching ports through enclosing modules, until it
+     is a direct child of the main module.
+   - [group_in_main] (Grouping): wraps a set of direct-child instances of
+     main in a fresh wrapper module, keeping selected-to-selected
+     connections internal to the wrapper.
+   - [split_at_wrapper] (Extract / Remove): cuts a wrapper instance out of
+     main, producing the partition circuit (wrapper as new main) and the
+     rest circuit (main with the wrapper's ports punched to the top). *)
+
+open Ast
+
+let sep = "#"
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let instances m =
+  List.filter_map
+    (fun c ->
+      match c with
+      | Inst { name; of_module } -> Some (name, of_module)
+      | Wire _ | Reg _ | Mem _ -> None)
+    m.comps
+
+(** Number of times each module is instantiated, counting hierarchy
+    reachable from main (an instance inside a doubly-instantiated parent
+    counts twice). *)
+let instantiation_counts circuit =
+  let counts = Hashtbl.create 16 in
+  let bump name n =
+    Hashtbl.replace counts name (n + Option.value ~default:0 (Hashtbl.find_opt counts name))
+  in
+  let rec go mult m =
+    List.iter
+      (fun (_, of_module) ->
+        bump of_module mult;
+        go mult (find_module circuit of_module))
+      (instances m)
+  in
+  bump circuit.main 1;
+  go 1 (main_module circuit);
+  counts
+
+(** All instance paths (lists of instance names from main). *)
+let instance_paths circuit =
+  let acc = ref [] in
+  let rec go prefix m =
+    List.iter
+      (fun (name, of_module) ->
+        let path = prefix @ [ name ] in
+        acc := path :: !acc;
+        go path (find_module circuit of_module))
+      (instances m)
+  in
+  go [] (main_module circuit);
+  List.rev !acc
+
+(** Module defining the instance at [path], and the instance's module. *)
+let resolve_path circuit path =
+  let rec go m path =
+    match path with
+    | [] -> ir_error "resolve_path: empty path"
+    | [ last ] -> (
+      match List.assoc_opt last (instances m) with
+      | Some of_module -> (m, last, of_module)
+      | None -> ir_error "module %s has no instance %s" m.name last)
+    | inst :: rest -> (
+      match List.assoc_opt inst (instances m) with
+      | Some of_module -> go (find_module circuit of_module) rest
+      | None -> ir_error "module %s has no instance %s" m.name inst)
+  in
+  go (main_module circuit) path
+
+let replace_module circuit m' =
+  {
+    circuit with
+    modules = List.map (fun m -> if m.name = m'.name then m' else m) circuit.modules;
+  }
+
+let add_module circuit m =
+  if List.exists (fun x -> x.name = m.name) circuit.modules then
+    ir_error "circuit %s already has module %s" circuit.cname m.name
+  else { circuit with modules = circuit.modules @ [ m ] }
+
+(** Drops module definitions not reachable from main. *)
+let prune circuit =
+  let keep = Hashtbl.create 16 in
+  let rec go name =
+    if not (Hashtbl.mem keep name) then begin
+      Hashtbl.replace keep name ();
+      List.iter (fun (_, of_module) -> go of_module) (instances (find_module circuit name))
+    end
+  in
+  go circuit.main;
+  { circuit with modules = List.filter (fun m -> Hashtbl.mem keep m.name) circuit.modules }
+
+(* ------------------------------------------------------------------ *)
+(* Sibling-instance adjacency (used by NoC-partition-mode)             *)
+(* ------------------------------------------------------------------ *)
+
+(** Within one module, which sibling instances feed each connect
+    destination, seeing through chains of plain wires. *)
+let instance_adjacency m =
+  let wire_driver = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match s with
+      | Connect { dst; src } when split_instance_ref dst = None ->
+        Hashtbl.replace wire_driver dst src
+      | Connect _ | Reg_update _ | Mem_write _ -> ())
+    m.stmts;
+  let memo = Hashtbl.create 64 in
+  (* Instances transitively feeding [name] through combinational wires. *)
+  let rec sources_of_name visiting name =
+    match split_instance_ref name with
+    | Some (inst, _) -> [ inst ]
+    | None -> (
+      match Hashtbl.find_opt memo name with
+      | Some srcs -> srcs
+      | None ->
+        if List.mem name visiting then []
+        else
+          let srcs =
+            match Hashtbl.find_opt wire_driver name with
+            | None -> []
+            | Some e ->
+              List.concat_map (sources_of_name (name :: visiting)) (expr_refs e)
+          in
+          Hashtbl.replace memo name srcs;
+          srcs)
+  in
+  let adj = Hashtbl.create 16 in
+  let add a b =
+    if a <> b then begin
+      let cur = Option.value ~default:[] (Hashtbl.find_opt adj a) in
+      if not (List.mem b cur) then Hashtbl.replace adj a (b :: cur)
+    end
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Connect { dst; src } -> (
+        match split_instance_ref dst with
+        | Some (dst_inst, _) ->
+          let srcs = List.concat_map (sources_of_name []) (expr_refs src) in
+          List.iter
+            (fun src_inst ->
+              add dst_inst src_inst;
+              add src_inst dst_inst)
+            srcs
+        | None -> ())
+      | Reg_update _ | Mem_write _ -> ())
+    m.stmts;
+  adj
+
+(* ------------------------------------------------------------------ *)
+(* Reparent (promote an instance to the top of the hierarchy)          *)
+(* ------------------------------------------------------------------ *)
+
+let assert_fresh m name =
+  let taken =
+    List.map (fun p -> p.pname) m.ports
+    @ List.filter_map
+        (fun c ->
+          match c with
+          | Wire { name; _ } | Reg { name; _ } | Mem { name; _ } | Inst { name; _ } ->
+            Some name)
+        m.comps
+  in
+  if List.mem name taken then
+    ir_error "module %s: generated name %s collides with an existing name" m.name name
+
+(** Hoists the instance at [path] one level: it leaves its defining
+    module [t] (which gets punched ports in its place) and reappears as
+    a sibling of [t]'s instance in [t]'s parent.  [t] must be
+    instantiated exactly once.  Returns the updated circuit and the
+    hoisted instance's new path. *)
+let promote_one circuit path =
+  match List.rev path with
+  | [] -> ir_error "promote_one: empty path"
+  | [ _ ] -> (circuit, path) (* already a direct child of main *)
+  | inst :: parent_rev ->
+    let parent_path = List.rev parent_rev in
+    let t_parent, t_inst_name, t_module_name = resolve_path circuit parent_path in
+    let t = find_module circuit t_module_name in
+    let counts = instantiation_counts circuit in
+    (match Hashtbl.find_opt counts t_module_name with
+    | Some 1 -> ()
+    | Some n ->
+      ir_error
+        "cannot promote %s out of module %s: %s is instantiated %d times (paths to \
+         partitioned instances must be unique)"
+        inst t_module_name t_module_name n
+    | None -> ir_error "module %s unreachable from main" t_module_name);
+    let of_module =
+      match List.assoc_opt inst (instances t) with
+      | Some m -> m
+      | None -> ir_error "module %s has no instance %s" t.name inst
+    in
+    let sub = find_module circuit of_module in
+    let punched p = inst ^ sep ^ p in
+    List.iter (fun p -> assert_fresh t (punched p.pname)) sub.ports;
+    (* New version of t: instance removed, ports punched. *)
+    let rename_out n =
+      match split_instance_ref n with
+      | Some (i, q) when i = inst -> punched q
+      | Some _ | None -> n
+    in
+    let t' =
+      {
+        t with
+        ports =
+          t.ports
+          @ List.map
+              (fun p ->
+                (* Directions flip: the sub's inputs become outputs of t
+                   (t forwards the driving values up), and vice versa. *)
+                {
+                  pname = punched p.pname;
+                  pdir = (match p.pdir with Input -> Output | Output -> Input);
+                  pwidth = p.pwidth;
+                })
+              sub.ports;
+        comps =
+          List.filter
+            (fun c ->
+              match c with
+              | Inst { name; _ } -> name <> inst
+              | Wire _ | Reg _ | Mem _ -> true)
+            t.comps;
+        stmts =
+          List.map
+            (fun s ->
+              match s with
+              | Connect { dst; src } ->
+                Connect { dst = rename_out dst; src = map_refs rename_out src }
+              | Reg_update { reg; next; enable } ->
+                Reg_update
+                  {
+                    reg;
+                    next = map_refs rename_out next;
+                    enable = Option.map (map_refs rename_out) enable;
+                  }
+              | Mem_write { mem; addr; data; enable } ->
+                Mem_write
+                  {
+                    mem;
+                    addr = map_refs rename_out addr;
+                    data = map_refs rename_out data;
+                    enable = map_refs rename_out enable;
+                  })
+            t.stmts;
+      }
+    in
+    (* New version of t's parent: instantiate sub directly, bridge wires. *)
+    let new_inst = t_inst_name ^ sep ^ inst in
+    assert_fresh t_parent new_inst;
+    let bridges =
+      List.map
+        (fun p ->
+          match p.pdir with
+          | Input ->
+            Connect
+              {
+                dst = instance_ref new_inst p.pname;
+                src = Ref (instance_ref t_inst_name (punched p.pname));
+              }
+          | Output ->
+            Connect
+              {
+                dst = instance_ref t_inst_name (punched p.pname);
+                src = Ref (instance_ref new_inst p.pname);
+              })
+        sub.ports
+    in
+    let parent' =
+      {
+        t_parent with
+        comps = t_parent.comps @ [ Inst { name = new_inst; of_module } ];
+        stmts = t_parent.stmts @ bridges;
+      }
+    in
+    let circuit = replace_module (replace_module circuit t') parent' in
+    (* The hoisted instance now lives in t's parent, i.e. one level above
+       [parent_path]. *)
+    let grandparent_path = List.rev (List.tl (List.rev parent_path)) in
+    (circuit, grandparent_path @ [ new_inst ])
+
+(** Promotes the instance at [path] until it is a direct child of main;
+    returns the circuit and the final instance name. *)
+let promote_path circuit path =
+  let rec go circuit path =
+    match path with
+    | [ top ] -> (circuit, top)
+    | _ ->
+      let circuit, path' = promote_one circuit path in
+      go circuit path'
+  in
+  go circuit path
+
+(* ------------------------------------------------------------------ *)
+(* Grouping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type grouped = {
+  g_circuit : circuit;
+  g_wrapper_module : string;
+  g_wrapper_inst : string;
+}
+
+(** Wraps the direct-child instances [insts] of main into a fresh module
+    named [wrapper], instantiated in main under the same name.
+    Connections among selected instances stay inside the wrapper; every
+    other selected-instance port is punched through the wrapper as
+    [inst$port]. *)
+let group_in_main circuit ~insts ~wrapper =
+  let main = main_module circuit in
+  let selected = insts in
+  let is_selected i = List.mem i selected in
+  let inst_defs =
+    List.map
+      (fun i ->
+        match List.assoc_opt i (instances main) with
+        | Some of_module -> (i, of_module)
+        | None -> ir_error "group_in_main: main has no instance %s" i)
+      selected
+  in
+  let sub_ports i =
+    let of_module = List.assoc i inst_defs in
+    (find_module circuit of_module).ports
+  in
+  (* Is [e] exactly a reference to a selected instance's output? *)
+  let selected_source e =
+    match e with
+    | Ref n -> (
+      match split_instance_ref n with
+      | Some (i, q) when is_selected i -> Some (i, q)
+      | Some _ | None -> None)
+    | _ -> None
+  in
+  (* Partition main's statements. *)
+  let internal = ref [] (* moved into the wrapper *) in
+  let boundary_in = ref [] (* (inst, port, driver expr) *) in
+  let kept = ref [] in
+  List.iter
+    (fun s ->
+      match s with
+      | Connect { dst; src } -> (
+        match split_instance_ref dst with
+        | Some (i, p) when is_selected i -> (
+          match selected_source src with
+          | Some _ -> internal := Connect { dst; src } :: !internal
+          | None -> boundary_in := (i, p, src) :: !boundary_in)
+        | Some _ | None -> kept := s :: !kept)
+      | Reg_update _ | Mem_write _ -> kept := s :: !kept)
+    main.stmts;
+  let internal = List.rev !internal in
+  let boundary_in = List.rev !boundary_in in
+  let kept = List.rev !kept in
+  (* Outputs of selected instances used by the kept statements (or by the
+     boundary input drivers, which also stay in main). *)
+  let used_outputs = Hashtbl.create 16 in
+  let note_refs e =
+    List.iter
+      (fun n ->
+        match split_instance_ref n with
+        | Some (i, q) when is_selected i -> Hashtbl.replace used_outputs (i, q) ()
+        | Some _ | None -> ())
+      (expr_refs e)
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Connect { src; _ } -> note_refs src
+      | Reg_update { next; enable; _ } ->
+        note_refs next;
+        Option.iter note_refs enable
+      | Mem_write { addr; data; enable; _ } ->
+        note_refs addr;
+        note_refs data;
+        note_refs enable)
+    kept;
+  List.iter (fun (_, _, e) -> note_refs e) boundary_in;
+  let punched i p = i ^ sep ^ p in
+  (* Wrapper module. *)
+  let w_ports = ref [] in
+  let w_stmts = ref (List.rev internal) in
+  List.iter
+    (fun (i, p, _) ->
+      let width = (List.find (fun q -> q.pname = p) (sub_ports i)).pwidth in
+      w_ports := { pname = punched i p; pdir = Input; pwidth = width } :: !w_ports;
+      w_stmts := Connect { dst = instance_ref i p; src = Ref (punched i p) } :: !w_stmts)
+    boundary_in;
+  Hashtbl.iter
+    (fun (i, q) () ->
+      let width = (List.find (fun x -> x.pname = q) (sub_ports i)).pwidth in
+      w_ports := { pname = punched i q; pdir = Output; pwidth = width } :: !w_ports;
+      w_stmts := Connect { dst = punched i q; src = Ref (instance_ref i q) } :: !w_stmts)
+    used_outputs;
+  (* Propagate ready-valid annotations from the selected modules onto the
+     wrapper's punched ports so fast-mode can repair the boundary.  Only
+     bundles whose valid/ready both cross the boundary are kept. *)
+  let w_port_names = List.map (fun p -> p.pname) !w_ports in
+  let w_annots =
+    List.concat_map
+      (fun (i, of_module) ->
+        let sub = find_module circuit of_module in
+        List.filter_map
+          (fun a ->
+            match a with
+            | Ready_valid { role; valid; ready; payload } ->
+              let v = punched i valid and r = punched i ready in
+              let pay = List.map (punched i) payload in
+              if
+                List.mem v w_port_names && List.mem r w_port_names
+                && List.for_all (fun p -> List.mem p w_port_names) pay
+              then Some (Ready_valid { role; valid = v; ready = r; payload = pay })
+              else None
+            | Noc_router _ -> None)
+          sub.annots)
+      inst_defs
+  in
+  let wrapper_module =
+    {
+      name = wrapper;
+      ports = List.rev !w_ports;
+      comps = List.map (fun (i, of_module) -> Inst { name = i; of_module }) inst_defs;
+      stmts = List.rev !w_stmts;
+      annots = w_annots;
+    }
+  in
+  (* New main: selected instances replaced by the wrapper. *)
+  let rename_use n =
+    match split_instance_ref n with
+    | Some (i, q) when is_selected i -> instance_ref wrapper (punched i q)
+    | Some _ | None -> n
+  in
+  let kept' =
+    List.map
+      (fun s ->
+        match s with
+        | Connect { dst; src } -> Connect { dst; src = map_refs rename_use src }
+        | Reg_update { reg; next; enable } ->
+          Reg_update
+            {
+              reg;
+              next = map_refs rename_use next;
+              enable = Option.map (map_refs rename_use) enable;
+            }
+        | Mem_write { mem; addr; data; enable } ->
+          Mem_write
+            {
+              mem;
+              addr = map_refs rename_use addr;
+              data = map_refs rename_use data;
+              enable = map_refs rename_use enable;
+            })
+      kept
+  in
+  let boundary_in' =
+    List.map
+      (fun (i, p, e) ->
+        Connect
+          { dst = instance_ref wrapper (punched i p); src = map_refs rename_use e })
+      boundary_in
+  in
+  let main' =
+    {
+      main with
+      comps =
+        List.filter
+          (fun c ->
+            match c with
+            | Inst { name; _ } -> not (is_selected name)
+            | Wire _ | Reg _ | Mem _ -> true)
+          main.comps
+        @ [ Inst { name = wrapper; of_module = wrapper } ];
+      stmts = kept' @ boundary_in';
+    }
+  in
+  let circuit = add_module (replace_module circuit main') wrapper_module in
+  { g_circuit = circuit; g_wrapper_module = wrapper; g_wrapper_inst = wrapper }
+
+(* ------------------------------------------------------------------ *)
+(* Extract / Remove                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type boundary_port = {
+  bp_name : string;
+  bp_width : int;
+  bp_dir : dir;  (** Direction from the partition (wrapper) perspective. *)
+}
+
+type split = {
+  sp_partition : circuit;  (** The wrapper as its own circuit. *)
+  sp_rest : circuit;  (** Main with the wrapper's ports punched out. *)
+  sp_boundary : boundary_port list;
+}
+
+(** Cuts the wrapper instance [wrapper_inst] (a direct child of main) out
+    of the circuit.  The partition circuit's main is the wrapper module;
+    the rest circuit's main gains the wrapper's ports (flipped). *)
+let split_at_wrapper circuit ~wrapper_inst =
+  let main = main_module circuit in
+  let of_module =
+    match List.assoc_opt wrapper_inst (instances main) with
+    | Some m -> m
+    | None -> ir_error "split_at_wrapper: main has no instance %s" wrapper_inst
+  in
+  let w = find_module circuit of_module in
+  let boundary =
+    List.map (fun p -> { bp_name = p.pname; bp_width = p.pwidth; bp_dir = p.pdir }) w.ports
+  in
+  let partition = prune { circuit with cname = circuit.cname ^ sep ^ of_module; main = of_module } in
+  (* The rest: wrapper input ports become outputs of main and vice versa. *)
+  List.iter (fun p -> assert_fresh main p.pname) w.ports;
+  let rename n =
+    match split_instance_ref n with
+    | Some (i, q) when i = wrapper_inst -> q
+    | Some _ | None -> n
+  in
+  let rest_main =
+    {
+      main with
+      ports =
+        main.ports
+        @ List.map
+            (fun p ->
+              {
+                pname = p.pname;
+                pdir = (match p.pdir with Input -> Output | Output -> Input);
+                pwidth = p.pwidth;
+              })
+            w.ports;
+      comps =
+        List.filter
+          (fun c ->
+            match c with
+            | Inst { name; _ } -> name <> wrapper_inst
+            | Wire _ | Reg _ | Mem _ -> true)
+          main.comps;
+      stmts =
+        List.map
+          (fun s ->
+            match s with
+            | Connect { dst; src } ->
+              Connect { dst = rename dst; src = map_refs rename src }
+            | Reg_update { reg; next; enable } ->
+              Reg_update
+                {
+                  reg;
+                  next = map_refs rename next;
+                  enable = Option.map (map_refs rename) enable;
+                }
+            | Mem_write { mem; addr; data; enable } ->
+              Mem_write
+                {
+                  mem;
+                  addr = map_refs rename addr;
+                  data = map_refs rename data;
+                  enable = map_refs rename enable;
+                })
+          main.stmts;
+    }
+  in
+  let rest = prune (replace_module { circuit with cname = circuit.cname ^ sep ^ "rest" } rest_main) in
+  { sp_partition = partition; sp_rest = rest; sp_boundary = boundary }
+
+(** Stitches a split back into a single circuit by instantiating both
+    sides under a new top and wiring the boundary ports together.  The
+    result must behave identically to the pre-split circuit; used to
+    validate the partitioning transforms. *)
+let recombine split =
+  let part_main = main_module split.sp_partition in
+  let rest_main = main_module split.sp_rest in
+  let b = Builder.create (rest_main.name ^ sep ^ "recombined") in
+  (* The rest keeps the original external ports: everything that is not a
+     boundary port. *)
+  let boundary_names = List.map (fun bp -> bp.bp_name) split.sp_boundary in
+  let is_boundary n = List.mem n boundary_names in
+  let p_inst = Builder.inst b "part" part_main.name in
+  let r_inst = Builder.inst b "rest" rest_main.name in
+  List.iter
+    (fun (p : port) ->
+      if not (is_boundary p.pname) then
+        match p.pdir with
+        | Input ->
+          let x = Builder.input b p.pname p.pwidth in
+          Builder.connect_in b r_inst p.pname x
+        | Output ->
+          Builder.output b p.pname p.pwidth;
+          Builder.connect b p.pname (Builder.of_inst r_inst p.pname))
+    rest_main.ports;
+  List.iter
+    (fun bp ->
+      match bp.bp_dir with
+      | Input ->
+        (* Into the partition, out of the rest. *)
+        Builder.connect_in b p_inst bp.bp_name (Builder.of_inst r_inst bp.bp_name)
+      | Output -> Builder.connect_in b r_inst bp.bp_name (Builder.of_inst p_inst bp.bp_name))
+    split.sp_boundary;
+  let top = Builder.finish b in
+  let modules =
+    split.sp_rest.modules
+    @ List.filter
+        (fun m -> not (List.exists (fun m' -> m'.name = m.name) split.sp_rest.modules))
+        split.sp_partition.modules
+  in
+  { cname = top.name; main = top.name; modules = modules @ [ top ] }

@@ -1,0 +1,70 @@
+(** Module-hierarchy queries and surgery — the mechanical transforms
+    FireRipper is built from (paper Fig. 5): promote (Reparent), group,
+    and split (Extract / Remove), plus recombination for validating the
+    cuts. *)
+
+(** The punched-port / promoted-instance separator ("#"). *)
+val sep : string
+
+val instances : Ast.module_def -> (string * string) list
+
+(** Instantiation counts reachable from main (nested multiplicities
+    multiply). *)
+val instantiation_counts : Ast.circuit -> (string, int) Hashtbl.t
+
+val instance_paths : Ast.circuit -> string list list
+
+(** (defining module, instance name, instance's module) at [path]. *)
+val resolve_path : Ast.circuit -> string list -> Ast.module_def * string * string
+
+val replace_module : Ast.circuit -> Ast.module_def -> Ast.circuit
+val add_module : Ast.circuit -> Ast.module_def -> Ast.circuit
+
+(** Drops module definitions unreachable from main. *)
+val prune : Ast.circuit -> Ast.circuit
+
+(** Sibling-instance adjacency within a module, seeing through wires
+    (used by NoC-partition-mode). *)
+val instance_adjacency : Ast.module_def -> (string, string list) Hashtbl.t
+
+val assert_fresh : Ast.module_def -> string -> unit
+
+(** Hoists the instance at [path] one level; the path to the hoisted
+    instance is returned.  Modules along the path must be uniquely
+    instantiated. *)
+val promote_one : Ast.circuit -> string list -> Ast.circuit * string list
+
+(** Promotes until the instance is a direct child of main; returns its
+    final instance name. *)
+val promote_path : Ast.circuit -> string list -> Ast.circuit * string
+
+type grouped = {
+  g_circuit : Ast.circuit;
+  g_wrapper_module : string;
+  g_wrapper_inst : string;
+}
+
+(** Wraps direct-child instances of main in a fresh wrapper module;
+    selected-to-selected connections stay internal, everything else is
+    punched as [inst#port]. *)
+val group_in_main : Ast.circuit -> insts:string list -> wrapper:string -> grouped
+
+type boundary_port = {
+  bp_name : string;
+  bp_width : int;
+  bp_dir : Ast.dir;  (** from the partition (wrapper) perspective *)
+}
+
+type split = {
+  sp_partition : Ast.circuit;
+  sp_rest : Ast.circuit;
+  sp_boundary : boundary_port list;
+}
+
+(** Cuts a wrapper instance out of main: the wrapper becomes its own
+    circuit, the rest gains the wrapper's ports flipped. *)
+val split_at_wrapper : Ast.circuit -> wrapper_inst:string -> split
+
+(** Stitches a split back together; must behave identically to the
+    pre-split circuit (used to validate the transforms). *)
+val recombine : split -> Ast.circuit

@@ -1,0 +1,110 @@
+(* Human-readable pretty-printer for circuits, used by diagnostics and
+   the CLI's describe command. *)
+
+open Ast
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let unop_symbol = function
+  | Not -> "~"
+  | Neg -> "-"
+  | Andr -> "andr"
+  | Orr -> "orr"
+  | Xorr -> "xorr"
+
+let rec pp_expr ppf expr =
+  match expr with
+  | Lit { value; width } -> Fmt.pf ppf "%d'd%d" width value
+  | Ref name -> Fmt.string ppf name
+  | Mux (c, t, f) -> Fmt.pf ppf "mux(%a, %a, %a)" pp_expr c pp_expr t pp_expr f
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Unop (op, a) -> Fmt.pf ppf "%s(%a)" (unop_symbol op) pp_expr a
+  | Bits { e; hi; lo } -> Fmt.pf ppf "%a[%d:%d]" pp_expr e hi lo
+  | Cat (a, b) -> Fmt.pf ppf "cat(%a, %a)" pp_expr a pp_expr b
+  | Read { mem; addr } -> Fmt.pf ppf "%s[%a]" mem pp_expr addr
+
+let pp_port ppf p =
+  Fmt.pf ppf "%s %s : UInt<%d>"
+    (match p.pdir with Input -> "input" | Output -> "output")
+    p.pname p.pwidth
+
+let pp_component ppf c =
+  match c with
+  | Wire { name; width } -> Fmt.pf ppf "wire %s : UInt<%d>" name width
+  | Reg { name; width; init } -> Fmt.pf ppf "reg %s : UInt<%d> init %d" name width init
+  | Mem { name; width; depth } -> Fmt.pf ppf "mem %s : UInt<%d>[%d]" name width depth
+  | Inst { name; of_module } -> Fmt.pf ppf "inst %s of %s" name of_module
+
+let pp_stmt ppf s =
+  match s with
+  | Connect { dst; src } -> Fmt.pf ppf "%s <= %a" dst pp_expr src
+  | Reg_update { reg; next; enable } -> (
+    match enable with
+    | None -> Fmt.pf ppf "%s <=r %a" reg pp_expr next
+    | Some e -> Fmt.pf ppf "%s <=r %a when %a" reg pp_expr next pp_expr e)
+  | Mem_write { mem; addr; data; enable } ->
+    Fmt.pf ppf "%s[%a] <=w %a when %a" mem pp_expr addr pp_expr data pp_expr enable
+
+let pp_annotation ppf a =
+  match a with
+  | Ready_valid { role; valid; ready; payload } ->
+    Fmt.pf ppf "ready_valid %s valid=%s ready=%s payload=[%a]"
+      (match role with Rv_source -> "source" | Rv_sink -> "sink")
+      valid ready
+      Fmt.(list ~sep:comma string)
+      payload
+  | Noc_router { index } -> Fmt.pf ppf "noc_router %d" index
+
+let pp_module ppf m =
+  Fmt.pf ppf "@[<v 2>module %s:@,%a@,%a@,%a@,%a@]" m.name
+    Fmt.(list ~sep:cut pp_port)
+    m.ports
+    Fmt.(list ~sep:cut pp_component)
+    m.comps
+    Fmt.(list ~sep:cut pp_stmt)
+    m.stmts
+    Fmt.(list ~sep:cut pp_annotation)
+    m.annots
+
+let pp_circuit ppf c =
+  Fmt.pf ppf "@[<v 2>circuit %s (main %s):@,%a@]" c.cname c.main
+    Fmt.(list ~sep:cut pp_module)
+    c.modules
+
+let circuit_to_string c = Fmt.str "%a" pp_circuit c
+
+(** One-line summary used for quick feedback: module count, component
+    counts, port widths of main. *)
+let summary c =
+  let n_modules = List.length c.modules in
+  let wires, regs, mems, insts =
+    List.fold_left
+      (fun (w, r, m, i) md ->
+        List.fold_left
+          (fun (w, r, m, i) comp ->
+            match comp with
+            | Wire _ -> (w + 1, r, m, i)
+            | Reg _ -> (w, r + 1, m, i)
+            | Mem _ -> (w, r, m + 1, i)
+            | Inst _ -> (w, r, m, i + 1))
+          (w, r, m, i) md.comps)
+      (0, 0, 0, 0) c.modules
+  in
+  Fmt.str "circuit %s: %d modules, %d wires, %d regs, %d mems, %d instances"
+    c.cname n_modules wires regs mems insts

@@ -1,0 +1,13 @@
+(** Human-readable pretty-printer for circuits. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_port : Format.formatter -> Ast.port -> unit
+val pp_component : Format.formatter -> Ast.component -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_annotation : Format.formatter -> Ast.annotation -> unit
+val pp_module : Format.formatter -> Ast.module_def -> unit
+val pp_circuit : Format.formatter -> Ast.circuit -> unit
+val circuit_to_string : Ast.circuit -> string
+
+(** One-line summary: module / component / instance counts. *)
+val summary : Ast.circuit -> string

@@ -1,0 +1,35 @@
+(** Textual circuit format: FIRRTL-flavored serialization with an
+    emitter and a parser; [parse (emit c) = c] structurally. *)
+
+exception Parse_error of string
+
+val expr_to_string : Ast.expr -> string
+
+(** Serializes a circuit to its textual form. *)
+val emit : Ast.circuit -> string
+
+val save : Ast.circuit -> path:string -> unit
+
+(** Lexer/expression-parser internals, exposed for property tests. *)
+type token =
+  | Tid of string
+  | Tint of int
+  | Tpunct of char
+  | Tarrow
+  | Tuint of int
+
+val lex : string -> token list
+
+type cursor = {
+  mutable toks : token list;
+  line : string;
+}
+
+val parse_expr : cursor -> Ast.expr
+
+(** Parses the textual form; the result is structurally checked.
+    Raises {!Parse_error} on malformed syntax, [Ast.Ir_error] on
+    structural problems. *)
+val parse : string -> Ast.circuit
+
+val load : path:string -> Ast.circuit

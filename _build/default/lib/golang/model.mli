@@ -1,0 +1,32 @@
+(** Go runtime garbage-collection tail-latency model (paper Figure 10,
+    §V-D): a 10 µs tick wakes a heap-allocating main goroutine; GC
+    cycles interfere according to GOMAXPROCS and the CPU affinity
+    mask.  Deterministic. *)
+
+type affinity =
+  | Pinned  (** all runtime threads share one core *)
+  | Spread  (** one core per runtime thread *)
+
+type config = {
+  gomaxprocs : int;
+  affinity : affinity;
+  duration_ms : int;
+}
+
+type result = {
+  cfg : config;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+  gc_cycles : int;
+}
+
+val label : config -> string
+val run : config -> result
+
+(** The Figure 10 configuration sweep. *)
+val figure10_configs : config list
+
+(** §V-D corroboration: (same-NUMA p99, cross-NUMA p99) for GOMAXPROCS=2
+    on the Xeon-style setup; cross-NUMA is worse. *)
+val numa_experiment : unit -> float * float

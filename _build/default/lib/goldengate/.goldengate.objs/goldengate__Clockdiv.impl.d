@@ -1,0 +1,1 @@
+lib/goldengate/clockdiv.ml: Ast Dsl Firrtl Hierarchy List Option

@@ -1,0 +1,1 @@
+lib/goldengate/clockdiv.mli: Firrtl

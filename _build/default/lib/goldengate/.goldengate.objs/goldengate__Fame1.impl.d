@@ -1,0 +1,1 @@
+lib/goldengate/fame1.ml: Ast Firrtl Hashtbl Libdn List

@@ -1,0 +1,1 @@
+lib/goldengate/fame1.mli: Firrtl Libdn

@@ -1,0 +1,1 @@
+lib/goldengate/fame1_rtl.ml: Analysis Ast Builder Dsl Firrtl Hashtbl Libdn List Printf

@@ -1,0 +1,1 @@
+lib/goldengate/fame1_rtl.mli: Firrtl Libdn

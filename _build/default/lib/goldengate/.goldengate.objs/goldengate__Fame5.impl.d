@@ -1,0 +1,1 @@
+lib/goldengate/fame5.ml: Array Ast Firrtl Hashtbl Libdn List Option Rtlsim String

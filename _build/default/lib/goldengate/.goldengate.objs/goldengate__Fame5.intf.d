@@ -1,0 +1,1 @@
+lib/goldengate/fame5.mli: Firrtl Libdn Rtlsim

@@ -1,0 +1,1 @@
+lib/goldengate/fame5_rtl.ml: Ast Firrtl Hashtbl Hierarchy List

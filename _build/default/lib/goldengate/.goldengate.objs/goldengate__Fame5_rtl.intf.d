@@ -1,0 +1,1 @@
+lib/goldengate/fame5_rtl.mli: Firrtl

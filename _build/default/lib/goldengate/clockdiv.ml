@@ -1,0 +1,76 @@
+(* Multi-clock support in the FireSim style: a module in a slower clock
+   domain is modeled on the fast base clock with a synchronous clock
+   enable — its registers and memory writes update once every [div]
+   base cycles.  (Constellation's top layer wires clock-domain crossings
+   this way; FireSim simulates multi-clock targets at the LCM base clock
+   with exactly this enable-gating trick.)
+
+   Because the result is ordinary single-clock RTL, everything else in
+   the flow — FireRipper partitioning, the LI-BDN scheduler, the
+   generated FAME-1 hardware — applies unchanged, and exact-mode
+   partitions of multi-clock designs stay cycle-exact by construction. *)
+
+open Firrtl
+
+(** Rewrites a module so its state advances once every [div] cycles of
+    the base clock (first enable fires [phase] cycles in, default
+    [div - 1]).  Adds an internal phase counter; combinational logic is
+    untouched. *)
+let gate ?phase ~div m =
+  if div < 1 then Ast.ir_error "clockdiv: div must be >= 1";
+  if div = 1 then m
+  else begin
+    let phase = Option.value ~default:(div - 1) phase in
+    let counter = "clkdiv$count" in
+    let tick = "clkdiv$tick" in
+    Hierarchy.assert_fresh m counter;
+    Hierarchy.assert_fresh m tick;
+    let open Dsl in
+    let width =
+      let rec bits n = if n <= 1 then 1 else 1 + bits (n / 2) in
+      bits (div - 1)
+    in
+    let count = ref_ counter in
+    let tick_e = ref_ tick in
+    let stmts =
+      List.map
+        (fun s ->
+          match s with
+          | Ast.Connect _ -> s
+          | Ast.Reg_update { reg; next; enable } ->
+            let enable =
+              match enable with
+              | None -> Some tick_e
+              | Some e -> Some Ast.(Binop (And, e, tick_e))
+            in
+            Ast.Reg_update { reg; next; enable }
+          | Ast.Mem_write { mem; addr; data; enable } ->
+            Ast.Mem_write { mem; addr; data; enable = Ast.Binop (Ast.And, enable, tick_e) })
+        m.Ast.stmts
+    in
+    {
+      m with
+      Ast.comps =
+        m.Ast.comps
+        @ [
+            Ast.Reg { name = counter; width; init = (div - 1 - phase) mod div };
+            Ast.Wire { name = tick; width = 1 };
+          ];
+      stmts =
+        stmts
+        @ [
+            Ast.Connect { dst = tick; src = (count ==: lit ~width (div - 1)) };
+            Ast.Reg_update
+              {
+                reg = counter;
+                next = Dsl.(mux tick_e (lit ~width 0) (count +: lit ~width 1));
+                enable = None;
+              };
+          ];
+    }
+  end
+
+(** Applies {!gate} to one named module of a circuit. *)
+let gate_module ?phase ~div circuit name =
+  let m = Ast.find_module circuit name in
+  Hierarchy.replace_module circuit (gate ?phase ~div m)

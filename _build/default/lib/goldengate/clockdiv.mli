@@ -1,0 +1,13 @@
+(** Multi-clock support, FireSim-style: slower clock domains modeled on
+    the fast base clock with synchronous clock enables, so partitioning
+    and the LI-BDN apply unchanged and multi-clock exact-mode stays
+    cycle-exact by construction. *)
+
+(** Rewrites a module so its state advances once every [div] base
+    cycles ([phase] offsets the first enable; default [div - 1], i.e.
+    the first tick fires on base cycle [div - 1]). *)
+val gate : ?phase:int -> div:int -> Firrtl.Ast.module_def -> Firrtl.Ast.module_def
+
+(** Applies {!gate} to one named module of a circuit. *)
+val gate_module :
+  ?phase:int -> div:int -> Firrtl.Ast.circuit -> string -> Firrtl.Ast.circuit

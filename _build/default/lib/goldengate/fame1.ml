@@ -1,0 +1,56 @@
+(* FAME-1 transform (Golden Gate): wraps a target design in an LI-BDN.
+
+   Given a flat target module and a channelization of its boundary ports,
+   this module produces everything the LI-BDN network needs to host the
+   target: an execution engine, input channel specs, and output channel
+   specs annotated with the input channels each one combinationally
+   depends on (the per-output-channel FSM firing condition of Fig. 1). *)
+
+open Firrtl
+
+type wrapped = {
+  w_engine : Libdn.Engine.t;
+  w_ins : Libdn.Channel.spec list;
+  w_outs : (Libdn.Channel.spec * string list) list;
+      (** each output channel with the names of input channels it waits
+          for before firing *)
+}
+
+(** Computes output-channel dependencies: an output channel waits for
+    every input channel containing a port in the combinational fan-in of
+    any of its ports.  Ports in no input channel are external inputs
+    (driven by the host testbench each cycle) and impose no token wait. *)
+let channel_deps ~(engine : Libdn.Engine.t) ~(ins : Libdn.Channel.spec list)
+    (out : Libdn.Channel.spec) =
+  let in_of_port = Hashtbl.create 16 in
+  List.iter
+    (fun (spec : Libdn.Channel.spec) ->
+      List.iter (fun (p, _) -> Hashtbl.replace in_of_port p spec.name) spec.ports)
+    ins;
+  List.concat_map
+    (fun (p, _) ->
+      List.filter_map (Hashtbl.find_opt in_of_port) (engine.output_comb_deps p))
+    out.Libdn.Channel.ports
+  |> List.sort_uniq compare
+
+let wrap_engine ~engine ~ins ~outs =
+  {
+    w_engine = engine;
+    w_ins = ins;
+    w_outs = List.map (fun out -> (out, channel_deps ~engine ~ins out)) outs;
+  }
+
+(** Wraps a flat target module with the given channelization. *)
+let wrap ~flat ~ins ~outs = wrap_engine ~engine:(Libdn.Engine.of_flat flat) ~ins ~outs
+
+(** Adds a wrapped target to a network as a new partition. *)
+let add_to_network net ~name w =
+  Libdn.Network.add_partition net ~name ~engine:w.w_engine ~ins:w.w_ins ~outs:w.w_outs
+
+(** Convenience: one channel per port (the maximally split channelization
+    used by exact-mode examples and tests). *)
+let channel_per_port (ports : Ast.port list) =
+  List.map
+    (fun (p : Ast.port) ->
+      { Libdn.Channel.name = p.pname; ports = [ (p.pname, p.pwidth) ] })
+    ports

@@ -1,0 +1,39 @@
+(** FAME-1 transform (Golden Gate): wraps a target design in an LI-BDN.
+    Given a flat target module and a channelization of its boundary
+    ports, produces the execution engine and the channel specs — each
+    output channel annotated with the input channels it combinationally
+    waits for (the per-output-channel FSM of the paper's Fig. 1). *)
+
+type wrapped = {
+  w_engine : Libdn.Engine.t;
+  w_ins : Libdn.Channel.spec list;
+  w_outs : (Libdn.Channel.spec * string list) list;
+}
+
+(** Input channels (by name) that [out] must wait for, given the
+    engine's port-level combinational dependencies. *)
+val channel_deps :
+  engine:Libdn.Engine.t ->
+  ins:Libdn.Channel.spec list ->
+  Libdn.Channel.spec ->
+  string list
+
+val wrap_engine :
+  engine:Libdn.Engine.t ->
+  ins:Libdn.Channel.spec list ->
+  outs:Libdn.Channel.spec list ->
+  wrapped
+
+(** Wraps a flat target module with the given channelization. *)
+val wrap :
+  flat:Firrtl.Ast.module_def ->
+  ins:Libdn.Channel.spec list ->
+  outs:Libdn.Channel.spec list ->
+  wrapped
+
+(** Adds a wrapped target to a network as a new partition; returns its
+    partition index. *)
+val add_to_network : Libdn.Network.t -> name:string -> wrapped -> int
+
+(** One channel per port: the maximally split channelization. *)
+val channel_per_port : Firrtl.Ast.port list -> Libdn.Channel.spec list

@@ -1,0 +1,233 @@
+(* FAME-1 as generated hardware (Fig. 1 of the paper).
+
+   [Fame1] realizes the LI-BDN semantics in the scheduler of the token
+   network; this module instead *generates the LI-BDN control logic as
+   circuit IR*, the way Golden Gate emits it for an FPGA:
+
+   - every input channel becomes a two-deep token queue;
+   - every output channel becomes a single-bit output FSM that fires
+     once per target cycle, as soon as the input channels it
+     combinationally depends on hold a token;
+   - the fireFSM advances the target — whose registers and memory
+     writes are rewritten to be gated by [host_fire] — exactly when all
+     input channels hold a token and all output channels have fired or
+     are firing.
+
+   The generated host-level design runs on the host clock under the
+   ordinary RTL simulator, so host-cycles-per-target-cycle (the FMR) is
+   *measured* rather than modeled; [link] wires two wrappers together
+   with a configurable host-cycle link latency using credit-based flow
+   control, mirroring the QSFP/Aurora transport. *)
+
+open Firrtl
+
+let queue_depth = 2
+
+(* Host-level port names for channel [c]. *)
+let h_valid c = c ^ "$valid"
+let h_ready c = c ^ "$ready"
+let h_deq c = c ^ "$deq"
+let h_data c p = c ^ "$" ^ p
+
+(** Rewrites a flat target so every register update and memory write is
+    gated by a new [host_fire] input — the FAME-1 "may the target
+    advance" control. *)
+let gate_target flat =
+  let fire = Ast.Ref "host_fire" in
+  {
+    flat with
+    Ast.name = flat.Ast.name ^ "_fame1";
+    ports = flat.Ast.ports @ [ { Ast.pname = "host_fire"; pdir = Ast.Input; pwidth = 1 } ];
+    stmts =
+      List.map
+        (fun s ->
+          match s with
+          | Ast.Connect _ -> s
+          | Ast.Reg_update { reg; next; enable } ->
+            let enable =
+              match enable with
+              | None -> Some fire
+              | Some e -> Some (Ast.Binop (Ast.And, e, fire))
+            in
+            Ast.Reg_update { reg; next; enable }
+          | Ast.Mem_write { mem; addr; data; enable } ->
+            Ast.Mem_write { mem; addr; data; enable = Ast.Binop (Ast.And, enable, fire) })
+        flat.Ast.stmts;
+  }
+
+(** Generates the host wrapper for one partition.  Returns the wrapper
+    module and the gated target module (add both to the host circuit).
+    Channel dependencies are derived from the target's combinational
+    analysis, as in the scheduler-based FAME-1.  [seeded] pre-loads one
+    zero token in every input queue (fast-mode). *)
+let wrap ~name ~flat ~(ins : Libdn.Channel.spec list) ~(outs : Libdn.Channel.spec list)
+    ?(seeded = false) () =
+  let analysis = Analysis.build flat in
+  let target = gate_target flat in
+  let b = Builder.create name in
+  let open Dsl in
+  let tgt = Builder.inst b "target" target.Ast.name in
+  (* ---- input channel queues ---- *)
+  let in_nonempty =
+    List.map
+      (fun (c : Libdn.Channel.spec) ->
+        let cn = c.Libdn.Channel.name in
+        let valid = Builder.input b (h_valid cn) 1 in
+        Builder.output b (h_ready cn) 1;
+        Builder.output b (h_deq cn) 1;
+        let occ = Builder.reg b ~init:(if seeded then 1 else 0) (cn ^ "$occ") 2 in
+        let head = Builder.reg b (cn ^ "$head") 1 in
+        let tail = Builder.reg b ~init:(if seeded then 1 else 0) (cn ^ "$tail") 1 in
+        let space = Builder.node b ~width:1 (occ <: lit ~width:2 queue_depth) in
+        Builder.connect b (h_ready cn) space;
+        let fire = ref_ "fire" in
+        (* Tokens enter only when accepted, matching the sender's view. *)
+        let enq = Builder.node b ~width:1 (valid &: space) in
+        Builder.reg_next b (cn ^ "$occ") (occ +: enq -: fire);
+        Builder.reg_next b ~enable:fire (cn ^ "$head") (head +: lit ~width:1 1);
+        Builder.reg_next b ~enable:enq (cn ^ "$tail") (tail +: lit ~width:1 1);
+        List.iter
+          (fun (p, w) ->
+            let _ = Builder.input b (h_data cn p) w in
+            let q = Builder.mem b (cn ^ "$" ^ p ^ "$q") ~width:w ~depth:queue_depth in
+            Builder.mem_write b q ~addr:tail ~data:(ref_ (h_data cn p)) ~enable:enq;
+            (* Target input = head of queue. *)
+            Builder.connect_in b tgt p (read q head))
+          c.Libdn.Channel.ports;
+        Builder.connect b (h_deq cn) fire;
+        let ne = Builder.node b ~width:1 (occ >: lit ~width:2 0) in
+        (cn, ne))
+      ins
+  in
+  (* ---- output channel FSMs ---- *)
+  let in_chan_of_port =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (c : Libdn.Channel.spec) ->
+        List.iter (fun (p, _) -> Hashtbl.replace tbl p c.Libdn.Channel.name) c.Libdn.Channel.ports)
+      ins;
+    tbl
+  in
+  let out_done =
+    List.map
+      (fun (c : Libdn.Channel.spec) ->
+        let cn = c.Libdn.Channel.name in
+        Builder.output b (h_valid cn) 1;
+        let out_ready = Builder.input b (h_ready cn) 1 in
+        let sent = Builder.reg b (cn ^ "$sent") 1 in
+        (* Which input channels this output combinationally waits for. *)
+        let deps =
+          List.concat_map
+            (fun (p, _) ->
+              List.filter_map
+                (Hashtbl.find_opt in_chan_of_port)
+                (Analysis.comb_inputs analysis p))
+            c.Libdn.Channel.ports
+          |> List.sort_uniq compare
+        in
+        let deps_ready =
+          List.fold_left
+            (fun acc (cn', ne) -> if List.mem cn' deps then Dsl.(acc &: ne) else acc)
+            Dsl.one in_nonempty
+        in
+        let firing = Builder.node b ~width:1 Dsl.(deps_ready &: not_ sent) in
+        Builder.connect b (h_valid cn) firing;
+        List.iter
+          (fun (p, w) ->
+            Builder.output b (h_data cn p) w;
+            Builder.connect b (h_data cn p) (Builder.of_inst tgt p))
+          c.Libdn.Channel.ports;
+        let accepted = Builder.node b ~width:1 Dsl.(firing &: out_ready) in
+        Builder.reg_next b (cn ^ "$sent")
+          Dsl.(mux (ref_ "fire") zero (mux accepted one sent));
+        Builder.node b ~width:1 Dsl.(sent |: accepted))
+      outs
+  in
+  (* ---- fireFSM ---- *)
+  let all_ins = List.fold_left (fun acc (_, ne) -> Dsl.(acc &: ne)) Dsl.one in_nonempty in
+  let all_outs = List.fold_left (fun acc d -> Dsl.(acc &: d)) Dsl.one out_done in
+  (* The cycle limit freezes the target deterministically at a chosen
+     cycle, so all partitions can be inspected at the same point despite
+     the LI-BDN's natural one-cycle skew. *)
+  let limit = Builder.input b "cycle_limit" 32 in
+  let _ = Builder.wire b "fire" 1 in
+  let cycles = Builder.reg b "target_cycles_r" 32 in
+  Builder.connect b "fire" Dsl.(all_ins &: all_outs &: (cycles <: limit));
+  Builder.connect_in b tgt "host_fire" (ref_ "fire");
+  Builder.reg_next b ~enable:(ref_ "fire") "target_cycles_r" Dsl.(cycles +: lit ~width:32 1);
+  Builder.output b "target_cycles" 32;
+  Builder.connect b "target_cycles" cycles;
+  (* Punch through external target outputs not carried by any channel,
+     for observation. *)
+  let channel_outs =
+    List.concat_map (fun (c : Libdn.Channel.spec) -> List.map fst c.Libdn.Channel.ports) outs
+  in
+  let channel_ins =
+    List.concat_map (fun (c : Libdn.Channel.spec) -> List.map fst c.Libdn.Channel.ports) ins
+  in
+  List.iter
+    (fun (p : Ast.port) ->
+      if p.Ast.pdir = Ast.Output && not (List.mem p.Ast.pname channel_outs) then begin
+        Builder.output b ("obs$" ^ p.Ast.pname) p.Ast.pwidth;
+        Builder.connect b ("obs$" ^ p.Ast.pname) (Builder.of_inst tgt p.Ast.pname)
+      end)
+    flat.Ast.ports;
+  (* External target inputs (not in any channel) punch straight through. *)
+  List.iter
+    (fun (p : Ast.port) ->
+      if p.Ast.pdir = Ast.Input && not (List.mem p.Ast.pname channel_ins) then begin
+        let x = Builder.input b ("ext$" ^ p.Ast.pname) p.Ast.pwidth in
+        Builder.connect_in b tgt p.Ast.pname x
+      end)
+    flat.Ast.ports;
+  (Builder.finish b, target)
+
+(** Wires output channel [src_chan] of host instance [src_inst] to
+    input channel [dst_chan] of [dst_inst] in the host top-level
+    builder; [ports] pairs each source port with its destination port
+    and width.  [latency] host cycles of pipeline on the forward path,
+    with credit-based flow control sized to the receiver queue (the
+    sender sees [ready] from a local credit counter; credits return on
+    the receiver's dequeue, delayed by the same latency). *)
+let link b ~latency ~src:(src_inst, src_chan) ~dst:(dst_inst, dst_chan)
+    ~(ports : (string * string * int) list) =
+  let open Dsl in
+  let pre s = Printf.sprintf "lnk$%s$%s$%s" src_inst src_chan s in
+  let delay name width src_expr =
+    (* [latency] register stages; latency 0 is a plain wire. *)
+    let rec stage k prev =
+      if k = latency then prev
+      else begin
+        let r = Builder.reg b (pre (Printf.sprintf "%s%d" name k)) width in
+        Builder.reg_next b (pre (Printf.sprintf "%s%d" name k)) prev;
+        stage (k + 1) r
+      end
+    in
+    stage 0 src_expr
+  in
+  if latency = 0 then begin
+    Builder.connect_in b dst_inst (h_valid dst_chan) (Builder.of_inst src_inst (h_valid src_chan));
+    List.iter
+      (fun (sp, dp, _) ->
+        Builder.connect_in b dst_inst (h_data dst_chan dp)
+          (Builder.of_inst src_inst (h_data src_chan sp)))
+      ports;
+    Builder.connect_in b src_inst (h_ready src_chan) (Builder.of_inst dst_inst (h_ready dst_chan))
+  end
+  else begin
+    (* Sender-side credits: one per receiver queue slot. *)
+    let credits = Builder.reg b ~init:queue_depth (pre "credits") 2 in
+    let have = Builder.node b ~width:1 (credits >: lit ~width:2 0) in
+    Builder.connect_in b src_inst (h_ready src_chan) have;
+    let sent =
+      Builder.node b ~width:1 (Builder.of_inst src_inst (h_valid src_chan) &: have)
+    in
+    Builder.connect_in b dst_inst (h_valid dst_chan) (delay "v" 1 sent);
+    List.iter
+      (fun (sp, dp, w) ->
+        Builder.connect_in b dst_inst (h_data dst_chan dp)
+          (delay ("d$" ^ sp) w (Builder.of_inst src_inst (h_data src_chan sp))))
+      ports;
+    let credit_back = delay "c" 1 (Builder.of_inst dst_inst (h_deq dst_chan)) in
+    Builder.reg_next b (pre "credits") (credits -: sent +: credit_back)
+  end

@@ -1,0 +1,42 @@
+(** FAME-1 as generated hardware (paper Fig. 1): token queues, output
+    FSMs and the fireFSM emitted as circuit IR around a clock-gated
+    target, plus credit-flow links — so host-clock behaviour is
+    measured under the ordinary RTL simulator. *)
+
+val queue_depth : int
+
+(* Host-level port names for channel [c]. *)
+val h_valid : string -> string
+val h_ready : string -> string
+val h_deq : string -> string
+val h_data : string -> string -> string
+
+(** Gates every register update and memory write by a new [host_fire]
+    input. *)
+val gate_target : Firrtl.Ast.module_def -> Firrtl.Ast.module_def
+
+(** Generates the host wrapper for one partition; returns (wrapper,
+    gated target).  The wrapper exposes per-channel valid/ready/deq and
+    data ports, a [cycle_limit] input freezing the target
+    deterministically, a [target_cycles] counter, [obs$*] observation
+    ports and [ext$*] external-input punches.  [seeded] pre-loads one
+    zero token per input queue (fast-mode). *)
+val wrap :
+  name:string ->
+  flat:Firrtl.Ast.module_def ->
+  ins:Libdn.Channel.spec list ->
+  outs:Libdn.Channel.spec list ->
+  ?seeded:bool ->
+  unit ->
+  Firrtl.Ast.module_def * Firrtl.Ast.module_def
+
+(** Wires an output channel of one host instance to an input channel of
+    another; [ports] pairs (src port, dst port, width).  [latency] host
+    cycles on the forward path with credit-based flow control. *)
+val link :
+  Firrtl.Builder.t ->
+  latency:int ->
+  src:string * string ->
+  dst:string * string ->
+  ports:(string * string * int) list ->
+  unit

@@ -1,0 +1,180 @@
+(* FAME-5 transform (Golden Gate): simulator-level multithreading of
+   duplicate module instances.
+
+   Given N instances of the same target module, FAME-5 shares the
+   combinational logic while replicating the sequential state N times; a
+   scheduler selects which state bank a host step updates.  Here the
+   shared combinational logic is the single compiled RTL simulation and
+   the banks are register/memory snapshots; one target cycle costs N
+   host evaluations of the shared logic, which is exactly the
+   performance trade the platform model charges for (Section VI-B).
+
+   The resulting engine exposes the union interface of the N instances:
+   port [p] of thread [k] appears as ["<inst_k>#p"], matching the port
+   names FireRipper's grouping pass punches through partition
+   wrappers. *)
+
+open Firrtl
+
+type t = {
+  sim : Rtlsim.Sim.t;
+  insts : string array;  (** thread name per bank *)
+  banks : Rtlsim.Sim.state array;
+  in_latch : (string, int) Hashtbl.t array;  (** tile port -> value *)
+  out_latch : (string, int) Hashtbl.t array;
+  out_port_names : string list;
+  mutable loaded : int;  (** bank currently resident in [sim], -1 if none *)
+}
+
+let sep = "#"
+
+(* Thread names may themselves contain the separator (they can be
+   hierarchy-promoted instance names), so match the longest thread-name
+   prefix rather than splitting at the first separator. *)
+let bank_of t name =
+  let best = ref None in
+  Array.iteri
+    (fun k inst ->
+      let pre = inst ^ sep in
+      let lp = String.length pre in
+      if
+        String.length name > lp
+        && String.sub name 0 lp = pre
+        && (match !best with
+           | Some (_, l) -> lp > l
+           | None -> true)
+      then best := Some (k, lp))
+    t.insts;
+  match !best with
+  | Some (k, lp) -> (k, String.sub name lp (String.length name - lp))
+  | None -> Rtlsim.Sim.sim_error "fame5: port %s matches no thread prefix" name
+
+let load_bank t k =
+  if t.loaded <> k then begin
+    if t.loaded >= 0 then t.banks.(t.loaded) <- Rtlsim.Sim.save_state t.sim;
+    Rtlsim.Sim.restore_state t.sim t.banks.(k);
+    t.loaded <- k
+  end
+
+let apply_inputs t k = Hashtbl.iter (Rtlsim.Sim.set_input t.sim) t.in_latch.(k)
+
+let capture_outputs t k ports =
+  List.iter (fun p -> Hashtbl.replace t.out_latch.(k) p (Rtlsim.Sim.get t.sim p)) ports
+
+let create ~flat ~insts =
+  let sim = Rtlsim.Sim.create flat in
+  let n = List.length insts in
+  {
+    sim;
+    insts = Array.of_list insts;
+    banks = Array.init n (fun _ -> Rtlsim.Sim.save_state sim);
+    in_latch = Array.init n (fun _ -> Hashtbl.create 16);
+    out_latch = Array.init n (fun _ -> Hashtbl.create 16);
+    out_port_names =
+      List.filter_map
+        (fun (p : Ast.port) -> if p.pdir = Output then Some p.pname else None)
+        flat.Ast.ports;
+    loaded = -1;
+  }
+
+(** Runs [f] on the simulation with thread [k]'s state resident — e.g.
+    to load a per-thread program image into a memory. *)
+let with_bank t k f =
+  load_bank t k;
+  f t.sim
+
+let threads t = Array.length t.insts
+
+(** The exposed boundary ports: ["<inst>#port"] for every thread. *)
+let ports t flat_ports =
+  Array.to_list t.insts
+  |> List.concat_map (fun inst ->
+         List.map
+           (fun (p : Ast.port) ->
+             { p with Ast.pname = inst ^ sep ^ p.Ast.pname })
+           flat_ports)
+
+let engine t : Libdn.Engine.t =
+  let analysis = t.sim.Rtlsim.Sim.analysis in
+  let set_input name v =
+    let k, port = bank_of t name in
+    Hashtbl.replace t.in_latch.(k) port v
+  in
+  let get name =
+    let k, port = bank_of t name in
+    match Hashtbl.find_opt t.out_latch.(k) port with
+    | Some v -> v
+    | None -> Rtlsim.Sim.sim_error "fame5: output %s not captured yet" name
+  in
+  (* The per-target-cycle scheduler: evaluate and step each bank in
+     turn.  eval_comb is deferred into step_seq because a full
+     evaluation is only meaningful with a bank resident. *)
+  let step_seq () =
+    for k = 0 to threads t - 1 do
+      load_bank t k;
+      apply_inputs t k;
+      Rtlsim.Sim.eval_comb t.sim;
+      capture_outputs t k t.out_port_names;
+      Rtlsim.Sim.step_seq t.sim
+    done
+  in
+  let make_cone_eval names =
+    (* Group requested signals by thread; compile one cone per thread. *)
+    let by_bank = Hashtbl.create 4 in
+    List.iter
+      (fun name ->
+        let k, port = bank_of t name in
+        Hashtbl.replace by_bank k (port :: Option.value ~default:[] (Hashtbl.find_opt by_bank k)))
+      names;
+    let cones =
+      Hashtbl.fold
+        (fun k ports acc -> (k, ports, Rtlsim.Sim.make_cone_eval t.sim ports) :: acc)
+        by_bank []
+    in
+    fun () ->
+      List.iter
+        (fun (k, ports, cone) ->
+          load_bank t k;
+          apply_inputs t k;
+          cone ();
+          capture_outputs t k ports)
+        cones
+  in
+  let output_comb_deps name =
+    let k, port = bank_of t name in
+    Firrtl.Analysis.comb_inputs analysis port
+    |> List.map (fun dep -> t.insts.(k) ^ sep ^ dep)
+  in
+  let checkpoint () =
+    (* Park the resident bank so every bank array is current, then copy
+       everything. *)
+    if t.loaded >= 0 then begin
+      t.banks.(t.loaded) <- Rtlsim.Sim.save_state t.sim;
+      t.loaded <- -1
+    end;
+    let banks = Array.copy t.banks in
+    let copy_latches arr = Array.map Hashtbl.copy arr in
+    let ins = copy_latches t.in_latch and outs = copy_latches t.out_latch in
+    fun () ->
+      if t.loaded >= 0 then t.loaded <- -1;
+      Array.blit banks 0 t.banks 0 (Array.length banks);
+      Array.iteri
+        (fun k h ->
+          Hashtbl.reset t.in_latch.(k);
+          Hashtbl.iter (Hashtbl.replace t.in_latch.(k)) h)
+        ins;
+      Array.iteri
+        (fun k h ->
+          Hashtbl.reset t.out_latch.(k);
+          Hashtbl.iter (Hashtbl.replace t.out_latch.(k)) h)
+        outs
+  in
+  {
+    Libdn.Engine.set_input;
+    get;
+    eval_comb = (fun () -> ());
+    step_seq;
+    make_cone_eval;
+    output_comb_deps;
+    checkpoint;
+  }

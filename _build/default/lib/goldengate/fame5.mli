@@ -1,0 +1,26 @@
+(** FAME-5 transform (Golden Gate): simulator-level multithreading of
+    duplicate module instances — one shared combinational evaluator (the
+    compiled RTL simulation) and one register/memory bank per thread.
+    One target cycle costs N host evaluations, the trade the platform
+    model charges for (paper §VI-B).
+
+    The engine exposes thread [k]'s port [p] as ["<inst_k>#p"], matching
+    the names FireRipper's grouping pass punches through wrappers. *)
+
+type t
+
+(** [create ~flat ~insts] builds the threaded context: one state bank
+    per instance name in [insts]. *)
+val create : flat:Firrtl.Ast.module_def -> insts:string list -> t
+
+(** Runs [f] with thread [k]'s state resident (e.g. to load a
+    per-thread program image). *)
+val with_bank : t -> int -> (Rtlsim.Sim.t -> 'a) -> 'a
+
+val threads : t -> int
+
+(** The exposed boundary ports for every thread. *)
+val ports : t -> Firrtl.Ast.port list -> Firrtl.Ast.port list
+
+(** The LI-BDN execution engine over all threads. *)
+val engine : t -> Libdn.Engine.t

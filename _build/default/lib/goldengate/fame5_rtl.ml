@@ -1,0 +1,138 @@
+(* FAME-5 as generated hardware (paper §II-B / §IV-C): N target threads
+   share one combinational datapath while their architectural state
+   lives in banks — every register becomes a [threads]-deep memory
+   indexed by a round-robin thread counter, and every target memory is
+   widened to [threads] concatenated banks.  One host cycle executes one
+   target cycle of one thread, so N threads cost N host cycles per
+   target cycle but only one copy of the datapath's LUTs (the paper's
+   resource-amortization trade).
+
+   Because memories reset to zero while registers may carry reset
+   values, the wrapped module spends its first [threads] host cycles in
+   an init sweep writing each bank's register reset values; harnesses
+   skip those cycles (target memory writes are suppressed during the
+   sweep). *)
+
+open Firrtl
+
+let tid_name = "f5$tid"
+let init_name = "f5$init"
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 n
+
+(** Rewrites the flat module [m] into its [threads]-way multithreaded
+    equivalent.  Target memory depths must be powers of two. *)
+let wrap ~threads m =
+  if threads < 1 then Ast.ir_error "fame5_rtl: threads must be >= 1";
+  if threads = 1 then m
+  else begin
+    Hierarchy.assert_fresh m tid_name;
+    Hierarchy.assert_fresh m init_name;
+    let tid_bits =
+      let rec bits n = if n <= 1 then 1 else 1 + bits (n / 2) in
+      bits (threads - 1)
+    in
+    let tid = Ast.Ref tid_name in
+    let initing = Ast.Ref init_name in
+    (* Classify original components. *)
+    let regs = Hashtbl.create 16 in
+    let mems = Hashtbl.create 16 in
+    List.iter
+      (fun c ->
+        match c with
+        | Ast.Reg { name; width; init } -> Hashtbl.replace regs name (width, init)
+        | Ast.Mem { name; depth; _ } -> Hashtbl.replace mems name depth
+        | Ast.Wire _ -> ()
+        | Ast.Inst { name; _ } ->
+          Ast.ir_error "fame5_rtl: module %s is not flat (instance %s)" m.Ast.name name)
+      m.Ast.comps;
+    Hashtbl.iter
+      (fun name depth ->
+        if depth land (depth - 1) <> 0 then
+          Ast.ir_error "fame5_rtl: memory %s depth %d is not a power of 2" name depth)
+      mems;
+    (* Expression rewrite: register reads become bank reads; memory
+       addresses gain the thread bank prefix. *)
+    let bank_addr mem addr =
+      let depth = Hashtbl.find mems mem in
+      if depth = 1 then tid else Ast.Cat (tid, Ast.Bits { e = addr; hi = log2 depth - 1; lo = 0 })
+    in
+    let rec rw e =
+      match e with
+      | Ast.Lit _ -> e
+      | Ast.Ref n -> if Hashtbl.mem regs n then Ast.Read { mem = n; addr = tid } else e
+      | Ast.Mux (c, t, f) -> Ast.Mux (rw c, rw t, rw f)
+      | Ast.Binop (op, a, b) -> Ast.Binop (op, rw a, rw b)
+      | Ast.Unop (op, a) -> Ast.Unop (op, rw a)
+      | Ast.Bits { e; hi; lo } -> Ast.Bits { e = rw e; hi; lo }
+      | Ast.Cat (a, b) -> Ast.Cat (rw a, rw b)
+      | Ast.Read { mem; addr } -> Ast.Read { mem; addr = bank_addr mem (rw addr) }
+    in
+    let comps =
+      List.concat_map
+        (fun c ->
+          match c with
+          | Ast.Reg { name; width; _ } -> [ Ast.Mem { name; width; depth = threads } ]
+          | Ast.Mem { name; width; depth } -> [ Ast.Mem { name; width; depth = depth * threads } ]
+          | Ast.Wire _ -> [ c ]
+          | Ast.Inst _ -> [] (* unreachable: rejected above *))
+        m.Ast.comps
+      @ [
+          Ast.Reg { name = tid_name; width = tid_bits; init = 0 };
+          Ast.Reg { name = init_name; width = 1; init = 1 };
+        ]
+    in
+    let last = Ast.Lit { value = threads - 1; width = tid_bits } in
+    let stmts =
+      List.map
+        (fun s ->
+          match s with
+          | Ast.Connect { dst; src } -> Ast.Connect { dst; src = rw src }
+          | Ast.Reg_update { reg; next; enable } ->
+            let width, init = Hashtbl.find regs reg in
+            let data = Ast.Mux (initing, Ast.Lit { value = init; width }, rw next) in
+            let enable =
+              match enable with
+              | None -> Ast.Lit { value = 1; width = 1 }
+              | Some e -> Ast.Binop (Ast.Or, initing, rw e)
+            in
+            Ast.Mem_write { mem = reg; addr = tid; data; enable }
+          | Ast.Mem_write { mem; addr; data; enable } ->
+            Ast.Mem_write
+              {
+                mem;
+                addr = bank_addr mem (rw addr);
+                data = rw data;
+                enable = Ast.Binop (Ast.And, rw enable, Ast.Unop (Ast.Not, initing));
+              })
+        m.Ast.stmts
+      @ [
+          Ast.Reg_update
+            {
+              reg = tid_name;
+              next =
+                Ast.Mux
+                  ( Ast.Binop (Ast.Eq, tid, last),
+                    Ast.Lit { value = 0; width = tid_bits },
+                    Ast.Binop (Ast.Add, tid, Ast.Lit { value = 1; width = tid_bits }) );
+              enable = None;
+            };
+          Ast.Reg_update
+            {
+              reg = init_name;
+              next = Ast.Binop (Ast.And, initing, Ast.Unop (Ast.Not, Ast.Binop (Ast.Eq, tid, last)));
+              enable = None;
+            };
+        ]
+    in
+    { m with Ast.comps; stmts }
+  end
+
+(** Host cycles the init sweep occupies: skip these before driving. *)
+let init_cycles ~threads = if threads <= 1 then 0 else threads
+
+(** The host cycle during which thread [t] presents the inputs for its
+    [k]-th target cycle (0-based). *)
+let host_cycle ~threads ~thread k = init_cycles ~threads + (k * threads) + thread

@@ -1,0 +1,23 @@
+(** FAME-5 as generated hardware: N target threads share one
+    combinational datapath; registers become thread-indexed banks,
+    memories widen to N concatenated banks, and a round-robin thread
+    counter executes one thread's target cycle per host cycle.  The
+    first {!init_cycles} host cycles sweep register reset values into
+    the banks. *)
+
+(** Rewrites the flat module into its [threads]-way multithreaded
+    equivalent.  Target memory depths must be powers of two; the module
+    must be flat (no instances). *)
+val wrap : threads:int -> Firrtl.Ast.module_def -> Firrtl.Ast.module_def
+
+(** Host cycles the init sweep occupies: skip these before driving. *)
+val init_cycles : threads:int -> int
+
+(** The host cycle during which thread [thread] presents the inputs for
+    its [k]-th target cycle (0-based). *)
+val host_cycle : threads:int -> thread:int -> int -> int
+
+(** Names of the injected thread counter and init flag. *)
+val tid_name : string
+
+val init_name : string

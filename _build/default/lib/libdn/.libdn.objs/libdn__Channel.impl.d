@@ -1,0 +1,1 @@
+lib/libdn/channel.ml: Array Fmt List

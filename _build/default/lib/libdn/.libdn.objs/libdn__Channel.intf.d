@@ -1,0 +1,1 @@
+lib/libdn/channel.mli: Format

@@ -1,0 +1,1 @@
+lib/libdn/engine.ml: Firrtl Rtlsim

@@ -1,0 +1,1 @@
+lib/libdn/engine.mli: Firrtl Rtlsim

@@ -1,0 +1,1 @@
+lib/libdn/network.ml: Array Buffer Channel Engine List Printf Queue String

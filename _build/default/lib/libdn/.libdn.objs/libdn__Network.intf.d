@@ -1,0 +1,1 @@
+lib/libdn/network.mli: Channel Engine Queue

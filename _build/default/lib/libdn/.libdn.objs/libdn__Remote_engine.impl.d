@@ -1,0 +1,1 @@
+lib/libdn/remote_engine.ml: Engine List Printf String Unix

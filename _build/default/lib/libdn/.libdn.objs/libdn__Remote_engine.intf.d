@@ -1,0 +1,1 @@
+lib/libdn/remote_engine.mli: Engine

@@ -1,0 +1,25 @@
+(* Latency-insensitive channel descriptions.  A channel aggregates a set
+   of same-direction boundary ports; one token carries one value per
+   port for one target cycle. *)
+
+type spec = {
+  name : string;
+  ports : (string * int) list;  (** (port name, width) pairs *)
+}
+
+(** Number of payload bits one token of this channel carries; determines
+    (de)serialization cost in the platform performance model. *)
+let width spec = List.fold_left (fun acc (_, w) -> acc + w) 0 spec.ports
+
+type token = int array
+
+let token_of_ports spec get : token =
+  Array.of_list (List.map (fun (p, _) -> get p) spec.ports)
+
+let apply_token spec set (tok : token) =
+  List.iteri (fun i (p, _) -> set p tok.(i)) spec.ports
+
+let pp_spec ppf spec =
+  Fmt.pf ppf "%s(%db:%a)" spec.name (width spec)
+    Fmt.(list ~sep:comma string)
+    (List.map fst spec.ports)

@@ -1,0 +1,22 @@
+(** Latency-insensitive channel descriptions: a channel aggregates a set
+    of same-direction boundary ports; one token carries one value per
+    port for one target cycle. *)
+
+type spec = {
+  name : string;
+  ports : (string * int) list;  (** (port name, width) pairs *)
+}
+
+(** Payload bits one token carries; determines (de)serialization cost in
+    the platform performance model. *)
+val width : spec -> int
+
+type token = int array
+
+(** Gathers a token from the channel's ports via [get]. *)
+val token_of_ports : spec -> (string -> int) -> token
+
+(** Applies a token's values to the channel's ports via [set]. *)
+val apply_token : spec -> (string -> int -> unit) -> token -> unit
+
+val pp_spec : Format.formatter -> spec -> unit

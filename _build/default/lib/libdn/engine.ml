@@ -1,0 +1,38 @@
+(* Execution-engine abstraction used by the LI-BDN network.
+
+   A partition's target logic can be executed by different engines: a
+   plain RTL simulation (the common case, via [of_sim]) or a FAME-5
+   multi-threaded simulation sharing one combinational evaluator across
+   several register-state banks (built in Goldengate.Fame5). *)
+
+type t = {
+  set_input : string -> int -> unit;
+  get : string -> int;
+  eval_comb : unit -> unit;
+  step_seq : unit -> unit;
+  make_cone_eval : string list -> unit -> unit;
+      (** Compiled partial evaluation of the combinational cone feeding
+          the given signals; see {!Rtlsim.Sim.make_cone_eval}. *)
+  output_comb_deps : string -> string list;
+      (** Input ports the named output port combinationally depends on. *)
+  checkpoint : unit -> unit -> unit;
+      (** Captures the engine's architectural state; the returned thunk
+          restores it. *)
+}
+
+let of_sim sim =
+  let analysis = sim.Rtlsim.Sim.analysis in
+  {
+    set_input = Rtlsim.Sim.set_input sim;
+    get = Rtlsim.Sim.get sim;
+    eval_comb = (fun () -> Rtlsim.Sim.eval_comb sim);
+    step_seq = (fun () -> Rtlsim.Sim.step_seq sim);
+    make_cone_eval = Rtlsim.Sim.make_cone_eval sim;
+    output_comb_deps = (fun port -> Firrtl.Analysis.comb_inputs analysis port);
+    checkpoint =
+      (fun () ->
+        let st = Rtlsim.Sim.save_state sim in
+        fun () -> Rtlsim.Sim.restore_state sim st);
+  }
+
+let of_flat flat = of_sim (Rtlsim.Sim.create flat)

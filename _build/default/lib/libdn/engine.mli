@@ -1,0 +1,21 @@
+(** Execution-engine abstraction used by the LI-BDN network: a
+    partition's target logic may be a plain RTL simulation ({!of_sim})
+    or a FAME-5 multithreaded simulation (see [Goldengate.Fame5]). *)
+
+type t = {
+  set_input : string -> int -> unit;
+  get : string -> int;
+  eval_comb : unit -> unit;
+  step_seq : unit -> unit;
+  make_cone_eval : string list -> unit -> unit;
+      (** Compiled partial evaluation of the combinational cone feeding
+          the given signals. *)
+  output_comb_deps : string -> string list;
+      (** Input ports the named output port combinationally depends on. *)
+  checkpoint : unit -> unit -> unit;
+      (** Captures the engine's architectural state; the returned thunk
+          restores it. *)
+}
+
+val of_sim : Rtlsim.Sim.t -> t
+val of_flat : Firrtl.Ast.module_def -> t

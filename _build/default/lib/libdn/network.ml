@@ -1,0 +1,340 @@
+(* The LI-BDN simulation network (the heart of host-decoupled execution,
+   Section II-A of the paper).
+
+   Each partition wraps its target logic in a latency-insensitive
+   bounded dataflow network: input channels carry tokens into the
+   partition, output channels carry tokens out.  Every output channel
+   has a firing rule — it may produce its token for target cycle N once
+   every input channel it combinationally depends on holds a token for
+   cycle N (an empty dependency set is a "source" channel that fires
+   from register state alone).  A partition advances a target cycle
+   (the fireFSM) when all of its input channels hold a token and all of
+   its output channels have fired.
+
+   The scheduler below executes any composition of such partitions and
+   detects deadlock — e.g. the circular token dependency of Fig. 2a,
+   which arises when combinationally-coupled ports are merged into a
+   single channel pair. *)
+
+type in_chan = {
+  ic_spec : Channel.spec;
+  ic_queue : Channel.token Queue.t;
+}
+
+type out_chan = {
+  oc_spec : Channel.spec;
+  oc_deps : int list;  (** indices of input channels this one waits for *)
+  oc_eval : unit -> unit;  (** evaluates the cone feeding this channel *)
+  mutable oc_fired : bool;
+  mutable oc_dests : (int * int) list;  (** (partition, input channel) *)
+}
+
+type partition = {
+  pt_index : int;
+  pt_name : string;
+  pt_engine : Engine.t;
+  pt_ins : in_chan array;
+  pt_outs : out_chan array;
+  mutable pt_cycle : int;
+  mutable pt_drive : Engine.t -> int -> unit;
+      (** Hook that sets the partition's external (non-channel) inputs
+          for the given target cycle. *)
+}
+
+type t = {
+  mutable parts : partition list;  (* reversed during construction *)
+  mutable frozen : partition array;
+  mutable token_transfers : int;  (** total tokens moved, for statistics *)
+}
+
+exception Deadlock of string
+
+let create () = { parts = []; frozen = [||]; token_transfers = 0 }
+
+(** Declares a partition.  [outs] gives each output channel's spec
+    together with the names of the input channels it combinationally
+    depends on. *)
+let add_partition t ~name ~engine ~(ins : Channel.spec list)
+    ~(outs : (Channel.spec * string list) list) =
+  let pt_ins =
+    Array.of_list
+      (List.map (fun spec -> { ic_spec = spec; ic_queue = Queue.create () }) ins)
+  in
+  let index_of_in n =
+    match
+      Array.to_list pt_ins
+      |> List.mapi (fun i ic -> (i, ic))
+      |> List.find_opt (fun (_, ic) -> ic.ic_spec.Channel.name = n)
+    with
+    | Some (i, _) -> i
+    | None -> invalid_arg (Printf.sprintf "partition %s: no input channel %s" name n)
+  in
+  let pt_outs =
+    Array.of_list
+      (List.map
+         (fun ((spec : Channel.spec), deps) ->
+           {
+             oc_spec = spec;
+             oc_deps = List.map index_of_in deps;
+             oc_eval = engine.Engine.make_cone_eval (List.map fst spec.Channel.ports);
+             oc_fired = false;
+             oc_dests = [];
+           })
+         outs)
+  in
+  let part =
+    {
+      pt_index = List.length t.parts;
+      pt_name = name;
+      pt_engine = engine;
+      pt_ins;
+      pt_outs;
+      pt_cycle = 0;
+      pt_drive = (fun _ _ -> ());
+    }
+  in
+  t.parts <- part :: t.parts;
+  part.pt_index
+
+let freeze t = if t.frozen = [||] then t.frozen <- Array.of_list (List.rev t.parts)
+
+let partition t i =
+  freeze t;
+  t.frozen.(i)
+
+let find_out t part name =
+  let p = partition t part in
+  match
+    Array.to_list p.pt_outs |> List.find_opt (fun oc -> oc.oc_spec.Channel.name = name)
+  with
+  | Some oc -> oc
+  | None -> invalid_arg (Printf.sprintf "partition %s: no output channel %s" p.pt_name name)
+
+let find_in_index t part name =
+  let p = partition t part in
+  let rec go i =
+    if i >= Array.length p.pt_ins then
+      invalid_arg (Printf.sprintf "partition %s: no input channel %s" p.pt_name name)
+    else if p.pt_ins.(i).ic_spec.Channel.name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+(** Connects an output channel to an input channel (possibly of the same
+    partition).  Fan-out is allowed: each destination receives a copy of
+    every token. *)
+let connect t ~src:(sp, sc) ~dst:(dp, dc) =
+  let oc = find_out t sp sc in
+  let di = find_in_index t dp dc in
+  oc.oc_dests <- (dp, di) :: oc.oc_dests
+
+(** Pre-loads a token into an input channel before the simulation starts
+    (fast-mode initialization; Section III-A2). *)
+let seed t ~part ~chan (tok : Channel.token) =
+  let p = partition t part in
+  Queue.push tok p.pt_ins.(find_in_index t part chan).ic_queue
+
+let set_drive t part f = (partition t part).pt_drive <- f
+
+let cycle_of t part = (partition t part).pt_cycle
+
+let token_transfers t = t.token_transfers
+
+let diagnose t =
+  freeze t;
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "partition %s @ cycle %d:\n" p.pt_name p.pt_cycle);
+      Array.iter
+        (fun ic ->
+          Buffer.add_string buf
+            (Printf.sprintf "  in  %-24s queue=%d\n" ic.ic_spec.Channel.name
+               (Queue.length ic.ic_queue)))
+        p.pt_ins;
+      Array.iter
+        (fun oc ->
+          Buffer.add_string buf
+            (Printf.sprintf "  out %-24s fired=%b deps=[%s]\n" oc.oc_spec.Channel.name
+               oc.oc_fired
+               (String.concat ","
+                  (List.map
+                     (fun i -> p.pt_ins.(i).ic_spec.Channel.name)
+                     oc.oc_deps))))
+        p.pt_outs)
+    t.frozen;
+  Buffer.contents buf
+
+(* Applies the head token of input channel [i] to the engine inputs. *)
+let apply_head p i =
+  let ic = p.pt_ins.(i) in
+  match Queue.peek_opt ic.ic_queue with
+  | Some tok -> Channel.apply_token ic.ic_spec p.pt_engine.Engine.set_input tok
+  | None -> invalid_arg "apply_head: empty queue"
+
+let try_fire t p oc =
+  if
+    (not oc.oc_fired)
+    && List.for_all (fun i -> not (Queue.is_empty p.pt_ins.(i).ic_queue)) oc.oc_deps
+  then begin
+    List.iter (apply_head p) oc.oc_deps;
+    oc.oc_eval ();
+    let tok = Channel.token_of_ports oc.oc_spec p.pt_engine.Engine.get in
+    oc.oc_fired <- true;
+    List.iter
+      (fun (dp, di) ->
+        Queue.push (Array.copy tok) t.frozen.(dp).pt_ins.(di).ic_queue;
+        t.token_transfers <- t.token_transfers + 1)
+      oc.oc_dests;
+    true
+  end
+  else false
+
+let try_advance p =
+  if
+    Array.for_all (fun ic -> not (Queue.is_empty ic.ic_queue)) p.pt_ins
+    && Array.for_all (fun oc -> oc.oc_fired) p.pt_outs
+  then begin
+    Array.iteri (fun i _ -> apply_head p i) p.pt_ins;
+    p.pt_engine.Engine.eval_comb ();
+    p.pt_engine.Engine.step_seq ();
+    Array.iter (fun ic -> ignore (Queue.pop ic.ic_queue)) p.pt_ins;
+    Array.iter (fun oc -> oc.oc_fired <- false) p.pt_outs;
+    p.pt_cycle <- p.pt_cycle + 1;
+    p.pt_drive p.pt_engine p.pt_cycle;
+    true
+  end
+  else false
+
+(** Captures the whole network's state — engine architectural state,
+    in-flight channel tokens, per-channel fired flags and target cycles.
+    The returned thunk rolls everything back, enabling re-execution from
+    a checkpoint (e.g. to bisect for the first bad cycle after a long
+    bug hunt). *)
+let checkpoint t =
+  freeze t;
+  let parts =
+    Array.map
+      (fun p ->
+        let queues =
+          Array.map
+            (fun ic -> Queue.fold (fun acc tok -> Array.copy tok :: acc) [] ic.ic_queue |> List.rev)
+            p.pt_ins
+        in
+        let fired = Array.map (fun oc -> oc.oc_fired) p.pt_outs in
+        let restore_engine = p.pt_engine.Engine.checkpoint () in
+        (p, queues, fired, restore_engine, p.pt_cycle))
+      t.frozen
+  in
+  let transfers = t.token_transfers in
+  fun () ->
+    Array.iter
+      (fun (p, queues, fired, restore_engine, cycle) ->
+        restore_engine ();
+        Array.iteri
+          (fun i toks ->
+            Queue.clear p.pt_ins.(i).ic_queue;
+            List.iter (fun tok -> Queue.push (Array.copy tok) p.pt_ins.(i).ic_queue) toks)
+          queues;
+        Array.iteri (fun i f -> p.pt_outs.(i).oc_fired <- f) fired;
+        p.pt_cycle <- cycle)
+      parts;
+    t.token_transfers <- transfers
+
+(* Serializable counterpart of {!checkpoint}: plain data (no closures),
+   so callers can write it to disk.  Engine architectural state is NOT
+   included — the runtime layer serializes each unit's simulator state
+   alongside. *)
+type snapshot = {
+  sn_parts : (Channel.token list array * bool array * int) array;
+      (** per partition: in-channel queues, out-channel fired flags,
+          target cycle *)
+  sn_transfers : int;
+}
+
+let snapshot t =
+  freeze t;
+  {
+    sn_parts =
+      Array.map
+        (fun p ->
+          ( Array.map
+              (fun ic ->
+                Queue.fold (fun acc tok -> Array.copy tok :: acc) [] ic.ic_queue |> List.rev)
+              p.pt_ins,
+            Array.map (fun oc -> oc.oc_fired) p.pt_outs,
+            p.pt_cycle ))
+        t.frozen;
+    sn_transfers = t.token_transfers;
+  }
+
+let restore t sn =
+  freeze t;
+  if Array.length sn.sn_parts <> Array.length t.frozen then
+    invalid_arg "Network.restore: partition count mismatch";
+  Array.iteri
+    (fun i p ->
+      let queues, fired, cycle = sn.sn_parts.(i) in
+      if Array.length queues <> Array.length p.pt_ins
+         || Array.length fired <> Array.length p.pt_outs
+      then invalid_arg "Network.restore: channel count mismatch";
+      Array.iteri
+        (fun j toks ->
+          Queue.clear p.pt_ins.(j).ic_queue;
+          List.iter (fun tok -> Queue.push (Array.copy tok) p.pt_ins.(j).ic_queue) toks)
+        queues;
+      Array.iteri (fun j f -> p.pt_outs.(j).oc_fired <- f) fired;
+      p.pt_cycle <- cycle)
+    t.frozen;
+  t.token_transfers <- sn.sn_transfers
+
+(** Runs every partition up to [cycles] target cycles.  Raises
+    {!Deadlock} with a channel-state report if no forward progress is
+    possible, which is exactly the situation of Fig. 2a in the paper. *)
+let run t ~cycles =
+  freeze t;
+  Array.iter (fun p -> p.pt_drive p.pt_engine 0) t.frozen;
+  let behind () = Array.exists (fun p -> p.pt_cycle < cycles) t.frozen in
+  while behind () do
+    let progress = ref false in
+    Array.iter
+      (fun p ->
+        if p.pt_cycle < cycles then begin
+          Array.iter (fun oc -> if try_fire t p oc then progress := true) p.pt_outs;
+          if try_advance p then progress := true
+        end)
+      t.frozen;
+    if (not !progress) && behind () then
+      raise
+        (Deadlock
+           ("LI-BDN deadlock: no output channel can fire and no partition can advance\n"
+          ^ diagnose t))
+  done
+
+(** Runs until [pred] holds (checked after each whole-network sweep) or
+    [max_cycles] is reached; returns the reached cycle of partition 0.
+    All partitions stay within one cycle of each other only as far as
+    token availability forces them to; [pred] is evaluated on demand. *)
+let run_until t ~max_cycles pred =
+  freeze t;
+  Array.iter (fun p -> p.pt_drive p.pt_engine 0) t.frozen;
+  let stop = ref false in
+  let deadline_reached () = Array.for_all (fun p -> p.pt_cycle >= max_cycles) t.frozen in
+  while (not !stop) && not (deadline_reached ()) do
+    let progress = ref false in
+    Array.iter
+      (fun p ->
+        if p.pt_cycle < max_cycles then begin
+          Array.iter (fun oc -> if try_fire t p oc then progress := true) p.pt_outs;
+          if try_advance p then progress := true
+        end)
+      t.frozen;
+    if pred t then stop := true
+    else if not !progress then
+      raise
+        (Deadlock
+           ("LI-BDN deadlock: no output channel can fire and no partition can advance\n"
+          ^ diagnose t))
+  done;
+  t.frozen.(0).pt_cycle

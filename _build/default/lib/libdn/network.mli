@@ -1,0 +1,88 @@
+(** The LI-BDN simulation network (paper §II-A): partitions exchange
+    per-cycle tokens over latency-insensitive channels; each output
+    channel fires once its combinational dependencies hold tokens; a
+    partition advances (fireFSM) when all inputs hold tokens and all
+    outputs have fired.  The scheduler executes any composition of
+    partitions and detects deadlock (Fig. 2a). *)
+
+type in_chan = {
+  ic_spec : Channel.spec;
+  ic_queue : Channel.token Queue.t;
+}
+
+type out_chan = {
+  oc_spec : Channel.spec;
+  oc_deps : int list;
+  oc_eval : unit -> unit;
+  mutable oc_fired : bool;
+  mutable oc_dests : (int * int) list;
+}
+
+type partition = {
+  pt_index : int;
+  pt_name : string;
+  pt_engine : Engine.t;
+  pt_ins : in_chan array;
+  pt_outs : out_chan array;
+  mutable pt_cycle : int;
+  mutable pt_drive : Engine.t -> int -> unit;
+}
+
+type t
+
+exception Deadlock of string
+
+val create : unit -> t
+
+(** Declares a partition; [outs] pairs each output channel with the
+    names of the input channels it combinationally depends on.  Returns
+    the partition index.  Add all partitions before connecting. *)
+val add_partition :
+  t ->
+  name:string ->
+  engine:Engine.t ->
+  ins:Channel.spec list ->
+  outs:(Channel.spec * string list) list ->
+  int
+
+val partition : t -> int -> partition
+
+(** Connects an output channel to an input channel; fan-out allowed. *)
+val connect : t -> src:int * string -> dst:int * string -> unit
+
+(** Pre-loads a token (fast-mode seeding, §III-A2). *)
+val seed : t -> part:int -> chan:string -> Channel.token -> unit
+
+(** Per-cycle hook setting a partition's external inputs. *)
+val set_drive : t -> int -> (Engine.t -> int -> unit) -> unit
+
+val cycle_of : t -> int -> int
+val token_transfers : t -> int
+
+(** Channel-state report used in deadlock messages. *)
+val diagnose : t -> string
+
+(** Captures the whole network (engine state, in-flight tokens, fired
+    flags, cycles); the returned thunk rolls everything back. *)
+val checkpoint : t -> unit -> unit
+
+(** Serializable counterpart of {!checkpoint}: plain data (per-partition
+    in-channel queues, fired flags and cycles), no engine state — the
+    caller serializes unit simulator state alongside. *)
+type snapshot = {
+  sn_parts : (Channel.token list array * bool array * int) array;
+  sn_transfers : int;
+}
+
+val snapshot : t -> snapshot
+
+(** Restores a snapshot into a network of the same shape (same plan). *)
+val restore : t -> snapshot -> unit
+
+(** Runs every partition to [cycles] target cycles; raises {!Deadlock}
+    if no forward progress is possible. *)
+val run : t -> cycles:int -> unit
+
+(** Runs until [pred] holds or all partitions reach [max_cycles];
+    returns partition 0's cycle. *)
+val run_until : t -> max_cycles:int -> (t -> bool) -> int

@@ -1,0 +1,126 @@
+(* A partition engine living in another PROCESS — the software analogue
+   of a partition living on another FPGA.  The parent ships the unit's
+   flattened circuit to a worker process (see [bin/fireaxe_worker]) and
+   proxies the {!Engine.t} operations over a line-based pipe protocol,
+   so the LI-BDN network schedules local and remote partitions exactly
+   alike: tokens are the only thing that crosses the process boundary,
+   just as they are the only thing that crosses the QSFP cable.
+
+   Protocol (one request per line; commands with no reply pipeline
+   freely because the pipe preserves order):
+
+     set <name> <int>          -> (no reply)
+     eval | step | runcone <id> | restore <id>   -> (no reply)
+     get <name>                -> <int>
+     deps <port>               -> space-joined names (possibly empty)
+     cone <root...>            -> <id>
+     checkpoint                -> <id>
+     poke <mem> <addr> <int>   -> (no reply)
+     peek <mem> <addr>         -> <int>
+     quit                      -> (worker exits)                      *)
+
+type conn = {
+  c_in : in_channel;
+  c_out : out_channel;
+  c_pid : int;
+  mutable c_alive : bool;
+}
+
+let send conn fmt =
+  Printf.ksprintf
+    (fun line ->
+      output_string conn.c_out line;
+      output_char conn.c_out '\n')
+    fmt
+
+let ask conn fmt =
+  Printf.ksprintf
+    (fun line ->
+      output_string conn.c_out line;
+      output_char conn.c_out '\n';
+      flush conn.c_out;
+      input_line conn.c_in)
+    fmt
+
+let ask_int conn fmt =
+  Printf.ksprintf
+    (fun line ->
+      let reply = ask conn "%s" line in
+      match int_of_string_opt (String.trim reply) with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "remote engine: bad reply %S to %S" reply line))
+    fmt
+
+(** Spawns a worker process serving the circuit in [fir_path]. *)
+let spawn ~worker ~fir_path =
+  (* cloexec: the worker must NOT inherit the parent-side pipe ends (or
+     the write end of its own stdin pipe would keep EOF from ever
+     arriving after the parent exits); [create_process] dup2s the
+     child-side ends onto fds 0/1, which survive the exec. *)
+  let parent_read, child_write = Unix.pipe ~cloexec:true () in
+  let child_read, parent_write = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process worker [| worker; fir_path |] child_read child_write Unix.stderr
+  in
+  Unix.close child_read;
+  Unix.close child_write;
+  let conn =
+    {
+      c_in = Unix.in_channel_of_descr parent_read;
+      c_out = Unix.out_channel_of_descr parent_write;
+      c_pid = pid;
+      c_alive = true;
+    }
+  in
+  (* The worker announces itself once the circuit is loaded, so the
+     caller may delete the .fir file as soon as spawn returns. *)
+  (match input_line conn.c_in with
+  | "ready" -> ()
+  | other -> failwith (Printf.sprintf "remote engine: expected ready, got %S" other)
+  | exception End_of_file -> failwith "remote engine: worker died during startup");
+  conn
+
+let close conn =
+  if conn.c_alive then begin
+    conn.c_alive <- false;
+    (try
+       send conn "quit";
+       flush conn.c_out
+     with Sys_error _ -> ());
+    (try ignore (Unix.waitpid [] conn.c_pid) with Unix.Unix_error _ -> ());
+    (try close_in conn.c_in with Sys_error _ -> ());
+    try close_out conn.c_out with Sys_error _ -> ()
+  end
+
+(** Direct memory access on the remote unit (program loading, state
+    inspection). *)
+let poke_mem conn mem addr v = send conn "poke %s %d %d" mem addr v
+
+let peek_mem conn mem addr = ask_int conn "peek %s %d" mem addr
+
+(** Reads any remote signal (forces a flush of pipelined commands). *)
+let get conn name = ask_int conn "get %s" name
+
+(** Whether the remote unit holds a signal or memory of that name. *)
+let has conn name = ask_int conn "has %s" name <> 0
+
+(** The remote unit as an ordinary LI-BDN engine. *)
+let engine conn =
+  {
+    Engine.set_input = (fun name v -> send conn "set %s %d" name v);
+    get = (fun name -> ask_int conn "get %s" name);
+    eval_comb = (fun () -> send conn "eval");
+    step_seq = (fun () -> send conn "step");
+    make_cone_eval =
+      (fun roots ->
+        let id = ask_int conn "cone %s" (String.concat " " roots) in
+        fun () -> send conn "runcone %d" id);
+    output_comb_deps =
+      (fun port ->
+        let reply = ask conn "deps %s" port in
+        String.split_on_char ' ' reply |> List.filter (fun s -> s <> ""));
+    checkpoint =
+      (fun () ->
+        let id = ask_int conn "checkpoint" in
+        fun () -> send conn "restore %d" id);
+  }

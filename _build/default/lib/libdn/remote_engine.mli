@@ -1,0 +1,29 @@
+(** A partition engine living in another process — the software
+    analogue of a partition on another FPGA.  A worker process serves
+    the unit's circuit; {!engine} proxies the {!Engine.t} operations
+    over pipes so the LI-BDN network schedules local and remote
+    partitions alike (tokens are all that crosses the boundary). *)
+
+type conn
+
+(** Spawns a worker process (the [fireaxe-worker] binary) serving the
+    circuit stored at [fir_path]. *)
+val spawn : worker:string -> fir_path:string -> conn
+
+(** Sends quit and reaps the worker. *)
+val close : conn -> unit
+
+(** Direct memory access on the remote unit (program loading, state
+    inspection). *)
+val poke_mem : conn -> string -> int -> int -> unit
+
+val peek_mem : conn -> string -> int -> int
+
+(** Reads any remote signal (forces a flush of pipelined commands). *)
+val get : conn -> string -> int
+
+(** Whether the remote unit holds a signal or memory of that name. *)
+val has : conn -> string -> bool
+
+(** The remote unit as an ordinary LI-BDN engine. *)
+val engine : conn -> Engine.t

@@ -1,0 +1,1 @@
+lib/platform/advisor.ml: Fmt Fpga List Perf Transport

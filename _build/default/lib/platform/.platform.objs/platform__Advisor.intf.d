@@ -1,0 +1,1 @@
+lib/platform/advisor.mli: Format Fpga Resource Transport

@@ -1,0 +1,1 @@
+lib/platform/fpga.ml: Fmt Resource

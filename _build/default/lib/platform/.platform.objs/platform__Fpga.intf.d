@@ -1,0 +1,1 @@
+lib/platform/fpga.mli: Format Resource

@@ -1,0 +1,1 @@
+lib/platform/perf.ml: Array Des Fireripper Firrtl Hashtbl Lazy Libdn List Queue Transport

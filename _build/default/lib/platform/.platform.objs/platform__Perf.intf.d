@@ -1,0 +1,1 @@
+lib/platform/perf.mli: Fireripper Transport

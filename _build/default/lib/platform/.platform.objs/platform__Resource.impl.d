@@ -1,0 +1,1 @@
+lib/platform/resource.ml: Ast Fireripper Firrtl Flatten Fmt Lazy List Option

@@ -1,0 +1,1 @@
+lib/platform/resource.mli: Fireripper Firrtl Format

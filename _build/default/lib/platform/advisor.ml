@@ -1,0 +1,93 @@
+(* Hybrid cloud/on-premises deployment advisor (§VIII-A).
+
+   The paper weighs three factors when choosing between cloud and
+   on-premises FPGAs: cost structure (pay-as-you-go vs upfront), usable
+   FPGA capacity (local U250s offer ~50% more LUTs than cloud VU9Ps
+   behind the F1 shell), and simulation performance (QSFP beats
+   peer-to-peer PCIe).  It advocates a hybrid model: develop on-premises
+   for low-latency iteration, then fan benchmark campaigns out to the
+   cloud.  This module turns that discussion into numbers. *)
+
+type deployment = {
+  dep_name : string;
+  dep_board : Fpga.board;
+  dep_transport : Transport.kind;
+  dep_hourly_usd : float;  (** amortized or rental cost per FPGA-hour *)
+}
+
+(* AWS F1: ~$1.65 per FPGA-hour (f1.2xlarge on-demand).  On-premises
+   U250: ~$9,000 purchase amortized over 3 years plus hosting. *)
+let cloud_f1 =
+  { dep_name = "AWS F1 (p2p PCIe)"; dep_board = Fpga.vu9p_f1; dep_transport = Transport.Pcie_p2p; dep_hourly_usd = 1.65 }
+
+let on_prem_u250 =
+  {
+    dep_name = "on-prem U250 (QSFP)";
+    dep_board = Fpga.u250;
+    dep_transport = Transport.Qsfp;
+    dep_hourly_usd = 9_000. /. (3. *. 365. *. 24.) +. 0.15;
+  }
+
+type estimate = {
+  e_deployment : deployment;
+  e_rate_hz : float;
+  e_wall_hours : float;
+  e_cost_usd : float;
+  e_fits : bool;
+}
+
+(** Prices one simulation campaign — [runs] simulations of
+    [cycles_per_run] target cycles on an [n_fpgas]-partition plan whose
+    widest boundary is [boundary_bits] — on the given deployment. *)
+let estimate_campaign ~deployment ~n_fpgas ~boundary_bits ~cycles_per_run ~runs
+    ~unit_estimates =
+  let spec =
+    Perf.ring_spec ~n:(max 2 n_fpgas) ~bits:boundary_bits
+      ~freq_mhz:(float_of_int deployment.dep_board.Fpga.max_freq_mhz /. 4.)
+      ~transport:deployment.dep_transport
+  in
+  let rate = Perf.rate spec in
+  let total_cycles = float_of_int cycles_per_run *. float_of_int runs in
+  let wall_hours = total_cycles /. rate /. 3600. in
+  {
+    e_deployment = deployment;
+    e_rate_hz = rate;
+    e_wall_hours = wall_hours;
+    e_cost_usd = wall_hours *. float_of_int n_fpgas *. deployment.dep_hourly_usd;
+    e_fits = List.for_all (fun est -> Fpga.fits deployment.dep_board est) unit_estimates;
+  }
+
+type advice = {
+  a_cloud : estimate;
+  a_on_prem : estimate;
+  a_recommendation : string;
+}
+
+(** Compares both deployments for a campaign and phrases the paper's
+    hybrid guidance. *)
+let advise ~n_fpgas ~boundary_bits ~cycles_per_run ~runs ~unit_estimates =
+  let cloud =
+    estimate_campaign ~deployment:cloud_f1 ~n_fpgas ~boundary_bits ~cycles_per_run ~runs
+      ~unit_estimates
+  in
+  let on_prem =
+    estimate_campaign ~deployment:on_prem_u250 ~n_fpgas ~boundary_bits ~cycles_per_run
+      ~runs ~unit_estimates
+  in
+  let a_recommendation =
+    if not cloud.e_fits then
+      "partitions exceed the cloud FPGA's usable capacity (shell overhead): use \
+       on-premises U250s, or repartition onto more FPGAs"
+    else if runs <= 10 then
+      "short campaign: iterate on-premises for the lower-latency QSFP interconnect"
+    else if cloud.e_cost_usd < on_prem.e_cost_usd then
+      "long campaign, cloud is cheaper at this utilization: develop on-premises, then \
+       fan the benchmark sweep out to F1 instances (the paper's hybrid model)"
+    else
+      "sustained utilization favors owning the FPGAs: keep the campaign on-premises"
+  in
+  { a_cloud = cloud; a_on_prem = on_prem; a_recommendation }
+
+let pp_estimate ppf e =
+  Fmt.pf ppf "%-22s %8.3f MHz  %10.1f h  $%10.2f  fits:%b" e.e_deployment.dep_name
+    (e.e_rate_hz /. 1e6) e.e_wall_hours e.e_cost_usd e.e_fits

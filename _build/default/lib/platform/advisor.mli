@@ -1,0 +1,46 @@
+(** Hybrid cloud/on-premises deployment advisor (paper §VIII-A): prices
+    a simulation campaign on both platforms and phrases the paper's
+    develop-on-premises / sweep-in-the-cloud guidance. *)
+
+type deployment = {
+  dep_name : string;
+  dep_board : Fpga.board;
+  dep_transport : Transport.kind;
+  dep_hourly_usd : float;  (** amortized or rental cost per FPGA-hour *)
+}
+
+val cloud_f1 : deployment
+val on_prem_u250 : deployment
+
+type estimate = {
+  e_deployment : deployment;
+  e_rate_hz : float;
+  e_wall_hours : float;
+  e_cost_usd : float;
+  e_fits : bool;
+}
+
+val estimate_campaign :
+  deployment:deployment ->
+  n_fpgas:int ->
+  boundary_bits:int ->
+  cycles_per_run:int ->
+  runs:int ->
+  unit_estimates:Resource.estimate list ->
+  estimate
+
+type advice = {
+  a_cloud : estimate;
+  a_on_prem : estimate;
+  a_recommendation : string;
+}
+
+val advise :
+  n_fpgas:int ->
+  boundary_bits:int ->
+  cycles_per_run:int ->
+  runs:int ->
+  unit_estimates:Resource.estimate list ->
+  advice
+
+val pp_estimate : Format.formatter -> estimate -> unit

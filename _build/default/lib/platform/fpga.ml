@@ -1,0 +1,62 @@
+(* FPGA board models: the resource budgets against which FireRipper's
+   quick feedback checks whether a partition fits, and the bitstream
+   frequency range used by the performance sweeps. *)
+
+type board = {
+  board_name : string;
+  luts : int;
+  ffs : int;
+  bram_bits : int;
+  dsps : int;
+  max_freq_mhz : int;
+}
+
+(** Xilinx Alveo U250 (on-premises; Section V uses six of these). *)
+let u250 =
+  {
+    board_name = "Xilinx Alveo U250";
+    luts = 1_728_000;
+    ffs = 3_456_000;
+    bram_bits = 430_000_000;
+    dsps = 12_288;
+    max_freq_mhz = 300;
+  }
+
+(** AWS F1's VU9P with the cloud shell: the paper reports U250 offering
+    ~50% more usable LUTs than cloud VU9Ps due to the fixed shell IP. *)
+let vu9p_f1 =
+  {
+    board_name = "AWS F1 VU9P (usable)";
+    luts = 1_152_000;
+    ffs = 2_364_000;
+    bram_bits = 345_000_000;
+    dsps = 6_840;
+    max_freq_mhz = 250;
+  }
+
+type utilization = {
+  lut_pct : float;
+  ff_pct : float;
+  bram_pct : float;
+  dsp_pct : float;
+}
+
+let utilization board (e : Resource.estimate) =
+  {
+    lut_pct = 100. *. float_of_int e.Resource.luts /. float_of_int board.luts;
+    ff_pct = 100. *. float_of_int e.Resource.ffs /. float_of_int board.ffs;
+    bram_pct = 100. *. float_of_int e.Resource.bram_bits /. float_of_int board.bram_bits;
+    dsp_pct = 100. *. float_of_int e.Resource.dsps /. float_of_int board.dsps;
+  }
+
+(** Routable utilization threshold: beyond ~85% LUTs, bitstream builds
+    fail with congestion (the GC40 monolithic build failure of §V-B). *)
+let fits ?(threshold = 0.85) board e =
+  float_of_int e.Resource.luts <= threshold *. float_of_int board.luts
+  && float_of_int e.Resource.ffs <= threshold *. float_of_int board.ffs
+  && float_of_int e.Resource.bram_bits <= float_of_int board.bram_bits
+  && float_of_int e.Resource.dsps <= float_of_int board.dsps
+
+let pp_utilization ppf u =
+  Fmt.pf ppf "LUT %.1f%%, FF %.1f%%, BRAM %.1f%%, DSP %.1f%%" u.lut_pct u.ff_pct
+    u.bram_pct u.dsp_pct

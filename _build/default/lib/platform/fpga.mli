@@ -1,0 +1,33 @@
+(** FPGA board models: resource budgets for FireRipper's fit checks and
+    the bitstream frequency range of the performance sweeps. *)
+
+type board = {
+  board_name : string;
+  luts : int;
+  ffs : int;
+  bram_bits : int;
+  dsps : int;
+  max_freq_mhz : int;
+}
+
+(** Xilinx Alveo U250 (the paper's on-premises board). *)
+val u250 : board
+
+(** AWS F1 VU9P behind the cloud shell (~50% fewer usable LUTs than the
+    U250, as the paper reports). *)
+val vu9p_f1 : board
+
+type utilization = {
+  lut_pct : float;
+  ff_pct : float;
+  bram_pct : float;
+  dsp_pct : float;
+}
+
+val utilization : board -> Resource.estimate -> utilization
+
+(** Fit check with a routability [threshold] (default 0.85 of LUT/FF
+    capacity): beyond it, bitstream builds fail with congestion. *)
+val fits : ?threshold:float -> board -> Resource.estimate -> bool
+
+val pp_utilization : Format.formatter -> utilization -> unit

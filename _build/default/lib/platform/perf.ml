@@ -1,0 +1,345 @@
+(* Discrete-event performance model of a partitioned FireAxe simulation.
+
+   The model executes the same token protocol as the functional LI-BDN
+   network — source channels fire from the cycle start, sink channels
+   wait for the tokens they combinationally depend on, a partition
+   advances when all inputs arrived and all outputs fired — but in host
+   time: firing costs (de)serialization host cycles at the bitstream
+   frequency, deliveries cost transport wire time plus link latency, and
+   FAME-5 threading multiplies the per-cycle host step.  Simulation rate
+   is then target cycles divided by simulated host time.  This is the
+   machinery behind Figures 11-14; a closed-form estimate is provided
+   for the ablation bench. *)
+
+type part = {
+  p_freq_mhz : float;  (** bitstream frequency *)
+  p_threads : int;  (** FAME-5 threads folded into this partition *)
+}
+
+type chan = {
+  ch_src : int;
+  ch_dst : int;
+  ch_bits : int;
+  ch_transport : Transport.kind;
+  ch_deps : int list;
+      (** channel indices (into the spec) of incoming channels of
+          [ch_src] whose token must arrive before this channel fires *)
+  ch_seeded : bool;  (** fast-mode initial token *)
+  ch_extra_ps : int;  (** additional per-delivery overhead (ring skew) *)
+}
+
+type spec = {
+  parts : part array;
+  chans : chan array;
+}
+
+(* Host cycles charged by the LI-BDN machinery. *)
+let serdes_width_bits = 512
+let fire_overhead_cycles = 2
+let step_overhead_cycles = 2
+
+let period_ps (p : part) = int_of_float (1_000_000. /. p.p_freq_mhz)
+
+let ser_cycles bits = fire_overhead_cycles + ((bits + serdes_width_bits - 1) / serdes_width_bits)
+
+type runtime_state = {
+  mutable cycle : int;
+  mutable cycle_start : int;  (** host time the current cycle began *)
+  fired : int array;  (** fire time per outgoing channel, -1 = unfired *)
+}
+
+(** Simulates [target_cycles] of the partitioned design; returns the
+    total host time in picoseconds. *)
+let simulate spec ~target_cycles =
+  let eng = Des.Engine.create () in
+  let n = Array.length spec.parts in
+  let outs = Array.make n [] in
+  let ins = Array.make n [] in
+  Array.iteri
+    (fun ci c ->
+      outs.(c.ch_src) <- ci :: outs.(c.ch_src);
+      ins.(c.ch_dst) <- ci :: ins.(c.ch_dst))
+    spec.chans;
+  let arrivals = Array.map (fun _ -> Queue.create ()) spec.chans in
+  let states =
+    Array.init n (fun _ ->
+        { cycle = 0; cycle_start = 0; fired = Array.make (Array.length spec.chans) (-1) })
+  in
+  Array.iteri (fun ci c -> if c.ch_seeded then Queue.push 0 arrivals.(ci)) spec.chans;
+  let finish_time = ref 0 in
+  let rec progress p () =
+    let st = states.(p) in
+    if st.cycle < target_cycles then begin
+      let prt = spec.parts.(p) in
+      let period = period_ps prt in
+      (* Fire ready output channels. *)
+      List.iter
+        (fun ci ->
+          let c = spec.chans.(ci) in
+          if
+            st.fired.(ci) < 0
+            && List.for_all (fun d -> not (Queue.is_empty arrivals.(d))) c.ch_deps
+          then begin
+            let dep_ready =
+              List.fold_left (fun acc d -> max acc (Queue.peek arrivals.(d))) 0 c.ch_deps
+            in
+            let fire = max st.cycle_start dep_ready + (ser_cycles c.ch_bits * period) in
+            st.fired.(ci) <- fire;
+            let deliver =
+              fire
+              + Transport.delivery_ps c.ch_transport ~bits:c.ch_bits
+              + c.ch_extra_ps
+              + (ser_cycles c.ch_bits * period_ps spec.parts.(c.ch_dst))
+            in
+            Des.Engine.at eng ~time:deliver (fun () ->
+                Queue.push deliver arrivals.(ci);
+                progress c.ch_dst ())
+          end)
+        outs.(p);
+      (* Advance the target cycle. *)
+      let inputs_ready =
+        List.for_all (fun ci -> not (Queue.is_empty arrivals.(ci))) ins.(p)
+      in
+      let outputs_fired = List.for_all (fun ci -> st.fired.(ci) >= 0) outs.(p) in
+      if inputs_ready && outputs_fired then begin
+        let latest = ref st.cycle_start in
+        List.iter (fun ci -> latest := max !latest (Queue.pop arrivals.(ci))) ins.(p);
+        List.iter
+          (fun ci ->
+            latest := max !latest st.fired.(ci);
+            st.fired.(ci) <- -1)
+          outs.(p);
+        let step = (step_overhead_cycles + prt.p_threads) * period in
+        st.cycle_start <- !latest + step;
+        st.cycle <- st.cycle + 1;
+        if st.cycle >= target_cycles then finish_time := max !finish_time st.cycle_start
+        else Des.Engine.at eng ~time:st.cycle_start (progress p)
+      end
+    end
+  in
+  for p = 0 to n - 1 do
+    progress p ()
+  done;
+  Des.Engine.run eng;
+  !finish_time
+
+(** Simulation rate in target Hz. *)
+let rate ?(target_cycles = 2000) spec =
+  let t_ps = simulate spec ~target_cycles in
+  if t_ps = 0 then infinity
+  else float_of_int target_cycles /. (float_of_int t_ps *. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form estimate (ablation baseline)                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Back-of-the-envelope rate: the critical path of one target cycle is
+    the longest serial chain of channel deliveries plus the slowest
+    partition's step time.  Ignores pipelining effects the DES captures. *)
+let analytic_rate spec =
+  let chain_depth =
+    (* Longest dependency chain among channels (1 = source only). *)
+    let memo = Hashtbl.create 16 in
+    let rec depth ci =
+      match Hashtbl.find_opt memo ci with
+      | Some d -> d
+      | None ->
+        Hashtbl.replace memo ci 1;
+        let c = spec.chans.(ci) in
+        let d =
+          1 + List.fold_left (fun acc d -> max acc (depth d)) 0 c.ch_deps
+        in
+        Hashtbl.replace memo ci d;
+        d
+    in
+    Array.to_list (Array.mapi (fun i _ -> depth i) spec.chans)
+    |> List.fold_left max 1
+  in
+  let worst_delivery =
+    Array.fold_left
+      (fun acc c ->
+        max acc
+          (Transport.delivery_ps c.ch_transport ~bits:c.ch_bits
+          + c.ch_extra_ps
+          + (2 * ser_cycles c.ch_bits * period_ps spec.parts.(c.ch_src))))
+      0 spec.chans
+  in
+  let worst_step =
+    Array.fold_left
+      (fun acc p -> max acc ((step_overhead_cycles + p.p_threads) * period_ps p))
+      0 spec.parts
+  in
+  let effective_depth =
+    if Array.for_all (fun c -> c.ch_seeded) spec.chans && Array.length spec.chans > 0 then 1
+    else chain_depth
+  in
+  let period = worst_step + (effective_depth * worst_delivery) in
+  1e12 /. float_of_int period
+
+(* ------------------------------------------------------------------ *)
+(* From a FireRipper plan                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Builds a perf spec from a compiled plan: channel widths and
+    dependency structure come from the real channelization; transports,
+    bitstream frequencies and FAME-5 thread counts are supplied by the
+    caller. *)
+let of_plan ?(freq_mhz = fun _ -> 30.) ?(threads = fun _ -> 1)
+    ?(transport = fun ~src:_ ~dst:_ -> Transport.Qsfp) (plan : Fireripper.Plan.t) =
+  let pairs = Fireripper.Plan.channel_pairs plan in
+  let parts =
+    Array.map
+      (fun (u : Fireripper.Plan.unit_part) ->
+        { p_freq_mhz = freq_mhz u.Fireripper.Plan.u_index; p_threads = threads u.Fireripper.Plan.u_index })
+      plan.Fireripper.Plan.p_units
+  in
+  (* Map: which channel-pair index carries a given input port of a unit. *)
+  let in_port_chan = Hashtbl.create 64 in
+  List.iteri
+    (fun ci (cp : Fireripper.Plan.channel_pair) ->
+      List.iter
+        (fun (port, _) -> Hashtbl.replace in_port_chan (cp.Fireripper.Plan.cp_dst_unit, port) ci)
+        cp.Fireripper.Plan.cp_in.Libdn.Channel.ports)
+    pairs;
+  let chans =
+    List.mapi
+      (fun _ci (cp : Fireripper.Plan.channel_pair) ->
+        let u = cp.Fireripper.Plan.cp_src_unit in
+        let analysis = Lazy.force plan.Fireripper.Plan.p_units.(u).Fireripper.Plan.u_analysis in
+        let deps =
+          List.concat_map
+            (fun (port, _) ->
+              List.filter_map
+                (fun dep -> Hashtbl.find_opt in_port_chan (u, dep))
+                (Firrtl.Analysis.comb_inputs analysis port))
+            cp.Fireripper.Plan.cp_out.Libdn.Channel.ports
+          |> List.sort_uniq compare
+        in
+        {
+          ch_src = u;
+          ch_dst = cp.Fireripper.Plan.cp_dst_unit;
+          ch_bits = Libdn.Channel.width cp.Fireripper.Plan.cp_out;
+          ch_transport = transport ~src:u ~dst:cp.Fireripper.Plan.cp_dst_unit;
+          ch_deps = deps;
+          ch_seeded = plan.Fireripper.Plan.p_mode = Fireripper.Spec.Fast;
+          ch_extra_ps = 0;
+        })
+      pairs
+    |> Array.of_list
+  in
+  { parts; chans }
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic specs for the performance sweeps                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Two partitions cut by an interface of [bits] (each direction),
+    matching the Section VI-A sweep setup.  Exact mode splits the
+    interface into a source and a sink channel per direction (two
+    crossings per cycle); fast mode is one seeded channel each way. *)
+let two_fpga_spec ~mode ~bits ~freq_mhz ~transport =
+  let part = { p_freq_mhz = freq_mhz; p_threads = 1 } in
+  match (mode : Fireripper.Spec.mode) with
+  | Fireripper.Spec.Fast ->
+    {
+      parts = [| part; part |];
+      chans =
+        [|
+          { ch_src = 0; ch_dst = 1; ch_bits = bits; ch_transport = transport; ch_deps = [ 1 ]; ch_seeded = true; ch_extra_ps = 0 };
+          { ch_src = 1; ch_dst = 0; ch_bits = bits; ch_transport = transport; ch_deps = [ 0 ]; ch_seeded = true; ch_extra_ps = 0 };
+        |];
+    }
+  | Fireripper.Spec.Exact ->
+    (* Channels: 0/1 = src outs, 2/3 = sink outs; a sink out waits on
+       the peer's source token (chain length 2). *)
+    let src_bits = bits / 2 and snk_bits = bits - (bits / 2) in
+    {
+      parts = [| part; part |];
+      chans =
+        [|
+          { ch_src = 0; ch_dst = 1; ch_bits = src_bits; ch_transport = transport; ch_deps = []; ch_seeded = false; ch_extra_ps = 0 };
+          { ch_src = 1; ch_dst = 0; ch_bits = src_bits; ch_transport = transport; ch_deps = []; ch_seeded = false; ch_extra_ps = 0 };
+          { ch_src = 0; ch_dst = 1; ch_bits = snk_bits; ch_transport = transport; ch_deps = [ 1 ]; ch_seeded = false; ch_extra_ps = 0 };
+          { ch_src = 1; ch_dst = 0; ch_bits = snk_bits; ch_transport = transport; ch_deps = [ 0 ]; ch_seeded = false; ch_extra_ps = 0 };
+        |];
+    }
+
+(** A ring of [n] FPGAs exchanging NoC tokens with neighbours (the
+    Figure 13 sweep).  Interface width is fixed per ring hop; a small
+    per-hop skew overhead models the "minor timing issues" the paper
+    observes as rings grow. *)
+let ring_spec ~n ~bits ~freq_mhz ~transport =
+  let parts = Array.init n (fun _ -> { p_freq_mhz = freq_mhz; p_threads = 1 }) in
+  let chans =
+    Array.init (2 * n) (fun i ->
+        let k = i / 2 in
+        let forward = i mod 2 = 0 in
+        let src = if forward then k else (k + 1) mod n in
+        let dst = if forward then (k + 1) mod n else k in
+        {
+          ch_src = src;
+          ch_dst = dst;
+          ch_bits = bits;
+          ch_transport = transport;
+          ch_deps = [];
+          ch_seeded = false;
+          ch_extra_ps = 15_000 * n;
+        })
+  in
+  { parts; chans }
+
+(** FAME-5 amortization setup (Figure 14): one FPGA holds [tiles]
+    threaded tiles at [tile_freq]; the SoC subsystem FPGA runs at
+    [soc_freq].  Interface width grows linearly with the thread count,
+    as the paper notes. *)
+let fame5_spec ~tiles ~bits_per_tile ~tile_freq_mhz ~soc_freq_mhz ~transport =
+  {
+    parts =
+      [|
+        { p_freq_mhz = soc_freq_mhz; p_threads = 1 };
+        { p_freq_mhz = tile_freq_mhz; p_threads = tiles };
+      |];
+    chans =
+      [|
+        {
+          ch_src = 0;
+          ch_dst = 1;
+          ch_bits = tiles * bits_per_tile;
+          ch_transport = transport;
+          ch_deps = [ 1 ];
+          ch_seeded = true;
+          ch_extra_ps = 0;
+        };
+        {
+          ch_src = 1;
+          ch_dst = 0;
+          ch_bits = tiles * bits_per_tile;
+          ch_transport = transport;
+          ch_deps = [ 0 ];
+          ch_seeded = true;
+          ch_extra_ps = 0;
+        };
+      |];
+  }
+
+(** Star topology through a central Ethernet switch (§VIII-C): every
+    partition exchanges tokens with the hub partition 0.  Compared with
+    the QSFP ring it trades latency for arbitrary reach — no rewiring
+    when the topology changes. *)
+let star_spec ~n ~bits ~freq_mhz ~transport =
+  let parts = Array.init n (fun _ -> { p_freq_mhz = freq_mhz; p_threads = 1 }) in
+  let chans =
+    Array.init (2 * (n - 1)) (fun i ->
+        let k = (i / 2) + 1 in
+        let to_hub = i mod 2 = 0 in
+        {
+          ch_src = (if to_hub then k else 0);
+          ch_dst = (if to_hub then 0 else k);
+          ch_bits = bits;
+          ch_transport = transport;
+          ch_deps = [];
+          ch_seeded = false;
+          ch_extra_ps = 0;
+        })
+  in
+  { parts; chans }

@@ -1,0 +1,74 @@
+(** Discrete-event performance model of a partitioned FireAxe simulation
+    (Figures 11-14): the LI-BDN token protocol executed in host time,
+    with (de)serialization at the bitstream clock, transport wire time
+    and latency, and FAME-5 thread multipliers. *)
+
+type part = {
+  p_freq_mhz : float;  (** bitstream frequency *)
+  p_threads : int;  (** FAME-5 threads folded into this partition *)
+}
+
+type chan = {
+  ch_src : int;
+  ch_dst : int;
+  ch_bits : int;
+  ch_transport : Transport.kind;
+  ch_deps : int list;
+      (** channel indices of incoming channels of [ch_src] whose token
+          must arrive before this channel fires *)
+  ch_seeded : bool;  (** fast-mode initial token *)
+  ch_extra_ps : int;  (** additional per-delivery overhead (ring skew) *)
+}
+
+type spec = {
+  parts : part array;
+  chans : chan array;
+}
+
+(* Host-cycle cost constants, exposed for hardware-FMR validation. *)
+val serdes_width_bits : int
+val fire_overhead_cycles : int
+val step_overhead_cycles : int
+val period_ps : part -> int
+val ser_cycles : int -> int
+
+(** Host picoseconds to simulate [target_cycles]. *)
+val simulate : spec -> target_cycles:int -> int
+
+(** Simulation rate in target Hz. *)
+val rate : ?target_cycles:int -> spec -> float
+
+(** Closed-form estimate (the ablation baseline). *)
+val analytic_rate : spec -> float
+
+(** Builds a spec from a compiled plan: channel widths and dependency
+    structure from the real channelization; frequencies, FAME-5 threads
+    and transports supplied per unit / link. *)
+val of_plan :
+  ?freq_mhz:(int -> float) ->
+  ?threads:(int -> int) ->
+  ?transport:(src:int -> dst:int -> Transport.kind) ->
+  Fireripper.Plan.t ->
+  spec
+
+(** Two partitions cut by an interface of [bits] per direction (the
+    §VI-A sweep setup). *)
+val two_fpga_spec :
+  mode:Fireripper.Spec.mode -> bits:int -> freq_mhz:float -> transport:Transport.kind -> spec
+
+(** A ring of [n] FPGAs exchanging NoC tokens with neighbours
+    (Figure 13), with a mild per-hop skew. *)
+val ring_spec : n:int -> bits:int -> freq_mhz:float -> transport:Transport.kind -> spec
+
+(** FAME-5 amortization setup (Figure 14): [tiles] threads on one FPGA,
+    the SoC subsystem on the other; interface grows with tiles. *)
+val fame5_spec :
+  tiles:int ->
+  bits_per_tile:int ->
+  tile_freq_mhz:float ->
+  soc_freq_mhz:float ->
+  transport:Transport.kind ->
+  spec
+
+(** Star topology through a central switch (§VIII-C). *)
+val star_spec : n:int -> bits:int -> freq_mhz:float -> transport:Transport.kind -> spec

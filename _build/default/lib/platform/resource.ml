@@ -1,0 +1,121 @@
+(* FPGA resource estimation over the circuit IR: the basis for
+   FireRipper's "will this partition fit?" quick feedback (Section
+   VIII-B describes this as the direction for further automation; we
+   implement the RTL-level estimate directly).
+
+   The model is deliberately coarse — LUT counts proportional to
+   operator bit widths, FFs equal to register bits, memories mapped to
+   BRAM above a distributed-RAM threshold — but it is monotone in design
+   size, which is all the fit check and the §V-B area narrative need. *)
+
+open Firrtl
+
+type estimate = {
+  luts : int;
+  ffs : int;
+  bram_bits : int;
+  dsps : int;
+}
+
+let zero = { luts = 0; ffs = 0; bram_bits = 0; dsps = 0 }
+
+let add a b =
+  {
+    luts = a.luts + b.luts;
+    ffs = a.ffs + b.ffs;
+    bram_bits = a.bram_bits + b.bram_bits;
+    dsps = a.dsps + b.dsps;
+  }
+
+let scale_ffs n e = { e with ffs = e.ffs * n }
+
+(* LUT cost of one expression node (its own operator, not subtrees). *)
+let node_luts env e =
+  let w = Ast.width_of env e in
+  match e with
+  | Ast.Lit _ | Ast.Ref _ | Ast.Bits _ | Ast.Cat _ -> 0
+  | Ast.Mux _ -> w
+  | Ast.Unop ((Not | Neg), _) -> (w + 1) / 2
+  | Ast.Unop ((Andr | Orr | Xorr), a) -> (Ast.width_of env a + 5) / 6
+  | Ast.Binop (op, a, b) -> (
+    let wa = Ast.width_of env a and wb = Ast.width_of env b in
+    match op with
+    | Add | Sub -> w
+    | And | Or | Xor -> (w + 1) / 2
+    | Eq | Neq | Lt | Le | Gt | Ge -> (max wa wb + 2) / 3
+    | Shl | Shr -> w * 3 (* barrel shifter: ~log w mux stages *)
+    | Mul -> 0 (* counted as DSPs below *)
+    | Div | Rem -> w * w / 2)
+  | Ast.Read _ -> w (* read mux amortized *)
+
+let node_dsps env e =
+  match e with
+  | Ast.Binop (Mul, a, b) ->
+    let wa = Ast.width_of env a and wb = Ast.width_of env b in
+    max 1 (((wa + 15) / 16) * ((wb + 15) / 16))
+  | _ -> 0
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Ast.Lit _ | Ast.Ref _ -> acc
+  | Ast.Mux (a, b, c) -> fold_expr f (fold_expr f (fold_expr f acc a) b) c
+  | Ast.Binop (_, a, b) | Ast.Cat (a, b) -> fold_expr f (fold_expr f acc a) b
+  | Ast.Unop (_, a) | Ast.Bits { e = a; _ } -> fold_expr f acc a
+  | Ast.Read { addr; _ } -> fold_expr f acc addr
+
+(* Memories below this bit count map to LUT RAM, not BRAM. *)
+let bram_threshold_bits = 2048
+
+(** Estimates a flat module. *)
+let estimate_flat flat =
+  let env = Ast.module_env (Flatten.to_circuit flat) flat in
+  let expr_cost acc e =
+    fold_expr
+      (fun acc e -> add acc { zero with luts = node_luts env e; dsps = node_dsps env e })
+      acc e
+  in
+  let acc =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Ast.Connect { src; _ } -> expr_cost acc src
+        | Ast.Reg_update { next; enable; _ } ->
+          let acc = expr_cost acc next in
+          Option.fold ~none:acc ~some:(expr_cost acc) enable
+        | Ast.Mem_write { addr; data; enable; _ } ->
+          expr_cost (expr_cost (expr_cost acc addr) data) enable)
+      zero flat.Ast.stmts
+  in
+  List.fold_left
+    (fun acc c ->
+      match c with
+      | Ast.Wire _ | Ast.Inst _ -> acc
+      | Ast.Reg { width; _ } -> add acc { zero with ffs = width }
+      | Ast.Mem { width; depth; _ } ->
+        let bits = width * depth in
+        if bits >= bram_threshold_bits then add acc { zero with bram_bits = bits }
+        else add acc { zero with luts = bits / 32 * 2; ffs = 0 })
+    acc flat.Ast.comps
+
+let estimate_circuit circuit = estimate_flat (Flatten.flatten circuit)
+
+(** Estimate for one plan unit; FAME-5 threading shares the
+    combinational logic of [threads] duplicates while replicating their
+    state, which is the LUT saving Section VI-B builds on.  [threads]
+    counts the duplicates folded into one (1 = no threading). *)
+let estimate_unit ?(threads = 1) (u : Fireripper.Plan.unit_part) =
+  let full = estimate_flat (Lazy.force u.Fireripper.Plan.u_flat) in
+  if threads <= 1 then full
+  else
+    (* Approximation: the unit consists of [threads] duplicates; LUTs and
+       DSPs shrink to one copy (plus scheduler overhead), state stays. *)
+    {
+      luts = (full.luts / threads) + (full.ffs / 16);
+      ffs = full.ffs;
+      bram_bits = full.bram_bits;
+      dsps = full.dsps / threads;
+    }
+
+let pp ppf e =
+  Fmt.pf ppf "%d LUTs, %d FFs, %d BRAM bits, %d DSPs" e.luts e.ffs e.bram_bits e.dsps

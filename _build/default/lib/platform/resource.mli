@@ -1,0 +1,27 @@
+(** Coarse FPGA resource estimation over the circuit IR — the basis for
+    FireRipper's "will this partition fit?" quick feedback.  Monotone in
+    design size; not a synthesis replacement. *)
+
+type estimate = {
+  luts : int;
+  ffs : int;
+  bram_bits : int;
+  dsps : int;
+}
+
+val zero : estimate
+val add : estimate -> estimate -> estimate
+val scale_ffs : int -> estimate -> estimate
+
+(** Estimate of a flat (instance-free) module. *)
+val estimate_flat : Firrtl.Ast.module_def -> estimate
+
+(** Estimate of a whole circuit (flattened from its main module). *)
+val estimate_circuit : Firrtl.Ast.circuit -> estimate
+
+(** Estimate of one plan unit.  [threads > 1] models FAME-5: the
+    combinational logic of that many duplicates is shared while the
+    sequential state is replicated. *)
+val estimate_unit : ?threads:int -> Fireripper.Plan.unit_part -> estimate
+
+val pp : Format.formatter -> estimate -> unit

@@ -1,0 +1,54 @@
+(* FPGA-to-FPGA transport models (Section IV).
+
+   Three mechanisms, as in the paper:
+   - QSFP direct-attach cables driving Aurora IP (on-premises): lowest
+     latency, highest bandwidth;
+   - peer-to-peer PCIe between FPGAs on one AWS F1 instance: no host
+     round trip, but higher latency than QSFP;
+   - host-managed PCIe: each token crosses FPGA -> host CPU -> shared
+     memory -> host CPU -> FPGA, capping simulation rate in the tens of
+     kilohertz.
+
+   Constants are calibrated so the headline rates of the paper come out
+   of the performance model: ~1.6 MHz for QSFP, ~1 MHz for p2p PCIe and
+   ~26 kHz host-managed on a narrow fast-mode boundary. *)
+
+type kind =
+  | Qsfp
+  | Pcie_p2p
+  | Pcie_host
+  | Ethernet
+      (** §VIII-C future work: switched Ethernet between FPGAs — higher
+          latency than direct-attach QSFP (one switch traversal), but it
+          frees the topology from the two-QSFP-cage ring/tree limit:
+          any FPGA can reach any other through the switch. *)
+
+type params = {
+  latency_ps : int;  (** one-way link latency *)
+  gbps : float;  (** payload bandwidth, bits per nanosecond *)
+  fixed_overhead_ps : int;  (** per-token protocol/software overhead *)
+}
+
+let params = function
+  | Qsfp -> { latency_ps = 500_000; gbps = 64.0; fixed_overhead_ps = 40_000 }
+  | Pcie_p2p -> { latency_ps = 860_000; gbps = 32.0; fixed_overhead_ps = 60_000 }
+  | Pcie_host ->
+    (* Dominated by driver software and two host PCIe hops. *)
+    { latency_ps = 32_000_000; gbps = 32.0; fixed_overhead_ps = 4_500_000 }
+  | Ethernet ->
+    (* Two cable flights plus a cut-through switch traversal. *)
+    { latency_ps = 1_400_000; gbps = 48.0; fixed_overhead_ps = 120_000 }
+
+let name = function
+  | Qsfp -> "QSFP direct-attach"
+  | Pcie_p2p -> "PCIe peer-to-peer"
+  | Pcie_host -> "host-managed PCIe"
+  | Ethernet -> "switched Ethernet"
+
+(** Wire time for a token of [bits] (excluding link latency). *)
+let wire_time_ps kind ~bits =
+  let p = params kind in
+  p.fixed_overhead_ps + int_of_float (float_of_int bits /. p.gbps *. 1000.)
+
+(** Total one-way delivery time for a token of [bits]. *)
+let delivery_ps kind ~bits = (params kind).latency_ps + wire_time_ps kind ~bits

@@ -1,0 +1,25 @@
+(** FPGA-to-FPGA transport models (paper Section IV): QSFP direct-attach
+    cables, peer-to-peer PCIe on AWS F1, host-managed PCIe, and the
+    §VIII-C switched-Ethernet extension.  Constants are calibrated so
+    the performance model reproduces the paper's headline rates. *)
+
+type kind =
+  | Qsfp
+  | Pcie_p2p
+  | Pcie_host
+  | Ethernet
+
+type params = {
+  latency_ps : int;  (** one-way link latency *)
+  gbps : float;  (** payload bandwidth, bits per nanosecond *)
+  fixed_overhead_ps : int;  (** per-token protocol/software overhead *)
+}
+
+val params : kind -> params
+val name : kind -> string
+
+(** Wire time for a token of [bits], excluding link latency. *)
+val wire_time_ps : kind -> bits:int -> int
+
+(** Total one-way delivery time for a token of [bits]. *)
+val delivery_ps : kind -> bits:int -> int

@@ -1,0 +1,1 @@
+lib/rtlsim/assertions.ml: Firrtl Hashtbl List Sim String

@@ -1,0 +1,1 @@
+lib/rtlsim/assertions.mli: Sim

@@ -1,0 +1,1 @@
+lib/rtlsim/printfs.ml: Firrtl Hashtbl List Option Printf Sim String

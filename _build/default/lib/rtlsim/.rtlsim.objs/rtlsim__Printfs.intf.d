@@ -1,0 +1,1 @@
+lib/rtlsim/printfs.mli: Sim

@@ -1,0 +1,1 @@
+lib/rtlsim/sim.ml: Analysis Array Ast Buffer Firrtl Flatten Format Hashtbl List Option Printf String

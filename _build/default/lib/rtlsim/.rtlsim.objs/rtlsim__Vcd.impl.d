@@ -1,0 +1,1 @@
+lib/rtlsim/vcd.ml: Array Buffer Char Hashtbl List Printf Sim String

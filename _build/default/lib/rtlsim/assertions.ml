@@ -1,0 +1,43 @@
+(* Synthesized assertions, FireSim-style: target RTL declares
+   conventionally named [assert$...] wires (see [Firrtl.Builder.assertion]),
+   active high on violation; they synthesize into the FPGA image like
+   any other logic, and the host harness polls them each target cycle —
+   catching the violation at the exact cycle it fires, even billions of
+   cycles into a run. *)
+
+let marker = Firrtl.Builder.assertion_prefix
+
+let has_marker name =
+  let ml = String.length marker and nl = String.length name in
+  let rec go i = i + ml <= nl && (String.sub name i ml = marker || go (i + 1)) in
+  go 0
+
+(** All assertion wires of a simulation (flattened names). *)
+let signals sim =
+  Hashtbl.fold (fun name _ acc -> if has_marker name then name :: acc else acc)
+    sim.Sim.slots []
+  |> List.sort compare
+
+(** Assertion wires currently violated (evaluates combinational state
+    first). *)
+let violated sim =
+  Sim.eval_comb sim;
+  List.filter (fun s -> Sim.get sim s <> 0) (signals sim)
+
+(** Steps until [pred] holds or an assertion fires: [Ok halt_cycle], or
+    [Error (cycle, violated)] at the first violating cycle. *)
+let run sim ~max_cycles pred =
+  let sigs = signals sim in
+  let rec go cyc =
+    Sim.eval_comb sim;
+    match List.filter (fun s -> Sim.get sim s <> 0) sigs with
+    | _ :: _ as bad -> Error (cyc, bad)
+    | [] ->
+      if pred sim then Ok cyc
+      else if cyc >= max_cycles then Ok cyc
+      else begin
+        Sim.step_seq sim;
+        go (cyc + 1)
+      end
+  in
+  go 0

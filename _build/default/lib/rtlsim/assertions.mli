@@ -1,0 +1,21 @@
+(** Synthesized assertions (FireSim-style): conventionally named
+    [assert$...] wires, active high on violation, polled by the host
+    each target cycle. *)
+
+(** The [assert$] name marker. *)
+val marker : string
+
+(** Whether a flattened signal name is an assertion wire. *)
+val has_marker : string -> bool
+
+(** All assertion wires of a simulation (flattened names). *)
+val signals : Sim.t -> string list
+
+(** Assertion wires currently violated (evaluates combinational state
+    first). *)
+val violated : Sim.t -> string list
+
+(** Steps until [pred] holds or an assertion fires: [Ok halt_cycle], or
+    [Error (cycle, violated)] at the first violating cycle. *)
+val run :
+  Sim.t -> max_cycles:int -> (Sim.t -> bool) -> (int, int * string list) result

@@ -1,0 +1,100 @@
+(* Synthesized printfs, FireSim-style: target RTL declares a
+   [printf$<label>$fire] wire plus [printf$<label>$arg<k>] wires (see
+   [Firrtl.Builder.printf]); they synthesize like any other logic and
+   the host drains one log record per cycle the fire wire is high —
+   out-of-band target logging with no UART or software involved.
+
+   Flattening prefixes instance paths, so a label's flattened form is
+   e.g. [tile$core$printf$commit$fire]; the label reported to the host
+   includes the instance path ([tile$core$commit]). *)
+
+let marker = Firrtl.Builder.printf_prefix
+
+type site = {
+  p_label : string;  (** instance path + label, e.g. ["tile$core$commit"] *)
+  p_fire : string;
+  p_args : string list;  (** arg wires, in index order *)
+}
+
+type record = {
+  r_cycle : int;
+  r_label : string;
+  r_args : int list;
+}
+
+let find_marker name =
+  let ml = String.length marker and nl = String.length name in
+  let rec go i =
+    if i + ml > nl then None
+    else if String.sub name i ml = marker then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(** Printf sites of a simulation, grouped from the marker wires. *)
+let sites sim =
+  let tbl = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name _ ->
+      match find_marker name with
+      | None -> ()
+      | Some i -> begin
+        (* name = <path>printf$<label>$(fire | arg<k>) *)
+        let rest = String.sub name (i + String.length marker) (String.length name - i - String.length marker) in
+        match String.rindex_opt rest '$' with
+        | None -> ()
+        | Some j ->
+          let label = String.sub name 0 i ^ String.sub rest 0 j in
+          let field = String.sub rest (j + 1) (String.length rest - j - 1) in
+          let fire, args =
+            Option.value ~default:("", []) (Hashtbl.find_opt tbl label)
+          in
+          if field = "fire" then Hashtbl.replace tbl label (name, args)
+          else Hashtbl.replace tbl label (fire, (field, name) :: args)
+      end)
+    sim.Sim.slots;
+  Hashtbl.fold
+    (fun label (fire, args) acc ->
+      if fire = "" then acc
+      else
+        let index (field, _) =
+          (* field = "arg<k>" *)
+          if String.length field < 4 then max_int
+          else
+            match int_of_string_opt (String.sub field 3 (String.length field - 3)) with
+            | Some k -> k
+            | None -> max_int
+        in
+        {
+          p_label = label;
+          p_fire = fire;
+          p_args =
+            List.sort (fun a b -> compare (index a) (index b)) args |> List.map snd;
+        }
+        :: acc)
+    tbl []
+  |> List.sort compare
+
+(** Records fired this cycle (evaluates combinational state first). *)
+let poll ?(cycle = 0) sim sites_ =
+  Sim.eval_comb sim;
+  List.filter_map
+    (fun s ->
+      if Sim.get sim s.p_fire <> 0 then
+        Some { r_cycle = cycle; r_label = s.p_label; r_args = List.map (Sim.get sim) s.p_args }
+      else None)
+    sites_
+
+(** Runs [cycles] target cycles collecting every fired record. *)
+let collect sim ~cycles =
+  let ss = sites sim in
+  let log = ref [] in
+  for c = 0 to cycles - 1 do
+    log := List.rev_append (poll ~cycle:c sim ss) !log;
+    Sim.step_seq sim
+  done;
+  List.rev !log
+
+let to_string r =
+  Printf.sprintf "[%d] %s: %s" r.r_cycle r.r_label
+    (String.concat " " (List.map string_of_int r.r_args))

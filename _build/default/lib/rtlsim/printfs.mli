@@ -1,0 +1,28 @@
+(** Synthesized printfs (FireSim-style): [printf$<label>$fire] +
+    [printf$<label>$arg<k>] wires drained by the host into a
+    (cycle, label, args) log — out-of-band target logging. *)
+
+val marker : string
+
+type site = {
+  p_label : string;  (** instance path + label, e.g. ["tile$core$commit"] *)
+  p_fire : string;
+  p_args : string list;  (** arg wires, in index order *)
+}
+
+type record = {
+  r_cycle : int;
+  r_label : string;
+  r_args : int list;
+}
+
+(** Printf sites of a simulation, grouped from the marker wires. *)
+val sites : Sim.t -> site list
+
+(** Records fired this cycle (evaluates combinational state first). *)
+val poll : ?cycle:int -> Sim.t -> site list -> record list
+
+(** Runs [cycles] target cycles collecting every fired record. *)
+val collect : Sim.t -> cycles:int -> record list
+
+val to_string : record -> string

@@ -1,0 +1,504 @@
+(* Cycle-accurate RTL simulator over flat [Firrtl] modules.
+
+   The simulator compiles the levelized combinational assignments into
+   an array of closures evaluated once per cycle (no fixpoint), then
+   applies register and memory updates with two-phase commit, so
+   evaluation order never affects results.  This is the substrate that
+   plays the role of both the FPGA execution of the target design and
+   the commercial software RTL simulator baseline in the paper. *)
+
+open Firrtl
+
+exception Sim_error of string
+
+let sim_error fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+type instr = {
+  i_slot : int;
+  i_width : int;
+  i_eval : unit -> int;
+}
+
+type reg_update = {
+  r_slot : int;
+  r_width : int;
+  r_next : unit -> int;
+  r_enable : (unit -> int) option;
+}
+
+type mem_write = {
+  w_mem : int array;
+  w_depth : int;
+  w_addr : unit -> int;
+  w_data : unit -> int;
+  w_width : int;
+  w_enable : unit -> int;
+  (* Staging slots so all writes commit from pre-update state. *)
+  mutable w_fire : bool;
+  mutable w_idx : int;
+  mutable w_val : int;
+}
+
+type t = {
+  flat : Ast.module_def;
+  analysis : Analysis.t;
+  slots : (string, int) Hashtbl.t;
+  widths : int array;
+  values : int array;
+  mems : (string, int array) Hashtbl.t;
+  comb : instr array;
+  by_name : (string, instr) Hashtbl.t;  (** comb instr per driven name *)
+  regs : reg_update array;
+  reg_staging : int array;
+  writes : mem_write array;
+  mutable cycle : int;
+}
+
+let slot t name =
+  match Hashtbl.find_opt t.slots name with
+  | Some i -> i
+  | None -> sim_error "no such signal: %s" name
+
+(* Compiles an expression to a closure over the value array. *)
+let rec compile t env e =
+  match e with
+  | Ast.Lit { value; _ } -> fun () -> value
+  | Ast.Ref name ->
+    let i = slot t name in
+    let values = t.values in
+    fun () -> values.(i)
+  | Ast.Mux (c, a, b) ->
+    let fc = compile t env c and fa = compile t env a and fb = compile t env b in
+    fun () -> if fc () <> 0 then fa () else fb ()
+  | Ast.Binop (op, a, b) ->
+    let fa = compile t env a and fb = compile t env b in
+    let m = Ast.mask (Ast.width_of env e) in
+    (match op with
+    | Add -> fun () -> (fa () + fb ()) land m
+    | Sub -> fun () -> (fa () - fb ()) land m
+    | Mul -> fun () -> fa () * fb () land m
+    | Div ->
+      fun () ->
+        let d = fb () in
+        if d = 0 then 0 else fa () / d
+    | Rem ->
+      fun () ->
+        let d = fb () in
+        if d = 0 then 0 else fa () mod d
+    | And -> fun () -> fa () land fb ()
+    | Or -> fun () -> fa () lor fb ()
+    | Xor -> fun () -> fa () lxor fb ()
+    | Shl ->
+      fun () ->
+        let s = fb () in
+        if s > Ast.max_width then 0 else (fa () lsl s) land m
+    | Shr ->
+      fun () ->
+        let s = fb () in
+        if s > Ast.max_width then 0 else fa () lsr s
+    | Eq -> fun () -> if fa () = fb () then 1 else 0
+    | Neq -> fun () -> if fa () <> fb () then 1 else 0
+    | Lt -> fun () -> if fa () < fb () then 1 else 0
+    | Le -> fun () -> if fa () <= fb () then 1 else 0
+    | Gt -> fun () -> if fa () > fb () then 1 else 0
+    | Ge -> fun () -> if fa () >= fb () then 1 else 0)
+  | Ast.Unop (op, a) ->
+    let fa = compile t env a in
+    let wa = Ast.width_of env a in
+    let m = Ast.mask wa in
+    (match op with
+    | Not -> fun () -> lnot (fa ()) land m
+    | Neg -> fun () -> -fa () land m
+    | Andr -> fun () -> if fa () = m then 1 else 0
+    | Orr -> fun () -> if fa () <> 0 then 1 else 0
+    | Xorr ->
+      fun () ->
+        let rec parity acc v = if v = 0 then acc else parity (acc lxor (v land 1)) (v lsr 1) in
+        parity 0 (fa ()))
+  | Ast.Bits { e = a; hi; lo } ->
+    let fa = compile t env a in
+    let m = Ast.mask (hi - lo + 1) in
+    fun () -> (fa () lsr lo) land m
+  | Ast.Cat (a, b) ->
+    let fa = compile t env a and fb = compile t env b in
+    let wb = Ast.width_of env b in
+    if Ast.width_of env a + wb > Ast.max_width then
+      sim_error "cat result exceeds %d bits" Ast.max_width;
+    fun () -> (fa () lsl wb) lor fb ()
+  | Ast.Read { mem; addr } ->
+    let arr =
+      match Hashtbl.find_opt t.mems mem with
+      | Some a -> a
+      | None -> sim_error "no such memory: %s" mem
+    in
+    let depth = Array.length arr in
+    let fa = compile t env addr in
+    fun () -> arr.(fa () mod depth)
+
+let create flat =
+  let analysis = Analysis.build flat in
+  let slots = Hashtbl.create 256 in
+  let widths_l = ref [] in
+  let n_slots = ref 0 in
+  let add name width =
+    Hashtbl.replace slots name !n_slots;
+    incr n_slots;
+    widths_l := width :: !widths_l
+  in
+  List.iter (fun (p : Ast.port) -> add p.pname p.pwidth) flat.ports;
+  let mems = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      match c with
+      | Ast.Wire { name; width } | Ast.Reg { name; width; _ } -> add name width
+      | Ast.Mem { name; depth; _ } -> Hashtbl.replace mems name (Array.make depth 0)
+      | Ast.Inst { name; _ } -> sim_error "module %s is not flat (instance %s)" flat.name name)
+    flat.comps;
+  let mem_widths = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      match c with
+      | Ast.Mem { name; width; _ } -> Hashtbl.replace mem_widths name width
+      | Ast.Wire _ | Ast.Reg _ | Ast.Inst _ -> ())
+    flat.comps;
+  let widths = Array.of_list (List.rev !widths_l) in
+  let values = Array.make (Array.length widths) 0 in
+  (* Registers get their init values. *)
+  List.iter
+    (fun c ->
+      match c with
+      | Ast.Reg { name; width; init } ->
+        values.(Hashtbl.find slots name) <- Ast.truncate width init
+      | Ast.Wire _ | Ast.Mem _ | Ast.Inst _ -> ())
+    flat.comps;
+  let t =
+    {
+      flat;
+      analysis;
+      slots;
+      widths;
+      values;
+      mems;
+      comb = [||];
+      by_name = Hashtbl.create 256;
+      regs = [||];
+      reg_staging = [||];
+      writes = [||];
+      cycle = 0;
+    }
+  in
+  let env =
+    {
+      Ast.width_of_name =
+        (fun n ->
+          match Hashtbl.find_opt slots n with
+          | Some i -> widths.(i)
+          | None -> sim_error "unknown name %s" n);
+      Ast.width_of_mem =
+        (fun n ->
+          match Hashtbl.find_opt mem_widths n with
+          | Some w -> w
+          | None -> sim_error "unknown memory %s" n);
+    }
+  in
+  (* Combinational instructions in levelized order. *)
+  let comb =
+    List.map
+      (fun name ->
+        let i_slot = Hashtbl.find slots name in
+        let src =
+          match Analysis.driver_of analysis name with
+          | Some e -> e
+          | None -> sim_error "%s has no driver" name
+        in
+        let i_width = widths.(i_slot) in
+        let f = compile t env src in
+        let m = Ast.mask i_width in
+        let instr = { i_slot; i_width; i_eval = (fun () -> f () land m) } in
+        Hashtbl.replace t.by_name name instr;
+        instr)
+      analysis.Analysis.order
+    |> Array.of_list
+  in
+  let regs =
+    List.filter_map
+      (fun s ->
+        match s with
+        | Ast.Reg_update { reg; next; enable } ->
+          let r_slot = Hashtbl.find slots reg in
+          let r_width = widths.(r_slot) in
+          let f = compile t env next in
+          let m = Ast.mask r_width in
+          Some
+            {
+              r_slot;
+              r_width;
+              r_next = (fun () -> f () land m);
+              r_enable = Option.map (compile t env) enable;
+            }
+        | Ast.Connect _ | Ast.Mem_write _ -> None)
+      flat.stmts
+    |> Array.of_list
+  in
+  let writes =
+    List.filter_map
+      (fun s ->
+        match s with
+        | Ast.Mem_write { mem; addr; data; enable } ->
+          let arr = Hashtbl.find mems mem in
+          let w = Hashtbl.find mem_widths mem in
+          Some
+            {
+              w_mem = arr;
+              w_depth = Array.length arr;
+              w_addr = compile t env addr;
+              w_data = compile t env data;
+              w_width = w;
+              w_enable = compile t env enable;
+              w_fire = false;
+              w_idx = 0;
+              w_val = 0;
+            }
+        | Ast.Connect _ | Ast.Reg_update _ -> None)
+      flat.stmts
+    |> Array.of_list
+  in
+  { t with comb; regs; reg_staging = Array.make (Array.length regs) 0; writes }
+
+let of_circuit circuit = create (Flatten.flatten circuit)
+
+let cycle t = t.cycle
+
+let set_input t name v =
+  let i = slot t name in
+  t.values.(i) <- v land Ast.mask t.widths.(i)
+
+let get t name = t.values.(slot t name)
+
+(** Full combinational evaluation pass (call after setting inputs). *)
+let eval_comb t =
+  let comb = t.comb in
+  for i = 0 to Array.length comb - 1 do
+    let ins = Array.unsafe_get comb i in
+    t.values.(ins.i_slot) <- ins.i_eval ()
+  done
+
+(** Naive fixpoint evaluation: repeatedly sweeps the combinational
+    assignments in (deliberately unhelpful) reverse declaration order
+    until no value changes.  Produces the same values as {!eval_comb} —
+    levelization is purely a performance optimization, and the
+    [ablation_levelize] bench measures how much it buys. *)
+let eval_comb_fixpoint t =
+  let comb = t.comb in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed do
+    changed := false;
+    incr sweeps;
+    if !sweeps > Array.length comb + 2 then sim_error "fixpoint did not converge";
+    for i = Array.length comb - 1 downto 0 do
+      let ins = Array.unsafe_get comb i in
+      let v = ins.i_eval () in
+      if t.values.(ins.i_slot) <> v then begin
+        t.values.(ins.i_slot) <- v;
+        changed := true
+      end
+    done
+  done
+
+(** Sequential update: assumes [eval_comb] ran with all inputs set.
+    Two-phase: ALL register next-values and memory-write operands are
+    computed from pre-update state before any commit — otherwise a
+    later write's enable/data would observe an earlier write of the
+    same cycle (registers banked into memories by the FAME-5 hardware
+    transform make that race universal). *)
+let step_seq t =
+  let regs = t.regs in
+  for i = 0 to Array.length regs - 1 do
+    let r = Array.unsafe_get regs i in
+    let keep =
+      match r.r_enable with
+      | None -> false
+      | Some en -> en () = 0
+    in
+    t.reg_staging.(i) <- (if keep then t.values.(r.r_slot) else r.r_next ())
+  done;
+  Array.iter
+    (fun w ->
+      w.w_fire <- w.w_enable () <> 0;
+      if w.w_fire then begin
+        w.w_idx <- w.w_addr () mod w.w_depth;
+        w.w_val <- w.w_data () land Ast.mask w.w_width
+      end)
+    t.writes;
+  Array.iter (fun w -> if w.w_fire then w.w_mem.(w.w_idx) <- w.w_val) t.writes;
+  for i = 0 to Array.length regs - 1 do
+    t.values.(regs.(i).r_slot) <- t.reg_staging.(i)
+  done;
+  t.cycle <- t.cycle + 1
+
+(** Simulates one full target cycle. *)
+let step t =
+  eval_comb t;
+  step_seq t
+
+(** Pre-compiled evaluation of just the combinational cone feeding
+    [roots]; valid whenever the inputs in that cone are set, even if
+    other inputs are stale.  Used by LI-BDN output-channel firing. *)
+let make_cone_eval t roots =
+  let order = Analysis.cone t.analysis roots in
+  let instrs =
+    List.filter_map (fun name -> Hashtbl.find_opt t.by_name name) order |> Array.of_list
+  in
+  fun () ->
+    for i = 0 to Array.length instrs - 1 do
+      let ins = Array.unsafe_get instrs i in
+      t.values.(ins.i_slot) <- ins.i_eval ()
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Memory access (program loading, result inspection)                  *)
+(* ------------------------------------------------------------------ *)
+
+let mem_array t name =
+  match Hashtbl.find_opt t.mems name with
+  | Some a -> a
+  | None -> sim_error "no such memory: %s" name
+
+let poke_mem t name addr v = (mem_array t name).(addr) <- v
+let peek_mem t name addr = (mem_array t name).(addr)
+
+let load_mem t name values = List.iteri (fun i v -> poke_mem t name i v) values
+
+(* ------------------------------------------------------------------ *)
+(* State snapshots (FAME-5 threading, checkpointing)                   *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  s_regs : int array;  (** indexed like [t.regs] *)
+  s_mems : (string * int array) list;
+  s_cycle : int;
+}
+
+let save_state t =
+  {
+    s_regs = Array.map (fun r -> t.values.(r.r_slot)) t.regs;
+    s_mems = Hashtbl.fold (fun n a acc -> (n, Array.copy a) :: acc) t.mems [];
+    s_cycle = t.cycle;
+  }
+
+let restore_state t st =
+  if Array.length st.s_regs <> Array.length t.regs then
+    sim_error "restore_state: %d registers in snapshot, %d in circuit"
+      (Array.length st.s_regs) (Array.length t.regs);
+  Array.iteri (fun i r -> t.values.(r.r_slot) <- st.s_regs.(i)) t.regs;
+  List.iter
+    (fun (n, a) ->
+      let dst = mem_array t n in
+      if Array.length a <> Array.length dst then
+        sim_error "restore_state: memory %s has depth %d in snapshot, %d in circuit" n
+          (Array.length a) (Array.length dst);
+      Array.blit a 0 dst 0 (Array.length a))
+    st.s_mems;
+  t.cycle <- st.s_cycle
+
+(* Text serialization of a {!state} for on-disk snapshots: one [cycle]
+   line, one [regs] line, then one [mem] line per memory, all values as
+   decimal integers. *)
+let state_to_string st =
+  let buf = Buffer.create 4096 in
+  let ints a =
+    Array.iter
+      (fun v ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int v))
+      a
+  in
+  Buffer.add_string buf (Printf.sprintf "cycle %d\n" st.s_cycle);
+  Buffer.add_string buf (Printf.sprintf "regs %d" (Array.length st.s_regs));
+  ints st.s_regs;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "mems %d\n" (List.length st.s_mems));
+  List.iter
+    (fun (n, a) ->
+      Buffer.add_string buf (Printf.sprintf "mem %s %d" n (Array.length a));
+      ints a;
+      Buffer.add_char buf '\n')
+    st.s_mems;
+  Buffer.contents buf
+
+let snapshot_words line = String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let snapshot_int tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> sim_error "snapshot: expected an integer, got %S" tok
+
+let state_of_string text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | cycle_l :: regs_l :: mems_l :: mem_lines -> begin
+    let s_cycle =
+      match snapshot_words cycle_l with
+      | [ "cycle"; n ] -> snapshot_int n
+      | _ -> sim_error "snapshot: bad cycle line %S" cycle_l
+    in
+    let s_regs =
+      match snapshot_words regs_l with
+      | "regs" :: count :: values ->
+        let values = Array.of_list (List.map snapshot_int values) in
+        if Array.length values <> snapshot_int count then
+          sim_error "snapshot: regs line declares %s values, has %d" count
+            (Array.length values);
+        values
+      | _ -> sim_error "snapshot: bad regs line %S" regs_l
+    in
+    let n_mems =
+      match snapshot_words mems_l with
+      | [ "mems"; m ] -> snapshot_int m
+      | _ -> sim_error "snapshot: bad mems line %S" mems_l
+    in
+    if List.length mem_lines <> n_mems then
+      sim_error "snapshot: mems declares %d memories, found %d" n_mems
+        (List.length mem_lines);
+    let s_mems =
+      List.map
+        (fun l ->
+          match snapshot_words l with
+          | "mem" :: name :: len :: values ->
+            let values = Array.of_list (List.map snapshot_int values) in
+            if Array.length values <> snapshot_int len then
+              sim_error "snapshot: memory %s declares %s values, has %d" name len
+                (Array.length values);
+            (name, values)
+          | _ -> sim_error "snapshot: bad mem line %S" l)
+        mem_lines
+    in
+    { s_regs; s_mems; s_cycle }
+  end
+  | _ -> sim_error "snapshot: truncated state text"
+
+(* ------------------------------------------------------------------ *)
+(* Convenience driving                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Steps until [pred] holds after combinational evaluation; returns the
+    cycle count at that point.  Raises if [max_cycles] is exceeded. *)
+let run_until t ?(max_cycles = 10_000_000) pred =
+  let rec go () =
+    eval_comb t;
+    if pred t then t.cycle
+    else if t.cycle >= max_cycles then
+      sim_error "run_until: exceeded %d cycles in %s" max_cycles t.flat.name
+    else begin
+      step_seq t;
+      go ()
+    end
+  in
+  go ()
+
+let snapshot t =
+  Hashtbl.fold (fun name i acc -> (name, t.values.(i)) :: acc) t.slots []
+  |> List.sort compare

@@ -1,0 +1,1 @@
+lib/socgen/accel.ml: Array Builder Decoupled Dsl Firrtl Kite_core List

@@ -1,0 +1,1 @@
+lib/socgen/accel.mli: Firrtl

@@ -1,0 +1,1 @@
+lib/socgen/bigcore.ml: Ast Builder Dsl Firrtl Fun List Printf

@@ -1,0 +1,1 @@
+lib/socgen/bigcore.mli: Firrtl

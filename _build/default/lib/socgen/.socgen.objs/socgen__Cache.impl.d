@@ -1,0 +1,1 @@
+lib/socgen/cache.ml: Ast Builder Decoupled Dsl Firrtl Kite_core

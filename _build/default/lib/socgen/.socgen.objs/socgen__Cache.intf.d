@@ -1,0 +1,1 @@
+lib/socgen/cache.mli: Firrtl

@@ -1,0 +1,1 @@
+lib/socgen/decoupled.ml: Ast Builder Dsl Firrtl List

@@ -1,0 +1,1 @@
+lib/socgen/decoupled.mli: Ast Builder Firrtl

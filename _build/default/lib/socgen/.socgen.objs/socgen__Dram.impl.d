@@ -1,0 +1,1 @@
+lib/socgen/dram.ml: Ast Builder Cache Decoupled Dsl Firrtl Kite_core List Soc

@@ -1,0 +1,1 @@
+lib/socgen/dram.mli: Ast Firrtl

@@ -1,0 +1,1 @@
+lib/socgen/kite5_core.ml: Ast Builder Decoupled Dram Dsl Firrtl Kite_core Kite_isa List Memsys Rtlsim Soc

@@ -1,0 +1,1 @@
+lib/socgen/kite5_core.mli: Ast Dram Firrtl Kite_isa Rtlsim

@@ -1,0 +1,1 @@
+lib/socgen/kite_core.mli: Firrtl

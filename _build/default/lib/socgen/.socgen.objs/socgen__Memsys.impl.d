@@ -1,0 +1,1 @@
+lib/socgen/memsys.ml: Ast Builder Decoupled Dsl Firrtl Fun Kite_core List Printf

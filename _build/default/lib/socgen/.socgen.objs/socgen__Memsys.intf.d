@@ -1,0 +1,1 @@
+lib/socgen/memsys.mli: Firrtl

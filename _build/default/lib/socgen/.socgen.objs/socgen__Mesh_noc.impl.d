@@ -1,0 +1,1 @@
+lib/socgen/mesh_noc.ml: Ast Builder Dsl Firrtl Hashtbl List Printf Ring_noc

@@ -1,0 +1,1 @@
+lib/socgen/mesh_noc.mli: Firrtl

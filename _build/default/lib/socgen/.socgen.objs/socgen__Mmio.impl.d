@@ -1,0 +1,1 @@
+lib/socgen/mmio.ml: Ast Buffer Builder Cache Char Decoupled Dsl Firrtl Kite_core Kite_isa List Memsys Rtlsim Soc

@@ -1,0 +1,1 @@
+lib/socgen/mmio.mli: Buffer Firrtl Kite_isa

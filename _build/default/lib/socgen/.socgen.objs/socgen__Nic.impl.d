@@ -1,0 +1,1 @@
+lib/socgen/nic.ml: Ast Builder Cache Decoupled Dsl Firrtl Kite_core Kite_isa List Memsys Printf Soc

@@ -1,0 +1,1 @@
+lib/socgen/nic.mli: Firrtl Kite_isa

@@ -1,0 +1,1 @@
+lib/socgen/ring_noc.ml: Ast Builder Decoupled Dsl Firrtl List Printf

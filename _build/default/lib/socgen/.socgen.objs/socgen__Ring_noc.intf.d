@@ -1,0 +1,1 @@
+lib/socgen/ring_noc.mli: Ast Builder Firrtl

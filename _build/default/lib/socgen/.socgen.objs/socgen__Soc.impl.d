@@ -1,0 +1,1 @@
+lib/socgen/soc.ml: Accel Ast Builder Cache Decoupled Dsl Firrtl Kite_core Kite_isa List Memsys Printf Rtlsim

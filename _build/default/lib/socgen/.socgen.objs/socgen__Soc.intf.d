@@ -1,0 +1,1 @@
+lib/socgen/soc.mli: Ast Builder Firrtl Kite_isa Rtlsim

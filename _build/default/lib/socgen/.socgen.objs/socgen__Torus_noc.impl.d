@@ -1,0 +1,1 @@
+lib/socgen/torus_noc.ml: Ast Builder Dsl Firrtl Hashtbl List Mesh_noc Printf Ring_noc

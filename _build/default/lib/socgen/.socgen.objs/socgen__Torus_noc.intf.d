@@ -1,0 +1,1 @@
+lib/socgen/torus_noc.mli: Firrtl

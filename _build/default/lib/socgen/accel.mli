@@ -1,0 +1,42 @@
+(** Accelerator generators for the Table II validation SoCs: a
+    latency-bound sponge-hash engine (the Sha3Accel analogue) and a
+    streaming convolution engine with local buffers (the Gemmini
+    analogue).  Both are memory masters with start/done control. *)
+
+(* sha3ish FSM states *)
+val h_idle : int
+val h_rd_req : int
+val h_rd_wait : int
+val h_perm : int
+val h_wr_req : int
+val h_wr_wait : int
+val h_done : int
+
+(** Reads [len] words at [base], mixes each with [rounds] permutation
+    cycles, writes the 3-word digest at [out]. *)
+val sha3ish :
+  ?name:string -> base:int -> len:int -> out:int -> rounds:int -> unit -> Firrtl.Ast.module_def
+
+(* gemminiish FSM states *)
+val g_idle : int
+val g_load_a : int
+val g_load_w : int
+val g_compute : int
+val g_write : int
+val g_done : int
+
+(** Streaming 1-D convolution: DMAs inputs into local buffers with
+    back-to-back reads, computes locally, streams results back —
+    throughput-bound, hence insensitive to boundary latency. *)
+val gemminiish :
+  ?name:string ->
+  a_base:int ->
+  w_base:int ->
+  out_base:int ->
+  out_n:int ->
+  klen:int ->
+  unit ->
+  Firrtl.Ast.module_def
+
+(** Reference result for tests. *)
+val gemminiish_reference : a:int array -> w:int array -> out_n:int -> klen:int -> int list

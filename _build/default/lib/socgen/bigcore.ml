@@ -1,0 +1,242 @@
+(* The §V-B case study target: a wide out-of-order-style core whose
+   backend (rename/physical register file/execution lanes) does not fit
+   on one FPGA together with its frontend (fetch, branch predictor
+   tables, fetch buffer) — the GC40 BOOM situation.  FireRipper splits
+   it at the frontend/backend boundary in exact-mode; the partition
+   interface carries whole fetch bundles plus a branch-resolution bus
+   back (thousands of bits wide, >7000 at the gc40ish size).
+
+   The design is synthetic but live RTL: the frontend generates fetch
+   bundles from an LFSR-driven "instruction stream" gated by an
+   I-cache-style tag lookup and per-slot branch-predictor hash chains;
+   the backend executes every slot through deep chains of wide ALU ways
+   against per-slot physical register files, and redirects the frontend
+   like a mispredicted branch.  All cross-boundary outputs are
+   registered, so the cut is exact-mode legal with chain length 1. *)
+
+open Firrtl
+
+type params = {
+  slots : int;  (** bundle width (fetch/issue slots per cycle) *)
+  data_bits : int;  (** datapath width per operand *)
+  phys_regs : int;  (** physical register file entries per lane *)
+  exec_ways : int;  (** parallel functional-unit ways per lane *)
+  chain_depth : int;  (** ALU chain depth per way (area knob) *)
+  pred_ways : int;  (** predictor hash chains per slot (frontend area) *)
+  fetch_buffer : int;
+  icache_sets : int;
+}
+
+(** Sized so the backend takes ~60% and the frontend ~18% of a U250's
+    LUTs under the {!Platform.Resource} model, as in the paper. *)
+let gc40ish =
+  {
+    slots = 32;
+    data_bits = 48;
+    phys_regs = 256;
+    exec_ways = 54;
+    chain_depth = 6;
+    pred_ways = 68;
+    fetch_buffer = 64;
+    icache_sets = 1024;
+  }
+
+(** A small variant for fast functional tests. *)
+let tiny =
+  {
+    slots = 4;
+    data_bits = 48;
+    phys_regs = 32;
+    exec_ways = 4;
+    chain_depth = 2;
+    pred_ways = 2;
+    fetch_buffer = 16;
+    icache_sets = 64;
+  }
+
+(** Interface bits per direction of the frontend->backend cut. *)
+let bundle_bits p = p.slots * ((3 * p.data_bits) + 32 + 16)
+
+let resolve_bits p = p.slots * 33
+
+let frontend_module ?(name = "bigcore_frontend") p () =
+  let b = Builder.create name in
+  let open Dsl in
+  let redirect_valid = Builder.input b "redirect_valid" 1 in
+  let redirect_target = Builder.input b "redirect_target" 32 in
+  let credit = Builder.input b "bk_credit" 1 in
+  Builder.output b "fb_valid" 1;
+  let pc = Builder.reg b ~init:64 "pc" 32 in
+  let lfsr = Builder.reg b ~init:0xace1 "lfsr" 16 in
+  let credits = Builder.reg b ~init:2 "credits" 2 in
+  (* I-cache-ish tag lookup: a miss stalls fetch for a few cycles. *)
+  let tags = Builder.mem b "itags" ~width:20 ~depth:p.icache_sets in
+  let stall = Builder.reg b "stall" 3 in
+  let set = bits pc ~hi:14 ~lo:6 in
+  let tag = bits pc ~hi:31 ~lo:12 in
+  let hit = Builder.node b ~width:1 (read tags set ==: tag) in
+  let fetching =
+    Builder.node b ~width:1
+      ((stall ==: lit ~width:3 0) &: (credits >: lit ~width:2 0) &: not_ redirect_valid)
+  in
+  let fire = Builder.node b ~width:1 (fetching &: hit) in
+  Builder.connect b "fb_valid" fire;
+  (* Branch predictor: per slot, a pile of hash chains over pc/lfsr
+     feeding a pattern-history table, updated by the backend's
+     resolution bus.  This is where the frontend's area lives. *)
+  let pht = Builder.mem b "pht" ~width:2 ~depth:p.icache_sets in
+  for s = 0 to p.slots - 1 do
+    let sn field = Printf.sprintf "slot%d_%s" s field in
+    Builder.output b (sn "op1") p.data_bits;
+    Builder.output b (sn "op2") p.data_bits;
+    Builder.output b (sn "op3") p.data_bits;
+    Builder.output b (sn "pc") 32;
+    Builder.output b (sn "meta") 16;
+    let resolve = Builder.input b (sn "resolve") 33 in
+    let seed =
+      Builder.node b ~width:p.data_bits (cat (bits lfsr ~hi:15 ~lo:0) (pc +: lit ~width:32 s))
+    in
+    let hash =
+      List.fold_left
+        (fun acc w ->
+          Builder.node b ~width:p.data_bits
+            (match w mod 3 with
+            | 0 -> acc +: (seed >>: lit ~width:3 (w mod 7))
+            | 1 -> acc ^: (seed <<: lit ~width:3 (w mod 5))
+            | _ -> (acc +: seed) ^: lit ~width:p.data_bits (w * 2654435 land 0xffff)))
+        seed
+        (List.init p.pred_ways Fun.id)
+    in
+    let pred = Builder.node b ~width:2 (read pht (bits hash ~hi:9 ~lo:0)) in
+    Builder.connect b (sn "op1") (seed ^: hash);
+    Builder.connect b (sn "op2") (hash +: lit ~width:p.data_bits (0x5a5a + s));
+    Builder.connect b (sn "op3") (hash ^: (seed <<: lit ~width:3 3));
+    Builder.connect b (sn "pc") (pc +: lit ~width:32 s);
+    Builder.connect b (sn "meta") (cat pred (bits (lfsr ^: lit ~width:16 (s * 37)) ~hi:13 ~lo:0));
+    (* PHT update from the backend's resolution. *)
+    Builder.mem_write b pht
+      ~addr:(bits resolve ~hi:9 ~lo:0)
+      ~data:(bits resolve ~hi:11 ~lo:10)
+      ~enable:(bit resolve 32)
+  done;
+  (* Fetch buffer occupancy stand-in (BRAM). *)
+  let fbuf = Builder.mem b "fbuf" ~width:p.data_bits ~depth:p.fetch_buffer in
+  Builder.mem_write b fbuf
+    ~addr:(bits pc ~hi:5 ~lo:0)
+    ~data:(cat (bits lfsr ~hi:15 ~lo:0) (bits pc ~hi:31 ~lo:0))
+    ~enable:fire;
+  Builder.reg_next b "pc"
+    (mux redirect_valid redirect_target (mux fire (pc +: lit ~width:32 p.slots) pc));
+  Builder.reg_next b "lfsr"
+    (cat (bits lfsr ~hi:14 ~lo:0) (bit lfsr 15 ^: bit lfsr 13 ^: bit lfsr 12 ^: bit lfsr 10));
+  Builder.mem_write b tags ~addr:set ~data:tag ~enable:(fetching &: not_ hit);
+  Builder.reg_next b "stall"
+    (mux (fetching &: not_ hit) (lit ~width:3 5)
+       (mux (stall >: lit ~width:3 0) (stall -: lit ~width:3 1) stall));
+  Builder.reg_next b "credits" (credits -: fire +: credit);
+  Builder.finish b
+
+let backend_module ?(name = "bigcore_backend") p () =
+  let b = Builder.create name in
+  let open Dsl in
+  let fb_valid = Builder.input b "fb_valid" 1 in
+  Builder.output b "bk_credit" 1;
+  Builder.output b "redirect_valid" 1;
+  Builder.output b "redirect_target" 32;
+  Builder.output b "commits" 32;
+  Builder.output b "checksum" p.data_bits;
+  let commits = Builder.reg b "commits_r" 32 in
+  let checksum = Builder.reg b "checksum_r" p.data_bits in
+  let redirect_r = Builder.reg b "redirect_r" 1 in
+  let redirect_target_r = Builder.reg b "redirect_target_r" 32 in
+  let credit_r = Builder.reg b "credit_r" 1 in
+  Builder.connect b "redirect_valid" redirect_r;
+  Builder.connect b "redirect_target" redirect_target_r;
+  Builder.connect b "bk_credit" credit_r;
+  Builder.connect b "commits" commits;
+  Builder.connect b "checksum" checksum;
+  (* Execution lanes: each slot runs [exec_ways] deep chained ways
+     against its physical register file; results fold into the
+     checksum and the per-slot resolution bus. *)
+  let lane_results = ref [] in
+  for s = 0 to p.slots - 1 do
+    let sn field = Printf.sprintf "slot%d_%s" s field in
+    let op1 = Builder.input b (sn "op1") p.data_bits in
+    let op2 = Builder.input b (sn "op2") p.data_bits in
+    let op3 = Builder.input b (sn "op3") p.data_bits in
+    let pc = Builder.input b (sn "pc") 32 in
+    let meta = Builder.input b (sn "meta") 16 in
+    let prf = Builder.mem b (Printf.sprintf "prf%d" s) ~width:p.data_bits ~depth:p.phys_regs in
+    let rd_idx = Builder.node b ~width:8 (bits meta ~hi:7 ~lo:0) in
+    let reg_val = Builder.node b ~width:p.data_bits (read prf rd_idx) in
+    let ways =
+      List.init p.exec_ways (fun w ->
+          let seed =
+            Builder.node b ~width:p.data_bits (op1 +: lit ~width:p.data_bits (w * 1337 land 0xffff))
+          in
+          List.fold_left
+            (fun acc d ->
+              Builder.node b ~width:p.data_bits
+                (match (w + d) mod 3 with
+                | 0 -> acc +: reg_val
+                | 1 -> acc ^: (op2 >>: lit ~width:3 ((w + d) mod 8))
+                | _ -> (acc +: op3) ^: reg_val))
+            seed
+            (List.init p.chain_depth Fun.id))
+    in
+    let picked =
+      Builder.node b ~width:p.data_bits
+        (select
+           ~default:(List.nth ways 0)
+           (List.mapi
+              (fun w e -> (bits meta ~hi:10 ~lo:8 ==: lit ~width:3 (w mod 8), e))
+              ways))
+    in
+    let result = Builder.node b ~width:p.data_bits (picked ^: cat (lit ~width:16 0) pc) in
+    Builder.mem_write b prf ~addr:rd_idx ~data:result ~enable:fb_valid;
+    (* Registered branch-resolution bus entry back to the frontend. *)
+    let resolve = Builder.reg b (Printf.sprintf "resolve%d_r" s) 33 in
+    Builder.reg_next b (Printf.sprintf "resolve%d_r" s)
+      (cat fb_valid (cat (bits result ~hi:11 ~lo:10) (bits result ~hi:29 ~lo:0))
+      |> fun e -> bits e ~hi:32 ~lo:0);
+    Builder.output b (sn "resolve") 33;
+    Builder.connect b (sn "resolve") resolve;
+    lane_results := result :: !lane_results
+  done;
+  let folded =
+    List.fold_left (fun acc r -> Dsl.(acc ^: r)) (lit ~width:p.data_bits 0) !lane_results
+  in
+  Builder.reg_next b ~enable:fb_valid "checksum_r" Dsl.(checksum +: folded);
+  Builder.reg_next b ~enable:fb_valid "commits_r" Dsl.(commits +: lit ~width:32 p.slots);
+  Builder.reg_next b "redirect_r"
+    Dsl.(fb_valid &: (bits folded ~hi:6 ~lo:0 ==: lit ~width:7 0x2a));
+  Builder.reg_next b ~enable:fb_valid "redirect_target_r" Dsl.(bits folded ~hi:31 ~lo:0);
+  Builder.reg_next b "credit_r" fb_valid;
+  Builder.finish b
+
+(** The monolithic core: frontend + backend wired together; FireRipper
+    extracts ["backend"] onto the second FPGA. *)
+let circuit ?(p = gc40ish) () =
+  let fe = frontend_module p () in
+  let be = backend_module p () in
+  let b = Builder.create "bigcore" in
+  let fi = Builder.inst b "frontend" fe.Ast.name in
+  let bi = Builder.inst b "backend" be.Ast.name in
+  Builder.connect_in b bi "fb_valid" (Builder.of_inst fi "fb_valid");
+  for s = 0 to p.slots - 1 do
+    List.iter
+      (fun f ->
+        let port = Printf.sprintf "slot%d_%s" s f in
+        Builder.connect_in b bi port (Builder.of_inst fi port))
+      [ "op1"; "op2"; "op3"; "pc"; "meta" ];
+    let port = Printf.sprintf "slot%d_resolve" s in
+    Builder.connect_in b fi port (Builder.of_inst bi port)
+  done;
+  Builder.connect_in b fi "redirect_valid" (Builder.of_inst bi "redirect_valid");
+  Builder.connect_in b fi "redirect_target" (Builder.of_inst bi "redirect_target");
+  Builder.connect_in b fi "bk_credit" (Builder.of_inst bi "bk_credit");
+  Builder.output b "commits" 32;
+  Builder.connect b "commits" (Builder.of_inst bi "commits");
+  Builder.output b "checksum" p.data_bits;
+  Builder.connect b "checksum" (Builder.of_inst bi "checksum");
+  { Ast.cname = "bigcore"; main = "bigcore"; modules = [ fe; be; Builder.finish b ] }

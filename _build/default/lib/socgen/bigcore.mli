@@ -1,0 +1,35 @@
+(** The §V-B case study target: a wide OoO-style core whose backend does
+    not fit on one FPGA next to its frontend.  Live RTL with an
+    LFSR-driven frontend (I-cache tags, predictor hash chains) and deep
+    execution-lane chains in the backend; all cross-boundary outputs are
+    registered (exact-mode chain length 1). *)
+
+type params = {
+  slots : int;  (** bundle width (fetch/issue slots per cycle) *)
+  data_bits : int;
+  phys_regs : int;
+  exec_ways : int;
+  chain_depth : int;
+  pred_ways : int;
+  fetch_buffer : int;
+  icache_sets : int;
+}
+
+(** Sized so the backend takes ~60-70% and the frontend ~19% of a U250
+    under the resource model, with a >7000-bit boundary. *)
+val gc40ish : params
+
+(** Small variant for fast functional tests. *)
+val tiny : params
+
+(** Frontend->backend bits (instruction bundles). *)
+val bundle_bits : params -> int
+
+(** Backend->frontend bits (branch resolution bus). *)
+val resolve_bits : params -> int
+
+val frontend_module : ?name:string -> params -> unit -> Firrtl.Ast.module_def
+val backend_module : ?name:string -> params -> unit -> Firrtl.Ast.module_def
+
+(** The monolithic core; FireRipper extracts ["backend"]. *)
+val circuit : ?p:params -> unit -> Firrtl.Ast.circuit

@@ -1,0 +1,104 @@
+(* A direct-mapped, write-through L1 cache for the Kite tile.  With the
+   cache inside the tile, most requests are served locally and only
+   misses and stores cross the tile boundary — giving the partitioned
+   tile the same "rare boundary crossing" character as the paper's
+   Rocket tile (whose L1s travel with it), and hence a small fast-mode
+   cycle error in the Table II analogue.
+
+   Core-side bundle: sink [cpu_req] / source [cpu_resp].
+   Memory-side bundle: source [req] / sink [resp] (same names as the
+   core's, so the tile boundary is unchanged). *)
+
+open Firrtl
+
+let c_idle = 0
+let c_local = 1 (* hit: respond to the core from the array *)
+let c_fwd = 2 (* miss or store: forward outward *)
+let c_wait = 3
+let c_resp = 4 (* respond to the core after a refill *)
+
+(** [sets] must be a power of two. *)
+let module_def ?(name = "kite_l1") ~sets () =
+  if sets land (sets - 1) <> 0 then Ast.ir_error "cache sets must be a power of 2";
+  let idx_bits =
+    let rec bits n = if n <= 1 then 0 else 1 + bits (n / 2) in
+    bits sets
+  in
+  let b = Builder.create name in
+  let open Dsl in
+  let cpu_req = Decoupled.sink b "cpu_req" Kite_core.req_fields in
+  let cpu_resp = Decoupled.source b "cpu_resp" Kite_core.resp_fields in
+  let req = Decoupled.source b "req" Kite_core.req_fields in
+  let resp = Decoupled.sink b "resp" Kite_core.resp_fields in
+  let tags = Builder.mem b "tags" ~width:16 ~depth:sets in
+  let datas = Builder.mem b "datas" ~width:16 ~depth:sets in
+  let valids = Builder.mem b "valids" ~width:1 ~depth:sets in
+  let state = Builder.reg b ~init:c_idle "state" 3 in
+  let addr_r = Builder.reg b "addr_r" 16 in
+  let wdata_r = Builder.reg b "wdata_r" 16 in
+  let wen_r = Builder.reg b "wen_r" 1 in
+  let st v = lit ~width:3 v in
+  let in_state v = state ==: st v in
+  let index_of a = if idx_bits = 0 then lit ~width:1 0 else bits a ~hi:(idx_bits - 1) ~lo:0 in
+  let tag_of a = a >>: lit ~width:5 idx_bits in
+  let idx = Builder.node b ~width:(max 1 idx_bits) (index_of addr_r) in
+  let hit =
+    Builder.node b ~width:1
+      ((read valids idx ==: one) &: (read tags idx ==: tag_of addr_r))
+  in
+  let cpu_req_fire =
+    Builder.node b ~width:1 (ref_ cpu_req.Decoupled.valid &: ref_ cpu_req.Decoupled.ready)
+  in
+  let req_fire = Builder.node b ~width:1 (ref_ req.Decoupled.valid &: ref_ req.Decoupled.ready) in
+  let resp_fire =
+    Builder.node b ~width:1 (ref_ resp.Decoupled.valid &: ref_ resp.Decoupled.ready)
+  in
+  let cpu_resp_fire =
+    Builder.node b ~width:1 (ref_ cpu_resp.Decoupled.valid &: ref_ cpu_resp.Decoupled.ready)
+  in
+  (* Core side.  In c_local the response is only valid on a load hit;
+     misses and stores fall through to the forwarding states. *)
+  Builder.connect b cpu_req.Decoupled.ready (in_state c_idle);
+  Builder.connect b cpu_resp.Decoupled.valid
+    ((in_state c_local &: hit &: not_ wen_r) |: in_state c_resp);
+  Builder.connect b "cpu_resp_data"
+    (mux (in_state c_local) (read datas idx) (ref_ "resp_data"));
+  (* Memory side: forward the latched request. *)
+  Builder.connect b req.Decoupled.valid (in_state c_fwd);
+  Builder.connect b "req_addr" addr_r;
+  Builder.connect b "req_wdata" wdata_r;
+  Builder.connect b "req_wen" wen_r;
+  Builder.connect b resp.Decoupled.ready (in_state c_wait);
+  (* Latch the core's request. *)
+  Builder.reg_next b ~enable:cpu_req_fire "addr_r" (ref_ "cpu_req_addr");
+  Builder.reg_next b ~enable:cpu_req_fire "wdata_r" (ref_ "cpu_req_wdata");
+  Builder.reg_next b ~enable:cpu_req_fire "wen_r" (ref_ "cpu_req_wen");
+  (* Hit check happens in the cycle after acceptance (addr_r valid). *)
+  let next_state =
+    select ~default:state
+      [
+        (in_state c_idle &: cpu_req_fire, st c_local);
+        ( in_state c_local,
+          (* Loads hit locally; stores and misses go outward. *)
+          mux (hit &: not_ wen_r)
+            (mux cpu_resp_fire (st c_idle) (st c_local))
+            (st c_fwd) );
+        (in_state c_fwd &: req_fire, st c_wait);
+        (in_state c_wait &: resp_fire, st c_resp);
+        (in_state c_resp &: cpu_resp_fire, st c_idle);
+      ]
+  in
+  Builder.reg_next b "state" next_state;
+  (* c_local doubles as the hit-responding state: cpu_resp_valid is
+     asserted there, but it is only a *hit* response when hit && load.
+     Mask validity accordingly. *)
+  (* Refill / store-update the array on outer responses and store hits. *)
+  let refill = Builder.node b ~width:1 (in_state c_wait &: resp_fire &: not_ wen_r) in
+  let store_update = Builder.node b ~width:1 (in_state c_wait &: resp_fire &: wen_r &: hit) in
+  let update = Builder.node b ~width:1 (refill |: store_update) in
+  Builder.mem_write b tags ~addr:idx ~data:(tag_of addr_r) ~enable:update;
+  Builder.mem_write b valids ~addr:idx ~data:one ~enable:update;
+  Builder.mem_write b datas ~addr:idx
+    ~data:(mux wen_r wdata_r (ref_ "resp_data"))
+    ~enable:update;
+  Builder.finish b

@@ -1,0 +1,13 @@
+(** Direct-mapped, write-through L1 cache for the Kite tile: keeps most
+    requests inside the tile so partitioned tiles cross the boundary
+    rarely, like the paper's Rocket tile with its L1s. *)
+
+val c_idle : int
+val c_local : int
+val c_fwd : int
+val c_wait : int
+val c_resp : int
+
+(** [sets] must be a power of two.  Core-side bundle: [cpu_req]/
+    [cpu_resp]; memory-side: [req]/[resp]. *)
+val module_def : ?name:string -> sets:int -> unit -> Firrtl.Ast.module_def

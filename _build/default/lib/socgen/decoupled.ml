@@ -1,0 +1,67 @@
+(* Ready-valid (decoupled) interface helpers for circuit generators.
+
+   A bundle groups a valid, a ready and payload fields under a common
+   prefix, and registers the [Ready_valid] annotation FireRipper's
+   fast-mode uses to repair backpressure at partition boundaries. *)
+
+open Firrtl
+
+type bundle = {
+  valid : string;
+  ready : string;
+  payload : (string * int) list;  (** field port name, width *)
+}
+
+let field_name prefix field = prefix ^ "_" ^ field
+
+(** Declares an outgoing bundle: output valid/payload, input ready.
+    Drive [valid] and the payload fields with [Builder.connect]. *)
+let source b prefix fields =
+  let valid = field_name prefix "valid" in
+  let ready = field_name prefix "ready" in
+  Builder.output b valid 1;
+  let _ = Builder.input b ready 1 in
+  let payload =
+    List.map
+      (fun (f, w) ->
+        let name = field_name prefix f in
+        Builder.output b name w;
+        (name, w))
+      fields
+  in
+  Builder.annotate b
+    (Ast.Ready_valid
+       { role = Ast.Rv_source; valid; ready; payload = List.map fst payload });
+  { valid; ready; payload }
+
+(** Declares an incoming bundle: input valid/payload, output ready.
+    Drive [ready] with [Builder.connect]. *)
+let sink b prefix fields =
+  let valid = field_name prefix "valid" in
+  let ready = field_name prefix "ready" in
+  let _ = Builder.input b valid 1 in
+  Builder.output b ready 1;
+  let payload =
+    List.map
+      (fun (f, w) ->
+        let name = field_name prefix f in
+        let _ = Builder.input b name w in
+        (name, w))
+      fields
+  in
+  Builder.annotate b
+    (Ast.Ready_valid { role = Ast.Rv_sink; valid; ready; payload = List.map fst payload });
+  { valid; ready; payload }
+
+let fire bundle = Dsl.(ref_ bundle.valid &: ref_ bundle.ready)
+
+(** Connects instance [src]'s source bundle [prefix] to instance [dst]'s
+    sink bundle of the same prefix (same field names both sides). *)
+let connect_insts b ~src ~dst ~prefix ~fields =
+  let v = field_name prefix "valid" and r = field_name prefix "ready" in
+  Builder.connect_in b dst v (Builder.of_inst src v);
+  Builder.connect_in b src r (Builder.of_inst dst r);
+  List.iter
+    (fun (f, _) ->
+      Builder.connect_in b dst (field_name prefix f) (Builder.of_inst src (field_name prefix f)))
+    fields

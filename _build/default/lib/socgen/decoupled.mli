@@ -1,0 +1,26 @@
+(** Ready-valid (decoupled) interface helpers for circuit generators;
+    bundles register the [Ready_valid] annotations FireRipper's
+    fast-mode uses to repair backpressure at partition boundaries. *)
+
+open Firrtl
+
+type bundle = {
+  valid : string;
+  ready : string;
+  payload : (string * int) list;  (** field port name, width *)
+}
+
+val field_name : string -> string -> string
+
+(** Outgoing bundle: output valid/payload, input ready. *)
+val source : Builder.t -> string -> (string * int) list -> bundle
+
+(** Incoming bundle: input valid/payload, output ready. *)
+val sink : Builder.t -> string -> (string * int) list -> bundle
+
+val fire : bundle -> Ast.expr
+
+(** Connects [src]'s source bundle [prefix] to [dst]'s same-named sink
+    bundle. *)
+val connect_insts :
+  Builder.t -> src:string -> dst:string -> prefix:string -> fields:(string * int) list -> unit

@@ -1,0 +1,197 @@
+(* FASED-style DRAM timing model.
+
+   FireSim attaches its targets to FASED, an FPGA-hosted DDR timing
+   model whose latency depends on bank state: a request to the row
+   already open in its bank pays only the CAS latency, a request to a
+   different row pays precharge + activate + CAS, and periodic refresh
+   steals the whole device for t_RFC cycles.  This generator produces
+   the same first-order model as synthesizable RTL behind the standard
+   decoupled request/response port, so it drops in anywhere a
+   [Memsys.scratchpad] does — and, being ordinary RTL, it partitions
+   like everything else.
+
+   Address map: {row, bank, column} — low bits select the column so
+   streaming accesses stay in one row (row-buffer hits), and the bank
+   bits sit between column and row so consecutive rows fall in
+   different banks.
+
+   Per-bank open-row state lives in a small table (a memory of
+   [banks] entries) plus a valid bitmask; refresh closes every row.
+   Hit/miss/refresh counters are exported as outputs for the
+   AutoCounter bridge. *)
+
+open Firrtl
+
+(* DRAM controller FSM states. *)
+let d_idle = 0
+let d_busy = 1
+let d_resp = 2
+let d_refresh = 3
+
+type timing = {
+  t_cas : int;  (** column access, row already open *)
+  t_rcd : int;  (** activate: row closed -> open *)
+  t_rp : int;  (** precharge: close the previously open row *)
+  t_refi : int;  (** cycles between refreshes (0 disables refresh) *)
+  t_rfc : int;  (** cycles a refresh occupies the device *)
+}
+
+(* Roughly DDR3-1600 ratios at a 16-bit toy scale. *)
+let default_timing = { t_cas = 4; t_rcd = 4; t_rp = 4; t_refi = 512; t_rfc = 16 }
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 n
+
+(** The DRAM module: [depth] words total, split into [banks] banks with
+    [cols] words per row.  All three must be powers of two. *)
+let dram ?(name = "dram") ?(timing = default_timing) ?(banks = 4) ?(cols = 16) ~depth () =
+  List.iter
+    (fun (what, v) ->
+      if v <= 0 || v land (v - 1) <> 0 then
+        Ast.ir_error "dram: %s must be a positive power of 2 (got %d)" what v)
+    [ ("depth", depth); ("banks", banks); ("cols", cols) ];
+  if banks * cols > depth then Ast.ir_error "dram: banks * cols exceeds depth";
+  if timing.t_cas < 1 || timing.t_rcd < 0 || timing.t_rp < 0 then
+    Ast.ir_error "dram: negative timing";
+  let col_bits = log2 cols in
+  let bank_bits = log2 banks in
+  let row_bits = log2 depth - col_bits - bank_bits in
+  if row_bits < 1 then Ast.ir_error "dram: no row bits left";
+  let b = Builder.create name in
+  let req = Decoupled.sink b "req" Kite_core.req_fields in
+  let resp = Decoupled.source b "resp" Kite_core.resp_fields in
+  let open Dsl in
+  let mem = Builder.mem b "mem" ~width:16 ~depth in
+  let rowtable = Builder.mem b "rowtable" ~width:row_bits ~depth:banks in
+  let state = Builder.reg b ~init:d_idle "state" 2 in
+  let count = Builder.reg b "count" 8 in
+  let addr_r = Builder.reg b "addr_r" 16 in
+  let valid_mask = Builder.reg b "valid_mask" banks in
+  let refresh_count =
+    Builder.reg b ~init:(max 0 (timing.t_refi - 1)) "refresh_count" 16
+  in
+  let hits = Builder.reg b "hits_r" 16 in
+  let misses = Builder.reg b "misses_r" 16 in
+  let refreshes = Builder.reg b "refreshes_r" 16 in
+  let st v = lit ~width:2 v in
+  let in_state v = state ==: st v in
+  let req_fire = Builder.node b ~width:1 (ref_ req.Decoupled.valid &: ref_ req.Decoupled.ready) in
+  let resp_fire =
+    Builder.node b ~width:1 (ref_ resp.Decoupled.valid &: ref_ resp.Decoupled.ready)
+  in
+  (* Address decomposition. *)
+  let addr = ref_ "req_addr" in
+  let bank =
+    Builder.node b ~width:bank_bits
+      (bits addr ~hi:(col_bits + bank_bits - 1) ~lo:col_bits)
+  in
+  let row =
+    Builder.node b ~width:row_bits
+      (bits addr ~hi:(col_bits + bank_bits + row_bits - 1) ~lo:(col_bits + bank_bits))
+  in
+  (* Bank state lookup: open row and its valid bit. *)
+  let bank_open = Builder.node b ~width:1 (bit (valid_mask >>: bank) 0) in
+  let row_hit = Builder.node b ~width:1 (bank_open &: (read rowtable bank ==: row)) in
+  (* Request latency by bank state. *)
+  let lat hit_path =
+    let t = timing in
+    match hit_path with
+    | `Hit -> t.t_cas
+    | `Conflict -> t.t_rp + t.t_rcd + t.t_cas
+    | `Closed -> t.t_rcd + t.t_cas
+  in
+  let latency =
+    Builder.node b ~width:8
+      (select
+         ~default:(lit ~width:8 (lat `Closed))
+         [
+           (row_hit, lit ~width:8 (lat `Hit));
+           (bank_open, lit ~width:8 (lat `Conflict));
+         ])
+  in
+  let refresh_due =
+    if timing.t_refi = 0 then zero
+    else Builder.node b ~width:1 (refresh_count ==: lit ~width:16 0)
+  in
+  (* Refresh preempts new requests; in-flight ones complete first. *)
+  Builder.connect b req.Decoupled.ready (in_state d_idle &: not_ refresh_due);
+  Builder.connect b resp.Decoupled.valid (in_state d_resp);
+  Builder.connect b "resp_data" (read mem addr_r);
+  Builder.mem_write b mem ~addr ~data:(ref_ "req_wdata") ~enable:(req_fire &: ref_ "req_wen");
+  Builder.reg_next b ~enable:req_fire "addr_r" addr;
+  (* Open the accessed row in its bank. *)
+  Builder.mem_write b rowtable ~addr:bank ~data:row ~enable:req_fire;
+  let refresh_start = Builder.node b ~width:1 (in_state d_idle &: refresh_due) in
+  let refresh_done =
+    Builder.node b ~width:1 (in_state d_refresh &: (count ==: lit ~width:8 0))
+  in
+  Builder.reg_next b "valid_mask"
+    (select ~default:valid_mask
+       [
+         (refresh_start, lit ~width:banks 0);
+         (req_fire, valid_mask |: (lit ~width:banks 1 <<: bank));
+       ]);
+  Builder.reg_next b "state"
+    (select ~default:state
+       [
+         (refresh_start, st d_refresh);
+         (refresh_done, st d_idle);
+         (in_state d_idle &: req_fire, st d_busy);
+         (in_state d_busy &: (count ==: lit ~width:8 0), st d_resp);
+         (in_state d_resp &: resp_fire, st d_idle);
+       ]);
+  Builder.reg_next b "count"
+    (select
+       ~default:(count -: lit ~width:8 1)
+       [
+         (req_fire, latency -: lit ~width:8 1);
+         (refresh_start, lit ~width:8 (max 0 (timing.t_rfc - 1)));
+       ]);
+  Builder.reg_next b "refresh_count"
+    (select
+       ~default:(mux refresh_due (lit ~width:16 0) (refresh_count -: lit ~width:16 1))
+       [ (refresh_done, lit ~width:16 (max 0 (timing.t_refi - 1))) ]);
+  (* Observability counters. *)
+  Builder.reg_next b ~enable:(req_fire &: row_hit) "hits_r" (hits +: lit ~width:16 1);
+  Builder.reg_next b ~enable:(req_fire &: not_ row_hit) "misses_r" (misses +: lit ~width:16 1);
+  Builder.reg_next b ~enable:refresh_start "refreshes_r" (refreshes +: lit ~width:16 1);
+  Builder.output b "hits" 16;
+  Builder.connect b "hits" hits;
+  Builder.output b "misses" 16;
+  Builder.connect b "misses" misses;
+  Builder.output b "refreshes" 16;
+  Builder.connect b "refreshes" refreshes;
+  Builder.finish b
+
+(** One Kite tile backed by the DRAM timing model instead of a
+    fixed-latency scratchpad (the FASED-attached SoC shape).  The
+    program loads into ["mem$mem"]; bank-state counters surface as top
+    outputs [hits]/[misses]/[refreshes]. *)
+let dram_soc ?timing ?banks ?cols ?(mem_depth = 1024) ?(cache_sets = Some 64) () =
+  let core = Kite_core.module_def () in
+  let tile = Soc.tile_module ~cache_sets ~core_module:core.Ast.name () in
+  let mem = dram ?timing ?banks ?cols ~name:"mem" ~depth:mem_depth () in
+  let l1_modules =
+    match cache_sets with
+    | Some sets -> [ Cache.module_def ~name:"kite_tile_l1" ~sets () ]
+    | None -> []
+  in
+  let b = Builder.create "dramsoc" in
+  let t = Builder.inst b "tile" tile.Ast.name in
+  let m = Builder.inst b "mem" mem.Ast.name in
+  Soc.connect_mem_port b ~master:t ~slave:m;
+  Builder.output b "halted" 1;
+  Builder.connect b "halted" (Builder.of_inst t "halted");
+  Builder.output b "retired" 16;
+  Builder.connect b "retired" (Builder.of_inst t "retired");
+  List.iter
+    (fun o ->
+      Builder.output b o 16;
+      Builder.connect b o (Builder.of_inst m o))
+    [ "hits"; "misses"; "refreshes" ];
+  {
+    Ast.cname = "dramsoc";
+    main = "dramsoc";
+    modules = l1_modules @ [ core; tile; mem; Builder.finish b ];
+  }

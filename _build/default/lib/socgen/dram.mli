@@ -1,0 +1,47 @@
+(** FASED-style DRAM timing model: per-bank open-row state, row-buffer
+    hit/conflict/closed latencies and periodic refresh, behind the
+    standard decoupled request/response port — drop-in for
+    [Memsys.scratchpad], as synthesizable RTL. *)
+
+open Firrtl
+
+(** DRAM controller FSM states. *)
+val d_idle : int
+
+val d_busy : int
+val d_resp : int
+val d_refresh : int
+
+type timing = {
+  t_cas : int;  (** column access, row already open *)
+  t_rcd : int;  (** activate: row closed -> open *)
+  t_rp : int;  (** precharge: close the previously open row *)
+  t_refi : int;  (** cycles between refreshes (0 disables refresh) *)
+  t_rfc : int;  (** cycles a refresh occupies the device *)
+}
+
+(** Roughly DDR3-1600 ratios at the repo's 16-bit toy scale. *)
+val default_timing : timing
+
+(** The DRAM module: [depth] words split into [banks] banks with [cols]
+    words per row (all powers of two).  Address map {row, bank, column}.
+    Exports [hits]/[misses]/[refreshes] counter outputs. *)
+val dram :
+  ?name:string ->
+  ?timing:timing ->
+  ?banks:int ->
+  ?cols:int ->
+  depth:int ->
+  unit ->
+  Ast.module_def
+
+(** One Kite tile backed by the DRAM model (the FASED-attached SoC
+    shape); program loads into ["mem$mem"]. *)
+val dram_soc :
+  ?timing:timing ->
+  ?banks:int ->
+  ?cols:int ->
+  ?mem_depth:int ->
+  ?cache_sets:int option ->
+  unit ->
+  Ast.circuit

@@ -1,0 +1,305 @@
+(* A classic 5-stage in-order pipeline (IF / ID / EX / MEM / WB) for the
+   Kite ISA — the pipelined counterpart of the multi-cycle FSM core in
+   [Kite_core], playing the role of the Rocket-class in-order cores the
+   paper partitions.  Architecturally identical to the reference
+   interpreter (differentially tested program by program), so either
+   core drops into the validation experiments.
+
+   Microarchitecture:
+   - Harvard front end: instructions come from an internal [imem]
+     (poked like any memory); data goes through the standard decoupled
+     request/response port, so the MEM stage tolerates any latency —
+     including a partition boundary or the DRAM timing model.
+   - Full forwarding: EX reads producers from EX/MEM and MEM/WB; the
+     register file is bypassed at ID for writes retiring that cycle.
+   - Loads: a consumer of an in-flight LW stalls in ID until the load
+     reaches WB (variable-latency MEM makes the classic one-bubble
+     schedule unsafe).
+   - Branches and JAL resolve in EX; taken control flow flushes the two
+     younger stages (2-cycle penalty).
+   - HALT stops fetch when it reaches EX and raises [halted] when it
+     retires, after every older instruction. *)
+
+open Firrtl
+
+(* Opcodes (see Kite_isa). *)
+let op_alu = 0
+let op_addi = 1
+let op_lw = 2
+let op_sw = 3
+let op_beq = 4
+let op_bne = 5
+let op_jal = 6
+let op_halt = 7
+
+let module_def ?(name = "kite5_core") ?(imem_depth = 256) () =
+  if imem_depth land (imem_depth - 1) <> 0 then
+    Ast.ir_error "kite5: imem_depth must be a power of 2";
+  let b = Builder.create name in
+  let req = Decoupled.source b "req" Kite_core.req_fields in
+  let resp = Decoupled.sink b "resp" Kite_core.resp_fields in
+  Builder.output b "halted" 1;
+  Builder.output b "retired" 16;
+  let open Dsl in
+  let lit16 = lit ~width:16 in
+  let n16 e = Builder.node b ~width:16 e in
+  let n1 e = Builder.node b ~width:1 e in
+
+  let imem = Builder.mem b "imem" ~width:16 ~depth:imem_depth in
+  let rf = Builder.mem b "rf" ~width:16 ~depth:8 in
+
+  (* Architectural / pipeline registers. *)
+  let pc = Builder.reg b "pc" 16 in
+  let fetch_stop = Builder.reg b "fetch_stop" 1 in
+  let halted = Builder.reg b "halted_r" 1 in
+  let retired = Builder.reg b "retired_count" 16 in
+
+  let fd_valid = Builder.reg b "fd_valid" 1 in
+  let fd_pc = Builder.reg b "fd_pc" 16 in
+  let fd_ir = Builder.reg b "fd_ir" 16 in
+
+  let dx_valid = Builder.reg b "dx_valid" 1 in
+  let dx_pc = Builder.reg b "dx_pc" 16 in
+  let dx_op = Builder.reg b "dx_op" 3 in
+  let dx_rd = Builder.reg b "dx_rd" 3 in
+  let dx_rs1 = Builder.reg b "dx_rs1" 3 in
+  let dx_bidx = Builder.reg b "dx_bidx" 3 in
+  let dx_a = Builder.reg b "dx_a" 16 in
+  let dx_b = Builder.reg b "dx_b" 16 in
+  let dx_imm = Builder.reg b "dx_imm" 16 in
+  let dx_funct = Builder.reg b "dx_funct" 4 in
+
+  let xm_valid = Builder.reg b "xm_valid" 1 in
+  let xm_pc = Builder.reg b "xm_pc" 16 in
+  let xm_op = Builder.reg b "xm_op" 3 in
+  let xm_rd = Builder.reg b "xm_rd" 3 in
+  let xm_val = Builder.reg b "xm_val" 16 in
+  let xm_store = Builder.reg b "xm_store" 16 in
+  let m_issued = Builder.reg b "m_issued" 1 in
+
+  let mw_valid = Builder.reg b "mw_valid" 1 in
+  let (_ : Ast.expr) = Builder.reg b "mw_pc" 16 in
+  let mw_rd = Builder.reg b "mw_rd" 3 in
+  let mw_val = Builder.reg b "mw_val" 16 in
+  let mw_wen = Builder.reg b "mw_wen" 1 in
+  let mw_halt = Builder.reg b "mw_halt" 1 in
+
+  (* ---------------- MEM stage ---------------- *)
+  let xm_is_mem = n1 (xm_valid &: ((xm_op ==: lit ~width:3 op_lw) |: (xm_op ==: lit ~width:3 op_sw))) in
+  let req_fire = n1 (ref_ req.Decoupled.valid &: ref_ req.Decoupled.ready) in
+  let resp_fire = n1 (ref_ resp.Decoupled.valid &: ref_ resp.Decoupled.ready) in
+  Builder.connect b req.Decoupled.valid (xm_is_mem &: not_ m_issued);
+  Builder.connect b "req_addr" xm_val;
+  Builder.connect b "req_wdata" xm_store;
+  Builder.connect b "req_wen" (xm_op ==: lit ~width:3 op_sw);
+  Builder.connect b resp.Decoupled.ready m_issued;
+  let mem_finish = n1 (xm_valid &: (not_ xm_is_mem |: resp_fire)) in
+  let m_ready = n1 (not_ xm_valid |: mem_finish) in
+  Builder.reg_next b "m_issued"
+    (select ~default:m_issued
+       [ (resp_fire, zero); (req_fire, one); (m_ready, zero) ]);
+
+  (* ---------------- EX stage ---------------- *)
+  (* Forwarding: EX/MEM for ALU-class producers, then MEM/WB. *)
+  let xm_fwd_ok =
+    n1
+      (xm_valid
+      &: ((xm_op ==: lit ~width:3 op_alu)
+         |: (xm_op ==: lit ~width:3 op_addi)
+         |: (xm_op ==: lit ~width:3 op_jal)))
+  in
+  let mw_fwd_ok = n1 (mw_valid &: mw_wen) in
+  let fwd idx latched =
+    n16
+      (select ~default:latched
+         [
+           (xm_fwd_ok &: (xm_rd ==: idx), xm_val);
+           (mw_fwd_ok &: (mw_rd ==: idx), mw_val);
+         ])
+  in
+  let a = fwd dx_rs1 dx_a in
+  let bv = fwd dx_bidx dx_b in
+  let shamt = bits bv ~hi:3 ~lo:0 in
+  let alu =
+    n16
+      (select
+         ~default:(a +: bv) (* undefined functs behave as add *)
+         [
+           (dx_funct ==: lit ~width:4 0, a +: bv);
+           (dx_funct ==: lit ~width:4 1, a -: bv);
+           (dx_funct ==: lit ~width:4 2, a &: bv);
+           (dx_funct ==: lit ~width:4 3, a |: bv);
+           (dx_funct ==: lit ~width:4 4, a ^: bv);
+           (dx_funct ==: lit ~width:4 5, a <<: shamt);
+           (dx_funct ==: lit ~width:4 6, a >>: shamt);
+           (dx_funct ==: lit ~width:4 7, mux (a <: bv) (lit16 1) (lit16 0));
+           (dx_funct ==: lit ~width:4 8, a *: bv);
+         ])
+  in
+  let op_is v = dx_op ==: lit ~width:3 v in
+  (* BEQ/BNE compare regs[rd] (latched as b) with regs[rs1] (a). *)
+  let taken =
+    n1
+      (dx_valid
+      &: ((op_is op_beq &: (bv ==: a)) |: (op_is op_bne &: (bv <>: a)) |: op_is op_jal))
+  in
+  let ex_fire = n1 (dx_valid &: m_ready) in
+  let redirect = n1 (ex_fire &: taken) in
+  let halt_seen = n1 (ex_fire &: op_is op_halt) in
+  let seq_pc = n16 (dx_pc +: lit16 1) in
+  let target = n16 (seq_pc +: dx_imm) in
+  (* Value leaving EX: address for memory ops, link for JAL, ALU else. *)
+  let ex_val =
+    n16
+      (select ~default:alu
+         [
+           (op_is op_addi, a +: dx_imm);
+           (op_is op_lw |: op_is op_sw, a +: dx_imm);
+           (op_is op_jal, seq_pc);
+         ])
+  in
+
+  (* ---------------- ID stage ---------------- *)
+  let ir = fd_ir in
+  let id_op = Builder.node b ~width:3 (bits ir ~hi:15 ~lo:13) in
+  let id_rd = Builder.node b ~width:3 (bits ir ~hi:12 ~lo:10) in
+  let id_rs1 = Builder.node b ~width:3 (bits ir ~hi:9 ~lo:7) in
+  let id_rs2 = Builder.node b ~width:3 (bits ir ~hi:6 ~lo:4) in
+  let id_imm =
+    (* sext7 *)
+    n16
+      (mux (bit ir 6)
+         (bits ir ~hi:6 ~lo:0 |: lit16 0xff80)
+         (bits ir ~hi:6 ~lo:0))
+  in
+  let id_op_is v = id_op ==: lit ~width:3 v in
+  (* Second operand register: rs2 for ALU, rd for SW/BEQ/BNE. *)
+  let id_bidx =
+    Builder.node b ~width:3 (mux (id_op_is op_alu) id_rs2 id_rd)
+  in
+  let needs_rs1 =
+    n1
+      (id_op_is op_alu |: id_op_is op_addi |: id_op_is op_lw |: id_op_is op_sw
+     |: id_op_is op_beq |: id_op_is op_bne)
+  in
+  let needs_b = n1 (id_op_is op_alu |: id_op_is op_sw |: id_op_is op_beq |: id_op_is op_bne) in
+  (* Register read with WB bypass. *)
+  let rf_read idx =
+    n16 (mux (mw_fwd_ok &: (mw_rd ==: idx)) mw_val (read rf idx))
+  in
+  let id_a = rf_read id_rs1 in
+  let id_b = rf_read id_bidx in
+  (* Load-use: stall while a needed LW sits in EX or MEM. *)
+  let lw_hazard idx =
+    n1
+      ((dx_valid &: (dx_op ==: lit ~width:3 op_lw) &: (dx_rd ==: idx))
+      |: (xm_valid &: (xm_op ==: lit ~width:3 op_lw) &: (xm_rd ==: idx)))
+  in
+  let load_use =
+    n1 (fd_valid &: ((needs_rs1 &: lw_hazard id_rs1) |: (needs_b &: lw_hazard id_bidx)))
+  in
+  let id_fire = n1 (fd_valid &: m_ready &: not_ load_use &: not_ redirect &: not_ halt_seen) in
+
+  (* ---------------- IF stage ---------------- *)
+  let fetch_ok = n1 (not_ fetch_stop &: not_ halted) in
+  let fd_free = n1 (not_ fd_valid |: (m_ready &: not_ load_use)) in
+  let squash = n1 (redirect |: halt_seen) in
+  let do_fetch = n1 (fd_free &: fetch_ok &: not_ squash) in
+
+  (* ---------------- Pipeline register updates ---------------- *)
+  let gate = not_ halted in
+  (* PC *)
+  Builder.reg_next b ~enable:gate "pc"
+    (select ~default:pc [ (redirect, target); (do_fetch, pc +: lit16 1) ]);
+  (* IF/ID *)
+  Builder.reg_next b ~enable:gate "fd_valid"
+    (select ~default:fd_valid [ (squash, zero); (do_fetch, one); (fd_free, zero) ]);
+  Builder.reg_next b ~enable:(gate &: do_fetch) "fd_pc" pc;
+  Builder.reg_next b ~enable:(gate &: do_fetch) "fd_ir" (read imem pc);
+  (* ID/EX *)
+  Builder.reg_next b ~enable:(gate &: m_ready) "dx_valid" id_fire;
+  let dx_en = n1 (gate &: m_ready &: id_fire) in
+  Builder.reg_next b ~enable:dx_en "dx_pc" fd_pc;
+  Builder.reg_next b ~enable:dx_en "dx_op" id_op;
+  Builder.reg_next b ~enable:dx_en "dx_rd" id_rd;
+  Builder.reg_next b ~enable:dx_en "dx_rs1" id_rs1;
+  Builder.reg_next b ~enable:dx_en "dx_bidx" id_bidx;
+  (* Operand registers: loaded at issue; while the instruction is
+     parked in EX behind a multi-cycle MEM, a producer can retire out
+     of MEM/WB before EX fires, so capture its value as it passes
+     write-back (late forwarding). *)
+  let parked = n1 (gate &: not_ m_ready &: dx_valid) in
+  Builder.reg_next b "dx_a"
+    (select ~default:dx_a
+       [
+         (dx_en, id_a);
+         (parked &: mw_fwd_ok &: (mw_rd ==: dx_rs1), mw_val);
+       ]);
+  Builder.reg_next b "dx_b"
+    (select ~default:dx_b
+       [
+         (dx_en, id_b);
+         (parked &: mw_fwd_ok &: (mw_rd ==: dx_bidx), mw_val);
+       ]);
+  Builder.reg_next b ~enable:dx_en "dx_imm" id_imm;
+  Builder.reg_next b ~enable:dx_en "dx_funct" (bits ir ~hi:3 ~lo:0);
+  (* EX/MEM *)
+  Builder.reg_next b ~enable:(gate &: m_ready) "xm_valid" ex_fire;
+  let xm_en = n1 (gate &: m_ready &: ex_fire) in
+  Builder.reg_next b ~enable:xm_en "xm_pc" dx_pc;
+  Builder.reg_next b ~enable:xm_en "xm_op" dx_op;
+  Builder.reg_next b ~enable:xm_en "xm_rd" dx_rd;
+  Builder.reg_next b ~enable:xm_en "xm_val" ex_val;
+  Builder.reg_next b ~enable:xm_en "xm_store" bv;
+  (* MEM/WB *)
+  Builder.reg_next b ~enable:gate "mw_valid" mem_finish;
+  let mw_en = n1 (gate &: mem_finish) in
+  (* Commit-PC pipe: [mw_pc] holds the PC of the instruction in WB, so
+     the TracerV bridge traces the pipelined core too. *)
+  Builder.reg_next b ~enable:mw_en "mw_pc" xm_pc;
+  Builder.reg_next b ~enable:mw_en "mw_rd" xm_rd;
+  Builder.reg_next b ~enable:mw_en "mw_val"
+    (mux (xm_op ==: lit ~width:3 op_lw) (ref_ "resp_data") xm_val);
+  Builder.reg_next b ~enable:mw_en "mw_wen"
+    ((xm_op ==: lit ~width:3 op_alu)
+    |: (xm_op ==: lit ~width:3 op_addi)
+    |: (xm_op ==: lit ~width:3 op_lw)
+    |: (xm_op ==: lit ~width:3 op_jal));
+  Builder.reg_next b ~enable:mw_en "mw_halt" (xm_op ==: lit ~width:3 op_halt);
+  (* WB *)
+  Builder.mem_write b rf ~addr:mw_rd ~data:mw_val ~enable:(mw_valid &: mw_wen &: gate);
+  Builder.reg_next b ~enable:(gate &: mw_valid) "retired_count" (retired +: lit16 1);
+  Builder.reg_next b ~enable:(gate &: mw_valid &: mw_halt) "halted_r" one;
+  Builder.reg_next b ~enable:(gate &: halt_seen) "fetch_stop" one;
+
+  Builder.connect b "halted" halted;
+  Builder.connect b "retired" retired;
+  Builder.finish b
+
+(** Pipelined core + scratchpad SoC; program words load into the
+    core's ["core$imem"], data into ["mem$mem"]. *)
+let soc_with ~mem ?(imem_depth = 256) () =
+  let core = module_def ~imem_depth () in
+  let b = Builder.create "k5soc" in
+  let c = Builder.inst b "core" core.Ast.name in
+  let m = Builder.inst b "mem" mem.Ast.name in
+  Soc.connect_mem_port b ~master:c ~slave:m;
+  Builder.output b "halted" 1;
+  Builder.connect b "halted" (Builder.of_inst c "halted");
+  Builder.output b "retired" 16;
+  Builder.connect b "retired" (Builder.of_inst c "retired");
+  { Ast.cname = "k5soc"; main = "k5soc"; modules = [ core; mem; Builder.finish b ] }
+
+let soc ?(mem_latency = 1) ?(mem_depth = 1024) ?imem_depth () =
+  soc_with ~mem:(Memsys.scratchpad ~name:"mem" ~depth:mem_depth ~latency:mem_latency ())
+    ?imem_depth ()
+
+(** Pipelined core in front of the FASED-style DRAM timing model. *)
+let dram_soc ?timing ?banks ?cols ?(mem_depth = 1024) ?imem_depth () =
+  soc_with ~mem:(Dram.dram ?timing ?banks ?cols ~name:"mem" ~depth:mem_depth ()) ?imem_depth ()
+
+(** Loads a program into the pipelined SoC: instructions into the
+    core's instruction memory, data words into the shared memory. *)
+let load_program sim ~data program =
+  List.iteri (fun i w -> Rtlsim.Sim.poke_mem sim "core$imem" i w) (Kite_isa.assemble program);
+  List.iter (fun (a, v) -> Rtlsim.Sim.poke_mem sim "mem$mem" a v) data

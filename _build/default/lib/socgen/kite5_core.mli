@@ -1,0 +1,27 @@
+(** 5-stage in-order pipeline (IF/ID/EX/MEM/WB) for the Kite ISA:
+    Harvard front end (internal instruction memory), decoupled data
+    port tolerant of any memory latency, full forwarding with load-use
+    stalls, branches resolved in EX (2-cycle flush).  Architecturally
+    identical to [Kite_isa]'s reference interpreter. *)
+
+open Firrtl
+
+val module_def : ?name:string -> ?imem_depth:int -> unit -> Ast.module_def
+
+(** Pipelined core + scratchpad SoC ("k5soc"); outputs [halted] and
+    [retired]. *)
+val soc : ?mem_latency:int -> ?mem_depth:int -> ?imem_depth:int -> unit -> Ast.circuit
+
+(** Pipelined core in front of the FASED-style DRAM timing model. *)
+val dram_soc :
+  ?timing:Dram.timing ->
+  ?banks:int ->
+  ?cols:int ->
+  ?mem_depth:int ->
+  ?imem_depth:int ->
+  unit ->
+  Ast.circuit
+
+(** Loads a program (into ["core$imem"]) and data words (into
+    ["mem$mem"]) of a {!soc} simulation. *)
+val load_program : Rtlsim.Sim.t -> data:(int * int) list -> Kite_isa.instr list -> unit

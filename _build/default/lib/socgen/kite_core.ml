@@ -1,0 +1,137 @@
+(* RTL for the Kite in-order core: a multi-cycle state machine with a
+   single decoupled memory port (shared fetch/data), standing in for the
+   Rocket tile of the validation experiments.  All interfaces are
+   ready-valid and annotated, so the core tile can be partitioned in
+   either exact- or fast-mode. *)
+
+open Firrtl
+
+(* FSM states *)
+let s_fetch_req = 0
+let s_fetch_wait = 1
+let s_exec = 2
+let s_mem_req = 3
+let s_mem_wait = 4
+let s_halted = 5
+
+let req_fields = [ ("addr", 16); ("wdata", 16); ("wen", 1) ]
+let resp_fields = [ ("data", 16) ]
+
+(** Builds the core module named [name]. *)
+let module_def ?(name = "kite_core") () =
+  let b = Builder.create name in
+  let req = Decoupled.source b "req" req_fields in
+  let resp = Decoupled.sink b "resp" resp_fields in
+  Builder.output b "halted" 1;
+  Builder.output b "retired" 16;
+  let lit16 v = Dsl.lit ~width:16 v in
+  let st v = Dsl.lit ~width:3 v in
+  let pc = Builder.reg b "pc" 16 in
+  let state = Builder.reg b ~init:s_fetch_req "state" 3 in
+  let ir = Builder.reg b "ir" 16 in
+  let retired = Builder.reg b "retired_count" 16 in
+  let rf = Builder.mem b "rf" ~width:16 ~depth:8 in
+  let open Dsl in
+  (* Decode *)
+  let opc = Builder.node b ~width:3 (bits ir ~hi:15 ~lo:13) in
+  let rd = Builder.node b ~width:3 (bits ir ~hi:12 ~lo:10) in
+  let rs1 = Builder.node b ~width:3 (bits ir ~hi:9 ~lo:7) in
+  let rs2 = Builder.node b ~width:3 (bits ir ~hi:6 ~lo:4) in
+  let funct = Builder.node b ~width:4 (bits ir ~hi:3 ~lo:0) in
+  let imm_lo = bits ir ~hi:6 ~lo:0 in
+  let imm = Builder.node b ~width:16 (mux (bit ir 6) (imm_lo |: lit16 0xff80) imm_lo) in
+  let is_alu = Builder.node b ~width:1 (opc ==: st 0) in
+  let is_addi = Builder.node b ~width:1 (opc ==: st 1) in
+  let is_lw = Builder.node b ~width:1 (opc ==: st 2) in
+  let is_sw = Builder.node b ~width:1 (opc ==: st 3) in
+  let is_beq = Builder.node b ~width:1 (opc ==: st 4) in
+  let is_bne = Builder.node b ~width:1 (opc ==: st 5) in
+  let is_jal = Builder.node b ~width:1 (opc ==: st 6) in
+  let is_halt = Builder.node b ~width:1 (opc ==: st 7) in
+  let is_mem = Builder.node b ~width:1 (is_lw |: is_sw) in
+  (* Register reads *)
+  let rv_rd = Builder.node b ~width:16 (read rf rd) in
+  let rv_rs1 = Builder.node b ~width:16 (read rf rs1) in
+  let rv_rs2 = Builder.node b ~width:16 (read rf rs2) in
+  (* ALU *)
+  let shamt = bits rv_rs2 ~hi:3 ~lo:0 in
+  let alu =
+    Builder.node b ~width:16
+      (select
+         ~default:(rv_rs1 +: rv_rs2)
+         [
+           (funct ==: lit ~width:4 1, rv_rs1 -: rv_rs2);
+           (funct ==: lit ~width:4 2, rv_rs1 &: rv_rs2);
+           (funct ==: lit ~width:4 3, rv_rs1 |: rv_rs2);
+           (funct ==: lit ~width:4 4, rv_rs1 ^: rv_rs2);
+           (funct ==: lit ~width:4 5, rv_rs1 <<: shamt);
+           (funct ==: lit ~width:4 6, rv_rs1 >>: shamt);
+           (funct ==: lit ~width:4 7, mux (rv_rs1 <: rv_rs2) (lit16 1) (lit16 0));
+           (funct ==: lit ~width:4 8, rv_rs1 *: rv_rs2);
+         ])
+  in
+  let exec_result = Builder.node b ~width:16 (mux is_addi (rv_rs1 +: imm) alu) in
+  let regs_eq = Builder.node b ~width:1 (rv_rd ==: rv_rs1) in
+  let branch_taken =
+    Builder.node b ~width:1 ((is_beq &: regs_eq) |: (is_bne &: not_ regs_eq))
+  in
+  let pc_plus1 = Builder.node b ~width:16 (pc +: lit16 1) in
+  let pc_target = Builder.node b ~width:16 (pc_plus1 +: imm) in
+  (* Handshakes *)
+  let in_state v = state ==: st v in
+  let req_fire = Builder.node b ~width:1 (ref_ req.Decoupled.valid &: ref_ req.Decoupled.ready) in
+  let resp_valid = ref_ resp.Decoupled.valid in
+  let resp_fire =
+    Builder.node b ~width:1 (resp_valid &: ref_ resp.Decoupled.ready)
+  in
+  let resp_data = ref_ "resp_data" in
+  (* Outputs *)
+  Builder.connect b req.Decoupled.valid (in_state s_fetch_req |: in_state s_mem_req);
+  Builder.connect b "req_addr" (mux (in_state s_fetch_req) pc (rv_rs1 +: imm));
+  Builder.connect b "req_wdata" rv_rd;
+  Builder.connect b "req_wen" (in_state s_mem_req &: is_sw);
+  Builder.connect b resp.Decoupled.ready (in_state s_fetch_wait |: in_state s_mem_wait);
+  Builder.connect b "halted" (in_state s_halted);
+  Builder.connect b "retired" retired;
+  (* State transitions *)
+  let next_state =
+    select ~default:state
+      [
+        (in_state s_fetch_req &: req_fire, st s_fetch_wait);
+        (in_state s_fetch_wait &: resp_fire, st s_exec);
+        ( in_state s_exec,
+          mux is_halt (st s_halted) (mux is_mem (st s_mem_req) (st s_fetch_req)) );
+        (in_state s_mem_req &: req_fire, st s_mem_wait);
+        (in_state s_mem_wait &: resp_fire, st s_fetch_req);
+      ]
+  in
+  Builder.reg_next b "state" next_state;
+  Builder.reg_next b ~enable:(in_state s_fetch_wait &: resp_fire) "ir" resp_data;
+  (* PC *)
+  let pc_en =
+    Builder.node b ~width:1
+      ((in_state s_exec &: not_ is_halt &: not_ is_mem)
+      |: (in_state s_mem_wait &: resp_fire))
+  in
+  let pc_next =
+    mux (in_state s_exec)
+      (mux (branch_taken |: is_jal) pc_target pc_plus1)
+      pc_plus1
+  in
+  Builder.reg_next b ~enable:pc_en "pc" pc_next;
+  (* Register file write *)
+  let rf_wen =
+    Builder.node b ~width:1
+      ((in_state s_exec &: (is_alu |: is_addi |: is_jal))
+      |: (in_state s_mem_wait &: resp_fire &: is_lw))
+  in
+  let rf_wdata =
+    mux (in_state s_mem_wait) resp_data (mux is_jal pc_plus1 exec_result)
+  in
+  Builder.mem_write b rf ~addr:rd ~data:rf_wdata ~enable:rf_wen;
+  (* Retired-instruction counter *)
+  let retired_en = Builder.node b ~width:1 (pc_en |: (in_state s_exec &: is_halt)) in
+  Builder.reg_next b ~enable:retired_en "retired_count" (retired +: lit16 1);
+  (* Synthesized commit log: one record per retired instruction. *)
+  Builder.printf b "commit" ~fire:retired_en [ (pc, 16); (ir, 16) ];
+  Builder.finish b

@@ -1,0 +1,19 @@
+(** RTL for the Kite in-order core: a multi-cycle state machine with one
+    decoupled memory port (shared fetch/data), standing in for the
+    Rocket tile of the validation experiments. *)
+
+(* FSM state encodings (used by tests and run predicates). *)
+val s_fetch_req : int
+val s_fetch_wait : int
+val s_exec : int
+val s_mem_req : int
+val s_mem_wait : int
+val s_halted : int
+
+(** Memory request/response payload fields: addr/wdata/wen and data. *)
+val req_fields : (string * int) list
+
+val resp_fields : (string * int) list
+
+(** Builds the core module. *)
+val module_def : ?name:string -> unit -> Firrtl.Ast.module_def

@@ -1,0 +1,292 @@
+(* Kite: a minimal 16-bit RISC ISA used by the in-order core that plays
+   the role of the Rocket tile in the validation experiments.
+
+   Encoding (16-bit instructions, 8 registers, word-addressed memory):
+
+     [15:13] opcode   [12:10] rd   [9:7] rs1   [6:0] imm7 / [6:4] rs2 + [3:0] funct
+
+     0 ALU   rd <- rs1 (funct) rs2
+     1 ADDI  rd <- rs1 + sext(imm7)
+     2 LW    rd <- mem[rs1 + sext(imm7)]
+     3 SW    mem[rs1 + sext(imm7)] <- rd
+     4 BEQ   if rd = rs1 then pc <- pc + 1 + sext(imm7)
+     5 BNE   likewise on inequality
+     6 JAL   rd <- pc + 1; pc <- pc + 1 + sext(imm7)
+     7 HALT  stop the core                                         *)
+
+type reg = int (* 0..7 *)
+
+type funct =
+  | F_add
+  | F_sub
+  | F_and
+  | F_or
+  | F_xor
+  | F_sll
+  | F_srl
+  | F_slt
+  | F_mul
+
+type instr =
+  | Alu of funct * reg * reg * reg  (* funct, rd, rs1, rs2 *)
+  | Addi of reg * reg * int
+  | Lw of reg * reg * int
+  | Sw of reg * reg * int  (* Sw (rsrc, rbase, imm) stores rsrc *)
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Jal of reg * int
+  | Halt
+
+let funct_code = function
+  | F_add -> 0
+  | F_sub -> 1
+  | F_and -> 2
+  | F_or -> 3
+  | F_xor -> 4
+  | F_sll -> 5
+  | F_srl -> 6
+  | F_slt -> 7
+  | F_mul -> 8
+
+let check_reg r = if r < 0 || r > 7 then invalid_arg "kite: register out of range" else r
+
+let imm7 v =
+  if v < -64 || v > 63 then invalid_arg (Printf.sprintf "kite: imm7 %d out of range" v)
+  else v land 0x7f
+
+let encode instr =
+  let enc op rd rs1 low7 =
+    (op lsl 13) lor (check_reg rd lsl 10) lor (check_reg rs1 lsl 7) lor (low7 land 0x7f)
+  in
+  match instr with
+  | Alu (f, rd, rs1, rs2) -> enc 0 rd rs1 ((check_reg rs2 lsl 4) lor funct_code f)
+  | Addi (rd, rs1, i) -> enc 1 rd rs1 (imm7 i)
+  | Lw (rd, rs1, i) -> enc 2 rd rs1 (imm7 i)
+  | Sw (rsrc, rbase, i) -> enc 3 rsrc rbase (imm7 i)
+  | Beq (a, b, i) -> enc 4 a b (imm7 i)
+  | Bne (a, b, i) -> enc 5 a b (imm7 i)
+  | Jal (rd, i) -> enc 6 rd 0 (imm7 i)
+  | Halt -> enc 7 0 0 0
+
+let assemble instrs = List.map encode instrs
+
+(* ------------------------------------------------------------------ *)
+(* Reference interpreter (differential testing of the core RTL)        *)
+(* ------------------------------------------------------------------ *)
+
+type machine = {
+  mutable pc : int;
+  regs : int array;  (* 8 x 16-bit *)
+  mem : int array;  (* word-addressed *)
+  mutable halted : bool;
+  mutable retired : int;
+}
+
+let make_machine ~mem_words = { pc = 0; regs = Array.make 8 0; mem = Array.make mem_words 0; halted = false; retired = 0 }
+
+let load_words m words = List.iteri (fun i w -> m.mem.(i) <- w) words
+
+let sext7 v = if v land 0x40 <> 0 then v lor lnot 0x7f else v
+let u16 v = v land 0xffff
+
+let alu_eval f a b =
+  match f with
+  | F_add -> a + b
+  | F_sub -> a - b
+  | F_and -> a land b
+  | F_or -> a lor b
+  | F_xor -> a lxor b
+  | F_sll -> if b land 0xf > 15 then 0 else a lsl (b land 0xf)
+  | F_srl -> a lsr (b land 0xf)
+  | F_slt -> if u16 a < u16 b then 1 else 0
+  | F_mul -> a * b
+
+let decode_funct code =
+  match code with
+  | 0 -> F_add
+  | 1 -> F_sub
+  | 2 -> F_and
+  | 3 -> F_or
+  | 4 -> F_xor
+  | 5 -> F_sll
+  | 6 -> F_srl
+  | 7 -> F_slt
+  | 8 -> F_mul
+  | _ -> F_add (* undefined functs behave as add *)
+
+(** Executes one instruction with [fetch] supplying the instruction
+    word for a PC — the Harvard variant, matching cores with a separate
+    instruction memory.  No-op once halted. *)
+let step_fetch m ~fetch =
+  if not m.halted then begin
+    let ir = fetch m.pc land 0xffff in
+    let op = (ir lsr 13) land 7 in
+    let rd = (ir lsr 10) land 7 in
+    let rs1 = (ir lsr 7) land 7 in
+    let rs2 = (ir lsr 4) land 7 in
+    let funct = ir land 0xf in
+    let imm = sext7 (ir land 0x7f) in
+    let wrap a = a land (Array.length m.mem - 1) in
+    let next = m.pc + 1 in
+    (match op with
+    | 0 -> m.regs.(rd) <- u16 (alu_eval (decode_funct funct) m.regs.(rs1) m.regs.(rs2));
+      m.pc <- next
+    | 1 ->
+      m.regs.(rd) <- u16 (m.regs.(rs1) + imm);
+      m.pc <- next
+    | 2 ->
+      m.regs.(rd) <- u16 m.mem.(wrap (m.regs.(rs1) + imm));
+      m.pc <- next
+    | 3 ->
+      m.mem.(wrap (m.regs.(rs1) + imm)) <- u16 m.regs.(rd);
+      m.pc <- next
+    | 4 ->
+      m.pc <- (if m.regs.(rd) = m.regs.(rs1) then next + imm else next)
+    | 5 ->
+      m.pc <- (if m.regs.(rd) <> m.regs.(rs1) then next + imm else next)
+    | 6 ->
+      m.regs.(rd) <- u16 next;
+      m.pc <- next + imm
+    | 7 -> m.halted <- true
+    | _ -> assert false);
+    m.pc <- u16 m.pc;
+    m.retired <- m.retired + 1
+  end
+
+(** Executes one instruction, fetching from the unified [mem] (the
+    default von Neumann arrangement); no-op once halted. *)
+let step m = step_fetch m ~fetch:(fun pc -> m.mem.(pc land (Array.length m.mem - 1)))
+
+let run m ~max_steps =
+  let steps = ref 0 in
+  while (not m.halted) && !steps < max_steps do
+    step m;
+    incr steps
+  done;
+  if not m.halted then failwith "kite reference machine: did not halt"
+
+(* ------------------------------------------------------------------ *)
+(* Canned programs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Sums [n] memory words starting at [base] into memory[dst], then
+    halts.  Assumes the data is preloaded. *)
+let sum_program ~base ~n ~dst =
+  [
+    Addi (1, 0, 0) (* r1 = 0 accumulator; assumes r0 = 0 at reset *);
+    Addi (2, 0, base) (* r2 = pointer *);
+    Addi (3, 0, n) (* r3 = remaining *);
+    (* loop: *)
+    Lw (4, 2, 0);
+    Alu (F_add, 1, 1, 4);
+    Addi (2, 2, 1);
+    Addi (3, 3, -1);
+    Bne (3, 0, -5);
+    Sw (1, 0, dst);
+    Halt;
+  ]
+
+(** Fibonacci: computes fib(n) (mod 2^16) into memory[dst]. *)
+let fib_program ~n ~dst =
+  [
+    Addi (1, 0, 0);
+    Addi (2, 0, 1);
+    Addi (3, 0, n);
+    Beq (3, 0, 5);
+    (* loop: r4 = r1 + r2; r1 = r2; r2 = r4 *)
+    Alu (F_add, 4, 1, 2);
+    Addi (1, 2, 0);
+    Addi (2, 4, 0);
+    Addi (3, 3, -1);
+    Bne (3, 0, -5);
+    Sw (1, 0, dst);
+    Halt;
+  ]
+
+(** Sums [n] words at [base] over [reps] passes: after the first pass
+    both code and data live in the tile's L1, so boundary crossings
+    amortize — the workload used for the Table II "boot-and-halt"
+    analogue. *)
+let sum_repeat_program ~base ~n ~reps ~dst =
+  [
+    Addi (5, 0, reps);
+    Addi (1, 0, 0);
+    (* outer: *)
+    Addi (2, 0, base);
+    Addi (3, 0, n);
+    (* loop: *)
+    Lw (4, 2, 0);
+    Alu (F_add, 1, 1, 4);
+    Addi (2, 2, 1);
+    Addi (3, 3, -1);
+    Bne (3, 0, -5);
+    Addi (5, 5, -1);
+    Bne (5, 0, -9);
+    Sw (1, 0, dst);
+    Halt;
+  ]
+
+(** Memory-heavy kernel: copies then accumulates a block, exercising
+    load/store traffic (latency-sensitive). *)
+let memcopy_program ~src ~dst ~n =
+  [
+    Addi (1, 0, src);
+    Addi (2, 0, dst);
+    Addi (3, 0, n);
+    Lw (4, 1, 0);
+    Sw (4, 2, 0);
+    Addi (1, 1, 1);
+    Addi (2, 2, 1);
+    Addi (3, 3, -1);
+    Bne (3, 0, -6);
+    Halt;
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Disassembler                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let funct_name = function
+  | F_add -> "add"
+  | F_sub -> "sub"
+  | F_and -> "and"
+  | F_or -> "or"
+  | F_xor -> "xor"
+  | F_sll -> "sll"
+  | F_srl -> "srl"
+  | F_slt -> "slt"
+  | F_mul -> "mul"
+
+(** Decodes one instruction word (total: every 16-bit value decodes). *)
+let decode word =
+  let op = (word lsr 13) land 7 in
+  let rd = (word lsr 10) land 7 in
+  let rs1 = (word lsr 7) land 7 in
+  let rs2 = (word lsr 4) land 7 in
+  let funct = word land 0xf in
+  let imm = sext7 (word land 0x7f) in
+  match op with
+  | 0 -> Alu (decode_funct funct, rd, rs1, rs2)
+  | 1 -> Addi (rd, rs1, imm)
+  | 2 -> Lw (rd, rs1, imm)
+  | 3 -> Sw (rd, rs1, imm)
+  | 4 -> Beq (rd, rs1, imm)
+  | 5 -> Bne (rd, rs1, imm)
+  | 6 -> Jal (rd, imm)
+  | _ -> Halt
+
+let to_string instr =
+  match instr with
+  | Alu (f, rd, rs1, rs2) -> Printf.sprintf "%-5s r%d, r%d, r%d" (funct_name f) rd rs1 rs2
+  | Addi (rd, rs1, i) -> Printf.sprintf "addi  r%d, r%d, %d" rd rs1 i
+  | Lw (rd, rs1, i) -> Printf.sprintf "lw    r%d, %d(r%d)" rd i rs1
+  | Sw (rsrc, rbase, i) -> Printf.sprintf "sw    r%d, %d(r%d)" rsrc i rbase
+  | Beq (a, b, i) -> Printf.sprintf "beq   r%d, r%d, %+d" a b i
+  | Bne (a, b, i) -> Printf.sprintf "bne   r%d, r%d, %+d" a b i
+  | Jal (rd, i) -> Printf.sprintf "jal   r%d, %+d" rd i
+  | Halt -> "halt"
+
+(** Disassembles a memory image range. *)
+let disassemble ?(base = 0) words =
+  List.mapi (fun i w -> Printf.sprintf "%4d: %04x  %s" (base + i) w (to_string (decode w))) words

@@ -1,0 +1,74 @@
+(** Kite: the minimal 16-bit RISC ISA of the in-order core, with an
+    assembler, a reference interpreter for differential testing, and
+    canned programs used by the validation experiments. *)
+
+type reg = int (* 0..7 *)
+
+type funct =
+  | F_add
+  | F_sub
+  | F_and
+  | F_or
+  | F_xor
+  | F_sll
+  | F_srl
+  | F_slt
+  | F_mul
+
+type instr =
+  | Alu of funct * reg * reg * reg  (** funct, rd, rs1, rs2 *)
+  | Addi of reg * reg * int
+  | Lw of reg * reg * int
+  | Sw of reg * reg * int  (** [Sw (rsrc, rbase, imm)] stores rsrc *)
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Jal of reg * int
+  | Halt
+
+(** Raises [Invalid_argument] on out-of-range registers/immediates. *)
+val encode : instr -> int
+
+val assemble : instr list -> int list
+
+(** Reference interpreter state. *)
+type machine = {
+  mutable pc : int;
+  regs : int array;
+  mem : int array;
+  mutable halted : bool;
+  mutable retired : int;
+}
+
+(** [mem_words] must be a power of two (addresses wrap like the RTL). *)
+val make_machine : mem_words:int -> machine
+
+val load_words : machine -> int list -> unit
+val step : machine -> unit
+
+(** {!step} with the instruction word supplied by [fetch] — the Harvard
+    variant, for cores with a separate instruction memory. *)
+val step_fetch : machine -> fetch:(int -> int) -> unit
+
+(** Runs to halt; fails after [max_steps]. *)
+val run : machine -> max_steps:int -> unit
+
+(** Sums [n] words at [base] into memory[dst]. *)
+val sum_program : base:int -> n:int -> dst:int -> instr list
+
+(** fib(n) mod 2^16 into memory[dst]. *)
+val fib_program : n:int -> dst:int -> instr list
+
+(** Sums [n] words over [reps] cached passes (the Table II workload). *)
+val sum_repeat_program : base:int -> n:int -> reps:int -> dst:int -> instr list
+
+(** Copies then accumulates a block (load/store heavy). *)
+val memcopy_program : src:int -> dst:int -> n:int -> instr list
+
+(** Decodes one instruction word (total: every 16-bit value decodes;
+    undefined ALU functs behave as add, opcode 7 is halt). *)
+val decode : int -> instr
+
+val to_string : instr -> string
+
+(** Disassembles a memory image range into listing lines. *)
+val disassemble : ?base:int -> int list -> string list

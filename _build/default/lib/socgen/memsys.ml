@@ -1,0 +1,206 @@
+(* Memory system generators: a fixed-latency scratchpad memory with a
+   decoupled request/response port, and a crossbar arbiter that shares
+   one memory port among N masters (the "bus based design" whose core
+   tiles get pulled out in the Section VI-A sweeps). *)
+
+open Firrtl
+
+(* States of the scratchpad FSM *)
+let m_idle = 0
+let m_busy = 1
+let m_resp = 2
+
+(** Scratchpad with [latency] wait cycles between accepting a request
+    and presenting the response.  [depth] must be a power of two so the
+    hardware and the Kite reference machine wrap addresses alike. *)
+let scratchpad ?(name = "scratchpad") ~depth ~latency () =
+  if depth land (depth - 1) <> 0 then Ast.ir_error "scratchpad depth must be a power of 2";
+  let b = Builder.create name in
+  let req = Decoupled.sink b "req" Kite_core.req_fields in
+  let resp = Decoupled.source b "resp" Kite_core.resp_fields in
+  let open Dsl in
+  let lit16 v = lit ~width:16 v in
+  let mem = Builder.mem b "mem" ~width:16 ~depth in
+  let state = Builder.reg b ~init:m_idle "state" 2 in
+  let count = Builder.reg b "count" 8 in
+  let addr_r = Builder.reg b "addr_r" 16 in
+  let st v = lit ~width:2 v in
+  let in_state v = state ==: st v in
+  let req_fire = Builder.node b ~width:1 (ref_ req.Decoupled.valid &: ref_ req.Decoupled.ready) in
+  let resp_fire =
+    Builder.node b ~width:1 (ref_ resp.Decoupled.valid &: ref_ resp.Decoupled.ready)
+  in
+  Builder.connect b req.Decoupled.ready (in_state m_idle);
+  Builder.connect b resp.Decoupled.valid (in_state m_resp);
+  Builder.connect b "resp_data" (read mem addr_r);
+  (* Write happens at acceptance; the response returns the new value for
+     stores and the stored value for loads. *)
+  Builder.mem_write b mem ~addr:(ref_ "req_addr") ~data:(ref_ "req_wdata")
+    ~enable:(req_fire &: ref_ "req_wen");
+  Builder.reg_next b ~enable:req_fire "addr_r" (ref_ "req_addr");
+  let next_state =
+    select ~default:state
+      [
+        ( in_state m_idle &: req_fire,
+          if latency = 0 then st m_resp else st m_busy );
+        (in_state m_busy &: (count ==: lit ~width:8 0), st m_resp);
+        (in_state m_resp &: resp_fire, st m_idle);
+      ]
+  in
+  Builder.reg_next b "state" next_state;
+  Builder.reg_next b "count"
+    (mux req_fire (lit ~width:8 (max 0 (latency - 1))) (count -: lit ~width:8 1));
+  ignore lit16;
+  Builder.finish b
+
+(** Pipelined scratchpad: accepts a request per cycle (up to 8
+    outstanding) and returns responses in order after [latency] cycles
+    through a valid/data shift pipe feeding a small FIFO.  Used by
+    streaming masters (the Gemmini-like accelerator), whose throughput
+    — unlike the ping-pong Kite port — hides boundary latency. *)
+let stream_mem ?(name = "stream_mem") ~depth ~latency () =
+  if depth land (depth - 1) <> 0 then Ast.ir_error "stream_mem depth must be a power of 2";
+  let latency = max 1 latency in
+  let fifo_cap = 8 in
+  let b = Builder.create name in
+  let req = Decoupled.sink b "req" Kite_core.req_fields in
+  let resp = Decoupled.source b "resp" Kite_core.resp_fields in
+  let open Dsl in
+  let mem = Builder.mem b "mem" ~width:16 ~depth in
+  (* Response pipe: stage 0 is filled on acceptance. *)
+  let vstage = List.init latency (fun i -> Builder.reg b (Printf.sprintf "v%d" i) 1) in
+  let dstage = List.init latency (fun i -> Builder.reg b (Printf.sprintf "d%d" i) 16) in
+  let fifo = Builder.mem b "fifo" ~width:16 ~depth:fifo_cap in
+  let head = Builder.reg b "head" 3 in
+  let tail = Builder.reg b "tail" 3 in
+  let occ = Builder.reg b "occ" 4 in
+  let outstanding = Builder.reg b "outstanding" 4 in
+  let req_fire = Builder.node b ~width:1 (ref_ req.Decoupled.valid &: ref_ req.Decoupled.ready) in
+  let resp_fire =
+    Builder.node b ~width:1 (ref_ resp.Decoupled.valid &: ref_ resp.Decoupled.ready)
+  in
+  Builder.connect b req.Decoupled.ready (outstanding <: lit ~width:4 fifo_cap);
+  Builder.connect b resp.Decoupled.valid (occ >: lit ~width:4 0);
+  Builder.connect b "resp_data" (read fifo head);
+  Builder.mem_write b mem ~addr:(ref_ "req_addr") ~data:(ref_ "req_wdata")
+    ~enable:(req_fire &: ref_ "req_wen");
+  (* Pipe advance. *)
+  Builder.reg_next b "v0" req_fire;
+  Builder.reg_next b "d0" (read mem (ref_ "req_addr"));
+  List.iteri
+    (fun i (v, d) ->
+      if i > 0 then begin
+        Builder.reg_next b (Printf.sprintf "v%d" i) (List.nth vstage (i - 1));
+        Builder.reg_next b (Printf.sprintf "d%d" i) (List.nth dstage (i - 1));
+        ignore (v, d)
+      end)
+    (List.combine vstage dstage);
+  let pipe_out_v = List.nth vstage (latency - 1) in
+  let pipe_out_d = List.nth dstage (latency - 1) in
+  Builder.mem_write b fifo ~addr:tail ~data:pipe_out_d ~enable:pipe_out_v;
+  Builder.reg_next b ~enable:pipe_out_v "tail" (tail +: lit ~width:3 1);
+  Builder.reg_next b ~enable:resp_fire "head" (head +: lit ~width:3 1);
+  Builder.reg_next b "occ" (occ +: pipe_out_v -: resp_fire);
+  Builder.reg_next b "outstanding" (outstanding +: req_fire -: resp_fire);
+  Builder.finish b
+
+(** N-master crossbar arbiter in front of one memory port.  Fixed
+    priority with a rotating start index for fairness; one outstanding
+    request at a time (each Kite master has at most one in flight).
+    Master-side bundles are [m<i>_req] (sink) and [m<i>_resp] (source);
+    the memory side is [mem_req] (source) / [mem_resp] (sink). *)
+let xbar ?(name = "xbar") ~masters () =
+  if masters < 1 || masters > 8 then Ast.ir_error "xbar supports 1..8 masters";
+  let b = Builder.create name in
+  let open Dsl in
+  let m_req =
+    List.init masters (fun i ->
+        Decoupled.sink b (Printf.sprintf "m%d_req" i) Kite_core.req_fields)
+  in
+  let m_resp =
+    List.init masters (fun i ->
+        Decoupled.source b (Printf.sprintf "m%d_resp" i) Kite_core.resp_fields)
+  in
+  let mem_req = Decoupled.source b "mem_req" Kite_core.req_fields in
+  let mem_resp = Decoupled.sink b "mem_resp" Kite_core.resp_fields in
+  let busy = Builder.reg b "busy" 1 in
+  let owner = Builder.reg b "owner" 3 in
+  (* Grant: lowest index with a valid request, starting from the rotating
+     pointer.  For simplicity the rotation advances on every grant. *)
+  let rot = Builder.reg b "rot" 3 in
+  let idle = Builder.node b ~width:1 (not_ busy) in
+  let valid_of i = ref_ (Printf.sprintf "m%d_req_valid" i) in
+  (* Priority order: rot, rot+1, ... (mod masters).  Encoded as a mux
+     chain over the rotated index. *)
+  let grant_idx =
+    let candidates =
+      List.init masters (fun k ->
+          let idx_expr =
+            Builder.node b ~width:3
+              (let sum = rot +: lit ~width:3 k in
+               (* modulo masters *)
+               mux
+                 (sum >=: lit ~width:3 masters)
+                 (sum -: lit ~width:3 masters)
+                 sum)
+          in
+          let is_valid =
+            Builder.node b ~width:1
+              (select ~default:zero
+                 (List.init masters (fun i ->
+                      (idx_expr ==: lit ~width:3 i, valid_of i))))
+          in
+          (is_valid, idx_expr))
+    in
+    Builder.node b ~width:3 (select ~default:(lit ~width:3 0) candidates)
+  in
+  let any_valid =
+    Builder.node b ~width:1
+      (List.fold_left (fun acc i -> acc |: valid_of i) zero (List.init masters Fun.id))
+  in
+  let granted i = Builder.node b ~width:1 (idle &: any_valid &: (grant_idx ==: lit ~width:3 i)) in
+  let grants = List.init masters granted in
+  (* Memory request muxing *)
+  let mux_field f =
+    select
+      ~default:(ref_ (Printf.sprintf "m0_req_%s" f))
+      (List.mapi
+         (fun i g -> (g, ref_ (Printf.sprintf "m%d_req_%s" i f)))
+         grants)
+  in
+  Builder.connect b mem_req.Decoupled.valid (idle &: any_valid);
+  Builder.connect b "mem_req_addr" (mux_field "addr");
+  Builder.connect b "mem_req_wdata" (mux_field "wdata");
+  Builder.connect b "mem_req_wen" (mux_field "wen");
+  let mem_req_fire =
+    Builder.node b ~width:1 (ref_ mem_req.Decoupled.valid &: ref_ mem_req.Decoupled.ready)
+  in
+  List.iteri
+    (fun i g ->
+      Builder.connect b (List.nth m_req i).Decoupled.ready
+        (g &: ref_ mem_req.Decoupled.ready))
+    grants;
+  (* Response routing *)
+  let resp_valid = ref_ mem_resp.Decoupled.valid in
+  List.iteri
+    (fun i (r : Decoupled.bundle) ->
+      Builder.connect b r.Decoupled.valid (busy &: resp_valid &: (owner ==: lit ~width:3 i));
+      Builder.connect b (Printf.sprintf "m%d_resp_data" i) (ref_ "mem_resp_data"))
+    m_resp;
+  let owner_ready =
+    Builder.node b ~width:1
+      (select ~default:zero
+         (List.init masters (fun i ->
+              ( owner ==: lit ~width:3 i,
+                ref_ (Printf.sprintf "m%d_resp_ready" i) ))))
+  in
+  Builder.connect b mem_resp.Decoupled.ready (busy &: owner_ready);
+  let mem_resp_fire = Builder.node b ~width:1 (resp_valid &: ref_ mem_resp.Decoupled.ready) in
+  Builder.reg_next b "busy" (mux mem_req_fire one (mux mem_resp_fire zero busy));
+  Builder.reg_next b ~enable:mem_req_fire "owner" grant_idx;
+  Builder.reg_next b ~enable:mem_req_fire "rot"
+    (mux
+       (grant_idx ==: lit ~width:3 (masters - 1))
+       (lit ~width:3 0)
+       (grant_idx +: lit ~width:3 1));
+  Builder.finish b

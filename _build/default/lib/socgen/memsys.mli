@@ -1,0 +1,22 @@
+(** Memory-system generators: fixed-latency and pipelined scratchpads
+    with decoupled ports, and an N-master crossbar arbiter. *)
+
+(** Scratchpad FSM states. *)
+val m_idle : int
+
+val m_busy : int
+val m_resp : int
+
+(** Fixed-latency scratchpad; [depth] must be a power of two.  The
+    response appears [latency]+1 cycles after acceptance. *)
+val scratchpad : ?name:string -> depth:int -> latency:int -> unit -> Firrtl.Ast.module_def
+
+(** Pipelined scratchpad: accepts a request per cycle (up to 8
+    outstanding), responses in order after [latency] cycles — for
+    streaming masters. *)
+val stream_mem : ?name:string -> depth:int -> latency:int -> unit -> Firrtl.Ast.module_def
+
+(** N-master (1..8) crossbar with rotating priority and one outstanding
+    request; master bundles [m<i>_req]/[m<i>_resp], memory side
+    [mem_req]/[mem_resp]. *)
+val xbar : ?name:string -> masters:int -> unit -> Firrtl.Ast.module_def

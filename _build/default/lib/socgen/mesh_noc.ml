@@ -1,0 +1,226 @@
+(* A 2-D mesh network-on-chip with dimension-ordered (XY) routing —
+   Constellation-style breadth beyond the ring: the paper's NoC
+   generator "supports a wide range of topologies and routing schemes",
+   and its DDIO study uses a bidirectional torus.  Routers carry
+   [Noc_router] annotations (index = y*width + x) so NoC-partition-mode
+   can cut the mesh into row bands across FPGAs.
+
+   Each router has five credit-based ports (north/south/east/west/
+   local); all outputs are register-driven, so cuts between any
+   neighbouring routers are exact-mode legal with chain length 1. *)
+
+open Firrtl
+
+let dest_bits = Ring_noc.dest_bits
+
+let packet_width = Ring_noc.packet_width
+
+(* Port directions on the mesh. *)
+let directions = [ "north"; "south"; "east"; "west" ]
+
+let opposite = function
+  | "north" -> "south"
+  | "south" -> "north"
+  | "east" -> "west"
+  | "west" -> "east"
+  | d -> Ast.ir_error "mesh: bad direction %s" d
+
+(** One mesh router at (x, y) in a [width] x [height] grid.  Ports for
+    absent neighbours (mesh edges) are omitted. *)
+let router_module ~name ~x ~y ~width ~height ~payload_width () =
+  let w = packet_width ~payload_width in
+  let my_id = (y * width) + x in
+  let b = Builder.create name in
+  let open Dsl in
+  Builder.annotate b (Ast.Noc_router { index = my_id });
+  let has = function
+    | "north" -> y > 0
+    | "south" -> y < height - 1
+    | "east" -> x < width - 1
+    | "west" -> x > 0
+    | _ -> false
+  in
+  let ports = List.filter has directions @ [ "local" ] in
+  (* Per-port input queue and output credit counter. *)
+  let queues =
+    List.map
+      (fun d ->
+        let _ = Builder.input b (d ^ "_in_valid") 1 in
+        let _ = Builder.input b (d ^ "_in_data") w in
+        Builder.output b (d ^ "_in_credit") 1;
+        Builder.output b (d ^ "_out_valid") 1;
+        Builder.output b (d ^ "_out_data") w;
+        let _ = Builder.input b (d ^ "_out_credit") 1 in
+        let ne, head, finish = Ring_noc.credit_queue b ~prefix:(d ^ "_q") ~width:w in
+        let credit = Builder.reg b ~init:2 (d ^ "_credit") 2 in
+        (d, ne, head, finish, credit))
+      ports
+  in
+  (* XY routing: which output port does the packet at [head] want? *)
+  let want_port head =
+    let dest = Builder.node b ~width:dest_bits (Ring_noc.dest_of ~payload_width head) in
+    let dx = Builder.node b ~width:dest_bits (dest %: lit ~width:dest_bits width) in
+    let dy = Builder.node b ~width:dest_bits (dest /: lit ~width:dest_bits width) in
+    let lx = lit ~width:dest_bits x and ly = lit ~width:dest_bits y in
+    List.map
+      (fun out ->
+        let cond =
+          match out with
+          | "east" -> Dsl.(dx >: lx)
+          | "west" -> Dsl.(dx <: lx)
+          (* Y only when X is already correct (XY order). *)
+          | "south" -> Dsl.((dx ==: lx) &: (dy >: ly))
+          | "north" -> Dsl.((dx ==: lx) &: (dy <: ly))
+          | _ -> Dsl.((dx ==: lx) &: (dy ==: ly))
+        in
+        (out, Builder.node b ~width:1 cond))
+      ports
+  in
+  let wants =
+    List.map (fun (d, ne, head, _, _) -> (d, ne, head, want_port head)) queues
+  in
+  (* Arbitration per output port: fixed priority over input ports, at
+     most one send per output per cycle, gated by downstream credit. *)
+  let deq_exprs = Hashtbl.create 8 in
+  List.iter (fun (d, _, _, _, _) -> Hashtbl.replace deq_exprs d []) queues;
+  List.iter
+    (fun (out, _, _, _, credit) ->
+      let have_credit = Builder.node b ~width:1 Dsl.(credit >: lit ~width:2 0) in
+      (* Candidate inputs whose head wants [out]. *)
+      let requests =
+        List.filter_map
+          (fun (inp, ne, head, want) ->
+            if inp = out then None (* no U-turns in XY routing *)
+            else
+              match List.assoc_opt out want with
+              | Some cond -> Some (inp, Builder.node b ~width:1 Dsl.(ne &: cond), head)
+              | None -> None)
+          wants
+      in
+      (* Grant the first requester not blocked by an earlier one. *)
+      let _, grants =
+        List.fold_left
+          (fun (earlier, acc) (inp, req, head) ->
+            let grant = Builder.node b ~width:1 Dsl.(req &: not_ earlier &: have_credit) in
+            (Builder.node b ~width:1 Dsl.(earlier |: req), (inp, grant, head) :: acc))
+          (Dsl.zero, []) requests
+      in
+      let grants = List.rev grants in
+      let any = List.fold_left (fun acc (_, g, _) -> Dsl.(acc |: g)) Dsl.zero grants in
+      Builder.connect b (out ^ "_out_valid") any;
+      Builder.connect b (out ^ "_out_data")
+        (Dsl.select
+           ~default:(Dsl.lit ~width:w 0)
+           (List.map (fun (_, g, head) -> (g, head)) grants));
+      Builder.reg_next b (out ^ "_credit")
+        Dsl.(credit -: any +: ref_ (out ^ "_out_credit"));
+      List.iter
+        (fun (inp, g, _) ->
+          Hashtbl.replace deq_exprs inp (g :: Hashtbl.find deq_exprs inp))
+        grants)
+    queues;
+  (* Dequeue/enqueue/credit-return per input port. *)
+  List.iter
+    (fun (d, _, _, finish, _) ->
+      let deq =
+        List.fold_left (fun acc g -> Dsl.(acc |: g)) Dsl.zero (Hashtbl.find deq_exprs d)
+      in
+      let deq = Builder.node b ~width:1 deq in
+      Builder.connect b (d ^ "_in_credit") deq;
+      finish ~enq:(Dsl.ref_ (d ^ "_in_valid")) ~enq_data:(Dsl.ref_ (d ^ "_in_data")) ~deq)
+    queues;
+  Builder.finish b
+
+(** A [width] x [height] mesh SoC: traffic tiles behind converters on
+    every node except the last, which hosts the reflector subsystem.
+    Tiles send to the reflector; XY routing carries packets across the
+    grid. *)
+let mesh_soc ?(payload_width = 16) ?(period = 8) ~width ~height () =
+  let n = width * height in
+  if n > 1 lsl dest_bits then Ast.ir_error "mesh_soc: too many nodes";
+  let reflector_id = n - 1 in
+  let routers =
+    List.init n (fun i ->
+        router_module
+          ~name:(Printf.sprintf "router%d" i)
+          ~x:(i mod width) ~y:(i / width) ~width ~height ~payload_width ())
+  in
+  let convs =
+    List.init n (fun i ->
+        Ring_noc.converter_module ~name:(Printf.sprintf "conv%d" i) ~payload_width ())
+  in
+  let tiles =
+    List.init (n - 1) (fun i ->
+        Ring_noc.traffic_tile_module
+          ~name:(Printf.sprintf "ttile%d" i)
+          ~my_id:i ~target:reflector_id ~period ~payload_width ())
+  in
+  let reflector =
+    Ring_noc.reflector_module ~name:"reflector" ~my_id:reflector_id ~payload_width ()
+  in
+  let b = Builder.create "meshsoc" in
+  let r_insts =
+    List.init n (fun i -> Builder.inst b (Printf.sprintf "router%d" i) (Printf.sprintf "router%d" i))
+  in
+  let c_insts =
+    List.init n (fun i -> Builder.inst b (Printf.sprintf "conv%d" i) (Printf.sprintf "conv%d" i))
+  in
+  let t_insts =
+    List.init (n - 1) (fun i -> Builder.inst b (Printf.sprintf "ttile%d" i) (Printf.sprintf "ttile%d" i))
+  in
+  let refl = Builder.inst b "reflector" "reflector" in
+  (* Mesh links: connect each router's directional port to its
+     neighbour's opposite port. *)
+  List.iteri
+    (fun i r ->
+      let x = i mod width and y = i / width in
+      List.iter
+        (fun (d, nx, ny) ->
+          if nx >= 0 && nx < width && ny >= 0 && ny < height then begin
+            let peer = List.nth r_insts ((ny * width) + nx) in
+            let od = opposite d in
+            Builder.connect_in b peer (od ^ "_in_valid") (Builder.of_inst r (d ^ "_out_valid"));
+            Builder.connect_in b peer (od ^ "_in_data") (Builder.of_inst r (d ^ "_out_data"));
+            Builder.connect_in b r (d ^ "_out_credit") (Builder.of_inst peer (od ^ "_in_credit"))
+          end)
+        [ ("north", x, y - 1); ("south", x, y + 1); ("east", x + 1, y); ("west", x - 1, y) ])
+    r_insts;
+  (* Converter <-> router local ports; tile <-> converter. *)
+  List.iteri
+    (fun i c ->
+      let r = List.nth r_insts i in
+      Builder.connect_in b r "local_in_valid" (Builder.of_inst c "noc_out_valid");
+      Builder.connect_in b r "local_in_data" (Builder.of_inst c "noc_out_data");
+      Builder.connect_in b c "noc_out_credit" (Builder.of_inst r "local_in_credit");
+      Builder.connect_in b c "noc_in_valid" (Builder.of_inst r "local_out_valid");
+      Builder.connect_in b c "noc_in_data" (Builder.of_inst r "local_out_data");
+      Builder.connect_in b r "local_out_credit" (Builder.of_inst c "noc_in_credit"))
+    c_insts;
+  let rv_link ~tile ~conv =
+    Builder.connect_in b conv "tx_valid" (Builder.of_inst tile "tx_valid");
+    Builder.connect_in b conv "tx_pkt" (Builder.of_inst tile "tx_pkt");
+    Builder.connect_in b tile "tx_ready" (Builder.of_inst conv "tx_ready");
+    Builder.connect_in b tile "rx_valid" (Builder.of_inst conv "rx_valid");
+    Builder.connect_in b tile "rx_pkt" (Builder.of_inst conv "rx_pkt");
+    Builder.connect_in b conv "rx_ready" (Builder.of_inst tile "rx_ready")
+  in
+  List.iteri (fun i t -> rv_link ~tile:t ~conv:(List.nth c_insts i)) t_insts;
+  rv_link ~tile:refl ~conv:(List.nth c_insts reflector_id);
+  List.iteri
+    (fun i t ->
+      List.iter
+        (fun sig_ ->
+          Builder.output b (Printf.sprintf "%s%d" sig_ i) 16;
+          Builder.connect b (Printf.sprintf "%s%d" sig_ i) (Builder.of_inst t sig_))
+        [ "sent"; "rcvd"; "checksum" ])
+    t_insts;
+  Builder.output b "reflected" 16;
+  Builder.connect b "reflected" (Builder.of_inst refl "reflected");
+  {
+    Ast.cname = "meshsoc";
+    main = "meshsoc";
+    modules = routers @ convs @ tiles @ [ reflector; Builder.finish b ];
+  }
+
+(** Router indices of row [r] — a natural NoC-partition-mode group. *)
+let row_group ~width r = List.init width (fun x -> (r * width) + x)

@@ -1,0 +1,25 @@
+(** 2-D mesh NoC with dimension-ordered (XY) routing — Constellation-
+    style breadth beyond the ring.  Routers carry [Noc_router]
+    annotations (index = y*width + x); all outputs register-driven. *)
+
+val packet_width : payload_width:int -> int
+
+(** One mesh router at (x, y); edge routers omit absent direction
+    ports. *)
+val router_module :
+  name:string ->
+  x:int ->
+  y:int ->
+  width:int ->
+  height:int ->
+  payload_width:int ->
+  unit ->
+  Firrtl.Ast.module_def
+
+(** A [width] x [height] mesh SoC: traffic tiles on every node except
+    the last, which hosts the reflector subsystem. *)
+val mesh_soc :
+  ?payload_width:int -> ?period:int -> width:int -> height:int -> unit -> Firrtl.Ast.circuit
+
+(** Router indices of row [r] — a natural NoC-partition-mode group. *)
+val row_group : width:int -> int -> int list

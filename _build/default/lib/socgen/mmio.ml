@@ -1,0 +1,190 @@
+(* Memory-mapped I/O: an address-decoding bus splitter and a UART-style
+   transmit device, plus the host-side driver that drains it — the
+   FireSim/FireAxe "bridge" pattern of §IV-A, where each FPGA partition
+   has a host driver pushing and pulling tokens.  Here the driver is the
+   per-cycle drive hook of the LI-BDN network (or a plain polling loop
+   for monolithic simulation), reading the device's registers and
+   returning the characters the target program printed.
+
+   The device occupies the upper half of the address space (bit 15 of
+   the word address set); everything below goes to memory. *)
+
+open Firrtl
+
+(* Address split: bit 15 selects the device. *)
+let device_bit = 15
+
+(** Address-decoding splitter: one master port in, memory + device out.
+    Responses are routed back by remembering which slave accepted the
+    outstanding request (masters have one in flight). *)
+let splitter ?(name = "mmio_split") () =
+  let b = Builder.create name in
+  let open Dsl in
+  let m_req = Decoupled.sink b "req" Kite_core.req_fields in
+  let m_resp = Decoupled.source b "resp" Kite_core.resp_fields in
+  let mem_req = Decoupled.source b "mem_req" Kite_core.req_fields in
+  let mem_resp = Decoupled.sink b "mem_resp" Kite_core.resp_fields in
+  let dev_req = Decoupled.source b "dev_req" Kite_core.req_fields in
+  let dev_resp = Decoupled.sink b "dev_resp" Kite_core.resp_fields in
+  let to_dev = Builder.node b ~width:1 (bit (ref_ "req_addr") device_bit) in
+  Builder.connect b mem_req.Decoupled.valid (ref_ m_req.Decoupled.valid &: not_ to_dev);
+  Builder.connect b dev_req.Decoupled.valid (ref_ m_req.Decoupled.valid &: to_dev);
+  List.iter
+    (fun (f, _) ->
+      Builder.connect b ("mem_req_" ^ f) (ref_ ("req_" ^ f));
+      Builder.connect b ("dev_req_" ^ f) (ref_ ("req_" ^ f)))
+    Kite_core.req_fields;
+  Builder.connect b m_req.Decoupled.ready
+    (mux to_dev (ref_ dev_req.Decoupled.ready) (ref_ mem_req.Decoupled.ready));
+  (* Response routing: remember the target of the outstanding request. *)
+  let pending_dev = Builder.reg b "pending_dev" 1 in
+  let req_fire = Builder.node b ~width:1 (ref_ m_req.Decoupled.valid &: ref_ m_req.Decoupled.ready) in
+  Builder.reg_next b ~enable:req_fire "pending_dev" to_dev;
+  Builder.connect b m_resp.Decoupled.valid
+    (mux pending_dev (ref_ dev_resp.Decoupled.valid) (ref_ mem_resp.Decoupled.valid));
+  Builder.connect b "resp_data"
+    (mux pending_dev (ref_ "dev_resp_data") (ref_ "mem_resp_data"));
+  Builder.connect b mem_resp.Decoupled.ready
+    (ref_ m_resp.Decoupled.ready &: not_ pending_dev);
+  Builder.connect b dev_resp.Decoupled.ready (ref_ m_resp.Decoupled.ready &: pending_dev);
+  Builder.finish b
+
+(** UART transmitter: a write to any device address enqueues the low
+    byte into a 16-entry FIFO that the host driver drains through the
+    [tx_*] ports ([tx_pop] acknowledges one byte per cycle).  Reads
+    return the FIFO occupancy, so target software can throttle. *)
+let uart_tx ?(name = "uart") () =
+  let b = Builder.create name in
+  let open Dsl in
+  let req = Decoupled.sink b "req" Kite_core.req_fields in
+  let resp = Decoupled.source b "resp" Kite_core.resp_fields in
+  (* Host-driver side. *)
+  Builder.output b "tx_valid" 1;
+  Builder.output b "tx_byte" 8;
+  let tx_pop = Builder.input b "tx_pop" 1 in
+  let fifo = Builder.mem b "fifo" ~width:8 ~depth:16 in
+  let head = Builder.reg b "head" 4 in
+  let tail = Builder.reg b "tail" 4 in
+  let occ = Builder.reg b "occ" 5 in
+  let have_resp = Builder.reg b "have_resp" 1 in
+  let full = Builder.node b ~width:1 (occ >=: lit ~width:5 16) in
+  let req_fire = Builder.node b ~width:1 (ref_ req.Decoupled.valid &: ref_ req.Decoupled.ready) in
+  let resp_fire = Builder.node b ~width:1 (ref_ resp.Decoupled.valid &: ref_ resp.Decoupled.ready) in
+  (* Accept when not mid-response, and never drop writes on a full FIFO. *)
+  Builder.connect b req.Decoupled.ready
+    (not_ have_resp &: (not_ (ref_ "req_wen") |: not_ full));
+  Builder.connect b resp.Decoupled.valid have_resp;
+  Builder.connect b "resp_data" occ;
+  Builder.reg_next b "have_resp" (mux req_fire one (mux resp_fire zero have_resp));
+  let enq = Builder.node b ~width:1 (req_fire &: ref_ "req_wen") in
+  let pop = Builder.node b ~width:1 (tx_pop &: (occ >: lit ~width:5 0)) in
+  Builder.mem_write b fifo ~addr:tail ~data:(bits (ref_ "req_wdata") ~hi:7 ~lo:0) ~enable:enq;
+  Builder.reg_next b ~enable:enq "tail" (tail +: lit ~width:4 1);
+  Builder.reg_next b ~enable:pop "head" (head +: lit ~width:4 1);
+  Builder.reg_next b "occ" (occ +: enq -: pop);
+  Builder.connect b "tx_valid" (occ >: lit ~width:5 0);
+  Builder.connect b "tx_byte" (read fifo head);
+  Builder.finish b
+
+(** The Kite SoC with a UART behind the MMIO splitter.  Stores to
+    addresses with bit 15 set print; everything else is memory. *)
+let uart_soc ?(mem_latency = 1) ?(mem_depth = 1024) ?(cache_sets = Some 64) () =
+  let core = Kite_core.module_def () in
+  let tile = Soc.tile_module ~cache_sets ~core_module:core.Ast.name () in
+  let l1_modules =
+    match cache_sets with
+    | Some sets -> [ Cache.module_def ~name:"kite_tile_l1" ~sets () ]
+    | None -> []
+  in
+  let split = splitter () in
+  let mem = Memsys.scratchpad ~name:"mem" ~depth:mem_depth ~latency:mem_latency () in
+  let uart = uart_tx () in
+  let b = Builder.create "uart_soc" in
+  let t = Builder.inst b "tile" tile.Ast.name in
+  let s = Builder.inst b "split" split.Ast.name in
+  let m = Builder.inst b "mem" mem.Ast.name in
+  let u = Builder.inst b "uart" uart.Ast.name in
+  (* tile <-> splitter *)
+  Decoupled.connect_insts b ~src:t ~dst:s ~prefix:"req" ~fields:Kite_core.req_fields;
+  Decoupled.connect_insts b ~src:s ~dst:t ~prefix:"resp" ~fields:Kite_core.resp_fields;
+  (* splitter <-> memory *)
+  let port ~src_i ~src_p ~dst_i ~dst_p fields valid ready =
+    Builder.connect_in b dst_i (dst_p ^ "_" ^ valid) (Builder.of_inst src_i (src_p ^ "_" ^ valid));
+    List.iter
+      (fun (f, _) ->
+        Builder.connect_in b dst_i (dst_p ^ "_" ^ f) (Builder.of_inst src_i (src_p ^ "_" ^ f)))
+      fields;
+    Builder.connect_in b src_i (src_p ^ "_" ^ ready) (Builder.of_inst dst_i (dst_p ^ "_" ^ ready))
+  in
+  port ~src_i:s ~src_p:"mem_req" ~dst_i:m ~dst_p:"req" Kite_core.req_fields "valid" "ready";
+  port ~src_i:m ~src_p:"resp" ~dst_i:s ~dst_p:"mem_resp" Kite_core.resp_fields "valid" "ready";
+  port ~src_i:s ~src_p:"dev_req" ~dst_i:u ~dst_p:"req" Kite_core.req_fields "valid" "ready";
+  port ~src_i:u ~src_p:"resp" ~dst_i:s ~dst_p:"dev_resp" Kite_core.resp_fields "valid" "ready";
+  (* The UART's host-driver face punches to the top. *)
+  Builder.output b "tx_valid" 1;
+  Builder.connect b "tx_valid" (Builder.of_inst u "tx_valid");
+  Builder.output b "tx_byte" 8;
+  Builder.connect b "tx_byte" (Builder.of_inst u "tx_byte");
+  let pop = Builder.input b "tx_pop" 1 in
+  Builder.connect_in b u "tx_pop" pop;
+  Builder.output b "halted" 1;
+  Builder.connect b "halted" (Builder.of_inst t "halted");
+  {
+    Ast.cname = "uart_soc";
+    main = "uart_soc";
+    modules = l1_modules @ [ core; tile; split; mem; uart; Builder.finish b ];
+  }
+
+(** A Kite program that prints the bytes at [base..base+n-1] (one word
+    per character) through the UART, then halts.  The UART lives at
+    word address 2^15. *)
+let print_program ~base ~n =
+  let open Kite_isa in
+  (* r6 = 15; r5 = 1 << 15 (device base); r2 = data pointer; r3 = count *)
+  [
+    Addi (6, 0, 15);
+    Addi (5, 0, 1);
+    Alu (F_sll, 5, 5, 6);
+    Addi (2, 0, base);
+    Addi (3, 0, n);
+    (* loop: *)
+    Lw (4, 2, 0);
+    Sw (4, 5, 0);
+    Addi (2, 2, 1);
+    Addi (3, 3, -1);
+    Bne (3, 0, -5);
+    Halt;
+  ]
+
+(** One host-driver step (§IV-A: "each FPGA partition has a
+    corresponding simulation driver running on the host CPU").  Reads
+    the UART's architectural state through the given accessors, collects
+    at most one byte, and sets the pop acknowledgment for the next
+    target cycle.  Identical timing whether the accessors talk to a
+    monolithic simulation or to the base partition of an LI-BDN
+    network, so the printed output is bit-identical across setups. *)
+let driver_step ~peek ~peek_mem ~poke collected =
+  if peek "uart$occ" > 0 then begin
+    Buffer.add_char collected (Char.chr (peek_mem "uart$fifo" (peek "uart$head") land 0xff));
+    poke "tx_pop" 1
+  end
+  else poke "tx_pop" 0
+
+(** Runs the UART SoC monolithically until halt, returning the printed
+    string and the halt cycle. *)
+let run_monolithic ?(max_cycles = 200_000) ~program ~data () =
+  let sim = Rtlsim.Sim.of_circuit (uart_soc ()) in
+  Soc.load_program sim ~mem:"mem$mem" ~data program;
+  let collected = Buffer.create 64 in
+  let cycle = ref 0 in
+  Rtlsim.Sim.eval_comb sim;
+  while (not (Rtlsim.Sim.get sim "tile$core$state" = Kite_core.s_halted && Rtlsim.Sim.get sim "uart$occ" = 0))
+        && !cycle < max_cycles do
+    driver_step ~peek:(Rtlsim.Sim.get sim)
+      ~peek_mem:(Rtlsim.Sim.peek_mem sim)
+      ~poke:(Rtlsim.Sim.set_input sim) collected;
+    Rtlsim.Sim.step sim;
+    Rtlsim.Sim.eval_comb sim;
+    incr cycle
+  done;
+  (Buffer.contents collected, !cycle)

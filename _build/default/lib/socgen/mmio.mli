@@ -1,0 +1,37 @@
+(** Memory-mapped I/O: an address-decoding splitter, a UART-style
+    transmit device, and the host-side driver that drains it — the
+    FireSim/FireAxe bridge pattern of §IV-A. *)
+
+(** Word-address bit selecting the device space. *)
+val device_bit : int
+
+(** One master in, memory + device out; responses routed back by the
+    outstanding-request target. *)
+val splitter : ?name:string -> unit -> Firrtl.Ast.module_def
+
+(** UART transmitter: device writes enqueue bytes into a 16-deep FIFO
+    drained through [tx_valid]/[tx_byte]/[tx_pop]; device reads return
+    the occupancy. *)
+val uart_tx : ?name:string -> unit -> Firrtl.Ast.module_def
+
+(** Kite SoC with the UART behind the splitter; the UART's host-driver
+    face punches to the top. *)
+val uart_soc :
+  ?mem_latency:int -> ?mem_depth:int -> ?cache_sets:int option -> unit -> Firrtl.Ast.circuit
+
+(** Prints the words at [base..base+n-1] through the UART, then halts. *)
+val print_program : base:int -> n:int -> Kite_isa.instr list
+
+(** One host-driver step against primitive accessors; collects at most
+    one byte and sets the pop acknowledgment for the next cycle. *)
+val driver_step :
+  peek:(string -> int) ->
+  peek_mem:(string -> int -> int) ->
+  poke:(string -> int -> unit) ->
+  Buffer.t ->
+  unit
+
+(** Runs the UART SoC monolithically until halt + drained; returns the
+    printed string and the halt cycle. *)
+val run_monolithic :
+  ?max_cycles:int -> program:Kite_isa.instr list -> data:(int * int) list -> unit -> string * int

@@ -1,0 +1,181 @@
+(* A DMA NIC with one RX/TX stream per core and hardware latency
+   counters — the §V-C hardware modification: "we modify our NIC such
+   that it has a TX/RX queue corresponding to each core, [and] add
+   hardware counters inside the NIC to measure the average bus request
+   to response latency".
+
+   The NIC is one more master on the SoC crossbar.  It round-robins over
+   (core, direction) jobs: an RX job writes the next packet word into
+   the core's RX buffer, a TX job reads the next word of the core's TX
+   buffer.  Per direction it accumulates (response - request) latencies
+   and transaction counts, so average bus latency under contention can
+   be read out of the hardware exactly as in the paper's Figure 9
+   methodology — here measured in cycle-exact RTL rather than the DES
+   model. *)
+
+open Firrtl
+
+let n_idle = 0
+let n_req = 1
+let n_wait = 2
+
+(** Buffer layout: per core, RX words at [rx_base + core*span] and TX
+    words at [tx_base + core*span], walked cyclically. *)
+let module_def ?(name = "nic") ~cores ~rx_base ~tx_base ~span () =
+  if cores < 1 || cores > 8 then Ast.ir_error "nic supports 1..8 cores";
+  let b = Builder.create name in
+  let open Dsl in
+  let lit16 v = lit ~width:16 v in
+  let req = Decoupled.source b "req" Kite_core.req_fields in
+  let resp = Decoupled.sink b "resp" Kite_core.resp_fields in
+  List.iter
+    (fun o -> Builder.output b o 32)
+    [ "rd_lat_sum"; "wr_lat_sum" ];
+  List.iter (fun o -> Builder.output b o 16) [ "rd_count"; "wr_count" ];
+  let state = Builder.reg b ~init:n_idle "state" 2 in
+  let job = Builder.reg b "job" 4 in
+  (* job encodes (core, direction): low bit = direction (0 = RX write) *)
+  let word = Builder.reg b "word" 16 in
+  let now = Builder.reg b "now" 32 in
+  let issue_t = Builder.reg b "issue_t" 32 in
+  let rd_sum = Builder.reg b "rd_sum" 32 in
+  let wr_sum = Builder.reg b "wr_sum" 32 in
+  let rd_cnt = Builder.reg b "rd_cnt" 16 in
+  let wr_cnt = Builder.reg b "wr_cnt" 16 in
+  let seq = Builder.reg b "seq" 16 in
+  Builder.reg_next b "now" (now +: lit ~width:32 1);
+  let st v = lit ~width:2 v in
+  let in_state v = state ==: st v in
+  let is_rx = Builder.node b ~width:1 (not_ (bit job 0)) in
+  let core = Builder.node b ~width:3 (bits job ~hi:3 ~lo:1) in
+  let req_fire = Builder.node b ~width:1 (ref_ req.Decoupled.valid &: ref_ req.Decoupled.ready) in
+  let resp_fire =
+    Builder.node b ~width:1 (ref_ resp.Decoupled.valid &: ref_ resp.Decoupled.ready)
+  in
+  let base = Builder.node b ~width:16 (mux is_rx (lit16 rx_base) (lit16 tx_base)) in
+  let addr =
+    Builder.node b ~width:16
+      (base +: (core *: lit16 span) +: (word %: lit16 span))
+  in
+  Builder.connect b req.Decoupled.valid (in_state n_req);
+  Builder.connect b "req_addr" addr;
+  Builder.connect b "req_wen" is_rx;
+  Builder.connect b "req_wdata" seq;
+  Builder.connect b resp.Decoupled.ready (in_state n_wait);
+  let next_job =
+    (* Round-robin over cores*2 jobs. *)
+    mux (job ==: lit ~width:4 ((cores * 2) - 1)) (lit ~width:4 0) (job +: lit ~width:4 1)
+  in
+  let next_state =
+    select ~default:state
+      [
+        (in_state n_idle, st n_req);
+        (in_state n_req &: req_fire, st n_wait);
+        (in_state n_wait &: resp_fire, st n_req);
+      ]
+  in
+  Builder.reg_next b "state" next_state;
+  (* Latency is measured from the moment the request is first
+     *presented* (so crossbar arbitration waits count, as in the
+     paper's request-to-response metric), to the response. *)
+  let done_txn = Builder.node b ~width:1 (in_state n_wait &: resp_fire) in
+  Builder.reg_next b
+    ~enable:(in_state n_idle |: done_txn)
+    "issue_t"
+    (now +: lit ~width:32 1);
+  Builder.reg_next b ~enable:done_txn "job" next_job;
+  Builder.reg_next b ~enable:done_txn "word" (word +: lit16 1);
+  Builder.reg_next b ~enable:done_txn "seq" (seq +: lit16 1);
+  let lat = Builder.node b ~width:32 (now -: issue_t) in
+  Builder.reg_next b ~enable:(done_txn &: is_rx) "wr_sum" (wr_sum +: lat);
+  Builder.reg_next b ~enable:(done_txn &: is_rx) "wr_cnt" (wr_cnt +: lit16 1);
+  Builder.reg_next b ~enable:(done_txn &: not_ is_rx) "rd_sum" (rd_sum +: lat);
+  Builder.reg_next b ~enable:(done_txn &: not_ is_rx) "rd_cnt" (rd_cnt +: lit16 1);
+  Builder.connect b "rd_lat_sum" rd_sum;
+  Builder.connect b "wr_lat_sum" wr_sum;
+  Builder.connect b "rd_count" rd_cnt;
+  Builder.connect b "wr_count" wr_cnt;
+  Builder.finish b
+
+(** Kite tiles + NIC sharing one scratchpad through the crossbar; the
+    NIC is master [cores] (the last one).  Core programs are loaded by
+    the caller; [Nic.forwarding_program] keeps the tiles hammering
+    memory like the paper's packet-forwarding cores. *)
+let nic_soc ?(mem_latency = 1) ?(mem_depth = 1024) ?(cache_sets = Some 64) ~cores () =
+  let core = Kite_core.module_def () in
+  let tile = Soc.tile_module ~cache_sets ~core_module:core.Ast.name () in
+  let l1_modules =
+    match cache_sets with
+    | Some sets -> [ Cache.module_def ~name:"kite_tile_l1" ~sets () ]
+    | None -> []
+  in
+  let xbar = Memsys.xbar ~masters:(cores + 1) () in
+  let mem = Memsys.scratchpad ~name:"mem" ~depth:mem_depth ~latency:mem_latency () in
+  let nic = module_def ~cores ~rx_base:256 ~tx_base:512 ~span:32 () in
+  let b = Builder.create "nicsoc" in
+  let x = Builder.inst b "xbar" xbar.Ast.name in
+  let m = Builder.inst b "mem" mem.Ast.name in
+  let nic_i = Builder.inst b "nic" nic.Ast.name in
+  let attach_master i inst =
+    let mp = Printf.sprintf "m%d" i in
+    Builder.connect_in b x (mp ^ "_req_valid") (Builder.of_inst inst "req_valid");
+    List.iter
+      (fun (f, _) ->
+        Builder.connect_in b x (mp ^ "_req_" ^ f) (Builder.of_inst inst ("req_" ^ f)))
+      Kite_core.req_fields;
+    Builder.connect_in b inst "req_ready" (Builder.of_inst x (mp ^ "_req_ready"));
+    Builder.connect_in b inst "resp_valid" (Builder.of_inst x (mp ^ "_resp_valid"));
+    Builder.connect_in b inst "resp_data" (Builder.of_inst x (mp ^ "_resp_data"));
+    Builder.connect_in b x (mp ^ "_resp_ready") (Builder.of_inst inst "resp_ready")
+  in
+  let tiles =
+    List.init cores (fun i ->
+        let t = Builder.inst b (Printf.sprintf "tile%d" i) tile.Ast.name in
+        attach_master i t;
+        t)
+  in
+  attach_master cores nic_i;
+  (* xbar.mem <-> scratchpad *)
+  Builder.connect_in b m "req_valid" (Builder.of_inst x "mem_req_valid");
+  List.iter
+    (fun (f, _) ->
+      Builder.connect_in b m ("req_" ^ f) (Builder.of_inst x ("mem_req_" ^ f)))
+    Kite_core.req_fields;
+  Builder.connect_in b x "mem_req_ready" (Builder.of_inst m "req_ready");
+  Builder.connect_in b x "mem_resp_valid" (Builder.of_inst m "resp_valid");
+  Builder.connect_in b x "mem_resp_data" (Builder.of_inst m "resp_data");
+  Builder.connect_in b m "resp_ready" (Builder.of_inst x "mem_resp_ready");
+  (* NIC counters to the top. *)
+  List.iter
+    (fun (o, w) ->
+      Builder.output b o w;
+      Builder.connect b o (Builder.of_inst nic_i o))
+    [ ("rd_lat_sum", 32); ("wr_lat_sum", 32); ("rd_count", 16); ("wr_count", 16) ];
+  ignore tiles;
+  {
+    Ast.cname = "nicsoc";
+    main = "nicsoc";
+    modules = l1_modules @ [ core; tile; xbar; mem; nic; Builder.finish b ];
+  }
+
+(** Endless memory-forwarding loop for the tiles (never halts): copies a
+    block back and forth, keeping the bus busy like the paper's
+    packet-forwarding cores. *)
+let forwarding_program =
+  let open Kite_isa in
+  [
+    (* loop: r2 = 40; r3 = 8; inner copy; jump back *)
+    Addi (2, 0, 40);
+    Addi (3, 0, 8);
+    Lw (4, 2, 0);
+    Sw (4, 2, 16);
+    Addi (2, 2, 1);
+    Addi (3, 3, -1);
+    Bne (3, 0, -5);
+    Jal (1, -8);
+  ]
+
+(** Average request-to-response latencies (read, write) after a run. *)
+let averages ~peek =
+  let avg sum cnt = if peek cnt = 0 then 0. else float_of_int (peek sum) /. float_of_int (peek cnt) in
+  (avg "rd_lat_sum" "rd_count", avg "wr_lat_sum" "wr_count")

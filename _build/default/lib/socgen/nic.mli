@@ -1,0 +1,24 @@
+(** DMA NIC with one RX/TX stream per core and in-NIC latency counters
+    (the §V-C hardware modification), plus the crossbar SoC hosting it
+    and a forwarding workload for the tiles. *)
+
+val n_idle : int
+val n_req : int
+val n_wait : int
+
+(** The NIC module: a memory master round-robining over per-core RX
+    writes and TX reads, accumulating request-to-response latencies per
+    direction (outputs [rd_lat_sum]/[rd_count]/[wr_lat_sum]/[wr_count]). *)
+val module_def :
+  ?name:string -> cores:int -> rx_base:int -> tx_base:int -> span:int -> unit -> Firrtl.Ast.module_def
+
+(** Kite tiles + NIC on one crossbar, counters punched to the top. *)
+val nic_soc :
+  ?mem_latency:int -> ?mem_depth:int -> ?cache_sets:int option -> cores:int -> unit -> Firrtl.Ast.circuit
+
+(** Endless memory-forwarding loop for the tiles (never halts). *)
+val forwarding_program : Kite_isa.instr list
+
+(** Average (read, write) request-to-response latencies from the
+    counters. *)
+val averages : peek:(string -> int) -> float * float

@@ -1,0 +1,299 @@
+(* A credit-based ring network-on-chip in the style of Constellation
+   (the NoC generator the paper partitions across): per-node router
+   modules carrying [Noc_router] annotations, protocol converters
+   bridging ready-valid tiles onto credit links, traffic-generator
+   tiles, and a reflector node standing in for the SoC subsystem.
+
+   Router boundaries are credit-based and register-driven: no output
+   port depends combinationally on any input port, which is exactly the
+   property FireRipper's NoC-partition-mode exploits (Fig. 4). *)
+
+open Firrtl
+
+let dest_bits = 5
+let src_bits = 5
+
+(* Packet layout: [dest | src | payload]. *)
+let packet_width ~payload_width = dest_bits + src_bits + payload_width
+
+let pack ~payload_width ~dest ~src ~payload =
+  Dsl.(cat dest (cat src payload)) |> fun e -> ignore payload_width; e
+
+let dest_of ~payload_width e =
+  Dsl.bits e ~hi:(packet_width ~payload_width - 1) ~lo:(src_bits + payload_width)
+
+let src_of ~payload_width e = Dsl.bits e ~hi:(src_bits + payload_width - 1) ~lo:payload_width
+let payload_of ~payload_width e = Dsl.bits e ~hi:(payload_width - 1) ~lo:0
+
+(* A 2-deep credit-buffered queue (mem + head/tail/occ).  Returns
+   (nonempty expr, head-data expr, enq/deq emitters). *)
+let credit_queue b ~prefix ~width =
+  let open Dsl in
+  let q = Builder.mem b (prefix ^ "_q") ~width ~depth:2 in
+  let head = Builder.reg b (prefix ^ "_head") 1 in
+  let tail = Builder.reg b (prefix ^ "_tail") 1 in
+  let occ = Builder.reg b (prefix ^ "_occ") 2 in
+  let nonempty = Builder.node b ~width:1 (occ >: lit ~width:2 0) in
+  let head_data = read q head in
+  let finishq ~enq ~enq_data ~deq =
+    Builder.mem_write b q ~addr:tail ~data:enq_data ~enable:enq;
+    Builder.reg_next b ~enable:enq (prefix ^ "_tail") (tail +: lit ~width:1 1);
+    Builder.reg_next b ~enable:deq (prefix ^ "_head") (head +: lit ~width:1 1);
+    Builder.reg_next b (prefix ^ "_occ") (occ +: enq -: deq);
+    (* Credit-protocol invariants, synthesized into the image: the
+       sender's credits must prevent both overflow and underflow. *)
+    Builder.assertion b (prefix ^ "_overflow") (enq &: (occ ==: lit ~width:2 2));
+    Builder.assertion b (prefix ^ "_underflow") (deq &: (occ ==: lit ~width:2 0))
+  in
+  (nonempty, head_data, finishq)
+
+(** One ring router node.  [my_id] routes local deliveries; the module
+    carries the [Noc_router index] annotation. *)
+let router_module ~name ~index ~payload_width () =
+  let w = packet_width ~payload_width in
+  let b = Builder.create name in
+  let open Dsl in
+  Builder.annotate b (Ast.Noc_router { index });
+  let ring_in_valid = Builder.input b "ring_in_valid" 1 in
+  let ring_in_data = Builder.input b "ring_in_data" w in
+  Builder.output b "ring_in_credit" 1;
+  Builder.output b "ring_out_valid" 1;
+  Builder.output b "ring_out_data" w;
+  let ring_out_credit = Builder.input b "ring_out_credit" 1 in
+  let loc_in_valid = Builder.input b "loc_in_valid" 1 in
+  let loc_in_data = Builder.input b "loc_in_data" w in
+  Builder.output b "loc_in_credit" 1;
+  Builder.output b "loc_out_valid" 1;
+  Builder.output b "loc_out_data" w;
+  let loc_out_credit = Builder.input b "loc_out_credit" 1 in
+  let inq_ne, inq_head, finish_inq = credit_queue b ~prefix:"inq" ~width:w in
+  let locq_ne, locq_head, finish_locq = credit_queue b ~prefix:"locq" ~width:w in
+  let credit_next = Builder.reg b ~init:2 "credit_next" 2 in
+  let credit_loc = Builder.reg b ~init:2 "credit_loc" 2 in
+  let head_dest = Builder.node b ~width:dest_bits (dest_of ~payload_width inq_head) in
+  let ring_to_loc =
+    Builder.node b ~width:1 (inq_ne &: (head_dest ==: lit ~width:dest_bits index))
+  in
+  let ring_to_ring = Builder.node b ~width:1 (inq_ne &: not_ ring_to_loc) in
+  let have_next_credit = Builder.node b ~width:1 (credit_next >: lit ~width:2 0) in
+  let have_loc_credit = Builder.node b ~width:1 (credit_loc >: lit ~width:2 0) in
+  let send_loc = Builder.node b ~width:1 (ring_to_loc &: have_loc_credit) in
+  let send_ring_from_ring = Builder.node b ~width:1 (ring_to_ring &: have_next_credit) in
+  let send_ring_from_loc =
+    (* Local injection yields to through traffic. *)
+    Builder.node b ~width:1 (locq_ne &: have_next_credit &: not_ ring_to_ring)
+  in
+  let deq_inq = Builder.node b ~width:1 (send_loc |: send_ring_from_ring) in
+  let deq_locq = send_ring_from_loc in
+  Builder.connect b "ring_out_valid" (send_ring_from_ring |: send_ring_from_loc);
+  Builder.connect b "ring_out_data" (mux send_ring_from_ring inq_head locq_head);
+  Builder.connect b "loc_out_valid" send_loc;
+  Builder.connect b "loc_out_data" inq_head;
+  Builder.connect b "ring_in_credit" deq_inq;
+  Builder.connect b "loc_in_credit" deq_locq;
+  finish_inq ~enq:ring_in_valid ~enq_data:ring_in_data ~deq:deq_inq;
+  finish_locq ~enq:loc_in_valid ~enq_data:loc_in_data ~deq:deq_locq;
+  Builder.reg_next b "credit_next"
+    (credit_next -: (send_ring_from_ring |: send_ring_from_loc) +: ring_out_credit);
+  Builder.reg_next b "credit_loc" (credit_loc -: send_loc +: loc_out_credit);
+  Builder.finish b
+
+(** Protocol converter: bridges a tile's ready-valid TX/RX onto the
+    router's credit-based local port. *)
+let converter_module ~name ~payload_width () =
+  let w = packet_width ~payload_width in
+  let b = Builder.create name in
+  let open Dsl in
+  (* Tile side *)
+  let tx = Decoupled.sink b "tx" [ ("pkt", w) ] in
+  let rx = Decoupled.source b "rx" [ ("pkt", w) ] in
+  (* Router side *)
+  Builder.output b "noc_out_valid" 1;
+  Builder.output b "noc_out_data" w;
+  let noc_out_credit = Builder.input b "noc_out_credit" 1 in
+  let noc_in_valid = Builder.input b "noc_in_valid" 1 in
+  let noc_in_data = Builder.input b "noc_in_data" w in
+  Builder.output b "noc_in_credit" 1;
+  let credit = Builder.reg b ~init:2 "credit" 2 in
+  let have_credit = Builder.node b ~width:1 (credit >: lit ~width:2 0) in
+  let tx_fire = Builder.node b ~width:1 (ref_ tx.Decoupled.valid &: have_credit) in
+  Builder.connect b tx.Decoupled.ready have_credit;
+  Builder.connect b "noc_out_valid" tx_fire;
+  Builder.connect b "noc_out_data" (ref_ "tx_pkt");
+  Builder.reg_next b "credit" (credit -: tx_fire +: noc_out_credit);
+  let inq_ne, inq_head, finish_inq = credit_queue b ~prefix:"rxq" ~width:w in
+  let rx_fire = Builder.node b ~width:1 (inq_ne &: ref_ rx.Decoupled.ready) in
+  Builder.connect b rx.Decoupled.valid inq_ne;
+  Builder.connect b "rx_pkt" inq_head;
+  Builder.connect b "noc_in_credit" rx_fire;
+  finish_inq ~enq:noc_in_valid ~enq_data:noc_in_data ~deq:rx_fire;
+  Builder.finish b
+
+(** Traffic-generator tile: every [period] cycles it sends a packet with
+    an incrementing payload to [target], and accumulates a checksum of
+    everything it receives.  [bug_at]: an optional deliberately-injected
+    RTL bug — when the send sequence number reaches that value, the
+    checksum register additionally XORs a wrong constant (a latent bug
+    that only manifests deep into a simulation, as in Section V-A). *)
+let traffic_tile_module ~name ~my_id ~target ~period ~payload_width ?bug_at () =
+  let w = packet_width ~payload_width in
+  let b = Builder.create name in
+  let open Dsl in
+  let tx = Decoupled.source b "tx" [ ("pkt", w) ] in
+  let rx = Decoupled.sink b "rx" [ ("pkt", w) ] in
+  Builder.output b "sent" 16;
+  Builder.output b "rcvd" 16;
+  Builder.output b "checksum" 16;
+  let tick = Builder.reg b "tick" 16 in
+  let seq = Builder.reg b "seq" payload_width in
+  let pending = Builder.reg b "pending" 1 in
+  let sent = Builder.reg b "sent_r" 16 in
+  let rcvd = Builder.reg b "rcvd_r" 16 in
+  let checksum = Builder.reg b "checksum_r" 16 in
+  let lit16 v = lit ~width:16 v in
+  let tick_wrap = Builder.node b ~width:1 (tick ==: lit16 (period - 1)) in
+  Builder.reg_next b "tick" (mux tick_wrap (lit16 0) (tick +: lit16 1));
+  let tx_fire = Builder.node b ~width:1 (ref_ tx.Decoupled.valid &: ref_ tx.Decoupled.ready) in
+  (* A new packet becomes pending on each tick; it stays pending until
+     accepted (at full load the generator self-throttles). *)
+  Builder.reg_next b "pending" (mux tx_fire zero (mux tick_wrap one pending));
+  Builder.connect b tx.Decoupled.valid pending;
+  Builder.connect b "tx_pkt"
+    (pack ~payload_width
+       ~dest:(lit ~width:dest_bits target)
+       ~src:(lit ~width:src_bits my_id)
+       ~payload:seq);
+  Builder.reg_next b ~enable:tx_fire "seq" (seq +: lit ~width:payload_width 1);
+  Builder.reg_next b ~enable:tx_fire "sent_r" (sent +: lit16 1);
+  let rx_fire = Builder.node b ~width:1 (ref_ rx.Decoupled.valid &: ref_ rx.Decoupled.ready) in
+  Builder.connect b rx.Decoupled.ready one;
+  Builder.reg_next b ~enable:rx_fire "rcvd_r" (rcvd +: lit16 1);
+  let rx_payload = payload_of ~payload_width (ref_ "rx_pkt") in
+  let checksum_next =
+    let base = Dsl.(checksum ^: rx_payload +: lit16 1) in
+    match bug_at with
+    | None -> base
+    | Some n ->
+      (* The latent bug: a bogus extra XOR once the sequence number hits
+         [n] — silent until then. *)
+      Dsl.(mux (seq ==: lit ~width:payload_width n) (base ^: lit16 0xdead) base)
+  in
+  Builder.reg_next b ~enable:rx_fire "checksum_r" checksum_next;
+  Builder.connect b "sent" sent;
+  Builder.connect b "rcvd" rcvd;
+  Builder.connect b "checksum" checksum;
+  Builder.finish b
+
+(** Reflector node (the "SoC subsystem"): echoes every packet back to
+    its source, payload incremented. *)
+let reflector_module ~name ~my_id ~payload_width () =
+  let w = packet_width ~payload_width in
+  let b = Builder.create name in
+  let open Dsl in
+  let rx = Decoupled.sink b "rx" [ ("pkt", w) ] in
+  let tx = Decoupled.source b "tx" [ ("pkt", w) ] in
+  Builder.output b "reflected" 16;
+  let pend = Builder.reg b "pend" 1 in
+  let pend_pkt = Builder.reg b "pend_pkt" w in
+  let count = Builder.reg b "count" 16 in
+  let tx_fire = Builder.node b ~width:1 (ref_ tx.Decoupled.valid &: ref_ tx.Decoupled.ready) in
+  let rx_fire = Builder.node b ~width:1 (ref_ rx.Decoupled.valid &: ref_ rx.Decoupled.ready) in
+  Builder.connect b rx.Decoupled.ready (not_ pend |: tx_fire);
+  Builder.connect b tx.Decoupled.valid pend;
+  Builder.connect b "tx_pkt" pend_pkt;
+  let in_pkt = ref_ "rx_pkt" in
+  let echo =
+    pack ~payload_width
+      ~dest:(src_of ~payload_width in_pkt)
+      ~src:(lit ~width:src_bits my_id)
+      ~payload:(payload_of ~payload_width in_pkt +: lit ~width:payload_width 1)
+  in
+  Builder.reg_next b ~enable:rx_fire "pend_pkt" echo;
+  Builder.reg_next b "pend" (mux rx_fire one (mux tx_fire zero pend));
+  Builder.reg_next b ~enable:rx_fire "count" (count +: lit ~width:16 1);
+  Builder.connect b "reflected" count;
+  Builder.finish b
+
+(** The ring SoC: [n_tiles] traffic tiles plus one reflector node, each
+    behind a protocol converter and a ring router.  Tiles send to the
+    reflector and checksum the echoes.  [bug_tile]/[bug_at] plant the
+    latent RTL bug of the Section V-A case study in one tile. *)
+let ring_soc ?(payload_width = 16) ?(period = 8) ?bug_tile ?bug_at ~n_tiles () =
+  if n_tiles + 1 > 1 lsl dest_bits then Ast.ir_error "ring_soc: too many nodes";
+  let n_nodes = n_tiles + 1 in
+  let reflector_id = n_tiles in
+  let w = packet_width ~payload_width in
+  let routers =
+    List.init n_nodes (fun i ->
+        router_module ~name:(Printf.sprintf "router%d" i) ~index:i ~payload_width ())
+  in
+  let convs =
+    List.init n_nodes (fun i ->
+        converter_module ~name:(Printf.sprintf "conv%d" i) ~payload_width ())
+  in
+  let tiles =
+    List.init n_tiles (fun i ->
+        let bug_at = if bug_tile = Some i then bug_at else None in
+        traffic_tile_module
+          ~name:(Printf.sprintf "ttile%d" i)
+          ~my_id:i ~target:reflector_id ~period ~payload_width ?bug_at ())
+  in
+  let reflector = reflector_module ~name:"reflector" ~my_id:reflector_id ~payload_width () in
+  let b = Builder.create "ringsoc" in
+  let r_insts =
+    List.init n_nodes (fun i -> Builder.inst b (Printf.sprintf "router%d" i) (Printf.sprintf "router%d" i))
+  in
+  let c_insts =
+    List.init n_nodes (fun i -> Builder.inst b (Printf.sprintf "conv%d" i) (Printf.sprintf "conv%d" i))
+  in
+  let t_insts =
+    List.init n_tiles (fun i -> Builder.inst b (Printf.sprintf "ttile%d" i) (Printf.sprintf "ttile%d" i))
+  in
+  let refl = Builder.inst b "reflector" "reflector" in
+  ignore w;
+  (* Ring links. *)
+  List.iteri
+    (fun i r ->
+      let nxt = List.nth r_insts ((i + 1) mod n_nodes) in
+      Builder.connect_in b nxt "ring_in_valid" (Builder.of_inst r "ring_out_valid");
+      Builder.connect_in b nxt "ring_in_data" (Builder.of_inst r "ring_out_data");
+      Builder.connect_in b r "ring_out_credit" (Builder.of_inst nxt "ring_in_credit"))
+    r_insts;
+  (* Converter <-> router local links. *)
+  List.iteri
+    (fun i c ->
+      let r = List.nth r_insts i in
+      Builder.connect_in b r "loc_in_valid" (Builder.of_inst c "noc_out_valid");
+      Builder.connect_in b r "loc_in_data" (Builder.of_inst c "noc_out_data");
+      Builder.connect_in b c "noc_out_credit" (Builder.of_inst r "loc_in_credit");
+      Builder.connect_in b c "noc_in_valid" (Builder.of_inst r "loc_out_valid");
+      Builder.connect_in b c "noc_in_data" (Builder.of_inst r "loc_out_data");
+      Builder.connect_in b r "loc_out_credit" (Builder.of_inst c "noc_in_credit"))
+    c_insts;
+  (* Tile <-> converter ready-valid links. *)
+  let rv_link ~tile ~conv =
+    Builder.connect_in b conv "tx_valid" (Builder.of_inst tile "tx_valid");
+    Builder.connect_in b conv "tx_pkt" (Builder.of_inst tile "tx_pkt");
+    Builder.connect_in b tile "tx_ready" (Builder.of_inst conv "tx_ready");
+    Builder.connect_in b tile "rx_valid" (Builder.of_inst conv "rx_valid");
+    Builder.connect_in b tile "rx_pkt" (Builder.of_inst conv "rx_pkt");
+    Builder.connect_in b conv "rx_ready" (Builder.of_inst tile "rx_ready")
+  in
+  List.iteri (fun i t -> rv_link ~tile:t ~conv:(List.nth c_insts i)) t_insts;
+  rv_link ~tile:refl ~conv:(List.nth c_insts reflector_id);
+  (* Statistics outputs. *)
+  List.iteri
+    (fun i t ->
+      List.iter
+        (fun sig_ ->
+          Builder.output b (Printf.sprintf "%s%d" sig_ i) 16;
+          Builder.connect b (Printf.sprintf "%s%d" sig_ i) (Builder.of_inst t sig_))
+        [ "sent"; "rcvd"; "checksum" ])
+    t_insts;
+  Builder.output b "reflected" 16;
+  Builder.connect b "reflected" (Builder.of_inst refl "reflected");
+  {
+    Ast.cname = "ringsoc";
+    main = "ringsoc";
+    modules = routers @ convs @ tiles @ [ reflector; Builder.finish b ];
+  }

@@ -1,0 +1,60 @@
+(** Constellation-style credit-based ring NoC: per-node router modules
+    carrying [Noc_router] annotations, protocol converters bridging
+    ready-valid tiles onto credit links, traffic-generator tiles, and a
+    reflector node standing in for the SoC subsystem.  Router outputs
+    are register-driven — the property NoC-partition-mode exploits. *)
+
+open Firrtl
+
+val dest_bits : int
+val src_bits : int
+
+(** Packet layout: [dest | src | payload]. *)
+val packet_width : payload_width:int -> int
+
+val pack :
+  payload_width:int -> dest:Ast.expr -> src:Ast.expr -> payload:Ast.expr -> Ast.expr
+
+val dest_of : payload_width:int -> Ast.expr -> Ast.expr
+val src_of : payload_width:int -> Ast.expr -> Ast.expr
+val payload_of : payload_width:int -> Ast.expr -> Ast.expr
+
+(** A 2-deep queue (mem + head/tail/occ): returns (nonempty, head data,
+    finisher taking the enq/deq strobes). *)
+val credit_queue :
+  Builder.t ->
+  prefix:string ->
+  width:int ->
+  Ast.expr * Ast.expr * (enq:Ast.expr -> enq_data:Ast.expr -> deq:Ast.expr -> unit)
+
+(** One ring router node, annotated [Noc_router index]. *)
+val router_module : name:string -> index:int -> payload_width:int -> unit -> Ast.module_def
+
+(** Protocol converter: tile ready-valid <-> router credit link. *)
+val converter_module : name:string -> payload_width:int -> unit -> Ast.module_def
+
+(** Traffic tile: sends to [target] every [period] cycles, checksums
+    received packets; [bug_at] plants the §V-A latent bug. *)
+val traffic_tile_module :
+  name:string ->
+  my_id:int ->
+  target:int ->
+  period:int ->
+  payload_width:int ->
+  ?bug_at:int ->
+  unit ->
+  Ast.module_def
+
+(** Reflector node: echoes packets to their source, payload + 1. *)
+val reflector_module : name:string -> my_id:int -> payload_width:int -> unit -> Ast.module_def
+
+(** [n_tiles] traffic tiles plus a reflector, each behind a converter
+    and a ring router. *)
+val ring_soc :
+  ?payload_width:int ->
+  ?period:int ->
+  ?bug_tile:int ->
+  ?bug_at:int ->
+  n_tiles:int ->
+  unit ->
+  Ast.circuit

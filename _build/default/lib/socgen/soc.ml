@@ -1,0 +1,199 @@
+(* SoC compositions used across the validation and performance studies:
+
+   - [single_core_soc]: one Kite tile + scratchpad (the "Rocket tile"
+     partition target of Table II);
+   - [accel_soc]: an accelerator + scratchpad + start pulse (the
+     Sha3Accel / Gemmini rows of Table II);
+   - [multi_core_soc]: N Kite tiles behind a crossbar (the bus-based
+     design whose tiles are pulled out in the Section VI-A sweeps). *)
+
+open Firrtl
+
+let connect_mem_port b ~master ~slave =
+  (* master.req -> slave.req, slave.resp -> master.resp *)
+  Decoupled.connect_insts b ~src:master ~dst:slave ~prefix:"req"
+    ~fields:Kite_core.req_fields;
+  Decoupled.connect_insts b ~src:slave ~dst:master ~prefix:"resp"
+    ~fields:Kite_core.resp_fields
+
+(** A tile wrapping the Kite core (and, unless [cache_sets] is [None],
+    a direct-mapped L1 cache) — with the ready-valid annotations
+    re-stated on the tile boundary so the tile itself is a legal
+    fast-mode partition target.  Keeping the L1 inside the tile gives
+    partitioned tiles the paper's "rare boundary crossing" behaviour. *)
+let tile_module ?(name = "kite_tile") ?(cache_sets = Some 64) ~core_module () =
+  let b = Builder.create name in
+  let req = Decoupled.source b "req" Kite_core.req_fields in
+  let resp = Decoupled.sink b "resp" Kite_core.resp_fields in
+  Builder.output b "halted" 1;
+  Builder.output b "retired" 16;
+  let core = Builder.inst b "core" core_module in
+  (match cache_sets with
+  | None ->
+    List.iter
+      (fun p -> Builder.connect b p (Builder.of_inst core p))
+      (req.Decoupled.valid :: List.map fst req.Decoupled.payload);
+    Builder.connect_in b core req.Decoupled.ready (Dsl.ref_ req.Decoupled.ready);
+    Builder.connect_in b core resp.Decoupled.valid (Dsl.ref_ resp.Decoupled.valid);
+    List.iter
+      (fun (p, _) -> Builder.connect_in b core p (Dsl.ref_ p))
+      resp.Decoupled.payload;
+    Builder.connect b resp.Decoupled.ready (Builder.of_inst core resp.Decoupled.ready)
+  | Some sets ->
+    let l1def = Cache.module_def ~name:(name ^ "_l1") ~sets () in
+    ignore l1def;
+    let l1 = Builder.inst b "l1" (name ^ "_l1") in
+    (* core.req -> l1.cpu_req; l1.cpu_resp -> core.resp *)
+    Builder.connect_in b l1 "cpu_req_valid" (Builder.of_inst core "req_valid");
+    List.iter
+      (fun (f, _) ->
+        Builder.connect_in b l1 ("cpu_req_" ^ f) (Builder.of_inst core ("req_" ^ f)))
+      Kite_core.req_fields;
+    Builder.connect_in b core "req_ready" (Builder.of_inst l1 "cpu_req_ready");
+    Builder.connect_in b core "resp_valid" (Builder.of_inst l1 "cpu_resp_valid");
+    Builder.connect_in b core "resp_data" (Builder.of_inst l1 "cpu_resp_data");
+    Builder.connect_in b l1 "cpu_resp_ready" (Builder.of_inst core "resp_ready");
+    (* l1.req -> tile boundary; tile resp -> l1.resp *)
+    List.iter
+      (fun p -> Builder.connect b p (Builder.of_inst l1 p))
+      (req.Decoupled.valid :: List.map fst req.Decoupled.payload);
+    Builder.connect_in b l1 req.Decoupled.ready (Dsl.ref_ req.Decoupled.ready);
+    Builder.connect_in b l1 resp.Decoupled.valid (Dsl.ref_ resp.Decoupled.valid);
+    List.iter
+      (fun (p, _) -> Builder.connect_in b l1 p (Dsl.ref_ p))
+      resp.Decoupled.payload;
+    Builder.connect b resp.Decoupled.ready (Builder.of_inst l1 resp.Decoupled.ready));
+  Builder.connect b "halted" (Builder.of_inst core "halted");
+  Builder.connect b "retired" (Builder.of_inst core "retired");
+  Builder.finish b
+
+(** One Kite tile and one scratchpad.  The program is loaded by poking
+    the memory ["mem$mem"] (monolithic) or via {!Fireripper.Runtime}'s
+    locate/poke helpers (partitioned). *)
+let single_core_soc ?(mem_latency = 2) ?(mem_depth = 1024) ?(cache_sets = Some 64) () =
+  let core = Kite_core.module_def () in
+  let tile = tile_module ~cache_sets ~core_module:core.Ast.name () in
+  let mem = Memsys.scratchpad ~name:"mem" ~depth:mem_depth ~latency:mem_latency () in
+  let l1_modules =
+    match cache_sets with
+    | Some sets -> [ Cache.module_def ~name:"kite_tile_l1" ~sets () ]
+    | None -> []
+  in
+  let b = Builder.create "soc" in
+  let t = Builder.inst b "tile" tile.Ast.name in
+  let m = Builder.inst b "mem" mem.Ast.name in
+  connect_mem_port b ~master:t ~slave:m;
+  Builder.output b "halted" 1;
+  Builder.connect b "halted" (Builder.of_inst t "halted");
+  Builder.output b "retired" 16;
+  Builder.connect b "retired" (Builder.of_inst t "retired");
+  {
+    Ast.cname = "soc";
+    main = "soc";
+    modules = l1_modules @ [ core; tile; mem; Builder.finish b ];
+  }
+
+type accel_kind =
+  | Sha3
+  | Gemmini
+
+(** Accelerator + scratchpad; the accelerator is kicked by a one-shot
+    start pulse a few cycles after reset and raises [done]. *)
+let accel_soc ?(mem_latency = 2) ?(mem_depth = 1024) kind =
+  let accel =
+    match kind with
+    | Sha3 -> Accel.sha3ish ~name:"accel" ~base:16 ~len:8 ~out:64 ~rounds:24 ()
+    | Gemmini ->
+      Accel.gemminiish ~name:"accel" ~a_base:16 ~w_base:80 ~out_base:100 ~out_n:32 ~klen:16 ()
+  in
+  let mem =
+    (* The streaming Gemmini-like engine needs a pipelined memory to
+       keep multiple requests in flight; the Sha3-like engine ping-pongs
+       on a plain scratchpad (that is what makes it latency-bound). *)
+    match kind with
+    | Gemmini -> Memsys.stream_mem ~name:"mem" ~depth:mem_depth ~latency:mem_latency ()
+    | Sha3 -> Memsys.scratchpad ~name:"mem" ~depth:mem_depth ~latency:mem_latency ()
+  in
+  let b = Builder.create "accel_soc" in
+  let open Dsl in
+  let a = Builder.inst b "accel" accel.Ast.name in
+  let m = Builder.inst b "mem" mem.Ast.name in
+  connect_mem_port b ~master:a ~slave:m;
+  (* One-shot start pulse at cycle 4. *)
+  let counter = Builder.reg b "start_counter" 4 in
+  Builder.reg_next b ~enable:(counter <: lit ~width:4 8) "start_counter"
+    (counter +: lit ~width:4 1);
+  Builder.connect_in b a "start" (counter ==: lit ~width:4 4);
+  Builder.output b "done" 1;
+  Builder.connect b "done" (Builder.of_inst a "done");
+  {
+    Ast.cname = "accel_soc";
+    main = "accel_soc";
+    modules = [ accel; mem; Builder.finish b ];
+  }
+
+(** N Kite tiles sharing one scratchpad through the crossbar.  All tiles
+    fetch from the same program image. *)
+let multi_core_soc ?(mem_latency = 2) ?(mem_depth = 1024) ?(cache_sets = Some 64) ~cores () =
+  let core = Kite_core.module_def () in
+  let tile = tile_module ~cache_sets ~core_module:core.Ast.name () in
+  let l1_modules =
+    match cache_sets with
+    | Some sets -> [ Cache.module_def ~name:"kite_tile_l1" ~sets () ]
+    | None -> []
+  in
+  let xbar = Memsys.xbar ~masters:cores () in
+  let mem = Memsys.scratchpad ~name:"mem" ~depth:mem_depth ~latency:mem_latency () in
+  let b = Builder.create "multisoc" in
+  let x = Builder.inst b "xbar" xbar.Ast.name in
+  let m = Builder.inst b "mem" mem.Ast.name in
+  let tiles =
+    List.init cores (fun i ->
+        let t = Builder.inst b (Printf.sprintf "tile%d" i) tile.Ast.name in
+        (* tile.req -> xbar.m<i>_req; xbar.m<i>_resp -> tile.resp *)
+        let mp = Printf.sprintf "m%d" i in
+        Builder.connect_in b x (mp ^ "_req_valid") (Builder.of_inst t "req_valid");
+        List.iter
+          (fun (f, _) ->
+            Builder.connect_in b x
+              (mp ^ "_req_" ^ f)
+              (Builder.of_inst t ("req_" ^ f)))
+          [ ("addr", 16); ("wdata", 16); ("wen", 1) ];
+        Builder.connect_in b t "req_ready" (Builder.of_inst x (mp ^ "_req_ready"));
+        Builder.connect_in b t "resp_valid" (Builder.of_inst x (mp ^ "_resp_valid"));
+        Builder.connect_in b t "resp_data" (Builder.of_inst x (mp ^ "_resp_data"));
+        Builder.connect_in b x (mp ^ "_resp_ready") (Builder.of_inst t "resp_ready");
+        t)
+  in
+  (* xbar.mem_req -> mem.req; mem.resp -> xbar.mem_resp *)
+  Builder.connect_in b m "req_valid" (Builder.of_inst x "mem_req_valid");
+  List.iter
+    (fun (f, _) ->
+      Builder.connect_in b m ("req_" ^ f) (Builder.of_inst x ("mem_req_" ^ f)))
+    [ ("addr", 16); ("wdata", 16); ("wen", 1) ];
+  Builder.connect_in b x "mem_req_ready" (Builder.of_inst m "req_ready");
+  Builder.connect_in b x "mem_resp_valid" (Builder.of_inst m "resp_valid");
+  Builder.connect_in b x "mem_resp_data" (Builder.of_inst m "resp_data");
+  Builder.connect_in b m "resp_ready" (Builder.of_inst x "mem_resp_ready");
+  let open Dsl in
+  Builder.output b "all_halted" 1;
+  Builder.connect b "all_halted"
+    (List.fold_left (fun acc t -> acc &: Builder.of_inst t "halted") one tiles);
+  List.iteri
+    (fun i t ->
+      Builder.output b (Printf.sprintf "halted%d" i) 1;
+      Builder.connect b (Printf.sprintf "halted%d" i) (Builder.of_inst t "halted");
+      Builder.output b (Printf.sprintf "retired%d" i) 16;
+      Builder.connect b (Printf.sprintf "retired%d" i) (Builder.of_inst t "retired"))
+    tiles;
+  {
+    Ast.cname = "multisoc";
+    main = "multisoc";
+    modules = l1_modules @ [ core; tile; xbar; mem; Builder.finish b ];
+  }
+
+(** Loads a Kite program (plus optional data words) into a simulation's
+    memory array named [mem]. *)
+let load_program sim ~mem ?(data = []) program =
+  List.iteri (fun i w -> Rtlsim.Sim.poke_mem sim mem i w) (Kite_isa.assemble program);
+  List.iter (fun (addr, w) -> Rtlsim.Sim.poke_mem sim mem addr w) data

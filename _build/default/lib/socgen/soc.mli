@@ -1,0 +1,31 @@
+(** SoC compositions for the validation and performance studies. *)
+
+open Firrtl
+
+(** Wires master.req -> slave.req and slave.resp -> master.resp. *)
+val connect_mem_port : Builder.t -> master:string -> slave:string -> unit
+
+(** A tile wrapping the Kite core (plus an L1 unless [cache_sets] is
+    [None]), re-annotated so the tile is a fast-mode partition target. *)
+val tile_module :
+  ?name:string -> ?cache_sets:int option -> core_module:string -> unit -> Ast.module_def
+
+(** One Kite tile and one scratchpad (the "Rocket tile" target). *)
+val single_core_soc :
+  ?mem_latency:int -> ?mem_depth:int -> ?cache_sets:int option -> unit -> Ast.circuit
+
+type accel_kind =
+  | Sha3
+  | Gemmini
+
+(** Accelerator + memory + a one-shot start pulse; raises [done]. *)
+val accel_soc : ?mem_latency:int -> ?mem_depth:int -> accel_kind -> Ast.circuit
+
+(** N Kite tiles sharing one scratchpad through the crossbar. *)
+val multi_core_soc :
+  ?mem_latency:int -> ?mem_depth:int -> ?cache_sets:int option -> cores:int -> unit -> Ast.circuit
+
+(** Loads a Kite program (and optional (addr, word) data) into the
+    simulation's memory array [mem]. *)
+val load_program :
+  Rtlsim.Sim.t -> mem:string -> ?data:(int * int) list -> Kite_isa.instr list -> unit

@@ -1,0 +1,27 @@
+(** 2-D torus NoC (the §V-C DDIO study's interconnect family):
+    wraparound links in both dimensions, dimension-ordered routing that
+    takes the shorter way around, credit-based routers with
+    [Noc_router] annotations, register-driven outputs (exact-mode cuts
+    anywhere, including across wraparound links). *)
+
+val packet_width : payload_width:int -> int
+
+(** One torus router at (x, y); all four direction ports always
+    exist. *)
+val router_module :
+  name:string ->
+  x:int ->
+  y:int ->
+  width:int ->
+  height:int ->
+  payload_width:int ->
+  unit ->
+  Firrtl.Ast.module_def
+
+(** A [width] x [height] torus SoC (both >= 2): traffic tiles on every
+    node except the last, which hosts the reflector subsystem. *)
+val torus_soc :
+  ?payload_width:int -> ?period:int -> width:int -> height:int -> unit -> Firrtl.Ast.circuit
+
+(** Router indices of row [r] — a natural NoC-partition-mode group. *)
+val row_group : width:int -> int -> int list

@@ -1,0 +1,1 @@
+lib/uarch/core.ml: Array Config Hashtbl List Trace

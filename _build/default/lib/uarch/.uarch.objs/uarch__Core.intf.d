@@ -1,0 +1,1 @@
+lib/uarch/core.mli: Config Trace

@@ -1,0 +1,118 @@
+(* Microarchitectural configurations (Table I): Large BOOM, the
+   Golden-Cove-downsized GC40 BOOM that the §V-B split-core case study
+   simulates, and a Golden-Cove-class Xeon reference. *)
+
+type t = {
+  name : string;
+  fetch_width : int;
+  issue_width : int;  (** decode/rename/commit width *)
+  rob_entries : int;
+  int_phys_regs : int;
+  fp_phys_regs : int;
+  ld_queue : int;
+  st_queue : int;
+  fetch_buffer : int;
+  l1i_kb : int;
+  l1d_kb : int;
+  alu_units : int;
+  mul_units : int;
+  fp_units : int;
+  mem_ports : int;
+  mispredict_penalty : int;
+  clock_ghz : float;
+  l1d_prefetch : bool;  (** next-line prefetch on D-cache misses *)
+}
+
+(* The paper evaluates all cores at the Xeon's measured 3.4 GHz. *)
+let clock_ghz = 3.4
+
+let large_boom =
+  {
+    name = "Large BOOM";
+    fetch_width = 4;
+    issue_width = 3;
+    rob_entries = 96;
+    int_phys_regs = 100;
+    fp_phys_regs = 96;
+    ld_queue = 24;
+    st_queue = 24;
+    fetch_buffer = 24;
+    l1i_kb = 32;
+    l1d_kb = 32;
+    alu_units = 3;
+    mul_units = 1;
+    fp_units = 1;
+    mem_ports = 1;
+    mispredict_penalty = 12;
+    clock_ghz;
+    l1d_prefetch = false;
+  }
+
+let gc40_boom =
+  {
+    name = "GC40 BOOM";
+    fetch_width = 8;
+    issue_width = 6;
+    rob_entries = 216;
+    int_phys_regs = 115;
+    fp_phys_regs = 132;
+    ld_queue = 76;
+    st_queue = 45;
+    fetch_buffer = 54;
+    l1i_kb = 32;
+    l1d_kb = 32;
+    alu_units = 6;
+    mul_units = 2;
+    fp_units = 2;
+    mem_ports = 2;
+    mispredict_penalty = 14;
+    clock_ghz;
+    l1d_prefetch = false;
+  }
+
+let gc_xeon =
+  {
+    name = "GC Xeon";
+    fetch_width = 8;
+    issue_width = 6;
+    rob_entries = 512;
+    int_phys_regs = 280;
+    fp_phys_regs = 332;
+    ld_queue = 192;
+    st_queue = 114;
+    fetch_buffer = 144;
+    l1i_kb = 32;
+    l1d_kb = 48;
+    alu_units = 6;
+    mul_units = 2;
+    fp_units = 3;
+    mem_ports = 3;
+    mispredict_penalty = 16;
+    clock_ghz;
+    l1d_prefetch = true;
+  }
+
+(** Synthesis-area estimates reported in §V-B (mm² in a 16nm process,
+    core + L1s): the motivation for splitting GC40 across two FPGAs. *)
+let area_mm2 = function
+  | "Large BOOM" -> 0.79
+  | "GC40 BOOM" -> 1.56
+  | "GC Xeon" -> 9.13
+  | _ -> nan
+
+let all = [ large_boom; gc40_boom; gc_xeon ]
+
+(** Table I rows: (parameter, per-config values). *)
+let table1 =
+  let row label f = (label, List.map f all) in
+  [
+    row "Issue width" (fun c -> string_of_int c.issue_width);
+    row "ROB entries" (fun c -> string_of_int c.rob_entries);
+    row "I-Phys Regs" (fun c -> string_of_int c.int_phys_regs);
+    row "F-Phys Regs" (fun c -> string_of_int c.fp_phys_regs);
+    row "Ld queue entries" (fun c -> string_of_int c.ld_queue);
+    row "St queue entries" (fun c -> string_of_int c.st_queue);
+    row "Fetch buffer entries" (fun c -> string_of_int c.fetch_buffer);
+    row "L1-I" (fun c -> Printf.sprintf "%d kB" c.l1i_kb);
+    row "L1-D" (fun c -> Printf.sprintf "%d kB" c.l1d_kb);
+  ]

@@ -1,0 +1,40 @@
+(** Microarchitectural configurations (paper Table I): Large BOOM, the
+    Golden-Cove-downsized GC40 BOOM, and a Golden-Cove-class Xeon. *)
+
+type t = {
+  name : string;
+  fetch_width : int;
+  issue_width : int;  (** decode/rename/commit width *)
+  rob_entries : int;
+  int_phys_regs : int;
+  fp_phys_regs : int;
+  ld_queue : int;
+  st_queue : int;
+  fetch_buffer : int;
+  l1i_kb : int;
+  l1d_kb : int;
+  alu_units : int;
+  mul_units : int;
+  fp_units : int;
+  mem_ports : int;
+  mispredict_penalty : int;
+  clock_ghz : float;
+  l1d_prefetch : bool;  (** next-line prefetch on D-cache misses *)
+}
+
+(** The evaluation clock (the paper measures everything at the Xeon's
+    3.4 GHz). *)
+val clock_ghz : float
+
+val large_boom : t
+val gc40_boom : t
+val gc_xeon : t
+
+(** §V-B synthesis-area estimates (mm², 16nm, core + L1s) by config
+    name; [nan] for unknown names. *)
+val area_mm2 : string -> float
+
+val all : t list
+
+(** Table I rows: (parameter label, per-config values). *)
+val table1 : (string * string list) list

@@ -1,0 +1,32 @@
+(** Trace-driven out-of-order core timing model with TIP-style CPI
+    attribution (paper Figures 7-8).  Each dynamic instruction receives
+    fetch/dispatch/execute/complete/commit timestamps under the
+    configuration's resource constraints; every cycle between
+    consecutive commits is attributed to exactly one stall category, so
+    the CPI stack sums to the CPI. *)
+
+type stall_category =
+  | Base  (** committing / retire bandwidth *)
+  | Frontend  (** fetch bandwidth, fetch buffer, I-cache misses *)
+  | Branch  (** mispredict redirect bubbles *)
+  | Memory  (** D-cache misses *)
+  | Execution  (** execution-unit latency and contention *)
+  | Hazard  (** operand dependencies and backend-capacity stalls *)
+
+val categories : stall_category list
+val category_name : stall_category -> string
+
+type result = {
+  r_config : Config.t;
+  r_instructions : int;
+  r_cycles : int;
+  r_ipc : float;
+  r_runtime_ms : float;
+  r_cpi_stack : (stall_category * float) list;  (** cycles per instruction *)
+  r_l1d_miss_rate : float;
+  r_l1i_miss_rate : float;
+}
+
+(** Runs a trace through the configuration.  Raises [Invalid_argument]
+    on an empty trace.  Deterministic. *)
+val run : Config.t -> Trace.instr array -> result

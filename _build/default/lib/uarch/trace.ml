@@ -1,0 +1,48 @@
+(* Dynamic instruction traces consumed by the OoO timing model.  Traces
+   are produced by the workload generators (Embench-like kernels) and
+   are identical across core configurations, so performance differences
+   come from the microarchitecture alone. *)
+
+type op_class =
+  | Int_alu
+  | Int_mul
+  | Int_div
+  | Fp
+  | Load
+  | Store
+  | Branch
+
+type instr = {
+  op : op_class;
+  src1_dist : int;  (** instructions back to the first producer; 0 = none *)
+  src2_dist : int;
+  mispredicted : bool;  (** branches only *)
+  pc_block : int;  (** I-cache block the instruction fetches from *)
+  addr_block : int;  (** D-cache block for loads/stores; -1 otherwise *)
+  fp_dest : bool;  (** consumes an FP physical register *)
+}
+
+let nop =
+  {
+    op = Int_alu;
+    src1_dist = 0;
+    src2_dist = 0;
+    mispredicted = false;
+    pc_block = 0;
+    addr_block = -1;
+    fp_dest = false;
+  }
+
+(* Execution latencies (cycles). *)
+let latency = function
+  | Int_alu -> 1
+  | Int_mul -> 3
+  | Int_div -> 16
+  | Fp -> 4
+  | Load -> 3 (* L1 hit; misses add the refill penalty *)
+  | Store -> 1
+  | Branch -> 1
+
+let l1_miss_penalty = 22
+
+let is_mem i = i.op = Load || i.op = Store

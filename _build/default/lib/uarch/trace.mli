@@ -1,0 +1,30 @@
+(** Dynamic instruction traces for the OoO timing model.  Traces are
+    identical across core configurations, so performance differences
+    come from the microarchitecture alone. *)
+
+type op_class =
+  | Int_alu
+  | Int_mul
+  | Int_div
+  | Fp
+  | Load
+  | Store
+  | Branch
+
+type instr = {
+  op : op_class;
+  src1_dist : int;  (** instructions back to the first producer; 0 = none *)
+  src2_dist : int;
+  mispredicted : bool;  (** branches only *)
+  pc_block : int;  (** I-cache block the instruction fetches from *)
+  addr_block : int;  (** D-cache block for loads/stores; -1 otherwise *)
+  fp_dest : bool;  (** consumes an FP physical register *)
+}
+
+val nop : instr
+
+(** Execution latency in cycles (L1 hit for loads). *)
+val latency : op_class -> int
+
+val l1_miss_penalty : int
+val is_mem : instr -> bool

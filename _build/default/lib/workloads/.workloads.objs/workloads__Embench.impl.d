@@ -1,0 +1,1 @@
+lib/workloads/embench.ml: Array Char Des List String Uarch

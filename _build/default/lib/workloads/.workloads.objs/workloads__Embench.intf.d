@@ -1,0 +1,1 @@
+lib/workloads/embench.mli: Uarch

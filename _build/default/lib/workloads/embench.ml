@@ -1,0 +1,135 @@
+(* Embench-like workload generator (Figures 7 and 8).
+
+   Each benchmark is characterized by an instruction-mix profile —
+   instruction-level parallelism (dependency distances), branchiness and
+   predictability, memory intensity and footprints, FP/multiply shares —
+   and expanded into a deterministic dynamic trace.  The profiles are
+   set so the benchmarks reproduce the paper's qualitative behaviour:
+   nettle-aes is frontend/commit-bandwidth-bound (GC40's doubled width
+   helps a lot), nbody is execution-latency-bound (wider cores barely
+   help), nsichneu stresses the I-cache, matmult the D-cache. *)
+
+open Uarch.Trace
+
+type profile = {
+  name : string;
+  instructions : int;
+  ilp : int;  (** mean producer distance; higher = more parallelism *)
+  branch_ratio : float;
+  mispredict_rate : float;
+  load_ratio : float;
+  store_ratio : float;
+  fp_ratio : float;
+  mul_ratio : float;
+  div_ratio : float;
+  code_blocks : int;  (** instruction footprint in 64 B blocks *)
+  data_blocks : int;  (** data footprint in 64 B blocks *)
+  hot_data_blocks : int;  (** hot subset receiving most accesses *)
+  streaming : float;  (** fraction of accesses walking sequential blocks *)
+  loop_body : int;  (** instructions per inner-loop iteration *)
+}
+
+let default =
+  {
+    name = "default";
+    instructions = 30_000;
+    ilp = 4;
+    branch_ratio = 0.10;
+    mispredict_rate = 0.03;
+    load_ratio = 0.20;
+    store_ratio = 0.08;
+    fp_ratio = 0.0;
+    mul_ratio = 0.02;
+    div_ratio = 0.0;
+    code_blocks = 16;
+    data_blocks = 64;
+    hot_data_blocks = 16;
+    streaming = 0.0;
+    loop_body = 200;
+  }
+
+let profiles =
+  [
+    { default with name = "aha-mont64"; ilp = 6; mul_ratio = 0.18; branch_ratio = 0.06; mispredict_rate = 0.01 };
+    { default with name = "crc32"; ilp = 3; branch_ratio = 0.14; mispredict_rate = 0.01; load_ratio = 0.22; loop_body = 24 };
+    { default with name = "cubic"; ilp = 3; fp_ratio = 0.48; div_ratio = 0.02; load_ratio = 0.15; branch_ratio = 0.05 };
+    { default with name = "edn"; ilp = 8; mul_ratio = 0.12; load_ratio = 0.34; store_ratio = 0.12; data_blocks = 256; hot_data_blocks = 64; streaming = 0.7 };
+    { default with name = "matmult-int"; ilp = 6; mul_ratio = 0.16; load_ratio = 0.36; store_ratio = 0.06; data_blocks = 1024; hot_data_blocks = 512; streaming = 0.65; loop_body = 48 };
+    { default with name = "nbody"; ilp = 2; fp_ratio = 0.46; div_ratio = 0.015; load_ratio = 0.24; branch_ratio = 0.04; mispredict_rate = 0.01 };
+    { default with name = "nettle-aes"; ilp = 30; branch_ratio = 0.03; mispredict_rate = 0.005; load_ratio = 0.18; code_blocks = 40; loop_body = 420 };
+    { default with name = "nettle-sha256"; ilp = 9; branch_ratio = 0.03; mispredict_rate = 0.005; load_ratio = 0.18; loop_body = 320 };
+    { default with name = "nsichneu"; ilp = 3; branch_ratio = 0.22; mispredict_rate = 0.07; code_blocks = 640; loop_body = 2600 };
+    { default with name = "st"; ilp = 4; fp_ratio = 0.34; load_ratio = 0.26; store_ratio = 0.10 };
+    { default with name = "huffbench"; ilp = 3; branch_ratio = 0.18; mispredict_rate = 0.05; load_ratio = 0.28; loop_body = 60; data_blocks = 512; hot_data_blocks = 96 };
+    { default with name = "md5sum"; ilp = 7; branch_ratio = 0.04; load_ratio = 0.24; loop_body = 260 };
+    { default with name = "minver"; ilp = 3; fp_ratio = 0.40; div_ratio = 0.03; load_ratio = 0.22; loop_body = 80 };
+    { default with name = "picojpeg"; ilp = 5; mul_ratio = 0.10; branch_ratio = 0.12; mispredict_rate = 0.04; load_ratio = 0.30; code_blocks = 320; loop_body = 900; data_blocks = 384; hot_data_blocks = 128 };
+    { default with name = "primecount"; ilp = 2; branch_ratio = 0.16; mispredict_rate = 0.02; div_ratio = 0.04; loop_body = 16 };
+    { default with name = "qrduino"; ilp = 4; branch_ratio = 0.11; mispredict_rate = 0.03; load_ratio = 0.26; store_ratio = 0.12; data_blocks = 192; hot_data_blocks = 48 };
+    { default with name = "sglib-combined"; ilp = 3; branch_ratio = 0.17; mispredict_rate = 0.06; load_ratio = 0.30; code_blocks = 256; loop_body = 1200; data_blocks = 768; hot_data_blocks = 256 };
+    { default with name = "slre"; ilp = 3; branch_ratio = 0.20; mispredict_rate = 0.05; load_ratio = 0.24; code_blocks = 96; loop_body = 180 };
+    { default with name = "statemate"; ilp = 2; branch_ratio = 0.26; mispredict_rate = 0.08; code_blocks = 420; loop_body = 1800 };
+    { default with name = "ud"; ilp = 4; mul_ratio = 0.14; div_ratio = 0.02; load_ratio = 0.24; loop_body = 56 };
+    { default with name = "wikisort"; ilp = 4; branch_ratio = 0.15; mispredict_rate = 0.06; load_ratio = 0.30; store_ratio = 0.14; data_blocks = 1024; hot_data_blocks = 384; streaming = 0.5; loop_body = 140 };
+  ]
+
+let find name =
+  match List.find_opt (fun p -> p.name = name) profiles with
+  | Some p -> p
+  | None -> invalid_arg ("unknown Embench profile: " ^ name)
+
+let hash_seed s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := (!h * 33) + Char.code c) s;
+  !h land 0xFFFFFF
+
+(** Expands a profile into a deterministic dynamic trace. *)
+let generate profile =
+  let rng = Des.Stats.rng ~seed:(hash_seed profile.name) in
+  let stream_ptr = ref 0 in
+  Array.init profile.instructions (fun i ->
+      let roll = float_of_int (Des.Stats.int rng 10_000) /. 10_000. in
+      let op, fp_dest =
+        let b = profile.branch_ratio in
+        let l = b +. profile.load_ratio in
+        let s = l +. profile.store_ratio in
+        let f = s +. profile.fp_ratio in
+        let m = f +. profile.mul_ratio in
+        let d = m +. profile.div_ratio in
+        if roll < b then (Branch, false)
+        else if roll < l then (Load, false)
+        else if roll < s then (Store, false)
+        else if roll < f then (Fp, true)
+        else if roll < m then (Int_mul, false)
+        else if roll < d then (Int_div, false)
+        else (Int_alu, false)
+      in
+      let dist () = 1 + Des.Stats.exponential rng (profile.ilp - 1) in
+      let src1_dist = if op = Branch then dist () else dist () in
+      let src2_dist = if Des.Stats.bernoulli rng 0.6 then dist () else 0 in
+      let mispredicted = op = Branch && Des.Stats.bernoulli rng profile.mispredict_rate in
+      (* Instruction stream: walk the loop body, shifting phase across
+         outer iterations so large code footprints churn the I-cache. *)
+      let pos = i mod profile.loop_body in
+      let outer = i / profile.loop_body in
+      let pc_block = ((pos / 16) + (outer * 7 mod max 1 (profile.code_blocks / 4) * 4)) mod profile.code_blocks in
+      let addr_block =
+        if op = Load || op = Store then
+          if Des.Stats.bernoulli rng profile.streaming then begin
+            (* Sequential walk over the data footprint. *)
+            stream_ptr := (!stream_ptr + 1) mod profile.data_blocks;
+            !stream_ptr
+          end
+          else if Des.Stats.bernoulli rng 0.85 then Des.Stats.int rng profile.hot_data_blocks
+          else Des.Stats.int rng profile.data_blocks
+        else -1
+      in
+      { op; src1_dist; src2_dist; mispredicted; pc_block; addr_block; fp_dest })
+
+(** Runs a benchmark on a core configuration. *)
+let run ~config name = Uarch.Core.run config (generate (find name))
+
+let all_names = List.map (fun p -> p.name) profiles
+
+(** The subset plotted in the paper's CPI-stack figure. *)
+let cpi_stack_selection = [ "aha-mont64"; "matmult-int"; "nbody"; "nettle-aes"; "nsichneu" ]

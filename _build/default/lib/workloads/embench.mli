@@ -1,0 +1,38 @@
+(** Embench-like workload generator (paper Figures 7-8): per-benchmark
+    instruction-mix profiles expanded into deterministic dynamic traces
+    for the OoO timing model. *)
+
+type profile = {
+  name : string;
+  instructions : int;
+  ilp : int;  (** mean producer distance; higher = more parallelism *)
+  branch_ratio : float;
+  mispredict_rate : float;
+  load_ratio : float;
+  store_ratio : float;
+  fp_ratio : float;
+  mul_ratio : float;
+  div_ratio : float;
+  code_blocks : int;  (** instruction footprint in 64 B blocks *)
+  data_blocks : int;  (** data footprint in 64 B blocks *)
+  hot_data_blocks : int;  (** hot subset receiving most accesses *)
+  streaming : float;  (** fraction of accesses walking sequential blocks *)
+  loop_body : int;  (** instructions per inner-loop iteration *)
+}
+
+val default : profile
+val profiles : profile list
+
+(** Raises [Invalid_argument] for unknown names. *)
+val find : string -> profile
+
+(** Expands a profile into a deterministic dynamic trace. *)
+val generate : profile -> Uarch.Trace.instr array
+
+(** Runs a named benchmark on a core configuration. *)
+val run : config:Uarch.Config.t -> string -> Uarch.Core.result
+
+val all_names : string list
+
+(** The subset plotted in the paper's CPI-stack figure. *)
+val cpi_stack_selection : string list

@@ -1,0 +1,1 @@
+test/assertions_tests.ml: Alcotest Ast Builder Dsl Fireripper Firrtl List Printf Rtlsim Socgen String

@@ -1,0 +1,1 @@
+test/des_tests.ml: Alcotest Des List Printf

@@ -1,0 +1,1 @@
+test/dram_tests.ml: Alcotest Fireripper Libdn List Printf Rtlsim Socgen

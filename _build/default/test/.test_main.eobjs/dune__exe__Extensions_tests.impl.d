@@ -1,0 +1,1 @@
+test/extensions_tests.ml: Alcotest Array Ast Builder Des Dsl Fireaxe Fireripper Firrtl Fun Goldengate Hierarchy List Option Platform Printf QCheck QCheck_alcotest Rtlsim Socgen String

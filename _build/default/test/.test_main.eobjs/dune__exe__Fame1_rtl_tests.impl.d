@@ -1,0 +1,1 @@
+test/fame1_rtl_tests.ml: Alcotest Ast Builder Dsl Fireripper Firrtl Flatten Goldengate Libdn List Option Printf Rtlsim Socgen

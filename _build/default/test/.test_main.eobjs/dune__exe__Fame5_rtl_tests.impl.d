@@ -1,0 +1,1 @@
+test/fame5_rtl_tests.ml: Alcotest Array Ast Builder Dsl Extensions_tests Firrtl Flatten Fun Goldengate List Platform Printf QCheck QCheck_alcotest Rtlsim Socgen

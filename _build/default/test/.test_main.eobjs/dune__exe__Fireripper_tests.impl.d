@@ -1,0 +1,1 @@
+test/fireripper_tests.ml: Alcotest Ast Builder Dsl Fireripper Firrtl Goldengate List Option Printf Rtlsim Socgen String

@@ -1,0 +1,1 @@
+test/firrtl_tests.ml: Alcotest Analysis Ast Builder Dsl Firrtl Flatten Hashtbl Hierarchy List Option Printf QCheck QCheck_alcotest Rtlsim

@@ -1,0 +1,1 @@
+test/kite5_tests.ml: Alcotest Array Des Fireaxe Fireripper Fun List Printf QCheck QCheck_alcotest Rtlsim Socgen

@@ -1,0 +1,1 @@
+test/libdn_tests.ml: Alcotest Array Ast Builder Dsl Firrtl Flatten Goldengate Libdn Printf QCheck QCheck_alcotest Rtlsim

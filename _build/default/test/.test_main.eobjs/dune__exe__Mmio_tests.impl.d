@@ -1,0 +1,1 @@
+test/mmio_tests.ml: Alcotest Buffer Char Fireripper Libdn List QCheck QCheck_alcotest Rtlsim Socgen String

@@ -1,0 +1,1 @@
+test/multiclock_tests.ml: Alcotest Ast Builder Des Dsl Extensions_tests Fireripper Firrtl Fun Goldengate Libdn List Option Printf QCheck QCheck_alcotest Rtlsim Socgen String

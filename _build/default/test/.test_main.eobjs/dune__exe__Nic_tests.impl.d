@@ -1,0 +1,1 @@
+test/nic_tests.ml: Alcotest Fireripper List Printf Rtlsim Socgen

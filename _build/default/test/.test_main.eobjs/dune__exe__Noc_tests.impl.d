@@ -1,0 +1,1 @@
+test/noc_tests.ml: Alcotest Fireripper Firrtl Fun Libdn List Printf Rtlsim Socgen String

@@ -1,0 +1,1 @@
+test/platform_tests.ml: Alcotest Array Builder Dsl Fireripper Firrtl List Platform Printf Socgen

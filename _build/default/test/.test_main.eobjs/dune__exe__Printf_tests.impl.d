@@ -1,0 +1,1 @@
+test/printf_tests.ml: Alcotest Ast Builder Dsl Firrtl List Printf Rtlsim Socgen

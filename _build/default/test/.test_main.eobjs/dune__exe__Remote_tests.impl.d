@@ -1,0 +1,1 @@
+test/remote_tests.ml: Alcotest Filename Fireripper Libdn List Printf Rtlsim Socgen Sys Unix

@@ -1,0 +1,1 @@
+test/robustness_tests.ml: Alcotest Ast Builder Dsl Fireripper Firrtl Hierarchy List Platform QCheck QCheck_alcotest Rtlsim Socgen Text

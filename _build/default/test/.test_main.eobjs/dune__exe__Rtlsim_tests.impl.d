@@ -1,0 +1,1 @@
+test/rtlsim_tests.ml: Alcotest Builder Dsl Firrtl List QCheck QCheck_alcotest Rtlsim Socgen

@@ -1,0 +1,1 @@
+test/snapshot_tests.ml: Alcotest Array Des Extensions_tests Filename Fireripper Fun List Option Printf QCheck QCheck_alcotest Rtlsim Socgen Sys

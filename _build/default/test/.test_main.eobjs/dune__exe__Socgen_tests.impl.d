@@ -1,0 +1,1 @@
+test/socgen_tests.ml: Alcotest Array Firrtl Flatten List Printf QCheck QCheck_alcotest Rtlsim Socgen

@@ -1,0 +1,1 @@
+test/system_tests.ml: Alcotest Ddio Fireaxe Fireripper Firrtl Golang List Platform Printf Rtlsim Socgen

@@ -1,0 +1,1 @@
+test/text_tests.ml: Alcotest Ast Filename Fireripper Firrtl List QCheck QCheck_alcotest Rtlsim Socgen Sys Text

@@ -1,0 +1,1 @@
+test/tracer_tests.ml: Alcotest Array Fireripper List Printf Rtlsim Socgen String

@@ -1,0 +1,1 @@
+test/uarch_tests.ml: Alcotest Array Float List Printf Uarch Workloads

@@ -1,0 +1,150 @@
+(* Tests for synthesized assertions: conventional [assert$] wires found
+   through the hierarchy, violations pinpointed at their exact cycle —
+   monolithically and through the partition runtime — and the NoC
+   credit-protocol invariants holding under real traffic. *)
+
+open Firrtl
+module FR = Fireripper
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A counter that asserts when it reaches [limit]. *)
+let bomb ~name ~limit () =
+  let b = Builder.create name in
+  let open Dsl in
+  Builder.output b "q" 8;
+  let c = Builder.reg b "c" 8 in
+  Builder.reg_next b "c" (c +: lit ~width:8 1);
+  Builder.connect b "q" c;
+  Builder.assertion b "limit" (c ==: lit ~width:8 limit);
+  Builder.finish b
+
+let bomb_circuit ~limit () =
+  let m = bomb ~name:"bomb" ~limit () in
+  let b = Builder.create "top" in
+  let i = Builder.inst b "u" "bomb" in
+  Builder.output b "q" 8;
+  Builder.connect b "q" (Builder.of_inst i "q");
+  Ast.{ cname = "top"; main = "top"; modules = [ m; Builder.finish b ] }
+
+let test_signals_found_through_hierarchy () =
+  let sim = Rtlsim.Sim.of_circuit (bomb_circuit ~limit:10 ()) in
+  Alcotest.(check (list string)) "flattened assertion names" [ "u$assert$limit" ]
+    (Rtlsim.Assertions.signals sim)
+
+let test_violation_at_exact_cycle () =
+  let sim = Rtlsim.Sim.of_circuit (bomb_circuit ~limit:10 ()) in
+  match Rtlsim.Assertions.run sim ~max_cycles:100 (fun _ -> false) with
+  | Error (cycle, bad) ->
+    check_int "fires the cycle the counter reads 10" 10 cycle;
+    Alcotest.(check (list string)) "names the assertion" [ "u$assert$limit" ] bad
+  | Ok _ -> Alcotest.fail "assertion did not fire"
+
+let test_clean_run_is_ok () =
+  let sim = Rtlsim.Sim.of_circuit (bomb_circuit ~limit:200 ()) in
+  match Rtlsim.Assertions.run sim ~max_cycles:50 (fun _ -> false) with
+  | Ok cycles -> check_int "ran to the bound" 50 cycles
+  | Error (c, _) -> Alcotest.fail (Printf.sprintf "spurious violation at %d" c)
+
+let test_partitioned_detection_matches () =
+  (* The asserting module on its own (simulated) FPGA: the partition
+     runtime pinpoints the same cycle as the monolithic run. *)
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "u" ] ] }
+  in
+  let plan = FR.Compile.compile ~config (bomb_circuit ~limit:17 ()) in
+  let h = FR.Runtime.instantiate plan in
+  check_bool "assertion listed across units" true
+    (List.exists (fun (_, s) -> s = "u$assert$limit") (FR.Runtime.assertions h));
+  (match FR.Runtime.run_checked h ~max_cycles:100 with
+  | Error (cycle, bad) ->
+    check_int "same cycle as monolithic" 17 cycle;
+    check_bool "names the assertion" true (bad = [ "u$assert$limit" ])
+  | Ok _ -> Alcotest.fail "partitioned run missed the violation");
+  (* A clean partitioned run reports Ok. *)
+  let h2 =
+    FR.Runtime.instantiate (FR.Compile.compile ~config (bomb_circuit ~limit:200 ()))
+  in
+  check_bool "clean partitioned run" true (FR.Runtime.run_checked h2 ~max_cycles:60 = Ok 60)
+
+let test_hardware_path_detection () =
+  (* Third execution backend: the generated FAME-1 host circuit keeps
+     the assertion wires (under [unitN$target$...]), so the host can
+     stop the moment one fires and read the exact target cycle. *)
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "u" ] ] }
+  in
+  let plan = FR.Compile.compile ~config (bomb_circuit ~limit:17 ()) in
+  let assert_wire = FR.Hw.host_signal ~unit:1 "u$assert$limit" in
+  let r =
+    FR.Hw.run ~latency:2 ~target_cycles:100 plan
+      ~pred:(fun sim -> Rtlsim.Sim.get sim assert_wire = 1)
+      ~setup:(fun _ -> ())
+  in
+  check_bool "hardware assertion wires discoverable" true
+    (List.mem assert_wire (Rtlsim.Assertions.signals r.FR.Hw.hr_sim));
+  check_int "stopped at the violating target cycle" 17
+    (Rtlsim.Sim.get r.FR.Hw.hr_sim "cycles1")
+
+let test_noc_credit_invariants_hold () =
+  (* Every ring/mesh/torus queue now carries overflow/underflow
+     assertions; saturating traffic must never violate them. *)
+  List.iter
+    (fun (name, circuit) ->
+      let sim = Rtlsim.Sim.of_circuit circuit in
+      check_bool (name ^ " has assertions") true
+        (List.length (Rtlsim.Assertions.signals sim) > 0);
+      match Rtlsim.Assertions.run sim ~max_cycles:800 (fun _ -> false) with
+      | Ok _ -> ()
+      | Error (c, bad) ->
+        Alcotest.fail
+          (Printf.sprintf "%s: credit invariant broken at %d (%s)" name c
+             (String.concat ", " bad)))
+    [
+      ("ring", Socgen.Ring_noc.ring_soc ~n_tiles:4 ~period:2 ());
+      ("mesh", Socgen.Mesh_noc.mesh_soc ~width:3 ~height:2 ~period:2 ());
+      ("torus", Socgen.Torus_noc.torus_soc ~width:2 ~height:2 ~period:2 ());
+    ]
+
+let test_broken_sender_caught () =
+  (* A producer that ignores credits and pushes every cycle: the
+     overflow assertion must fire shortly after the 2-deep queue and
+     2 credits are exhausted. *)
+  let router =
+    Socgen.Ring_noc.router_module ~name:"r" ~index:0
+      ~payload_width:16 ()
+  in
+  let b = Builder.create "brk" in
+  let open Dsl in
+  let r = Builder.inst b "r" "r" in
+  Builder.connect_in b r "ring_in_valid" one (* push always: protocol violation *);
+  Builder.connect_in b r "ring_in_data" (lit ~width:26 ((1 lsl 21) lor 7));
+  Builder.connect_in b r "ring_out_credit" zero;
+  Builder.connect_in b r "loc_in_valid" zero;
+  Builder.connect_in b r "loc_in_data" (lit ~width:26 0);
+  Builder.connect_in b r "loc_out_credit" zero;
+  Builder.output b "v" 1;
+  Builder.connect b "v" (Builder.of_inst r "ring_out_valid");
+  let circuit = Ast.{ cname = "brk"; main = "brk"; modules = [ router; Builder.finish b ] } in
+  let sim = Rtlsim.Sim.of_circuit circuit in
+  match Rtlsim.Assertions.run sim ~max_cycles:50 (fun _ -> false) with
+  | Error (cycle, bad) ->
+    check_bool (Printf.sprintf "overflow caught at cycle %d" cycle) true (cycle <= 10);
+    check_bool "it is a queue-overflow assertion" true
+      (List.exists (fun s -> Rtlsim.Assertions.has_marker s && String.length s > 0) bad)
+  | Ok _ -> Alcotest.fail "credit violation went undetected"
+
+let suite =
+  [
+    ( "rtlsim.assertions",
+      [
+        Alcotest.test_case "found through hierarchy" `Quick test_signals_found_through_hierarchy;
+        Alcotest.test_case "violation at exact cycle" `Quick test_violation_at_exact_cycle;
+        Alcotest.test_case "clean run" `Quick test_clean_run_is_ok;
+        Alcotest.test_case "partitioned detection" `Quick test_partitioned_detection_matches;
+        Alcotest.test_case "hardware-path detection" `Quick test_hardware_path_detection;
+        Alcotest.test_case "NoC credit invariants hold" `Quick test_noc_credit_invariants_hold;
+        Alcotest.test_case "broken sender caught" `Quick test_broken_sender_caught;
+      ] );
+  ]

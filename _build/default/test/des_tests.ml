@@ -1,0 +1,135 @@
+(* Tests for the discrete-event engine and its statistics helpers. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_event_ordering () =
+  let eng = Des.Engine.create () in
+  let log = ref [] in
+  Des.Engine.schedule eng ~delay:30 (fun () -> log := 3 :: !log);
+  Des.Engine.schedule eng ~delay:10 (fun () -> log := 1 :: !log);
+  Des.Engine.schedule eng ~delay:20 (fun () -> log := 2 :: !log);
+  Des.Engine.run eng;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_int "now at last event" 30 (Des.Engine.now eng)
+
+let test_same_time_fifo () =
+  let eng = Des.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Des.Engine.schedule eng ~delay:5 (fun () -> log := i :: !log)
+  done;
+  Des.Engine.run eng;
+  Alcotest.(check (list int)) "insertion order at equal time"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_nested_scheduling () =
+  let eng = Des.Engine.create () in
+  let fired = ref 0 in
+  Des.Engine.schedule eng ~delay:10 (fun () ->
+      Des.Engine.schedule eng ~delay:10 (fun () ->
+          incr fired;
+          check_int "nested time" 20 (Des.Engine.now eng)));
+  Des.Engine.run eng;
+  check_int "nested fired" 1 !fired
+
+let test_run_until () =
+  let eng = Des.Engine.create () in
+  let count = ref 0 in
+  Des.Engine.periodic eng ~period:10 (fun () ->
+      incr count;
+      true);
+  Des.Engine.run eng ~until:105 ~max_events:1000;
+  check_int "ten periods" 10 !count
+
+let test_periodic_stop () =
+  let eng = Des.Engine.create () in
+  let count = ref 0 in
+  Des.Engine.periodic eng ~period:7 (fun () ->
+      incr count;
+      !count < 5);
+  Des.Engine.run eng;
+  check_int "stops after five" 5 !count
+
+let test_past_time_rejected () =
+  let eng = Des.Engine.create () in
+  Des.Engine.schedule eng ~delay:10 (fun () ->
+      check_bool "raises" true
+        (try
+           Des.Engine.at eng ~time:5 ignore;
+           false
+         with Invalid_argument _ -> true));
+  Des.Engine.run eng
+
+let test_heap_growth () =
+  let eng = Des.Engine.create () in
+  let total = ref 0 in
+  for i = 1 to 1000 do
+    Des.Engine.schedule eng ~delay:(1000 - (i mod 997)) (fun () -> incr total)
+  done;
+  Des.Engine.run eng;
+  check_int "all fired" 1000 !total
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_percentiles () =
+  let s = Des.Stats.create () in
+  for i = 1 to 100 do
+    Des.Stats.add s i
+  done;
+  check_int "p50" 50 (Des.Stats.percentile s 50);
+  check_int "p99" 99 (Des.Stats.percentile s 99);
+  check_int "max" 100 (Des.Stats.max_value s);
+  Alcotest.(check (float 0.01)) "mean" 50.5 (Des.Stats.mean s)
+
+let test_rng_deterministic () =
+  let draw () =
+    let r = Des.Stats.rng ~seed:42 in
+    List.init 10 (fun _ -> Des.Stats.int r 1000)
+  in
+  check_bool "same seed same stream" true (draw () = draw ());
+  let r1 = Des.Stats.rng ~seed:1 and r2 = Des.Stats.rng ~seed:2 in
+  check_bool "different seeds differ" true
+    (List.init 10 (fun _ -> Des.Stats.int r1 1000)
+    <> List.init 10 (fun _ -> Des.Stats.int r2 1000))
+
+let test_rng_bounds () =
+  let r = Des.Stats.rng ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Des.Stats.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_exponential_mean () =
+  let r = Des.Stats.rng ~seed:11 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Des.Stats.exponential r 100
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  check_bool (Printf.sprintf "mean %.1f near 100" mean) true (mean > 80. && mean < 120.)
+
+let suite =
+  [
+    ( "des.engine",
+      [
+        Alcotest.test_case "event ordering" `Quick test_event_ordering;
+        Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+        Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+        Alcotest.test_case "run until" `Quick test_run_until;
+        Alcotest.test_case "periodic stop" `Quick test_periodic_stop;
+        Alcotest.test_case "past time rejected" `Quick test_past_time_rejected;
+        Alcotest.test_case "heap growth" `Quick test_heap_growth;
+      ] );
+    ( "des.stats",
+      [
+        Alcotest.test_case "percentiles" `Quick test_percentiles;
+        Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+      ] );
+  ]

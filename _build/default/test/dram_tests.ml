@@ -1,0 +1,273 @@
+(* Tests for the FASED-style DRAM timing model: row-buffer hit /
+   conflict / closed-bank latencies, refresh behaviour, architectural
+   equivalence with the scratchpad-backed SoC, and partition exactness
+   of the DRAM-backed SoC. *)
+
+module FR = Fireripper
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let timing = { Socgen.Dram.default_timing with t_refi = 0 (* no refresh *) }
+
+(* Drives one request through a bare DRAM engine; returns the cycle
+   count from acceptance to the response becoming valid. *)
+let issue eng addr =
+  let set = eng.Libdn.Engine.set_input and get = eng.Libdn.Engine.get in
+  set "req_valid" 1;
+  set "req_addr" addr;
+  set "req_wdata" 0;
+  set "req_wen" 0;
+  set "resp_ready" 1;
+  eng.Libdn.Engine.eval_comb ();
+  while get "req_ready" = 0 do
+    eng.Libdn.Engine.step_seq ();
+    eng.Libdn.Engine.eval_comb ()
+  done;
+  eng.Libdn.Engine.step_seq ();
+  set "req_valid" 0;
+  let lat = ref 1 in
+  eng.Libdn.Engine.eval_comb ();
+  while get "resp_valid" = 0 do
+    eng.Libdn.Engine.step_seq ();
+    incr lat;
+    eng.Libdn.Engine.eval_comb ()
+  done;
+  eng.Libdn.Engine.step_seq ();
+  !lat
+
+let bare_engine ?(timing = timing) () =
+  Libdn.Engine.of_flat (Socgen.Dram.dram ~timing ~banks:4 ~cols:16 ~depth:1024 ())
+
+(* With banks=4, cols=16: addr = {row[4:0], bank[1:0], col[3:0]}. *)
+let addr ~row ~bank ~col = (row * 4 * 16) + (bank * 16) + col
+
+let t_hit = timing.Socgen.Dram.t_cas + 1
+let t_closed = timing.Socgen.Dram.t_rcd + timing.Socgen.Dram.t_cas + 1
+
+let t_conflict =
+  timing.Socgen.Dram.t_rp + timing.Socgen.Dram.t_rcd + timing.Socgen.Dram.t_cas + 1
+
+(* ------------------------------------------------------------------ *)
+(* Bank-state latencies                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_closed_then_hit_then_conflict () =
+  let eng = bare_engine () in
+  check_int "first access activates a closed bank" t_closed
+    (issue eng (addr ~row:0 ~bank:0 ~col:0));
+  check_int "same row: row-buffer hit" t_hit (issue eng (addr ~row:0 ~bank:0 ~col:5));
+  check_int "same bank, new row: conflict" t_conflict
+    (issue eng (addr ~row:3 ~bank:0 ~col:0));
+  check_int "back to the new row: hit again" t_hit
+    (issue eng (addr ~row:3 ~bank:0 ~col:9))
+
+let test_banks_are_independent () =
+  let eng = bare_engine () in
+  ignore (issue eng (addr ~row:0 ~bank:0 ~col:0));
+  (* A different bank starts closed — activation, not conflict. *)
+  check_int "other bank closed" t_closed (issue eng (addr ~row:7 ~bank:2 ~col:0));
+  (* ...and bank 0's open row survived the bank-2 access. *)
+  check_int "bank 0 row still open" t_hit (issue eng (addr ~row:0 ~bank:0 ~col:1))
+
+let test_streaming_beats_strided () =
+  (* Sequential addresses stay in one row per bank (mostly hits); a
+     stride of banks*cols touches a new row of the same bank every
+     time (all conflicts after the first). *)
+  let eng_seq = bare_engine () in
+  for a = 0 to 63 do
+    ignore (issue eng_seq a)
+  done;
+  let eng_str = bare_engine () in
+  for k = 0 to 15 do
+    ignore (issue eng_str (addr ~row:k ~bank:0 ~col:0))
+  done;
+  eng_seq.Libdn.Engine.eval_comb ();
+  eng_str.Libdn.Engine.eval_comb ();
+  let hits e = e.Libdn.Engine.get "hits" and misses e = e.Libdn.Engine.get "misses" in
+  check_int "sequential: one activation per row per bank" 4 (misses eng_seq);
+  check_int "sequential: the rest hit" 60 (hits eng_seq);
+  check_int "strided: no hits" 0 (hits eng_str);
+  check_int "strided: all misses" 16 (misses eng_str)
+
+let test_write_then_read () =
+  let eng = bare_engine () in
+  let set = eng.Libdn.Engine.set_input in
+  set "req_valid" 1;
+  set "req_addr" 100;
+  set "req_wdata" 4242;
+  set "req_wen" 1;
+  set "resp_ready" 1;
+  eng.Libdn.Engine.eval_comb ();
+  eng.Libdn.Engine.step_seq ();
+  set "req_valid" 0;
+  set "req_wen" 0;
+  eng.Libdn.Engine.eval_comb ();
+  while eng.Libdn.Engine.get "resp_valid" = 0 do
+    eng.Libdn.Engine.step_seq ();
+    eng.Libdn.Engine.eval_comb ()
+  done;
+  eng.Libdn.Engine.step_seq ();
+  ignore (issue eng 100);
+  eng.Libdn.Engine.eval_comb ();
+  check_int "readback" 4242 (eng.Libdn.Engine.get "resp_data")
+
+(* ------------------------------------------------------------------ *)
+(* Refresh                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_refresh_closes_rows () =
+  let timing = { Socgen.Dram.default_timing with t_refi = 40; t_rfc = 6 } in
+  let eng = bare_engine ~timing () in
+  check_int "activate row 0" t_closed (issue eng (addr ~row:0 ~bank:0 ~col:0));
+  check_int "hit before refresh" t_hit (issue eng (addr ~row:0 ~bank:0 ~col:1));
+  (* Idle past the refresh interval. *)
+  for _ = 1 to 60 do
+    eng.Libdn.Engine.eval_comb ();
+    eng.Libdn.Engine.step_seq ()
+  done;
+  eng.Libdn.Engine.eval_comb ();
+  check_bool "a refresh happened" true (eng.Libdn.Engine.get "refreshes" >= 1);
+  (* The refresh closed the open row: same address now re-activates. *)
+  check_int "closed again after refresh" t_closed (issue eng (addr ~row:0 ~bank:0 ~col:2))
+
+let test_refresh_blocks_requests () =
+  let timing = { Socgen.Dram.default_timing with t_refi = 20; t_rfc = 10 } in
+  let eng = bare_engine ~timing () in
+  let set = eng.Libdn.Engine.set_input in
+  set "req_valid" 0;
+  set "resp_ready" 1;
+  (* Count cycles with req_ready low over a refresh period: at least
+     t_rfc of them. *)
+  let blocked = ref 0 in
+  for _ = 1 to 35 do
+    eng.Libdn.Engine.eval_comb ();
+    if eng.Libdn.Engine.get "req_ready" = 0 then incr blocked;
+    eng.Libdn.Engine.step_seq ()
+  done;
+  check_bool
+    (Printf.sprintf "device busy during refresh (%d cycles blocked)" !blocked)
+    true
+    (!blocked >= timing.Socgen.Dram.t_rfc)
+
+let test_refresh_disabled () =
+  let eng = bare_engine () (* t_refi = 0 *) in
+  for _ = 1 to 600 do
+    eng.Libdn.Engine.eval_comb ();
+    eng.Libdn.Engine.step_seq ()
+  done;
+  eng.Libdn.Engine.eval_comb ();
+  check_int "no refreshes" 0 (eng.Libdn.Engine.get "refreshes")
+
+(* ------------------------------------------------------------------ *)
+(* DRAM-backed SoC                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:8 ~reps:4 ~dst:60
+
+let run_soc circuit =
+  let sim = Rtlsim.Sim.of_circuit circuit in
+  Socgen.Soc.load_program sim ~mem:"mem$mem" ~data:[] program;
+  let halt_cycle =
+    Rtlsim.Sim.run_until sim ~max_cycles:100_000 (fun s -> Rtlsim.Sim.get s "halted" = 1)
+  in
+  (sim, halt_cycle)
+
+let test_dram_soc_architectural_equivalence () =
+  (* Same program, same architectural outcome as the scratchpad SoC —
+     only the timing differs. *)
+  let dram_sim, dram_halt = run_soc (Socgen.Dram.dram_soc ()) in
+  let sp_sim, sp_halt = run_soc (Socgen.Soc.single_core_soc ()) in
+  check_int "same retired count" (Rtlsim.Sim.get sp_sim "retired")
+    (Rtlsim.Sim.get dram_sim "retired");
+  check_int "same result in memory"
+    (Rtlsim.Sim.peek_mem sp_sim "mem$mem" 60)
+    (Rtlsim.Sim.peek_mem dram_sim "mem$mem" 60);
+  check_bool "timing differs from the scratchpad" true (dram_halt <> sp_halt);
+  (* The L1 keeps most accesses on-tile; the DRAM sees a miss stream. *)
+  check_bool "dram saw traffic" true
+    (Rtlsim.Sim.get dram_sim "hits" + Rtlsim.Sim.get dram_sim "misses" > 0)
+
+let test_dram_soc_refresh_costs_cycles () =
+  let with_refresh =
+    { Socgen.Dram.default_timing with t_refi = 64; t_rfc = 12 }
+  in
+  let _, halt_no_refresh = run_soc (Socgen.Dram.dram_soc ~timing ()) in
+  let _, halt_refresh = run_soc (Socgen.Dram.dram_soc ~timing:with_refresh ()) in
+  check_bool
+    (Printf.sprintf "refresh slows execution (%d -> %d)" halt_no_refresh halt_refresh)
+    true (halt_refresh > halt_no_refresh)
+
+let test_dram_soc_partition_exact () =
+  (* Cut at the tile boundary: exact-mode partition of the DRAM-backed
+     SoC matches the monolithic run cycle for cycle. *)
+  let mono, halt = run_soc (Socgen.Dram.dram_soc ()) in
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "tile" ] ] }
+  in
+  let plan = FR.Compile.compile ~config (Socgen.Dram.dram_soc ()) in
+  let h = FR.Runtime.instantiate plan in
+  let u = FR.Runtime.locate h "mem$mem" in
+  Socgen.Soc.load_program (FR.Runtime.sim_of h u) ~mem:"mem$mem" ~data:[] program;
+  let part_halt =
+    FR.Runtime.run_until h ~max_cycles:100_000 (fun h ->
+        let u = FR.Runtime.locate h "tile$core$state" in
+        Rtlsim.Sim.get (FR.Runtime.sim_of h u) "tile$core$state" = Socgen.Kite_core.s_halted)
+  in
+  check_bool
+    (Printf.sprintf "partitioned halts at the same cycle (%d vs %d)" part_halt halt)
+    true
+    (abs (part_halt - halt) <= 1);
+  List.iter
+    (fun reg ->
+      let u = FR.Runtime.locate h reg in
+      check_int reg (Rtlsim.Sim.get mono reg) (Rtlsim.Sim.get (FR.Runtime.sim_of h u) reg))
+    [ "tile$core$retired_count"; "mem$hits_r"; "mem$misses_r" ]
+
+let test_dram_soc_hardware_exact () =
+  (* The DRAM-backed SoC through the generated FAME-1 hardware path:
+     data-dependent memory timing survives the host-clock schedule. *)
+  let mono = Rtlsim.Sim.of_circuit (Socgen.Dram.dram_soc ()) in
+  Socgen.Soc.load_program mono ~mem:"mem$mem" ~data:[] program;
+  let target = 600 in
+  for _ = 1 to target do
+    Rtlsim.Sim.step mono
+  done;
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "tile" ] ] }
+  in
+  let plan = FR.Compile.compile ~config (Socgen.Dram.dram_soc ()) in
+  let r =
+    FR.Hw.run ~latency:2 ~target_cycles:target plan ~setup:(fun sim ->
+        List.iteri
+          (fun i w -> Rtlsim.Sim.poke_mem sim (FR.Hw.host_signal ~unit:0 "mem$mem") i w)
+          (Socgen.Kite_isa.assemble program))
+  in
+  List.iter
+    (fun (unit, reg) ->
+      check_int reg (Rtlsim.Sim.get mono reg)
+        (Rtlsim.Sim.get r.FR.Hw.hr_sim (FR.Hw.host_signal ~unit reg)))
+    [ (1, "tile$core$retired_count"); (0, "mem$hits_r"); (0, "mem$misses_r") ]
+
+let suite =
+  [
+    ( "socgen.dram",
+      [
+        Alcotest.test_case "closed/hit/conflict latencies" `Quick
+          test_closed_then_hit_then_conflict;
+        Alcotest.test_case "bank independence" `Quick test_banks_are_independent;
+        Alcotest.test_case "streaming vs strided" `Quick test_streaming_beats_strided;
+        Alcotest.test_case "write then read" `Quick test_write_then_read;
+        Alcotest.test_case "refresh closes rows" `Quick test_refresh_closes_rows;
+        Alcotest.test_case "refresh blocks requests" `Quick test_refresh_blocks_requests;
+        Alcotest.test_case "refresh disabled" `Quick test_refresh_disabled;
+      ] );
+    ( "socgen.dram_soc",
+      [
+        Alcotest.test_case "architectural equivalence" `Quick
+          test_dram_soc_architectural_equivalence;
+        Alcotest.test_case "refresh costs cycles" `Quick test_dram_soc_refresh_costs_cycles;
+        Alcotest.test_case "partition exact" `Quick test_dram_soc_partition_exact;
+        Alcotest.test_case "generated hardware exact" `Quick test_dram_soc_hardware_exact;
+      ] );
+  ]

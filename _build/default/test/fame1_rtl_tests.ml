@@ -1,0 +1,267 @@
+(* Tests for the hardware FAME-1 generator: the LI-BDN control logic
+   (token queues, output FSMs, fireFSM, clock-gated target) emitted as
+   circuit IR and executed on the host clock by the ordinary RTL
+   simulator.  The generated hardware must be target-cycle-exact against
+   the monolithic target across link latencies, and the measured
+   host-cycles-per-target-cycle (FMR) must track the protocol's cost. *)
+
+open Firrtl
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* The Fig. 2 half-design: x register, source out (x), sink out
+   (a_src + x), state update from the peer's sink out. *)
+let half_module name init =
+  let b = Builder.create name in
+  let a_src = Builder.input b "a_src" 8 in
+  let a_snk = Builder.input b "a_snk" 8 in
+  let x = Builder.reg b ~init "x" 8 in
+  Builder.reg_next b "x" a_snk;
+  Builder.output b "d_src" 8;
+  Builder.connect b "d_src" x;
+  Builder.output b "d_snk" 8;
+  Builder.connect b "d_snk" Dsl.(a_src +: x);
+  Builder.finish b
+
+let monolithic_pair () =
+  let b = Builder.create "mono" in
+  let p1 = Builder.inst b "p1" "half1" in
+  let p2 = Builder.inst b "p2" "half2" in
+  Builder.connect_in b p2 "a_src" (Builder.of_inst p1 "d_src");
+  Builder.connect_in b p2 "a_snk" (Builder.of_inst p1 "d_snk");
+  Builder.connect_in b p1 "a_src" (Builder.of_inst p2 "d_src");
+  Builder.connect_in b p1 "a_snk" (Builder.of_inst p2 "d_snk");
+  Builder.output b "x1" 8;
+  Builder.connect b "x1" (Builder.of_inst p1 "d_src");
+  {
+    Ast.cname = "mono";
+    main = "mono";
+    modules = [ half_module "half1" 1; half_module "half2" 2; Builder.finish b ];
+  }
+
+let chan name ports = { Libdn.Channel.name; ports }
+
+(* Host-level circuit: two exact-mode FAME-1 wrappers (source and sink
+   channels split per Fig. 2b) linked at the given host-cycle latency. *)
+let host_circuit ~latency =
+  let mk name init =
+    let flat = Flatten.flatten (Flatten.to_circuit (half_module name init)) in
+    Goldengate.Fame1_rtl.wrap ~name:(name ^ "_host") ~flat
+      ~ins:[ chan "in_src" [ ("a_src", 8) ]; chan "in_snk" [ ("a_snk", 8) ] ]
+      ~outs:[ chan "out_src" [ ("d_src", 8) ]; chan "out_snk" [ ("d_snk", 8) ] ]
+      ()
+  in
+  let w1, t1 = mk "half1" 1 in
+  let w2, t2 = mk "half2" 2 in
+  let b = Builder.create "host_top" in
+  let _ = Builder.inst b "w1" w1.Ast.name in
+  let _ = Builder.inst b "w2" w2.Ast.name in
+  let wire src dst =
+    Goldengate.Fame1_rtl.link b ~latency ~src:(src, "out_src") ~dst:(dst, "in_src")
+      ~ports:[ ("d_src", "a_src", 8) ];
+    Goldengate.Fame1_rtl.link b ~latency ~src:(src, "out_snk") ~dst:(dst, "in_snk")
+      ~ports:[ ("d_snk", "a_snk", 8) ]
+  in
+  wire "w1" "w2";
+  wire "w2" "w1";
+  Builder.connect_in b "w1" "cycle_limit" (Dsl.lit ~width:32 0x3FFFFFFF);
+  Builder.connect_in b "w2" "cycle_limit" (Dsl.lit ~width:32 0x3FFFFFFF);
+  Builder.output b "cycles1" 32;
+  Builder.connect b "cycles1" (Builder.of_inst "w1" "target_cycles");
+  Builder.output b "cycles2" 32;
+  Builder.connect b "cycles2" (Builder.of_inst "w2" "target_cycles");
+  {
+    Ast.cname = "host";
+    main = "host_top";
+    modules = [ t1; w1; t2; w2; Builder.finish b ];
+  }
+
+(* Runs the host simulation until partition 1 completes [target] cycles;
+   returns (host cycles spent, x1 value, x2 value). *)
+let run_host circuit ~target =
+  let sim = Rtlsim.Sim.of_circuit circuit in
+  let host = ref 0 in
+  Rtlsim.Sim.eval_comb sim;
+  while Rtlsim.Sim.get sim "cycles1" < target && !host < 100_000 do
+    Rtlsim.Sim.step sim;
+    Rtlsim.Sim.eval_comb sim;
+    incr host
+  done;
+  check_int "both wrappers stay within one cycle" target (Rtlsim.Sim.get sim "cycles1");
+  (!host, Rtlsim.Sim.get sim "w1$target$x", Rtlsim.Sim.get sim "w2$target$x")
+
+let mono_reference ~target =
+  let sim = Rtlsim.Sim.of_circuit (monolithic_pair ()) in
+  for _ = 1 to target do
+    Rtlsim.Sim.step sim
+  done;
+  (Rtlsim.Sim.get sim "p1$x", Rtlsim.Sim.get sim "p2$x")
+
+let test_hardware_fame1_cycle_exact () =
+  List.iter
+    (fun latency ->
+      List.iter
+        (fun target ->
+          let _, x1, x2 = run_host (host_circuit ~latency) ~target in
+          let e1, e2 = mono_reference ~target in
+          check_int (Printf.sprintf "x1 @%d (latency %d)" target latency) e1 x1;
+          check_int (Printf.sprintf "x2 @%d (latency %d)" target latency) e2 x2)
+        [ 1; 2; 7; 40 ])
+    [ 0; 1; 3 ]
+
+let test_fmr_grows_with_latency () =
+  let fmr latency =
+    let host, _, _ = run_host (host_circuit ~latency) ~target:50 in
+    float_of_int host /. 50.
+  in
+  let f0 = fmr 0 and f3 = fmr 3 and f8 = fmr 8 in
+  check_bool (Printf.sprintf "fmr(0)=%.1f < fmr(3)=%.1f" f0 f3) true (f0 < f3);
+  check_bool (Printf.sprintf "fmr(3)=%.1f < fmr(8)=%.1f" f3 f8) true (f3 < f8);
+  (* Exact mode needs two serialized crossings per cycle: the FMR should
+     grow by roughly 2 host cycles per added latency cycle. *)
+  let slope = (f8 -. f3) /. 5. in
+  check_bool (Printf.sprintf "slope %.2f ~ 2" slope) true (slope > 1.5 && slope < 2.6)
+
+let test_gated_target_holds_without_fire () =
+  (* A gated target with an empty input queue must not advance. *)
+  let flat = Flatten.flatten (Flatten.to_circuit (half_module "half1" 5)) in
+  let w, t =
+    Goldengate.Fame1_rtl.wrap ~name:"lonely" ~flat
+      ~ins:[ chan "cin" [ ("a_src", 8); ("a_snk", 8) ] ]
+      ~outs:[ chan "cout" [ ("d_src", 8); ("d_snk", 8) ] ]
+      ()
+  in
+  let b = Builder.create "ttop" in
+  let _ = Builder.inst b "w" w.Ast.name in
+  (* Nothing ever arrives; the output is never accepted. *)
+  Builder.connect_in b "w" (Goldengate.Fame1_rtl.h_valid "cin") Dsl.zero;
+  List.iter
+    (fun p -> Builder.connect_in b "w" (Goldengate.Fame1_rtl.h_data "cin" p) (Dsl.lit ~width:8 0))
+    [ "a_src"; "a_snk" ];
+  Builder.connect_in b "w" (Goldengate.Fame1_rtl.h_ready "cout") Dsl.zero;
+  Builder.connect_in b "w" "cycle_limit" (Dsl.lit ~width:32 0x3FFFFFFF);
+  Builder.output b "cycles" 32;
+  Builder.connect b "cycles" (Builder.of_inst "w" "target_cycles");
+  let top = Builder.finish b in
+  let sim =
+    Rtlsim.Sim.of_circuit
+      { Ast.cname = "t"; main = "ttop"; modules = [ t; w; top ] }
+  in
+  for _ = 1 to 200 do
+    Rtlsim.Sim.step sim
+  done;
+  Rtlsim.Sim.eval_comb sim;
+  check_int "target never advances" 0 (Rtlsim.Sim.get sim "cycles");
+  check_int "target state frozen" 5 (Rtlsim.Sim.get sim "w$target$x")
+
+(* ------------------------------------------------------------------ *)
+(* Whole-plan hardware instantiation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let kite_plan mode =
+  let config =
+    {
+      Fireripper.Spec.default_config with
+      Fireripper.Spec.mode;
+      Fireripper.Spec.selection = Fireripper.Spec.Instances [ [ "tile" ] ];
+    }
+  in
+  Fireripper.Compile.compile ~config (Socgen.Soc.single_core_soc ~mem_latency:1 ())
+
+let program = Socgen.Kite_isa.fib_program ~n:10 ~dst:60
+
+let mono_halt_cycle () =
+  let sim = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ~mem_latency:1 ()) in
+  Socgen.Soc.load_program sim ~mem:"mem$mem" ~data:[] program;
+  Rtlsim.Sim.run_until sim ~max_cycles:100_000 (fun s ->
+      Rtlsim.Sim.get s "tile$core$state" = Socgen.Kite_core.s_halted)
+
+let hw_halt_cycle ~mode ~latency =
+  let plan = kite_plan mode in
+  (* The tile lands in unit 1, the memory in unit 0. *)
+  let state_sig = Fireripper.Hw.host_signal ~unit:1 "tile$core$state" in
+  let r =
+    Fireripper.Hw.run ~latency ~target_cycles:100_000 plan
+      ~pred:(fun sim -> Rtlsim.Sim.get sim state_sig = Socgen.Kite_core.s_halted)
+      ~setup:(fun sim ->
+        List.iteri
+          (fun i w ->
+            Rtlsim.Sim.poke_mem sim (Fireripper.Hw.host_signal ~unit:0 "mem$mem") i w)
+          (Socgen.Kite_isa.assemble program))
+  in
+  (* The halt is detected on unit 1; read its target cycle counter. *)
+  (Rtlsim.Sim.get r.Fireripper.Hw.hr_sim "cycles1", r.Fireripper.Hw.hr_host_cycles)
+
+let test_plan_hardware_exact () =
+  let mono = mono_halt_cycle () in
+  List.iter
+    (fun latency ->
+      let hw, _ = hw_halt_cycle ~mode:Fireripper.Spec.Exact ~latency in
+      check_int (Printf.sprintf "halt cycle at latency %d" latency) mono hw)
+    [ 0; 4 ]
+
+let test_plan_hardware_fast_bounded () =
+  let mono = mono_halt_cycle () in
+  let hw, _ = hw_halt_cycle ~mode:Fireripper.Spec.Fast ~latency:0 in
+  check_bool "fast differs" true (hw <> mono);
+  check_bool
+    (Printf.sprintf "bounded error (mono %d hw %d)" mono hw)
+    true
+    (abs (hw - mono) * 100 / mono <= 40)
+
+let test_plan_hardware_fmr () =
+  let f0 = Fireripper.Hw.fmr ~latency:0 ~target_cycles:300 (kite_plan Fireripper.Spec.Exact) in
+  let f6 = Fireripper.Hw.fmr ~latency:6 ~target_cycles:300 (kite_plan Fireripper.Spec.Exact) in
+  check_bool (Printf.sprintf "fmr grows with latency (%.1f -> %.1f)" f0 f6) true (f6 > f0 +. 4.)
+
+let test_plan_hardware_ring () =
+  (* Multi-unit hardware: a 3-tile ring NoC partitioned by router groups,
+     with a direct wrapper-to-wrapper ring link, in generated hardware. *)
+  let circuit () = Socgen.Ring_noc.ring_soc ~n_tiles:3 ~period:5 () in
+  let config =
+    {
+      Fireripper.Spec.default_config with
+      Fireripper.Spec.selection = Fireripper.Spec.Noc_routers [ [ 0 ]; [ 1; 2 ] ];
+    }
+  in
+  let plan = Fireripper.Compile.compile ~config (circuit ()) in
+  check_int "three units" 3 (Fireripper.Plan.n_units plan);
+  let target = 400 in
+  let mono = Rtlsim.Sim.of_circuit (circuit ()) in
+  for _ = 1 to target do
+    Rtlsim.Sim.step mono
+  done;
+  let r =
+    Fireripper.Hw.run ~latency:2 ~target_cycles:target plan ~setup:(fun _ -> ())
+  in
+  List.iteri
+    (fun i reg ->
+      ignore i;
+      (* Find which unit holds the register by probing the host names. *)
+      let value =
+        List.find_map
+          (fun u ->
+            try Some (Rtlsim.Sim.get r.Fireripper.Hw.hr_sim (Fireripper.Hw.host_signal ~unit:u reg))
+            with Rtlsim.Sim.Sim_error _ -> None)
+          [ 0; 1; 2 ]
+      in
+      check_int reg (Rtlsim.Sim.get mono reg) (Option.get value))
+    [ "ttile0$checksum_r"; "ttile1$checksum_r"; "ttile2$checksum_r"; "reflector$count" ]
+
+let suite =
+  [
+    ( "fireripper.hw",
+      [
+        Alcotest.test_case "plan hardware is cycle-exact" `Quick test_plan_hardware_exact;
+        Alcotest.test_case "plan hardware fast mode bounded" `Quick test_plan_hardware_fast_bounded;
+        Alcotest.test_case "plan hardware FMR" `Quick test_plan_hardware_fmr;
+        Alcotest.test_case "ring plan hardware cycle-exact" `Quick test_plan_hardware_ring;
+      ] );
+    ( "goldengate.fame1_rtl",
+      [
+        Alcotest.test_case "hardware LI-BDN cycle-exact" `Quick test_hardware_fame1_cycle_exact;
+        Alcotest.test_case "FMR grows with link latency" `Quick test_fmr_grows_with_latency;
+        Alcotest.test_case "gated target holds" `Quick test_gated_target_holds_without_fire;
+      ] );
+  ]

@@ -1,0 +1,318 @@
+(* Tests for the generated-hardware FAME-5 transform: N threads share
+   one datapath with banked state.  Each thread must behave exactly like
+   an independent copy of the original module, registers with reset
+   values must be swept into the banks, memories must bank without
+   cross-talk, and the resource win over N copies must materialize. *)
+
+open Firrtl
+module F5 = Goldengate.Fame5_rtl
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let as_circuit m = { Ast.cname = m.Ast.name; main = m.Ast.name; modules = [ m ] }
+
+(* An accumulator with an enable — exercises reg reads, reg enables and
+   comb outputs. *)
+let accum () =
+  let b = Builder.create "accum" in
+  let open Dsl in
+  let din = Builder.input b "din" 16 in
+  let en = Builder.input b "en" 1 in
+  Builder.output b "acc" 16;
+  let sum = Builder.reg b "sum" 16 in
+  Builder.reg_next b ~enable:en "sum" (sum +: din);
+  Builder.connect b "acc" sum;
+  Builder.finish b
+
+let test_threads_are_independent_copies () =
+  let threads = 3 in
+  let wrapped = F5.wrap ~threads (accum ()) in
+  Ast.check_circuit (as_circuit wrapped);
+  let hw = Rtlsim.Sim.of_circuit (as_circuit wrapped) in
+  (* Per-thread input streams: thread t adds (t+1)*k+1 on its k-th
+     cycle, with thread 1 enabled only on odd cycles. *)
+  let din t k = ((t + 1) * k) + 1 in
+  let en t k = if t = 1 then k mod 2 else 1 in
+  let steps = 8 in
+  for host = 0 to F5.init_cycles ~threads + (steps * threads) - 1 do
+    let t = host mod threads in
+    let k = (host - F5.init_cycles ~threads) / threads in
+    if host >= F5.init_cycles ~threads then begin
+      Rtlsim.Sim.set_input hw "din" (din t k);
+      Rtlsim.Sim.set_input hw "en" (en t k)
+    end;
+    Rtlsim.Sim.step hw
+  done;
+  (* References: independent unthreaded runs of the original module. *)
+  for t = 0 to threads - 1 do
+    let r = Rtlsim.Sim.of_circuit (as_circuit (accum ())) in
+    for k = 0 to steps - 1 do
+      Rtlsim.Sim.set_input r "din" (din t k);
+      Rtlsim.Sim.set_input r "en" (en t k);
+      Rtlsim.Sim.step r
+    done;
+    check_int
+      (Printf.sprintf "thread %d bank equals its independent run" t)
+      (Rtlsim.Sim.get r "sum")
+      (Rtlsim.Sim.peek_mem hw "sum" t)
+  done;
+  (* Sanity: the streams genuinely diverge across threads. *)
+  check_bool "banks differ" true
+    (Rtlsim.Sim.peek_mem hw "sum" 0 <> Rtlsim.Sim.peek_mem hw "sum" 2)
+
+let test_output_mux_tracks_tid () =
+  (* The shared comb output reflects the currently scheduled thread. *)
+  let threads = 2 in
+  let wrapped = F5.wrap ~threads (accum ()) in
+  let hw = Rtlsim.Sim.of_circuit (as_circuit wrapped) in
+  (* Thread 0 accumulates 10 per cycle; thread 1 accumulates 1. *)
+  for host = 0 to F5.init_cycles ~threads + 7 do
+    let t = host mod threads in
+    Rtlsim.Sim.set_input hw "din" (if t = 0 then 10 else 1);
+    Rtlsim.Sim.set_input hw "en" 1;
+    Rtlsim.Sim.step hw
+  done;
+  (* After an even number of post-init host cycles, tid is back at 0:
+     the visible [acc] must be thread 0's bank; one host cycle later,
+     thread 1's. *)
+  Rtlsim.Sim.eval_comb hw;
+  check_int "tid back at 0" 0 (Rtlsim.Sim.get hw F5.tid_name);
+  check_int "output shows thread 0" (Rtlsim.Sim.peek_mem hw "sum" 0) (Rtlsim.Sim.get hw "acc");
+  Rtlsim.Sim.set_input hw "en" 0;
+  Rtlsim.Sim.step hw;
+  Rtlsim.Sim.eval_comb hw;
+  check_int "output shows thread 1" (Rtlsim.Sim.peek_mem hw "sum" 1) (Rtlsim.Sim.get hw "acc")
+
+let test_nonzero_reset_swept () =
+  (* A register with a non-zero reset value: every bank must start from
+     it after the init sweep, and advance independently afterwards. *)
+  let m =
+    let b = Builder.create "cnt" in
+    let open Dsl in
+    Builder.output b "q" 16;
+    let c = Builder.reg b ~init:5 "c" 16 in
+    Builder.reg_next b "c" (c +: lit ~width:16 1);
+    Builder.connect b "q" c;
+    Builder.finish b
+  in
+  let threads = 4 in
+  let hw = Rtlsim.Sim.of_circuit (as_circuit (F5.wrap ~threads m)) in
+  for _ = 1 to F5.init_cycles ~threads do
+    Rtlsim.Sim.step hw
+  done;
+  for t = 0 to threads - 1 do
+    check_int (Printf.sprintf "bank %d holds the reset value" t) 5
+      (Rtlsim.Sim.peek_mem hw "c" t)
+  done;
+  (* Two full rounds: every thread steps twice. *)
+  for _ = 1 to 2 * threads do
+    Rtlsim.Sim.step hw
+  done;
+  for t = 0 to threads - 1 do
+    check_int (Printf.sprintf "bank %d advanced twice" t) 7 (Rtlsim.Sim.peek_mem hw "c" t)
+  done
+
+let test_memories_bank_without_crosstalk () =
+  (* A module with a target memory: each thread's writes land in its
+     own bank. *)
+  let m =
+    let b = Builder.create "scratch" in
+    let open Dsl in
+    let we = Builder.input b "we" 1 in
+    let addr = Builder.input b "addr" 2 in
+    let data = Builder.input b "data" 16 in
+    let raddr = Builder.input b "raddr" 2 in
+    Builder.output b "q" 16;
+    let mem = Builder.mem b "m" ~width:16 ~depth:4 in
+    Builder.mem_write b mem ~addr ~data ~enable:we;
+    Builder.connect b "q" (read mem raddr);
+    Builder.finish b
+  in
+  let threads = 2 in
+  let hw = Rtlsim.Sim.of_circuit (as_circuit (F5.wrap ~threads m)) in
+  for _ = 1 to F5.init_cycles ~threads do
+    Rtlsim.Sim.set_input hw "we" 1;
+    (* Writes during the init sweep must be suppressed. *)
+    Rtlsim.Sim.set_input hw "addr" 0;
+    Rtlsim.Sim.set_input hw "data" 9999;
+    Rtlsim.Sim.step hw
+  done;
+  check_int "init-sweep writes suppressed" 0 (Rtlsim.Sim.peek_mem hw "m" 0);
+  (* Thread 0 writes 111 at address 2; thread 1 writes 222 at the same
+     target address. *)
+  for host = 0 to 1 do
+    Rtlsim.Sim.set_input hw "we" 1;
+    Rtlsim.Sim.set_input hw "addr" 2;
+    Rtlsim.Sim.set_input hw "data" (if host = 0 then 111 else 222);
+    Rtlsim.Sim.step hw
+  done;
+  (* Physical layout: bank t spans [t*4, t*4+4). *)
+  check_int "thread 0's word" 111 (Rtlsim.Sim.peek_mem hw "m" 2);
+  check_int "thread 1's word" 222 (Rtlsim.Sim.peek_mem hw "m" (4 + 2));
+  (* Reads see the scheduled thread's bank. *)
+  Rtlsim.Sim.set_input hw "we" 0;
+  Rtlsim.Sim.set_input hw "raddr" 2;
+  Rtlsim.Sim.eval_comb hw;
+  check_int "thread 0 reads its bank" 111 (Rtlsim.Sim.get hw "q");
+  Rtlsim.Sim.step hw;
+  Rtlsim.Sim.eval_comb hw;
+  check_int "thread 1 reads its bank" 222 (Rtlsim.Sim.get hw "q")
+
+let test_wrap_validation () =
+  check_bool "threads = 1 is the identity" true
+    (let m = accum () in
+     F5.wrap ~threads:1 m == m);
+  check_bool "threads = 0 rejected" true
+    (try
+       ignore (F5.wrap ~threads:0 (accum ()));
+       false
+     with Ast.Ir_error _ -> true);
+  (* Non-flat modules are rejected. *)
+  let hier =
+    let b = Builder.create "top" in
+    let a = Builder.inst b "a" "accum" in
+    Builder.connect_in b a "din" (Dsl.lit ~width:16 1);
+    Builder.connect_in b a "en" Dsl.one;
+    Builder.output b "o" 16;
+    Builder.connect b "o" (Builder.of_inst a "acc");
+    Builder.finish b
+  in
+  check_bool "instances rejected" true
+    (try
+       ignore (F5.wrap ~threads:2 hier);
+       false
+     with Ast.Ir_error _ -> true)
+
+let test_resource_amortization () =
+  (* The point of FAME-5: N threads of hardware cost far fewer LUTs
+     than N copies, paying in BRAM instead. *)
+  let core = Flatten.flatten (Socgen.Soc.single_core_soc ~cache_sets:None ()) in
+  let one = Platform.Resource.estimate_flat core in
+  let threaded = Platform.Resource.estimate_flat (F5.wrap ~threads:4 core) in
+  check_bool
+    (Printf.sprintf "4 threads cost %d LUTs, 4 copies cost %d" threaded.Platform.Resource.luts
+       (4 * one.Platform.Resource.luts))
+    true
+    (threaded.Platform.Resource.luts < 2 * one.Platform.Resource.luts);
+  check_bool "state moved to BRAM" true
+    (threaded.Platform.Resource.bram_bits > one.Platform.Resource.bram_bits)
+
+let test_threaded_soc_runs_programs () =
+  (* End to end: a 2-threaded whole Kite SoC runs two different programs
+     to completion, one per thread bank. *)
+  let threads = 2 in
+  let flat = Flatten.flatten (Socgen.Soc.single_core_soc ~mem_latency:1 ~cache_sets:None ()) in
+  let hw = Rtlsim.Sim.of_circuit (as_circuit (F5.wrap ~threads flat)) in
+  for _ = 1 to F5.init_cycles ~threads do
+    Rtlsim.Sim.step hw
+  done;
+  (* Load per-thread programs directly into the banks (bank stride =
+     the memory depth of the original scratchpad, 1024). *)
+  let load t program data =
+    List.iteri
+      (fun i w -> Rtlsim.Sim.poke_mem hw "mem$mem" ((t * 1024) + i) w)
+      (Socgen.Kite_isa.assemble program);
+    List.iter (fun (a, v) -> Rtlsim.Sim.poke_mem hw "mem$mem" ((t * 1024) + a) v) data
+  in
+  load 0 (Socgen.Kite_isa.sum_program ~base:32 ~n:4 ~dst:60) (List.init 4 (fun i -> (32 + i, i + 1)));
+  load 1 (Socgen.Kite_isa.fib_program ~n:9 ~dst:60) [];
+  (* Run both threads to halt. *)
+  for _ = 1 to 6000 do
+    Rtlsim.Sim.step hw
+  done;
+  check_int "thread 0 result (sum 1..4)" 10 (Rtlsim.Sim.peek_mem hw "mem$mem" 60);
+  check_int "thread 1 result (fib 9)" 34 (Rtlsim.Sim.peek_mem hw "mem$mem" (1024 + 60))
+
+let test_threaded_pipelined_soc () =
+  (* Composition: the 5-stage pipelined SoC threaded 2 ways in
+     hardware — per-thread instruction memories run different programs
+     to completion, each matching the ISA reference. *)
+  let threads = 2 in
+  let flat = Flatten.flatten (Socgen.Kite5_core.soc ~mem_latency:1 ()) in
+  let hw = Rtlsim.Sim.of_circuit (as_circuit (F5.wrap ~threads flat)) in
+  for _ = 1 to F5.init_cycles ~threads do
+    Rtlsim.Sim.step hw
+  done;
+  (* imem depth 256, mem depth 1024: bank strides. *)
+  let load t program data =
+    List.iteri
+      (fun i w -> Rtlsim.Sim.poke_mem hw "core$imem" ((t * 256) + i) w)
+      (Socgen.Kite_isa.assemble program);
+    List.iter (fun (a, v) -> Rtlsim.Sim.poke_mem hw "mem$mem" ((t * 1024) + a) v) data
+  in
+  let p0 = Socgen.Kite_isa.sum_program ~base:32 ~n:5 ~dst:60 in
+  let d0 = List.init 5 (fun i -> (32 + i, (i * 2) + 1)) in
+  let p1 = Socgen.Kite_isa.fib_program ~n:11 ~dst:60 in
+  load 0 p0 d0;
+  load 1 p1 [];
+  for _ = 1 to 4000 do
+    Rtlsim.Sim.step hw
+  done;
+  let reference program data =
+    let m = Socgen.Kite_isa.make_machine ~mem_words:1024 in
+    List.iter (fun (a, v) -> m.Socgen.Kite_isa.mem.(a) <- v) data;
+    let imem = Array.of_list (Socgen.Kite_isa.assemble program) in
+    let steps = ref 0 in
+    while (not m.Socgen.Kite_isa.halted) && !steps < 4000 do
+      Socgen.Kite_isa.step_fetch m ~fetch:(fun pc ->
+          if pc < Array.length imem then imem.(pc) else 0);
+      incr steps
+    done;
+    m
+  in
+  let m0 = reference p0 d0 and m1 = reference p1 [] in
+  check_int "thread 0 result" m0.Socgen.Kite_isa.mem.(60)
+    (Rtlsim.Sim.peek_mem hw "mem$mem" 60);
+  check_int "thread 1 result" m1.Socgen.Kite_isa.mem.(60)
+    (Rtlsim.Sim.peek_mem hw "mem$mem" (1024 + 60));
+  check_int "thread 0 retired" m0.Socgen.Kite_isa.retired
+    (Rtlsim.Sim.peek_mem hw "core$retired_count" 0);
+  check_int "thread 1 retired" m1.Socgen.Kite_isa.retired
+    (Rtlsim.Sim.peek_mem hw "core$retired_count" 1)
+
+let prop_random_circuits_thread_exact =
+  (* Random hierarchical circuits, flattened and threaded N ways with
+     no external inputs: every thread bank must track an independent
+     (unthreaded) reference simulation register for register. *)
+  QCheck.Test.make ~name:"fame5_rtl: random circuits thread exactly" ~count:20
+    QCheck.(pair small_int (int_bound 2))
+    (fun (seed, extra) ->
+      let threads = 2 + (seed mod 3) in
+      let n = 4 + extra in
+      let flat = Flatten.flatten (Extensions_tests.random_circuit (seed + 9) n) in
+      let hw = Rtlsim.Sim.of_circuit (as_circuit (F5.wrap ~threads flat)) in
+      let steps = 12 in
+      for _ = 1 to F5.init_cycles ~threads + (steps * threads) do
+        Rtlsim.Sim.step hw
+      done;
+      let r = Rtlsim.Sim.of_circuit (as_circuit flat) in
+      for _ = 1 to steps do
+        Rtlsim.Sim.step r
+      done;
+      List.for_all
+        (fun k ->
+          let reg = Printf.sprintf "i%d$r" k in
+          List.for_all
+            (fun t -> Rtlsim.Sim.get r reg = Rtlsim.Sim.peek_mem hw reg t)
+            (List.init threads Fun.id))
+        (List.init n Fun.id))
+
+let suite =
+  [
+    ( "goldengate.fame5_rtl",
+      [
+        Alcotest.test_case "threads are independent copies" `Quick
+          test_threads_are_independent_copies;
+        Alcotest.test_case "output mux tracks tid" `Quick test_output_mux_tracks_tid;
+        Alcotest.test_case "non-zero resets swept" `Quick test_nonzero_reset_swept;
+        Alcotest.test_case "memories bank without crosstalk" `Quick
+          test_memories_bank_without_crosstalk;
+        Alcotest.test_case "validation" `Quick test_wrap_validation;
+        Alcotest.test_case "resource amortization" `Quick test_resource_amortization;
+        Alcotest.test_case "2-threaded SoC runs two programs" `Quick
+          test_threaded_soc_runs_programs;
+        Alcotest.test_case "2-threaded pipelined SoC" `Quick test_threaded_pipelined_soc;
+        QCheck_alcotest.to_alcotest prop_random_circuits_thread_exact;
+      ] );
+  ]

@@ -1,0 +1,378 @@
+(* Tests for the 5-stage pipelined Kite core: differential architectural
+   equivalence against the ISA reference interpreter (canned programs
+   and randomized ones), pipeline hazards, memory-latency tolerance,
+   speedup over the multi-cycle FSM core, and partition exactness. *)
+
+module FR = Fireripper
+open Socgen.Kite_isa
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Runs [program] on the pipelined SoC; returns (sim, halt_cycle). *)
+let run_rtl ?(mem_latency = 1) ?(max_cycles = 30_000) program data =
+  let sim = Rtlsim.Sim.of_circuit (Socgen.Kite5_core.soc ~mem_latency ()) in
+  Socgen.Kite5_core.load_program sim ~data program;
+  let halt =
+    Rtlsim.Sim.run_until sim ~max_cycles (fun s -> Rtlsim.Sim.get s "halted" = 1)
+  in
+  (sim, halt)
+
+(* Runs [program] on the reference interpreter. *)
+let run_ref program data =
+  let m = make_machine ~mem_words:1024 in
+  load_words m (assemble program);
+  List.iter (fun (a, v) -> m.mem.(a) <- v) data;
+  run m ~max_steps:30_000;
+  m
+
+let check_architectural name program data =
+  let sim, _ = run_rtl program data in
+  let m = run_ref program data in
+  for r = 0 to 7 do
+    check_int
+      (Printf.sprintf "%s: r%d" name r)
+      m.regs.(r)
+      (Rtlsim.Sim.peek_mem sim "core$rf" r)
+  done;
+  for a = 40 to 70 do
+    check_int
+      (Printf.sprintf "%s: mem[%d]" name a)
+      m.mem.(a)
+      (Rtlsim.Sim.peek_mem sim "mem$mem" a)
+  done;
+  check_int (name ^ ": retired") m.retired (Rtlsim.Sim.get sim "retired")
+
+(* ------------------------------------------------------------------ *)
+(* Differential equivalence                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_programs_match_reference () =
+  check_architectural "sum" (sum_program ~base:32 ~n:8 ~dst:60)
+    (List.init 8 (fun i -> (32 + i, (i * 3) + 1)));
+  check_architectural "fib" (fib_program ~n:10 ~dst:60) [];
+  check_architectural "sum_repeat" (sum_repeat_program ~base:32 ~n:8 ~reps:5 ~dst:60)
+    (List.init 8 (fun i -> (32 + i, i + 1)));
+  check_architectural "memcopy" (memcopy_program ~src:32 ~dst:52 ~n:6)
+    (List.init 6 (fun i -> (32 + i, 100 + i)))
+
+let test_all_alu_functs () =
+  check_architectural "alu"
+    [
+      Addi (1, 0, 9);
+      Addi (2, 0, 3);
+      Alu (F_sub, 3, 1, 2);
+      Alu (F_and, 4, 1, 2);
+      Alu (F_or, 5, 1, 2);
+      Alu (F_xor, 6, 1, 2);
+      Alu (F_sll, 7, 1, 2);
+      Sw (3, 0, 50);
+      Sw (4, 0, 51);
+      Sw (5, 0, 52);
+      Sw (6, 0, 53);
+      Sw (7, 0, 54);
+      Alu (F_srl, 3, 1, 2);
+      Alu (F_slt, 4, 2, 1);
+      Alu (F_slt, 5, 1, 2);
+      Alu (F_mul, 6, 1, 2);
+      Sw (3, 0, 55);
+      Sw (4, 0, 56);
+      Sw (5, 0, 57);
+      Sw (6, 0, 58);
+      Halt;
+    ]
+    []
+
+let test_load_use_and_forwarding () =
+  (* Back-to-back dependencies through every distance: LW feeding the
+     very next instruction (load-use stall), ALU feeding the next
+     (EX/MEM forward), one apart (MEM/WB forward), two apart (ID
+     bypass). *)
+  check_architectural "hazards"
+    [
+      Addi (1, 0, 60);
+      Lw (2, 1, 0) (* load-use: consumer immediately after *);
+      Alu (F_add, 3, 2, 2);
+      Alu (F_add, 3, 3, 3) (* EX/MEM forward *);
+      Alu (F_add, 4, 3, 2) (* mixes both forwards *);
+      Addi (5, 0, 1);
+      Addi (6, 0, 2);
+      Alu (F_add, 7, 5, 6) (* distance-2: ID bypass *);
+      Sw (3, 0, 50);
+      Sw (4, 0, 51);
+      Sw (7, 0, 52);
+      Halt;
+    ]
+    [ (60, 21) ]
+
+let test_branch_flush () =
+  (* Wrong-path instructions after a taken branch must not commit. *)
+  check_architectural "flush"
+    [
+      Addi (1, 0, 5);
+      Bne (1, 0, 2) (* taken: skip the two poison stores *);
+      Sw (1, 0, 50) (* wrong path *);
+      Sw (1, 0, 51) (* wrong path *);
+      Addi (2, 0, 7);
+      Sw (2, 0, 52);
+      Jal (3, 1) (* skip another poison store *);
+      Sw (1, 0, 53);
+      Sw (3, 0, 54) (* link register lands here *);
+      Halt;
+    ]
+    []
+
+let prop_random_programs_match_reference =
+  (* Random straight-line-plus-forward-branches programs: identical
+     architectural outcome (all registers, all memory, retired count)
+     on the pipeline and the reference interpreter.  Forward-only
+     control flow guarantees termination. *)
+  QCheck.Test.make ~name:"kite5: random programs match the ISA reference" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Des.Stats.rng ~seed:(seed + 3) in
+      let ri n = Des.Stats.int rng n in
+      let len = 8 + ri 16 in
+      let instr k =
+        match ri 8 with
+        | 0 | 1 -> Addi (ri 8, ri 8, ri 127 - 64)
+        | 2 ->
+          Alu
+            ( List.nth [ F_add; F_sub; F_and; F_or; F_xor; F_sll; F_srl; F_slt; F_mul ] (ri 9),
+              ri 8, ri 8, ri 8 )
+        | 3 -> Lw (ri 8, ri 8, ri 63)
+        | 4 -> Sw (ri 8, ri 8, ri 63)
+        | 5 -> Beq (ri 8, ri 8, min 3 (len - k)) (* forward only *)
+        | 6 -> Bne (ri 8, ri 8, min 3 (len - k))
+        | _ -> Jal (ri 8, min 2 (len - k))
+      in
+      let program = List.init len instr @ [ Halt; Halt; Halt; Halt ] in
+      let data = List.init 64 (fun i -> (i + 100, Des.Stats.int rng 65536)) in
+      let sim, _ = run_rtl program data in
+      (* Harvard reference: instructions fetched from a side image, so
+         random stores never clobber code (as in the RTL). *)
+      let imem = Array.of_list (assemble program) in
+      let m = make_machine ~mem_words:1024 in
+      List.iter (fun (a, v) -> m.mem.(a) <- v) data;
+      let steps = ref 0 in
+      while (not m.halted) && !steps < 30_000 do
+        step_fetch m ~fetch:(fun pc -> if pc < Array.length imem then imem.(pc) else 0);
+        incr steps
+      done;
+      let regs_ok =
+        List.for_all
+          (fun r -> m.regs.(r) = Rtlsim.Sim.peek_mem sim "core$rf" r)
+          (List.init 8 Fun.id)
+      in
+      let mem_ok =
+        List.for_all
+          (fun a -> m.mem.(a) = Rtlsim.Sim.peek_mem sim "mem$mem" a)
+          (List.init 256 Fun.id)
+      in
+      regs_ok && mem_ok && m.retired = Rtlsim.Sim.get sim "retired")
+
+let test_parked_consumer_late_forward () =
+  (* Regression (found by the random property): a consumer parked in EX
+     behind a multi-cycle store sees its producer retire out of MEM/WB
+     before EX fires; the operand must be captured as the producer
+     passes write-back. *)
+  List.iter
+    (fun mem_latency ->
+      let sim, _ =
+        run_rtl ~mem_latency
+          [
+            Addi (1, 0, 7) (* producer *);
+            Sw (0, 0, 50) (* parks the pipeline in MEM *);
+            Alu (F_add, 2, 1, 1) (* consumer waits in EX meanwhile *);
+            Sw (2, 0, 51);
+            Halt;
+          ]
+          []
+      in
+      check_int
+        (Printf.sprintf "captured operand at latency %d" mem_latency)
+        14
+        (Rtlsim.Sim.peek_mem sim "mem$mem" 51))
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining pays, and tolerates memory latency                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_faster_than_fsm_core () =
+  let program = sum_repeat_program ~base:32 ~n:8 ~reps:6 ~dst:60 in
+  let data = List.init 8 (fun i -> (32 + i, i + 1)) in
+  let _, k5 = run_rtl program data in
+  (* The multi-cycle FSM core on the same program (no L1, same
+     scratchpad latency, to compare the cores themselves). *)
+  let fsm = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ~mem_latency:1 ~cache_sets:None ()) in
+  Socgen.Soc.load_program fsm ~mem:"mem$mem" ~data program;
+  let fsm_halt =
+    Rtlsim.Sim.run_until fsm ~max_cycles:30_000 (fun s -> Rtlsim.Sim.get s "halted" = 1)
+  in
+  check_bool
+    (Printf.sprintf "pipeline at least 2x the FSM core (%d vs %d cycles)" k5 fsm_halt)
+    true
+    (k5 * 2 < fsm_halt)
+
+let test_memory_latency_tolerance () =
+  (* Same architectural result at any memory latency; more cycles at
+     higher latency. *)
+  let program = memcopy_program ~src:32 ~dst:52 ~n:6 in
+  let data = List.init 6 (fun i -> (32 + i, 100 + i)) in
+  let sim1, halt1 = run_rtl ~mem_latency:1 program data in
+  let sim4, halt4 = run_rtl ~mem_latency:4 program data in
+  for a = 52 to 57 do
+    check_int
+      (Printf.sprintf "mem[%d] latency-independent" a)
+      (Rtlsim.Sim.peek_mem sim1 "mem$mem" a)
+      (Rtlsim.Sim.peek_mem sim4 "mem$mem" a)
+  done;
+  check_bool "higher latency costs cycles" true (halt4 > halt1)
+
+let test_dram_backed_equivalence () =
+  (* The pipelined core in front of the DRAM timing model: same
+     architectural result as with the scratchpad, different timing. *)
+  let program = sum_repeat_program ~base:32 ~n:8 ~reps:4 ~dst:60 in
+  let data = List.init 8 (fun i -> (32 + i, i + 2)) in
+  let sp, sp_halt = run_rtl program data in
+  let dr = Rtlsim.Sim.of_circuit (Socgen.Kite5_core.dram_soc ()) in
+  Socgen.Kite5_core.load_program dr ~data program;
+  let dr_halt =
+    Rtlsim.Sim.run_until dr ~max_cycles:30_000 (fun s -> Rtlsim.Sim.get s "halted" = 1)
+  in
+  check_int "same result" (Rtlsim.Sim.peek_mem sp "mem$mem" 60)
+    (Rtlsim.Sim.peek_mem dr "mem$mem" 60);
+  check_int "same retired" (Rtlsim.Sim.get sp "retired") (Rtlsim.Sim.get dr "retired");
+  check_bool "different timing" true (sp_halt <> dr_halt);
+  check_bool "dram row activity recorded" true
+    (Rtlsim.Sim.get dr "mem$hits_r" + Rtlsim.Sim.get dr "mem$misses_r" > 0)
+
+let test_tracer_on_pipeline () =
+  (* The commit-PC pipe makes the TracerV bridge trace the pipelined
+     core: the traced PC sequence equals the reference interpreter's
+     execution order. *)
+  let program = fib_program ~n:6 ~dst:60 in
+  let sim = Rtlsim.Sim.of_circuit (Socgen.Kite5_core.soc ~mem_latency:1 ()) in
+  Socgen.Kite5_core.load_program sim ~data:[] program;
+  let events =
+    Fireripper.Tracer.of_sim sim ~pc:"core$mw_pc" ~retired:"core$retired_count"
+      ~cycles:400
+  in
+  let m = run_ref program [] in
+  check_int "every commit traced" m.retired (List.length events);
+  (* Reference PC order. *)
+  let m2 = make_machine ~mem_words:1024 in
+  load_words m2 (assemble program);
+  let want = ref [] in
+  while not m2.halted do
+    want := m2.pc :: !want;
+    step m2
+  done;
+  check_bool "PC sequence matches reference" true
+    (List.map (fun e -> e.Fireripper.Tracer.t_pc) events = List.rev !want)
+
+(* ------------------------------------------------------------------ *)
+(* Partitioning                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let program = sum_repeat_program ~base:32 ~n:8 ~reps:4 ~dst:60
+let data = List.init 8 (fun i -> (32 + i, (i * 2) + 1))
+
+let test_partition_exact () =
+  let mono = Rtlsim.Sim.of_circuit (Socgen.Kite5_core.soc ~mem_latency:1 ()) in
+  Socgen.Kite5_core.load_program mono ~data program;
+  for _ = 1 to 800 do
+    Rtlsim.Sim.step mono
+  done;
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "core" ] ] }
+  in
+  let plan = FR.Compile.compile ~config (Socgen.Kite5_core.soc ~mem_latency:1 ()) in
+  let h = FR.Runtime.instantiate plan in
+  let u = FR.Runtime.locate h "core$imem" in
+  let mu = FR.Runtime.locate h "mem$mem" in
+  List.iteri
+    (fun i w -> Rtlsim.Sim.poke_mem (FR.Runtime.sim_of h u) "core$imem" i w)
+    (assemble program);
+  List.iter (fun (a, v) -> Rtlsim.Sim.poke_mem (FR.Runtime.sim_of h mu) "mem$mem" a v) data;
+  FR.Runtime.run h ~cycles:800;
+  List.iter
+    (fun reg ->
+      let ur = FR.Runtime.locate h reg in
+      check_int reg (Rtlsim.Sim.get mono reg)
+        (Rtlsim.Sim.get (FR.Runtime.sim_of h ur) reg))
+    [ "core$retired_count"; "core$pc"; "core$halted_r"; "mem$state" ]
+
+let test_partition_fast_mode_bounded () =
+  (* The core's decoupled memory port is latency-insensitive by
+     construction, so fast mode preserves the architectural result with
+     a bounded cycle error. *)
+  let v =
+    Fireaxe.validate ~name:"k5"
+      ~circuit:(fun () -> Socgen.Kite5_core.soc ~mem_latency:1 ())
+      ~selection:(FR.Spec.Instances [ [ "core" ] ])
+      ~setup:(fun ~poke ->
+        List.iteri (fun i w -> poke ~mem:"core$imem" i w) (assemble program);
+        List.iter (fun (a, v) -> poke ~mem:"mem$mem" a v) data)
+      ~finished:(fun ~peek -> peek "core$halted_r" = 1)
+      ()
+  in
+  check_int "exact mode cycle-identical" v.Fireaxe.v_monolithic_cycles v.Fireaxe.v_exact_cycles;
+  check_bool
+    (Printf.sprintf "fast mode bounded (%.2f%%)" v.Fireaxe.v_fast_error_pct)
+    true
+    (v.Fireaxe.v_fast_error_pct < 35.0)
+
+let test_partition_hardware_exact () =
+  (* The pipelined SoC through the generated FAME-1 hardware path. *)
+  let mono = Rtlsim.Sim.of_circuit (Socgen.Kite5_core.soc ~mem_latency:1 ()) in
+  Socgen.Kite5_core.load_program mono ~data program;
+  let target = 600 in
+  for _ = 1 to target do
+    Rtlsim.Sim.step mono
+  done;
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "core" ] ] }
+  in
+  let plan = FR.Compile.compile ~config (Socgen.Kite5_core.soc ~mem_latency:1 ()) in
+  let r =
+    FR.Hw.run ~latency:3 ~target_cycles:target plan ~setup:(fun sim ->
+        List.iteri
+          (fun i w -> Rtlsim.Sim.poke_mem sim (FR.Hw.host_signal ~unit:1 "core$imem") i w)
+          (Socgen.Kite_isa.assemble program);
+        List.iter
+          (fun (a, v) -> Rtlsim.Sim.poke_mem sim (FR.Hw.host_signal ~unit:0 "mem$mem") a v)
+          data)
+  in
+  List.iter
+    (fun (unit, reg) ->
+      check_int reg (Rtlsim.Sim.get mono reg)
+        (Rtlsim.Sim.get r.FR.Hw.hr_sim (FR.Hw.host_signal ~unit reg)))
+    [ (1, "core$retired_count"); (1, "core$pc"); (0, "mem$state") ]
+
+let suite =
+  [
+    ( "socgen.kite5",
+      [
+        Alcotest.test_case "canned programs match reference" `Quick
+          test_programs_match_reference;
+        Alcotest.test_case "all ALU functs" `Quick test_all_alu_functs;
+        Alcotest.test_case "hazards: load-use + forwarding" `Quick
+          test_load_use_and_forwarding;
+        Alcotest.test_case "branch flush" `Quick test_branch_flush;
+        Alcotest.test_case "late forward to parked consumer" `Quick
+          test_parked_consumer_late_forward;
+        Alcotest.test_case "faster than the FSM core" `Quick test_faster_than_fsm_core;
+        Alcotest.test_case "memory latency tolerance" `Quick test_memory_latency_tolerance;
+        Alcotest.test_case "DRAM-backed equivalence" `Quick test_dram_backed_equivalence;
+        Alcotest.test_case "TracerV on the pipeline" `Quick test_tracer_on_pipeline;
+        QCheck_alcotest.to_alcotest prop_random_programs_match_reference;
+      ] );
+    ( "socgen.kite5.partition",
+      [
+        Alcotest.test_case "exact" `Quick test_partition_exact;
+        Alcotest.test_case "fast mode bounded" `Quick test_partition_fast_mode_bounded;
+        Alcotest.test_case "generated hardware exact" `Quick test_partition_hardware_exact;
+      ] );
+  ]

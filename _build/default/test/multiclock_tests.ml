@@ -1,0 +1,349 @@
+(* Tests for the multi-clock extension (Goldengate.Clockdiv): slower
+   clock domains modeled with synchronous enable gating, so partitions
+   that cut a clock-domain crossing stay cycle-exact — and for the
+   AutoCounter-style statistics bridge (Fireripper.Counters). *)
+
+open Firrtl
+module FR = Fireripper
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A slow-domain accumulator fed by a fast-domain counter: the classic
+   CDC shape (fast producer, slow consumer). *)
+let accum_module () =
+  let b = Builder.create "accum" in
+  let open Dsl in
+  let din = Builder.input b "din" 8 in
+  Builder.output b "acc" 8;
+  let sum = Builder.reg b "sum" 8 in
+  Builder.reg_next b "sum" (sum +: din);
+  Builder.connect b "acc" sum;
+  Builder.finish b
+
+let cdc_circuit ~div () =
+  let accum = Goldengate.Clockdiv.gate ~div (accum_module ()) in
+  let b = Builder.create "cdc" in
+  let open Dsl in
+  let t = Builder.reg b "t" 8 in
+  Builder.reg_next b "t" (t +: lit ~width:8 1);
+  let a = Builder.inst b "a" "accum" in
+  Builder.connect_in b a "din" t;
+  Builder.output b "out" 8;
+  Builder.connect b "out" (Builder.of_inst a "acc");
+  let c = { Ast.cname = "cdc"; main = "cdc"; modules = [ accum; Builder.finish b ] } in
+  Ast.check_circuit c;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Clock gating semantics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_gate_updates_every_div () =
+  (* With div = 3 the accumulator register changes at most once per
+     three base cycles, and exactly floor(cycles / 3) times overall. *)
+  let sim = Rtlsim.Sim.of_circuit (cdc_circuit ~div:3 ()) in
+  let changes = ref 0 in
+  let prev = ref (Rtlsim.Sim.get sim "a$sum") in
+  for _ = 1 to 30 do
+    Rtlsim.Sim.step sim;
+    let v = Rtlsim.Sim.get sim "a$sum" in
+    if v <> !prev then incr changes;
+    prev := v
+  done;
+  check_int "updates in 30 cycles at div 3" 10 !changes
+
+let test_gate_div1_is_identity () =
+  let m = accum_module () in
+  let gated = Goldengate.Clockdiv.gate ~div:1 m in
+  check_bool "div 1 leaves the module unchanged" true (m == gated)
+
+let test_gate_phase_offsets_first_tick () =
+  (* phase = 0 makes the first enable fire on base cycle 0: after one
+     step the slow register has already sampled; the next div - 1 base
+     cycles are gated off. *)
+  let gated = Goldengate.Clockdiv.gate ~phase:0 ~div:4 (accum_module ()) in
+  let eng = Libdn.Engine.of_flat gated in
+  eng.Libdn.Engine.set_input "din" 7;
+  eng.Libdn.Engine.eval_comb ();
+  eng.Libdn.Engine.step_seq ();
+  eng.Libdn.Engine.eval_comb ();
+  check_int "sampled on the first base cycle" 7 (eng.Libdn.Engine.get "acc");
+  for _ = 1 to 3 do
+    eng.Libdn.Engine.set_input "din" 100;
+    eng.Libdn.Engine.eval_comb ();
+    eng.Libdn.Engine.step_seq ()
+  done;
+  eng.Libdn.Engine.eval_comb ();
+  check_int "held until the next slow edge" 7 (eng.Libdn.Engine.get "acc")
+
+let test_gate_rejects_bad_div () =
+  check_bool "div 0 rejected" true
+    (try
+       ignore (Goldengate.Clockdiv.gate ~div:0 (accum_module ()));
+       false
+     with Ast.Ir_error _ -> true)
+
+let test_gate_composes_with_existing_enable () =
+  (* A register that already carries an enable keeps it: the gated
+     register fires only when both the enable and the tick hold. *)
+  let b = Builder.create "en" in
+  let open Dsl in
+  let go = Builder.input b "go" 1 in
+  Builder.output b "q" 8;
+  let q = Builder.reg b "qr" 8 in
+  Builder.reg_next b ~enable:go "qr" (q +: lit ~width:8 1);
+  Builder.connect b "q" q;
+  let gated = Goldengate.Clockdiv.gate ~phase:0 ~div:2 (Builder.finish b) in
+  let eng = Libdn.Engine.of_flat gated in
+  (* go = 1 throughout: q advances on ticks only (base cycles 0, 2). *)
+  eng.Libdn.Engine.set_input "go" 1;
+  for _ = 1 to 4 do
+    eng.Libdn.Engine.eval_comb ();
+    eng.Libdn.Engine.step_seq ()
+  done;
+  eng.Libdn.Engine.eval_comb ();
+  check_int "two ticks with enable high" 2 (eng.Libdn.Engine.get "q");
+  (* go = 0: no update even on a tick. *)
+  eng.Libdn.Engine.set_input "go" 0;
+  for _ = 1 to 4 do
+    eng.Libdn.Engine.eval_comb ();
+    eng.Libdn.Engine.step_seq ()
+  done;
+  eng.Libdn.Engine.eval_comb ();
+  check_int "enable low masks the tick" 2 (eng.Libdn.Engine.get "q")
+
+let test_gate_module_rewrites_circuit () =
+  let c = cdc_circuit ~div:1 () in
+  let c2 = Goldengate.Clockdiv.gate_module ~div:2 c "accum" in
+  Ast.check_circuit c2;
+  let sim = Rtlsim.Sim.of_circuit c2 in
+  let changes = ref 0 in
+  let prev = ref (Rtlsim.Sim.get sim "a$sum") in
+  for _ = 1 to 20 do
+    Rtlsim.Sim.step sim;
+    let v = Rtlsim.Sim.get sim "a$sum" in
+    if v <> !prev then incr changes;
+    prev := v
+  done;
+  check_int "half-rate updates" 10 !changes
+
+(* ------------------------------------------------------------------ *)
+(* Multi-clock partitioning stays cycle-exact                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_multiclock_partition_exact () =
+  (* Cut the design exactly at the clock-domain crossing: the gated
+     slow module goes to its own unit.  Exact-mode partitioning of the
+     enable-gated RTL must match the monolithic run cycle for cycle. *)
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "a" ] ] }
+  in
+  List.iter
+    (fun div ->
+      let mono = Rtlsim.Sim.of_circuit (cdc_circuit ~div ()) in
+      let plan = FR.Compile.compile ~config (cdc_circuit ~div ()) in
+      let h = FR.Runtime.instantiate plan in
+      for cyc = 1 to 40 do
+        Rtlsim.Sim.step mono;
+        FR.Runtime.run h ~cycles:cyc;
+        List.iter
+          (fun reg ->
+            let u = FR.Runtime.locate h reg in
+            check_int
+              (Printf.sprintf "div %d cycle %d %s" div cyc reg)
+              (Rtlsim.Sim.get mono reg)
+              (Rtlsim.Sim.get (FR.Runtime.sim_of h u) reg))
+          [ "a$sum"; "a$clkdiv$count"; "t" ]
+      done)
+    [ 2; 3; 5 ]
+
+let test_multiclock_partition_hw_exact () =
+  (* Same crossing through the generated FAME-1 hardware path. *)
+  let div = 3 in
+  let mono = Rtlsim.Sim.of_circuit (cdc_circuit ~div ()) in
+  for _ = 1 to 25 do
+    Rtlsim.Sim.step mono
+  done;
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "a" ] ] }
+  in
+  let plan = FR.Compile.compile ~config (cdc_circuit ~div ()) in
+  let r = FR.Hw.run ~latency:2 ~target_cycles:25 plan ~setup:(fun _ -> ()) in
+  let peek reg =
+    Option.get
+      (List.find_map
+         (fun u ->
+           try Some (Rtlsim.Sim.get r.FR.Hw.hr_sim (FR.Hw.host_signal ~unit:u reg))
+           with Rtlsim.Sim.Sim_error _ -> None)
+         [ 0; 1 ])
+  in
+  check_int "slow accumulator matches" (Rtlsim.Sim.get mono "a$sum") (peek "a$sum");
+  check_int "fast counter matches" (Rtlsim.Sim.get mono "t") (peek "t")
+
+(* ------------------------------------------------------------------ *)
+(* AutoCounter statistics bridge                                       *)
+(* ------------------------------------------------------------------ *)
+
+let partitioned_soc () =
+  let circuit = Socgen.Soc.multi_core_soc ~cores:2 ~mem_latency:1 () in
+  let config =
+    {
+      FR.Spec.default_config with
+      FR.Spec.selection = FR.Spec.Instances [ [ "tile0" ]; [ "tile1" ] ];
+    }
+  in
+  let plan = FR.Compile.compile ~config circuit in
+  let h = FR.Runtime.instantiate plan in
+  let u = FR.Runtime.locate h "mem$mem" in
+  Socgen.Soc.load_program (FR.Runtime.sim_of h u) ~mem:"mem$mem" ~data:[]
+    (Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:5 ~reps:20 ~dst:60);
+  h
+
+let test_counters_sampling () =
+  let h = partitioned_soc () in
+  let samples =
+    FR.Counters.collect h
+      ~signals:[ "tile0$core$retired_count"; "tile1$core$retired_count" ]
+      ~every:100 ~cycles:500
+  in
+  check_int "five samples" 5 (List.length samples);
+  let cycles = List.map (fun s -> s.FR.Counters.s_cycle) samples in
+  check_bool "sample cycles" true (cycles = [ 100; 200; 300; 400; 500 ]);
+  (* Retired-instruction counters are monotone non-decreasing. *)
+  List.iter
+    (fun sig_ ->
+      let vals = List.map (fun s -> List.assoc sig_ s.FR.Counters.s_values) samples in
+      let rec mono = function
+        | a :: b :: rest -> a <= b && mono (b :: rest)
+        | _ -> true
+      in
+      check_bool (sig_ ^ " monotone") true (mono vals);
+      (* The simulation must actually advance between samples: a
+         strictly larger count at the last sample than at the first. *)
+      check_bool (sig_ ^ " progressed") true (List.nth vals 4 > List.hd vals && List.hd vals > 0))
+    [ "tile0$core$retired_count"; "tile1$core$retired_count" ]
+
+let test_counters_csv_and_rates () =
+  let h = partitioned_soc () in
+  let samples =
+    FR.Counters.collect h ~signals:[ "tile0$core$retired_count" ] ~every:128 ~cycles:300
+  in
+  (* Uneven tail: 128, 256, 300. *)
+  check_bool "tail sample at the end" true
+    (List.map (fun s -> s.FR.Counters.s_cycle) samples = [ 128; 256; 300 ]);
+  let csv = FR.Counters.to_csv samples in
+  let first_line = List.hd (String.split_on_char '\n' csv) in
+  check_bool "csv header" true (first_line = "cycle,tile0$core$retired_count");
+  check_int "csv rows" 4 (List.length (String.split_on_char '\n' (String.trim csv)));
+  let rates = FR.Counters.rates samples in
+  check_int "one rate row per interval" 2 (List.length rates);
+  List.iter
+    (fun (_, row) ->
+      List.iter (fun (_, r) -> check_bool "rate non-negative" true (r >= 0.0)) row)
+    rates
+
+let test_counters_on_advanced_handle () =
+  (* Regression: both host bridges must continue from the handle's
+     current cycle — [Runtime.run] targets absolute counts, so a bridge
+     that restarts at zero silently samples a frozen simulation. *)
+  let h = partitioned_soc () in
+  FR.Runtime.run h ~cycles:250;
+  let samples =
+    FR.Counters.collect h ~signals:[ "tile0$core$retired_count" ] ~every:100 ~cycles:200
+  in
+  check_bool "absolute sample cycles continue from 250" true
+    (List.map (fun s -> s.FR.Counters.s_cycle) samples = [ 350; 450 ]);
+  let vals = List.map (fun s -> List.assoc "tile0$core$retired_count" s.FR.Counters.s_values) samples in
+  check_bool "simulation actually advanced" true (List.nth vals 1 > List.hd vals)
+
+let test_counters_empty_and_errors () =
+  let h = partitioned_soc () in
+  check_bool "zero cycles yields no samples" true
+    (FR.Counters.collect h ~signals:[ "tile0$core$retired_count" ] ~every:10 ~cycles:0 = []);
+  check_bool "csv of nothing is empty" true (FR.Counters.to_csv [] = "");
+  check_bool "rates of nothing is empty" true (FR.Counters.rates [] = []);
+  check_bool "bad period rejected" true
+    (try
+       ignore (FR.Counters.collect h ~signals:[] ~every:0 ~cycles:10);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized property: gating arbitrary modules to arbitrary rates    *)
+(* preserves exact-mode equivalence                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_random_multiclock_exact =
+  QCheck.Test.make ~name:"random multi-clock circuits: exact partition = monolithic"
+    ~count:20
+    QCheck.(pair small_int (int_bound 2))
+    (fun (seed, extra) ->
+      let n = 4 + extra in
+      let make () =
+        (* Re-derive the same random circuit, then push each leaf module
+           into its own randomly chosen clock domain (div 1..3). *)
+        let rng = Des.Stats.rng ~seed:(seed + 13) in
+        let c = ref (Extensions_tests.random_circuit (seed + 1) n) in
+        for k = 0 to n - 1 do
+          let div = 1 + Des.Stats.int rng 3 in
+          c := Goldengate.Clockdiv.gate_module ~div !c (Printf.sprintf "leaf%d" k)
+        done;
+        !c
+      in
+      let rng = Des.Stats.rng ~seed:(seed + 99) in
+      let selected =
+        List.init n (fun k -> (k, Des.Stats.bernoulli rng 0.4))
+        |> List.filter_map (fun (k, pick) ->
+               if pick then Some (Printf.sprintf "i%d" k) else None)
+      in
+      let selected = if selected = [] then [ "i1" ] else selected in
+      if List.length selected = n then true
+      else begin
+        let config =
+          {
+            FR.Spec.default_config with
+            FR.Spec.selection = FR.Spec.Instances [ selected ];
+            FR.Spec.allow_long_chains = true;
+          }
+        in
+        let plan = FR.Compile.compile ~config (make ()) in
+        let mono = Rtlsim.Sim.of_circuit (make ()) in
+        for _ = 1 to 36 do
+          Rtlsim.Sim.step mono
+        done;
+        let h = FR.Runtime.instantiate plan in
+        FR.Runtime.run h ~cycles:36;
+        List.for_all
+          (fun k ->
+            let reg = Printf.sprintf "i%d$r" k in
+            let u = FR.Runtime.locate h reg in
+            Rtlsim.Sim.get mono reg = Rtlsim.Sim.get (FR.Runtime.sim_of h u) reg)
+          (List.init n Fun.id)
+      end)
+
+let suite =
+  [
+    ( "goldengate.clockdiv",
+      [
+        Alcotest.test_case "update rate" `Quick test_gate_updates_every_div;
+        Alcotest.test_case "div 1 identity" `Quick test_gate_div1_is_identity;
+        Alcotest.test_case "phase offset" `Quick test_gate_phase_offsets_first_tick;
+        Alcotest.test_case "bad div" `Quick test_gate_rejects_bad_div;
+        Alcotest.test_case "existing enables kept" `Quick test_gate_composes_with_existing_enable;
+        Alcotest.test_case "gate_module" `Quick test_gate_module_rewrites_circuit;
+      ] );
+    ( "fireripper.multiclock",
+      [
+        Alcotest.test_case "CDC cut is cycle-exact" `Quick test_multiclock_partition_exact;
+        Alcotest.test_case "CDC cut in hardware" `Quick test_multiclock_partition_hw_exact;
+        QCheck_alcotest.to_alcotest prop_random_multiclock_exact;
+      ] );
+    ( "fireripper.counters",
+      [
+        Alcotest.test_case "periodic sampling" `Quick test_counters_sampling;
+        Alcotest.test_case "csv and rates" `Quick test_counters_csv_and_rates;
+        Alcotest.test_case "advanced handle" `Quick test_counters_on_advanced_handle;
+        Alcotest.test_case "edge cases" `Quick test_counters_empty_and_errors;
+      ] );
+  ]

@@ -1,0 +1,326 @@
+(* Ring-NoC tests: functional behaviour of the credit-based ring, the
+   NoC-partition-mode module selection (Fig. 4), feedthrough elision
+   (direct wrapper-to-wrapper nets), and cycle-exactness of NoC
+   partitions — including with FAME-5 threaded tiles (the Fig. 6
+   24-core-SoC structure, scaled down). *)
+
+module FR = Fireripper
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_mono circuit cycles =
+  let sim = Rtlsim.Sim.of_circuit circuit in
+  for _ = 1 to cycles do
+    Rtlsim.Sim.step sim
+  done;
+  sim
+
+let test_ring_delivers_packets () =
+  let circuit = Socgen.Ring_noc.ring_soc ~n_tiles:3 ~period:8 () in
+  let sim = run_mono circuit 600 in
+  Rtlsim.Sim.eval_comb sim;
+  for i = 0 to 2 do
+    let sent = Rtlsim.Sim.get sim (Printf.sprintf "sent%d" i) in
+    let rcvd = Rtlsim.Sim.get sim (Printf.sprintf "rcvd%d" i) in
+    check_bool (Printf.sprintf "tile %d sent" i) true (sent > 10);
+    (* Echo round trip: everything sent long enough ago has come back. *)
+    check_bool (Printf.sprintf "tile %d received most" i) true (rcvd >= sent - 8)
+  done;
+  let reflected = Rtlsim.Sim.get sim "reflected" in
+  let total_sent =
+    List.fold_left (fun acc i -> acc + Rtlsim.Sim.get sim (Printf.sprintf "sent%d" i)) 0 [ 0; 1; 2 ]
+  in
+  check_bool "reflector saw the traffic" true (reflected > 0 && reflected <= total_sent)
+
+let test_ring_is_deterministic () =
+  let run () =
+    let sim = run_mono (Socgen.Ring_noc.ring_soc ~n_tiles:2 ~period:5 ()) 400 in
+    Rtlsim.Sim.eval_comb sim;
+    (Rtlsim.Sim.get sim "checksum0", Rtlsim.Sim.get sim "checksum1")
+  in
+  check_bool "deterministic" true (run () = run ())
+
+let test_noc_selection_absorbs_tiles () =
+  let circuit = Socgen.Ring_noc.ring_soc ~n_tiles:3 () in
+  let groups = FR.Select.resolve circuit (FR.Spec.Noc_routers [ [ 0; 1 ] ]) in
+  match groups with
+  | [ g ] ->
+    let names = List.map (String.concat ".") g in
+    List.iter
+      (fun expected ->
+        check_bool (expected ^ " selected") true (List.mem expected names))
+      [ "router0"; "router1"; "conv0"; "conv1"; "ttile0"; "ttile1" ];
+    check_bool "router2 not absorbed" true (not (List.mem "router2" names));
+    check_bool "reflector not absorbed" true (not (List.mem "reflector" names))
+  | _ -> Alcotest.fail "expected one group"
+
+let noc_config groups =
+  { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Noc_routers groups }
+
+let ring_regs n_tiles =
+  List.concat_map
+    (fun i ->
+      [
+        Printf.sprintf "ttile%d$sent_r" i;
+        Printf.sprintf "ttile%d$rcvd_r" i;
+        Printf.sprintf "ttile%d$checksum_r" i;
+      ])
+    (List.init n_tiles Fun.id)
+
+let assert_partitioned_matches_monolithic ?(fame5 = false) ~groups ~cycles n_tiles =
+  let circuit = Socgen.Ring_noc.ring_soc ~n_tiles ~period:6 () in
+  let mono = run_mono circuit cycles in
+  let plan = FR.Compile.compile ~config:(noc_config groups) circuit in
+  let h = FR.Runtime.instantiate ~fame5 plan in
+  FR.Runtime.run h ~cycles;
+  List.iter
+    (fun name ->
+      let expected = Rtlsim.Sim.get mono name in
+      let u = FR.Runtime.locate h name in
+      check_int name expected (Rtlsim.Sim.get (FR.Runtime.sim_of h u) name))
+    (ring_regs n_tiles);
+  plan
+
+let test_noc_partition_cycle_exact () =
+  let plan =
+    assert_partitioned_matches_monolithic ~groups:[ [ 0; 1 ] ] ~cycles:400 3
+  in
+  check_int "two units" 2 (FR.Plan.n_units plan)
+
+let test_noc_two_groups_direct_nets () =
+  let circuit = Socgen.Ring_noc.ring_soc ~n_tiles:4 ~period:6 () in
+  let plan = FR.Compile.compile ~config:(noc_config [ [ 0; 1 ]; [ 2; 3 ] ]) circuit in
+  check_int "three units" 3 (FR.Plan.n_units plan);
+  (* Feedthrough elision: the router1 -> router2 ring link must connect
+     partition 1 and partition 2 directly, not via the base. *)
+  let direct =
+    List.exists
+      (fun (n : FR.Plan.net) ->
+        fst n.FR.Plan.n_src = 1 && List.exists (fun (u, _) -> u = 2) n.FR.Plan.n_dsts)
+      plan.FR.Plan.p_nets
+  in
+  check_bool "direct wrapper-to-wrapper net" true direct;
+  (* And it stays cycle-exact. *)
+  let mono = run_mono circuit 400 in
+  let h = FR.Runtime.instantiate plan in
+  FR.Runtime.run h ~cycles:400;
+  List.iter
+    (fun name ->
+      let u = FR.Runtime.locate h name in
+      check_int name (Rtlsim.Sim.get mono name) (Rtlsim.Sim.get (FR.Runtime.sim_of h u) name))
+    (ring_regs 4)
+
+let test_noc_partition_crossings () =
+  (* Router boundaries have no combinational dependencies, so even
+     exact-mode needs only one crossing per direction per cycle. *)
+  let circuit = Socgen.Ring_noc.ring_soc ~n_tiles:3 ~period:6 () in
+  let plan = FR.Compile.compile ~config:(noc_config [ [ 0; 1 ] ]) circuit in
+  let r = FR.Report.build plan in
+  check_int "max chain 1" 1 r.FR.Report.r_max_chain;
+  check_int "one crossing per cycle" 1 r.FR.Report.r_crossings_per_cycle
+
+let test_injected_bug_manifests_late () =
+  (* The Section V-A story: a latent RTL bug that only fires deep into
+     the simulation.  Checksums agree with the bug-free design until the
+     trigger, then diverge. *)
+  let good = Socgen.Ring_noc.ring_soc ~n_tiles:2 ~period:4 () in
+  let bad = Socgen.Ring_noc.ring_soc ~n_tiles:2 ~period:4 ~bug_tile:0 ~bug_at:40 () in
+  let sg = Rtlsim.Sim.of_circuit good in
+  let sb = Rtlsim.Sim.of_circuit bad in
+  let diverged_at = ref None in
+  for cyc = 1 to 600 do
+    Rtlsim.Sim.step sg;
+    Rtlsim.Sim.step sb;
+    if !diverged_at = None && Rtlsim.Sim.get sg "ttile0$checksum_r" <> Rtlsim.Sim.get sb "ttile0$checksum_r"
+    then diverged_at := Some cyc
+  done;
+  match !diverged_at with
+  | None -> Alcotest.fail "bug never manifested"
+  | Some c -> check_bool (Printf.sprintf "bug manifests late (cycle %d)" c) true (c > 150)
+
+let test_noc_fast_mode_flows () =
+  (* Credit-based boundaries tolerate fast-mode's injected latency
+     natively: traffic keeps flowing, no deadlock, deterministic — but
+     cycle counts shift relative to the monolithic run. *)
+  let circuit = Socgen.Ring_noc.ring_soc ~n_tiles:3 ~period:6 () in
+  let cycles = 500 in
+  let run () =
+    let plan =
+      FR.Compile.compile
+        ~config:
+          {
+            FR.Spec.default_config with
+            FR.Spec.mode = FR.Spec.Fast;
+            FR.Spec.selection = FR.Spec.Noc_routers [ [ 0; 1 ] ];
+          }
+        circuit
+    in
+    let h = FR.Runtime.instantiate plan in
+    FR.Runtime.run h ~cycles;
+    List.map
+      (fun name ->
+        let u = FR.Runtime.locate h name in
+        Rtlsim.Sim.get (FR.Runtime.sim_of h u) name)
+      (ring_regs 3)
+  in
+  let a = run () and b = run () in
+  check_bool "deterministic" true (a = b);
+  let rcvd0 = List.nth a 1 in
+  check_bool "traffic flows under fast mode" true (rcvd0 > 10);
+  (* And differs from the exact/monolithic counts (injected latency). *)
+  let mono = run_mono circuit cycles in
+  check_bool "cycle-approximate" true
+    (a <> List.map (Rtlsim.Sim.get mono) (ring_regs 3))
+
+(* ------------------------------------------------------------------ *)
+(* 2-D mesh NoC                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_mesh_delivers () =
+  let circuit = Socgen.Mesh_noc.mesh_soc ~width:3 ~height:3 ~period:8 () in
+  let sim = run_mono circuit 1200 in
+  Rtlsim.Sim.eval_comb sim;
+  for i = 0 to 7 do
+    let sent = Rtlsim.Sim.get sim (Printf.sprintf "sent%d" i) in
+    let rcvd = Rtlsim.Sim.get sim (Printf.sprintf "rcvd%d" i) in
+    check_bool (Printf.sprintf "tile %d sent" i) true (sent > 5);
+    check_bool (Printf.sprintf "tile %d got echoes" i) true (rcvd > 0)
+  done;
+  check_bool "reflector busy" true (Rtlsim.Sim.get sim "reflected" > 20)
+
+let test_mesh_row_partition_cycle_exact () =
+  let circuit = Socgen.Mesh_noc.mesh_soc ~width:3 ~height:3 ~period:6 () in
+  let groups = [ Socgen.Mesh_noc.row_group ~width:3 0; Socgen.Mesh_noc.row_group ~width:3 1 ] in
+  let plan = FR.Compile.compile ~config:(noc_config groups) circuit in
+  check_int "three units (two row bands + base)" 3 (FR.Plan.n_units plan);
+  let mono = run_mono circuit 600 in
+  let h = FR.Runtime.instantiate plan in
+  FR.Runtime.run h ~cycles:600;
+  List.iter
+    (fun name ->
+      let u = FR.Runtime.locate h name in
+      check_int name (Rtlsim.Sim.get mono name) (Rtlsim.Sim.get (FR.Runtime.sim_of h u) name))
+    (ring_regs 8)
+
+let test_mesh_xy_no_deadlock_under_load () =
+  (* Saturating load: short period, all tiles firing at once. *)
+  let circuit = Socgen.Mesh_noc.mesh_soc ~width:4 ~height:2 ~period:2 () in
+  let sim = run_mono circuit 2000 in
+  Rtlsim.Sim.eval_comb sim;
+  let total_rcvd =
+    List.fold_left (fun acc i -> acc + Rtlsim.Sim.get sim (Printf.sprintf "rcvd%d" i)) 0
+      (List.init 7 Fun.id)
+  in
+  check_bool "traffic keeps flowing" true (total_rcvd > 100)
+
+(* ------------------------------------------------------------------ *)
+(* 2-D torus NoC                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_torus_delivers () =
+  let circuit = Socgen.Torus_noc.torus_soc ~width:3 ~height:3 ~period:8 () in
+  let sim = run_mono circuit 1200 in
+  Rtlsim.Sim.eval_comb sim;
+  for i = 0 to 7 do
+    let sent = Rtlsim.Sim.get sim (Printf.sprintf "sent%d" i) in
+    let rcvd = Rtlsim.Sim.get sim (Printf.sprintf "rcvd%d" i) in
+    check_bool (Printf.sprintf "tile %d sent" i) true (sent > 5);
+    check_bool (Printf.sprintf "tile %d got echoes" i) true (rcvd > 0)
+  done;
+  check_bool "reflector busy" true (Rtlsim.Sim.get sim "reflected" > 20)
+
+let test_torus_wraparound_is_shortcut () =
+  (* Shortest-way routing at the router level: a 4x4 torus router at
+     (0, 0) sends a packet for (3, 3) out its WEST port (one wraparound
+     hop beats three eastward ones), a packet for (1, 0) east, and one
+     for (0, 3) north; the mesh router would always go east/south. *)
+  let route dest_id =
+    let r =
+      Socgen.Torus_noc.router_module ~name:"r" ~x:0 ~y:0 ~width:4 ~height:4
+        ~payload_width:16 ()
+    in
+    let eng = Libdn.Engine.of_flat r in
+    let set = eng.Libdn.Engine.set_input in
+    List.iter
+      (fun d ->
+        set (d ^ "_in_valid") 0;
+        set (d ^ "_out_credit") 0)
+      [ "north"; "south"; "east"; "west"; "local" ];
+    set "local_in_valid" 1;
+    set "local_in_data" ((dest_id lsl 21) lor 7);
+    eng.Libdn.Engine.eval_comb ();
+    eng.Libdn.Engine.step_seq ();
+    set "local_in_valid" 0;
+    eng.Libdn.Engine.eval_comb ();
+    List.find
+      (fun d -> eng.Libdn.Engine.get (d ^ "_out_valid") = 1)
+      [ "north"; "south"; "east"; "west"; "local" ]
+  in
+  Alcotest.(check string) "far corner wraps west" "west" (route 15);
+  Alcotest.(check string) "near neighbour goes east" "east" (route 1);
+  Alcotest.(check string) "far row wraps north" "north" (route 12);
+  Alcotest.(check string) "near row goes south" "south" (route 4)
+
+let test_torus_row_partition_cycle_exact () =
+  let circuit = Socgen.Torus_noc.torus_soc ~width:3 ~height:3 ~period:6 () in
+  let groups = [ Socgen.Torus_noc.row_group ~width:3 0; Socgen.Torus_noc.row_group ~width:3 1 ] in
+  let plan = FR.Compile.compile ~config:(noc_config groups) circuit in
+  check_int "three units (two row bands + base)" 3 (FR.Plan.n_units plan);
+  let mono = run_mono circuit 600 in
+  let h = FR.Runtime.instantiate plan in
+  FR.Runtime.run h ~cycles:600;
+  List.iter
+    (fun name ->
+      let u = FR.Runtime.locate h name in
+      check_int name (Rtlsim.Sim.get mono name) (Rtlsim.Sim.get (FR.Runtime.sim_of h u) name))
+    (ring_regs 8)
+
+let test_torus_no_deadlock_under_load () =
+  let circuit = Socgen.Torus_noc.torus_soc ~width:4 ~height:2 ~period:2 () in
+  let sim = run_mono circuit 2000 in
+  Rtlsim.Sim.eval_comb sim;
+  let total_rcvd =
+    List.fold_left (fun acc i -> acc + Rtlsim.Sim.get sim (Printf.sprintf "rcvd%d" i)) 0
+      (List.init 7 Fun.id)
+  in
+  check_bool "traffic keeps flowing" true (total_rcvd > 100)
+
+let test_torus_rejects_thin_dimensions () =
+  check_bool "1-wide torus rejected" true
+    (try
+       ignore (Socgen.Torus_noc.torus_soc ~width:1 ~height:4 ());
+       false
+     with Firrtl.Ast.Ir_error _ -> true)
+
+let suite =
+  [
+    ( "noc.ring",
+      [
+        Alcotest.test_case "packets delivered" `Quick test_ring_delivers_packets;
+        Alcotest.test_case "deterministic" `Quick test_ring_is_deterministic;
+        Alcotest.test_case "latent bug manifests late" `Quick test_injected_bug_manifests_late;
+      ] );
+    ( "noc.mesh",
+      [
+        Alcotest.test_case "delivers" `Quick test_mesh_delivers;
+        Alcotest.test_case "row partition cycle-exact" `Quick test_mesh_row_partition_cycle_exact;
+        Alcotest.test_case "no deadlock under load" `Quick test_mesh_xy_no_deadlock_under_load;
+      ] );
+    ( "noc.torus",
+      [
+        Alcotest.test_case "delivers" `Quick test_torus_delivers;
+        Alcotest.test_case "wraparound is a shortcut" `Quick test_torus_wraparound_is_shortcut;
+        Alcotest.test_case "row partition cycle-exact" `Quick test_torus_row_partition_cycle_exact;
+        Alcotest.test_case "no deadlock under load" `Quick test_torus_no_deadlock_under_load;
+        Alcotest.test_case "thin dimensions rejected" `Quick test_torus_rejects_thin_dimensions;
+      ] );
+    ( "noc.partition",
+      [
+        Alcotest.test_case "selection absorbs tiles" `Quick test_noc_selection_absorbs_tiles;
+        Alcotest.test_case "cycle exact" `Quick test_noc_partition_cycle_exact;
+        Alcotest.test_case "two groups, direct nets" `Quick test_noc_two_groups_direct_nets;
+        Alcotest.test_case "single crossing" `Quick test_noc_partition_crossings;
+        Alcotest.test_case "fast mode flows" `Quick test_noc_fast_mode_flows;
+      ] );
+  ]

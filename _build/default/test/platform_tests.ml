@@ -1,0 +1,185 @@
+(* Tests for the platform models: transports, FPGA resource estimation,
+   and the DES performance model's paper-shape properties. *)
+
+module FR = Fireripper
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_transport_ordering () =
+  let d kind = Platform.Transport.delivery_ps kind ~bits:512 in
+  check_bool "qsfp fastest" true (d Platform.Transport.Qsfp < d Platform.Transport.Pcie_p2p);
+  check_bool "host slowest" true
+    (d Platform.Transport.Pcie_p2p < d Platform.Transport.Pcie_host)
+
+let test_transport_monotone_in_bits () =
+  List.iter
+    (fun kind ->
+      check_bool "wider is slower" true
+        (Platform.Transport.delivery_ps kind ~bits:256
+        < Platform.Transport.delivery_ps kind ~bits:8192))
+    [ Platform.Transport.Qsfp; Platform.Transport.Pcie_p2p; Platform.Transport.Pcie_host ]
+
+(* ------------------------------------------------------------------ *)
+(* Resource estimation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_resource_monotone () =
+  let small = Platform.Resource.estimate_circuit (Socgen.Soc.single_core_soc ()) in
+  let big = Platform.Resource.estimate_circuit (Socgen.Soc.multi_core_soc ~cores:4 ()) in
+  check_bool "positive" true (small.Platform.Resource.luts > 0);
+  check_bool "4 cores > 1 core LUTs" true
+    (big.Platform.Resource.luts > small.Platform.Resource.luts);
+  check_bool "4 cores > 1 core FFs" true (big.Platform.Resource.ffs > small.Platform.Resource.ffs)
+
+let test_resource_bram_threshold () =
+  let open Firrtl in
+  let mk depth =
+    let b = Builder.create "m" in
+    let a = Builder.input b "a" 8 in
+    let m = Builder.mem b "mem" ~width:16 ~depth in
+    Builder.output b "o" 16;
+    Builder.connect b "o" (Dsl.read m a);
+    Builder.finish b
+  in
+  let small = Platform.Resource.estimate_flat (mk 16) in
+  let big = Platform.Resource.estimate_flat (mk 4096) in
+  check_int "small mem stays out of BRAM" 0 small.Platform.Resource.bram_bits;
+  check_int "large mem uses BRAM" (16 * 4096) big.Platform.Resource.bram_bits
+
+let test_fame5_resource_sharing () =
+  let circuit = Socgen.Soc.multi_core_soc ~cores:4 () in
+  let config =
+    {
+      FR.Spec.default_config with
+      FR.Spec.selection = FR.Spec.Instances [ [ "tile0"; "tile1"; "tile2"; "tile3" ] ];
+    }
+  in
+  let plan = FR.Compile.compile ~config circuit in
+  let unthreaded = Platform.Resource.estimate_unit plan.FR.Plan.p_units.(1) in
+  let threaded = Platform.Resource.estimate_unit ~threads:4 plan.FR.Plan.p_units.(1) in
+  check_bool "FAME-5 shares combinational LUTs" true
+    (threaded.Platform.Resource.luts < unthreaded.Platform.Resource.luts);
+  check_int "state is replicated, not shared" unthreaded.Platform.Resource.ffs
+    threaded.Platform.Resource.ffs
+
+let test_fits () =
+  let big =
+    { Platform.Resource.luts = 2_000_000; ffs = 0; bram_bits = 0; dsps = 0 }
+  in
+  check_bool "too big" false (Platform.Fpga.fits Platform.Fpga.u250 big);
+  let small = { Platform.Resource.luts = 100_000; ffs = 1000; bram_bits = 10; dsps = 2 } in
+  check_bool "fits" true (Platform.Fpga.fits Platform.Fpga.u250 small);
+  check_bool "u250 has more LUTs than cloud VU9P" true
+    (Platform.Fpga.u250.Platform.Fpga.luts > Platform.Fpga.vu9p_f1.Platform.Fpga.luts)
+
+(* ------------------------------------------------------------------ *)
+(* Performance model (the Figure 11-14 shape claims)                   *)
+(* ------------------------------------------------------------------ *)
+
+let rate ?(bits = 512) ?(freq = 90.) ?(transport = Platform.Transport.Qsfp) mode =
+  Platform.Perf.rate (Platform.Perf.two_fpga_spec ~mode ~bits ~freq_mhz:freq ~transport)
+
+let test_fast_doubles_exact_when_narrow () =
+  let ratio = rate FR.Spec.Fast /. rate FR.Spec.Exact in
+  check_bool (Printf.sprintf "ratio %.2f near 2" ratio) true (ratio > 1.7 && ratio < 2.3)
+
+let test_fast_advantage_shrinks_with_width () =
+  let ratio bits = rate ~bits FR.Spec.Fast /. rate ~bits FR.Spec.Exact in
+  check_bool "advantage shrinks as serialization dominates" true (ratio 128 > ratio 7000)
+
+let test_rate_monotone () =
+  check_bool "wider interface is slower" true
+    (rate ~bits:128 FR.Spec.Fast > rate ~bits:7000 FR.Spec.Fast);
+  check_bool "faster bitstream is faster" true
+    (rate ~freq:90. FR.Spec.Fast > rate ~freq:10. FR.Spec.Fast)
+
+let test_transport_rates () =
+  let qsfp = rate FR.Spec.Fast in
+  let p2p = rate ~transport:Platform.Transport.Pcie_p2p FR.Spec.Fast in
+  let host = rate ~transport:Platform.Transport.Pcie_host FR.Spec.Fast in
+  check_bool "qsfp ~1.6MHz" true (qsfp > 1.3e6 && qsfp < 2.0e6);
+  check_bool "p2p ~1MHz" true (p2p > 0.8e6 && p2p < 1.2e6);
+  check_bool "host-managed tens of kHz" true (host > 1.0e4 && host < 6.0e4);
+  check_bool "p2p about 1.5x slower than qsfp" true
+    (qsfp /. p2p > 1.3 && qsfp /. p2p < 2.0)
+
+let test_ring_decays_with_fpga_count () =
+  let r n =
+    Platform.Perf.rate
+      (Platform.Perf.ring_spec ~n ~bits:256 ~freq_mhz:50. ~transport:Platform.Transport.Qsfp)
+  in
+  check_bool "5-ring slower than 2-ring" true (r 5 < r 2);
+  check_bool "but not catastrophically" true (r 5 > 0.5 *. r 2)
+
+let test_fame5_amortizes () =
+  let r tiles =
+    Platform.Perf.rate
+      (Platform.Perf.fame5_spec ~tiles ~bits_per_tile:250 ~tile_freq_mhz:15.
+         ~soc_freq_mhz:25. ~transport:Platform.Transport.Qsfp)
+  in
+  (* Six threaded tiles must cost less than 2x over one tile (§VI-B). *)
+  check_bool "1->6 tiles degrades < 2x" true (r 1 /. r 6 < 2.0);
+  check_bool "more tiles not faster" true (r 6 <= r 1)
+
+let test_analytic_close_to_des () =
+  List.iter
+    (fun spec ->
+      let des = Platform.Perf.rate spec and formula = Platform.Perf.analytic_rate spec in
+      check_bool
+        (Printf.sprintf "DES %.3g vs formula %.3g within 2x" des formula)
+        true
+        (des /. formula < 2. && formula /. des < 2.))
+    [
+      Platform.Perf.two_fpga_spec ~mode:FR.Spec.Fast ~bits:512 ~freq_mhz:90.
+        ~transport:Platform.Transport.Qsfp;
+      Platform.Perf.two_fpga_spec ~mode:FR.Spec.Exact ~bits:2048 ~freq_mhz:30.
+        ~transport:Platform.Transport.Pcie_p2p;
+    ]
+
+let test_of_plan () =
+  (* A real compiled plan prices out to a positive, finite rate, and the
+     exact-mode NoC plan (all-source channels) beats a hypothetical
+     double-crossing boundary of the same width. *)
+  let circuit = Socgen.Ring_noc.ring_soc ~n_tiles:3 ~period:6 () in
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Noc_routers [ [ 0; 1 ] ] }
+  in
+  let plan = FR.Compile.compile ~config circuit in
+  let spec = Platform.Perf.of_plan plan in
+  let r = Platform.Perf.rate spec in
+  check_bool "positive finite" true (r > 0. && r < 1e9);
+  (* All channels in a NoC plan are source channels: no deps. *)
+  check_bool "source-only channels" true
+    (Array.for_all (fun c -> c.Platform.Perf.ch_deps = []) spec.Platform.Perf.chans)
+
+let suite =
+  [
+    ( "platform.transport",
+      [
+        Alcotest.test_case "ordering" `Quick test_transport_ordering;
+        Alcotest.test_case "monotone in bits" `Quick test_transport_monotone_in_bits;
+      ] );
+    ( "platform.resource",
+      [
+        Alcotest.test_case "monotone" `Quick test_resource_monotone;
+        Alcotest.test_case "BRAM threshold" `Quick test_resource_bram_threshold;
+        Alcotest.test_case "FAME-5 sharing" `Quick test_fame5_resource_sharing;
+        Alcotest.test_case "fit check" `Quick test_fits;
+      ] );
+    ( "platform.perf",
+      [
+        Alcotest.test_case "fast ~2x exact when narrow" `Quick test_fast_doubles_exact_when_narrow;
+        Alcotest.test_case "fast advantage shrinks" `Quick test_fast_advantage_shrinks_with_width;
+        Alcotest.test_case "monotone" `Quick test_rate_monotone;
+        Alcotest.test_case "headline transport rates" `Quick test_transport_rates;
+        Alcotest.test_case "ring decay" `Quick test_ring_decays_with_fpga_count;
+        Alcotest.test_case "FAME-5 amortization" `Quick test_fame5_amortizes;
+        Alcotest.test_case "DES vs formula" `Quick test_analytic_close_to_des;
+        Alcotest.test_case "of_plan" `Quick test_of_plan;
+      ] );
+  ]

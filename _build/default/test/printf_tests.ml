@@ -1,0 +1,108 @@
+(* Tests for synthesized printfs: site discovery through the hierarchy,
+   argument ordering, exact fire cycles, and the Kite core's built-in
+   commit log agreeing with the ISA reference. *)
+
+open Firrtl
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Fires every [period] cycles, logging the counter and its double. *)
+let ticker ~period () =
+  let b = Builder.create "ticker" in
+  let open Dsl in
+  Builder.output b "q" 8;
+  let c = Builder.reg b "c" 8 in
+  Builder.reg_next b "c" (c +: lit ~width:8 1);
+  Builder.connect b "q" c;
+  Builder.printf b "tick"
+    ~fire:(c %: lit ~width:8 period ==: lit ~width:8 0)
+    [ (c, 8); (Builder.node b ~width:8 (c +: c), 8) ];
+  Builder.finish b
+
+let ticker_circuit () =
+  let m = ticker ~period:5 () in
+  let b = Builder.create "top" in
+  let i = Builder.inst b "t" "ticker" in
+  Builder.output b "q" 8;
+  Builder.connect b "q" (Builder.of_inst i "q");
+  Ast.{ cname = "top"; main = "top"; modules = [ m; Builder.finish b ] }
+
+let test_sites_and_labels () =
+  let sim = Rtlsim.Sim.of_circuit (ticker_circuit ()) in
+  match Rtlsim.Printfs.sites sim with
+  | [ s ] ->
+    Alcotest.(check string) "label includes the instance path" "t$tick"
+      s.Rtlsim.Printfs.p_label;
+    check_int "two args" 2 (List.length s.Rtlsim.Printfs.p_args)
+  | ss -> Alcotest.fail (Printf.sprintf "expected 1 site, found %d" (List.length ss))
+
+let test_fire_cycles_and_args () =
+  let sim = Rtlsim.Sim.of_circuit (ticker_circuit ()) in
+  let log = Rtlsim.Printfs.collect sim ~cycles:16 in
+  (* Fires when c mod 5 = 0: cycles 0 (c=0), 5, 10, 15. *)
+  check_int "four records" 4 (List.length log);
+  List.iteri
+    (fun k r ->
+      check_int "cycle" (k * 5) r.Rtlsim.Printfs.r_cycle;
+      check_bool "args are (c, 2c)" true
+        (r.Rtlsim.Printfs.r_args = [ k * 5; 2 * (k * 5) mod 256 ]))
+    log;
+  check_bool "renders" true
+    (Rtlsim.Printfs.to_string (List.hd log) = "[0] t$tick: 0 0")
+
+let test_many_args_ordered () =
+  (* Four args spanning the arg10-vs-arg2 lexicographic trap would need
+     11; four suffice to check index ordering beyond pairs. *)
+  let b = Builder.create "m" in
+  let open Dsl in
+  Builder.output b "q" 4;
+  let c = Builder.reg b "c" 4 in
+  Builder.reg_next b "c" (c +: lit ~width:4 1);
+  Builder.connect b "q" c;
+  Builder.printf b "p" ~fire:one
+    (List.init 4 (fun k -> (Builder.node b ~width:4 (c +: lit ~width:4 k), 4)));
+  let sim = Rtlsim.Sim.create (Builder.finish b) in
+  let log = Rtlsim.Printfs.collect sim ~cycles:3 in
+  check_int "three records" 3 (List.length log);
+  let last = List.nth log 2 in
+  check_bool "args in declaration order" true
+    (last.Rtlsim.Printfs.r_args = [ 2; 3; 4; 5 ])
+
+let test_kite_commit_log_matches_reference () =
+  let program = Socgen.Kite_isa.fib_program ~n:7 ~dst:60 in
+  let sim = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ~mem_latency:1 ()) in
+  Socgen.Soc.load_program sim ~mem:"mem$mem" ~data:[] program;
+  let log = Rtlsim.Printfs.collect sim ~cycles:1500 in
+  let commits =
+    List.filter (fun r -> r.Rtlsim.Printfs.r_label = "tile$core$commit") log
+  in
+  (* Reference execution order. *)
+  let m = Socgen.Kite_isa.make_machine ~mem_words:1024 in
+  Socgen.Kite_isa.load_words m (Socgen.Kite_isa.assemble program);
+  let want = ref [] in
+  while not m.Socgen.Kite_isa.halted do
+    want := m.Socgen.Kite_isa.pc :: !want;
+    Socgen.Kite_isa.step m
+  done;
+  check_int "one record per retired instruction" m.Socgen.Kite_isa.retired
+    (List.length commits);
+  check_bool "logged PCs are the reference execution order" true
+    (List.map (fun r -> List.hd r.Rtlsim.Printfs.r_args) commits = List.rev !want);
+  (* The logged instruction words disassemble to the program. *)
+  let first = List.hd commits in
+  check_int "first logged instruction"
+    (Socgen.Kite_isa.encode (List.hd program))
+    (List.nth first.Rtlsim.Printfs.r_args 1)
+
+let suite =
+  [
+    ( "rtlsim.printfs",
+      [
+        Alcotest.test_case "sites and labels" `Quick test_sites_and_labels;
+        Alcotest.test_case "fire cycles and args" `Quick test_fire_cycles_and_args;
+        Alcotest.test_case "argument ordering" `Quick test_many_args_ordered;
+        Alcotest.test_case "kite commit log vs reference" `Quick
+          test_kite_commit_log_matches_reference;
+      ] );
+  ]

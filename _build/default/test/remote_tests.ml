@@ -1,0 +1,173 @@
+(* Tests for multi-process partitioned simulation: a partition unit in
+   its own worker process (the software analogue of a separate FPGA),
+   driven through the ordinary LI-BDN network.  Exact mode must stay
+   cycle-exact across the process boundary; mixed local/remote
+   networks, remote memory access and worker lifecycle all covered. *)
+
+module FR = Fireripper
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The worker binary sits next to the test executable's directory:
+   _build/default/test/test_main.exe -> _build/default/bin/. *)
+let worker =
+  Filename.concat
+    (Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin")
+    "fireaxe_worker.exe"
+
+let test_worker_binary_present () =
+  check_bool (Printf.sprintf "worker at %s" worker) true (Sys.file_exists worker)
+
+let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:8 ~reps:4 ~dst:60
+let data = List.init 8 (fun i -> (32 + i, (i * 3) + 2))
+
+let soc_plan () =
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "tile" ] ] }
+  in
+  FR.Compile.compile ~config (Socgen.Soc.single_core_soc ~mem_latency:1 ())
+
+let test_remote_tile_cycle_exact () =
+  (* The Kite tile runs in a separate process; the memory stays local.
+     The partitioned run must match the monolithic one cycle for
+     cycle. *)
+  let mono = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ~mem_latency:1 ()) in
+  Socgen.Soc.load_program mono ~mem:"mem$mem" ~data program;
+  for _ = 1 to 1200 do
+    Rtlsim.Sim.step mono
+  done;
+  let plan = soc_plan () in
+  (* The tile is the extracted unit; find it by probing which unit has
+     no local simulator after remote instantiation. *)
+  let h, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+  (match conns with
+  | [ (1, _) ] -> ()
+  | _ -> Alcotest.fail "expected exactly one remote connection for unit 1");
+  let conn = List.assoc 1 conns in
+  (* Program and data load into the LOCAL memory unit. *)
+  let mu = FR.Runtime.locate h "mem$mem" in
+  Socgen.Soc.load_program (FR.Runtime.sim_of h mu) ~mem:"mem$mem" ~data program;
+  FR.Runtime.run h ~cycles:1200;
+  (* Local-side state matches. *)
+  List.iter
+    (fun reg ->
+      let u = FR.Runtime.locate h reg in
+      check_int reg (Rtlsim.Sim.get mono reg) (Rtlsim.Sim.get (FR.Runtime.sim_of h u) reg))
+    [ "mem$state"; "mem$addr_r" ];
+  check_int "result in local memory" (Rtlsim.Sim.peek_mem mono "mem$mem" 60)
+    (Rtlsim.Sim.peek_mem (FR.Runtime.sim_of h mu) "mem$mem" 60);
+  (* Remote-side architectural state matches, read over the pipe. *)
+  check_int "remote retired count"
+    (Rtlsim.Sim.get mono "tile$core$retired_count")
+    (Libdn.Remote_engine.get conn "tile$core$retired_count");
+  check_int "remote pc" (Rtlsim.Sim.get mono "tile$core$pc")
+    (Libdn.Remote_engine.get conn "tile$core$pc");
+  check_int "remote register file"
+    (Rtlsim.Sim.peek_mem mono "tile$core$rf" 1)
+    (Libdn.Remote_engine.peek_mem conn "tile$core$rf" 1);
+  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
+
+let test_remote_poke () =
+  (* Program loaded into a REMOTE memory unit via the pipe protocol:
+     put the memory in its own process instead. *)
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "mem" ] ] }
+  in
+  let plan =
+    FR.Compile.compile ~config (Socgen.Soc.single_core_soc ~mem_latency:1 ())
+  in
+  let h, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+  let conn = List.assoc 1 conns in
+  List.iteri
+    (fun i w -> Libdn.Remote_engine.poke_mem conn "mem$mem" i w)
+    (Socgen.Kite_isa.assemble program);
+  List.iter (fun (a, v) -> Libdn.Remote_engine.poke_mem conn "mem$mem" a v) data;
+  FR.Runtime.run h ~cycles:1200;
+  let mono = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ~mem_latency:1 ()) in
+  Socgen.Soc.load_program mono ~mem:"mem$mem" ~data program;
+  for _ = 1 to 1200 do
+    Rtlsim.Sim.step mono
+  done;
+  check_int "result read back over the pipe"
+    (Rtlsim.Sim.peek_mem mono "mem$mem" 60)
+    (Libdn.Remote_engine.peek_mem conn "mem$mem" 60);
+  (* The tile stayed local this time. *)
+  let u = FR.Runtime.locate h "tile$core$retired_count" in
+  check_int "local tile state" (Rtlsim.Sim.get mono "tile$core$retired_count")
+    (Rtlsim.Sim.get (FR.Runtime.sim_of h u) "tile$core$retired_count");
+  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
+
+let test_all_units_remote () =
+  (* Every partition in its own process: the parent only schedules
+     tokens — the full multi-FPGA shape. *)
+  let plan = soc_plan () in
+  let h, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 0; 1 ] plan in
+  check_int "two workers" 2 (List.length conns);
+  let mem_conn = List.assoc 0 conns in
+  List.iteri
+    (fun i w -> Libdn.Remote_engine.poke_mem mem_conn "mem$mem" i w)
+    (Socgen.Kite_isa.assemble program);
+  List.iter (fun (a, v) -> Libdn.Remote_engine.poke_mem mem_conn "mem$mem" a v) data;
+  FR.Runtime.run h ~cycles:900;
+  let mono = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ~mem_latency:1 ()) in
+  Socgen.Soc.load_program mono ~mem:"mem$mem" ~data program;
+  for _ = 1 to 900 do
+    Rtlsim.Sim.step mono
+  done;
+  check_int "retired across two processes"
+    (Rtlsim.Sim.get mono "tile$core$retired_count")
+    (Libdn.Remote_engine.get (List.assoc 1 conns) "tile$core$retired_count");
+  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
+
+let test_worker_survives_checkpoint () =
+  (* Checkpoint/restore proxies across the pipe: roll a remote unit
+     back and re-execute to the same state. *)
+  let plan = soc_plan () in
+  let h, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+  let conn = List.assoc 1 conns in
+  let mu = FR.Runtime.locate h "mem$mem" in
+  Socgen.Soc.load_program (FR.Runtime.sim_of h mu) ~mem:"mem$mem" ~data program;
+  FR.Runtime.run h ~cycles:300;
+  let restore = FR.Runtime.checkpoint h in
+  FR.Runtime.run h ~cycles:700;
+  let at700 = Libdn.Remote_engine.get conn "tile$core$retired_count" in
+  restore ();
+  FR.Runtime.run h ~cycles:700;
+  check_int "re-executed to the same remote state" at700
+    (Libdn.Remote_engine.get conn "tile$core$retired_count");
+  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
+
+let test_missing_worker_fails_cleanly () =
+  check_bool "missing worker binary reported" true
+    (try
+       ignore
+         (Libdn.Remote_engine.spawn ~worker:"/nonexistent/fireaxe_worker.exe"
+            ~fir_path:"/nonexistent.fir");
+       false
+     with Failure _ | Unix.Unix_error _ -> true)
+
+let test_has_query () =
+  let plan = soc_plan () in
+  let h, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+  ignore h;
+  let conn = List.assoc 1 conns in
+  check_bool "tile signal present" true
+    (Libdn.Remote_engine.has conn "tile$core$retired_count");
+  check_bool "tile regfile memory present" true (Libdn.Remote_engine.has conn "tile$core$rf");
+  check_bool "memory-unit signal absent" false (Libdn.Remote_engine.has conn "mem$state");
+  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
+
+let suite =
+  [
+    ( "libdn.remote",
+      [
+        Alcotest.test_case "worker binary present" `Quick test_worker_binary_present;
+        Alcotest.test_case "remote tile cycle-exact" `Quick test_remote_tile_cycle_exact;
+        Alcotest.test_case "remote memory poke" `Quick test_remote_poke;
+        Alcotest.test_case "all units remote" `Quick test_all_units_remote;
+        Alcotest.test_case "checkpoint across the pipe" `Quick test_worker_survives_checkpoint;
+        Alcotest.test_case "missing worker fails cleanly" `Quick test_missing_worker_fails_cleanly;
+        Alcotest.test_case "has query" `Quick test_has_query;
+      ] );
+  ]

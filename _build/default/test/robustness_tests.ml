@@ -1,0 +1,222 @@
+(* Robustness and edge-case tests: bad selections, overlapping groups,
+   the remove transform, perf-model monotonicity properties, mesh
+   routing unit checks and MMIO splitter corner cases. *)
+
+open Firrtl
+module FR = Fireripper
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let raises_compile f =
+  try
+    ignore (f ());
+    false
+  with
+  | FR.Spec.Compile_error _ -> true
+  | Ast.Ir_error _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Selection edge cases                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_unknown_instance_rejected () =
+  check_bool "unknown path" true
+    (raises_compile (fun () ->
+         FR.Compile.compile
+           ~config:
+             {
+               FR.Spec.default_config with
+               FR.Spec.selection = FR.Spec.Instances [ [ "not_a_tile" ] ];
+             }
+           (Socgen.Soc.single_core_soc ())))
+
+let test_empty_selection_rejected () =
+  check_bool "empty selection" true
+    (raises_compile (fun () ->
+         FR.Compile.compile
+           ~config:{ FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [] }
+           (Socgen.Soc.single_core_soc ())))
+
+let test_overlapping_groups_rejected () =
+  (* The same instance in two partitions cannot work: the second group
+     no longer finds it in the main module. *)
+  check_bool "overlap" true
+    (raises_compile (fun () ->
+         FR.Compile.compile
+           ~config:
+             {
+               FR.Spec.default_config with
+               FR.Spec.selection = FR.Spec.Instances [ [ "tile0" ]; [ "tile0" ] ];
+             }
+           (Socgen.Soc.multi_core_soc ~cores:2 ())))
+
+let test_unknown_router_rejected () =
+  check_bool "unknown router index" true
+    (raises_compile (fun () ->
+         FR.Compile.compile
+           ~config:
+             { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Noc_routers [ [ 99 ] ] }
+           (Socgen.Ring_noc.ring_soc ~n_tiles:3 ())))
+
+let test_selecting_everything_rejected () =
+  (* Extracting every instance leaves a base with no state to drive the
+     original outputs; grouping must refuse or the result must still
+     check.  Either way, no crash. *)
+  let circuit = Socgen.Soc.single_core_soc () in
+  check_bool "total extraction handled" true
+    (try
+       let plan =
+         FR.Compile.compile
+           ~config:
+             {
+               FR.Spec.default_config with
+               FR.Spec.selection = FR.Spec.Instances [ [ "tile"; "mem" ] ];
+             }
+           circuit
+       in
+       ignore (FR.Plan.channel_pairs plan);
+       true
+     with FR.Spec.Compile_error _ | Ast.Ir_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Remove transform                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_remove_punches_boundary () =
+  let rest =
+    FR.Compile.remove
+      ~config:
+        { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "tile" ] ] }
+      (Socgen.Soc.single_core_soc ())
+  in
+  Ast.check_circuit rest;
+  let main = Ast.main_module rest in
+  (* The tile's request bundle now appears as top-level ports. *)
+  let names = List.map (fun (p : Ast.port) -> p.Ast.pname) main.Ast.ports in
+  check_bool "boundary ports exposed" true (List.mem "tile#req_valid" names);
+  check_bool "no tile instance left" true
+    (not (List.mem_assoc "tile" (Hierarchy.instances main)));
+  (* The rest is simulable with the boundary tied off. *)
+  let b = Builder.create "tb" in
+  let r = Builder.inst b "rest" main.Ast.name in
+  List.iter
+    (fun (p : Ast.port) ->
+      if p.Ast.pdir = Ast.Input then
+        Builder.connect_in b r p.Ast.pname (Dsl.lit ~width:p.Ast.pwidth 0))
+    main.Ast.ports;
+  Builder.output b "halted" 1;
+  Builder.connect b "halted" (Builder.of_inst r "halted");
+  let tb = Builder.finish b in
+  let sim =
+    Rtlsim.Sim.of_circuit
+      { Ast.cname = "tb"; main = "tb"; modules = rest.Ast.modules @ [ tb ] }
+  in
+  for _ = 1 to 50 do
+    Rtlsim.Sim.step sim
+  done;
+  check_int "rest idles without the tile" 0 (Rtlsim.Sim.get sim "halted")
+
+(* ------------------------------------------------------------------ *)
+(* Perf-model monotonicity properties                                  *)
+(* ------------------------------------------------------------------ *)
+
+let prop_rate_monotone_in_width =
+  QCheck.Test.make ~name:"perf: rate monotone non-increasing in width" ~count:40
+    QCheck.(pair (int_range 1 60) (int_range 1 9))
+    (fun (w, f) ->
+      let bits = w * 100 and freq_mhz = float_of_int (f * 10) in
+      let r b =
+        Platform.Perf.rate
+          (Platform.Perf.two_fpga_spec ~mode:FR.Spec.Fast ~bits:b ~freq_mhz
+             ~transport:Platform.Transport.Qsfp)
+      in
+      r bits >= r (bits + 512) -. 1e-6)
+
+let prop_rate_monotone_in_freq =
+  QCheck.Test.make ~name:"perf: rate monotone in bitstream frequency" ~count:40
+    QCheck.(pair (int_range 1 20) (int_range 1 8))
+    (fun (w, f) ->
+      let bits = w * 250 and freq = float_of_int (f * 10) in
+      let r fr =
+        Platform.Perf.rate
+          (Platform.Perf.two_fpga_spec ~mode:FR.Spec.Exact ~bits ~freq_mhz:fr
+             ~transport:Platform.Transport.Pcie_p2p)
+      in
+      r (freq +. 10.) >= r freq -. 1e-6)
+
+let prop_fast_at_least_exact =
+  QCheck.Test.make ~name:"perf: fast-mode never slower than exact" ~count:40
+    QCheck.(pair (int_range 1 30) (int_range 1 9))
+    (fun (w, f) ->
+      let bits = w * 200 and freq_mhz = float_of_int (f * 10) in
+      let r mode =
+        Platform.Perf.rate
+          (Platform.Perf.two_fpga_spec ~mode ~bits ~freq_mhz
+             ~transport:Platform.Transport.Qsfp)
+      in
+      r FR.Spec.Fast >= r FR.Spec.Exact -. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Mesh routing unit checks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_mesh_corner_router_ports () =
+  (* Corner router (0,0) of a 3x3 mesh has no north/west ports. *)
+  let m =
+    Socgen.Mesh_noc.router_module ~name:"r" ~x:0 ~y:0 ~width:3 ~height:3 ~payload_width:8 ()
+  in
+  let names = List.map (fun (p : Ast.port) -> p.Ast.pname) m.Ast.ports in
+  check_bool "no north" true (not (List.mem "north_in_valid" names));
+  check_bool "no west" true (not (List.mem "west_in_valid" names));
+  check_bool "has south" true (List.mem "south_in_valid" names);
+  check_bool "has east" true (List.mem "east_in_valid" names);
+  check_bool "has local" true (List.mem "local_in_valid" names)
+
+let test_mesh_router_annotation () =
+  let m =
+    Socgen.Mesh_noc.router_module ~name:"r" ~x:2 ~y:1 ~width:3 ~height:3 ~payload_width:8 ()
+  in
+  check_bool "router index y*w+x" true
+    (List.exists
+       (fun a -> match a with Ast.Noc_router { index } -> index = 5 | _ -> false)
+       m.Ast.annots)
+
+(* ------------------------------------------------------------------ *)
+(* Text-format negative space                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_text_rejects_width_overflow () =
+  let src = "circuit c main m:\n  module m:\n    input a : UInt<99>\n    output o : UInt<1>\n    connect o = orr(a)\n" in
+  check_bool "width > 62 rejected" true
+    (try
+       ignore (Text.parse src);
+       false
+     with Ast.Ir_error _ -> true)
+
+let suite =
+  [
+    ( "robustness.selection",
+      [
+        Alcotest.test_case "unknown instance" `Quick test_unknown_instance_rejected;
+        Alcotest.test_case "empty selection" `Quick test_empty_selection_rejected;
+        Alcotest.test_case "overlapping groups" `Quick test_overlapping_groups_rejected;
+        Alcotest.test_case "unknown router" `Quick test_unknown_router_rejected;
+        Alcotest.test_case "total extraction" `Quick test_selecting_everything_rejected;
+      ] );
+    ( "robustness.remove",
+      [ Alcotest.test_case "remove punches boundary" `Quick test_remove_punches_boundary ] );
+    ( "robustness.perf",
+      [
+        QCheck_alcotest.to_alcotest prop_rate_monotone_in_width;
+        QCheck_alcotest.to_alcotest prop_rate_monotone_in_freq;
+        QCheck_alcotest.to_alcotest prop_fast_at_least_exact;
+      ] );
+    ( "robustness.mesh",
+      [
+        Alcotest.test_case "corner router ports" `Quick test_mesh_corner_router_ports;
+        Alcotest.test_case "router annotation" `Quick test_mesh_router_annotation;
+      ] );
+    ( "robustness.text",
+      [ Alcotest.test_case "width overflow" `Quick test_text_rejects_width_overflow ] );
+  ]

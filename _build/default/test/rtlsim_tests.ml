@@ -1,0 +1,324 @@
+(* Tests for the cycle-accurate RTL simulator: two-phase register
+   semantics, enables, memories, arithmetic edge cases, cone evaluation
+   and state snapshots. *)
+
+open Firrtl
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let single name build =
+  let b = Builder.create name in
+  build b;
+  Rtlsim.Sim.create (Builder.finish b)
+
+(* ------------------------------------------------------------------ *)
+(* Register semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_register_swap () =
+  (* a <= b; b <= a must swap, not copy: two-phase commit. *)
+  let s =
+    single "swap" (fun b ->
+        let ra = Builder.reg b ~init:1 "ra" 8 in
+        let rb = Builder.reg b ~init:2 "rb" 8 in
+        Builder.reg_next b "ra" rb;
+        Builder.reg_next b "rb" ra;
+        Builder.output b "oa" 8;
+        Builder.connect b "oa" ra;
+        Builder.output b "ob" 8;
+        Builder.connect b "ob" rb)
+  in
+  Rtlsim.Sim.step s;
+  check_int "ra" 2 (Rtlsim.Sim.get s "oa" |> fun _ -> Rtlsim.Sim.get s "ra");
+  check_int "rb" 1 (Rtlsim.Sim.get s "rb");
+  Rtlsim.Sim.step s;
+  check_int "ra swapped back" 1 (Rtlsim.Sim.get s "ra")
+
+let test_register_enable () =
+  let s =
+    single "en" (fun b ->
+        let en = Builder.input b "en" 1 in
+        let c = Builder.reg b "c" 8 in
+        Builder.reg_next b ~enable:en "c" Dsl.(c +: lit ~width:8 1);
+        Builder.output b "out" 8;
+        Builder.connect b "out" c)
+  in
+  Rtlsim.Sim.set_input s "en" 0;
+  Rtlsim.Sim.step s;
+  Rtlsim.Sim.step s;
+  check_int "disabled holds" 0 (Rtlsim.Sim.get s "c");
+  Rtlsim.Sim.set_input s "en" 1;
+  Rtlsim.Sim.step s;
+  Rtlsim.Sim.step s;
+  check_int "enabled counts" 2 (Rtlsim.Sim.get s "c")
+
+let test_register_init () =
+  let s =
+    single "init" (fun b ->
+        let r = Builder.reg b ~init:42 "r" 8 in
+        Builder.reg_next b "r" r;
+        Builder.output b "out" 8;
+        Builder.connect b "out" r)
+  in
+  Rtlsim.Sim.eval_comb s;
+  check_int "init value" 42 (Rtlsim.Sim.get s "out")
+
+(* ------------------------------------------------------------------ *)
+(* Memories                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mem_sim () =
+  single "memtest" (fun b ->
+      let waddr = Builder.input b "waddr" 4 in
+      let wdata = Builder.input b "wdata" 8 in
+      let wen = Builder.input b "wen" 1 in
+      let raddr = Builder.input b "raddr" 4 in
+      let m = Builder.mem b "m" ~width:8 ~depth:16 in
+      Builder.mem_write b m ~addr:waddr ~data:wdata ~enable:wen;
+      Builder.output b "rdata" 8;
+      Builder.connect b "rdata" (Dsl.read m raddr))
+
+let test_mem_write_read () =
+  let s = mem_sim () in
+  Rtlsim.Sim.set_input s "waddr" 5;
+  Rtlsim.Sim.set_input s "wdata" 99;
+  Rtlsim.Sim.set_input s "wen" 1;
+  Rtlsim.Sim.set_input s "raddr" 5;
+  Rtlsim.Sim.eval_comb s;
+  (* Async read sees pre-write state this cycle. *)
+  check_int "read before clock edge" 0 (Rtlsim.Sim.get s "rdata");
+  Rtlsim.Sim.step_seq s;
+  Rtlsim.Sim.set_input s "wen" 0;
+  Rtlsim.Sim.eval_comb s;
+  check_int "read after clock edge" 99 (Rtlsim.Sim.get s "rdata")
+
+let test_mem_write_disabled () =
+  let s = mem_sim () in
+  Rtlsim.Sim.set_input s "waddr" 3;
+  Rtlsim.Sim.set_input s "wdata" 7;
+  Rtlsim.Sim.set_input s "wen" 0;
+  Rtlsim.Sim.step s;
+  check_int "no write" 0 (Rtlsim.Sim.peek_mem s "m" 3)
+
+let test_mem_poke_peek () =
+  let s = mem_sim () in
+  Rtlsim.Sim.load_mem s "m" [ 10; 20; 30 ];
+  check_int "peek" 20 (Rtlsim.Sim.peek_mem s "m" 1);
+  Rtlsim.Sim.set_input s "raddr" 2;
+  Rtlsim.Sim.eval_comb s;
+  check_int "read poked" 30 (Rtlsim.Sim.get s "rdata")
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic edge cases                                               *)
+(* ------------------------------------------------------------------ *)
+
+let comb_out ?(width = 8) e inputs =
+  let b = Builder.create "comb" in
+  let _ = Builder.input b "x" 8 in
+  let _ = Builder.input b "y" 8 in
+  Builder.output b "out" width;
+  Builder.connect b "out" e;
+  let s = Rtlsim.Sim.create (Builder.finish b) in
+  List.iter (fun (n, v) -> Rtlsim.Sim.set_input s n v) inputs;
+  Rtlsim.Sim.eval_comb s;
+  Rtlsim.Sim.get s "out"
+
+let test_arith_edges () =
+  check_int "sub wraps" 255 (comb_out Dsl.(ref_ "x" -: ref_ "y") [ ("x", 0); ("y", 1) ]);
+  check_int "div by zero" 0 (comb_out Dsl.(ref_ "x" /: ref_ "y") [ ("x", 9); ("y", 0) ]);
+  check_int "rem by zero" 0 (comb_out Dsl.(ref_ "x" %: ref_ "y") [ ("x", 9); ("y", 0) ]);
+  check_int "huge shift is zero" 0
+    (comb_out Dsl.(ref_ "x" <<: ref_ "y") [ ("x", 1); ("y", 200) ]);
+  check_int "shl wraps in width" 128
+    (comb_out Dsl.(ref_ "x" <<: ref_ "y") [ ("x", 3); ("y", 7) ]);
+  check_int "neg" 255 (comb_out Dsl.(neg (ref_ "x")) [ ("x", 1) ]);
+  check_int "not" 0xf0 (comb_out Dsl.(not_ (ref_ "x")) [ ("x", 0x0f) ]);
+  check_int "andr all ones" 1 (comb_out ~width:1 Dsl.(andr (ref_ "x")) [ ("x", 255) ]);
+  check_int "andr not all ones" 0 (comb_out ~width:1 Dsl.(andr (ref_ "x")) [ ("x", 254) ]);
+  check_int "xorr parity" 1 (comb_out ~width:1 Dsl.(xorr (ref_ "x")) [ ("x", 0b0111) ]);
+  check_int "cat" 0x1203
+    (comb_out ~width:16 Dsl.(cat (ref_ "x") (ref_ "y")) [ ("x", 0x12); ("y", 0x03) ]);
+  check_int "bits" 0b101
+    (comb_out ~width:3 Dsl.(bits (ref_ "x") ~hi:4 ~lo:2) [ ("x", 0b10100) ])
+
+let test_connect_truncates () =
+  (* Driving a narrow output from a wide expression truncates. *)
+  check_int "truncate to out width" 0x34
+    (comb_out ~width:8
+       Dsl.(cat (ref_ "x") (ref_ "y"))
+       [ ("x", 0x12); ("y", 0x34) ])
+
+(* ------------------------------------------------------------------ *)
+(* Cone evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_cone_eval () =
+  let b = Builder.create "conetest" in
+  let x = Builder.input b "x" 8 in
+  let y = Builder.input b "y" 8 in
+  Builder.output b "ox" 8;
+  Builder.connect b "ox" Dsl.(x +: lit ~width:8 1);
+  Builder.output b "oy" 8;
+  Builder.connect b "oy" Dsl.(y +: lit ~width:8 1);
+  let s = Rtlsim.Sim.create (Builder.finish b) in
+  let eval_ox = Rtlsim.Sim.make_cone_eval s [ "ox" ] in
+  Rtlsim.Sim.set_input s "x" 10;
+  Rtlsim.Sim.set_input s "y" 20;
+  eval_ox ();
+  check_int "cone target updated" 11 (Rtlsim.Sim.get s "ox");
+  check_int "outside cone untouched" 0 (Rtlsim.Sim.get s "oy")
+
+(* ------------------------------------------------------------------ *)
+(* State snapshots                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_save_restore () =
+  let s =
+    single "snap" (fun b ->
+        let c = Builder.reg b "c" 8 in
+        Builder.reg_next b "c" Dsl.(c +: lit ~width:8 1);
+        let m = Builder.mem b "m" ~width:8 ~depth:4 in
+        Builder.mem_write b m ~addr:(Dsl.lit ~width:2 0) ~data:c
+          ~enable:(Dsl.lit ~width:1 1);
+        Builder.output b "out" 8;
+        Builder.connect b "out" c)
+  in
+  Rtlsim.Sim.step s;
+  Rtlsim.Sim.step s;
+  let st = Rtlsim.Sim.save_state s in
+  check_int "c before" 2 (Rtlsim.Sim.get s "c");
+  Rtlsim.Sim.step s;
+  Rtlsim.Sim.step s;
+  check_int "c advanced" 4 (Rtlsim.Sim.get s "c");
+  Rtlsim.Sim.restore_state s st;
+  check_int "c restored" 2 (Rtlsim.Sim.get s "c");
+  check_int "mem restored" 1 (Rtlsim.Sim.peek_mem s "m" 0)
+
+let test_run_until () =
+  let s =
+    single "until" (fun b ->
+        let c = Builder.reg b "c" 8 in
+        Builder.reg_next b "c" Dsl.(c +: lit ~width:8 1);
+        Builder.output b "done" 1;
+        Builder.connect b "done" Dsl.(c ==: lit ~width:8 10))
+  in
+  let cyc = Rtlsim.Sim.run_until s (fun s -> Rtlsim.Sim.get s "done" = 1) in
+  check_int "reaches 10 at cycle 10" 10 cyc
+
+let test_run_until_timeout () =
+  let s =
+    single "forever" (fun b ->
+        let c = Builder.reg b "c" 8 in
+        Builder.reg_next b "c" c;
+        Builder.output b "done" 1;
+        Builder.connect b "done" Dsl.(c ==: lit ~width:8 1))
+  in
+  check_bool "times out" true
+    (try
+       ignore (Rtlsim.Sim.run_until s ~max_cycles:100 (fun s -> Rtlsim.Sim.get s "done" = 1));
+       false
+     with Rtlsim.Sim.Sim_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism property                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixpoint_matches_levelized () =
+  let c = Socgen.Bigcore.circuit ~p:Socgen.Bigcore.tiny () in
+  let a = Rtlsim.Sim.of_circuit c and b = Rtlsim.Sim.of_circuit c in
+  for _ = 1 to 50 do
+    Rtlsim.Sim.eval_comb a;
+    Rtlsim.Sim.step_seq a;
+    Rtlsim.Sim.eval_comb_fixpoint b;
+    Rtlsim.Sim.step_seq b
+  done;
+  Rtlsim.Sim.eval_comb a;
+  Rtlsim.Sim.eval_comb_fixpoint b;
+  check_int "same commits" (Rtlsim.Sim.get a "backend$commits_r")
+    (Rtlsim.Sim.get b "backend$commits_r");
+  check_int "same checksum" (Rtlsim.Sim.get a "backend$checksum_r")
+    (Rtlsim.Sim.get b "backend$checksum_r")
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"simulation is deterministic" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let run () =
+        let b = Builder.create "det" in
+        let x = Builder.input b "x" 8 in
+        let acc = Builder.reg b "acc" 16 in
+        Builder.reg_next b "acc" Dsl.(acc +: (x *: x));
+        Builder.output b "out" 16;
+        Builder.connect b "out" acc;
+        let s = Rtlsim.Sim.create (Builder.finish b) in
+        let r = ref (seed land 0xff) in
+        for _ = 1 to 32 do
+          r := (!r * 75) land 0xff;
+          Rtlsim.Sim.set_input s "x" !r;
+          Rtlsim.Sim.step s
+        done;
+        Rtlsim.Sim.eval_comb s;
+        Rtlsim.Sim.get s "out"
+      in
+      run () = run ())
+
+let test_mem_writes_two_phase () =
+  (* Regression (found by the FAME-5 hardware transform): all memory
+     writes of a cycle must commit from pre-update state.  Here mem B's
+     write is enabled by what mem A held BEFORE A's same-cycle write —
+     sequential application would see the new value and misfire. *)
+  let sim =
+    single "twophase" (fun b ->
+        let open Dsl in
+        let a = Builder.mem b "a" ~width:8 ~depth:2 in
+        let bm = Builder.mem b "bm" ~width:8 ~depth:2 in
+        let wa = Builder.input b "wa" 8 in
+        (* A[0] <- wa every cycle; B[0] <- 77 only when A[0] is still 0. *)
+        Builder.mem_write b a ~addr:(lit ~width:1 0) ~data:wa ~enable:one;
+        Builder.mem_write b bm ~addr:(lit ~width:1 0) ~data:(lit ~width:8 77)
+          ~enable:(read a (lit ~width:1 0) ==: lit ~width:8 0);
+        Builder.output b "q" 8;
+        Builder.connect b "q" (read bm (lit ~width:1 0)))
+  in
+  Rtlsim.Sim.set_input sim "wa" 55;
+  Rtlsim.Sim.step sim;
+  (* During the step, A[0] was 0, so B must have fired. *)
+  check_int "B fired from pre-update A" 77 (Rtlsim.Sim.peek_mem sim "bm" 0);
+  check_int "A updated" 55 (Rtlsim.Sim.peek_mem sim "a" 0);
+  (* Next cycle A[0] = 55: B's enable is now false; overwrite B to see. *)
+  Rtlsim.Sim.poke_mem sim "bm" 0 1;
+  Rtlsim.Sim.step sim;
+  check_int "B held once A was non-zero" 1 (Rtlsim.Sim.peek_mem sim "bm" 0)
+
+let suite =
+  [
+    ( "rtlsim.registers",
+      [
+        Alcotest.test_case "two-phase swap" `Quick test_register_swap;
+        Alcotest.test_case "enable" `Quick test_register_enable;
+        Alcotest.test_case "init" `Quick test_register_init;
+      ] );
+    ( "rtlsim.memories",
+      [
+        Alcotest.test_case "write then read" `Quick test_mem_write_read;
+        Alcotest.test_case "write disabled" `Quick test_mem_write_disabled;
+        Alcotest.test_case "poke/peek" `Quick test_mem_poke_peek;
+        Alcotest.test_case "writes are two-phase" `Quick test_mem_writes_two_phase;
+      ] );
+    ( "rtlsim.arith",
+      [
+        Alcotest.test_case "edge cases" `Quick test_arith_edges;
+        Alcotest.test_case "connect truncates" `Quick test_connect_truncates;
+      ] );
+    ("rtlsim.cone", [ Alcotest.test_case "partial eval" `Quick test_cone_eval ]);
+    ( "rtlsim.ablation",
+      [ Alcotest.test_case "fixpoint = levelized" `Quick test_fixpoint_matches_levelized ] );
+    ( "rtlsim.state",
+      [
+        Alcotest.test_case "save/restore" `Quick test_save_restore;
+        Alcotest.test_case "run_until" `Quick test_run_until;
+        Alcotest.test_case "run_until timeout" `Quick test_run_until_timeout;
+      ] );
+    ("rtlsim.properties", [ QCheck_alcotest.to_alcotest prop_deterministic ]);
+  ]

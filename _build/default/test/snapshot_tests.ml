@@ -1,0 +1,249 @@
+(* Tests for disk-serializable snapshots: the text round-trip of a
+   simulator state, and save/resume of a whole partitioned simulation
+   into a freshly instantiated handle (the cross-process workflow). *)
+
+module FR = Fireripper
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:8 ~reps:6 ~dst:60
+let data = List.init 8 (fun i -> (32 + i, (i * 5) + 2))
+
+let mono_soc () =
+  let sim = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ~mem_latency:1 ()) in
+  Socgen.Soc.load_program sim ~mem:"mem$mem" ~data program;
+  sim
+
+let fresh_handle () =
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "tile" ] ] }
+  in
+  FR.Runtime.instantiate
+    (FR.Compile.compile ~config (Socgen.Soc.single_core_soc ~mem_latency:1 ()))
+
+let loaded_handle () =
+  let h = fresh_handle () in
+  let u = FR.Runtime.locate h "mem$mem" in
+  Socgen.Soc.load_program (FR.Runtime.sim_of h u) ~mem:"mem$mem" ~data program;
+  h
+
+(* ------------------------------------------------------------------ *)
+(* Simulator-state text round-trip                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_state_roundtrip () =
+  let sim = mono_soc () in
+  for _ = 1 to 777 do
+    Rtlsim.Sim.step sim
+  done;
+  let st = Rtlsim.Sim.save_state sim in
+  let st' = Rtlsim.Sim.state_of_string (Rtlsim.Sim.state_to_string st) in
+  check_int "cycle survives" st.Rtlsim.Sim.s_cycle st'.Rtlsim.Sim.s_cycle;
+  check_bool "registers survive" true (st.Rtlsim.Sim.s_regs = st'.Rtlsim.Sim.s_regs);
+  check_bool "memories survive" true
+    (List.sort compare st.Rtlsim.Sim.s_mems = List.sort compare st'.Rtlsim.Sim.s_mems)
+
+let test_state_restore_into_fresh_sim () =
+  (* Resume a monolithic run in a brand-new simulator via the text
+     form: both must evolve identically afterwards. *)
+  let a = mono_soc () in
+  for _ = 1 to 500 do
+    Rtlsim.Sim.step a
+  done;
+  let text = Rtlsim.Sim.state_to_string (Rtlsim.Sim.save_state a) in
+  let b = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ~mem_latency:1 ()) in
+  Rtlsim.Sim.restore_state b (Rtlsim.Sim.state_of_string text);
+  for _ = 1 to 500 do
+    Rtlsim.Sim.step a;
+    Rtlsim.Sim.step b
+  done;
+  List.iter
+    (fun reg -> check_int reg (Rtlsim.Sim.get a reg) (Rtlsim.Sim.get b reg))
+    [ "tile$core$retired_count"; "tile$core$pc"; "tile$core$state" ]
+
+let test_state_shape_mismatch_rejected () =
+  let sim = mono_soc () in
+  let st = Rtlsim.Sim.save_state sim in
+  let other = Rtlsim.Sim.of_circuit (Socgen.Soc.accel_soc Socgen.Soc.Sha3) in
+  check_bool "restoring into a different circuit fails" true
+    (try
+       Rtlsim.Sim.restore_state other st;
+       false
+     with Rtlsim.Sim.Sim_error _ -> true)
+
+let test_state_parse_errors () =
+  List.iter
+    (fun (what, text) ->
+      check_bool what true
+        (try
+           ignore (Rtlsim.Sim.state_of_string text);
+           false
+         with Rtlsim.Sim.Sim_error _ -> true))
+    [
+      ("empty", "");
+      ("garbage header", "hello\nworld\nmems 0\n");
+      ("count mismatch", "cycle 5\nregs 3 1 2\nmems 0\n");
+      ("bad integer", "cycle x\nregs 0\nmems 0\n");
+      ("missing memory", "cycle 5\nregs 1 9\nmems 2\nmem a 1 0\n");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole-network save / resume                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_partitioned_save_resume () =
+  (* Run to mid-flight, serialize, restore into a FRESH handle of the
+     same plan, continue both: identical states ever after. *)
+  let a = loaded_handle () in
+  FR.Runtime.run a ~cycles:700;
+  let blob = FR.Runtime.save_to_string a in
+  let b = fresh_handle () in
+  FR.Runtime.restore_from_string b blob;
+  FR.Runtime.run a ~cycles:1500;
+  FR.Runtime.run b ~cycles:1500;
+  List.iter
+    (fun reg ->
+      let ua = FR.Runtime.locate a reg and ub = FR.Runtime.locate b reg in
+      check_int reg
+        (Rtlsim.Sim.get (FR.Runtime.sim_of a ua) reg)
+        (Rtlsim.Sim.get (FR.Runtime.sim_of b ub) reg))
+    [ "tile$core$retired_count"; "tile$core$pc"; "mem$state" ]
+
+let test_partitioned_resume_matches_monolithic () =
+  (* The resumed partitioned run still tracks the monolithic truth. *)
+  let mono = mono_soc () in
+  for _ = 1 to 2000 do
+    Rtlsim.Sim.step mono
+  done;
+  let a = loaded_handle () in
+  FR.Runtime.run a ~cycles:900;
+  let blob = FR.Runtime.save_to_string a in
+  let b = fresh_handle () in
+  FR.Runtime.restore_from_string b blob;
+  FR.Runtime.run b ~cycles:2000;
+  List.iter
+    (fun reg ->
+      let u = FR.Runtime.locate b reg in
+      check_int reg (Rtlsim.Sim.get mono reg) (Rtlsim.Sim.get (FR.Runtime.sim_of b u) reg))
+    [ "tile$core$retired_count"; "tile$core$pc" ]
+
+let test_snapshot_file_roundtrip () =
+  let a = loaded_handle () in
+  FR.Runtime.run a ~cycles:400;
+  let path = Filename.temp_file "fireaxe" ".snap" in
+  FR.Runtime.save a ~path;
+  let b = fresh_handle () in
+  FR.Runtime.load b ~path;
+  Sys.remove path;
+  FR.Runtime.run a ~cycles:800;
+  FR.Runtime.run b ~cycles:800;
+  let reg = "tile$core$retired_count" in
+  let ua = FR.Runtime.locate a reg and ub = FR.Runtime.locate b reg in
+  check_int "file round-trip resumes identically"
+    (Rtlsim.Sim.get (FR.Runtime.sim_of a ua) reg)
+    (Rtlsim.Sim.get (FR.Runtime.sim_of b ub) reg)
+
+let test_snapshot_rejects_fame5 () =
+  (* A FAME-5-threaded handle has no per-unit simulator state. *)
+  let circuit = Socgen.Soc.multi_core_soc ~cores:2 ~mem_latency:1 () in
+  let config =
+    {
+      FR.Spec.default_config with
+      FR.Spec.selection = FR.Spec.Instances [ [ "tile0"; "tile1" ] ];
+    }
+  in
+  let h = FR.Runtime.instantiate ~fame5:true (FR.Compile.compile ~config circuit) in
+  let threaded = Array.exists Option.is_some h.FR.Runtime.h_fame5 in
+  check_bool "handle is actually threaded" true threaded;
+  check_bool "snapshot refused" true
+    (try
+       ignore (FR.Runtime.save_to_string h);
+       false
+     with Invalid_argument _ -> true)
+
+let test_snapshot_rejects_mismatched_plan () =
+  let a = loaded_handle () in
+  FR.Runtime.run a ~cycles:100;
+  let blob = FR.Runtime.save_to_string a in
+  (* A handle with a different unit count must refuse the blob. *)
+  let circuit = Socgen.Soc.multi_core_soc ~cores:2 ~mem_latency:1 () in
+  let config =
+    {
+      FR.Spec.default_config with
+      FR.Spec.selection = FR.Spec.Instances [ [ "tile0" ]; [ "tile1" ] ];
+    }
+  in
+  let other = FR.Runtime.instantiate (FR.Compile.compile ~config circuit) in
+  check_bool "mismatched plan refused" true
+    (try
+       FR.Runtime.restore_from_string other blob;
+       false
+     with Rtlsim.Sim.Sim_error _ -> true)
+
+let prop_snapshot_roundtrip_random_circuits =
+  (* Random hierarchical circuits, random partitions: serialize
+     mid-flight, restore into a fresh handle of the same plan, continue
+     both — identical register state in every leaf ever after. *)
+  QCheck.Test.make ~name:"snapshots: random partitioned circuits resume identically"
+    ~count:15
+    QCheck.(pair small_int (int_bound 2))
+    (fun (seed, extra) ->
+      let n = 4 + extra in
+      let rng = Des.Stats.rng ~seed:(seed + 55) in
+      let selected =
+        List.init n (fun k -> (k, Des.Stats.bernoulli rng 0.4))
+        |> List.filter_map (fun (k, pick) ->
+               if pick then Some (Printf.sprintf "i%d" k) else None)
+      in
+      let selected = if selected = [] then [ "i0" ] else selected in
+      if List.length selected = n then true
+      else begin
+        let config =
+          {
+            FR.Spec.default_config with
+            FR.Spec.selection = FR.Spec.Instances [ selected ];
+            FR.Spec.allow_long_chains = true;
+          }
+        in
+        let make () =
+          FR.Runtime.instantiate
+            (FR.Compile.compile ~config (Extensions_tests.random_circuit (seed + 1) n))
+        in
+        let a = make () in
+        FR.Runtime.run a ~cycles:17;
+        let blob = FR.Runtime.save_to_string a in
+        let b = make () in
+        FR.Runtime.restore_from_string b blob;
+        FR.Runtime.run a ~cycles:43;
+        FR.Runtime.run b ~cycles:43;
+        List.for_all
+          (fun k ->
+            let reg = Printf.sprintf "i%d$r" k in
+            let ua = FR.Runtime.locate a reg and ub = FR.Runtime.locate b reg in
+            Rtlsim.Sim.get (FR.Runtime.sim_of a ua) reg
+            = Rtlsim.Sim.get (FR.Runtime.sim_of b ub) reg)
+          (List.init n Fun.id)
+      end)
+
+let suite =
+  [
+    ( "rtlsim.snapshot",
+      [
+        Alcotest.test_case "text round-trip" `Quick test_state_roundtrip;
+        Alcotest.test_case "restore into fresh sim" `Quick test_state_restore_into_fresh_sim;
+        Alcotest.test_case "shape mismatch rejected" `Quick test_state_shape_mismatch_rejected;
+        Alcotest.test_case "parse errors" `Quick test_state_parse_errors;
+      ] );
+    ( "runtime.snapshot",
+      [
+        Alcotest.test_case "save / resume in fresh handle" `Quick test_partitioned_save_resume;
+        Alcotest.test_case "resumed run matches monolithic" `Quick
+          test_partitioned_resume_matches_monolithic;
+        Alcotest.test_case "file round-trip" `Quick test_snapshot_file_roundtrip;
+        Alcotest.test_case "FAME-5 refused" `Quick test_snapshot_rejects_fame5;
+        Alcotest.test_case "mismatched plan refused" `Quick
+          test_snapshot_rejects_mismatched_plan;
+        QCheck_alcotest.to_alcotest prop_snapshot_roundtrip_random_circuits;
+      ] );
+  ]

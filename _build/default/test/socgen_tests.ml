@@ -1,0 +1,288 @@
+(* Tests for the SoC generators: the Kite core is differential-tested
+   against its ISA reference interpreter; the scratchpad, crossbar and
+   accelerators are checked against hand computations. *)
+
+open Firrtl
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let halted sim = Rtlsim.Sim.get sim "halted" = 1
+
+let run_soc_until_halt ?(max_cycles = 200_000) circuit ~program ~data =
+  let sim = Rtlsim.Sim.of_circuit circuit in
+  Socgen.Soc.load_program sim ~mem:"mem$mem" ~data program;
+  let cycles =
+    Rtlsim.Sim.run_until sim ~max_cycles (fun s -> Rtlsim.Sim.get s "halted" = 1)
+  in
+  (sim, cycles)
+
+let reference_run ~mem_words ~program ~data =
+  let m = Socgen.Kite_isa.make_machine ~mem_words in
+  Socgen.Kite_isa.load_words m (Socgen.Kite_isa.assemble program);
+  List.iter (fun (a, v) -> m.Socgen.Kite_isa.mem.(a) <- v) data;
+  Socgen.Kite_isa.run m ~max_steps:100_000;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Kite core differential tests                                        *)
+(* ------------------------------------------------------------------ *)
+
+let diff_test ~program ~data ~watch_addrs () =
+  let circuit = Socgen.Soc.single_core_soc ~mem_latency:1 () in
+  let sim, _ = run_soc_until_halt circuit ~program ~data in
+  let m = reference_run ~mem_words:1024 ~program ~data in
+  List.iter
+    (fun a ->
+      check_int
+        (Printf.sprintf "mem[%d]" a)
+        m.Socgen.Kite_isa.mem.(a)
+        (Rtlsim.Sim.peek_mem sim "mem$mem" a))
+    watch_addrs;
+  check_int "retired instructions" m.Socgen.Kite_isa.retired (Rtlsim.Sim.get sim "retired")
+
+let test_core_sum () =
+  let data = List.mapi (fun i v -> (32 + i, v)) [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  diff_test ~program:(Socgen.Kite_isa.sum_program ~base:32 ~n:8 ~dst:60) ~data
+    ~watch_addrs:[ 60 ] ()
+
+let test_core_fib () =
+  diff_test ~program:(Socgen.Kite_isa.fib_program ~n:20 ~dst:60) ~data:[] ~watch_addrs:[ 60 ] ()
+
+let test_core_fib_zero () =
+  diff_test ~program:(Socgen.Kite_isa.fib_program ~n:0 ~dst:60) ~data:[] ~watch_addrs:[ 60 ] ()
+
+let test_core_memcopy () =
+  let data = List.mapi (fun i v -> (40 + i, v)) [ 11; 22; 33; 44; 55 ] in
+  diff_test
+    ~program:(Socgen.Kite_isa.memcopy_program ~src:40 ~dst:50 ~n:5)
+    ~data
+    ~watch_addrs:[ 50; 51; 52; 53; 54 ]
+    ()
+
+let test_core_alu_ops () =
+  (* Exercise every ALU funct and both branches. *)
+  let open Socgen.Kite_isa in
+  let program =
+    [
+      Addi (1, 0, 13);
+      Addi (2, 0, 5);
+      Addi (5, 0, 60);
+      Alu (F_add, 3, 1, 2);
+      Sw (3, 5, 0);
+      Alu (F_sub, 3, 1, 2);
+      Sw (3, 5, 1);
+      Alu (F_and, 3, 1, 2);
+      Sw (3, 5, 2);
+      Alu (F_or, 3, 1, 2);
+      Sw (3, 5, 3);
+      Alu (F_xor, 3, 1, 2);
+      Sw (3, 5, 4);
+      Alu (F_sll, 3, 1, 2);
+      Sw (3, 5, 5);
+      Alu (F_srl, 3, 1, 2);
+      Sw (3, 5, 6);
+      Alu (F_slt, 3, 1, 2);
+      Sw (3, 5, 7);
+      Alu (F_mul, 3, 1, 2);
+      Sw (3, 5, 8);
+      Alu (F_slt, 3, 2, 1);
+      Sw (3, 5, 9);
+      Jal (4, 1) (* skip the next instruction *);
+      Sw (1, 5, 10) (* must NOT execute *);
+      Sw (4, 5, 11) (* link register value *);
+      Halt;
+    ]
+  in
+  diff_test ~program ~data:[]
+    ~watch_addrs:(List.init 12 (fun i -> 60 + i))
+    ()
+
+let test_core_latency_sensitivity () =
+  (* Same program under different memory latencies: same results, more
+     cycles. *)
+  let program = Socgen.Kite_isa.fib_program ~n:10 ~dst:60 in
+  let run lat =
+    let circuit = Socgen.Soc.single_core_soc ~mem_latency:lat () in
+    run_soc_until_halt circuit ~program ~data:[]
+  in
+  let sim_fast, cycles_fast = run 0 in
+  let sim_slow, cycles_slow = run 6 in
+  check_int "same result" (Rtlsim.Sim.peek_mem sim_fast "mem$mem" 60)
+    (Rtlsim.Sim.peek_mem sim_slow "mem$mem" 60);
+  check_bool "slower memory costs cycles" true (cycles_slow > cycles_fast)
+
+let prop_core_random_programs =
+  (* Random straight-line ALU/store programs against the reference. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 20)
+        (oneof
+           [
+             map3 (fun rd rs i -> Socgen.Kite_isa.Addi (rd, rs, i)) (int_range 1 7) (int_bound 7)
+               (int_range (-64) 63);
+             map3
+               (fun f (rd, rs1) rs2 -> Socgen.Kite_isa.Alu (f, rd, rs1, rs2))
+               (oneofl
+                  Socgen.Kite_isa.
+                    [ F_add; F_sub; F_and; F_or; F_xor; F_sll; F_srl; F_slt; F_mul ])
+               (pair (int_range 1 7) (int_bound 7))
+               (int_bound 7);
+             map2 (fun r a -> Socgen.Kite_isa.Sw (r, 0, a)) (int_bound 7) (int_range 40 63);
+           ]))
+  in
+  QCheck.Test.make ~name:"random straight-line programs match reference" ~count:25
+    (QCheck.make gen)
+    (fun body ->
+      let program = body @ [ Socgen.Kite_isa.Halt ] in
+      let circuit = Socgen.Soc.single_core_soc ~mem_latency:0 () in
+      let sim, _ = run_soc_until_halt circuit ~program ~data:[] in
+      let m = reference_run ~mem_words:1024 ~program ~data:[] in
+      List.for_all
+        (fun a -> m.Socgen.Kite_isa.mem.(a) = Rtlsim.Sim.peek_mem sim "mem$mem" a)
+        (List.init 24 (fun i -> 40 + i))
+      && m.Socgen.Kite_isa.retired = Rtlsim.Sim.get sim "retired")
+
+(* ------------------------------------------------------------------ *)
+(* Scratchpad                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_scratchpad_latency () =
+  let flat =
+    Flatten.flatten
+      (Flatten.to_circuit (Socgen.Memsys.scratchpad ~depth:64 ~latency:3 ()))
+  in
+  let s = Rtlsim.Sim.create flat in
+  Rtlsim.Sim.poke_mem s "mem" 5 77;
+  Rtlsim.Sim.set_input s "req_valid" 1;
+  Rtlsim.Sim.set_input s "req_addr" 5;
+  Rtlsim.Sim.set_input s "req_wen" 0;
+  Rtlsim.Sim.set_input s "resp_ready" 1;
+  (* Accept at cycle 0; response should appear latency+1 cycles later. *)
+  Rtlsim.Sim.step s;
+  Rtlsim.Sim.set_input s "req_valid" 0;
+  let waited = ref 0 in
+  Rtlsim.Sim.eval_comb s;
+  while Rtlsim.Sim.get s "resp_valid" = 0 do
+    incr waited;
+    Rtlsim.Sim.step s;
+    Rtlsim.Sim.eval_comb s
+  done;
+  check_int "wait cycles" 3 !waited;
+  check_int "data" 77 (Rtlsim.Sim.get s "resp_data")
+
+let test_scratchpad_write () =
+  let flat =
+    Flatten.flatten
+      (Flatten.to_circuit (Socgen.Memsys.scratchpad ~depth:64 ~latency:0 ()))
+  in
+  let s = Rtlsim.Sim.create flat in
+  Rtlsim.Sim.set_input s "req_valid" 1;
+  Rtlsim.Sim.set_input s "req_addr" 9;
+  Rtlsim.Sim.set_input s "req_wdata" 123;
+  Rtlsim.Sim.set_input s "req_wen" 1;
+  Rtlsim.Sim.set_input s "resp_ready" 1;
+  Rtlsim.Sim.step s;
+  check_int "stored" 123 (Rtlsim.Sim.peek_mem s "mem" 9)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-core SoC with crossbar                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_multicore_halts () =
+  let circuit = Socgen.Soc.multi_core_soc ~cores:3 ~mem_latency:1 () in
+  let sim = Rtlsim.Sim.of_circuit circuit in
+  Socgen.Soc.load_program sim ~mem:"mem$mem" ~data:[]
+    (Socgen.Kite_isa.fib_program ~n:8 ~dst:60);
+  let _ =
+    Rtlsim.Sim.run_until sim ~max_cycles:500_000 (fun s ->
+        Rtlsim.Sim.get s "all_halted" = 1)
+  in
+  (* All three cores raced through the same code; each retired the same
+     instruction count. *)
+  let r0 = Rtlsim.Sim.get sim "retired0" in
+  check_bool "retired something" true (r0 > 0);
+  check_int "core1 same count" r0 (Rtlsim.Sim.get sim "retired1");
+  check_int "core2 same count" r0 (Rtlsim.Sim.get sim "retired2")
+
+(* ------------------------------------------------------------------ *)
+(* Accelerators                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_gemmini_reference () =
+  let a = Array.init 64 (fun i -> (i * 7) + 1) in
+  let w = Array.init 16 (fun i -> i + 1) in
+  let circuit = Socgen.Soc.accel_soc ~mem_latency:1 Socgen.Soc.Gemmini in
+  let sim = Rtlsim.Sim.of_circuit circuit in
+  Array.iteri (fun i v -> Rtlsim.Sim.poke_mem sim "mem$mem" (16 + i) v) a;
+  Array.iteri (fun i v -> Rtlsim.Sim.poke_mem sim "mem$mem" (80 + i) v) w;
+  let _ =
+    Rtlsim.Sim.run_until sim ~max_cycles:100_000 (fun s -> Rtlsim.Sim.get s "done" = 1)
+  in
+  let expected = Socgen.Accel.gemminiish_reference ~a ~w ~out_n:32 ~klen:16 in
+  List.iteri
+    (fun j e -> check_int (Printf.sprintf "out[%d]" j) e (Rtlsim.Sim.peek_mem sim "mem$mem" (100 + j)))
+    expected
+
+let test_sha3_completes_and_is_input_sensitive () =
+  let digest data_block =
+    let circuit = Socgen.Soc.accel_soc ~mem_latency:1 Socgen.Soc.Sha3 in
+    let sim = Rtlsim.Sim.of_circuit circuit in
+    List.iteri (fun i v -> Rtlsim.Sim.poke_mem sim "mem$mem" (16 + i) v) data_block;
+    let cycles =
+      Rtlsim.Sim.run_until sim ~max_cycles:100_000 (fun s -> Rtlsim.Sim.get s "done" = 1)
+    in
+    ( List.init 3 (fun i -> Rtlsim.Sim.peek_mem sim "mem$mem" (64 + i)), cycles )
+  in
+  let d1, c1 = digest [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let d2, c2 = digest [ 1; 2; 3; 4; 5; 6; 7; 9 ] in
+  check_bool "digests differ" true (d1 <> d2);
+  check_int "same cycle count (data independent)" c1 c2
+
+let test_disassembler_roundtrip () =
+  (* encode/decode is the identity on canonical instructions. *)
+  let open Socgen.Kite_isa in
+  let program =
+    sum_repeat_program ~base:32 ~n:8 ~reps:3 ~dst:60
+    @ fib_program ~n:5 ~dst:50
+    @ [ Alu (F_mul, 7, 6, 5); Jal (2, -10); Halt ]
+  in
+  List.iter
+    (fun instr -> check_bool (to_string instr) true (decode (encode instr) = instr))
+    program;
+  check_int "listing lines" (List.length program)
+    (List.length (disassemble (assemble program)))
+
+let test_decode_total () =
+  (* Every 16-bit word decodes to something printable. *)
+  let open Socgen.Kite_isa in
+  for w = 0 to 0xffff do
+    ignore (to_string (decode w))
+  done
+
+let suite =
+  [
+    ( "socgen.kite",
+      [
+        Alcotest.test_case "sum program" `Quick test_core_sum;
+        Alcotest.test_case "fib program" `Quick test_core_fib;
+        Alcotest.test_case "fib n=0" `Quick test_core_fib_zero;
+        Alcotest.test_case "memcopy" `Quick test_core_memcopy;
+        Alcotest.test_case "alu ops + jal" `Quick test_core_alu_ops;
+        Alcotest.test_case "latency sensitivity" `Quick test_core_latency_sensitivity;
+        Alcotest.test_case "disassembler round-trip" `Quick test_disassembler_roundtrip;
+        Alcotest.test_case "decode is total" `Quick test_decode_total;
+        QCheck_alcotest.to_alcotest prop_core_random_programs;
+      ] );
+    ( "socgen.scratchpad",
+      [
+        Alcotest.test_case "latency" `Quick test_scratchpad_latency;
+        Alcotest.test_case "write" `Quick test_scratchpad_write;
+      ] );
+    ("socgen.multicore", [ Alcotest.test_case "3 cores halt" `Quick test_multicore_halts ]);
+    ( "socgen.accel",
+      [
+        Alcotest.test_case "gemminiish matches reference" `Quick test_gemmini_reference;
+        Alcotest.test_case "sha3ish digests" `Quick test_sha3_completes_and_is_input_sensitive;
+      ] );
+  ]

@@ -1,0 +1,266 @@
+(* Tests for the system-level studies: the Go GC latency model
+   (Figure 10 shapes) and the DDIO / leaky-DMA model (Figure 9 shapes),
+   plus unit tests of the LLC and bus substrates. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Go GC model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gc_run gomaxprocs affinity =
+  Golang.Model.run { Golang.Model.gomaxprocs; affinity; duration_ms = 200 }
+
+let test_gomaxprocs1_dominates_tail () =
+  let serial = gc_run 1 Golang.Model.Pinned in
+  let multi = gc_run 2 Golang.Model.Spread in
+  check_bool "GOMAXPROCS=1 p99 is order of magnitude worse" true
+    (serial.Golang.Model.p99_us > 5. *. multi.Golang.Model.p99_us);
+  check_bool "GCs ran" true (serial.Golang.Model.gc_cycles > 10)
+
+let test_pinned_beats_spread () =
+  List.iter
+    (fun p ->
+      let pinned = gc_run p Golang.Model.Pinned in
+      let spread = gc_run p Golang.Model.Spread in
+      check_bool
+        (Printf.sprintf "P=%d pinned p99 %.1f <= spread %.1f" p pinned.Golang.Model.p99_us
+           spread.Golang.Model.p99_us)
+        true
+        (pinned.Golang.Model.p99_us <= spread.Golang.Model.p99_us);
+      check_bool "p95 too" true
+        (pinned.Golang.Model.p95_us <= spread.Golang.Model.p95_us))
+    [ 2; 4 ]
+
+let test_gc_model_deterministic () =
+  let a = gc_run 2 Golang.Model.Spread and b = gc_run 2 Golang.Model.Spread in
+  check_bool "deterministic" true (a = b)
+
+let test_numa_experiment () =
+  let same, cross = Golang.Model.numa_experiment () in
+  check_bool "cross-NUMA worse" true (cross > same *. 1.2)
+
+(* ------------------------------------------------------------------ *)
+(* LLC with DDIO ways                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_llc_hit_after_fill () =
+  let c = Ddio.Llc.create ~size_kb:128 ~ways:8 ~ddio_ways:2 in
+  check_bool "first touch misses" true (Ddio.Llc.access c ~io:false ~write:false 42 <> Ddio.Llc.Hit);
+  check_bool "second touch hits" true (Ddio.Llc.access c ~io:false ~write:false 42 = Ddio.Llc.Hit)
+
+let test_llc_ddio_way_restriction () =
+  let c = Ddio.Llc.create ~size_kb:128 ~ways:8 ~ddio_ways:2 in
+  let sets = 128 * 1024 / 64 / 8 in
+  (* Three distinct IO lines mapping to the same set: only 2 DDIO ways,
+     so the first is evicted. *)
+  ignore (Ddio.Llc.access c ~io:true ~write:true 0);
+  ignore (Ddio.Llc.access c ~io:true ~write:true sets);
+  ignore (Ddio.Llc.access c ~io:true ~write:true (2 * sets));
+  check_bool "first io line evicted" true
+    (Ddio.Llc.access c ~io:true ~write:false 0 <> Ddio.Llc.Hit)
+
+let test_llc_core_uses_all_ways () =
+  let c = Ddio.Llc.create ~size_kb:128 ~ways:8 ~ddio_ways:2 in
+  let sets = 128 * 1024 / 64 / 8 in
+  for k = 0 to 7 do
+    ignore (Ddio.Llc.access c ~io:false ~write:false (k * sets))
+  done;
+  (* All eight fit in the eight ways. *)
+  for k = 0 to 7 do
+    check_bool
+      (Printf.sprintf "way %d retained" k)
+      true
+      (Ddio.Llc.access c ~io:false ~write:false (k * sets) = Ddio.Llc.Hit)
+  done
+
+let test_llc_dirty_writeback () =
+  let c = Ddio.Llc.create ~size_kb:128 ~ways:8 ~ddio_ways:1 in
+  let sets = 128 * 1024 / 64 / 8 in
+  ignore (Ddio.Llc.access c ~io:true ~write:true 0);
+  check_bool "dirty victim reports writeback" true
+    (Ddio.Llc.access c ~io:true ~write:true sets = Ddio.Llc.Miss_writeback)
+
+(* ------------------------------------------------------------------ *)
+(* Bus models                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_xbar_queues () =
+  let bus = Ddio.Bus.xbar () in
+  let t1 = Ddio.Bus.traverse bus ~channel:Ddio.Bus.Req ~src:0 ~dst:1 ~arrival:0 in
+  let t2 = Ddio.Bus.traverse bus ~channel:Ddio.Bus.Req ~src:2 ~dst:1 ~arrival:0 in
+  check_bool "second request queues behind first" true (t2 > t1);
+  (* Response channel is independent. *)
+  let t3 = Ddio.Bus.traverse bus ~channel:Ddio.Bus.Resp ~src:1 ~dst:0 ~arrival:0 in
+  check_bool "response channel unaffected" true (t3 <= t1)
+
+let test_ring_hop_latency () =
+  let bus = Ddio.Bus.ring ~nodes:14 in
+  let near = Ddio.Bus.traverse bus ~channel:Ddio.Bus.Req ~src:0 ~dst:1 ~arrival:0 in
+  let far = Ddio.Bus.traverse bus ~channel:Ddio.Bus.Req ~src:0 ~dst:7 ~arrival:1_000_000 in
+  check_bool "more hops take longer" true (far - 1_000_000 > near)
+
+let test_ring_shortest_path () =
+  let bus = Ddio.Bus.ring ~nodes:14 in
+  (* 13 is one hop counterclockwise from 0. *)
+  let t = Ddio.Bus.traverse bus ~channel:Ddio.Bus.Req ~src:0 ~dst:13 ~arrival:0 in
+  let t2 = Ddio.Bus.traverse bus ~channel:Ddio.Bus.Req ~src:0 ~dst:1 ~arrival:1_000_000 in
+  check_bool "wraps the short way" true (t < 2 * (t2 - 1_000_000))
+
+(* ------------------------------------------------------------------ *)
+(* Leaky-DMA experiment shapes                                         *)
+(* ------------------------------------------------------------------ *)
+
+let leaky topo cores =
+  Ddio.Leaky.run ~topology:topo ~active_cores:cores ~packets_per_core:300 ()
+
+let test_latency_rises_with_cores () =
+  List.iter
+    (fun topo ->
+      let low = leaky topo 1 and high = leaky topo 12 in
+      check_bool "write latency rises" true
+        (high.Ddio.Leaky.wr_lat_ns > 2. *. low.Ddio.Leaky.wr_lat_ns);
+      check_bool "read latency rises" true
+        (high.Ddio.Leaky.rd_lat_ns > 2. *. low.Ddio.Leaky.rd_lat_ns))
+    [ Ddio.Leaky.Topo_xbar; Ddio.Leaky.Topo_ring ]
+
+let test_ring_higher_base_latency () =
+  let x = leaky Ddio.Leaky.Topo_xbar 1 and r = leaky Ddio.Leaky.Topo_ring 1 in
+  check_bool "NoC costs more per transaction under low load" true
+    (r.Ddio.Leaky.wr_lat_ns > x.Ddio.Leaky.wr_lat_ns)
+
+let test_xbar_saturates_faster () =
+  let x = leaky Ddio.Leaky.Topo_xbar 12 and r = leaky Ddio.Leaky.Topo_ring 12 in
+  check_bool "crossbar write latency overtakes ring at high core counts" true
+    (x.Ddio.Leaky.wr_lat_ns > r.Ddio.Leaky.wr_lat_ns)
+
+let test_ddio_ways_relief () =
+  let narrow = Ddio.Leaky.run ~ddio_ways:2 ~topology:Ddio.Leaky.Topo_xbar ~active_cores:12 ~packets_per_core:300 () in
+  let wide = Ddio.Leaky.run ~ddio_ways:8 ~topology:Ddio.Leaky.Topo_xbar ~active_cores:12 ~packets_per_core:300 () in
+  check_bool "more DDIO ways improve hit rate" true
+    (wide.Ddio.Leaky.llc_hit_rate >= narrow.Ddio.Leaky.llc_hit_rate)
+
+let test_leaky_deterministic () =
+  let a = leaky Ddio.Leaky.Topo_xbar 6 and b = leaky Ddio.Leaky.Topo_xbar 6 in
+  check_bool "deterministic" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Bigcore (split-core case study design)                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigcore_tiny_runs () =
+  let sim = Rtlsim.Sim.of_circuit (Socgen.Bigcore.circuit ~p:Socgen.Bigcore.tiny ()) in
+  for _ = 1 to 500 do
+    Rtlsim.Sim.step sim
+  done;
+  check_bool "commits advance" true (Rtlsim.Sim.get sim "backend$commits_r" > 0)
+
+let test_bigcore_partition_exact () =
+  let p = Socgen.Bigcore.tiny in
+  let circuit () = Socgen.Bigcore.circuit ~p () in
+  let mono = Rtlsim.Sim.of_circuit (circuit ()) in
+  for _ = 1 to 400 do
+    Rtlsim.Sim.step mono
+  done;
+  let config =
+    {
+      Fireripper.Spec.default_config with
+      Fireripper.Spec.selection = Fireripper.Spec.Instances [ [ "backend" ] ];
+    }
+  in
+  let plan = Fireripper.Compile.compile ~config (circuit ()) in
+  let h = Fireripper.Runtime.instantiate plan in
+  Fireripper.Runtime.run h ~cycles:400;
+  List.iter
+    (fun reg ->
+      let u = Fireripper.Runtime.locate h reg in
+      check_int reg (Rtlsim.Sim.get mono reg)
+        (Rtlsim.Sim.get (Fireripper.Runtime.sim_of h u) reg))
+    [ "backend$commits_r"; "backend$checksum_r"; "frontend$pc" ]
+
+let test_bigcore_backend_dominates_area () =
+  let p = Socgen.Bigcore.tiny in
+  let fe = Platform.Resource.estimate_flat
+      (Firrtl.Flatten.flatten (Firrtl.Flatten.to_circuit (Socgen.Bigcore.frontend_module p ()))) in
+  let be = Platform.Resource.estimate_flat
+      (Firrtl.Flatten.flatten (Firrtl.Flatten.to_circuit (Socgen.Bigcore.backend_module p ()))) in
+  check_bool "backend bigger than frontend" true
+    (be.Platform.Resource.luts > fe.Platform.Resource.luts)
+
+(* ------------------------------------------------------------------ *)
+(* Fireaxe facade                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fireaxe_validate () =
+  let v =
+    Fireaxe.validate ~name:"fib"
+      ~circuit:(fun () -> Socgen.Soc.single_core_soc ~mem_latency:1 ())
+      ~selection:(Fireaxe.Spec.Instances [ [ "tile" ] ])
+      ~setup:(fun ~poke ->
+        List.iteri (fun i w -> poke ~mem:"mem$mem" i w)
+          (Socgen.Kite_isa.assemble (Socgen.Kite_isa.fib_program ~n:12 ~dst:60)))
+      ~finished:(fun ~peek -> peek "tile$core$state" = Socgen.Kite_core.s_halted)
+      ()
+  in
+  Alcotest.(check (float 0.0001)) "exact error zero" 0. v.Fireaxe.v_exact_error_pct;
+  check_bool "fast differs but bounded" true
+    (v.Fireaxe.v_fast_error_pct > 0. && v.Fireaxe.v_fast_error_pct < 25.)
+
+let test_fireaxe_estimate_and_fit () =
+  let plan =
+    Fireaxe.compile
+      ~config:
+        {
+          Fireaxe.Spec.default_config with
+          Fireaxe.Spec.selection = Fireaxe.Spec.Instances [ [ "tile" ] ];
+        }
+      (Socgen.Soc.single_core_soc ())
+  in
+  check_bool "rate positive" true (Fireaxe.estimate_rate plan > 0.);
+  let utils = Fireaxe.utilization plan in
+  check_int "one row per unit" 2 (List.length utils);
+  List.iter (fun (_, _, _, fits) -> check_bool "small SoC fits" true fits) utils
+
+let suite =
+  [
+    ( "golang.gc",
+      [
+        Alcotest.test_case "GOMAXPROCS=1 tail" `Quick test_gomaxprocs1_dominates_tail;
+        Alcotest.test_case "pinned beats spread" `Quick test_pinned_beats_spread;
+        Alcotest.test_case "deterministic" `Quick test_gc_model_deterministic;
+        Alcotest.test_case "NUMA corroboration" `Quick test_numa_experiment;
+      ] );
+    ( "ddio.llc",
+      [
+        Alcotest.test_case "hit after fill" `Quick test_llc_hit_after_fill;
+        Alcotest.test_case "DDIO way restriction" `Quick test_llc_ddio_way_restriction;
+        Alcotest.test_case "core uses all ways" `Quick test_llc_core_uses_all_ways;
+        Alcotest.test_case "dirty writeback" `Quick test_llc_dirty_writeback;
+      ] );
+    ( "ddio.bus",
+      [
+        Alcotest.test_case "xbar queues" `Quick test_xbar_queues;
+        Alcotest.test_case "ring hops" `Quick test_ring_hop_latency;
+        Alcotest.test_case "ring shortest path" `Quick test_ring_shortest_path;
+      ] );
+    ( "ddio.leaky",
+      [
+        Alcotest.test_case "latency rises with cores" `Quick test_latency_rises_with_cores;
+        Alcotest.test_case "ring base latency higher" `Quick test_ring_higher_base_latency;
+        Alcotest.test_case "xbar saturates faster" `Quick test_xbar_saturates_faster;
+        Alcotest.test_case "more DDIO ways help" `Quick test_ddio_ways_relief;
+        Alcotest.test_case "deterministic" `Quick test_leaky_deterministic;
+      ] );
+    ( "socgen.bigcore",
+      [
+        Alcotest.test_case "tiny runs" `Quick test_bigcore_tiny_runs;
+        Alcotest.test_case "partition exact" `Quick test_bigcore_partition_exact;
+        Alcotest.test_case "backend dominates area" `Quick test_bigcore_backend_dominates_area;
+      ] );
+    ( "fireaxe.api",
+      [
+        Alcotest.test_case "validate" `Quick test_fireaxe_validate;
+        Alcotest.test_case "estimate + fit" `Quick test_fireaxe_estimate_and_fit;
+      ] );
+  ]

@@ -1,0 +1,129 @@
+(* Tests for the TracerV-style instruction-trace bridge: trace fidelity
+   against the ISA reference interpreter, exact-mode trace identity,
+   fast-mode PC-sequence preservation, and the FirePerf-style profile. *)
+
+module FR = Fireripper
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:4 ~reps:3 ~dst:60
+let data = List.init 4 (fun i -> (32 + i, i + 1))
+
+(* The architectural PC sequence from the ISA reference interpreter. *)
+let reference_pcs () =
+  let m = Socgen.Kite_isa.make_machine ~mem_words:1024 in
+  Socgen.Kite_isa.load_words m (Socgen.Kite_isa.assemble program);
+  List.iter (fun (a, v) -> m.Socgen.Kite_isa.mem.(a) <- v) data;
+  let pcs = ref [] in
+  while not m.Socgen.Kite_isa.halted do
+    pcs := m.Socgen.Kite_isa.pc :: !pcs;
+    Socgen.Kite_isa.step m
+  done;
+  List.rev !pcs
+
+let mono_soc () =
+  let sim = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ~mem_latency:1 ()) in
+  Socgen.Soc.load_program sim ~mem:"mem$mem" ~data program;
+  sim
+
+let partitioned_soc ~mode () =
+  let config =
+    {
+      FR.Spec.default_config with
+      FR.Spec.mode;
+      FR.Spec.selection = FR.Spec.Instances [ [ "tile" ] ];
+    }
+  in
+  let plan = FR.Compile.compile ~config (Socgen.Soc.single_core_soc ~mem_latency:1 ()) in
+  let h = FR.Runtime.instantiate plan in
+  let u = FR.Runtime.locate h "mem$mem" in
+  Socgen.Soc.load_program (FR.Runtime.sim_of h u) ~mem:"mem$mem" ~data program;
+  h
+
+let pc = "tile$core$pc"
+let retired = "tile$core$retired_count"
+let window = 3000
+
+let test_trace_matches_reference () =
+  (* The RTL trace commits exactly the reference interpreter's PC
+     sequence, in order. *)
+  let events = FR.Tracer.of_sim (mono_soc ()) ~pc ~retired ~cycles:window in
+  let got = List.map (fun e -> e.FR.Tracer.t_pc) events in
+  let want = reference_pcs () in
+  check_int "same instruction count" (List.length want) (List.length got);
+  check_bool "same PC sequence" true (got = want);
+  (* Cycles are strictly increasing. *)
+  let rec increasing = function
+    | a :: b :: rest -> a.FR.Tracer.t_cycle < b.FR.Tracer.t_cycle && increasing (b :: rest)
+    | _ -> true
+  in
+  check_bool "strictly increasing commit cycles" true (increasing events)
+
+let test_exact_partition_trace_identical () =
+  let mono = FR.Tracer.of_sim (mono_soc ()) ~pc ~retired ~cycles:window in
+  let part =
+    FR.Tracer.of_handle (partitioned_soc ~mode:FR.Spec.Exact ()) ~pc ~retired ~cycles:window
+  in
+  check_bool "exact-mode trace identical (cycles and PCs)" true (mono = part)
+
+let test_fast_partition_preserves_pc_sequence () =
+  let mono = FR.Tracer.of_sim (mono_soc ()) ~pc ~retired ~cycles:window in
+  let part =
+    FR.Tracer.of_handle (partitioned_soc ~mode:FR.Spec.Fast ()) ~pc ~retired ~cycles:window
+  in
+  let pcs evs = List.map (fun e -> e.FR.Tracer.t_pc) evs in
+  check_bool "fast-mode PC sequence identical" true (pcs mono = pcs part);
+  check_bool "fast-mode cycles shifted" true (mono <> part)
+
+let test_histogram_finds_hot_loop () =
+  let events = FR.Tracer.of_sim (mono_soc ()) ~pc ~retired ~cycles:window in
+  let hist = FR.Tracer.histogram events in
+  check_int "histogram covers every commit" (List.length events)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 hist);
+  (* The inner loop body executes n * reps = 12 times; straight-line
+     setup code once.  The hottest PC must be a loop PC. *)
+  let _, hottest = List.hd hist in
+  check_bool (Printf.sprintf "hottest PC runs the loop (%d commits)" hottest) true
+    (hottest >= 12);
+  (* Histogram is sorted by count, descending. *)
+  let rec sorted = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  check_bool "sorted descending" true (sorted hist)
+
+let test_ipc_and_render () =
+  let sim = mono_soc () in
+  let events = FR.Tracer.of_sim sim ~pc ~retired ~cycles:window in
+  let ipc = FR.Tracer.ipc events ~cycles:window in
+  check_bool (Printf.sprintf "ipc in (0, 1) (%.3f)" ipc) true (ipc > 0.0 && ipc < 1.0);
+  check_bool "ipc of empty window" true (FR.Tracer.ipc [] ~cycles:0 = 0.0);
+  let lines =
+    FR.Tracer.render events
+      ~fetch:(fun a -> Rtlsim.Sim.peek_mem sim "mem$mem" a)
+      ~disasm:(fun w -> Socgen.Kite_isa.to_string (Socgen.Kite_isa.decode w))
+  in
+  check_int "one line per event" (List.length events) (List.length lines);
+  (* The final committed instruction is the halt. *)
+  let last = List.nth lines (List.length lines - 1) in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "trace ends in halt" true (contains (String.lowercase_ascii last) "halt")
+
+let suite =
+  [
+    ( "fireripper.tracer",
+      [
+        Alcotest.test_case "matches ISA reference" `Quick test_trace_matches_reference;
+        Alcotest.test_case "exact partition: identical trace" `Quick
+          test_exact_partition_trace_identical;
+        Alcotest.test_case "fast partition: same PC sequence" `Quick
+          test_fast_partition_preserves_pc_sequence;
+        Alcotest.test_case "FirePerf histogram" `Quick test_histogram_finds_hot_loop;
+        Alcotest.test_case "ipc and render" `Quick test_ipc_and_render;
+      ] );
+  ]

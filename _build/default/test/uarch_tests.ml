@@ -1,0 +1,233 @@
+(* Tests for the OoO core timing model and the Embench workload
+   generator: Table I parameters, first-principles IPC sanity on
+   hand-built traces, and the Figure 7/8 shape claims. *)
+
+open Uarch.Trace
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk ?(op = Int_alu) ?(src1 = 0) ?(src2 = 0) ?(mispredicted = false) ?(pc = 0)
+    ?(addr = -1) () =
+  {
+    op;
+    src1_dist = src1;
+    src2_dist = src2;
+    mispredicted;
+    pc_block = pc;
+    addr_block = addr;
+    fp_dest = (op = Fp);
+  }
+
+let run cfg trace = Uarch.Core.run cfg (Array.of_list trace)
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1_values () =
+  check_int "large issue" 3 Uarch.Config.large_boom.Uarch.Config.issue_width;
+  check_int "gc40 rob" 216 Uarch.Config.gc40_boom.Uarch.Config.rob_entries;
+  check_int "xeon rob" 512 Uarch.Config.gc_xeon.Uarch.Config.rob_entries;
+  check_int "gc40 ld queue" 76 Uarch.Config.gc40_boom.Uarch.Config.ld_queue;
+  check_int "xeon l1d" 48 Uarch.Config.gc_xeon.Uarch.Config.l1d_kb;
+  check_int "rows" 9 (List.length Uarch.Config.table1);
+  Alcotest.(check (float 0.001)) "gc40 area" 1.56 (Uarch.Config.area_mm2 "GC40 BOOM")
+
+(* ------------------------------------------------------------------ *)
+(* First-principles IPC sanity                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_independent_alu_hits_width () =
+  (* Independent single-cycle ops: IPC approaches the issue width. *)
+  let trace = List.init 3000 (fun _ -> mk ()) in
+  let r = run Uarch.Config.large_boom trace in
+  check_bool
+    (Printf.sprintf "ipc %.2f near width 3" r.Uarch.Core.r_ipc)
+    true
+    (r.Uarch.Core.r_ipc > 2.5 && r.Uarch.Core.r_ipc <= 3.01)
+
+let test_serial_chain_limits_ipc () =
+  (* Every instruction depends on the previous one: IPC <= 1. *)
+  let trace = List.init 3000 (fun _ -> mk ~src1:1 ()) in
+  let r = run Uarch.Config.gc40_boom trace in
+  check_bool (Printf.sprintf "ipc %.2f <= 1" r.Uarch.Core.r_ipc) true (r.Uarch.Core.r_ipc <= 1.01)
+
+let test_serial_fp_chain_slower () =
+  let alu = run Uarch.Config.gc40_boom (List.init 2000 (fun _ -> mk ~src1:1 ())) in
+  let fp = run Uarch.Config.gc40_boom (List.init 2000 (fun _ -> mk ~op:Fp ~src1:1 ())) in
+  check_bool "fp chain pays fp latency" true
+    (fp.Uarch.Core.r_cycles > 3 * alu.Uarch.Core.r_cycles)
+
+let test_mispredicts_cost_cycles () =
+  let clean =
+    run Uarch.Config.large_boom
+      (List.init 2000 (fun i -> if i mod 10 = 0 then mk ~op:Branch () else mk ()))
+  in
+  let dirty =
+    run Uarch.Config.large_boom
+      (List.init 2000 (fun i ->
+           if i mod 10 = 0 then mk ~op:Branch ~mispredicted:true () else mk ()))
+  in
+  check_bool "mispredicts slow the core" true
+    (dirty.Uarch.Core.r_cycles > clean.Uarch.Core.r_cycles + 1000)
+
+let test_dcache_misses_cost_cycles () =
+  let hot = run Uarch.Config.large_boom (List.init 2000 (fun _ -> mk ~op:Load ~addr:3 ())) in
+  let cold =
+    run Uarch.Config.large_boom (List.init 2000 (fun i -> mk ~op:Load ~addr:(i * 17) ()))
+  in
+  check_bool "streaming misses are slower" true
+    (cold.Uarch.Core.r_cycles > hot.Uarch.Core.r_cycles);
+  check_bool "miss rate reported" true (cold.Uarch.Core.r_l1d_miss_rate > 0.5)
+
+let test_cpi_stack_accounts_for_total () =
+  let r = Workloads.Embench.run ~config:Uarch.Config.large_boom "nettle-aes" in
+  let stack_total =
+    List.fold_left (fun acc (_, v) -> acc +. v) 0. r.Uarch.Core.r_cpi_stack
+  in
+  let cpi = 1. /. r.Uarch.Core.r_ipc in
+  check_bool
+    (Printf.sprintf "stack %.3f ~ cpi %.3f" stack_total cpi)
+    true
+    (Float.abs (stack_total -. cpi) /. cpi < 0.15)
+
+let test_prefetch_helps_streaming () =
+  let run prefetch name =
+    Workloads.Embench.run
+      ~config:{ Uarch.Config.gc40_boom with Uarch.Config.l1d_prefetch = prefetch }
+      name
+  in
+  let off = run false "matmult-int" and on = run true "matmult-int" in
+  check_bool "prefetch speeds up streaming loads" true
+    (on.Uarch.Core.r_cycles < off.Uarch.Core.r_cycles);
+  check_bool "and lowers the miss rate" true
+    (on.Uarch.Core.r_l1d_miss_rate < off.Uarch.Core.r_l1d_miss_rate);
+  (* Compute-bound workloads are insensitive. *)
+  let off = run false "nbody" and on = run true "nbody" in
+  check_bool "nbody barely moves" true
+    (abs (on.Uarch.Core.r_cycles - off.Uarch.Core.r_cycles) * 100 / off.Uarch.Core.r_cycles < 5)
+
+let test_deterministic () =
+  let r1 = Workloads.Embench.run ~config:Uarch.Config.gc40_boom "crc32" in
+  let r2 = Workloads.Embench.run ~config:Uarch.Config.gc40_boom "crc32" in
+  check_int "same cycles" r1.Uarch.Core.r_cycles r2.Uarch.Core.r_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7/8 shape claims                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_gc40_beats_large_everywhere () =
+  List.iter
+    (fun name ->
+      let large = Workloads.Embench.run ~config:Uarch.Config.large_boom name in
+      let gc40 = Workloads.Embench.run ~config:Uarch.Config.gc40_boom name in
+      check_bool (name ^ ": GC40 >= Large") true
+        (gc40.Uarch.Core.r_ipc >= large.Uarch.Core.r_ipc *. 0.99))
+    Workloads.Embench.all_names
+
+let test_average_uplift_matches_paper () =
+  let ratios =
+    List.map
+      (fun name ->
+        let large = Workloads.Embench.run ~config:Uarch.Config.large_boom name in
+        let gc40 = Workloads.Embench.run ~config:Uarch.Config.gc40_boom name in
+        gc40.Uarch.Core.r_ipc /. large.Uarch.Core.r_ipc)
+      Workloads.Embench.all_names
+  in
+  let avg = List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios) in
+  (* Paper: 15.8% average IPC increase.  Accept a band around it. *)
+  check_bool (Printf.sprintf "average uplift %.1f%%" ((avg -. 1.) *. 100.)) true
+    (avg > 1.08 && avg < 1.30)
+
+let test_benchmark_sensitivity_spread () =
+  let uplift name =
+    let large = Workloads.Embench.run ~config:Uarch.Config.large_boom name in
+    let gc40 = Workloads.Embench.run ~config:Uarch.Config.gc40_boom name in
+    gc40.Uarch.Core.r_ipc /. large.Uarch.Core.r_ipc
+  in
+  (* nettle-aes (frontend-bandwidth-bound) gains much more than nbody
+     (execution-bound) — the paper's 56% vs 2% contrast. *)
+  check_bool "aes gains much more than nbody" true
+    (uplift "nettle-aes" > uplift "nbody" +. 0.2)
+
+let stack_value r cat = List.assoc cat r.Uarch.Core.r_cpi_stack
+
+let test_cpi_stack_signatures () =
+  let aes = Workloads.Embench.run ~config:Uarch.Config.large_boom "nettle-aes" in
+  (* aes: committing (base) dominates. *)
+  let base = stack_value aes Uarch.Core.Base in
+  List.iter
+    (fun c ->
+      if c <> Uarch.Core.Base then
+        check_bool "aes is commit-bound" true (base >= stack_value aes c))
+    Uarch.Core.categories;
+  (* nbody: execution dominates everything except possibly base. *)
+  let nbody = Workloads.Embench.run ~config:Uarch.Config.large_boom "nbody" in
+  check_bool "nbody is execution-bound" true
+    (stack_value nbody Uarch.Core.Execution > stack_value nbody Uarch.Core.Memory
+    && stack_value nbody Uarch.Core.Execution > stack_value nbody Uarch.Core.Frontend);
+  (* nsichneu: big code footprint shows frontend + branch stalls. *)
+  let nsi = Workloads.Embench.run ~config:Uarch.Config.large_boom "nsichneu" in
+  check_bool "nsichneu stresses frontend/branch" true
+    (stack_value nsi Uarch.Core.Frontend +. stack_value nsi Uarch.Core.Branch
+    > stack_value aes Uarch.Core.Frontend +. stack_value aes Uarch.Core.Branch);
+  (* matmult: memory stalls visible. *)
+  let mat = Workloads.Embench.run ~config:Uarch.Config.large_boom "matmult-int" in
+  check_bool "matmult stresses memory" true
+    (stack_value mat Uarch.Core.Memory > stack_value aes Uarch.Core.Memory)
+
+(* ------------------------------------------------------------------ *)
+(* Workload generator                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_profiles_generate () =
+  List.iter
+    (fun name ->
+      let trace = Workloads.Embench.generate (Workloads.Embench.find name) in
+      check_bool (name ^ " non-empty") true (Array.length trace > 1000))
+    Workloads.Embench.all_names
+
+let test_mix_matches_profile () =
+  let p = Workloads.Embench.find "nbody" in
+  let trace = Workloads.Embench.generate p in
+  let n = Array.length trace in
+  let count pred = Array.fold_left (fun acc i -> if pred i then acc + 1 else acc) 0 trace in
+  let frac pred = float_of_int (count pred) /. float_of_int n in
+  check_bool "fp fraction" true
+    (Float.abs (frac (fun i -> i.op = Fp) -. p.Workloads.Embench.fp_ratio) < 0.03);
+  check_bool "load fraction" true
+    (Float.abs (frac (fun i -> i.op = Load) -. p.Workloads.Embench.load_ratio) < 0.03)
+
+let test_generator_deterministic () =
+  let p = Workloads.Embench.find "crc32" in
+  check_bool "same trace" true (Workloads.Embench.generate p = Workloads.Embench.generate p)
+
+let suite =
+  [
+    ("uarch.table1", [ Alcotest.test_case "parameters" `Quick test_table1_values ]);
+    ( "uarch.core",
+      [
+        Alcotest.test_case "independent ALU hits width" `Quick test_independent_alu_hits_width;
+        Alcotest.test_case "serial chain limits IPC" `Quick test_serial_chain_limits_ipc;
+        Alcotest.test_case "fp chain pays latency" `Quick test_serial_fp_chain_slower;
+        Alcotest.test_case "mispredicts cost" `Quick test_mispredicts_cost_cycles;
+        Alcotest.test_case "dcache misses cost" `Quick test_dcache_misses_cost_cycles;
+        Alcotest.test_case "prefetch helps streaming" `Quick test_prefetch_helps_streaming;
+        Alcotest.test_case "cpi stack totals" `Quick test_cpi_stack_accounts_for_total;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+      ] );
+    ( "uarch.figures",
+      [
+        Alcotest.test_case "GC40 never slower" `Quick test_gc40_beats_large_everywhere;
+        Alcotest.test_case "average uplift" `Quick test_average_uplift_matches_paper;
+        Alcotest.test_case "sensitivity spread" `Quick test_benchmark_sensitivity_spread;
+        Alcotest.test_case "cpi-stack signatures" `Quick test_cpi_stack_signatures;
+      ] );
+    ( "workloads.embench",
+      [
+        Alcotest.test_case "profiles generate" `Quick test_profiles_generate;
+        Alcotest.test_case "mix matches profile" `Quick test_mix_matches_profile;
+        Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+      ] );
+  ]
