@@ -1,0 +1,66 @@
+(* Parallel-scheduler speedup microbench: the same multi-partition NoC
+   designs run under the sequential and parallel schedulers, reporting
+   wall-clock time, tokens/s and the seq/par ratio.
+
+   LI-BDN determinism guarantees identical token streams either way, so
+   this is a pure execution-policy comparison.  On a single-core host
+   the ratio hovers around (or below) 1x — one domain per partition
+   only pays off once [Domain.recommended_domain_count] admits real
+   concurrency — which is why the host's domain count is printed with
+   the results. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let measure plan ~cycles scheduler =
+  let h = Fireripper.Runtime.instantiate ~scheduler plan in
+  let secs = time (fun () -> Fireripper.Runtime.run h ~cycles) in
+  (secs, Fireripper.Runtime.token_transfers h)
+
+let bench ~name ~cycles plan =
+  Printf.printf "%-12s %d partitions, %d target cycles\n" name
+    (Fireripper.Plan.n_units plan) cycles;
+  let run scheduler =
+    let secs, tokens = measure plan ~cycles scheduler in
+    Printf.printf "  %-4s %8.3f s %12.0f tokens/s %10.0f cycles/s\n"
+      (Libdn.Scheduler.name scheduler)
+      secs
+      (float_of_int tokens /. secs)
+      (float_of_int cycles /. secs);
+    secs
+  in
+  let seq = run Libdn.Scheduler.Sequential in
+  let par = run Libdn.Scheduler.Parallel in
+  Printf.printf "  speedup (seq/par wall-clock): %.2fx\n" (seq /. par)
+
+let noc_plan ~groups circuit =
+  let config =
+    {
+      Fireripper.Spec.default_config with
+      Fireripper.Spec.selection = Fireripper.Spec.Noc_routers groups;
+    }
+  in
+  Fireripper.Compile.compile ~config circuit
+
+let run () =
+  Printf.printf "\n== scheduler speedup (host domains: %d) ==\n"
+    (Domain.recommended_domain_count ());
+  (* Ring of 8 routers cut into 4 partitions of 2 (plus none left over:
+     the reflector/tile wrapper is its own unit). *)
+  bench ~name:"ring-8/4way" ~cycles:2_000
+    (noc_plan
+       ~groups:[ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ]; [ 6; 7 ] ]
+       (Socgen.Ring_noc.ring_soc ~n_tiles:8 ~period:4 ()));
+  (* 4x4 mesh cut into row bands (rows 0-2 extracted, row 3 stays with
+     the tile wrapper). *)
+  bench ~name:"mesh-4x4/4way" ~cycles:1_000
+    (noc_plan
+       ~groups:
+         [
+           Socgen.Mesh_noc.row_group ~width:4 0;
+           Socgen.Mesh_noc.row_group ~width:4 1;
+           Socgen.Mesh_noc.row_group ~width:4 2;
+         ]
+       (Socgen.Mesh_noc.mesh_soc ~width:4 ~height:4 ~period:4 ()))

@@ -1,0 +1,3 @@
+(* Standalone entry point for the scheduler-speedup microbench, so the
+   seq-vs-par comparison can be run without the full figure suite. *)
+let () = Speedup.run ()

@@ -170,6 +170,18 @@ let mode_arg =
   let mode = Arg.enum [ ("exact", Fireaxe.Spec.Exact); ("fast", Fireaxe.Spec.Fast) ] in
   Arg.(value & opt mode Fireaxe.Spec.Exact & info [ "mode" ] ~doc:"Partitioning mode.")
 
+let scheduler_arg =
+  let s =
+    Arg.enum [ ("seq", Libdn.Scheduler.Sequential); ("par", Libdn.Scheduler.Parallel) ]
+  in
+  Arg.(
+    value
+    & opt s Libdn.Scheduler.Sequential
+    & info [ "scheduler" ]
+        ~doc:
+          "Execution policy: sequential round-robin (seq) or one domain per partition \
+           (par).  Both produce cycle-identical results.")
+
 let parse_groups kind s =
   String.split_on_char ';' s
   |> List.map (fun group ->
@@ -304,12 +316,13 @@ let run_remote design plan cycles =
     design.d_probes;
   List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
 
-let run design mode select routers cycles vcd_path sample every resume save_snap check remote =
+let run design mode select routers scheduler cycles vcd_path sample every resume save_snap
+    check remote =
   let circuit = design.d_circuit () in
   let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
   if remote then run_remote design plan cycles
   else begin
-  let h = Fireaxe.instantiate plan in
+  let h = Fireaxe.instantiate ~scheduler plan in
   (match resume with
   | Some path ->
     Fireaxe.Runtime.load h ~path;
@@ -410,8 +423,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a partitioned simulation and cross-check it against the monolithic one.")
     Term.(
-      const run $ design_arg $ mode_arg $ select_arg $ routers_arg $ cycles_arg $ vcd_arg
-      $ sample_arg $ every_arg $ resume_arg $ save_snap_arg $ check_arg $ remote_arg)
+      const run $ design_arg $ mode_arg $ select_arg $ routers_arg $ scheduler_arg
+      $ cycles_arg $ vcd_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
+      $ check_arg $ remote_arg)
 
 let sweep transport =
   Fmt.pr "simulation rate (MHz) vs interface width, %s@." (Platform.Transport.name transport);
@@ -434,14 +448,14 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Print the interface-width performance sweep for a transport.")
     Term.(const sweep $ transport_arg)
 
-let validate design =
+let validate design scheduler =
   (* Generic validation: run until a design-specific "finished" register
      condition; for designs without one, compare state after N cycles. *)
   match design.d_name with
   | "soc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
     let v =
-      Fireaxe.validate ~name:design.d_name
+      Fireaxe.validate ~scheduler ~name:design.d_name
         ~circuit:(fun () -> Socgen.Soc.single_core_soc ())
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -456,7 +470,7 @@ let validate design =
   | "dramsoc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
     let v =
-      Fireaxe.validate ~name:design.d_name
+      Fireaxe.validate ~scheduler ~name:design.d_name
         ~circuit:(fun () -> Socgen.Dram.dram_soc ())
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -474,7 +488,7 @@ let validate design =
       else (Socgen.Soc.Gemmini, Socgen.Accel.g_done)
     in
     let v =
-      Fireaxe.validate ~name:design.d_name
+      Fireaxe.validate ~scheduler ~name:design.d_name
         ~circuit:(fun () -> Socgen.Soc.accel_soc kind)
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -491,7 +505,7 @@ let validate design =
   | "k5soc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
     let v =
-      Fireaxe.validate ~name:design.d_name
+      Fireaxe.validate ~scheduler ~name:design.d_name
         ~circuit:(fun () -> Socgen.Kite5_core.soc ())
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -508,7 +522,7 @@ let validate design =
 let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Table II methodology: monolithic vs exact vs fast cycle counts.")
-    Term.(const validate $ design_arg)
+    Term.(const validate $ design_arg $ scheduler_arg)
 
 let runs_arg = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Simulations in the campaign.")
 

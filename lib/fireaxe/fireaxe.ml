@@ -86,16 +86,18 @@ let error_pct ~reference cycles =
 
 (** Runs the same workload monolithically, exact-partitioned and
     fast-partitioned, and reports cycle counts and error rates.
-    [circuit] is re-generated per run so simulations are independent. *)
-let validate ~name ~circuit ~selection ?(setup = fun ~poke:_ -> ()) ~finished
-    ?(max_cycles = 1_000_000) () =
+    [circuit] is re-generated per run so simulations are independent.
+    [scheduler] picks the execution policy of the partitioned runs; the
+    results are identical either way (LI-BDN determinism). *)
+let validate ?(scheduler = Libdn.Scheduler.default) ~name ~circuit ~selection
+    ?(setup = fun ~poke:_ -> ()) ~finished ?(max_cycles = 1_000_000) () =
   let mono =
     run_monolithic_until (circuit ()) ~setup ~finished ~max_cycles
   in
   let partitioned mode =
     let config = { Spec.default_config with Spec.mode; selection } in
     let plan = compile ~config (circuit ()) in
-    let handle = instantiate plan in
+    let handle = instantiate ~scheduler plan in
     run_partitioned_until handle ~setup ~finished ~max_cycles
   in
   let exact = partitioned Spec.Exact in
@@ -147,22 +149,21 @@ let find_divergence ~golden ~handle ~signals ?(stride = 500) ~max_cycles () =
     else begin
       let upto = min max_cycles (start + stride) in
       let golden_state = Rtlsim.Sim.save_state golden in
-      let golden_cycle = Rtlsim.Sim.cycle golden in
       let restore_handle = Runtime.checkpoint handle in
       run_both ~upto;
       match differs () with
       | None -> window upto
       | Some _ ->
-        (* Roll back and replay this window one cycle at a time. *)
+        (* Roll back and replay this window one cycle at a time.
+           [restore_state] restores the cycle counter along with the
+           architectural state, so the replay resumes right at the
+           window start. *)
         Rtlsim.Sim.restore_state golden golden_state;
         restore_handle ();
         let rec fine c =
           if c > upto then None
           else begin
-            (* The golden sim's cycle counter is not part of save_state;
-               drive it by explicit steps from the window start. *)
-            Rtlsim.Sim.step golden;
-            Runtime.run handle ~cycles:c;
+            run_both ~upto:c;
             match differs () with
             | Some (s, u) ->
               Some
@@ -175,10 +176,36 @@ let find_divergence ~golden ~handle ~signals ?(stride = 500) ~max_cycles () =
             | None -> fine (c + 1)
           end
         in
-        fine (golden_cycle + 1)
+        fine (Rtlsim.Sim.cycle golden + 1)
     end
   in
   window 0
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler cross-checking                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Instantiates [plan] twice — once per scheduler — runs both for
+    [cycles] target cycles, and compares every unit's full architectural
+    state (registers, memories, cycle counter).  Returns the names of
+    mismatching units: [[]] certifies that the parallel scheduler is
+    cycle-identical to the sequential reference on this plan. *)
+let crosscheck_schedulers ?(cycles = 100) plan =
+  let snapshot scheduler =
+    let handle = Runtime.instantiate ~scheduler plan in
+    Runtime.run handle ~cycles;
+    Array.map
+      (fun (u : Plan.unit_part) ->
+        ( u.Plan.u_name,
+          Rtlsim.Sim.state_to_string
+            (Rtlsim.Sim.save_state (Runtime.sim_of handle u.Plan.u_index)) ))
+      plan.Plan.p_units
+  in
+  let seq = snapshot Libdn.Scheduler.Sequential in
+  let par = snapshot Libdn.Scheduler.Parallel in
+  Array.to_list seq
+  |> List.filteri (fun i (_, state) -> state <> snd par.(i))
+  |> List.map fst
 
 (* ------------------------------------------------------------------ *)
 (* Automated partitioning (§VIII-B)                                    *)

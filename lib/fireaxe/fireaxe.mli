@@ -29,7 +29,9 @@ module Clockdiv = Goldengate.Clockdiv
 
 val compile : ?config:Spec.config -> Firrtl.Ast.circuit -> Plan.t
 val report : Plan.t -> Report.t
-val instantiate : ?fame5:bool -> Plan.t -> Runtime.handle
+
+val instantiate :
+  ?fame5:bool -> ?scheduler:Libdn.Scheduler.t -> Plan.t -> Runtime.handle
 
 (** Steps a monolithic simulation to [finished]; returns the cycle. *)
 val run_monolithic_until :
@@ -57,8 +59,10 @@ type validation = {
 }
 
 (** Runs the same workload monolithically, exact-partitioned and
-    fast-partitioned (Table II): exact is always cycle-identical. *)
+    fast-partitioned (Table II): exact is always cycle-identical.
+    [scheduler] picks the execution policy of the partitioned runs. *)
 val validate :
+  ?scheduler:Libdn.Scheduler.t ->
   name:string ->
   circuit:(unit -> Firrtl.Ast.circuit) ->
   selection:Spec.selection ->
@@ -87,6 +91,12 @@ val find_divergence :
   max_cycles:int ->
   unit ->
   divergence option
+
+(** Instantiates [plan] under both schedulers, runs [cycles] target
+    cycles each, and compares every unit's architectural state
+    (registers, memories, cycle counter).  Returns the names of
+    mismatching units — [[]] certifies scheduler equivalence. *)
+val crosscheck_schedulers : ?cycles:int -> Plan.t -> string list
 
 (** Automated partitioning (§VIII-B): greedy instance assignment onto
     [n_fpgas] by size and connectivity, then compilation. *)

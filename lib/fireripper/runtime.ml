@@ -11,6 +11,7 @@ open Firrtl
 type handle = {
   h_plan : Plan.t;
   h_net : Libdn.Network.t;
+  h_scheduler : Libdn.Scheduler.t;  (** execution policy for [run]/[run_until] *)
   h_engines : Libdn.Engine.t array;  (** indexed by plan unit *)
   h_sims : Rtlsim.Sim.t option array;  (** backing sims of non-FAME-5 units *)
   h_fame5 : Goldengate.Fame5.t option array;
@@ -85,8 +86,9 @@ let build_network (plan : Plan.t) engines =
   net
 
 (** Builds the network.  [fame5] requests multithreading of eligible
-    wrapper units (duplicate-module partitions). *)
-let instantiate ?(fame5 = false) (plan : Plan.t) =
+    wrapper units (duplicate-module partitions); [scheduler] picks the
+    execution policy ({!Libdn.Scheduler.Sequential} by default). *)
+let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default) (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -112,7 +114,14 @@ let instantiate ?(fame5 = false) (plan : Plan.t) =
     plan.Plan.p_units;
   let engines = Array.map Option.get engines in
   let net = build_network plan engines in
-  { h_plan = plan; h_net = net; h_engines = engines; h_sims = sims; h_fame5 = fame5s }
+  {
+    h_plan = plan;
+    h_net = net;
+    h_scheduler = scheduler;
+    h_engines = engines;
+    h_sims = sims;
+    h_fame5 = fame5s;
+  }
 
 (** Builds the network with the units in [remote_units] hosted in their
     own worker PROCESSES (the software analogue of separate FPGAs);
@@ -121,7 +130,8 @@ let instantiate ?(fame5 = false) (plan : Plan.t) =
     them when done.  Remote units have no local simulator, so [sim_of],
     [locate] and snapshots skip them; use the connection's poke/peek
     instead. *)
-let instantiate_remote ~worker ~remote_units (plan : Plan.t) =
+let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ~worker ~remote_units
+    (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -137,7 +147,7 @@ let instantiate_remote ~worker ~remote_units (plan : Plan.t) =
           in
           let path = Filename.temp_file "fireaxe_unit" ".fir" in
           Firrtl.Text.save circuit ~path;
-          let conn = Libdn.Remote_engine.spawn ~worker ~fir_path:path in
+          let conn = Libdn.Remote_engine.spawn ~label:u.Plan.u_name ~worker ~fir_path:path () in
           Sys.remove path;
           conns := (u.Plan.u_index, conn) :: !conns;
           Libdn.Remote_engine.engine conn
@@ -152,13 +162,22 @@ let instantiate_remote ~worker ~remote_units (plan : Plan.t) =
     plan.Plan.p_units;
   let engines = Array.map Option.get engines in
   let net = build_network plan engines in
-  ( { h_plan = plan; h_net = net; h_engines = engines; h_sims = sims; h_fame5 = fame5s },
+  ( {
+      h_plan = plan;
+      h_net = net;
+      h_scheduler = scheduler;
+      h_engines = engines;
+      h_sims = sims;
+      h_fame5 = fame5s;
+    },
     List.rev !conns )
 
-let run h ~cycles = Libdn.Network.run h.h_net ~cycles
+let scheduler h = h.h_scheduler
+
+let run h ~cycles = Libdn.Scheduler.run ~scheduler:h.h_scheduler h.h_net ~cycles
 
 let run_until h ~max_cycles pred =
-  Libdn.Network.run_until h.h_net ~max_cycles (fun _ -> pred h)
+  Libdn.Scheduler.run_until ~scheduler:h.h_scheduler h.h_net ~max_cycles (fun _ -> pred h)
 
 let engine h k = h.h_engines.(k)
 

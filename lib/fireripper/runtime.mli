@@ -4,6 +4,7 @@
 type handle = {
   h_plan : Plan.t;
   h_net : Libdn.Network.t;
+  h_scheduler : Libdn.Scheduler.t;
   h_engines : Libdn.Engine.t array;
   h_sims : Rtlsim.Sim.t option array;
   h_fame5 : Goldengate.Fame5.t option array;
@@ -14,8 +15,10 @@ type handle = {
     names and their module. *)
 val fame5_eligible : Plan.unit_part -> (string list * string) option
 
-(** Builds the network; [fame5] threads eligible wrapper units. *)
-val instantiate : ?fame5:bool -> Plan.t -> handle
+(** Builds the network; [fame5] threads eligible wrapper units;
+    [scheduler] picks the execution policy for [run]/[run_until]
+    ({!Libdn.Scheduler.Sequential} by default). *)
+val instantiate : ?fame5:bool -> ?scheduler:Libdn.Scheduler.t -> Plan.t -> handle
 
 (** Builds the network with the listed units hosted in their own worker
     processes (the software analogue of separate FPGAs), spawned from
@@ -24,10 +27,14 @@ val instantiate : ?fame5:bool -> Plan.t -> handle
     local simulator ([sim_of]/[locate]/snapshots skip them) — use the
     connection's poke/peek instead. *)
 val instantiate_remote :
+  ?scheduler:Libdn.Scheduler.t ->
   worker:string ->
   remote_units:int list ->
   Plan.t ->
   handle * (int * Libdn.Remote_engine.conn) list
+
+(** The execution policy this handle runs under. *)
+val scheduler : handle -> Libdn.Scheduler.t
 
 val run : handle -> cycles:int -> unit
 val run_until : handle -> max_cycles:int -> (handle -> bool) -> int

@@ -23,3 +23,135 @@ let pp_spec ppf spec =
   Fmt.pf ppf "%s(%db:%a)" spec.name (width spec)
     Fmt.(list ~sep:comma string)
     (List.map fst spec.ports)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain token transport                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A notifier is the per-partition synchronization point: one mutex and
+   condition variable shared by all of a partition's input queues, plus
+   a version counter bumped on every queue mutation.  A consumer that
+   found no runnable work records the version it observed, and only
+   blocks if the version is still unchanged under the lock — the classic
+   missed-wakeup guard.  Producers pushing to any of the partition's
+   queues bump the version and broadcast. *)
+module Notifier = struct
+  type t = {
+    n_mu : Mutex.t;
+    n_cond : Condition.t;
+    n_version : int Atomic.t;
+  }
+
+  let create () =
+    { n_mu = Mutex.create (); n_cond = Condition.create (); n_version = Atomic.make 0 }
+
+  let version t = Atomic.get t.n_version
+
+  (* Must be called with [n_mu] held. *)
+  let bump t =
+    Atomic.incr t.n_version;
+    Condition.broadcast t.n_cond
+
+  (* Wakes any waiter (used to abort a parallel run from outside). *)
+  let poke t =
+    Mutex.lock t.n_mu;
+    bump t;
+    Mutex.unlock t.n_mu
+end
+
+exception Aborted
+(** Raised out of a blocking {!Bqueue.push} when the abort predicate
+    trips while waiting for space (another domain failed or declared
+    deadlock). *)
+
+(* A bounded token queue, the software analogue of the paper's QSFP
+   channel buffers.  Single producer (the source partition's domain),
+   single consumer (the destination partition's domain); both ends
+   synchronize on the destination partition's notifier.  The sequential
+   scheduler uses the same queues — uncontended mutexes cost little and
+   keep one code path. *)
+module Bqueue = struct
+  type 'a t = {
+    bq_q : 'a Queue.t;
+    bq_capacity : int;
+    bq_notif : Notifier.t;  (** the owning (consumer) partition's notifier *)
+  }
+
+  exception Full
+
+  let create ~capacity ~notif =
+    if capacity < 1 then invalid_arg "Bqueue.create: capacity must be positive";
+    { bq_q = Queue.create (); bq_capacity = capacity; bq_notif = notif }
+
+  let notifier t = t.bq_notif
+
+  (* With [block], waits for space (checking [abort] across wakeups and
+     raising {!Aborted} if it trips); without, raises {!Full} — the
+     sequential scheduler never legitimately fills a queue, so hitting
+     capacity there is a hard error rather than a reason to block a
+     single-threaded loop forever. *)
+  let push t x ~block ~abort =
+    let n = t.bq_notif in
+    Mutex.lock n.Notifier.n_mu;
+    if block then begin
+      while Queue.length t.bq_q >= t.bq_capacity && not (abort ()) do
+        Condition.wait n.Notifier.n_cond n.Notifier.n_mu
+      done;
+      if abort () then begin
+        Mutex.unlock n.Notifier.n_mu;
+        raise Aborted
+      end
+    end
+    else if Queue.length t.bq_q >= t.bq_capacity then begin
+      Mutex.unlock n.Notifier.n_mu;
+      raise Full
+    end;
+    Queue.push x t.bq_q;
+    Notifier.bump n;
+    Mutex.unlock n.Notifier.n_mu
+
+  let peek_opt t =
+    Mutex.lock t.bq_notif.Notifier.n_mu;
+    let v = Queue.peek_opt t.bq_q in
+    Mutex.unlock t.bq_notif.Notifier.n_mu;
+    v
+
+  (* Drops the head token (consumer side), freeing space and waking any
+     producer blocked on a full queue. *)
+  let drop t =
+    Mutex.lock t.bq_notif.Notifier.n_mu;
+    ignore (Queue.pop t.bq_q);
+    Notifier.bump t.bq_notif;
+    Mutex.unlock t.bq_notif.Notifier.n_mu
+
+  let is_empty t =
+    Mutex.lock t.bq_notif.Notifier.n_mu;
+    let v = Queue.is_empty t.bq_q in
+    Mutex.unlock t.bq_notif.Notifier.n_mu;
+    v
+
+  let length t =
+    Mutex.lock t.bq_notif.Notifier.n_mu;
+    let v = Queue.length t.bq_q in
+    Mutex.unlock t.bq_notif.Notifier.n_mu;
+    v
+
+  (* Lock-free emptiness probe for the quiescence check: only sound once
+     every producer and the consumer are blocked (their last mutations
+     were published by the monitor lock they took to register). *)
+  let is_empty_unsynchronized t = Queue.is_empty t.bq_q
+
+  let to_list t =
+    Mutex.lock t.bq_notif.Notifier.n_mu;
+    let v = Queue.fold (fun acc x -> x :: acc) [] t.bq_q |> List.rev in
+    Mutex.unlock t.bq_notif.Notifier.n_mu;
+    v
+
+  (* Replaces the whole contents (checkpoint/snapshot restore). *)
+  let set_contents t xs =
+    Mutex.lock t.bq_notif.Notifier.n_mu;
+    Queue.clear t.bq_q;
+    List.iter (fun x -> Queue.push x t.bq_q) xs;
+    Notifier.bump t.bq_notif;
+    Mutex.unlock t.bq_notif.Notifier.n_mu
+end

@@ -20,3 +20,64 @@ val token_of_ports : spec -> (string -> int) -> token
 val apply_token : spec -> (string -> int -> unit) -> token -> unit
 
 val pp_spec : Format.formatter -> spec -> unit
+
+(** Per-partition synchronization point: one mutex + condition variable
+    shared by all of a partition's input queues, plus a version counter
+    bumped on every mutation (the missed-wakeup guard for schedulers
+    that block). *)
+module Notifier : sig
+  type t = {
+    n_mu : Mutex.t;
+    n_cond : Condition.t;
+    n_version : int Atomic.t;
+  }
+
+  val create : unit -> t
+  val version : t -> int
+
+  (** Bumps the version and broadcasts.  Call with [n_mu] held. *)
+  val bump : t -> unit
+
+  (** Locks, bumps, broadcasts, unlocks — wakes any waiter from outside
+      (abort paths). *)
+  val poke : t -> unit
+end
+
+exception Aborted
+(** Raised out of a blocking {!Bqueue.push} whose abort predicate
+    tripped while waiting for space. *)
+
+(** Bounded thread-safe token queue (SPSC): producer and consumer
+    synchronize on the consumer partition's {!Notifier}.  The software
+    analogue of the QSFP channel buffers — backpressure instead of
+    unbounded growth when one partition runs ahead. *)
+module Bqueue : sig
+  type 'a t
+
+  exception Full
+
+  val create : capacity:int -> notif:Notifier.t -> 'a t
+  val notifier : 'a t -> Notifier.t
+
+  (** Enqueues.  With [block], waits for space (raising {!Aborted} if
+      [abort ()] trips while waiting); without, raises {!Full} when at
+      capacity. *)
+  val push : 'a t -> 'a -> block:bool -> abort:(unit -> bool) -> unit
+
+  val peek_opt : 'a t -> 'a option
+
+  (** Drops the head token, waking producers blocked on a full queue. *)
+  val drop : 'a t -> unit
+
+  val is_empty : 'a t -> bool
+  val length : 'a t -> int
+
+  (** Lock-free emptiness probe; only sound when all domains touching
+      the queue are quiescent (the deadlock check). *)
+  val is_empty_unsynchronized : 'a t -> bool
+
+  val to_list : 'a t -> 'a list
+
+  (** Replaces the whole contents (checkpoint/snapshot restore). *)
+  val set_contents : 'a t -> 'a list -> unit
+end

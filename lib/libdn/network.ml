@@ -11,14 +11,17 @@
    (the fireFSM) when all of its input channels hold a token and all of
    its output channels have fired.
 
-   The scheduler below executes any composition of such partitions and
-   detects deadlock — e.g. the circular token dependency of Fig. 2a,
-   which arises when combinationally-coupled ports are merged into a
-   single channel pair. *)
+   This module is the passive *topology*: partitions, channels,
+   connections, seed tokens, and the two primitive state transitions
+   ({!try_fire}, {!try_advance}) those firing rules allow.  It does not
+   decide WHEN to attempt them — that is the {!Scheduler}'s job, which
+   may sweep partitions round-robin in one thread or run each partition
+   on its own domain.  Tokens are the only cross-partition (and
+   cross-domain) communication, mirroring the QSFP cable. *)
 
 type in_chan = {
   ic_spec : Channel.spec;
-  ic_queue : Channel.token Queue.t;
+  ic_queue : Channel.token Channel.Bqueue.t;
 }
 
 type out_chan = {
@@ -33,6 +36,8 @@ type partition = {
   pt_index : int;
   pt_name : string;
   pt_engine : Engine.t;
+  pt_notif : Channel.Notifier.t;
+      (** synchronization point shared by this partition's input queues *)
   pt_ins : in_chan array;
   pt_outs : out_chan array;
   mutable pt_cycle : int;
@@ -44,21 +49,32 @@ type partition = {
 type t = {
   mutable parts : partition list;  (* reversed during construction *)
   mutable frozen : partition array;
-  mutable token_transfers : int;  (** total tokens moved, for statistics *)
+  queue_capacity : int;
+  token_transfers : int Atomic.t;  (** total tokens moved, for statistics *)
 }
 
 exception Deadlock of string
 
-let create () = { parts = []; frozen = [||]; token_transfers = 0 }
+let default_queue_capacity = 1024
+
+let create ?(queue_capacity = default_queue_capacity) () =
+  { parts = []; frozen = [||]; queue_capacity; token_transfers = Atomic.make 0 }
 
 (** Declares a partition.  [outs] gives each output channel's spec
     together with the names of the input channels it combinationally
     depends on. *)
 let add_partition t ~name ~engine ~(ins : Channel.spec list)
     ~(outs : (Channel.spec * string list) list) =
+  let notif = Channel.Notifier.create () in
   let pt_ins =
     Array.of_list
-      (List.map (fun spec -> { ic_spec = spec; ic_queue = Queue.create () }) ins)
+      (List.map
+         (fun spec ->
+           {
+             ic_spec = spec;
+             ic_queue = Channel.Bqueue.create ~capacity:t.queue_capacity ~notif;
+           })
+         ins)
   in
   let index_of_in n =
     match
@@ -87,6 +103,7 @@ let add_partition t ~name ~engine ~(ins : Channel.spec list)
       pt_index = List.length t.parts;
       pt_name = name;
       pt_engine = engine;
+      pt_notif = notif;
       pt_ins;
       pt_outs;
       pt_cycle = 0;
@@ -97,6 +114,10 @@ let add_partition t ~name ~engine ~(ins : Channel.spec list)
   part.pt_index
 
 let freeze t = if t.frozen = [||] then t.frozen <- Array.of_list (List.rev t.parts)
+
+let partitions t =
+  freeze t;
+  t.frozen
 
 let partition t i =
   freeze t;
@@ -128,17 +149,27 @@ let connect t ~src:(sp, sc) ~dst:(dp, dc) =
   let di = find_in_index t dp dc in
   oc.oc_dests <- (dp, di) :: oc.oc_dests
 
+let never_abort () = false
+
 (** Pre-loads a token into an input channel before the simulation starts
     (fast-mode initialization; Section III-A2). *)
 let seed t ~part ~chan (tok : Channel.token) =
   let p = partition t part in
-  Queue.push tok p.pt_ins.(find_in_index t part chan).ic_queue
+  Channel.Bqueue.push
+    p.pt_ins.(find_in_index t part chan).ic_queue
+    tok ~block:false ~abort:never_abort
 
 let set_drive t part f = (partition t part).pt_drive <- f
 
 let cycle_of t part = (partition t part).pt_cycle
 
-let token_transfers t = t.token_transfers
+let token_transfers t = Atomic.get t.token_transfers
+
+(** Applies every partition's drive hook for target cycle 0.  Schedulers
+    call this once at the start of each run. *)
+let prime t =
+  freeze t;
+  Array.iter (fun p -> p.pt_drive p.pt_engine 0) t.frozen
 
 let diagnose t =
   freeze t;
@@ -151,7 +182,7 @@ let diagnose t =
         (fun ic ->
           Buffer.add_string buf
             (Printf.sprintf "  in  %-24s queue=%d\n" ic.ic_spec.Channel.name
-               (Queue.length ic.ic_queue)))
+               (Channel.Bqueue.length ic.ic_queue)))
         p.pt_ins;
       Array.iter
         (fun oc ->
@@ -169,14 +200,22 @@ let diagnose t =
 (* Applies the head token of input channel [i] to the engine inputs. *)
 let apply_head p i =
   let ic = p.pt_ins.(i) in
-  match Queue.peek_opt ic.ic_queue with
+  match Channel.Bqueue.peek_opt ic.ic_queue with
   | Some tok -> Channel.apply_token ic.ic_spec p.pt_engine.Engine.set_input tok
   | None -> invalid_arg "apply_head: empty queue"
 
-let try_fire t p oc =
+(** Attempts the output-channel firing rule: if [oc] has not fired for
+    the current target cycle and every input channel it depends on holds
+    a token, evaluates its cone and sends the token to all destinations.
+    [block] selects backpressure behavior on a full destination queue
+    (parallel scheduler blocks, sequential treats it as a hard error);
+    [abort] lets a blocked push bail out.  Returns whether it fired. *)
+let try_fire t p oc ~block ~abort =
   if
     (not oc.oc_fired)
-    && List.for_all (fun i -> not (Queue.is_empty p.pt_ins.(i).ic_queue)) oc.oc_deps
+    && List.for_all
+         (fun i -> not (Channel.Bqueue.is_empty p.pt_ins.(i).ic_queue))
+         oc.oc_deps
   then begin
     List.iter (apply_head p) oc.oc_deps;
     oc.oc_eval ();
@@ -184,28 +223,75 @@ let try_fire t p oc =
     oc.oc_fired <- true;
     List.iter
       (fun (dp, di) ->
-        Queue.push (Array.copy tok) t.frozen.(dp).pt_ins.(di).ic_queue;
-        t.token_transfers <- t.token_transfers + 1)
+        Channel.Bqueue.push t.frozen.(dp).pt_ins.(di).ic_queue (Array.copy tok) ~block
+          ~abort;
+        Atomic.incr t.token_transfers)
       oc.oc_dests;
     true
   end
   else false
 
+(** Attempts the fireFSM advance rule: if every input channel holds a
+    token and every output channel has fired, applies the inputs, steps
+    the engine one target cycle, consumes the tokens, resets the fired
+    flags and calls the drive hook for the new cycle.  Returns whether
+    it advanced. *)
 let try_advance p =
   if
-    Array.for_all (fun ic -> not (Queue.is_empty ic.ic_queue)) p.pt_ins
+    Array.for_all (fun ic -> not (Channel.Bqueue.is_empty ic.ic_queue)) p.pt_ins
     && Array.for_all (fun oc -> oc.oc_fired) p.pt_outs
   then begin
     Array.iteri (fun i _ -> apply_head p i) p.pt_ins;
     p.pt_engine.Engine.eval_comb ();
     p.pt_engine.Engine.step_seq ();
-    Array.iter (fun ic -> ignore (Queue.pop ic.ic_queue)) p.pt_ins;
+    Array.iter (fun ic -> Channel.Bqueue.drop ic.ic_queue) p.pt_ins;
     Array.iter (fun oc -> oc.oc_fired <- false) p.pt_outs;
     p.pt_cycle <- p.pt_cycle + 1;
     p.pt_drive p.pt_engine p.pt_cycle;
     true
   end
   else false
+
+(* ------------------------------------------------------------------ *)
+(* Quiescence (deadlock detection)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Whether the firing rules permit [p] any state transition, judged
+   purely from token availability and fired flags — the same condition
+   {!try_fire}/{!try_advance} test before touching the engine.  Reads
+   are unsynchronized: only call when every domain that could mutate the
+   state is parked (all-blocked in the parallel scheduler, or trivially
+   in the sequential one). *)
+let can_progress p =
+  let can_fire oc =
+    (not oc.oc_fired)
+    && List.for_all
+         (fun i -> not (Channel.Bqueue.is_empty_unsynchronized p.pt_ins.(i).ic_queue))
+         oc.oc_deps
+  in
+  let can_advance =
+    Array.for_all
+      (fun ic -> not (Channel.Bqueue.is_empty_unsynchronized ic.ic_queue))
+      p.pt_ins
+    && Array.for_all (fun oc -> oc.oc_fired) p.pt_outs
+  in
+  Array.exists can_fire p.pt_outs || can_advance
+
+(** True when no partition still short of [target] cycles can fire or
+    advance: the network can never make progress again — the Fig. 2a
+    circular-dependency deadlock.  Only meaningful when all partitions
+    are quiescent (see {!can_progress}). *)
+let quiescent t ~target =
+  freeze t;
+  Array.for_all (fun p -> p.pt_cycle >= target || not (can_progress p)) t.frozen
+
+let deadlock_message t =
+  "LI-BDN deadlock: network is quiescent — no output channel can fire and no \
+   partition can advance\n" ^ diagnose t
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints and snapshots                                           *)
+(* ------------------------------------------------------------------ *)
 
 (** Captures the whole network's state — engine architectural state,
     in-flight channel tokens, per-channel fired flags and target cycles.
@@ -219,7 +305,7 @@ let checkpoint t =
       (fun p ->
         let queues =
           Array.map
-            (fun ic -> Queue.fold (fun acc tok -> Array.copy tok :: acc) [] ic.ic_queue |> List.rev)
+            (fun ic -> List.map Array.copy (Channel.Bqueue.to_list ic.ic_queue))
             p.pt_ins
         in
         let fired = Array.map (fun oc -> oc.oc_fired) p.pt_outs in
@@ -227,20 +313,19 @@ let checkpoint t =
         (p, queues, fired, restore_engine, p.pt_cycle))
       t.frozen
   in
-  let transfers = t.token_transfers in
+  let transfers = Atomic.get t.token_transfers in
   fun () ->
     Array.iter
       (fun (p, queues, fired, restore_engine, cycle) ->
         restore_engine ();
         Array.iteri
           (fun i toks ->
-            Queue.clear p.pt_ins.(i).ic_queue;
-            List.iter (fun tok -> Queue.push (Array.copy tok) p.pt_ins.(i).ic_queue) toks)
+            Channel.Bqueue.set_contents p.pt_ins.(i).ic_queue (List.map Array.copy toks))
           queues;
         Array.iteri (fun i f -> p.pt_outs.(i).oc_fired <- f) fired;
         p.pt_cycle <- cycle)
       parts;
-    t.token_transfers <- transfers
+    Atomic.set t.token_transfers transfers
 
 (* Serializable counterpart of {!checkpoint}: plain data (no closures),
    so callers can write it to disk.  Engine architectural state is NOT
@@ -260,13 +345,12 @@ let snapshot t =
       Array.map
         (fun p ->
           ( Array.map
-              (fun ic ->
-                Queue.fold (fun acc tok -> Array.copy tok :: acc) [] ic.ic_queue |> List.rev)
+              (fun ic -> List.map Array.copy (Channel.Bqueue.to_list ic.ic_queue))
               p.pt_ins,
             Array.map (fun oc -> oc.oc_fired) p.pt_outs,
             p.pt_cycle ))
         t.frozen;
-    sn_transfers = t.token_transfers;
+    sn_transfers = Atomic.get t.token_transfers;
   }
 
 let restore t sn =
@@ -281,60 +365,9 @@ let restore t sn =
       then invalid_arg "Network.restore: channel count mismatch";
       Array.iteri
         (fun j toks ->
-          Queue.clear p.pt_ins.(j).ic_queue;
-          List.iter (fun tok -> Queue.push (Array.copy tok) p.pt_ins.(j).ic_queue) toks)
+          Channel.Bqueue.set_contents p.pt_ins.(j).ic_queue (List.map Array.copy toks))
         queues;
       Array.iteri (fun j f -> p.pt_outs.(j).oc_fired <- f) fired;
       p.pt_cycle <- cycle)
     t.frozen;
-  t.token_transfers <- sn.sn_transfers
-
-(** Runs every partition up to [cycles] target cycles.  Raises
-    {!Deadlock} with a channel-state report if no forward progress is
-    possible, which is exactly the situation of Fig. 2a in the paper. *)
-let run t ~cycles =
-  freeze t;
-  Array.iter (fun p -> p.pt_drive p.pt_engine 0) t.frozen;
-  let behind () = Array.exists (fun p -> p.pt_cycle < cycles) t.frozen in
-  while behind () do
-    let progress = ref false in
-    Array.iter
-      (fun p ->
-        if p.pt_cycle < cycles then begin
-          Array.iter (fun oc -> if try_fire t p oc then progress := true) p.pt_outs;
-          if try_advance p then progress := true
-        end)
-      t.frozen;
-    if (not !progress) && behind () then
-      raise
-        (Deadlock
-           ("LI-BDN deadlock: no output channel can fire and no partition can advance\n"
-          ^ diagnose t))
-  done
-
-(** Runs until [pred] holds (checked after each whole-network sweep) or
-    [max_cycles] is reached; returns the reached cycle of partition 0.
-    All partitions stay within one cycle of each other only as far as
-    token availability forces them to; [pred] is evaluated on demand. *)
-let run_until t ~max_cycles pred =
-  freeze t;
-  Array.iter (fun p -> p.pt_drive p.pt_engine 0) t.frozen;
-  let stop = ref false in
-  let deadline_reached () = Array.for_all (fun p -> p.pt_cycle >= max_cycles) t.frozen in
-  while (not !stop) && not (deadline_reached ()) do
-    let progress = ref false in
-    Array.iter
-      (fun p ->
-        if p.pt_cycle < max_cycles then begin
-          Array.iter (fun oc -> if try_fire t p oc then progress := true) p.pt_outs;
-          if try_advance p then progress := true
-        end)
-      t.frozen;
-    if pred t then stop := true
-    else if not !progress then
-      raise
-        (Deadlock
-           ("LI-BDN deadlock: no output channel can fire and no partition can advance\n"
-          ^ diagnose t))
-  done;
-  t.frozen.(0).pt_cycle
+  Atomic.set t.token_transfers sn.sn_transfers

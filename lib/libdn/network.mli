@@ -2,12 +2,16 @@
     per-cycle tokens over latency-insensitive channels; each output
     channel fires once its combinational dependencies hold tokens; a
     partition advances (fireFSM) when all inputs hold tokens and all
-    outputs have fired.  The scheduler executes any composition of
-    partitions and detects deadlock (Fig. 2a). *)
+    outputs have fired.
+
+    This module is the passive topology plus the two primitive state
+    transitions the firing rules allow ({!try_fire}, {!try_advance});
+    deciding when to attempt them belongs to {!Scheduler}, which can
+    sweep partitions in one thread or run each on its own domain. *)
 
 type in_chan = {
   ic_spec : Channel.spec;
-  ic_queue : Channel.token Queue.t;
+  ic_queue : Channel.token Channel.Bqueue.t;
 }
 
 type out_chan = {
@@ -22,6 +26,7 @@ type partition = {
   pt_index : int;
   pt_name : string;
   pt_engine : Engine.t;
+  pt_notif : Channel.Notifier.t;
   pt_ins : in_chan array;
   pt_outs : out_chan array;
   mutable pt_cycle : int;
@@ -32,7 +37,12 @@ type t
 
 exception Deadlock of string
 
-val create : unit -> t
+(** [queue_capacity] bounds every input channel queue (default
+    {!default_queue_capacity}); the parallel scheduler backpressures on
+    a full queue, the sequential one treats it as a hard error. *)
+val create : ?queue_capacity:int -> unit -> t
+
+val default_queue_capacity : int
 
 (** Declares a partition; [outs] pairs each output channel with the
     names of the input channels it combinationally depends on.  Returns
@@ -47,6 +57,9 @@ val add_partition :
 
 val partition : t -> int -> partition
 
+(** All partitions, in declaration order (freezes the topology). *)
+val partitions : t -> partition array
+
 (** Connects an output channel to an input channel; fan-out allowed. *)
 val connect : t -> src:int * string -> dst:int * string -> unit
 
@@ -59,8 +72,37 @@ val set_drive : t -> int -> (Engine.t -> int -> unit) -> unit
 val cycle_of : t -> int -> int
 val token_transfers : t -> int
 
+(** Applies every partition's drive hook for target cycle 0; schedulers
+    call this once at the start of each run. *)
+val prime : t -> unit
+
 (** Channel-state report used in deadlock messages. *)
 val diagnose : t -> string
+
+(** Attempts the output-channel firing rule; returns whether it fired.
+    [block] selects backpressure behavior on full destination queues
+    ([true] in the parallel scheduler); [abort] lets a blocked push bail
+    out. *)
+val try_fire :
+  t -> partition -> out_chan -> block:bool -> abort:(unit -> bool) -> bool
+
+(** Attempts the fireFSM advance rule (consume one token per input,
+    step the engine one target cycle, reset fired flags); returns
+    whether it advanced. *)
+val try_advance : partition -> bool
+
+(** Whether the firing rules permit [p] any transition, judged purely
+    from token availability and fired flags.  Unsynchronized reads —
+    only call when every mutating domain is parked. *)
+val can_progress : partition -> bool
+
+(** True when no partition short of [target] cycles can fire or advance:
+    the Fig. 2a deadlock.  Only meaningful when all partitions are
+    quiescent. *)
+val quiescent : t -> target:int -> bool
+
+(** The message schedulers put in {!Deadlock} (includes {!diagnose}). *)
+val deadlock_message : t -> string
 
 (** Captures the whole network (engine state, in-flight tokens, fired
     flags, cycles); the returned thunk rolls everything back. *)
@@ -78,11 +120,3 @@ val snapshot : t -> snapshot
 
 (** Restores a snapshot into a network of the same shape (same plan). *)
 val restore : t -> snapshot -> unit
-
-(** Runs every partition to [cycles] target cycles; raises {!Deadlock}
-    if no forward progress is possible. *)
-val run : t -> cycles:int -> unit
-
-(** Runs until [pred] holds or all partitions reach [max_cycles];
-    returns partition 0's cycle. *)
-val run_until : t -> max_cycles:int -> (t -> bool) -> int

@@ -23,23 +23,71 @@ type conn = {
   c_in : in_channel;
   c_out : out_channel;
   c_pid : int;
+  c_label : string;  (** partition/unit name, for diagnostics *)
+  mutable c_last : string;  (** last command written to the worker *)
   mutable c_alive : bool;
 }
+
+exception Worker_died of { label : string; last_command : string; status : string }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_died { label; last_command; status } ->
+      Some
+        (Printf.sprintf
+           "remote engine: worker for partition %S died (%s) while handling %S" label
+           status last_command)
+    | _ -> None)
+
+let pid conn = conn.c_pid
+let label conn = conn.c_label
+
+(* Reaps and renders the worker's exit status.  A pipe EOF can precede
+   the worker becoming reapable by a moment, so poll briefly rather
+   than block (the pipes could also break with the worker still up). *)
+let exit_status conn =
+  let rec poll tries =
+    match Unix.waitpid [ Unix.WNOHANG ] conn.c_pid with
+    | 0, _ ->
+      if tries = 0 then "no exit status yet"
+      else begin
+        Unix.sleepf 0.002;
+        poll (tries - 1)
+      end
+    | _, Unix.WEXITED n -> Printf.sprintf "exited with code %d" n
+    | _, Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+    | _, Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+    | exception Unix.Unix_error _ -> "already reaped"
+  in
+  poll 50
+
+(* The worker vanished under us: mark the connection dead and raise a
+   diagnosis naming the partition and the command in flight (a bare
+   [End_of_file] from the pipe told the caller nothing). *)
+let died conn =
+  conn.c_alive <- false;
+  raise (Worker_died { label = conn.c_label; last_command = conn.c_last; status = exit_status conn })
 
 let send conn fmt =
   Printf.ksprintf
     (fun line ->
-      output_string conn.c_out line;
-      output_char conn.c_out '\n')
+      conn.c_last <- line;
+      try
+        output_string conn.c_out line;
+        output_char conn.c_out '\n'
+      with Sys_error _ -> died conn)
     fmt
 
 let ask conn fmt =
   Printf.ksprintf
     (fun line ->
-      output_string conn.c_out line;
-      output_char conn.c_out '\n';
-      flush conn.c_out;
-      input_line conn.c_in)
+      conn.c_last <- line;
+      try
+        output_string conn.c_out line;
+        output_char conn.c_out '\n';
+        flush conn.c_out;
+        input_line conn.c_in
+      with Sys_error _ | End_of_file -> died conn)
     fmt
 
 let ask_int conn fmt =
@@ -51,8 +99,12 @@ let ask_int conn fmt =
       | None -> failwith (Printf.sprintf "remote engine: bad reply %S to %S" reply line))
     fmt
 
-(** Spawns a worker process serving the circuit in [fir_path]. *)
-let spawn ~worker ~fir_path =
+(** Spawns a worker process serving the circuit in [fir_path].  [label]
+    names the partition in diagnostics when the worker dies. *)
+let spawn ?(label = "unnamed") ~worker ~fir_path () =
+  (* A dead worker must surface as a {!Worker_died} diagnosis, not a
+     fatal SIGPIPE when the parent next writes to the closed pipe. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (* cloexec: the worker must NOT inherit the parent-side pipe ends (or
      the write end of its own stdin pipe would keep EOF from ever
      arriving after the parent exits); [create_process] dup2s the
@@ -69,6 +121,8 @@ let spawn ~worker ~fir_path =
       c_in = Unix.in_channel_of_descr parent_read;
       c_out = Unix.out_channel_of_descr parent_write;
       c_pid = pid;
+      c_label = label;
+      c_last = "(startup)";
       c_alive = true;
     }
   in
@@ -77,14 +131,14 @@ let spawn ~worker ~fir_path =
   (match input_line conn.c_in with
   | "ready" -> ()
   | other -> failwith (Printf.sprintf "remote engine: expected ready, got %S" other)
-  | exception End_of_file -> failwith "remote engine: worker died during startup");
+  | exception End_of_file -> died conn);
   conn
 
 let close conn =
   if conn.c_alive then begin
     conn.c_alive <- false;
     (try
-       send conn "quit";
+       output_string conn.c_out "quit\n";
        flush conn.c_out
      with Sys_error _ -> ());
     (try ignore (Unix.waitpid [] conn.c_pid) with Unix.Unix_error _ -> ());

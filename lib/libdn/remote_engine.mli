@@ -6,9 +6,21 @@
 
 type conn
 
+exception Worker_died of { label : string; last_command : string; status : string }
+(** The worker process exited unexpectedly.  [label] names the
+    partition, [last_command] is the protocol line in flight, [status]
+    renders the exit/signal status when already observable. *)
+
 (** Spawns a worker process (the [fireaxe-worker] binary) serving the
-    circuit stored at [fir_path]. *)
-val spawn : worker:string -> fir_path:string -> conn
+    circuit stored at [fir_path].  [label] names the partition in
+    {!Worker_died} diagnostics. *)
+val spawn : ?label:string -> worker:string -> fir_path:string -> unit -> conn
+
+(** The worker's process id (tests use it to simulate crashes). *)
+val pid : conn -> int
+
+(** The partition label given at {!spawn}. *)
+val label : conn -> string
 
 (** Sends quit and reaps the worker. *)
 val close : conn -> unit

@@ -1,0 +1,246 @@
+(* Schedulers: execution policies over a passive {!Network} topology.
+
+   The LI-BDN firing rules make token streams deterministic regardless
+   of attempt order, so any policy that keeps attempting {!Network.try_fire}
+   and {!Network.try_advance} until every partition reaches the target
+   cycle computes the same register state.  Two policies are provided:
+
+   - {!Sequential}: the classic single-threaded round-robin sweep, the
+     reference implementation (and the right choice for cycle-stepping
+     drivers that interleave host work between cycles).
+
+   - {!Parallel}: one OCaml 5 domain per partition, mirroring the
+     paper's deployment where each FPGA simulates its partition
+     concurrently and simulation tokens are the only synchronization.
+     Tokens move through the bounded thread-safe queues of
+     {!Channel.Bqueue}; a partition that cannot fire or advance parks on
+     its notifier until a token arrives.
+
+   Deadlock (the Fig. 2a merged-channel scenario) is detected in both
+   policies by the same authoritative quiescence check
+   ({!Network.quiescent}): the network is dead iff no unfinished
+   partition's firing rules permit any transition.  In the parallel
+   scheduler the check runs when the last unfinished domain parks; a
+   false alarm is impossible because the check inspects actual token
+   state, not just the parked-domain count. *)
+
+type t = Sequential | Parallel
+
+let default = Sequential
+let name = function Sequential -> "seq" | Parallel -> "par"
+
+let of_string = function
+  | "seq" | "sequential" -> Ok Sequential
+  | "par" | "parallel" -> Ok Parallel
+  | s -> Error (Printf.sprintf "unknown scheduler %S (expected seq or par)" s)
+
+let never_abort () = false
+
+(* One round-robin attempt over everything partition [p] can do. *)
+let sweep net p ~block ~abort =
+  let progress = ref false in
+  Array.iter
+    (fun oc -> if Network.try_fire net p oc ~block ~abort then progress := true)
+    p.Network.pt_outs;
+  if Network.try_advance p then progress := true;
+  !progress
+
+(* ------------------------------------------------------------------ *)
+(* Sequential                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_seq net ~cycles =
+  let parts = Network.partitions net in
+  let behind () = Array.exists (fun p -> p.Network.pt_cycle < cycles) parts in
+  while behind () do
+    let progress = ref false in
+    Array.iter
+      (fun p ->
+        if p.Network.pt_cycle < cycles then
+          if sweep net p ~block:false ~abort:never_abort then progress := true)
+      parts;
+    if (not !progress) && behind () then begin
+      (* A no-progress sweep implies quiescence; the check is the
+         authoritative judgment shared with the parallel scheduler. *)
+      assert (Network.quiescent net ~target:cycles);
+      raise (Network.Deadlock (Network.deadlock_message net))
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Parallel                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Global coordination for one parallel run.  [m_blocked] counts domains
+   parked on their notifier; [m_unfinished] counts partitions still
+   short of the target.  Lock order: a partition's notifier mutex may be
+   taken before [m_mu], never the other way around. *)
+type monitor = {
+  m_mu : Mutex.t;
+  mutable m_blocked : int;
+  mutable m_unfinished : int;
+  mutable m_dead : bool;
+  mutable m_error : exn option;
+  m_abort : bool Atomic.t;
+}
+
+let wake_all net =
+  Array.iter (fun p -> Channel.Notifier.poke p.Network.pt_notif) (Network.partitions net)
+
+(* Declares deadlock/abort state under [m_mu]; wake separately. *)
+let declare_dead mon =
+  mon.m_dead <- true;
+  Atomic.set mon.m_abort true
+
+(* Parks partition [p]'s domain until its input state changes (version
+   guard against missed wakeups).  The last unfinished domain to park
+   runs the quiescence check: with every other mutator registered as
+   parked (registration orders their writes before our read via
+   [m_mu]), the unsynchronized reads inside {!Network.quiescent} are
+   sound. *)
+let par_block net mon p ~cycles ~seen =
+  let n = p.Network.pt_notif in
+  Mutex.lock n.Channel.Notifier.n_mu;
+  if Channel.Notifier.version n <> seen || Atomic.get mon.m_abort then
+    Mutex.unlock n.Channel.Notifier.n_mu
+  else begin
+    Mutex.lock mon.m_mu;
+    mon.m_blocked <- mon.m_blocked + 1;
+    let declare =
+      mon.m_blocked = mon.m_unfinished && Network.quiescent net ~target:cycles
+    in
+    if declare then declare_dead mon;
+    Mutex.unlock mon.m_mu;
+    if declare then Mutex.unlock n.Channel.Notifier.n_mu
+    else begin
+      while Channel.Notifier.version n = seen && not (Atomic.get mon.m_abort) do
+        Condition.wait n.Channel.Notifier.n_cond n.Channel.Notifier.n_mu
+      done;
+      Mutex.unlock n.Channel.Notifier.n_mu
+    end;
+    if declare then wake_all net;
+    Mutex.lock mon.m_mu;
+    mon.m_blocked <- mon.m_blocked - 1;
+    Mutex.unlock mon.m_mu
+  end
+
+(* A domain that finishes (or aborts) must deregister from
+   [m_unfinished] and, when it leaves only parked domains behind, judge
+   deadlock on their behalf — otherwise the stragglers park forever with
+   nobody left to notice. *)
+let par_exit net mon ~cycles =
+  Mutex.lock mon.m_mu;
+  mon.m_unfinished <- mon.m_unfinished - 1;
+  let declare =
+    (not (Atomic.get mon.m_abort))
+    && mon.m_unfinished > 0
+    && mon.m_blocked = mon.m_unfinished
+    && Network.quiescent net ~target:cycles
+  in
+  if declare then declare_dead mon;
+  Mutex.unlock mon.m_mu;
+  if declare then wake_all net
+
+let par_fail net mon e =
+  Mutex.lock mon.m_mu;
+  (match e with
+  | Channel.Aborted -> ()  (* secondary casualty of an abort, not a cause *)
+  | e -> if mon.m_error = None then mon.m_error <- Some e);
+  Atomic.set mon.m_abort true;
+  Mutex.unlock mon.m_mu;
+  wake_all net
+
+let par_worker net mon p ~cycles =
+  let abort () = Atomic.get mon.m_abort in
+  (try
+     while p.Network.pt_cycle < cycles && not (abort ()) do
+       let seen = Channel.Notifier.version p.Network.pt_notif in
+       if not (sweep net p ~block:true ~abort) then par_block net mon p ~cycles ~seen
+     done
+   with e -> par_fail net mon e);
+  par_exit net mon ~cycles
+
+(* Runs every unfinished partition on its own domain to [cycles]. *)
+let run_par net ~cycles =
+  let parts = Network.partitions net in
+  let workers =
+    Array.to_list parts |> List.filter (fun p -> p.Network.pt_cycle < cycles)
+  in
+  match workers with
+  | [] -> ()
+  | workers ->
+    let mon =
+      {
+        m_mu = Mutex.create ();
+        m_blocked = 0;
+        m_unfinished = List.length workers;
+        m_dead = false;
+        m_error = None;
+        m_abort = Atomic.make false;
+      }
+    in
+    let domains =
+      List.map (fun p -> Domain.spawn (fun () -> par_worker net mon p ~cycles)) workers
+    in
+    List.iter Domain.join domains;
+    (match mon.m_error with
+    | Some e -> raise e
+    | None -> if mon.m_dead then raise (Network.Deadlock (Network.deadlock_message net)))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Runs every partition up to [cycles] target cycles under the chosen
+    scheduler.  Raises {!Network.Deadlock} with a channel-state report
+    if no forward progress is possible (Fig. 2a). *)
+let run ?(scheduler = default) net ~cycles =
+  Network.prime net;
+  match scheduler with
+  | Sequential -> run_seq net ~cycles
+  | Parallel -> run_par net ~cycles
+
+(** Runs until [pred] holds or all partitions reach [max_cycles];
+    returns the reached cycle of partition 0.  The sequential scheduler
+    checks [pred] after every whole-network sweep (partitions may sit at
+    different cycles when it fires); the parallel scheduler checks at
+    whole-cycle barriers, where every partition holds the same cycle —
+    [pred] must not race with partition domains, so it only runs while
+    they are joined. *)
+let run_until ?(scheduler = default) net ~max_cycles pred =
+  Network.prime net;
+  match scheduler with
+  | Sequential ->
+    let parts = Network.partitions net in
+    let stop = ref false in
+    let deadline_reached () =
+      Array.for_all (fun p -> p.Network.pt_cycle >= max_cycles) parts
+    in
+    while (not !stop) && not (deadline_reached ()) do
+      let progress = ref false in
+      Array.iter
+        (fun p ->
+          if p.Network.pt_cycle < max_cycles then
+            if sweep net p ~block:false ~abort:never_abort then progress := true)
+        parts;
+      if pred net then stop := true
+      else if not !progress then begin
+        assert (Network.quiescent net ~target:max_cycles);
+        raise (Network.Deadlock (Network.deadlock_message net))
+      end
+    done;
+    parts.(0).Network.pt_cycle
+  | Parallel ->
+    let parts = Network.partitions net in
+    let min_cycle () =
+      Array.fold_left (fun acc p -> min acc p.Network.pt_cycle) max_int parts
+    in
+    let rec go () =
+      let c = min_cycle () in
+      if c >= max_cycles then parts.(0).Network.pt_cycle
+      else begin
+        run_par net ~cycles:(min max_cycles (c + 1));
+        if pred net then parts.(0).Network.pt_cycle else go ()
+      end
+    in
+    go ()

@@ -1,0 +1,36 @@
+(** Schedulers: execution policies over a passive {!Network} topology.
+
+    The LI-BDN firing rules make token streams deterministic regardless
+    of attempt order, so both schedulers compute cycle-identical
+    register state:
+
+    - {!Sequential} — single-threaded round-robin sweep (the reference
+      implementation; best for cycle-stepping drivers).
+    - {!Parallel} — one OCaml 5 domain per partition, tokens through
+      bounded thread-safe queues as the only synchronization (the
+      software mirror of one-FPGA-per-partition; best for long
+      free-running simulations of multi-partition designs).
+
+    Deadlock (Fig. 2a) is detected in both by the same authoritative
+    quiescence check ({!Network.quiescent}). *)
+
+type t = Sequential | Parallel
+
+val default : t
+(** {!Sequential}. *)
+
+val name : t -> string
+(** ["seq"] / ["par"]. *)
+
+val of_string : string -> (t, string) result
+(** Accepts ["seq"]/["sequential"] and ["par"]/["parallel"]. *)
+
+(** Runs every partition up to [cycles] target cycles; raises
+    {!Network.Deadlock} if the network quiesces short of the target. *)
+val run : ?scheduler:t -> Network.t -> cycles:int -> unit
+
+(** Runs until [pred] holds or all partitions reach [max_cycles];
+    returns partition 0's cycle.  Sequential checks [pred] after each
+    sweep; Parallel checks at whole-cycle barriers (all partition
+    domains joined, so [pred] never races with them). *)
+val run_until : ?scheduler:t -> Network.t -> max_cycles:int -> (Network.t -> bool) -> int

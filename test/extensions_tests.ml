@@ -293,6 +293,41 @@ let test_find_divergence () =
       (Rtlsim.Sim.get g2 d.Fireaxe.d_signal)
       (Rtlsim.Sim.get (Fireripper.Runtime.sim_of h2 u) d.Fireaxe.d_signal))
 
+let test_find_divergence_stride_invariant () =
+  (* Regression for the fine-replay path: rolling a window back restores
+     the golden sim's cycle counter, so the replay must resume exactly
+     at the window start.  The pinpointed cycle and signal must be
+     independent of the stride — including strides that place the
+     divergence just after a window boundary (rollback to a non-zero
+     cycle). *)
+  let good = Socgen.Ring_noc.ring_soc ~n_tiles:3 ~period:4 () in
+  let bad = Socgen.Ring_noc.ring_soc ~n_tiles:3 ~period:4 ~bug_tile:1 ~bug_at:60 () in
+  let config =
+    { Fireripper.Spec.default_config with
+      Fireripper.Spec.selection = Fireripper.Spec.Noc_routers [ [ 0; 1 ] ] }
+  in
+  let signals = List.init 3 (fun i -> Printf.sprintf "ttile%d$checksum_r" i) in
+  let hunt stride =
+    let handle = Fireripper.Runtime.instantiate (Fireripper.Compile.compile ~config bad) in
+    let golden = Rtlsim.Sim.of_circuit good in
+    match Fireaxe.find_divergence ~golden ~handle ~signals ~stride ~max_cycles:4000 () with
+    | None -> Alcotest.fail (Printf.sprintf "stride %d: divergence not found" stride)
+    | Some d -> d
+  in
+  (* Stride 1 never rolls back past a single cycle: ground truth. *)
+  let reference = hunt 1 in
+  List.iter
+    (fun stride ->
+      let d = hunt stride in
+      check_int (Printf.sprintf "stride %d pinpoints the same cycle" stride)
+        reference.Fireaxe.d_cycle d.Fireaxe.d_cycle;
+      check_bool (Printf.sprintf "stride %d blames the same signal" stride) true
+        (d.Fireaxe.d_signal = reference.Fireaxe.d_signal);
+      check_int "same golden value" reference.Fireaxe.d_golden d.Fireaxe.d_golden;
+      check_int "same partitioned value" reference.Fireaxe.d_partitioned
+        d.Fireaxe.d_partitioned)
+    [ 50; 64; 500 ]
+
 let test_find_divergence_none () =
   let circuit = Socgen.Ring_noc.ring_soc ~n_tiles:2 ~period:5 () in
   let config =
@@ -462,6 +497,8 @@ let suite =
     ( "fireaxe.divergence",
       [
         Alcotest.test_case "finds the planted bug" `Quick test_find_divergence;
+        Alcotest.test_case "pinpoint is stride-invariant" `Quick
+          test_find_divergence_stride_invariant;
         Alcotest.test_case "silent when identical" `Quick test_find_divergence_none;
       ] );
     ( "runtime.checkpoint",

@@ -88,7 +88,7 @@ let test_exact_mode_matches_monolithic () =
   let net, p1, p2 = build_pair_network ~split:true ~seeded:false in
   for cyc = 1 to 32 do
     Rtlsim.Sim.step mono;
-    Libdn.Network.run net ~cycles:cyc;
+    Libdn.Scheduler.run net ~cycles:cyc;
     (* Compare register state: always current right after an advance. *)
     let e1 = Rtlsim.Sim.get mono "p1$x" and e2 = Rtlsim.Sim.get mono "p2$x" in
     let g1 = (Libdn.Network.partition net p1).pt_engine.Libdn.Engine.get "x" in
@@ -100,14 +100,14 @@ let test_exact_mode_matches_monolithic () =
 let test_exact_mode_crossings () =
   (* Exact mode moves two tokens per direction per target cycle. *)
   let net, _, _ = build_pair_network ~split:true ~seeded:false in
-  Libdn.Network.run net ~cycles:10;
+  Libdn.Scheduler.run net ~cycles:10;
   check_int "token transfers" (2 * 2 * 10) (Libdn.Network.token_transfers net)
 
 let test_merged_channels_deadlock () =
   let net, _, _ = build_pair_network ~split:false ~seeded:false in
   check_bool "deadlocks" true
     (try
-       Libdn.Network.run net ~cycles:1;
+       Libdn.Scheduler.run net ~cycles:1;
        false
      with Libdn.Network.Deadlock _ -> true)
 
@@ -115,7 +115,7 @@ let test_fast_mode_seeding_runs () =
   (* Merged channels + one seed token per side: no deadlock (Fig. 3),
      one crossing per cycle, one cycle of injected boundary latency. *)
   let net, p1, _ = build_pair_network ~split:false ~seeded:true in
-  Libdn.Network.run net ~cycles:10;
+  Libdn.Scheduler.run net ~cycles:10;
   check_int "token transfers" (2 * 10) (Libdn.Network.token_transfers net);
   ignore p1
 
@@ -149,7 +149,7 @@ let test_fast_mode_latency_semantics () =
   let net, p1, p2 = build_pair_network ~split:false ~seeded:true in
   for cyc = 1 to 24 do
     Rtlsim.Sim.step ds;
-    Libdn.Network.run net ~cycles:cyc;
+    Libdn.Scheduler.run net ~cycles:cyc;
     check_int
       (Printf.sprintf "x1 at cycle %d" cyc)
       (Rtlsim.Sim.get ds "p1$x")
@@ -174,9 +174,9 @@ let test_external_drive () =
   let w = Goldengate.Fame1.wrap ~flat ~ins:[] ~outs:[] in
   let p = Goldengate.Fame1.add_to_network net ~name:"extsum" w in
   Libdn.Network.set_drive net p (fun eng cyc -> eng.Libdn.Engine.set_input "x" cyc);
-  Libdn.Network.run net ~cycles:5;
+  Libdn.Scheduler.run net ~cycles:5;
   (* acc accumulates x at cycles 0..4 = 0+1+2+3+4 = 10 *)
-  Libdn.Network.run net ~cycles:5;
+  Libdn.Scheduler.run net ~cycles:5;
   let eng = (Libdn.Network.partition net p).pt_engine in
   eng.Libdn.Engine.eval_comb ();
   check_int "accumulated drive" 10 (eng.Libdn.Engine.get "out")
@@ -298,7 +298,7 @@ let prop_exact_mode_equivalence =
       for _ = 1 to 16 do
         Rtlsim.Sim.step ms
       done;
-      Libdn.Network.run net ~cycles:16;
+      Libdn.Scheduler.run net ~cycles:16;
       Rtlsim.Sim.get ms "p1$x"
       = (Libdn.Network.partition net p1).pt_engine.Libdn.Engine.get "x")
 

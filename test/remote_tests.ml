@@ -143,9 +143,39 @@ let test_missing_worker_fails_cleanly () =
     (try
        ignore
          (Libdn.Remote_engine.spawn ~worker:"/nonexistent/fireaxe_worker.exe"
-            ~fir_path:"/nonexistent.fir");
+            ~fir_path:"/nonexistent.fir" ());
        false
-     with Failure _ | Unix.Unix_error _ -> true)
+     with
+    | Failure _ | Unix.Unix_error _ -> true
+    | Libdn.Remote_engine.Worker_died _ -> true)
+
+let test_worker_killed_mid_run () =
+  (* A worker killed mid-run (an FPGA falling off the fabric) must
+     surface as a [Worker_died] diagnosis naming the partition and the
+     command in flight — not a bare [End_of_file]. *)
+  let plan = soc_plan () in
+  let h, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+  let conn = List.assoc 1 conns in
+  let mu = FR.Runtime.locate h "mem$mem" in
+  Socgen.Soc.load_program (FR.Runtime.sim_of h mu) ~mem:"mem$mem" ~data program;
+  FR.Runtime.run h ~cycles:50;
+  Unix.kill (Libdn.Remote_engine.pid conn) Sys.sigkill;
+  (match Libdn.Remote_engine.get conn "tile$core$pc" with
+  | _ -> Alcotest.fail "expected Worker_died after killing the worker"
+  | exception Libdn.Remote_engine.Worker_died { label; last_command; status } ->
+    Alcotest.(check string)
+      "label names the partition" plan.FR.Plan.p_units.(1).FR.Plan.u_name label;
+    Alcotest.(check string) "command in flight recorded" "get tile$core$pc" last_command;
+    let contains hay needle =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    check_bool
+      (Printf.sprintf "status %S mentions the killing signal" status)
+      true (contains status "signal"));
+  (* [close] must not raise on the already-dead connection. *)
+  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
 
 let test_has_query () =
   let plan = soc_plan () in
@@ -168,6 +198,7 @@ let suite =
         Alcotest.test_case "all units remote" `Quick test_all_units_remote;
         Alcotest.test_case "checkpoint across the pipe" `Quick test_worker_survives_checkpoint;
         Alcotest.test_case "missing worker fails cleanly" `Quick test_missing_worker_fails_cleanly;
+        Alcotest.test_case "worker killed mid-run" `Quick test_worker_killed_mid_run;
         Alcotest.test_case "has query" `Quick test_has_query;
       ] );
   ]

@@ -1,0 +1,152 @@
+(* Cross-scheduler equivalence: the parallel scheduler (one OCaml 5
+   domain per partition, bounded token queues) must produce register
+   state cycle-identical to the sequential round-robin reference on
+   every partitioned design, in both exact and fast modes — the LI-BDN
+   determinism argument made executable.  Deadlock detection (Fig. 2a)
+   must fire under both policies. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_units = Alcotest.(check (list string))
+
+let seq = Libdn.Scheduler.Sequential
+let par = Libdn.Scheduler.Parallel
+
+(* ------------------------------------------------------------------ *)
+(* Network-level equivalence on the Fig. 2 pair design                 *)
+(* ------------------------------------------------------------------ *)
+
+let pair_x net p = (Libdn.Network.partition net p).pt_engine.Libdn.Engine.get "x"
+
+let test_parallel_matches_monolithic_exact () =
+  let mono = Rtlsim.Sim.of_circuit (Libdn_tests.monolithic_pair ()) in
+  for _ = 1 to 32 do
+    Rtlsim.Sim.step mono
+  done;
+  let net, p1, p2 = Libdn_tests.build_pair_network ~split:true ~seeded:false in
+  Libdn.Scheduler.run ~scheduler:par net ~cycles:32;
+  check_int "x1" (Rtlsim.Sim.get mono "p1$x") (pair_x net p1);
+  check_int "x2" (Rtlsim.Sim.get mono "p2$x") (pair_x net p2)
+
+let test_parallel_matches_sequential_seeded () =
+  (* Fast mode: merged channels with seed tokens. *)
+  let run scheduler =
+    let net, p1, p2 = Libdn_tests.build_pair_network ~split:false ~seeded:true in
+    Libdn.Scheduler.run ~scheduler net ~cycles:25;
+    (pair_x net p1, pair_x net p2, Libdn.Network.token_transfers net)
+  in
+  let sx1, sx2, stok = run seq in
+  let px1, px2, ptok = run par in
+  check_int "x1" sx1 px1;
+  check_int "x2" sx2 px2;
+  check_int "token transfers identical" stok ptok
+
+let test_deadlock_detected_under_both () =
+  List.iter
+    (fun scheduler ->
+      let net, _, _ = Libdn_tests.build_pair_network ~split:false ~seeded:false in
+      check_bool
+        (Libdn.Scheduler.name scheduler ^ " detects the Fig 2a deadlock")
+        true
+        (try
+           Libdn.Scheduler.run ~scheduler net ~cycles:1;
+           false
+         with Libdn.Network.Deadlock _ -> true))
+    [ seq; par ]
+
+(* ------------------------------------------------------------------ *)
+(* Plan-level equivalence on the partitioned test designs              *)
+(* ------------------------------------------------------------------ *)
+
+let soc_plan mode =
+  let config =
+    {
+      Fireaxe.Spec.default_config with
+      Fireaxe.Spec.mode;
+      Fireaxe.Spec.selection = Fireaxe.Spec.Instances [ [ "tile" ] ];
+    }
+  in
+  Fireaxe.compile ~config (Socgen.Soc.single_core_soc ())
+
+let ring_plan mode =
+  (* 8 routers in 4 extracted partitions of 2, plus the tile wrapper:
+     5 partitions (>= 4, the bench shape). *)
+  let config =
+    {
+      Fireaxe.Spec.default_config with
+      Fireaxe.Spec.mode;
+      Fireaxe.Spec.selection =
+        Fireaxe.Spec.Noc_routers [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ]; [ 6; 7 ] ];
+    }
+  in
+  Fireaxe.compile ~config (Socgen.Ring_noc.ring_soc ~n_tiles:8 ~period:4 ())
+
+let test_crosscheck_soc_exact () =
+  check_units "no mismatching units" []
+    (Fireaxe.crosscheck_schedulers ~cycles:200 (soc_plan Fireaxe.Spec.Exact))
+
+let test_crosscheck_soc_fast () =
+  check_units "no mismatching units" []
+    (Fireaxe.crosscheck_schedulers ~cycles:200 (soc_plan Fireaxe.Spec.Fast))
+
+let test_crosscheck_ring_exact () =
+  check_units "no mismatching units" []
+    (Fireaxe.crosscheck_schedulers ~cycles:120 (ring_plan Fireaxe.Spec.Exact))
+
+let test_crosscheck_ring_fast () =
+  check_units "no mismatching units" []
+    (Fireaxe.crosscheck_schedulers ~cycles:120 (ring_plan Fireaxe.Spec.Fast))
+
+let test_run_until_cycle_identical () =
+  (* The workload-termination cycle is scheduler-independent. *)
+  let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:8 ~reps:4 ~dst:60 in
+  let data = List.init 8 (fun i -> (32 + i, (i * 3) + 2)) in
+  let halt_cycle scheduler =
+    let h = Fireaxe.instantiate ~scheduler (soc_plan Fireaxe.Spec.Exact) in
+    let mu = Fireaxe.Runtime.locate h "mem$mem" in
+    Socgen.Soc.load_program (Fireaxe.Runtime.sim_of h mu) ~mem:"mem$mem" ~data program;
+    Fireaxe.Runtime.run_until h ~max_cycles:5_000 (fun h ->
+        let u = Fireaxe.Runtime.locate h "tile$core$state" in
+        Rtlsim.Sim.get (Fireaxe.Runtime.sim_of h u) "tile$core$state"
+        = Socgen.Kite_core.s_halted)
+  in
+  let s = halt_cycle seq in
+  check_bool "workload actually terminates" true (s < 5_000);
+  check_int "halt cycle identical" s (halt_cycle par)
+
+(* ------------------------------------------------------------------ *)
+(* Naming                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheduler_names () =
+  List.iter
+    (fun (s, expect) ->
+      match Libdn.Scheduler.of_string s with
+      | Ok t -> check_bool s true (t = expect)
+      | Error m -> Alcotest.fail m)
+    [ ("seq", seq); ("sequential", seq); ("par", par); ("parallel", par) ];
+  check_bool "bad name rejected" true
+    (match Libdn.Scheduler.of_string "bogus" with Error _ -> true | Ok _ -> false);
+  check_bool "names round-trip" true
+    (List.for_all
+       (fun t -> Libdn.Scheduler.of_string (Libdn.Scheduler.name t) = Ok t)
+       [ seq; par ])
+
+let suite =
+  [
+    ( "libdn.scheduler",
+      [
+        Alcotest.test_case "parallel matches monolithic (exact)" `Quick
+          test_parallel_matches_monolithic_exact;
+        Alcotest.test_case "parallel matches sequential (fast/seeded)" `Quick
+          test_parallel_matches_sequential_seeded;
+        Alcotest.test_case "deadlock detected under both" `Quick
+          test_deadlock_detected_under_both;
+        Alcotest.test_case "crosscheck soc exact" `Quick test_crosscheck_soc_exact;
+        Alcotest.test_case "crosscheck soc fast" `Quick test_crosscheck_soc_fast;
+        Alcotest.test_case "crosscheck ring 5-way exact" `Quick test_crosscheck_ring_exact;
+        Alcotest.test_case "crosscheck ring 5-way fast" `Quick test_crosscheck_ring_fast;
+        Alcotest.test_case "run_until cycle-identical" `Quick test_run_until_cycle_identical;
+        Alcotest.test_case "scheduler names" `Quick test_scheduler_names;
+      ] );
+  ]

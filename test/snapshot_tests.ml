@@ -86,7 +86,58 @@ let test_state_parse_errors () =
       ("count mismatch", "cycle 5\nregs 3 1 2\nmems 0\n");
       ("bad integer", "cycle x\nregs 0\nmems 0\n");
       ("missing memory", "cycle 5\nregs 1 9\nmems 2\nmem a 1 0\n");
+      ("truncated mem values", "cycle 5\nregs 0\nmems 1\nmem a 4 1 2\n");
+      ("cycle line only", "cycle 5\n");
+      ("mems header missing", "cycle 5\nregs 1 9\n");
     ]
+
+let prop_state_text_roundtrip =
+  (* Any state shape — register file of any size, any number of
+     memories of any depth — survives the text form exactly. *)
+  let state_gen =
+    QCheck.Gen.(
+      let value = map abs small_signed_int in
+      let mem i =
+        map
+          (fun vals -> (Printf.sprintf "m%d$mem" i, Array.of_list vals))
+          (list_size (int_range 1 16) value)
+      in
+      let* n_regs = int_range 0 20 in
+      let* s_regs = map Array.of_list (list_size (return n_regs) value) in
+      let* n_mems = int_range 0 4 in
+      let* s_mems = flatten_l (List.init n_mems mem) in
+      let* s_cycle = map abs small_signed_int in
+      return { Rtlsim.Sim.s_regs; s_mems; s_cycle })
+  in
+  QCheck.Test.make ~name:"snapshot text round-trips any state shape" ~count:100
+    (QCheck.make state_gen) (fun st ->
+      let st' = Rtlsim.Sim.state_of_string (Rtlsim.Sim.state_to_string st) in
+      st'.Rtlsim.Sim.s_cycle = st.Rtlsim.Sim.s_cycle
+      && st'.Rtlsim.Sim.s_regs = st.Rtlsim.Sim.s_regs
+      && st'.Rtlsim.Sim.s_mems = st.Rtlsim.Sim.s_mems)
+
+let prop_state_text_truncation_rejected =
+  (* Any strict prefix of a serialized state either fails to parse or
+     parses to something different — never silently round-trips into
+     the same state with data missing. *)
+  QCheck.Test.make ~name:"snapshot text prefixes never parse as the full state" ~count:50
+    QCheck.(pair (int_bound 1000) (int_bound 999))
+    (fun (cycle, cut) ->
+      let st =
+        {
+          Rtlsim.Sim.s_regs = Array.init 6 (fun i -> i * 3);
+          s_mems = [ ("m$mem", Array.init 8 (fun i -> i + cycle)) ];
+          s_cycle = cycle;
+        }
+      in
+      let text = Rtlsim.Sim.state_to_string st in
+      (* Always drop at least one character beyond the final newline —
+         removing only trailing whitespace is not a real truncation. *)
+      let cut = cut mod (String.length text - 1) in
+      let prefix = String.sub text 0 cut in
+      match Rtlsim.Sim.state_of_string prefix with
+      | st' -> st' <> st
+      | exception Rtlsim.Sim.Sim_error _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Whole-network save / resume                                         *)
@@ -234,6 +285,8 @@ let suite =
         Alcotest.test_case "restore into fresh sim" `Quick test_state_restore_into_fresh_sim;
         Alcotest.test_case "shape mismatch rejected" `Quick test_state_shape_mismatch_rejected;
         Alcotest.test_case "parse errors" `Quick test_state_parse_errors;
+        QCheck_alcotest.to_alcotest prop_state_text_roundtrip;
+        QCheck_alcotest.to_alcotest prop_state_text_truncation_rejected;
       ] );
     ( "runtime.snapshot",
       [

@@ -30,4 +30,5 @@ let () =
          Assertions_tests.suite;
          Printf_tests.suite;
          Remote_tests.suite;
+         Scheduler_tests.suite;
        ])
