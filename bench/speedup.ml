@@ -14,26 +14,108 @@ let time f =
   f ();
   Unix.gettimeofday () -. t0
 
+(* Each measurement runs with a live telemetry sink so the JSON report
+   can break wall-clock down into per-partition run/idle/barrier time
+   and per-channel stall attribution (the breakdown is only populated
+   under the parallel scheduler). *)
 let measure plan ~cycles scheduler =
-  let h = Fireripper.Runtime.instantiate ~scheduler plan in
+  let telemetry = Telemetry.create () in
+  let h = Fireripper.Runtime.instantiate ~scheduler ~telemetry plan in
   let secs = time (fun () -> Fireripper.Runtime.run h ~cycles) in
-  (secs, Fireripper.Runtime.token_transfers h)
+  (secs, Fireripper.Runtime.token_transfers h, telemetry)
+
+(* Per-partition run/idle/barrier nanoseconds, keyed from the
+   [sched.par.<part>.<kind>_ns] counters. *)
+let stall_breakdown tel =
+  let tail s pre = String.sub s (String.length pre) (String.length s - String.length pre) in
+  let parts = Hashtbl.create 8 in
+  List.iter
+    (fun (name, v) ->
+      let pre = "sched.par." in
+      if String.length name > String.length pre && String.starts_with ~prefix:pre name
+      then begin
+        let rest = tail name pre in
+        match String.rindex_opt rest '.' with
+        | Some i ->
+          let part = String.sub rest 0 i in
+          let kind = String.sub rest (i + 1) (String.length rest - i - 1) in
+          let cur =
+            match Hashtbl.find_opt parts part with Some l -> l | None -> []
+          in
+          Hashtbl.replace parts part ((kind, Telemetry.Json.Int v) :: cur)
+        | None -> ()
+      end)
+    (Telemetry.counters tel);
+  Hashtbl.fold (fun part fields acc -> (part, Telemetry.Json.Obj (List.rev fields)) :: acc) parts []
+  |> List.sort compare
+
+(* Total stalls attributed to each input channel
+   ([net.<part>.in.<chan>.stalled], nonzero entries only). *)
+let stalled_channels tel =
+  List.filter_map
+    (fun (name, v) ->
+      if v > 0 && String.ends_with ~suffix:".stalled" name then
+        Some (name, Telemetry.Json.Int v)
+      else None)
+    (Telemetry.counters tel)
+
+(* Collected per-design rows for the machine-readable report. *)
+let report_rows : (string * Telemetry.Json.t) list list ref = ref []
 
 let bench ~name ~cycles plan =
   Printf.printf "%-12s %d partitions, %d target cycles\n" name
     (Fireripper.Plan.n_units plan) cycles;
   let run scheduler =
-    let secs, tokens = measure plan ~cycles scheduler in
+    let secs, tokens, tel = measure plan ~cycles scheduler in
     Printf.printf "  %-4s %8.3f s %12.0f tokens/s %10.0f cycles/s\n"
       (Libdn.Scheduler.name scheduler)
       secs
       (float_of_int tokens /. secs)
       (float_of_int cycles /. secs);
-    secs
+    (secs, tokens, tel)
   in
-  let seq = run Libdn.Scheduler.Sequential in
-  let par = run Libdn.Scheduler.Parallel in
-  Printf.printf "  speedup (seq/par wall-clock): %.2fx\n" (seq /. par)
+  let seq_secs, seq_tokens, _ = run Libdn.Scheduler.Sequential in
+  let par_secs, par_tokens, par_tel = run Libdn.Scheduler.Parallel in
+  Printf.printf "  speedup (seq/par wall-clock): %.2fx\n" (seq_secs /. par_secs);
+  let sched_row secs tokens =
+    Telemetry.Json.Obj
+      [
+        ("secs", Telemetry.Json.Float secs);
+        ("tokens", Telemetry.Json.Int tokens);
+        ("tokens_per_s", Telemetry.Json.Float (float_of_int tokens /. secs));
+        ("cycles_per_s", Telemetry.Json.Float (float_of_int cycles /. secs));
+      ]
+  in
+  report_rows :=
+    [
+      ("name", Telemetry.Json.String name);
+      ("partitions", Telemetry.Json.Int (Fireripper.Plan.n_units plan));
+      ("cycles", Telemetry.Json.Int cycles);
+      ("seq", sched_row seq_secs seq_tokens);
+      ("par", sched_row par_secs par_tokens);
+      ("speedup", Telemetry.Json.Float (seq_secs /. par_secs));
+      ("stall_breakdown", Telemetry.Json.Obj (stall_breakdown par_tel));
+      ("stalled_channels", Telemetry.Json.Obj (stalled_channels par_tel));
+    ]
+    :: !report_rows
+
+(** Writes the machine-readable counterpart of the stdout table. *)
+let write_report ~path =
+  let doc =
+    Telemetry.Json.Obj
+      [
+        ("schema", Telemetry.Json.String "fireaxe-bench-speedup-1");
+        ("host_domains", Telemetry.Json.Int (Domain.recommended_domain_count ()));
+        ( "designs",
+          Telemetry.Json.List
+            (List.rev_map (fun fields -> Telemetry.Json.Obj fields) !report_rows) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 let noc_plan ~groups circuit =
   let config =
@@ -63,4 +145,5 @@ let run () =
            Socgen.Mesh_noc.row_group ~width:4 1;
            Socgen.Mesh_noc.row_group ~width:4 2;
          ]
-       (Socgen.Mesh_noc.mesh_soc ~width:4 ~height:4 ~period:4 ()))
+       (Socgen.Mesh_noc.mesh_soc ~width:4 ~height:4 ~period:4 ()));
+  write_report ~path:"BENCH_speedup.json"

@@ -171,16 +171,22 @@ let mode_arg =
   Arg.(value & opt mode Fireaxe.Spec.Exact & info [ "mode" ] ~doc:"Partitioning mode.")
 
 let scheduler_arg =
+  (* Built on Scheduler.of_string so the CLI accepts every alias and an
+     unknown value exits listing the accepted spellings. *)
   let s =
-    Arg.enum [ ("seq", Libdn.Scheduler.Sequential); ("par", Libdn.Scheduler.Parallel) ]
+    Arg.conv
+      ( (fun str -> Result.map_error (fun m -> `Msg m) (Libdn.Scheduler.of_string str)),
+        fun ppf v -> Fmt.string ppf (Libdn.Scheduler.name v) )
   in
   Arg.(
     value
     & opt s Libdn.Scheduler.Sequential
-    & info [ "scheduler" ]
+    & info [ "scheduler" ] ~docv:"POLICY"
         ~doc:
-          "Execution policy: sequential round-robin (seq) or one domain per partition \
-           (par).  Both produce cycle-identical results.")
+          "Execution policy: sequential round-robin ($(b,seq) or $(b,sequential)) or \
+           one domain per partition ($(b,par) or $(b,parallel)).  Both produce \
+           cycle-identical results; any other value is rejected with the accepted \
+           list.")
 
 let parse_groups kind s =
   String.split_on_char ';' s
@@ -288,10 +294,10 @@ let plan_cmd =
 let worker_path () =
   Filename.concat (Filename.dirname Sys.executable_name) "fireaxe_worker.exe"
 
-let run_remote design plan cycles =
+let run_remote ~telemetry design plan cycles =
   let n = Fireaxe.Plan.n_units plan in
   let h, conns =
-    Fireaxe.Runtime.instantiate_remote ~worker:(worker_path ())
+    Fireaxe.Runtime.instantiate_remote ~telemetry ~worker:(worker_path ())
       ~remote_units:(List.init n Fun.id) plan
   in
   Fmt.pr "spawned %d worker processes (one per unit)@." (List.length conns);
@@ -317,12 +323,34 @@ let run_remote design plan cycles =
   List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
 
 let run design mode select routers scheduler cycles vcd_path sample every resume save_snap
-    check remote =
+    check remote metrics trace_file progress =
+  (* A live sink only when some exporter was requested; otherwise the
+     shared disabled sink keeps the hot path free. *)
+  let telemetry =
+    if metrics <> None || trace_file <> None then
+      Telemetry.create ~trace:(trace_file <> None) ()
+    else Telemetry.null
+  in
+  (* Exporters run on success AND on deadlock, so a dead network still
+     leaves its metrics snapshot and trace behind. *)
+  let emit_telemetry () =
+    (* Trace first: with [--metrics /dev/stdout] the snapshot is then
+       the final stdout line, so it pipes straight into a JSON parser. *)
+    (match trace_file with
+    | Some path ->
+      Telemetry.write_trace telemetry ~path;
+      Fmt.pr "trace written to %s@." path
+    | None -> ());
+    match metrics with
+    | Some path -> Telemetry.write_metrics telemetry ~path
+    | None -> ()
+  in
   let circuit = design.d_circuit () in
   let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
-  if remote then run_remote design plan cycles
+  match
+    if remote then run_remote ~telemetry design plan cycles
   else begin
-  let h = Fireaxe.instantiate ~scheduler plan in
+  let h = Fireaxe.instantiate ~scheduler ~telemetry plan in
   (match resume with
   | Some path ->
     Fireaxe.Runtime.load h ~path;
@@ -334,7 +362,20 @@ let run design mode select routers scheduler cycles vcd_path sample every resume
     let signals = String.split_on_char ',' signals in
     let samples = Fireaxe.Counters.collect h ~signals ~every ~cycles in
     print_string (Fireaxe.Counters.to_csv samples)
-  | None, None -> Fireaxe.Runtime.run h ~cycles
+  | None, None -> (
+    match progress with
+    | Some n when n > 0 ->
+      (* Chunked run with a progress line every [n] target cycles. *)
+      let rec go c =
+        let next = min cycles (c + n) in
+        Fireaxe.Runtime.run h ~cycles:next;
+        Fmt.pr "progress: cycle %d/%d (%d token transfers)@." next cycles
+          (Fireaxe.Runtime.token_transfers h);
+        if next < cycles then go next
+      in
+      let start = Fireaxe.Runtime.cycle h 0 in
+      if start < cycles then go start
+    | _ -> Fireaxe.Runtime.run h ~cycles)
   | Some path, _ ->
     (* Dump the probe signals of the unit that holds them, sampled per
        target cycle. *)
@@ -377,6 +418,14 @@ let run design mode select routers scheduler cycles vcd_path sample every resume
         (if v = m then ", exact" else " -- DIFFERS"))
     design.d_probes
   end
+  with
+  | () -> emit_telemetry ()
+  | exception Libdn.Network.Deadlock msg ->
+    (* The snapshot was already recorded into the sinks by the raise
+       site; flush them, then report the structured message. *)
+    emit_telemetry ();
+    Fmt.epr "%s@." msg;
+    exit 3
 
 let cycles_arg =
   Arg.(value & opt int 1000 & info [ "cycles" ] ~doc:"Target cycles to simulate.")
@@ -419,13 +468,39 @@ let save_snap_arg =
     & opt (some string) None
     & info [ "save" ] ~docv:"FILE" ~doc:"Write a whole-simulation snapshot after running.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON metrics snapshot (per-channel token counts, stall \
+           attribution, scheduler run/idle/barrier time) after the run — also on \
+           deadlock.  Use /dev/stdout to print it.")
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace-event JSON file (loadable in Perfetto or \
+           chrome://tracing): one track per partition, with run/stall spans under \
+           the parallel scheduler.")
+
+let progress_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "progress" ] ~docv:"N" ~doc:"Print a progress line every N target cycles.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a partitioned simulation and cross-check it against the monolithic one.")
     Term.(
       const run $ design_arg $ mode_arg $ select_arg $ routers_arg $ scheduler_arg
       $ cycles_arg $ vcd_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
-      $ check_arg $ remote_arg)
+      $ check_arg $ remote_arg $ metrics_arg $ trace_file_arg $ progress_arg)
 
 let sweep transport =
   Fmt.pr "simulation rate (MHz) vs interface width, %s@." (Platform.Transport.name transport);

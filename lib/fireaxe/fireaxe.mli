@@ -31,7 +31,11 @@ val compile : ?config:Spec.config -> Firrtl.Ast.circuit -> Plan.t
 val report : Plan.t -> Report.t
 
 val instantiate :
-  ?fame5:bool -> ?scheduler:Libdn.Scheduler.t -> Plan.t -> Runtime.handle
+  ?fame5:bool ->
+  ?scheduler:Libdn.Scheduler.t ->
+  ?telemetry:Telemetry.t ->
+  Plan.t ->
+  Runtime.handle
 
 (** Steps a monolithic simulation to [finished]; returns the cycle. *)
 val run_monolithic_until :

@@ -50,9 +50,9 @@ let zero_token (spec : Libdn.Channel.spec) =
 
 (* Wires [engines] (one per plan unit, in order) into an LI-BDN
    network: FAME-1 wrap, channel connections, fast-mode seed tokens. *)
-let build_network (plan : Plan.t) engines =
+let build_network ?(telemetry = Telemetry.null) (plan : Plan.t) engines =
   let pairs = Plan.channel_pairs plan in
-  let net = Libdn.Network.create () in
+  let net = Libdn.Network.create ~telemetry () in
   (* Partitions are added in unit order so network index = unit index. *)
   Array.iteri
     (fun k engine ->
@@ -87,8 +87,11 @@ let build_network (plan : Plan.t) engines =
 
 (** Builds the network.  [fame5] requests multithreading of eligible
     wrapper units (duplicate-module partitions); [scheduler] picks the
-    execution policy ({!Libdn.Scheduler.Sequential} by default). *)
-let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default) (plan : Plan.t) =
+    execution policy ({!Libdn.Scheduler.Sequential} by default);
+    [telemetry] (default {!Telemetry.null}) makes every layer of the
+    resulting simulation record into the given sink. *)
+let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default)
+    ?(telemetry = Telemetry.null) (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -113,7 +116,7 @@ let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default) (plan : 
       engines.(u.Plan.u_index) <- Some engine)
     plan.Plan.p_units;
   let engines = Array.map Option.get engines in
-  let net = build_network plan engines in
+  let net = build_network ~telemetry plan engines in
   {
     h_plan = plan;
     h_net = net;
@@ -130,8 +133,8 @@ let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default) (plan : 
     them when done.  Remote units have no local simulator, so [sim_of],
     [locate] and snapshots skip them; use the connection's poke/peek
     instead. *)
-let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ~worker ~remote_units
-    (plan : Plan.t) =
+let instantiate_remote ?(scheduler = Libdn.Scheduler.default)
+    ?(telemetry = Telemetry.null) ~worker ~remote_units (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -147,7 +150,10 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ~worker ~remote_un
           in
           let path = Filename.temp_file "fireaxe_unit" ".fir" in
           Firrtl.Text.save circuit ~path;
-          let conn = Libdn.Remote_engine.spawn ~label:u.Plan.u_name ~worker ~fir_path:path () in
+          let conn =
+            Libdn.Remote_engine.spawn ~label:u.Plan.u_name ~telemetry ~worker
+              ~fir_path:path ()
+          in
           Sys.remove path;
           conns := (u.Plan.u_index, conn) :: !conns;
           Libdn.Remote_engine.engine conn
@@ -161,7 +167,7 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ~worker ~remote_un
       engines.(u.Plan.u_index) <- Some engine)
     plan.Plan.p_units;
   let engines = Array.map Option.get engines in
-  let net = build_network plan engines in
+  let net = build_network ~telemetry plan engines in
   ( {
       h_plan = plan;
       h_net = net;
@@ -173,6 +179,10 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ~worker ~remote_un
     List.rev !conns )
 
 let scheduler h = h.h_scheduler
+
+(** The sink every layer of this handle records into ({!Telemetry.null}
+    when instantiated without one). *)
+let telemetry h = Libdn.Network.telemetry h.h_net
 
 let run h ~cycles = Libdn.Scheduler.run ~scheduler:h.h_scheduler h.h_net ~cycles
 

@@ -17,8 +17,15 @@ val fame5_eligible : Plan.unit_part -> (string list * string) option
 
 (** Builds the network; [fame5] threads eligible wrapper units;
     [scheduler] picks the execution policy for [run]/[run_until]
-    ({!Libdn.Scheduler.Sequential} by default). *)
-val instantiate : ?fame5:bool -> ?scheduler:Libdn.Scheduler.t -> Plan.t -> handle
+    ({!Libdn.Scheduler.Sequential} by default); [telemetry] (default
+    {!Telemetry.null}, free on the hot path) makes every layer record
+    into the given sink. *)
+val instantiate :
+  ?fame5:bool ->
+  ?scheduler:Libdn.Scheduler.t ->
+  ?telemetry:Telemetry.t ->
+  Plan.t ->
+  handle
 
 (** Builds the network with the listed units hosted in their own worker
     processes (the software analogue of separate FPGAs), spawned from
@@ -28,6 +35,7 @@ val instantiate : ?fame5:bool -> ?scheduler:Libdn.Scheduler.t -> Plan.t -> handl
     connection's poke/peek instead. *)
 val instantiate_remote :
   ?scheduler:Libdn.Scheduler.t ->
+  ?telemetry:Telemetry.t ->
   worker:string ->
   remote_units:int list ->
   Plan.t ->
@@ -35,6 +43,10 @@ val instantiate_remote :
 
 (** The execution policy this handle runs under. *)
 val scheduler : handle -> Libdn.Scheduler.t
+
+(** The sink every layer of this handle records into ({!Telemetry.null}
+    when instantiated without one). *)
+val telemetry : handle -> Telemetry.t
 
 val run : handle -> cycles:int -> unit
 val run_until : handle -> max_cycles:int -> (handle -> bool) -> int

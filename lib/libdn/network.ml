@@ -22,6 +22,12 @@
 type in_chan = {
   ic_spec : Channel.spec;
   ic_queue : Channel.token Channel.Bqueue.t;
+  ic_enq : Telemetry.counter;  (** tokens pushed into this queue *)
+  ic_deq : Telemetry.counter;  (** tokens consumed by advances *)
+  ic_peak : Telemetry.gauge;  (** peak queue occupancy observed *)
+  ic_stalled : Telemetry.counter;
+      (** times this input was the blocking one when its partition
+          stalled (see {!blocking_input}) *)
 }
 
 type out_chan = {
@@ -30,6 +36,8 @@ type out_chan = {
   oc_eval : unit -> unit;  (** evaluates the cone feeding this channel *)
   mutable oc_fired : bool;
   mutable oc_dests : (int * int) list;  (** (partition, input channel) *)
+  oc_attempts : Telemetry.counter;  (** firing-rule attempts *)
+  oc_fires : Telemetry.counter;  (** successful fires *)
 }
 
 type partition = {
@@ -51,14 +59,28 @@ type t = {
   mutable frozen : partition array;
   queue_capacity : int;
   token_transfers : int Atomic.t;  (** total tokens moved, for statistics *)
+  tel : Telemetry.t;
+  tel_on : bool;
+      (** cached [Telemetry.enabled tel]: gates instrumentation that must
+          do extra work to compute a sample (queue lengths) *)
 }
 
 exception Deadlock of string
 
 let default_queue_capacity = 1024
 
-let create ?(queue_capacity = default_queue_capacity) () =
-  { parts = []; frozen = [||]; queue_capacity; token_transfers = Atomic.make 0 }
+let create ?(queue_capacity = default_queue_capacity) ?(telemetry = Telemetry.null)
+    () =
+  {
+    parts = [];
+    frozen = [||];
+    queue_capacity;
+    token_transfers = Atomic.make 0;
+    tel = telemetry;
+    tel_on = Telemetry.enabled telemetry;
+  }
+
+let telemetry t = t.tel
 
 (** Declares a partition.  [outs] gives each output channel's spec
     together with the names of the input channels it combinationally
@@ -66,13 +88,24 @@ let create ?(queue_capacity = default_queue_capacity) () =
 let add_partition t ~name ~engine ~(ins : Channel.spec list)
     ~(outs : (Channel.spec * string list) list) =
   let notif = Channel.Notifier.create () in
+  let in_metric chan kind =
+    Printf.sprintf "net.%s.in.%s.%s" name chan kind
+  in
+  let out_metric chan kind =
+    Printf.sprintf "net.%s.out.%s.%s" name chan kind
+  in
   let pt_ins =
     Array.of_list
       (List.map
-         (fun spec ->
+         (fun (spec : Channel.spec) ->
+           let chan = spec.Channel.name in
            {
              ic_spec = spec;
              ic_queue = Channel.Bqueue.create ~capacity:t.queue_capacity ~notif;
+             ic_enq = Telemetry.counter t.tel (in_metric chan "enq");
+             ic_deq = Telemetry.counter t.tel (in_metric chan "deq");
+             ic_peak = Telemetry.gauge t.tel (in_metric chan "peak");
+             ic_stalled = Telemetry.counter t.tel (in_metric chan "stalled");
            })
          ins)
   in
@@ -95,6 +128,8 @@ let add_partition t ~name ~engine ~(ins : Channel.spec list)
              oc_eval = engine.Engine.make_cone_eval (List.map fst spec.Channel.ports);
              oc_fired = false;
              oc_dests = [];
+             oc_attempts = Telemetry.counter t.tel (out_metric spec.Channel.name "attempts");
+             oc_fires = Telemetry.counter t.tel (out_metric spec.Channel.name "fires");
            })
          outs)
   in
@@ -171,31 +206,49 @@ let prime t =
   freeze t;
   Array.iter (fun p -> p.pt_drive p.pt_engine 0) t.frozen
 
-let diagnose t =
+(** Captures the structured network-state snapshot every diagnostic
+    derives from: per partition, the target cycle, input-queue depths,
+    and each output channel's fired flag, dependencies and the empty
+    subset of those dependencies currently blocking it. *)
+let introspect t : Telemetry.Snapshot.t =
   freeze t;
-  let buf = Buffer.create 256 in
-  Array.iter
-    (fun p ->
-      Buffer.add_string buf
-        (Printf.sprintf "partition %s @ cycle %d:\n" p.pt_name p.pt_cycle);
-      Array.iter
-        (fun ic ->
-          Buffer.add_string buf
-            (Printf.sprintf "  in  %-24s queue=%d\n" ic.ic_spec.Channel.name
-               (Channel.Bqueue.length ic.ic_queue)))
-        p.pt_ins;
-      Array.iter
-        (fun oc ->
-          Buffer.add_string buf
-            (Printf.sprintf "  out %-24s fired=%b deps=[%s]\n" oc.oc_spec.Channel.name
-               oc.oc_fired
-               (String.concat ","
-                  (List.map
-                     (fun i -> p.pt_ins.(i).ic_spec.Channel.name)
-                     oc.oc_deps))))
-        p.pt_outs)
-    t.frozen;
-  Buffer.contents buf
+  let parts =
+    Array.to_list t.frozen
+    |> List.map (fun p ->
+           let in_name i = p.pt_ins.(i).ic_spec.Channel.name in
+           {
+             Telemetry.Snapshot.p_name = p.pt_name;
+             p_index = p.pt_index;
+             p_cycle = p.pt_cycle;
+             p_inputs =
+               Array.to_list p.pt_ins
+               |> List.map (fun ic ->
+                      {
+                        Telemetry.Snapshot.in_chan = ic.ic_spec.Channel.name;
+                        in_depth = Channel.Bqueue.length ic.ic_queue;
+                      });
+             p_outputs =
+               Array.to_list p.pt_outs
+               |> List.map (fun oc ->
+                      {
+                        Telemetry.Snapshot.out_chan = oc.oc_spec.Channel.name;
+                        out_fired = oc.oc_fired;
+                        out_deps = List.map in_name oc.oc_deps;
+                        out_blocked_on =
+                          (if oc.oc_fired then []
+                           else
+                             List.filter_map
+                               (fun i ->
+                                 if Channel.Bqueue.is_empty p.pt_ins.(i).ic_queue
+                                 then Some (in_name i)
+                                 else None)
+                               oc.oc_deps);
+                      });
+           })
+  in
+  { Telemetry.Snapshot.parts }
+
+let diagnose t = Telemetry.Snapshot.to_string (introspect t)
 
 (* Applies the head token of input channel [i] to the engine inputs. *)
 let apply_head p i =
@@ -211,6 +264,7 @@ let apply_head p i =
     (parallel scheduler blocks, sequential treats it as a hard error);
     [abort] lets a blocked push bail out.  Returns whether it fired. *)
 let try_fire t p oc ~block ~abort =
+  Telemetry.incr oc.oc_attempts;
   if
     (not oc.oc_fired)
     && List.for_all
@@ -223,10 +277,15 @@ let try_fire t p oc ~block ~abort =
     oc.oc_fired <- true;
     List.iter
       (fun (dp, di) ->
-        Channel.Bqueue.push t.frozen.(dp).pt_ins.(di).ic_queue (Array.copy tok) ~block
-          ~abort;
-        Atomic.incr t.token_transfers)
+        let dst = t.frozen.(dp).pt_ins.(di) in
+        Channel.Bqueue.push dst.ic_queue (Array.copy tok) ~block ~abort;
+        Atomic.incr t.token_transfers;
+        if t.tel_on then begin
+          Telemetry.incr dst.ic_enq;
+          Telemetry.set_max dst.ic_peak (Channel.Bqueue.length dst.ic_queue)
+        end)
       oc.oc_dests;
+    Telemetry.incr oc.oc_fires;
     true
   end
   else false
@@ -244,7 +303,11 @@ let try_advance p =
     Array.iteri (fun i _ -> apply_head p i) p.pt_ins;
     p.pt_engine.Engine.eval_comb ();
     p.pt_engine.Engine.step_seq ();
-    Array.iter (fun ic -> Channel.Bqueue.drop ic.ic_queue) p.pt_ins;
+    Array.iter
+      (fun ic ->
+        Channel.Bqueue.drop ic.ic_queue;
+        Telemetry.incr ic.ic_deq)
+      p.pt_ins;
     Array.iter (fun oc -> oc.oc_fired <- false) p.pt_outs;
     p.pt_cycle <- p.pt_cycle + 1;
     p.pt_drive p.pt_engine p.pt_cycle;
@@ -285,9 +348,54 @@ let quiescent t ~target =
   freeze t;
   Array.for_all (fun p -> p.pt_cycle >= target || not (can_progress p)) t.frozen
 
+(** The empty input channel currently gating [p]'s progress: a
+    dependency of an unfired output, or — when every output has fired —
+    an empty input blocking the advance rule.  Unsynchronized reads
+    (telemetry attribution only, so a racing push is harmless). *)
+let blocking_input p =
+  let empty i = Channel.Bqueue.is_empty_unsynchronized p.pt_ins.(i).ic_queue in
+  let from_outputs =
+    Array.to_list p.pt_outs
+    |> List.find_map (fun oc ->
+           if oc.oc_fired then None else List.find_opt empty oc.oc_deps)
+  in
+  let from_advance () =
+    if Array.for_all (fun oc -> oc.oc_fired) p.pt_outs then
+      let rec go i =
+        if i >= Array.length p.pt_ins then None
+        else if empty i then Some i
+        else go (i + 1)
+      in
+      go 0
+    else None
+  in
+  (match from_outputs with Some _ as s -> s | None -> from_advance ())
+  |> Option.map (fun i -> p.pt_ins.(i))
+
+(** Attributes one stall of [p] to its blocking input channel (bumps its
+    [stalled] counter) and returns the channel name, for span labels. *)
+let record_stall p =
+  match blocking_input p with
+  | None -> None
+  | Some ic ->
+    Telemetry.incr ic.ic_stalled;
+    Some ic.ic_spec.Channel.name
+
 let deadlock_message t =
   "LI-BDN deadlock: network is quiescent — no output channel can fire and no \
    partition can advance\n" ^ diagnose t
+
+(** Captures the structured snapshot, records it on the network's
+    telemetry sinks (metrics registry and trace collector), and raises
+    {!Deadlock} with the human rendering embedded in the message. *)
+let raise_deadlock t =
+  let snap = introspect t in
+  Telemetry.record_deadlock t.tel snap;
+  raise
+    (Deadlock
+       ("LI-BDN deadlock: network is quiescent — no output channel can fire \
+         and no partition can advance\n"
+       ^ Telemetry.Snapshot.to_string snap))
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoints and snapshots                                           *)

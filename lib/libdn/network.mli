@@ -12,6 +12,10 @@
 type in_chan = {
   ic_spec : Channel.spec;
   ic_queue : Channel.token Channel.Bqueue.t;
+  ic_enq : Telemetry.counter;
+  ic_deq : Telemetry.counter;
+  ic_peak : Telemetry.gauge;
+  ic_stalled : Telemetry.counter;
 }
 
 type out_chan = {
@@ -20,6 +24,8 @@ type out_chan = {
   oc_eval : unit -> unit;
   mutable oc_fired : bool;
   mutable oc_dests : (int * int) list;
+  oc_attempts : Telemetry.counter;
+  oc_fires : Telemetry.counter;
 }
 
 type partition = {
@@ -39,10 +45,16 @@ exception Deadlock of string
 
 (** [queue_capacity] bounds every input channel queue (default
     {!default_queue_capacity}); the parallel scheduler backpressures on
-    a full queue, the sequential one treats it as a hard error. *)
-val create : ?queue_capacity:int -> unit -> t
+    a full queue, the sequential one treats it as a hard error.
+    [telemetry] (default {!Telemetry.null}, free on the hot path) makes
+    every channel register per-channel counters and gauges. *)
+val create : ?queue_capacity:int -> ?telemetry:Telemetry.t -> unit -> t
 
 val default_queue_capacity : int
+
+(** The sink the network records into ({!Telemetry.null} if none was
+    given). *)
+val telemetry : t -> Telemetry.t
 
 (** Declares a partition; [outs] pairs each output channel with the
     names of the input channels it combinationally depends on.  Returns
@@ -76,7 +88,13 @@ val token_transfers : t -> int
     call this once at the start of each run. *)
 val prime : t -> unit
 
-(** Channel-state report used in deadlock messages. *)
+(** Structured network-state snapshot — per partition: target cycle,
+    input-queue depths, unfired outputs with their dependencies and the
+    empty subset currently blocking them.  Every diagnostic rendering
+    derives from this. *)
+val introspect : t -> Telemetry.Snapshot.t
+
+(** Human rendering of {!introspect}, used in deadlock messages. *)
 val diagnose : t -> string
 
 (** Attempts the output-channel firing rule; returns whether it fired.
@@ -101,8 +119,21 @@ val can_progress : partition -> bool
     quiescent. *)
 val quiescent : t -> target:int -> bool
 
+(** The empty input channel currently gating [p]'s progress, if any.
+    Unsynchronized reads — telemetry attribution only. *)
+val blocking_input : partition -> in_chan option
+
+(** Attributes one stall of [p] to its blocking input (bumping its
+    [stalled] counter); returns the channel name for span labels. *)
+val record_stall : partition -> string option
+
 (** The message schedulers put in {!Deadlock} (includes {!diagnose}). *)
 val deadlock_message : t -> string
+
+(** Captures {!introspect}, records it on the telemetry sinks (metrics
+    registry and trace collector), and raises {!Deadlock} with the human
+    rendering embedded in the message. *)
+val raise_deadlock : t -> 'a
 
 (** Captures the whole network (engine state, in-flight tokens, fired
     flags, cycles); the returned thunk rolls everything back. *)

@@ -26,6 +26,10 @@ type conn = {
   c_label : string;  (** partition/unit name, for diagnostics *)
   mutable c_last : string;  (** last command written to the worker *)
   mutable c_alive : bool;
+  c_tel_on : bool;  (** gates the clock reads around round trips *)
+  c_bytes_out : Telemetry.counter;  (** protocol bytes written (incl. newline) *)
+  c_bytes_in : Telemetry.counter;  (** reply bytes read (incl. newline) *)
+  c_rtt : Telemetry.hist;  (** request/reply round-trip latency, µs *)
 }
 
 exception Worker_died of { label : string; last_command : string; status : string }
@@ -72,6 +76,7 @@ let send conn fmt =
   Printf.ksprintf
     (fun line ->
       conn.c_last <- line;
+      Telemetry.add conn.c_bytes_out (String.length line + 1);
       try
         output_string conn.c_out line;
         output_char conn.c_out '\n'
@@ -82,12 +87,22 @@ let ask conn fmt =
   Printf.ksprintf
     (fun line ->
       conn.c_last <- line;
-      try
-        output_string conn.c_out line;
-        output_char conn.c_out '\n';
-        flush conn.c_out;
-        input_line conn.c_in
-      with Sys_error _ | End_of_file -> died conn)
+      Telemetry.add conn.c_bytes_out (String.length line + 1);
+      let t0 = if conn.c_tel_on then Unix.gettimeofday () else 0. in
+      let reply =
+        try
+          output_string conn.c_out line;
+          output_char conn.c_out '\n';
+          flush conn.c_out;
+          input_line conn.c_in
+        with Sys_error _ | End_of_file -> died conn
+      in
+      if conn.c_tel_on then begin
+        Telemetry.observe conn.c_rtt
+          (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+        Telemetry.add conn.c_bytes_in (String.length reply + 1)
+      end;
+      reply)
     fmt
 
 let ask_int conn fmt =
@@ -101,7 +116,7 @@ let ask_int conn fmt =
 
 (** Spawns a worker process serving the circuit in [fir_path].  [label]
     names the partition in diagnostics when the worker dies. *)
-let spawn ?(label = "unnamed") ~worker ~fir_path () =
+let spawn ?(label = "unnamed") ?(telemetry = Telemetry.null) ~worker ~fir_path () =
   (* A dead worker must surface as a {!Worker_died} diagnosis, not a
      fatal SIGPIPE when the parent next writes to the closed pipe. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -116,6 +131,7 @@ let spawn ?(label = "unnamed") ~worker ~fir_path () =
   in
   Unix.close child_read;
   Unix.close child_write;
+  let metric kind = Printf.sprintf "remote.%s.%s" label kind in
   let conn =
     {
       c_in = Unix.in_channel_of_descr parent_read;
@@ -124,6 +140,10 @@ let spawn ?(label = "unnamed") ~worker ~fir_path () =
       c_label = label;
       c_last = "(startup)";
       c_alive = true;
+      c_tel_on = Telemetry.enabled telemetry;
+      c_bytes_out = Telemetry.counter telemetry (metric "bytes_out");
+      c_bytes_in = Telemetry.counter telemetry (metric "bytes_in");
+      c_rtt = Telemetry.hist telemetry (metric "rtt_us");
     }
   in
   (* The worker announces itself once the circuit is loaded, so the

@@ -13,8 +13,16 @@ exception Worker_died of { label : string; last_command : string; status : strin
 
 (** Spawns a worker process (the [fireaxe-worker] binary) serving the
     circuit stored at [fir_path].  [label] names the partition in
-    {!Worker_died} diagnostics. *)
-val spawn : ?label:string -> worker:string -> fir_path:string -> unit -> conn
+    {!Worker_died} diagnostics.  [telemetry] (default {!Telemetry.null})
+    records [remote.<label>.bytes_out]/[.bytes_in] counters and a
+    [remote.<label>.rtt_us] round-trip latency histogram. *)
+val spawn :
+  ?label:string ->
+  ?telemetry:Telemetry.t ->
+  worker:string ->
+  fir_path:string ->
+  unit ->
+  conn
 
 (** The worker's process id (tests use it to simulate crashes). *)
 val pid : conn -> int

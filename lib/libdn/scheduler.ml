@@ -29,10 +29,15 @@ type t = Sequential | Parallel
 let default = Sequential
 let name = function Sequential -> "seq" | Parallel -> "par"
 
+let accepted_names = [ "seq"; "sequential"; "par"; "parallel" ]
+
 let of_string = function
   | "seq" | "sequential" -> Ok Sequential
   | "par" | "parallel" -> Ok Parallel
-  | s -> Error (Printf.sprintf "unknown scheduler %S (expected seq or par)" s)
+  | s ->
+    Error
+      (Printf.sprintf "unknown scheduler %S (accepted: %s)" s
+         (String.concat "|" accepted_names))
 
 let never_abort () = false
 
@@ -51,8 +56,10 @@ let sweep net p ~block ~abort =
 
 let run_seq net ~cycles =
   let parts = Network.partitions net in
+  let sweeps = Telemetry.counter (Network.telemetry net) "sched.seq.sweeps" in
   let behind () = Array.exists (fun p -> p.Network.pt_cycle < cycles) parts in
   while behind () do
+    Telemetry.incr sweeps;
     let progress = ref false in
     Array.iter
       (fun p ->
@@ -63,7 +70,7 @@ let run_seq net ~cycles =
       (* A no-progress sweep implies quiescence; the check is the
          authoritative judgment shared with the parallel scheduler. *)
       assert (Network.quiescent net ~target:cycles);
-      raise (Network.Deadlock (Network.deadlock_message net))
+      Network.raise_deadlock net
     end
   done
 
@@ -150,14 +157,89 @@ let par_fail net mon e =
   Mutex.unlock mon.m_mu;
   wake_all net
 
-let par_worker net mon p ~cycles =
+(* Per-domain telemetry for one parallel worker.  Spans are recorded
+   only at block/unblock boundaries ("run" from segment start to park,
+   "stall" across each park, tagged with the blocking input channel), so
+   event counts are bounded by the number of stalls, not cycles.  Each
+   worker appends to its own per-partition track — registration is the
+   only synchronized step; appends happen from the owning domain with no
+   cross-domain coordination, and export only runs after the domains are
+   joined. *)
+type par_tel = {
+  w_on : bool;  (** any timing instrumentation active *)
+  w_clock : unit -> float;  (** µs on the trace collector's timeline *)
+  w_track : Telemetry.Chrome_trace.track option;
+  w_run_ns : Telemetry.counter;
+  w_idle_ns : Telemetry.counter;
+  w_barrier_ns : Telemetry.counter;
+}
+
+let par_tel net p =
+  let tel = Network.telemetry net in
+  let name = p.Network.pt_name in
+  let metric kind = Printf.sprintf "sched.par.%s.%s" name kind in
+  let w_track, w_clock =
+    match Telemetry.trace tel with
+    | Some tc ->
+      ( Some
+          (Telemetry.Chrome_trace.track tc ~pid:p.Network.pt_index ~tid:0
+             ~pname:("partition " ^ name) ~name:"domain" ()),
+        fun () -> Telemetry.Chrome_trace.now_us tc )
+    | None ->
+      (None, if Telemetry.enabled tel then fun () -> Telemetry.now_us tel else fun () -> 0.)
+  in
+  {
+    w_on = Telemetry.enabled tel;
+    w_clock;
+    w_track;
+    w_run_ns = Telemetry.counter tel (metric "run_ns");
+    w_idle_ns = Telemetry.counter tel (metric "idle_ns");
+    w_barrier_ns = Telemetry.counter tel (metric "barrier_ns");
+  }
+
+let ns_of_us us = int_of_float (us *. 1000.)
+
+let par_span w ~name ~args ~ts ~dur =
+  match w.w_track with
+  | Some tr when dur > 0. -> Telemetry.Chrome_trace.span tr ~name ~args ~ts ~dur ()
+  | _ -> ()
+
+let par_worker net mon p ~cycles ~finished ~slot =
   let abort () = Atomic.get mon.m_abort in
+  let w = par_tel net p in
+  let seg_start = ref (w.w_clock ()) in
+  (* Closes the current "run" segment at [now] and charges it. *)
+  let end_run now =
+    Telemetry.add w.w_run_ns (ns_of_us (now -. !seg_start));
+    par_span w ~name:"run" ~args:[] ~ts:!seg_start ~dur:(now -. !seg_start)
+  in
   (try
      while p.Network.pt_cycle < cycles && not (abort ()) do
        let seen = Channel.Notifier.version p.Network.pt_notif in
-       if not (sweep net p ~block:true ~abort) then par_block net mon p ~cycles ~seen
+       if not (sweep net p ~block:true ~abort) then
+         if not w.w_on then par_block net mon p ~cycles ~seen
+         else begin
+           let t_park = w.w_clock () in
+           end_run t_park;
+           let blocked_on = Network.record_stall p in
+           par_block net mon p ~cycles ~seen;
+           let t_wake = w.w_clock () in
+           Telemetry.add w.w_idle_ns (ns_of_us (t_wake -. t_park));
+           let args =
+             match blocked_on with
+             | None -> []
+             | Some chan -> [ ("blocked_on", Telemetry.Json.String chan) ]
+           in
+           par_span w ~name:"stall" ~args ~ts:t_park ~dur:(t_wake -. t_park);
+           seg_start := t_wake
+         end
      done
    with e -> par_fail net mon e);
+  if w.w_on then begin
+    let t_done = w.w_clock () in
+    end_run t_done;
+    finished.(slot) <- t_done
+  end;
   par_exit net mon ~cycles
 
 (* Runs every unfinished partition on its own domain to [cycles]. *)
@@ -179,13 +261,32 @@ let run_par net ~cycles =
         m_abort = Atomic.make false;
       }
     in
+    let finished = Array.make (List.length workers) 0. in
     let domains =
-      List.map (fun p -> Domain.spawn (fun () -> par_worker net mon p ~cycles)) workers
+      List.mapi
+        (fun slot p ->
+          Domain.spawn (fun () -> par_worker net mon p ~cycles ~finished ~slot))
+        workers
     in
     List.iter Domain.join domains;
+    (* Barrier-wait attribution: time each domain idled between its own
+       finish and the last domain's — computed here, after the joins, so
+       no cross-domain synchronization is needed while running. *)
+    let tel = Network.telemetry net in
+    if Telemetry.enabled tel && mon.m_error = None && not mon.m_dead then begin
+      let last = Array.fold_left max 0. finished in
+      List.iteri
+        (fun slot p ->
+          let c =
+            Telemetry.counter tel
+              (Printf.sprintf "sched.par.%s.barrier_ns" p.Network.pt_name)
+          in
+          Telemetry.add c (ns_of_us (last -. finished.(slot))))
+        workers
+    end;
     (match mon.m_error with
     | Some e -> raise e
-    | None -> if mon.m_dead then raise (Network.Deadlock (Network.deadlock_message net)))
+    | None -> if mon.m_dead then Network.raise_deadlock net)
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -226,7 +327,7 @@ let run_until ?(scheduler = default) net ~max_cycles pred =
       if pred net then stop := true
       else if not !progress then begin
         assert (Network.quiescent net ~target:max_cycles);
-        raise (Network.Deadlock (Network.deadlock_message net))
+        Network.raise_deadlock net
       end
     done;
     parts.(0).Network.pt_cycle

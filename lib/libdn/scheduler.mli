@@ -22,8 +22,12 @@ val default : t
 val name : t -> string
 (** ["seq"] / ["par"]. *)
 
+val accepted_names : string list
+(** The spellings {!of_string} accepts:
+    ["seq"]/["sequential"]/["par"]/["parallel"]. *)
+
 val of_string : string -> (t, string) result
-(** Accepts ["seq"]/["sequential"] and ["par"]/["parallel"]. *)
+(** Accepts {!accepted_names}; the error lists them. *)
 
 (** Runs every partition up to [cycles] target cycles; raises
     {!Network.Deadlock} if the network quiesces short of the target. *)

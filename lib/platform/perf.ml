@@ -129,6 +129,34 @@ let rate ?(target_cycles = 2000) spec =
   if t_ps = 0 then infinity
   else float_of_int target_cycles /. (float_of_int t_ps *. 1e-12)
 
+(** Publishes the performance model's predictions for [spec] as gauges
+    ([model.perf.host_ps], [model.perf.rate_hz],
+    [model.perf.chan.<i>.delivery_ps]), alongside the transport
+    parameters of every link kind the spec uses.  A functional run that
+    records into the same sink then carries modeled and measured numbers
+    in one metrics snapshot, making the cross-check a pure
+    post-processing step. *)
+let to_telemetry tel spec ~target_cycles =
+  let g name v = Telemetry.set (Telemetry.gauge tel name) v in
+  let host_ps = simulate spec ~target_cycles in
+  g "model.perf.target_cycles" target_cycles;
+  g "model.perf.host_ps" host_ps;
+  if host_ps > 0 then
+    g "model.perf.rate_hz"
+      (int_of_float (float_of_int target_cycles /. (float_of_int host_ps *. 1e-12)));
+  let kinds =
+    Array.to_list spec.chans
+    |> List.map (fun c -> c.ch_transport)
+    |> List.sort_uniq compare
+  in
+  List.iter (fun k -> Transport.to_telemetry tel k ~bits:0) kinds;
+  Array.iteri
+    (fun ci c ->
+      g
+        (Printf.sprintf "model.perf.chan.%d.delivery_ps" ci)
+        (Transport.delivery_ps c.ch_transport ~bits:c.ch_bits + c.ch_extra_ps))
+    spec.chans
+
 (* ------------------------------------------------------------------ *)
 (* Closed-form estimate (ablation baseline)                            *)
 (* ------------------------------------------------------------------ *)

@@ -38,6 +38,12 @@ val simulate : spec -> target_cycles:int -> int
 (** Simulation rate in target Hz. *)
 val rate : ?target_cycles:int -> spec -> float
 
+(** Publishes the model's predictions ([model.perf.host_ps],
+    [model.perf.rate_hz], per-channel [delivery_ps], plus the transport
+    parameters in use) into a telemetry sink, so measured run telemetry
+    and modeled costs land in one metrics snapshot. *)
+val to_telemetry : Telemetry.t -> spec -> target_cycles:int -> unit
+
 (** Closed-form estimate (the ablation baseline). *)
 val analytic_rate : spec -> float
 

@@ -45,6 +45,12 @@ let name = function
   | Pcie_host -> "host-managed PCIe"
   | Ethernet -> "switched Ethernet"
 
+let slug = function
+  | Qsfp -> "qsfp"
+  | Pcie_p2p -> "pcie_p2p"
+  | Pcie_host -> "pcie_host"
+  | Ethernet -> "ethernet"
+
 (** Wire time for a token of [bits] (excluding link latency). *)
 let wire_time_ps kind ~bits =
   let p = params kind in
@@ -52,3 +58,19 @@ let wire_time_ps kind ~bits =
 
 (** Total one-way delivery time for a token of [bits]. *)
 let delivery_ps kind ~bits = (params kind).latency_ps + wire_time_ps kind ~bits
+
+(** Publishes the modeled per-token costs of [kind] for a token of
+    [bits] as gauges ([model.transport.<kind>.latency_ps] /
+    [.wire_ps] / [.delivery_ps]), so a functional run's measured
+    telemetry can be cross-checked against the transport model in one
+    metrics snapshot. *)
+let to_telemetry tel kind ~bits =
+  let p = params kind in
+  let g metric v =
+    Telemetry.set
+      (Telemetry.gauge tel (Printf.sprintf "model.transport.%s.%s" (slug kind) metric))
+      v
+  in
+  g "latency_ps" p.latency_ps;
+  g "wire_ps" (wire_time_ps kind ~bits);
+  g "delivery_ps" (delivery_ps kind ~bits)

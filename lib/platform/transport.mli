@@ -18,8 +18,16 @@ type params = {
 val params : kind -> params
 val name : kind -> string
 
+(** Metric-name-safe identifier (["qsfp"], ["pcie_p2p"], ...). *)
+val slug : kind -> string
+
 (** Wire time for a token of [bits], excluding link latency. *)
 val wire_time_ps : kind -> bits:int -> int
 
 (** Total one-way delivery time for a token of [bits]. *)
 val delivery_ps : kind -> bits:int -> int
+
+(** Publishes the modeled per-token costs as
+    [model.transport.<kind>.latency_ps]/[.wire_ps]/[.delivery_ps]
+    gauges, for cross-checking measured telemetry against the model. *)
+val to_telemetry : Telemetry.t -> kind -> bits:int -> unit

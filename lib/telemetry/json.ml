@@ -1,0 +1,242 @@
+(* A dependency-free JSON value type with an emitter and a small
+   recursive-descent parser.  The telemetry exporters (metrics snapshot,
+   Chrome trace events, deadlock snapshots) emit through this module so
+   every file they write is well-formed by construction, and the test
+   suite parses the files back with the same module — no external JSON
+   library is required. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/Infinity; clamp them to null rather than emit an
+   unparseable file. *)
+let add_float buf f =
+  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  else Buffer.add_string buf "null"
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s -> add_escaped buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse_fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_fail "at %d: expected %C, found %C" c.pos ch x
+  | None -> parse_fail "at %d: expected %C, found end of input" c.pos ch
+
+let expect_word c w =
+  let n = String.length w in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = w then
+    c.pos <- c.pos + n
+  else parse_fail "at %d: expected %s" c.pos w
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_fail "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char buf '"'; advance c
+      | Some '\\' -> Buffer.add_char buf '\\'; advance c
+      | Some '/' -> Buffer.add_char buf '/'; advance c
+      | Some 'n' -> Buffer.add_char buf '\n'; advance c
+      | Some 'r' -> Buffer.add_char buf '\r'; advance c
+      | Some 't' -> Buffer.add_char buf '\t'; advance c
+      | Some 'b' -> Buffer.add_char buf '\b'; advance c
+      | Some 'f' -> Buffer.add_char buf '\012'; advance c
+      | Some 'u' ->
+        advance c;
+        if c.pos + 4 > String.length c.src then parse_fail "truncated \\u escape";
+        let hex = String.sub c.src c.pos 4 in
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> parse_fail "bad \\u escape %S" hex
+        in
+        (* Only BMP code points below 0x80 render directly; others are
+           replaced — the telemetry emitters never produce them. *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else Buffer.add_char buf '?';
+        c.pos <- c.pos + 4
+      | _ -> parse_fail "bad escape at %d" c.pos);
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> parse_fail "bad number %S at %d" text start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_fail "unexpected end of input"
+  | Some 'n' -> expect_word c "null"; Null
+  | Some 't' -> expect_word c "true"; Bool true
+  | Some 'f' -> expect_word c "false"; Bool false
+  | Some '"' -> String (parse_string_body c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin advance c; List [] end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' -> advance c; items (v :: acc)
+        | Some ']' -> advance c; List.rev (v :: acc)
+        | _ -> parse_fail "at %d: expected ',' or ']'" c.pos
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin advance c; Obj [] end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' -> advance c; members ((k, v) :: acc)
+        | Some '}' -> advance c; Obj (List.rev ((k, v) :: acc))
+        | _ -> parse_fail "at %d: expected ',' or '}'" c.pos
+      in
+      members []
+    end
+  | Some _ -> parse_number c
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at %d" c.pos)
+    else Ok v
+  | exception Parse_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Accessors (for tests and consumers of parsed telemetry files)       *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function String s -> Some s | _ -> None

@@ -1,0 +1,29 @@
+(** Minimal JSON values: emitter + parser, shared by every telemetry
+    exporter (metrics snapshots, Chrome trace events, deadlock
+    snapshots) and by the tests that validate the written files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+(** Parses a complete JSON document (trailing garbage is an error). *)
+val parse : string -> (t, string) result
+
+(** Object member lookup; [None] on non-objects and missing keys. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_int : t -> int option
+
+(** Accepts both [Int] and [Float]. *)
+val to_float : t -> float option
+
+val to_str : t -> string option

@@ -1,0 +1,131 @@
+(* Structured network-state snapshot: the single source of truth for
+   LI-BDN introspection and deadlock diagnostics (the Fig. 2a
+   circular-dependency argument made machine-readable).
+
+   The runtime captures one of these per partition — target cycle,
+   input-queue depths, unfired outputs and their dependencies — and
+   every rendering derives from it: the human-readable deadlock message
+   ({!to_string}), the metrics-snapshot embedding and the trace-sink
+   instant event ({!to_json}), and the blocked-edge summary tests
+   assert on ({!blocked}).  It is plain data with no runtime types, so
+   any layer can build or consume one. *)
+
+type input = {
+  in_chan : string;
+  in_depth : int;  (** queued tokens *)
+}
+
+type output = {
+  out_chan : string;
+  out_fired : bool;
+  out_deps : string list;  (** input channels it combinationally waits for *)
+  out_blocked_on : string list;
+      (** the empty subset of [out_deps] — what keeps it from firing *)
+}
+
+type part = {
+  p_name : string;
+  p_index : int;
+  p_cycle : int;
+  p_inputs : input list;
+  p_outputs : output list;
+}
+
+type t = { parts : part list }
+
+(** Empty inputs that gate progress, as (partition, input channel)
+    pairs: the dependencies of unfired outputs, plus any empty input
+    holding back a partition whose outputs have all fired (the advance
+    rule).  For a Fig. 2a mis-cut this names the exact blocked
+    channels. *)
+let blocked t =
+  List.concat_map
+    (fun p ->
+      let from_outputs =
+        List.concat_map
+          (fun o -> if o.out_fired then [] else o.out_blocked_on)
+          p.p_outputs
+      in
+      let advance_blocked =
+        if List.for_all (fun o -> o.out_fired) p.p_outputs then
+          List.filter_map
+            (fun i -> if i.in_depth = 0 then Some i.in_chan else None)
+            p.p_inputs
+        else []
+      in
+      List.sort_uniq compare (from_outputs @ advance_blocked)
+      |> List.map (fun c -> (p.p_name, c)))
+    t.parts
+
+(* ------------------------------------------------------------------ *)
+(* Renderings                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "partition %s @ cycle %d:\n" p.p_name p.p_cycle);
+      List.iter
+        (fun i ->
+          Buffer.add_string buf
+            (Printf.sprintf "  in  %-24s queue=%d\n" i.in_chan i.in_depth))
+        p.p_inputs;
+      List.iter
+        (fun o ->
+          Buffer.add_string buf
+            (Printf.sprintf "  out %-24s fired=%b deps=[%s]%s\n" o.out_chan
+               o.out_fired
+               (String.concat "," o.out_deps)
+               (match o.out_blocked_on with
+               | [] -> ""
+               | bs -> Printf.sprintf " blocked-on=[%s]" (String.concat "," bs))))
+        p.p_outputs)
+    t.parts;
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    [
+      ( "partitions",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [
+                   ("name", Json.String p.p_name);
+                   ("index", Json.Int p.p_index);
+                   ("cycle", Json.Int p.p_cycle);
+                   ( "inputs",
+                     Json.List
+                       (List.map
+                          (fun i ->
+                            Json.Obj
+                              [
+                                ("chan", Json.String i.in_chan);
+                                ("depth", Json.Int i.in_depth);
+                              ])
+                          p.p_inputs) );
+                   ( "outputs",
+                     Json.List
+                       (List.map
+                          (fun o ->
+                            Json.Obj
+                              [
+                                ("chan", Json.String o.out_chan);
+                                ("fired", Json.Bool o.out_fired);
+                                ("deps", Json.List (List.map (fun d -> Json.String d) o.out_deps));
+                                ( "blocked_on",
+                                  Json.List (List.map (fun d -> Json.String d) o.out_blocked_on) );
+                              ])
+                          p.p_outputs) );
+                 ])
+             t.parts) );
+      ( "blocked",
+        Json.List
+          (List.map
+             (fun (part, chan) ->
+               Json.Obj [ ("partition", Json.String part); ("chan", Json.String chan) ])
+             (blocked t)) );
+    ]

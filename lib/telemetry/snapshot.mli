@@ -1,0 +1,38 @@
+(** Structured network-state snapshot — the single source of truth for
+    LI-BDN introspection and deadlock diagnostics.  Plain data: the
+    runtime builds one (per partition: target cycle, input queue
+    depths, unfired outputs and their dependencies); the human-readable
+    deadlock message, the JSON sink embedding, and the blocked-edge
+    summary all derive from it. *)
+
+type input = {
+  in_chan : string;
+  in_depth : int;  (** queued tokens *)
+}
+
+type output = {
+  out_chan : string;
+  out_fired : bool;
+  out_deps : string list;  (** input channels it combinationally waits for *)
+  out_blocked_on : string list;
+      (** the empty subset of [out_deps] — what keeps it from firing *)
+}
+
+type part = {
+  p_name : string;
+  p_index : int;
+  p_cycle : int;
+  p_inputs : input list;
+  p_outputs : output list;
+}
+
+type t = { parts : part list }
+
+(** Empty inputs gating progress, as (partition, input channel) pairs —
+    for a Fig. 2a mis-cut, the exact blocked channels. *)
+val blocked : t -> (string * string) list
+
+(** The human-readable rendering used in {!Deadlock} messages. *)
+val to_string : t -> string
+
+val to_json : t -> Json.t

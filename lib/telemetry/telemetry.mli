@@ -1,0 +1,79 @@
+(** The telemetry sink threaded through the LI-BDN execution layers:
+    named counters, gauges and exact-percentile histograms (backed by
+    {!Des.Stats}), an optional Chrome-trace collector, and the last
+    structured deadlock snapshot — exported together as one JSON
+    metrics document.
+
+    The disabled default ({!null}) is free on the hot path: metrics
+    handed out by a disabled sink are inert, so recording reduces to a
+    single branch — no allocation, no atomics, no clock reads.
+    Counters and gauges are atomics (partitions record from their own
+    domains); histograms take a per-histogram mutex. *)
+
+(** The sibling modules, re-exported under the library's main module. *)
+module Json = Json
+
+module Chrome_trace = Chrome_trace
+module Snapshot = Snapshot
+
+type counter
+type gauge
+type hist
+type t
+
+(** The shared disabled sink; all recording through it is a no-op. *)
+val null : t
+
+(** A live sink; [trace] additionally attaches a Chrome-trace
+    collector. *)
+val create : ?trace:bool -> unit -> t
+
+val enabled : t -> bool
+val trace : t -> Chrome_trace.t option
+
+(** Microseconds since the sink was created. *)
+val now_us : t -> float
+
+(** Get-or-create by name.  On a disabled sink these return inert
+    dummies without registering anything. *)
+val counter : t -> string -> counter
+
+val gauge : t -> string -> gauge
+val hist : t -> string -> hist
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> int -> unit
+
+(** Monotone max update (safe under concurrent recorders). *)
+val set_max : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+val observe : hist -> int -> unit
+
+(** Records a structured network snapshot on both sinks: kept for the
+    metrics exporter, and emitted as an instant event on the trace. *)
+val record_deadlock : t -> Snapshot.t -> unit
+
+val last_deadlock : t -> Snapshot.t option
+
+(** Registered metrics in registration order. *)
+val counters : t -> (string * int) list
+
+val gauges : t -> (string * int) list
+
+(** Histogram summaries (count/mean/p50/p90/p99/max) as JSON. *)
+val hists : t -> (string * Json.t) list
+
+(** The whole registry as one JSON metrics snapshot (schema
+    [fireaxe-metrics-1]). *)
+val metrics_json : t -> Json.t
+
+val metrics_json_string : t -> string
+val write_metrics : t -> path:string -> unit
+
+(** Writes the Chrome trace; no-op when the sink has no collector. *)
+val write_trace : t -> path:string -> unit

@@ -31,4 +31,5 @@ let () =
          Printf_tests.suite;
          Remote_tests.suite;
          Scheduler_tests.suite;
+         Telemetry_tests.suite;
        ])
