@@ -1,0 +1,214 @@
+(* Crash-recovery microbench: prices the resilience layer.
+
+   Three measurements on the single-core Kite SoC (tile | rest
+   partitioning), reported on stdout and as BENCH_recovery.json:
+
+   - checkpoint I/O: mean wall-clock of a durable [Resilience.Bundle]
+     save and of a restore into a fresh handle;
+   - recovery latency: a supervised remote run with one injected
+     SIGKILL, reporting the end-to-end wall-clock against an
+     uninterrupted run of the same configuration plus the supervisor's
+     own [resilience.recovery_us] histogram;
+   - steady-state overhead: the same run at several checkpoint
+     intervals (and with checkpointing disabled) — the disabled case
+     prices the supervision wrapper itself, which must be ~free. *)
+
+module FR = Fireripper
+module R = Resilience
+
+let worker =
+  Filename.concat
+    (Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin")
+    "fireaxe_worker.exe"
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (Unix.gettimeofday () -. t0, x)
+
+let ms secs = secs *. 1000.
+
+let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:8 ~reps:8 ~dst:60
+let data = List.init 8 (fun i -> (32 + i, (i * 3) + 2))
+
+let soc_plan () =
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "tile" ] ] }
+  in
+  FR.Compile.compile ~config (Socgen.Soc.single_core_soc ~mem_latency:1 ())
+
+let load_soc h =
+  let mu = FR.Runtime.locate h "mem$mem" in
+  Socgen.Soc.load_program (FR.Runtime.sim_of h mu) ~mem:"mem$mem" ~data program
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "fireaxe_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ | Unix.Unix_error _ -> ()) (fun () -> f dir)
+
+let json_fields = ref []
+let field name v = json_fields := (name, v) :: !json_fields
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint I/O                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_checkpoint_io () =
+  with_tmpdir (fun dir ->
+      let plan = soc_plan () in
+      let h = FR.Runtime.instantiate plan in
+      load_soc h;
+      FR.Runtime.run h ~cycles:500;
+      let reps = 10 in
+      let save_total = ref 0. in
+      let last_path = ref "" in
+      for _ = 1 to reps do
+        let secs, path = time (fun () -> R.Bundle.save ~dir h) in
+        save_total := !save_total +. secs;
+        last_path := path
+      done;
+      let fresh = FR.Runtime.instantiate plan in
+      let restore_total = ref 0. in
+      for _ = 1 to reps do
+        let secs, _ = time (fun () -> R.Bundle.restore ~path:!last_path fresh) in
+        restore_total := !restore_total +. secs
+      done;
+      let save_ms = ms (!save_total /. float_of_int reps) in
+      let restore_ms = ms (!restore_total /. float_of_int reps) in
+      let bundle_bytes =
+        Sys.readdir !last_path |> Array.to_list
+        |> List.fold_left
+             (fun acc f -> acc + (Unix.stat (Filename.concat !last_path f)).Unix.st_size)
+             0
+      in
+      Printf.printf "checkpoint save   %8.2f ms   restore %8.2f ms   bundle %d bytes\n"
+        save_ms restore_ms bundle_bytes;
+      field "checkpoint_io"
+        (Telemetry.Json.Obj
+           [
+             ("save_ms", Telemetry.Json.Float save_ms);
+             ("restore_ms", Telemetry.Json.Float restore_ms);
+             ("bundle_bytes", Telemetry.Json.Int bundle_bytes);
+           ]))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery latency                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let supervised_run ~dir ~chaos ~cycles =
+  let plan = soc_plan () in
+  let tel = Telemetry.create () in
+  let h, _conns =
+    FR.Runtime.instantiate_remote ~telemetry:tel ~worker ~remote_units:[ 1 ] plan
+  in
+  load_soc h;
+  let sv =
+    R.Supervisor.create ~checkpoint_dir:dir ~every:200
+      ~policy:{ R.Policy.default with R.Policy.backoff_ms = 1 }
+      ?chaos ~worker h
+  in
+  let secs, () = time (fun () -> R.Supervisor.run sv ~cycles) in
+  let restarts = R.Supervisor.restarts sv in
+  R.Supervisor.close sv;
+  (secs, restarts, tel)
+
+let bench_recovery_latency () =
+  let cycles = 1500 in
+  let clean_secs, _, _ =
+    with_tmpdir (fun dir -> supervised_run ~dir ~chaos:None ~cycles)
+  in
+  let faulted_secs, restarts, tel =
+    with_tmpdir (fun dir ->
+        supervised_run ~dir
+          ~chaos:(Some (R.Chaos.plan ~seed:11 ~cycles ~n_victims:1 ()))
+          ~cycles)
+  in
+  let recovery_hist =
+    match List.assoc_opt "resilience.recovery_us" (Telemetry.hists tel) with
+    | Some j -> j
+    | None -> Telemetry.Json.Null
+  in
+  Printf.printf
+    "recovery          %8.2f ms run clean, %8.2f ms with %d kill(s) (+%.2f ms)\n"
+    (ms clean_secs) (ms faulted_secs) restarts
+    (ms (faulted_secs -. clean_secs));
+  field "recovery"
+    (Telemetry.Json.Obj
+       [
+         ("cycles", Telemetry.Json.Int cycles);
+         ("clean_ms", Telemetry.Json.Float (ms clean_secs));
+         ("faulted_ms", Telemetry.Json.Float (ms faulted_secs));
+         ("recovery_cost_ms", Telemetry.Json.Float (ms (faulted_secs -. clean_secs)));
+         ("restarts", Telemetry.Json.Int restarts);
+         ("recovery_us_hist", recovery_hist);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Steady-state overhead                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_overhead () =
+  let cycles = 3000 in
+  let plan = soc_plan () in
+  let plain () =
+    let h = FR.Runtime.instantiate plan in
+    load_soc h;
+    fst (time (fun () -> FR.Runtime.run h ~cycles))
+  in
+  (* Warm up file caches / allocator before the measured runs. *)
+  ignore (plain ());
+  let base_secs = plain () in
+  let supervised ?checkpoint_dir ~every () =
+    let h = FR.Runtime.instantiate plan in
+    load_soc h;
+    let sv = R.Supervisor.create ?checkpoint_dir ~every ~worker h in
+    fst (time (fun () -> R.Supervisor.run sv ~cycles))
+  in
+  let rows = ref [] in
+  let row name secs =
+    let overhead = (secs -. base_secs) /. base_secs *. 100. in
+    Printf.printf "overhead %-10s %8.2f ms  (%+.1f%% vs plain run)\n" name (ms secs) overhead;
+    rows :=
+      Telemetry.Json.Obj
+        [
+          ("interval", Telemetry.Json.String name);
+          ("ms", Telemetry.Json.Float (ms secs));
+          ("overhead_pct", Telemetry.Json.Float overhead);
+        ]
+      :: !rows
+  in
+  Printf.printf "plain run         %8.2f ms (%d cycles, baseline)\n" (ms base_secs) cycles;
+  row "disabled" (supervised ~every:500 ());
+  with_tmpdir (fun dir -> row "every=1000" (supervised ~checkpoint_dir:dir ~every:1000 ()));
+  with_tmpdir (fun dir -> row "every=500" (supervised ~checkpoint_dir:dir ~every:500 ()));
+  with_tmpdir (fun dir -> row "every=250" (supervised ~checkpoint_dir:dir ~every:250 ()));
+  with_tmpdir (fun dir -> row "every=100" (supervised ~checkpoint_dir:dir ~every:100 ()));
+  field "steady_state"
+    (Telemetry.Json.Obj
+       [
+         ("cycles", Telemetry.Json.Int cycles);
+         ("baseline_ms", Telemetry.Json.Float (ms base_secs));
+         ("intervals", Telemetry.Json.List (List.rev !rows));
+       ])
+
+let () =
+  bench_checkpoint_io ();
+  bench_recovery_latency ();
+  bench_overhead ();
+  let doc =
+    Telemetry.Json.Obj
+      (("schema", Telemetry.Json.String "fireaxe-bench-recovery-1") :: List.rev !json_fields)
+  in
+  let oc = open_out "BENCH_recovery.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_recovery.json\n"

@@ -294,22 +294,77 @@ let plan_cmd =
 let worker_path () =
   Filename.concat (Filename.dirname Sys.executable_name) "fireaxe_worker.exe"
 
-let run_remote ~telemetry design plan cycles =
+let pp_resilience_event = function
+  | Fireaxe.Resilience.Supervisor.Checkpointed { cycle; path } ->
+    Fmt.pr "checkpoint: cycle %d -> %s@." cycle path
+  | Fireaxe.Resilience.Supervisor.Worker_down { label; status } ->
+    Fmt.pr "worker down: partition %s (%s)@." label status
+  | Fireaxe.Resilience.Supervisor.Restarted { unit_index; label; attempt } ->
+    Fmt.pr "respawned unit %d (partition %s), attempt %d@." unit_index label attempt
+  | Fireaxe.Resilience.Supervisor.Rolled_back { to_cycle; path } ->
+    Fmt.pr "rolled back to cycle %d from %s@." to_cycle path
+  | Fireaxe.Resilience.Supervisor.Skipped_bundle { path; reason } ->
+    Fmt.pr "skipped unusable bundle %s: %s@." path reason
+
+(* Restores state before a run: bare [--resume] (or a directory) means
+   the newest durable bundle; a file path means a legacy whole-sim
+   snapshot file. *)
+let do_resume h ~checkpoint_dir = function
+  | None -> ()
+  | Some spec ->
+    let resume_bundles dir =
+      match Fireaxe.Resilience.Supervisor.resume ~dir h with
+      | Some c -> Fmt.pr "resumed from newest bundle in %s at target cycle %d@." dir c
+      | None -> Fmt.pr "no checkpoint bundle in %s; starting fresh@." dir
+    in
+    if spec = "latest" then begin
+      match checkpoint_dir with
+      | Some dir -> resume_bundles dir
+      | None ->
+        Fmt.epr "--resume without a FILE needs --checkpoint-dir@.";
+        exit 2
+    end
+    else if Sys.file_exists spec && Sys.is_directory spec then
+      if Sys.file_exists (Filename.concat spec "MANIFEST") then begin
+        let c = Fireaxe.Resilience.Bundle.restore ~path:spec h in
+        Fmt.pr "resumed from bundle %s at target cycle %d@." spec c
+      end
+      else resume_bundles spec
+    else begin
+      Fireaxe.Runtime.load h ~path:spec;
+      Fmt.pr "resumed from %s at target cycle %d@." spec (Fireaxe.Runtime.cycle h 0)
+    end
+
+let run_remote ~telemetry ~scheduler ~checkpoint_dir ~checkpoint_every ~chaos_seed
+    ~resume design plan cycles =
   let n = Fireaxe.Plan.n_units plan in
-  let h, conns =
-    Fireaxe.Runtime.instantiate_remote ~telemetry ~worker:(worker_path ())
+  let chaos =
+    Option.map
+      (fun seed -> Fireaxe.Resilience.Chaos.plan ~seed ~cycles ~n_victims:n ())
+      chaos_seed
+  in
+  let sv =
+    Fireaxe.supervise ~scheduler ~telemetry ?checkpoint_dir ~every:checkpoint_every
+      ?chaos ~on_event:pp_resilience_event ~worker:(worker_path ())
       ~remote_units:(List.init n Fun.id) plan
   in
+  let h = Fireaxe.Resilience.Supervisor.handle sv in
+  let conns = Fireaxe.Runtime.remote_conns h in
   Fmt.pr "spawned %d worker processes (one per unit)@." (List.length conns);
-  Fireaxe.Runtime.run h ~cycles;
-  Fmt.pr "ran %d target cycles across %d processes (%d token transfers)@." cycles n
-    (Fireaxe.Runtime.token_transfers h);
+  do_resume h ~checkpoint_dir resume;
+  Fireaxe.Resilience.Supervisor.run sv ~cycles;
+  Fmt.pr "ran %d target cycles across %d processes (%d token transfers, %d respawns)@."
+    cycles n
+    (Fireaxe.Runtime.token_transfers h)
+    (Fireaxe.Resilience.Supervisor.restarts sv);
   (* Cross-check against the monolithic simulation, reading each probe
-     from whichever worker holds it. *)
+     from whichever worker holds it.  Any mismatch fails the run — CI's
+     crash-recovery smoke rides on this exit code. *)
   let mono = Rtlsim.Sim.of_circuit (design.d_circuit ()) in
   for _ = 1 to cycles do
     Rtlsim.Sim.step mono
   done;
+  let mismatches = ref 0 in
   List.iter
     (fun probe ->
       match List.find_opt (fun (_, c) -> Libdn.Remote_engine.has c probe) conns with
@@ -317,13 +372,18 @@ let run_remote ~telemetry design plan cycles =
       | Some (_, c) ->
         let v = Libdn.Remote_engine.get c probe in
         let m = Rtlsim.Sim.get mono probe in
+        if v <> m then incr mismatches;
         Fmt.pr "  %-28s = %-8d (monolithic %d%s)@." probe v m
           (if v = m then ", exact" else " -- DIFFERS"))
     design.d_probes;
-  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
+  Fireaxe.Resilience.Supervisor.close sv;
+  if !mismatches > 0 then begin
+    Fmt.epr "%d probe(s) differ from the monolithic reference@." !mismatches;
+    exit 4
+  end
 
 let run design mode select routers scheduler cycles vcd_path sample every resume save_snap
-    check remote metrics trace_file progress =
+    check remote metrics trace_file progress checkpoint_dir checkpoint_every chaos_seed =
   (* A live sink only when some exporter was requested; otherwise the
      shared disabled sink keeps the hot path free. *)
   let telemetry =
@@ -348,14 +408,24 @@ let run design mode select routers scheduler cycles vcd_path sample every resume
   let circuit = design.d_circuit () in
   let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
   match
-    if remote then run_remote ~telemetry design plan cycles
+    if remote then
+      run_remote ~telemetry ~scheduler ~checkpoint_dir ~checkpoint_every ~chaos_seed
+        ~resume design plan cycles
   else begin
   let h = Fireaxe.instantiate ~scheduler ~telemetry plan in
-  (match resume with
-  | Some path ->
-    Fireaxe.Runtime.load h ~path;
-    Fmt.pr "resumed from %s at target cycle %d@." path (Fireaxe.Runtime.cycle h 0)
-  | None -> ());
+  do_resume h ~checkpoint_dir resume;
+  (* With a checkpoint dir, plain in-process runs also advance under
+     the supervisor so bundles land on every interval. *)
+  let advance ~cycles =
+    match checkpoint_dir with
+    | Some _ ->
+      let sv =
+        Fireaxe.Resilience.Supervisor.create ?checkpoint_dir ~every:checkpoint_every
+          ~on_event:pp_resilience_event ~worker:(worker_path ()) h
+      in
+      Fireaxe.Resilience.Supervisor.run sv ~cycles
+    | None -> Fireaxe.Runtime.run h ~cycles
+  in
   (match (vcd_path, sample) with
   | None, Some signals ->
     (* AutoCounter-style out-of-band sampling while the run advances. *)
@@ -368,14 +438,14 @@ let run design mode select routers scheduler cycles vcd_path sample every resume
       (* Chunked run with a progress line every [n] target cycles. *)
       let rec go c =
         let next = min cycles (c + n) in
-        Fireaxe.Runtime.run h ~cycles:next;
+        advance ~cycles:next;
         Fmt.pr "progress: cycle %d/%d (%d token transfers)@." next cycles
           (Fireaxe.Runtime.token_transfers h);
         if next < cycles then go next
       in
       let start = Fireaxe.Runtime.cycle h 0 in
       if start < cycles then go start
-    | _ -> Fireaxe.Runtime.run h ~cycles)
+    | _ -> advance ~cycles)
   | Some path, _ ->
     (* Dump the probe signals of the unit that holds them, sampled per
        target cycle. *)
@@ -459,8 +529,12 @@ let check_arg =
 let resume_arg =
   Arg.(
     value
-    & opt (some string) None
-    & info [ "resume" ] ~docv:"FILE" ~doc:"Restore a snapshot before running.")
+    & opt ~vopt:(Some "latest") (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Restore state before running.  Bare $(b,--resume) picks the newest durable \
+           bundle under $(b,--checkpoint-dir); a directory resumes from that bundle \
+           (or its newest bundle); a file restores a legacy snapshot.")
 
 let save_snap_arg =
   Arg.(
@@ -494,13 +568,39 @@ let progress_arg =
     & opt (some int) None
     & info [ "progress" ] ~docv:"N" ~doc:"Print a progress line every N target cycles.")
 
+let checkpoint_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write durable checkpoint bundles under this directory; with $(b,--remote), \
+           crashed workers are respawned and rolled back to the newest bundle.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt int 1000
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Target cycles between durable checkpoints (default 1000).")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos" ] ~docv:"SEED"
+        ~doc:
+          "Deterministic fault injection (with $(b,--remote)): SIGKILL a worker at a \
+           seed-chosen cycle mid-run, exercising crash recovery.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a partitioned simulation and cross-check it against the monolithic one.")
     Term.(
       const run $ design_arg $ mode_arg $ select_arg $ routers_arg $ scheduler_arg
       $ cycles_arg $ vcd_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
-      $ check_arg $ remote_arg $ metrics_arg $ trace_file_arg $ progress_arg)
+      $ check_arg $ remote_arg $ metrics_arg $ trace_file_arg $ progress_arg
+      $ checkpoint_dir_arg $ checkpoint_every_arg $ chaos_arg)
 
 let sweep transport =
   Fmt.pr "simulation rate (MHz) vs interface width, %s@." (Platform.Transport.name transport);

@@ -11,12 +11,17 @@ let () =
   let circuit = Firrtl.Text.load ~path:Sys.argv.(1) in
   let sim = Rtlsim.Sim.of_circuit circuit in
   let eng = Libdn.Engine.of_sim sim in
+  (* Cones and checkpoints draw from SEPARATE id counters: cone ids are
+     then a pure function of registration order, which is what lets a
+     supervisor respawn a dead worker and replay the registrations with
+     every previously handed-out id still valid. *)
   let cones = Hashtbl.create 8 in
+  let next_cone = ref 0 in
   let checkpoints = Hashtbl.create 8 in
-  let next_id = ref 0 in
-  let fresh tbl v =
-    let id = !next_id in
-    incr next_id;
+  let next_ckpt = ref 0 in
+  let fresh tbl counter v =
+    let id = !counter in
+    incr counter;
     Hashtbl.replace tbl id v;
     id
   in
@@ -41,11 +46,13 @@ let () =
       | [ "get"; name ] -> reply "%d" (eng.Libdn.Engine.get name)
       | [ "eval" ] -> eng.Libdn.Engine.eval_comb ()
       | [ "step" ] -> eng.Libdn.Engine.step_seq ()
-      | "cone" :: roots -> reply "%d" (fresh cones (eng.Libdn.Engine.make_cone_eval roots))
+      | "cone" :: roots ->
+        reply "%d" (fresh cones next_cone (eng.Libdn.Engine.make_cone_eval roots))
       | [ "runcone"; id ] -> (Hashtbl.find cones (int_of_string id)) ()
       | [ "deps"; port ] ->
         reply "%s" (String.concat " " (eng.Libdn.Engine.output_comb_deps port))
-      | [ "checkpoint" ] -> reply "%d" (fresh checkpoints (eng.Libdn.Engine.checkpoint ()))
+      | [ "checkpoint" ] ->
+        reply "%d" (fresh checkpoints next_ckpt (eng.Libdn.Engine.checkpoint ()))
       | [ "restore"; id ] -> (Hashtbl.find checkpoints (int_of_string id)) ()
       | [ "poke"; mem; addr; v ] ->
         Rtlsim.Sim.poke_mem sim mem (int_of_string addr) (int_of_string v)
@@ -55,6 +62,30 @@ let () =
           (if Hashtbl.mem sim.Rtlsim.Sim.slots name || Hashtbl.mem sim.Rtlsim.Sim.mems name
            then 1
            else 0)
+      | [ "savestate" ] ->
+        (* Framed multi-line reply: "state <n>" then the n lines of the
+           standard simulator-state text. *)
+        let text = Rtlsim.Sim.state_to_string (Rtlsim.Sim.save_state sim) in
+        let lines =
+          String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+        in
+        reply "state %d" (List.length lines);
+        List.iter (fun l -> reply "%s" l) lines
+      | [ "loadstate"; n ] ->
+        (* The n state-text lines follow on stdin. *)
+        let n = int_of_string n in
+        let buf = Buffer.create 4096 in
+        (try
+           for _ = 1 to n do
+             Buffer.add_string buf (input_line stdin);
+             Buffer.add_char buf '\n'
+           done;
+           Rtlsim.Sim.restore_state sim
+             (Rtlsim.Sim.state_of_string (Buffer.contents buf));
+           reply "ok"
+         with
+        | End_of_file -> running := false
+        | Rtlsim.Sim.Sim_error m -> reply "error: %s" m)
       | [ "quit" ] -> running := false
       | _ -> bad line)
   done

@@ -26,6 +26,7 @@ module Auto = Fireripper.Auto
 module Counters = Fireripper.Counters
 module Tracer = Fireripper.Tracer
 module Clockdiv = Goldengate.Clockdiv
+module Resilience = Resilience
 
 (** Compiles a monolithic circuit into a partition plan. *)
 let compile = Compile.compile
@@ -35,6 +36,21 @@ let compile = Compile.compile
 let report plan = Report.build plan
 
 let instantiate = Runtime.instantiate
+
+(** Instantiates [plan] with [remote_units] hosted in worker processes
+    and wraps the handle in a crash-recovering supervisor: durable
+    checkpoints under [checkpoint_dir] every [every] cycles, dead
+    workers respawned under [policy], optional seeded [chaos].  Drive
+    it with {!Resilience.Supervisor.run}; {!Resilience.Supervisor.close}
+    when done. *)
+let supervise ?scheduler ?read_timeout ?telemetry ?checkpoint_dir ?every ?policy
+    ?chaos ?on_event ~worker ~remote_units plan =
+  let handle, _conns =
+    Runtime.instantiate_remote ?scheduler ?read_timeout ?telemetry ~worker
+      ~remote_units plan
+  in
+  Resilience.Supervisor.create ?checkpoint_dir ?every ?policy ?chaos ?on_event
+    ~worker handle
 
 (* ------------------------------------------------------------------ *)
 (* Running to a condition                                              *)

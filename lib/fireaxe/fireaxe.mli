@@ -27,6 +27,10 @@ module Tracer = Fireripper.Tracer
     before partitioning. *)
 module Clockdiv = Goldengate.Clockdiv
 
+(** Durable checkpoints, restart policies, crash-recovering
+    supervision, and deterministic fault injection. *)
+module Resilience = Resilience
+
 val compile : ?config:Spec.config -> Firrtl.Ast.circuit -> Plan.t
 val report : Plan.t -> Report.t
 
@@ -36,6 +40,28 @@ val instantiate :
   ?telemetry:Telemetry.t ->
   Plan.t ->
   Runtime.handle
+
+(** Instantiates [plan] with [remote_units] hosted in worker processes
+    (spawned from the [worker] binary) and wraps the handle in a
+    crash-recovering supervisor: durable checkpoint bundles under
+    [checkpoint_dir] every [every] target cycles, dead workers
+    respawned under [policy] and rolled back from the last bundle,
+    optional seeded [chaos] fault injection.  Drive it with
+    {!Resilience.Supervisor.run}; {!Resilience.Supervisor.close} the
+    workers when done. *)
+val supervise :
+  ?scheduler:Libdn.Scheduler.t ->
+  ?read_timeout:float ->
+  ?telemetry:Telemetry.t ->
+  ?checkpoint_dir:string ->
+  ?every:int ->
+  ?policy:Resilience.Policy.t ->
+  ?chaos:Resilience.Chaos.t ->
+  ?on_event:(Resilience.Supervisor.event -> unit) ->
+  worker:string ->
+  remote_units:int list ->
+  Plan.t ->
+  Resilience.Supervisor.t
 
 (** Steps a monolithic simulation to [finished]; returns the cycle. *)
 val run_monolithic_until :

@@ -15,6 +15,8 @@ type handle = {
   h_engines : Libdn.Engine.t array;  (** indexed by plan unit *)
   h_sims : Rtlsim.Sim.t option array;  (** backing sims of non-FAME-5 units *)
   h_fame5 : Goldengate.Fame5.t option array;
+  h_remote : Libdn.Remote_engine.conn option array;
+      (** live worker connections of remote-hosted units *)
 }
 
 (* A wrapper is FAME-5 eligible when it contains only instances of a
@@ -124,16 +126,29 @@ let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default)
     h_engines = engines;
     h_sims = sims;
     h_fame5 = fame5s;
+    h_remote = Array.make n None;
   }
+
+(* Serializes unit [k]'s flattened circuit to a fresh temp .fir file,
+   hands the path to [f], and removes the file afterwards. *)
+let with_unit_fir (plan : Plan.t) k f =
+  let flat = Lazy.force plan.Plan.p_units.(k).Plan.u_flat in
+  let circuit =
+    { Firrtl.Ast.cname = flat.Firrtl.Ast.name; main = flat.Firrtl.Ast.name; modules = [ flat ] }
+  in
+  let path = Filename.temp_file "fireaxe_unit" ".fir" in
+  Firrtl.Text.save circuit ~path;
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
 
 (** Builds the network with the units in [remote_units] hosted in their
     own worker PROCESSES (the software analogue of separate FPGAs);
     everything else stays in-process.  Returns the handle and the live
     connections, in [remote_units] order — [Libdn.Remote_engine.close]
-    them when done.  Remote units have no local simulator, so [sim_of],
-    [locate] and snapshots skip them; use the connection's poke/peek
-    instead. *)
-let instantiate_remote ?(scheduler = Libdn.Scheduler.default)
+    them when done.  Remote units have no local simulator, so [sim_of]
+    and [locate] skip them; use the connection's poke/peek instead
+    (snapshots DO cover them, through the worker pipe protocol).
+    [read_timeout] bounds every worker reply wait in seconds. *)
+let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ?read_timeout
     ?(telemetry = Telemetry.null) ~worker ~remote_units (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
@@ -144,17 +159,11 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default)
     (fun (u : Plan.unit_part) ->
       let engine =
         if List.mem u.Plan.u_index remote_units then begin
-          let flat = Lazy.force u.Plan.u_flat in
-          let circuit =
-            { Ast.cname = flat.Ast.name; main = flat.Ast.name; modules = [ flat ] }
-          in
-          let path = Filename.temp_file "fireaxe_unit" ".fir" in
-          Firrtl.Text.save circuit ~path;
           let conn =
-            Libdn.Remote_engine.spawn ~label:u.Plan.u_name ~telemetry ~worker
-              ~fir_path:path ()
+            with_unit_fir plan u.Plan.u_index (fun path ->
+                Libdn.Remote_engine.spawn ~label:u.Plan.u_name ?read_timeout ~telemetry
+                  ~worker ~fir_path:path ())
           in
-          Sys.remove path;
           conns := (u.Plan.u_index, conn) :: !conns;
           Libdn.Remote_engine.engine conn
         end
@@ -168,6 +177,8 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default)
     plan.Plan.p_units;
   let engines = Array.map Option.get engines in
   let net = build_network ~telemetry plan engines in
+  let remote = Array.make n None in
+  List.iter (fun (k, conn) -> remote.(k) <- Some conn) !conns;
   ( {
       h_plan = plan;
       h_net = net;
@@ -175,8 +186,29 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default)
       h_engines = engines;
       h_sims = sims;
       h_fame5 = fame5s;
+      h_remote = remote;
     },
     List.rev !conns )
+
+(** The live worker connection of a remote-hosted unit, if any. *)
+let conn_of h k = h.h_remote.(k)
+
+(** All live worker connections, in unit order. *)
+let remote_conns h =
+  Array.to_list h.h_remote
+  |> List.mapi (fun k c -> Option.map (fun c -> (k, c)) c)
+  |> List.filter_map Fun.id
+
+(** Respawns the (dead) worker hosting remote unit [k] behind its
+    existing connection — the network's engine closures keep working.
+    The fresh process starts from reset state; restore it from a
+    durable checkpoint. *)
+let respawn_remote h k ~worker =
+  match h.h_remote.(k) with
+  | None -> invalid_arg (Printf.sprintf "respawn_remote: unit %d is not remote" k)
+  | Some conn ->
+    with_unit_fir h.h_plan k (fun path ->
+        Libdn.Remote_engine.reconnect conn ~worker ~fir_path:path)
 
 let scheduler h = h.h_scheduler
 
@@ -231,36 +263,34 @@ let locate h name =
 (* Disk snapshots                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Serializes the whole partitioned simulation — every unit's
-   architectural state plus the network's in-flight tokens — as a text
-   blob, so a long run can be snapshotted to disk and resumed in a fresh
-   process (instantiate the same plan, then [restore_from_string]).
-   FAME-5-threaded handles are refused: bank state lives behind the
-   engine abstraction. *)
-let save_to_string h =
-  Array.iteri
-    (fun i f5 ->
-      match f5 with
-      | Some _ ->
-        invalid_arg
-          (Printf.sprintf "save_to_string: unit %d is FAME-5 threaded; snapshot unthreaded"
-             i)
-      | None -> ())
-    h.h_fame5;
-  let buf = Buffer.create 65536 in
-  Buffer.add_string buf "fireaxe-snapshot 1\n";
-  Buffer.add_string buf (Printf.sprintf "units %d\n" (Array.length h.h_sims));
-  Array.iteri
-    (fun i sim ->
-      match sim with
-      | Some sim ->
-        Buffer.add_string buf (Printf.sprintf "unit %d\n" i);
-        Buffer.add_string buf (Rtlsim.Sim.state_to_string (Rtlsim.Sim.save_state sim));
-        Buffer.add_string buf "endunit\n"
-      | None ->
-        invalid_arg (Printf.sprintf "save_to_string: unit %d has no simulator state" i))
-    h.h_sims;
-  let sn = Libdn.Network.snapshot h.h_net in
+(** Unit [k]'s full architectural state as the standard simulator-state
+    text — read locally for in-process units, over the worker pipe for
+    remote ones.  FAME-5-threaded units are refused (bank state lives
+    behind the engine abstraction). *)
+let save_unit_state h k =
+  match (h.h_sims.(k), h.h_remote.(k), h.h_fame5.(k)) with
+  | _, _, Some _ ->
+    invalid_arg
+      (Printf.sprintf "save_unit_state: unit %d is FAME-5 threaded; snapshot unthreaded" k)
+  | Some sim, _, None -> Rtlsim.Sim.state_to_string (Rtlsim.Sim.save_state sim)
+  | None, Some conn, None -> Libdn.Remote_engine.save_state conn
+  | None, None, None ->
+    invalid_arg (Printf.sprintf "save_unit_state: unit %d has no simulator state" k)
+
+(** Restores a {!save_unit_state} text into unit [k], locally or over
+    the worker pipe. *)
+let restore_unit_state h k text =
+  match (h.h_sims.(k), h.h_remote.(k)) with
+  | Some sim, _ -> Rtlsim.Sim.restore_state sim (Rtlsim.Sim.state_of_string text)
+  | None, Some conn -> Libdn.Remote_engine.load_state conn text
+  | None, None ->
+    raise
+      (Rtlsim.Sim.Sim_error
+         (Printf.sprintf "snapshot: unit %d has no simulator to restore into" k))
+
+(* The network's in-flight state (queues, fired flags, cycles) as text
+   lines — the serializable counterpart of [Libdn.Network.snapshot]. *)
+let network_state_to_buffer buf (sn : Libdn.Network.snapshot) =
   Buffer.add_string buf
     (Printf.sprintf "network %d %d\n"
        (Array.length sn.Libdn.Network.sn_parts)
@@ -286,58 +316,60 @@ let save_to_string h =
       Buffer.add_string buf "fired";
       Array.iter (fun f -> Buffer.add_string buf (if f then " 1" else " 0")) fired;
       Buffer.add_char buf '\n')
-    sn.Libdn.Network.sn_parts;
+    sn.Libdn.Network.sn_parts
+
+(** The in-flight network state (channel queues, fired flags, target
+    cycles) as a text blob — one of the pieces of a durable checkpoint
+    bundle. *)
+let network_state_to_string h =
+  let buf = Buffer.create 4096 in
+  network_state_to_buffer buf (Libdn.Network.snapshot h.h_net);
+  Buffer.contents buf
+
+(* Serializes the whole partitioned simulation — every unit's
+   architectural state plus the network's in-flight tokens — as a text
+   blob, so a long run can be snapshotted to disk and resumed in a fresh
+   process (instantiate the same plan, then [restore_from_string]).
+   Remote units are included, read over the worker pipe protocol.
+   FAME-5-threaded handles are refused: bank state lives behind the
+   engine abstraction. *)
+let save_to_string h =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "fireaxe-snapshot 1\n";
+  Buffer.add_string buf (Printf.sprintf "units %d\n" (Array.length h.h_sims));
+  Array.iteri
+    (fun i _ ->
+      Buffer.add_string buf (Printf.sprintf "unit %d\n" i);
+      Buffer.add_string buf (save_unit_state h i);
+      Buffer.add_string buf "endunit\n")
+    h.h_sims;
+  network_state_to_buffer buf (Libdn.Network.snapshot h.h_net);
   Buffer.contents buf
 
 let snapshot_fail fmt =
   Printf.ksprintf (fun m -> raise (Rtlsim.Sim.Sim_error ("snapshot: " ^ m))) fmt
 
-let restore_from_string h text =
+(* A line cursor over non-blank snapshot lines. *)
+let line_cursor text =
   let lines =
     String.split_on_char '\n' text
     |> List.filter (fun l -> String.trim l <> "")
     |> Array.of_list
   in
   let pos = ref 0 in
-  let next () =
+  fun () ->
     if !pos >= Array.length lines then snapshot_fail "truncated snapshot"
     else begin
       let l = lines.(!pos) in
       incr pos;
       l
     end
-  in
+
+(* Parses the network section (starting at the "network ..." line) from
+   a line cursor back into a [Libdn.Network.snapshot]. *)
+let parse_network_section next =
   let words l = Rtlsim.Sim.snapshot_words l in
   let int_of = Rtlsim.Sim.snapshot_int in
-  (match words (next ()) with
-  | [ "fireaxe-snapshot"; "1" ] -> ()
-  | _ -> snapshot_fail "bad header");
-  let n_units =
-    match words (next ()) with
-    | [ "units"; n ] -> int_of n
-    | _ -> snapshot_fail "bad units line"
-  in
-  if n_units <> Array.length h.h_sims then
-    snapshot_fail "snapshot has %d units, handle has %d" n_units (Array.length h.h_sims);
-  for i = 0 to n_units - 1 do
-    (match words (next ()) with
-    | [ "unit"; k ] when int_of k = i -> ()
-    | _ -> snapshot_fail "expected unit %d" i);
-    let body = Buffer.create 4096 in
-    let rec collect () =
-      let l = next () in
-      if String.trim l <> "endunit" then begin
-        Buffer.add_string body l;
-        Buffer.add_char body '\n';
-        collect ()
-      end
-    in
-    collect ();
-    match h.h_sims.(i) with
-    | Some sim ->
-      Rtlsim.Sim.restore_state sim (Rtlsim.Sim.state_of_string (Buffer.contents body))
-    | None -> snapshot_fail "unit %d has no simulator to restore into" i
-  done;
   let n_parts, transfers =
     match words (next ()) with
     | [ "network"; n; t ] -> (int_of n, int_of t)
@@ -379,8 +411,44 @@ let restore_from_string h text =
         in
         (queues, fired, cycle))
   in
-  Libdn.Network.restore h.h_net
-    { Libdn.Network.sn_parts = parts; sn_transfers = transfers }
+  { Libdn.Network.sn_parts = parts; sn_transfers = transfers }
+
+(** Restores a {!network_state_to_string} blob into the handle's
+    network — queue contents, fired flags, per-partition cycles. *)
+let restore_network_state h text =
+  Libdn.Network.restore h.h_net (parse_network_section (line_cursor text))
+
+let restore_from_string h text =
+  let next = line_cursor text in
+  let words l = Rtlsim.Sim.snapshot_words l in
+  let int_of = Rtlsim.Sim.snapshot_int in
+  (match words (next ()) with
+  | [ "fireaxe-snapshot"; "1" ] -> ()
+  | _ -> snapshot_fail "bad header");
+  let n_units =
+    match words (next ()) with
+    | [ "units"; n ] -> int_of n
+    | _ -> snapshot_fail "bad units line"
+  in
+  if n_units <> Array.length h.h_sims then
+    snapshot_fail "snapshot has %d units, handle has %d" n_units (Array.length h.h_sims);
+  for i = 0 to n_units - 1 do
+    (match words (next ()) with
+    | [ "unit"; k ] when int_of k = i -> ()
+    | _ -> snapshot_fail "expected unit %d" i);
+    let body = Buffer.create 4096 in
+    let rec collect () =
+      let l = next () in
+      if String.trim l <> "endunit" then begin
+        Buffer.add_string body l;
+        Buffer.add_char body '\n';
+        collect ()
+      end
+    in
+    collect ();
+    restore_unit_state h i (Buffer.contents body)
+  done;
+  Libdn.Network.restore h.h_net (parse_network_section next)
 
 (** Writes {!save_to_string} to [path]. *)
 let save h ~path =

@@ -8,6 +8,8 @@ type handle = {
   h_engines : Libdn.Engine.t array;
   h_sims : Rtlsim.Sim.t option array;
   h_fame5 : Goldengate.Fame5.t option array;
+  h_remote : Libdn.Remote_engine.conn option array;
+      (** live worker connections of remote-hosted units *)
 }
 
 (** FAME-5 eligibility of a wrapper unit: only instances of one module,
@@ -31,15 +33,32 @@ val instantiate :
     processes (the software analogue of separate FPGAs), spawned from
     the [worker] binary.  Returns the live connections in
     [remote_units] order; close them when done.  Remote units have no
-    local simulator ([sim_of]/[locate]/snapshots skip them) — use the
-    connection's poke/peek instead. *)
+    local simulator ([sim_of]/[locate] skip them) — use the
+    connection's poke/peek instead.  Snapshots DO cover remote units,
+    through the worker pipe protocol.  [read_timeout] bounds every
+    worker reply wait in seconds (a wedged worker then surfaces as
+    {!Libdn.Remote_engine.Worker_died} instead of hanging). *)
 val instantiate_remote :
   ?scheduler:Libdn.Scheduler.t ->
+  ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
   worker:string ->
   remote_units:int list ->
   Plan.t ->
   handle * (int * Libdn.Remote_engine.conn) list
+
+(** The live worker connection of a remote-hosted unit, if any. *)
+val conn_of : handle -> int -> Libdn.Remote_engine.conn option
+
+(** All live worker connections, in unit order. *)
+val remote_conns : handle -> (int * Libdn.Remote_engine.conn) list
+
+(** Respawns the (dead) worker hosting remote unit [k] behind its
+    existing connection — the network's engine closures keep working.
+    The fresh process starts from reset state; restore it from a
+    durable checkpoint.  Raises [Invalid_argument] if unit [k] is not
+    remote-hosted. *)
+val respawn_remote : handle -> int -> worker:string -> unit
 
 (** The execution policy this handle runs under. *)
 val scheduler : handle -> Libdn.Scheduler.t
@@ -68,16 +87,38 @@ val locate : handle -> string -> int
 (** Captures the entire partitioned simulation; the thunk rolls back. *)
 val checkpoint : handle -> unit -> unit
 
+(** Unit [k]'s full architectural state as the standard
+    {!Rtlsim.Sim.state_to_string} text — read locally for in-process
+    units, over the worker pipe for remote ones.  Refuses
+    FAME-5-threaded units. *)
+val save_unit_state : handle -> int -> string
+
+(** Restores a {!save_unit_state} text into unit [k], locally or over
+    the worker pipe.  Raises [Rtlsim.Sim.Sim_error] when the state does
+    not fit. *)
+val restore_unit_state : handle -> int -> string -> unit
+
+(** The in-flight network state (channel queue contents, fired flags,
+    per-partition target cycles) as a text blob — the network piece of
+    a durable checkpoint bundle. *)
+val network_state_to_string : handle -> string
+
+(** Restores a {!network_state_to_string} blob into the handle's
+    network.  Raises [Rtlsim.Sim.Sim_error] on malformed input. *)
+val restore_network_state : handle -> string -> unit
+
 (** Serializes the whole partitioned simulation (unit architectural
     state + in-flight network tokens) as text, so a long run can be
     snapshotted to disk and resumed in a fresh process: instantiate the
-    same plan, then {!restore_from_string}.  Refuses FAME-5-threaded
+    same plan, then {!restore_from_string}.  Remote units are included,
+    read over the worker pipe protocol.  Refuses FAME-5-threaded
     handles. *)
 val save_to_string : handle -> string
 
 (** Restores a {!save_to_string} snapshot into a handle instantiated
-    from the same plan.  Raises [Rtlsim.Sim.Sim_error] on malformed or
-    mismatched snapshots. *)
+    from the same plan (remote units restored over the worker pipe).
+    Raises [Rtlsim.Sim.Sim_error] on malformed or mismatched
+    snapshots. *)
 val restore_from_string : handle -> string -> unit
 
 (** {!save_to_string} / {!restore_from_string} against a file. *)

@@ -17,15 +17,32 @@
      checkpoint                -> <id>
      poke <mem> <addr> <int>   -> (no reply)
      peek <mem> <addr>         -> <int>
-     quit                      -> (worker exits)                      *)
+     savestate                 -> "state <n>" then n lines of state text
+     loadstate <n> (+ n lines) -> "ok" | "error: <msg>"
+     quit                      -> (worker exits)
+
+   Reads go through a select(2)-guarded line reader, so a worker that
+   wedges without exiting (stuck in a loop, SIGSTOPped, or emitting a
+   truncated reply) surfaces as {!Worker_died} after [read_timeout]
+   instead of hanging the whole simulation.  [reconnect] respawns a
+   dead worker and replays its cone registrations, which is what lets a
+   supervisor resurrect a partition in place (the network keeps its
+   engine closures; only the process behind the pipe changes). *)
 
 type conn = {
-  c_in : in_channel;
-  c_out : out_channel;
-  c_pid : int;
+  mutable c_fd_in : Unix.file_descr;
+  mutable c_out : out_channel;
+  mutable c_pid : int;
   c_label : string;  (** partition/unit name, for diagnostics *)
   mutable c_last : string;  (** last command written to the worker *)
   mutable c_alive : bool;
+  mutable c_closed : bool;  (** [close] already ran (idempotence) *)
+  c_timeout : float option;  (** max seconds to wait for a reply byte *)
+  c_scratch : Bytes.t;  (** read(2) staging, owned by this conn's domain *)
+  mutable c_pending : string;  (** bytes read but not yet consumed *)
+  mutable c_cones : (string * int) list;
+      (** cone registrations (command line, id), newest first — replayed
+          verbatim by {!reconnect} so baked-in cone ids stay valid *)
   c_tel_on : bool;  (** gates the clock reads around round trips *)
   c_bytes_out : Telemetry.counter;  (** protocol bytes written (incl. newline) *)
   c_bytes_in : Telemetry.counter;  (** reply bytes read (incl. newline) *)
@@ -72,31 +89,81 @@ let died conn =
   conn.c_alive <- false;
   raise (Worker_died { label = conn.c_label; last_command = conn.c_last; status = exit_status conn })
 
-let send conn fmt =
-  Printf.ksprintf
-    (fun line ->
-      conn.c_last <- line;
-      Telemetry.add conn.c_bytes_out (String.length line + 1);
-      try
-        output_string conn.c_out line;
-        output_char conn.c_out '\n'
-      with Sys_error _ -> died conn)
-    fmt
+(* The worker is (probably) still up but stopped answering: same
+   diagnosis channel, different status.  The connection is unusable
+   either way — [close] will SIGKILL the wedged process. *)
+let timed_out conn t =
+  conn.c_alive <- false;
+  raise
+    (Worker_died
+       {
+         label = conn.c_label;
+         last_command = conn.c_last;
+         status = Printf.sprintf "read timeout after %gs (worker wedged)" t;
+       })
+
+(* Pulls at least one byte into [c_pending], honoring [timeout]. *)
+let refill conn ~timeout =
+  (match timeout with
+  | None -> ()
+  | Some t ->
+    let deadline = Unix.gettimeofday () +. t in
+    let rec wait () =
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0. then timed_out conn t
+      else begin
+        match Unix.select [ conn.c_fd_in ] [] [] left with
+        | [], _, _ -> timed_out conn t
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      end
+    in
+    wait ());
+  let n =
+    let rec read () =
+      try Unix.read conn.c_fd_in conn.c_scratch 0 (Bytes.length conn.c_scratch) with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> read ()
+      | Unix.Unix_error _ -> 0
+    in
+    read ()
+  in
+  if n = 0 then died conn
+  else conn.c_pending <- conn.c_pending ^ Bytes.sub_string conn.c_scratch 0 n
+
+(* Reads one protocol line (without the newline).  Raises {!Worker_died}
+   on EOF, pipe errors, or a [timeout] expiry. *)
+let read_line ?timeout conn =
+  let timeout = match timeout with Some _ as t -> t | None -> conn.c_timeout in
+  let rec go () =
+    match String.index_opt conn.c_pending '\n' with
+    | Some i ->
+      let line = String.sub conn.c_pending 0 i in
+      conn.c_pending <-
+        String.sub conn.c_pending (i + 1) (String.length conn.c_pending - i - 1);
+      line
+    | None ->
+      refill conn ~timeout;
+      go ()
+  in
+  go ()
+
+let write_line conn line =
+  conn.c_last <- line;
+  Telemetry.add conn.c_bytes_out (String.length line + 1);
+  try
+    output_string conn.c_out line;
+    output_char conn.c_out '\n'
+  with Sys_error _ -> died conn
+
+let send conn fmt = Printf.ksprintf (write_line conn) fmt
 
 let ask conn fmt =
   Printf.ksprintf
     (fun line ->
-      conn.c_last <- line;
-      Telemetry.add conn.c_bytes_out (String.length line + 1);
       let t0 = if conn.c_tel_on then Unix.gettimeofday () else 0. in
-      let reply =
-        try
-          output_string conn.c_out line;
-          output_char conn.c_out '\n';
-          flush conn.c_out;
-          input_line conn.c_in
-        with Sys_error _ | End_of_file -> died conn
-      in
+      write_line conn line;
+      (try flush conn.c_out with Sys_error _ -> died conn);
+      let reply = read_line conn in
       if conn.c_tel_on then begin
         Telemetry.observe conn.c_rtt
           (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
@@ -114,16 +181,12 @@ let ask_int conn fmt =
       | None -> failwith (Printf.sprintf "remote engine: bad reply %S to %S" reply line))
     fmt
 
-(** Spawns a worker process serving the circuit in [fir_path].  [label]
-    names the partition in diagnostics when the worker dies. *)
-let spawn ?(label = "unnamed") ?(telemetry = Telemetry.null) ~worker ~fir_path () =
-  (* A dead worker must surface as a {!Worker_died} diagnosis, not a
-     fatal SIGPIPE when the parent next writes to the closed pipe. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  (* cloexec: the worker must NOT inherit the parent-side pipe ends (or
-     the write end of its own stdin pipe would keep EOF from ever
-     arriving after the parent exits); [create_process] dup2s the
-     child-side ends onto fds 0/1, which survive the exec. *)
+(* Launches the worker process and returns the parent-side plumbing.
+   cloexec: the worker must NOT inherit the parent-side pipe ends (or
+   the write end of its own stdin pipe would keep EOF from ever
+   arriving after the parent exits); [create_process] dup2s the
+   child-side ends onto fds 0/1, which survive the exec. *)
+let launch ~worker ~fir_path =
   let parent_read, child_write = Unix.pipe ~cloexec:true () in
   let child_read, parent_write = Unix.pipe ~cloexec:true () in
   let pid =
@@ -131,15 +194,42 @@ let spawn ?(label = "unnamed") ?(telemetry = Telemetry.null) ~worker ~fir_path (
   in
   Unix.close child_read;
   Unix.close child_write;
+  (parent_read, Unix.out_channel_of_descr parent_write, pid)
+
+(* Startup can legitimately take longer than a steady-state reply (the
+   worker parses and compiles the whole unit circuit before "ready"),
+   so the handshake gets a floor on the configured timeout. *)
+let ready_timeout conn =
+  match conn.c_timeout with None -> None | Some t -> Some (Float.max t 10.)
+
+let await_ready conn =
+  match read_line ?timeout:(ready_timeout conn) conn with
+  | "ready" -> ()
+  | other -> failwith (Printf.sprintf "remote engine: expected ready, got %S" other)
+
+(** Spawns a worker process serving the circuit in [fir_path].  [label]
+    names the partition in diagnostics when the worker dies.
+    [read_timeout] bounds every reply wait (default: wait forever). *)
+let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null) ~worker
+    ~fir_path () =
+  (* A dead worker must surface as a {!Worker_died} diagnosis, not a
+     fatal SIGPIPE when the parent next writes to the closed pipe. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let parent_read, out, pid = launch ~worker ~fir_path in
   let metric kind = Printf.sprintf "remote.%s.%s" label kind in
   let conn =
     {
-      c_in = Unix.in_channel_of_descr parent_read;
-      c_out = Unix.out_channel_of_descr parent_write;
+      c_fd_in = parent_read;
+      c_out = out;
       c_pid = pid;
       c_label = label;
       c_last = "(startup)";
       c_alive = true;
+      c_closed = false;
+      c_timeout = read_timeout;
+      c_scratch = Bytes.create 65536;
+      c_pending = "";
+      c_cones = [];
       c_tel_on = Telemetry.enabled telemetry;
       c_bytes_out = Telemetry.counter telemetry (metric "bytes_out");
       c_bytes_in = Telemetry.counter telemetry (metric "bytes_in");
@@ -148,23 +238,92 @@ let spawn ?(label = "unnamed") ?(telemetry = Telemetry.null) ~worker ~fir_path (
   in
   (* The worker announces itself once the circuit is loaded, so the
      caller may delete the .fir file as soon as spawn returns. *)
-  (match input_line conn.c_in with
-  | "ready" -> ()
-  | other -> failwith (Printf.sprintf "remote engine: expected ready, got %S" other)
-  | exception End_of_file -> died conn);
+  await_ready conn;
   conn
 
-let close conn =
-  if conn.c_alive then begin
+(** Whether the worker process is still running.  Reaps it (and marks
+    the connection dead) when it is not. *)
+let is_alive conn =
+  conn.c_alive
+  &&
+  match Unix.waitpid [ Unix.WNOHANG ] conn.c_pid with
+  | 0, _ -> true
+  | _ ->
     conn.c_alive <- false;
-    (try
-       output_string conn.c_out "quit\n";
-       flush conn.c_out
-     with Sys_error _ -> ());
-    (try ignore (Unix.waitpid [] conn.c_pid) with Unix.Unix_error _ -> ());
-    (try close_in conn.c_in with Sys_error _ -> ());
-    try close_out conn.c_out with Sys_error _ -> ()
+    false
+  | exception Unix.Unix_error _ ->
+    conn.c_alive <- false;
+    false
+
+(** Sends quit, waits up to [grace] seconds for the worker to exit, then
+    SIGKILLs and reaps it.  Never raises and never blocks unboundedly;
+    a second call is a no-op. *)
+let close ?(grace = 1.0) conn =
+  if not conn.c_closed then begin
+    conn.c_closed <- true;
+    if conn.c_alive then begin
+      conn.c_alive <- false;
+      try
+        output_string conn.c_out "quit\n";
+        flush conn.c_out
+      with Sys_error _ -> ()
+    end;
+    (* Bounded reap: poll for [grace], then SIGKILL — a wedged worker
+       (stuck loop, SIGSTOP) would otherwise block us forever.  After
+       the kill, one more bounded poll; SIGKILL cannot be ignored, so
+       failing to reap within it means the process is already gone or
+       someone else reaped it. *)
+    let rec reap deadline ~killed =
+      match Unix.waitpid [ Unix.WNOHANG ] conn.c_pid with
+      | 0, _ ->
+        if Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.002;
+          reap deadline ~killed
+        end
+        else if not killed then begin
+          (try Unix.kill conn.c_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          reap (Unix.gettimeofday () +. 1.0) ~killed:true
+        end
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    reap (Unix.gettimeofday () +. grace) ~killed:false;
+    (try Unix.close conn.c_fd_in with Unix.Unix_error _ -> ());
+    try close_out_noerr conn.c_out with Sys_error _ -> ()
   end
+
+(** Respawns a dead worker behind the SAME connection: launches a fresh
+    process from [fir_path], swaps the plumbing in place, and replays
+    the recorded cone registrations so every closure already holding
+    this conn (the network's engine and cone evaluators) keeps working.
+    In-memory checkpoint ids do NOT survive — they lived in the dead
+    process; durable restoration is the caller's job (load_state). *)
+let reconnect conn ~worker ~fir_path =
+  if conn.c_closed then invalid_arg "Remote_engine.reconnect: connection closed";
+  (* Release the dead process's plumbing; it may already be reaped. *)
+  (try Unix.close conn.c_fd_in with Unix.Unix_error _ -> ());
+  (try close_out_noerr conn.c_out with Sys_error _ -> ());
+  (try ignore (Unix.waitpid [ Unix.WNOHANG ] conn.c_pid) with Unix.Unix_error _ -> ());
+  let parent_read, out, pid = launch ~worker ~fir_path in
+  conn.c_fd_in <- parent_read;
+  conn.c_out <- out;
+  conn.c_pid <- pid;
+  conn.c_pending <- "";
+  conn.c_last <- "(reconnect)";
+  conn.c_alive <- true;
+  await_ready conn;
+  (* Replay cone registrations oldest-first; the worker's cone counter
+     is deterministic, so each must come back under its original id. *)
+  List.iter
+    (fun (line, id) ->
+      let got = ask conn "%s" line in
+      if int_of_string_opt (String.trim got) <> Some id then
+        failwith
+          (Printf.sprintf
+             "remote engine: cone replay for %S returned id %s, expected %d (worker \
+              protocol drift?)"
+             line got id))
+    (List.rev conn.c_cones)
 
 (** Direct memory access on the remote unit (program loading, state
     inspection). *)
@@ -178,6 +337,50 @@ let get conn name = ask_int conn "get %s" name
 (** Whether the remote unit holds a signal or memory of that name. *)
 let has conn name = ask_int conn "has %s" name <> 0
 
+(* ------------------------------------------------------------------ *)
+(* Durable state transfer                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** The remote unit's full architectural state as the standard
+    {!Rtlsim.Sim.state_to_string} text — the piece that lets a durable
+    whole-simulation checkpoint cover remote partitions. *)
+let save_state conn =
+  let header = ask conn "savestate" in
+  match String.split_on_char ' ' header |> List.filter (fun w -> w <> "") with
+  | [ "state"; n ] ->
+    let n =
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> n
+      | _ -> failwith (Printf.sprintf "remote engine: bad savestate header %S" header)
+    in
+    let buf = Buffer.create 4096 in
+    for _ = 1 to n do
+      let line = read_line conn in
+      Telemetry.add conn.c_bytes_in (String.length line + 1);
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+  | _ -> failwith (Printf.sprintf "remote engine: bad savestate header %S" header)
+
+(** Restores a {!save_state} text into the remote unit.  Raises
+    [Failure] with the worker's diagnostic if the state does not fit
+    the circuit. *)
+let load_state conn text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  write_line conn (Printf.sprintf "loadstate %d" (List.length lines));
+  List.iter (write_line conn) lines;
+  conn.c_last <- "loadstate";
+  (try flush conn.c_out with Sys_error _ -> died conn);
+  match read_line conn with
+  | "ok" -> ()
+  | other ->
+    failwith
+      (Printf.sprintf "remote engine: loadstate for partition %S failed: %s"
+         conn.c_label other)
+
 (** The remote unit as an ordinary LI-BDN engine. *)
 let engine conn =
   {
@@ -187,7 +390,9 @@ let engine conn =
     step_seq = (fun () -> send conn "step");
     make_cone_eval =
       (fun roots ->
-        let id = ask_int conn "cone %s" (String.concat " " roots) in
+        let line = "cone " ^ String.concat " " roots in
+        let id = ask_int conn "%s" line in
+        conn.c_cones <- (line, id) :: conn.c_cones;
         fun () -> send conn "runcone %d" id);
     output_comb_deps =
       (fun port ->

@@ -7,17 +7,22 @@
 type conn
 
 exception Worker_died of { label : string; last_command : string; status : string }
-(** The worker process exited unexpectedly.  [label] names the
-    partition, [last_command] is the protocol line in flight, [status]
-    renders the exit/signal status when already observable. *)
+(** The worker process exited unexpectedly — or, with a [read_timeout]
+    configured, stopped answering.  [label] names the partition,
+    [last_command] is the protocol line in flight, [status] renders the
+    exit/signal status when already observable (or the timeout). *)
 
 (** Spawns a worker process (the [fireaxe-worker] binary) serving the
     circuit stored at [fir_path].  [label] names the partition in
-    {!Worker_died} diagnostics.  [telemetry] (default {!Telemetry.null})
-    records [remote.<label>.bytes_out]/[.bytes_in] counters and a
+    {!Worker_died} diagnostics.  [read_timeout] bounds every reply wait
+    in seconds (default: wait forever); a wedged worker then surfaces
+    as {!Worker_died} with the command in flight instead of hanging the
+    simulation.  [telemetry] (default {!Telemetry.null}) records
+    [remote.<label>.bytes_out]/[.bytes_in] counters and a
     [remote.<label>.rtt_us] round-trip latency histogram. *)
 val spawn :
   ?label:string ->
+  ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
   worker:string ->
   fir_path:string ->
@@ -30,8 +35,22 @@ val pid : conn -> int
 (** The partition label given at {!spawn}. *)
 val label : conn -> string
 
-(** Sends quit and reaps the worker. *)
-val close : conn -> unit
+(** Whether the worker process is still running; reaps it (and marks
+    the connection dead) when it is not. *)
+val is_alive : conn -> bool
+
+(** Sends quit, waits up to [grace] seconds (default 1.0) for the
+    worker to exit, then SIGKILLs and reaps it.  Idempotent: a second
+    call is a no-op.  Never raises and never blocks unboundedly, even
+    on a wedged worker. *)
+val close : ?grace:float -> conn -> unit
+
+(** Respawns a dead worker behind the same connection: fresh process
+    from [fir_path], plumbing swapped in place, recorded cone
+    registrations replayed — every closure already holding this conn
+    keeps working.  The new process starts from reset state; restore it
+    with {!load_state} (in-memory checkpoint ids do not survive). *)
+val reconnect : conn -> worker:string -> fir_path:string -> unit
 
 (** Direct memory access on the remote unit (program loading, state
     inspection). *)
@@ -44,6 +63,15 @@ val get : conn -> string -> int
 
 (** Whether the remote unit holds a signal or memory of that name. *)
 val has : conn -> string -> bool
+
+(** The remote unit's full architectural state as the standard
+    {!Rtlsim.Sim.state_to_string} text — what lets durable
+    whole-simulation checkpoints cover remote partitions. *)
+val save_state : conn -> string
+
+(** Restores a {!save_state} text into the remote unit.  Raises
+    [Failure] with the worker's diagnostic if the state does not fit. *)
+val load_state : conn -> string -> unit
 
 (** The remote unit as an ordinary LI-BDN engine. *)
 val engine : conn -> Engine.t

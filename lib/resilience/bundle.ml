@@ -1,0 +1,248 @@
+(* Durable checkpoint bundles: one directory per checkpoint, manifest +
+   per-unit state blobs + network state, written atomically (temp dir,
+   then rename) and fully validated before any restore touches the
+   simulation. *)
+
+exception Bundle_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Bundle_error m -> Some ("checkpoint bundle: " ^ m)
+    | _ -> None)
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bundle_error m)) fmt
+
+let schema = "fireaxe-checkpoint-1"
+
+(* FNV-1a 64-bit, rendered as 16 hex digits — cheap, dependency-free
+   content fingerprinting (integrity check, not cryptographic). *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let design_hash (plan : Fireripper.Plan.t) =
+  fnv1a64 (Firrtl.Text.emit plan.Fireripper.Plan.p_original)
+
+(* Canonical rendering of the partitioning itself: mode, unit names,
+   and the full channelization with port names and widths.  Two plans
+   fingerprint identically iff a bundle from one restores into the
+   other. *)
+let plan_fingerprint (plan : Fireripper.Plan.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Fireripper.Spec.mode_to_string plan.Fireripper.Plan.p_mode);
+  Array.iter
+    (fun (u : Fireripper.Plan.unit_part) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf u.Fireripper.Plan.u_name)
+    plan.Fireripper.Plan.p_units;
+  List.iter
+    (fun (cp : Fireripper.Plan.channel_pair) ->
+      Buffer.add_string buf
+        (Printf.sprintf "|%d>%d:%s>%s" cp.Fireripper.Plan.cp_src_unit
+           cp.Fireripper.Plan.cp_dst_unit cp.Fireripper.Plan.cp_out.Libdn.Channel.name
+           cp.Fireripper.Plan.cp_in.Libdn.Channel.name);
+      List.iter
+        (fun (p, w) -> Buffer.add_string buf (Printf.sprintf ",%s:%d" p w))
+        cp.Fireripper.Plan.cp_out.Libdn.Channel.ports)
+    (Fireripper.Plan.channel_pairs plan);
+  fnv1a64 (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | Sys_error m -> fail "cannot read %s: %s" path m
+  | End_of_file -> fail "cannot read %s: truncated" path
+
+let write_file path text =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc text;
+      flush oc;
+      try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ())
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> remove_tree (Filename.concat path e)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Bundle naming                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bundle_name cycle = Printf.sprintf "ckpt-%012d" cycle
+
+let cycle_of_name name =
+  if String.length name = 17 && String.sub name 0 5 = "ckpt-" then
+    int_of_string_opt (String.sub name 5 12)
+  else None
+
+let list_bundles ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match cycle_of_name name with
+           | Some cycle when Sys.is_directory (Filename.concat dir name) ->
+             Some (cycle, Filename.concat dir name)
+           | _ -> None)
+    |> List.sort compare
+
+let latest ~dir =
+  match List.rev (list_bundles ~dir) with [] -> None | newest :: _ -> Some newest
+
+(* ------------------------------------------------------------------ *)
+(* Save                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let unit_file k = Printf.sprintf "unit-%d.state" k
+let network_file = "network.state"
+let manifest_file = "MANIFEST"
+
+let save ~dir (h : Fireripper.Runtime.handle) =
+  let plan = h.Fireripper.Runtime.h_plan in
+  let n = Fireripper.Plan.n_units plan in
+  let cycle = Fireripper.Runtime.cycle h 0 in
+  mkdir_p dir;
+  let tmp = Filename.concat dir (Printf.sprintf ".tmp-ckpt-%d-%d" (Unix.getpid ()) cycle) in
+  remove_tree tmp;
+  Unix.mkdir tmp 0o755;
+  let files = ref [] in
+  let put name text =
+    write_file (Filename.concat tmp name) text;
+    files :=
+      Telemetry.Json.Obj
+        [
+          ("name", Telemetry.Json.String name);
+          ("bytes", Telemetry.Json.Int (String.length text));
+          ("checksum", Telemetry.Json.String (fnv1a64 text));
+        ]
+      :: !files
+  in
+  for k = 0 to n - 1 do
+    put (unit_file k) (Fireripper.Runtime.save_unit_state h k)
+  done;
+  put network_file (Fireripper.Runtime.network_state_to_string h);
+  let manifest =
+    Telemetry.Json.Obj
+      [
+        ("schema", Telemetry.Json.String schema);
+        ("design", Telemetry.Json.String (design_hash plan));
+        ("plan", Telemetry.Json.String (plan_fingerprint plan));
+        ("cycle", Telemetry.Json.Int cycle);
+        ("units", Telemetry.Json.Int n);
+        ( "scheduler",
+          Telemetry.Json.String (Libdn.Scheduler.name (Fireripper.Runtime.scheduler h)) );
+        ( "mode",
+          Telemetry.Json.String
+            (Fireripper.Spec.mode_to_string plan.Fireripper.Plan.p_mode) );
+        ( "unit_names",
+          Telemetry.Json.List
+            (Array.to_list plan.Fireripper.Plan.p_units
+            |> List.map (fun (u : Fireripper.Plan.unit_part) ->
+                   Telemetry.Json.String u.Fireripper.Plan.u_name)) );
+        ("files", Telemetry.Json.List (List.rev !files));
+      ]
+  in
+  write_file (Filename.concat tmp manifest_file) (Telemetry.Json.to_string manifest);
+  let final = Filename.concat dir (bundle_name cycle) in
+  remove_tree final;
+  Sys.rename tmp final;
+  final
+
+(* ------------------------------------------------------------------ *)
+(* Restore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let manifest ~path =
+  let file = Filename.concat path manifest_file in
+  if not (Sys.file_exists file) then fail "%s: no MANIFEST" path;
+  let text = read_file file in
+  match Telemetry.Json.parse text with
+  | Error m -> fail "%s: unparseable MANIFEST (%s)" path m
+  | Ok json -> (
+    match Option.bind (Telemetry.Json.member "schema" json) Telemetry.Json.to_str with
+    | Some s when s = schema -> json
+    | Some s -> fail "%s: unsupported schema %S (want %S)" path s schema
+    | None -> fail "%s: MANIFEST has no schema tag" path)
+
+(* Pulls one required member through an accessor or fails. *)
+let want path json name conv =
+  match Option.bind (Telemetry.Json.member name json) conv with
+  | Some v -> v
+  | None -> fail "%s: MANIFEST missing %s" path name
+
+let restore ~path (h : Fireripper.Runtime.handle) =
+  let plan = h.Fireripper.Runtime.h_plan in
+  let json = manifest ~path in
+  let str name = want path json name Telemetry.Json.to_str in
+  let int name = want path json name Telemetry.Json.to_int in
+  let design = str "design" and fingerprint = str "plan" in
+  if design <> design_hash plan then
+    fail "%s: bundle is for design %s, handle runs %s" path design (design_hash plan);
+  if fingerprint <> plan_fingerprint plan then
+    fail "%s: bundle partitioning %s does not match handle's %s" path fingerprint
+      (plan_fingerprint plan);
+  let n = int "units" in
+  if n <> Fireripper.Plan.n_units plan then
+    fail "%s: bundle has %d units, handle has %d" path n (Fireripper.Plan.n_units plan);
+  let cycle = int "cycle" in
+  (* Verify every blob's presence, size, and checksum BEFORE touching
+     any simulation state: a bad bundle must never half-restore. *)
+  let entries =
+    match Option.bind (Telemetry.Json.member "files" json) Telemetry.Json.to_list with
+    | Some l -> l
+    | None -> fail "%s: MANIFEST missing files" path
+  in
+  let blobs = Hashtbl.create 8 in
+  List.iter
+    (fun entry ->
+      let name = want path entry "name" Telemetry.Json.to_str in
+      let bytes = want path entry "bytes" Telemetry.Json.to_int in
+      let checksum = want path entry "checksum" Telemetry.Json.to_str in
+      let file = Filename.concat path name in
+      if not (Sys.file_exists file) then fail "%s: missing blob %s" path name;
+      let text = read_file file in
+      if String.length text <> bytes then
+        fail "%s: blob %s is %d bytes, MANIFEST declares %d (truncated?)" path name
+          (String.length text) bytes;
+      if fnv1a64 text <> checksum then
+        fail "%s: blob %s fails its checksum (corrupted)" path name;
+      Hashtbl.replace blobs name text)
+    entries;
+  let blob name =
+    match Hashtbl.find_opt blobs name with
+    | Some text -> text
+    | None -> fail "%s: MANIFEST lists no %s" path name
+  in
+  let net_text = blob network_file in
+  let unit_texts = Array.init n (fun k -> blob (unit_file k)) in
+  (try
+     Array.iteri (fun k text -> Fireripper.Runtime.restore_unit_state h k text) unit_texts;
+     Fireripper.Runtime.restore_network_state h net_text
+   with
+  | Rtlsim.Sim.Sim_error m -> fail "%s: state does not fit the handle: %s" path m
+  | Failure m -> fail "%s: state does not fit the handle: %s" path m);
+  cycle

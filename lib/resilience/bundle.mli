@@ -1,0 +1,59 @@
+(** Durable whole-simulation checkpoint bundles.
+
+    A bundle is one directory under the checkpoint dir:
+
+    {v
+    <dir>/ckpt-000000000042/
+      MANIFEST        versioned JSON: schema, design hash, plan
+                      fingerprint, cycle, scheduler, mode, unit names,
+                      per-file byte counts and checksums
+      unit-<k>.state  one architectural-state blob per partition
+                      (remote partitions included, read over the pipe)
+      network.state   LI-BDN channel queues / fired flags / cycles
+    v}
+
+    Writes are atomic: everything lands in a hidden temp directory that
+    is [rename]d into place only once complete, so a crash mid-write
+    never leaves a half-bundle behind with a valid name.  Restores
+    verify the manifest schema, design hash, plan fingerprint, and
+    every blob's size and checksum {e before} touching any simulation
+    state — a truncated or corrupted bundle is rejected with
+    {!Bundle_error}, never silently resumed from. *)
+
+exception Bundle_error of string
+
+(** Manifest schema tag written and required: ["fireaxe-checkpoint-1"]. *)
+val schema : string
+
+(** FNV-1a 64-bit hash (hex) of the plan's original circuit text —
+    ties a bundle to the exact design it was taken from. *)
+val design_hash : Fireripper.Plan.t -> string
+
+(** FNV-1a 64-bit hash (hex) of the plan's partitioning: mode, unit
+    names, and full channelization.  A bundle restores only into a
+    handle whose plan fingerprints identically. *)
+val plan_fingerprint : Fireripper.Plan.t -> string
+
+(** Captures the whole simulation behind [handle] into a fresh bundle
+    under [dir] (created if missing), named after the current target
+    cycle.  An existing same-cycle bundle is replaced atomically.
+    Returns the bundle path. *)
+val save : dir:string -> Fireripper.Runtime.handle -> string
+
+(** Restores the bundle at [path] into [handle] (same plan, any
+    scheduler): every unit's state — over the worker pipe for remote
+    units — plus the network's in-flight state.  Returns the bundle's
+    target cycle.  Raises {!Bundle_error} on any validation failure. *)
+val restore : path:string -> Fireripper.Runtime.handle -> int
+
+(** Bundles under [dir] as [(cycle, path)], cycle-ascending.  Missing
+    directory is an empty list; non-bundle entries are ignored. *)
+val list_bundles : dir:string -> (int * string) list
+
+(** The highest-cycle bundle under [dir], if any. *)
+val latest : dir:string -> (int * string) option
+
+(** The parsed+validated manifest of the bundle at [path], as JSON
+    (tests and the CLI use it for introspection).  Raises
+    {!Bundle_error} when unreadable or the wrong schema. *)
+val manifest : path:string -> Telemetry.Json.t

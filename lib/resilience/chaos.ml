@@ -1,0 +1,62 @@
+(* Seeded fault injection: kill schedules, signal helpers, checkpoint
+   corruption.  Everything is a pure function of the seed. *)
+
+type kill = { at : int; victim : int }
+
+type t = {
+  c_seed : int;
+  mutable c_kills : kill list;  (** soonest first *)
+}
+
+let plan ~seed ~cycles ~n_victims ?(kills = 1) () =
+  let rng = Des.Stats.rng ~seed in
+  let lo = max 1 (cycles / 10) in
+  let hi = max (lo + 1) (cycles * 9 / 10) in
+  let ks =
+    List.init kills (fun _ ->
+        {
+          at = lo + Des.Stats.int rng (hi - lo);
+          victim = (if n_victims <= 0 then 0 else Des.Stats.int rng n_victims);
+        })
+    |> List.sort_uniq (fun a b -> compare (a.at, a.victim) (b.at, b.victim))
+  in
+  { c_seed = seed; c_kills = ks }
+
+let seed t = t.c_seed
+let pending t = t.c_kills
+
+let next_kill t ~upto =
+  match t.c_kills with
+  | k :: rest when k.at <= upto ->
+    t.c_kills <- rest;
+    Some k
+  | _ -> None
+
+let signal_quietly pid s = try Unix.kill pid s with Unix.Unix_error _ -> ()
+let sigkill pid = signal_quietly pid Sys.sigkill
+let sigstop pid = signal_quietly pid Sys.sigstop
+let sigcont pid = signal_quietly pid Sys.sigcont
+
+let corrupt_file ?(seed = 0) path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  if n > 0 then begin
+    let rng = Des.Stats.rng ~seed in
+    let off = Des.Stats.int rng n in
+    let bytes = Bytes.of_string text in
+    Bytes.set bytes off (Char.chr (Char.code (Bytes.get bytes off) lxor 0x5a));
+    let oc = open_out_bin path in
+    output_bytes oc bytes;
+    close_out oc
+  end
+
+let truncate_file path ~keep =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (String.sub text 0 (min keep n));
+  close_out oc

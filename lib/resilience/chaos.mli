@@ -1,0 +1,39 @@
+(** Deterministic fault injection for crash-recovery testing.
+
+    A chaos plan is derived from one integer seed via the DES
+    splitmix PRNG ({!Des.Stats.rng}), so the same seed always produces
+    the same kill schedule — the property that lets a test (or a CI
+    smoke run) assert bit-exact recovery against a reference run. *)
+
+type t
+
+(** A kill event: at target cycle [at], SIGKILL victim [victim] —
+    an index into the supervised handle's remote-connection list. *)
+type kill = { at : int; victim : int }
+
+(** Derives a kill schedule for a run of [cycles] target cycles over
+    [n_victims] remote workers: [kills] (default 1) SIGKILLs at
+    distinct pseudo-random cycles inside the middle 80% of the run.
+    Same seed, same schedule. *)
+val plan : seed:int -> cycles:int -> n_victims:int -> ?kills:int -> unit -> t
+
+val seed : t -> int
+
+(** The remaining schedule, soonest first. *)
+val pending : t -> kill list
+
+(** Pops the next kill due at or before cycle [upto], if any. *)
+val next_kill : t -> upto:int -> kill option
+
+(** Signal helpers that never raise (the process may already be gone). *)
+val sigkill : int -> unit
+
+val sigstop : int -> unit
+val sigcont : int -> unit
+
+(** Flips one byte of the file (offset chosen from [seed], default 0) —
+    checkpoint-corruption injection for bundle validation tests. *)
+val corrupt_file : ?seed:int -> string -> unit
+
+(** Truncates the file to its first [keep] bytes. *)
+val truncate_file : string -> keep:int -> unit

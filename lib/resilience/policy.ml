@@ -1,0 +1,22 @@
+(* Restart policy: bounded consecutive failures, exponential backoff. *)
+
+type t = {
+  max_restarts : int;
+  backoff_ms : int;
+  backoff_factor : float;
+  backoff_max_ms : int;
+}
+
+let default = { max_restarts = 5; backoff_ms = 25; backoff_factor = 2.0; backoff_max_ms = 2_000 }
+
+let delay_ms t ~attempt =
+  if attempt <= 1 then min t.backoff_ms t.backoff_max_ms
+  else begin
+    let raw =
+      float_of_int t.backoff_ms *. (t.backoff_factor ** float_of_int (attempt - 1))
+    in
+    let capped = Float.min raw (float_of_int t.backoff_max_ms) in
+    int_of_float capped
+  end
+
+let sleep_ms ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)

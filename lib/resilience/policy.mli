@@ -1,0 +1,20 @@
+(** Restart policy for supervised workers: how many consecutive
+    failures to tolerate, and how long to back off between respawn
+    attempts (exponential, capped). *)
+
+type t = {
+  max_restarts : int;  (** consecutive failures tolerated before giving up *)
+  backoff_ms : int;  (** delay before the first respawn attempt *)
+  backoff_factor : float;  (** growth per consecutive failure *)
+  backoff_max_ms : int;  (** backoff ceiling *)
+}
+
+(** 5 restarts, 25 ms initial backoff, doubling, capped at 2 s. *)
+val default : t
+
+(** The backoff before respawn attempt [attempt] (1-based), in
+    milliseconds: [backoff_ms * factor^(attempt-1)], capped. *)
+val delay_ms : t -> attempt:int -> int
+
+(** Sleeps that many milliseconds (no-op for [ms <= 0]). *)
+val sleep_ms : int -> unit

@@ -1,0 +1,74 @@
+(** Supervised execution of a partitioned simulation: periodic durable
+    checkpoints ({!Bundle}), worker crash detection, respawn under a
+    {!Policy}, and rollback of the {e whole} network — survivors
+    included — to the last restorable checkpoint.
+
+    The supervisor advances the simulation in checkpoint-interval
+    chunks.  When a worker dies mid-chunk
+    ({!Libdn.Remote_engine.Worker_died}, from an exit, a SIGKILL, or a
+    read timeout), it respawns every dead worker behind its existing
+    connection, restores the newest valid bundle (walking to older
+    bundles past corrupted ones), and re-runs the chunk.  Consecutive
+    failures beyond the policy's budget raise {!Gave_up}.
+
+    Telemetry (through the handle's sink): [resilience.<label>.restarts]
+    counters, [resilience.checkpoints], [resilience.checkpoint_us] and
+    [resilience.recovery_us] histograms. *)
+
+type t
+
+type event =
+  | Checkpointed of { cycle : int; path : string }
+  | Worker_down of { label : string; status : string }
+  | Restarted of { unit_index : int; label : string; attempt : int }
+  | Rolled_back of { to_cycle : int; path : string }
+  | Skipped_bundle of { path : string; reason : string }
+      (** a corrupted/unreadable bundle was passed over during recovery *)
+
+exception Gave_up of { label : string; attempts : int }
+(** The restart budget ({!Policy.max_restarts} consecutive failures)
+    is exhausted. *)
+
+exception Recovery_failed of string
+(** A worker died but no checkpoint could be restored (no directory
+    configured, or every bundle rejected). *)
+
+(** Wraps an instantiated handle (local or remote units alike).
+    [checkpoint_dir] enables durable checkpoints every [every] target
+    cycles (default 1000); without it a crash is unrecoverable and
+    checkpointing costs nothing.  [chaos] injects the given kill
+    schedule — for tests and smoke runs.  [on_event] observes the
+    recovery lifecycle (default: ignore).  [worker] is the worker
+    binary used to respawn dead partitions. *)
+val create :
+  ?checkpoint_dir:string ->
+  ?every:int ->
+  ?policy:Policy.t ->
+  ?chaos:Chaos.t ->
+  ?on_event:(event -> unit) ->
+  worker:string ->
+  Fireripper.Runtime.handle ->
+  t
+
+val handle : t -> Fireripper.Runtime.handle
+
+(** Total worker respawns performed so far. *)
+val restarts : t -> int
+
+(** Runs to target cycle [cycles] (absolute, like
+    {!Fireripper.Runtime.run}), checkpointing every interval and
+    recovering from worker deaths along the way.  Ensures one bundle
+    exists before the first chunk so recovery always has a floor. *)
+val run : t -> cycles:int -> unit
+
+(** Takes a checkpoint right now; [None] without a checkpoint dir. *)
+val checkpoint : t -> string option
+
+(** Closes every remote worker connection (bounded, idempotent). *)
+val close : t -> unit
+
+(** Restores the newest restorable bundle under [dir] into [handle],
+    skipping corrupted ones; [Some cycle] on success, [None] when the
+    directory holds no bundle at all.  Raises {!Bundle.Bundle_error}
+    when bundles exist but none restores. *)
+val resume : dir:string -> Fireripper.Runtime.handle -> int option

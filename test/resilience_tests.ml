@@ -1,0 +1,500 @@
+(* Tests for lib/resilience: durable checkpoint bundles (atomicity,
+   versioning, corruption rejection), restart policies, the
+   crash-recovering supervisor (bit-exact recovery vs the monolithic
+   reference under both schedulers), deterministic chaos schedules, and
+   the remote-engine lifecycle fixes (bounded close, read timeouts). *)
+
+module FR = Fireripper
+module R = Resilience
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let worker =
+  Filename.concat
+    (Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin")
+    "fireaxe_worker.exe"
+
+let designs_dir =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "examples/designs"
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "fireaxe_ckpt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ | Unix.Unix_error _ -> ()) (fun () -> f dir)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:8 ~reps:4 ~dst:60
+let data = List.init 8 (fun i -> (32 + i, (i * 3) + 2))
+
+let soc_plan () =
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "tile" ] ] }
+  in
+  FR.Compile.compile ~config (Socgen.Soc.single_core_soc ~mem_latency:1 ())
+
+let load_soc h =
+  let mu = FR.Runtime.locate h "mem$mem" in
+  Socgen.Soc.load_program (FR.Runtime.sim_of h mu) ~mem:"mem$mem" ~data program
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_backoff () =
+  let p =
+    { R.Policy.max_restarts = 3; backoff_ms = 10; backoff_factor = 2.0; backoff_max_ms = 55 }
+  in
+  check_int "first attempt" 10 (R.Policy.delay_ms p ~attempt:1);
+  check_int "second doubles" 20 (R.Policy.delay_ms p ~attempt:2);
+  check_int "third doubles again" 40 (R.Policy.delay_ms p ~attempt:3);
+  check_int "capped" 55 (R.Policy.delay_ms p ~attempt:4);
+  check_int "stays capped" 55 (R.Policy.delay_ms p ~attempt:10);
+  check_bool "default tolerates a few restarts" true (R.Policy.default.R.Policy.max_restarts >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Bundles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bundle_roundtrip_local () =
+  with_tmpdir (fun dir ->
+      let plan = soc_plan () in
+      let a = FR.Runtime.instantiate plan in
+      load_soc a;
+      FR.Runtime.run a ~cycles:400;
+      let path = R.Bundle.save ~dir a in
+      check_bool "bundle directory exists" true (Sys.is_directory path);
+      let b = FR.Runtime.instantiate plan in
+      check_int "restore returns the bundle cycle" 400 (R.Bundle.restore ~path b);
+      FR.Runtime.run a ~cycles:1100;
+      FR.Runtime.run b ~cycles:1100;
+      check_bool "continuations are bit-exact" true
+        (FR.Runtime.save_to_string a = FR.Runtime.save_to_string b))
+
+let test_bundle_atomic_naming_and_latest () =
+  with_tmpdir (fun dir ->
+      let plan = soc_plan () in
+      let h = FR.Runtime.instantiate plan in
+      load_soc h;
+      ignore (R.Bundle.save ~dir h);
+      FR.Runtime.run h ~cycles:250;
+      ignore (R.Bundle.save ~dir h);
+      FR.Runtime.run h ~cycles:600;
+      ignore (R.Bundle.save ~dir h);
+      let cycles = List.map fst (R.Bundle.list_bundles ~dir) in
+      check_bool "cycle-ascending listing" true (cycles = [ 0; 250; 600 ]);
+      (match R.Bundle.latest ~dir with
+      | Some (600, _) -> ()
+      | _ -> Alcotest.fail "latest must be the 600-cycle bundle");
+      (* No stray temp dirs once saves complete. *)
+      check_bool "no temp residue" true
+        (Sys.readdir dir |> Array.for_all (fun e -> String.length e < 5 || String.sub e 0 5 = "ckpt-")))
+
+let test_bundle_corruption_rejected () =
+  with_tmpdir (fun dir ->
+      let plan = soc_plan () in
+      let h = FR.Runtime.instantiate plan in
+      load_soc h;
+      FR.Runtime.run h ~cycles:300;
+      let path = R.Bundle.save ~dir h in
+      let rejected what =
+        let fresh = FR.Runtime.instantiate plan in
+        match R.Bundle.restore ~path fresh with
+        | _ -> Alcotest.fail (what ^ ": corrupted bundle must be rejected")
+        | exception R.Bundle.Bundle_error _ -> ()
+      in
+      (* Flipped byte in a state blob. *)
+      R.Chaos.corrupt_file ~seed:3 (Filename.concat path "unit-0.state");
+      rejected "bit flip";
+      (* Rebuild, then truncate the network blob. *)
+      let path = R.Bundle.save ~dir h in
+      R.Chaos.truncate_file (Filename.concat path "network.state") ~keep:10;
+      rejected "truncation";
+      (* Rebuild, then scribble over the manifest. *)
+      let path = R.Bundle.save ~dir h in
+      let oc = open_out (Filename.concat path "MANIFEST") in
+      output_string oc "{ not json";
+      close_out oc;
+      rejected "garbage manifest";
+      (* Rebuild, then delete a blob entirely. *)
+      let path = R.Bundle.save ~dir h in
+      Sys.remove (Filename.concat path "unit-1.state");
+      rejected "missing blob")
+
+let test_bundle_rejects_other_design () =
+  with_tmpdir (fun dir ->
+      let plan = soc_plan () in
+      let h = FR.Runtime.instantiate plan in
+      FR.Runtime.run h ~cycles:100;
+      let path = R.Bundle.save ~dir h in
+      (* A handle over a different design must refuse the bundle. *)
+      let other_cfg =
+        { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "accel" ] ] }
+      in
+      let other =
+        FR.Runtime.instantiate
+          (FR.Compile.compile ~config:other_cfg (Socgen.Soc.accel_soc Socgen.Soc.Sha3))
+      in
+      match R.Bundle.restore ~path other with
+      | _ -> Alcotest.fail "bundle for another design must be rejected"
+      | exception R.Bundle.Bundle_error m ->
+        check_bool "diagnostic names the design mismatch" true
+          (contains m "design" || contains m "units"))
+
+let test_bundle_covers_remote_units () =
+  (* A bundle taken from a handle with a REMOTE unit restores into a
+     local handle and vice versa — the blobs cross the pipe protocol. *)
+  with_tmpdir (fun dir ->
+      let plan = soc_plan () in
+      let a, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+      load_soc a;
+      FR.Runtime.run a ~cycles:500;
+      let path = R.Bundle.save ~dir a in
+      let b = FR.Runtime.instantiate plan in
+      check_int "restored cycle" 500 (R.Bundle.restore ~path b);
+      (* Continue both; the remote handle's full state must track the
+         local one bit for bit. *)
+      FR.Runtime.run a ~cycles:1200;
+      FR.Runtime.run b ~cycles:1200;
+      check_bool "remote-inclusive snapshot is bit-exact" true
+        (FR.Runtime.save_to_string a = FR.Runtime.save_to_string b);
+      (* And back: restore the bundle INTO the remote handle. *)
+      let c, conns2 = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+      check_int "restored into remote handle" 500 (R.Bundle.restore ~path c);
+      FR.Runtime.run c ~cycles:1200;
+      check_bool "remote restore is bit-exact" true
+        (FR.Runtime.save_to_string b = FR.Runtime.save_to_string c);
+      List.iter (fun (_, cn) -> Libdn.Remote_engine.close cn) (conns @ conns2))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_deterministic () =
+  let a = R.Chaos.plan ~seed:42 ~cycles:10_000 ~n_victims:3 ~kills:4 () in
+  let b = R.Chaos.plan ~seed:42 ~cycles:10_000 ~n_victims:3 ~kills:4 () in
+  check_bool "same seed, same schedule" true (R.Chaos.pending a = R.Chaos.pending b);
+  let c = R.Chaos.plan ~seed:43 ~cycles:10_000 ~n_victims:3 ~kills:4 () in
+  check_bool "different seed, different schedule" true
+    (R.Chaos.pending a <> R.Chaos.pending c);
+  List.iter
+    (fun (k : R.Chaos.kill) ->
+      check_bool "kill inside the middle of the run" true (k.at >= 1000 && k.at <= 9000);
+      check_bool "victim in range" true (k.victim >= 0 && k.victim < 3))
+    (R.Chaos.pending a);
+  (* next_kill pops in cycle order and respects the horizon. *)
+  let first = List.hd (R.Chaos.pending a) in
+  check_bool "not due yet" true (R.Chaos.next_kill a ~upto:(first.at - 1) = None);
+  (match R.Chaos.next_kill a ~upto:first.at with
+  | Some k -> check_int "due kill popped" first.at k.at
+  | None -> Alcotest.fail "kill at the horizon must pop");
+  check_int "popped kill is gone" (3) (List.length (R.Chaos.pending a))
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The monolithic truth for the supervised runs below. *)
+let mono_probe ~cycles =
+  let mono = Rtlsim.Sim.of_circuit (Socgen.Soc.single_core_soc ~mem_latency:1 ()) in
+  Socgen.Soc.load_program mono ~mem:"mem$mem" ~data program;
+  for _ = 1 to cycles do
+    Rtlsim.Sim.step mono
+  done;
+  ( Rtlsim.Sim.get mono "tile$core$retired_count",
+    Rtlsim.Sim.get mono "tile$core$pc",
+    Rtlsim.Sim.get mono "mem$state" )
+
+let supervised_recovery ~scheduler () =
+  with_tmpdir (fun dir ->
+      let cycles = 1500 in
+      let plan = soc_plan () in
+      let tel = Telemetry.create () in
+      let h, conns =
+        FR.Runtime.instantiate_remote ~scheduler ~telemetry:tel ~worker
+          ~remote_units:[ 0; 1 ] plan
+      in
+      (* Both units remote: load the program over the pipe. *)
+      let tile_conn, mem_conn =
+        let c0 = List.assoc 0 conns and c1 = List.assoc 1 conns in
+        if Libdn.Remote_engine.has c0 "tile$core$pc" then (c0, c1) else (c1, c0)
+      in
+      List.iteri
+        (fun i w -> Libdn.Remote_engine.poke_mem mem_conn "mem$mem" i w)
+        (Socgen.Kite_isa.assemble program);
+      List.iter (fun (a, v) -> Libdn.Remote_engine.poke_mem mem_conn "mem$mem" a v) data;
+      let chaos = R.Chaos.plan ~seed:7 ~cycles ~n_victims:2 ~kills:2 () in
+      let kills = List.length (R.Chaos.pending chaos) in
+      let deaths = ref 0 in
+      let sv =
+        R.Supervisor.create ~checkpoint_dir:dir ~every:200
+          ~policy:{ R.Policy.default with R.Policy.backoff_ms = 1 }
+          ~chaos
+          ~on_event:(function R.Supervisor.Worker_down _ -> incr deaths | _ -> ())
+          ~worker h
+      in
+      R.Supervisor.run sv ~cycles;
+      check_int "every injected kill was recovered" kills (R.Supervisor.restarts sv);
+      check_int "every death was observed" kills !deaths;
+      (* Bit-exact against the uninterrupted monolithic run. *)
+      let retired, pc, memstate = mono_probe ~cycles in
+      check_int "retired_count" retired
+        (Libdn.Remote_engine.get tile_conn "tile$core$retired_count");
+      check_int "pc" pc (Libdn.Remote_engine.get tile_conn "tile$core$pc");
+      check_int "mem$state" memstate (Libdn.Remote_engine.get mem_conn "mem$state");
+      (* Telemetry observed the recovery. *)
+      let counters = Telemetry.counters tel in
+      check_bool "restart counter recorded" true
+        (List.exists
+           (fun (name, v) -> contains name ".restarts" && v > 0)
+           counters);
+      check_bool "checkpoints recorded" true
+        (List.exists
+           (fun (name, v) -> name = "resilience.checkpoints" && v > 0)
+           counters);
+      R.Supervisor.close sv)
+
+let test_supervised_recovery_seq () = supervised_recovery ~scheduler:Libdn.Scheduler.Sequential ()
+let test_supervised_recovery_par () = supervised_recovery ~scheduler:Libdn.Scheduler.Parallel ()
+
+let test_supervisor_gives_up () =
+  with_tmpdir (fun dir ->
+      let plan = soc_plan () in
+      let h, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+      load_soc h;
+      (* A zero-restart budget: the first death must end the run. *)
+      let sv =
+        R.Supervisor.create ~checkpoint_dir:dir ~every:100
+          ~policy:{ R.Policy.default with R.Policy.max_restarts = 0 }
+          ~chaos:(R.Chaos.plan ~seed:5 ~cycles:1000 ~n_victims:1 ())
+          ~worker h
+      in
+      (match R.Supervisor.run sv ~cycles:1000 with
+      | () -> Alcotest.fail "expected Gave_up"
+      | exception R.Supervisor.Gave_up { attempts; _ } -> check_int "one attempt" 1 attempts);
+      ignore conns;
+      R.Supervisor.close sv)
+
+let test_supervisor_skips_corrupt_bundle () =
+  (* Recovery must walk past a corrupted newest bundle to an older
+     good one — and still end bit-exact. *)
+  with_tmpdir (fun dir ->
+      let cycles = 1200 in
+      let plan = soc_plan () in
+      let h, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+      load_soc h;
+      let skipped = ref 0 in
+      let chaos = R.Chaos.plan ~seed:9 ~cycles ~n_victims:1 () in
+      let kill_at = (List.hd (R.Chaos.pending chaos)).R.Chaos.at in
+      let sv =
+        R.Supervisor.create ~checkpoint_dir:dir ~every:150
+          ~policy:{ R.Policy.default with R.Policy.backoff_ms = 1 }
+          ~chaos
+          ~on_event:(function R.Supervisor.Skipped_bundle _ -> incr skipped | _ -> ())
+          ~worker h
+      in
+      (* Pre-corrupt the newest bundle that will exist at kill time:
+         run supervised up to just before the kill, then corrupt the
+         newest bundle on disk before letting the kill land. *)
+      R.Supervisor.run sv ~cycles:(kill_at - 1);
+      (match R.Bundle.latest ~dir with
+      | Some (_, path) -> R.Chaos.corrupt_file ~seed:1 (Filename.concat path "unit-1.state")
+      | None -> Alcotest.fail "expected bundles before the kill");
+      R.Supervisor.run sv ~cycles;
+      check_bool "corrupt bundle was skipped during recovery" true (!skipped > 0);
+      let retired, pc, _ = mono_probe ~cycles in
+      check_int "retired_count" retired
+        (Libdn.Remote_engine.get (List.assoc 1 conns) "tile$core$retired_count");
+      check_int "pc" pc (Libdn.Remote_engine.get (List.assoc 1 conns) "tile$core$pc");
+      R.Supervisor.close sv)
+
+let test_supervisor_resume_cold () =
+  (* Kill the whole "session": checkpoint, drop the handle, build a
+     fresh one, resume from disk, continue — matches an uninterrupted
+     run. *)
+  with_tmpdir (fun dir ->
+      let plan = soc_plan () in
+      let a = FR.Runtime.instantiate plan in
+      load_soc a;
+      let sva = R.Supervisor.create ~checkpoint_dir:dir ~every:300 ~worker a in
+      R.Supervisor.run sva ~cycles:900;
+      (* New process, new handle: resume from the directory alone. *)
+      let b = FR.Runtime.instantiate plan in
+      (match R.Supervisor.resume ~dir b with
+      | Some 900 -> ()
+      | Some c -> Alcotest.failf "resumed at %d, want 900" c
+      | None -> Alcotest.fail "expected a bundle to resume from");
+      FR.Runtime.run b ~cycles:2000;
+      let retired, pc, _ = mono_probe ~cycles:2000 in
+      let u = FR.Runtime.locate b "tile$core$retired_count" in
+      check_int "retired_count" retired
+        (Rtlsim.Sim.get (FR.Runtime.sim_of b u) "tile$core$retired_count");
+      check_int "pc" pc (Rtlsim.Sim.get (FR.Runtime.sim_of b u) "tile$core$pc"))
+
+(* ------------------------------------------------------------------ *)
+(* Remote-engine lifecycle fixes                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_read_timeout_surfaces_worker_died () =
+  (* SIGSTOP the worker: reads must give up after the timeout with the
+     command in flight recorded, instead of hanging forever. *)
+  let plan = soc_plan () in
+  let h, conns =
+    FR.Runtime.instantiate_remote ~read_timeout:0.2 ~worker ~remote_units:[ 1 ] plan
+  in
+  ignore h;
+  let conn = List.assoc 1 conns in
+  R.Chaos.sigstop (Libdn.Remote_engine.pid conn);
+  let t0 = Unix.gettimeofday () in
+  (match Libdn.Remote_engine.get conn "tile$core$pc" with
+  | _ -> Alcotest.fail "expected Worker_died on a wedged worker"
+  | exception Libdn.Remote_engine.Worker_died { last_command; status; _ } ->
+    check_bool "status names the timeout" true (contains status "timeout");
+    Alcotest.(check string) "command in flight" "get tile$core$pc" last_command);
+  check_bool "gave up promptly" true (Unix.gettimeofday () -. t0 < 5.0);
+  R.Chaos.sigcont (Libdn.Remote_engine.pid conn);
+  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
+
+let test_close_bounded_and_idempotent () =
+  (* close on a WEDGED (SIGSTOPped) worker must SIGKILL and return
+     within the grace period, and a second close must be a no-op. *)
+  let plan = soc_plan () in
+  let h, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+  ignore h;
+  let conn = List.assoc 1 conns in
+  R.Chaos.sigstop (Libdn.Remote_engine.pid conn);
+  let t0 = Unix.gettimeofday () in
+  Libdn.Remote_engine.close ~grace:0.2 conn;
+  check_bool "close returned within bounds" true (Unix.gettimeofday () -. t0 < 5.0);
+  check_bool "worker reaped or gone" true (not (Libdn.Remote_engine.is_alive conn));
+  (* Second close: no raise, no hang. *)
+  Libdn.Remote_engine.close conn;
+  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
+
+let test_reconnect_replays_cones () =
+  (* Kill a worker, reconnect in place, restore its state: the network
+     keeps its engine closures and the run stays correct. *)
+  let plan = soc_plan () in
+  let h, conns = FR.Runtime.instantiate_remote ~worker ~remote_units:[ 1 ] plan in
+  load_soc h;
+  FR.Runtime.run h ~cycles:400;
+  let blob = FR.Runtime.save_to_string h in
+  let conn = List.assoc 1 conns in
+  R.Chaos.sigkill (Libdn.Remote_engine.pid conn);
+  (* Wait for the death to be observable, then resurrect. *)
+  let rec wait n =
+    if n > 0 && Libdn.Remote_engine.is_alive conn then begin
+      Unix.sleepf 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 200;
+  FR.Runtime.respawn_remote h 1 ~worker;
+  FR.Runtime.restore_from_string h blob;
+  FR.Runtime.run h ~cycles:1200;
+  let retired, pc, _ = mono_probe ~cycles:1200 in
+  check_int "retired_count after in-place resurrection" retired
+    (Libdn.Remote_engine.get conn "tile$core$retired_count");
+  check_int "pc after in-place resurrection" pc
+    (Libdn.Remote_engine.get conn "tile$core$pc");
+  List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns
+
+(* ------------------------------------------------------------------ *)
+(* Property: snapshots round-trip across every example design          *)
+(* ------------------------------------------------------------------ *)
+
+let example_designs =
+  lazy
+    (Sys.readdir designs_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".fir")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let circuit = Firrtl.Text.load ~path:(Filename.concat designs_dir f) in
+           let first_inst =
+             match Firrtl.Hierarchy.instances (Firrtl.Ast.main_module circuit) with
+             | (name, _) :: _ -> name
+             | [] -> failwith (f ^ ": no instances to partition")
+           in
+           (f, circuit, first_inst)))
+
+let prop_save_restore_roundtrips_examples =
+  (* Every checked-in example design, both schedulers, local AND
+     remote partitions: serialize mid-flight, restore into a fresh
+     local handle, continue both — full state stays bit-exact. *)
+  QCheck.Test.make ~name:"resilience: snapshots round-trip every example design"
+    ~count:20
+    QCheck.(triple (int_bound 1000) bool bool)
+    (fun (salt, par, remote) ->
+      let designs = Lazy.force example_designs in
+      let _, circuit, first_inst = List.nth designs (salt mod List.length designs) in
+      let cycles = 5 + (salt mod 60) in
+      let scheduler =
+        if par then Libdn.Scheduler.Parallel else Libdn.Scheduler.Sequential
+      in
+      let config =
+        {
+          FR.Spec.default_config with
+          FR.Spec.selection = FR.Spec.Instances [ [ first_inst ] ];
+        }
+      in
+      let plan = FR.Compile.compile ~config circuit in
+      let a, conns =
+        if remote then FR.Runtime.instantiate_remote ~scheduler ~worker ~remote_units:[ 1 ] plan
+        else (FR.Runtime.instantiate ~scheduler plan, [])
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns)
+        (fun () ->
+          FR.Runtime.run a ~cycles;
+          let blob = FR.Runtime.save_to_string a in
+          let b = FR.Runtime.instantiate ~scheduler plan in
+          FR.Runtime.restore_from_string b blob;
+          FR.Runtime.run a ~cycles:(2 * cycles);
+          FR.Runtime.run b ~cycles:(2 * cycles);
+          FR.Runtime.save_to_string a = FR.Runtime.save_to_string b))
+
+let suite =
+  [
+    ( "resilience.policy",
+      [ Alcotest.test_case "exponential backoff, capped" `Quick test_policy_backoff ] );
+    ( "resilience.bundle",
+      [
+        Alcotest.test_case "round-trip local" `Quick test_bundle_roundtrip_local;
+        Alcotest.test_case "naming, listing, latest" `Quick test_bundle_atomic_naming_and_latest;
+        Alcotest.test_case "corruption rejected" `Quick test_bundle_corruption_rejected;
+        Alcotest.test_case "other design rejected" `Quick test_bundle_rejects_other_design;
+        Alcotest.test_case "covers remote units" `Quick test_bundle_covers_remote_units;
+      ] );
+    ( "resilience.chaos",
+      [ Alcotest.test_case "deterministic schedules" `Quick test_chaos_deterministic ] );
+    ( "resilience.supervisor",
+      [
+        Alcotest.test_case "crash recovery bit-exact (seq)" `Quick test_supervised_recovery_seq;
+        Alcotest.test_case "crash recovery bit-exact (par)" `Quick test_supervised_recovery_par;
+        Alcotest.test_case "gives up past the budget" `Quick test_supervisor_gives_up;
+        Alcotest.test_case "skips corrupt bundles" `Quick test_supervisor_skips_corrupt_bundle;
+        Alcotest.test_case "cold resume from disk" `Quick test_supervisor_resume_cold;
+      ] );
+    ( "resilience.remote",
+      [
+        Alcotest.test_case "read timeout surfaces Worker_died" `Quick
+          test_read_timeout_surfaces_worker_died;
+        Alcotest.test_case "close bounded + idempotent" `Quick test_close_bounded_and_idempotent;
+        Alcotest.test_case "reconnect replays cones" `Quick test_reconnect_replays_cones;
+        QCheck_alcotest.to_alcotest prop_save_restore_roundtrips_examples;
+      ] );
+  ]

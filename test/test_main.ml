@@ -32,4 +32,5 @@ let () =
          Remote_tests.suite;
          Scheduler_tests.suite;
          Telemetry_tests.suite;
+         Resilience_tests.suite;
        ])
