@@ -1,0 +1,117 @@
+(* Observability microbench: prices waveform capture and the flight
+   recorder on the single-core Kite SoC (tile | rest partitioning).
+
+   Four configurations over the same run, reported on stdout and as
+   BENCH_observe.json:
+
+   - off:      one [Runtime.run] call to the target cycle (baseline);
+   - stepped:  the per-cycle driving loop capture needs, sampling
+               nothing — prices the loop itself;
+   - flight:   stepped + a 256-deep flight-recorder ring;
+   - vcd:      stepped + full waveform capture of the probe signals
+               and boundary channels, including the final render.
+
+   Each configuration instantiates a fresh handle so caches and channel
+   queues start identical. *)
+
+module FR = Fireripper
+module D = Debug
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (Unix.gettimeofday () -. t0, x)
+
+let ms secs = secs *. 1000.
+
+let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:8 ~reps:8 ~dst:60
+let data = List.init 8 (fun i -> (32 + i, (i * 3) + 2))
+
+let soc_plan () =
+  let config =
+    { FR.Spec.default_config with FR.Spec.selection = FR.Spec.Instances [ [ "tile" ] ] }
+  in
+  FR.Compile.compile ~config (Socgen.Soc.single_core_soc ~mem_latency:1 ())
+
+let load_soc h =
+  let mu = FR.Runtime.locate h "mem$mem" in
+  Socgen.Soc.load_program (FR.Runtime.sim_of h mu) ~mem:"mem$mem" ~data program
+
+let probes = [ "tile$core$pc"; "tile$core$retired_count"; "mem$state" ]
+let cycles = 20_000
+
+let fresh_handle () =
+  let h = FR.Runtime.instantiate (soc_plan ()) in
+  load_soc h;
+  h
+
+let stepped h per_cycle =
+  for c = 1 to cycles do
+    FR.Runtime.run h ~cycles:c;
+    per_cycle c
+  done
+
+let () =
+  (* Warm-up outside the measurements: plan compilation paths, minor
+     heap growth. *)
+  (let h = fresh_handle () in
+   FR.Runtime.run h ~cycles:200);
+  let base_secs, _ =
+    time (fun () ->
+        let h = fresh_handle () in
+        FR.Runtime.run h ~cycles)
+  in
+  let stepped_secs, _ =
+    time (fun () ->
+        let h = fresh_handle () in
+        stepped h (fun _ -> ()))
+  in
+  let flight_secs, _ =
+    time (fun () ->
+        let h = fresh_handle () in
+        let fl = D.Flight.of_handle ~depth:256 ~probes h in
+        stepped h (fun c -> D.Flight.record fl ~cycle:c))
+  in
+  let vcd_secs, vcd_bytes =
+    time (fun () ->
+        let h = fresh_handle () in
+        let cap = D.Capture.of_handle h ~probes in
+        stepped h (fun c -> D.Capture.sample cap ~cycle:c);
+        String.length (D.Capture.contents cap))
+  in
+  let rows = ref [] in
+  let row name secs extra =
+    let overhead = (secs -. base_secs) /. base_secs *. 100. in
+    Printf.printf "%-8s %8.2f ms   %10.0f cycles/s   %+7.1f%% vs off\n" name (ms secs)
+      (float_of_int cycles /. secs)
+      overhead;
+    rows :=
+      Telemetry.Json.Obj
+        (extra
+        @ [
+            ("config", Telemetry.Json.String name);
+            ("ms", Telemetry.Json.Float (ms secs));
+            ("cycles_per_s", Telemetry.Json.Float (float_of_int cycles /. secs));
+            ("overhead_pct", Telemetry.Json.Float overhead);
+          ])
+      :: !rows
+  in
+  row "off" base_secs [];
+  row "stepped" stepped_secs [];
+  row "flight" flight_secs [ ("ring_depth", Telemetry.Json.Int 256) ];
+  row "vcd" vcd_secs [ ("vcd_bytes", Telemetry.Json.Int vcd_bytes) ];
+  let doc =
+    Telemetry.Json.Obj
+      [
+        ("schema", Telemetry.Json.String "fireaxe-bench-observe-1");
+        ("cycles", Telemetry.Json.Int cycles);
+        ( "probes",
+          Telemetry.Json.List (List.map (fun p -> Telemetry.Json.String p) probes) );
+        ("configs", Telemetry.Json.List (List.rev !rows));
+      ]
+  in
+  let oc = open_out "BENCH_observe.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_observe.json\n"

@@ -335,24 +335,119 @@ let do_resume h ~checkpoint_dir = function
       Fmt.pr "resumed from %s at target cycle %d@." spec (Fireaxe.Runtime.cycle h 0)
     end
 
+(* The probe set a capture or flight recorder watches: an explicit
+   [--sample] list wins over the design's declared probes. *)
+let probes_of design sample =
+  match sample with
+  | Some s -> String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+  | None -> design.d_probes
+
+let require_probes design probes ~flag =
+  if probes = [] then begin
+    Fmt.epr "%s: design %s declares no probe signals; pass --sample SIG1,SIG2@." flag
+      design.d_name;
+    exit 2
+  end
+
+(* Prints the newest flight-bundle path; [reason] forces a dump first
+   (deadlocks already dumped through the network hook). *)
+let report_flight flight_ref ?reason () =
+  match !flight_ref with
+  | None -> ()
+  | Some fl ->
+    let dir =
+      match reason with
+      | Some r -> (
+        try Some (Fireaxe.Debug.Flight.dump fl ~reason:r)
+        with _ -> Fireaxe.Debug.Flight.last_dump fl)
+      | None -> Fireaxe.Debug.Flight.last_dump fl
+    in
+    (match dir with
+    | Some d -> Fmt.pr "flight bundle: %s@." d
+    | None -> ())
+
 let run_remote ~telemetry ~scheduler ~checkpoint_dir ~checkpoint_every ~chaos_seed
-    ~resume design plan cycles =
+    ~resume ~vcd_path ~sample ~flight_depth ~flight_dir ~flight_ref ~progress design
+    plan cycles =
   let n = Fireaxe.Plan.n_units plan in
   let chaos =
     Option.map
       (fun seed -> Fireaxe.Resilience.Chaos.plan ~seed ~cycles ~n_victims:n ())
       chaos_seed
   in
+  (* A worker death dumps the flight ring even when the supervisor
+     recovers it: the bundle is the post-mortem record of the crash
+     window. *)
+  let on_event ev =
+    pp_resilience_event ev;
+    match ev with
+    | Fireaxe.Resilience.Supervisor.Worker_down _ ->
+      report_flight flight_ref ~reason:"worker-down" ()
+    | _ -> ()
+  in
   let sv =
     Fireaxe.supervise ~scheduler ~telemetry ?checkpoint_dir ~every:checkpoint_every
-      ?chaos ~on_event:pp_resilience_event ~worker:(worker_path ())
+      ?chaos ~on_event ~worker:(worker_path ())
       ~remote_units:(List.init n Fun.id) plan
   in
   let h = Fireaxe.Resilience.Supervisor.handle sv in
   let conns = Fireaxe.Runtime.remote_conns h in
   Fmt.pr "spawned %d worker processes (one per unit)@." (List.length conns);
   do_resume h ~checkpoint_dir resume;
-  Fireaxe.Resilience.Supervisor.run sv ~cycles;
+  let probes = probes_of design sample in
+  let flight =
+    Option.map
+      (fun depth ->
+        let fl = Fireaxe.Debug.Flight.of_handle ~depth ~dir:flight_dir ~probes h in
+        flight_ref := Some fl;
+        fl)
+      flight_depth
+  in
+  let capture =
+    Option.map
+      (fun path ->
+        require_probes design probes ~flag:"--vcd";
+        (path, Fireaxe.Debug.Capture.of_handle h ~probes))
+      vcd_path
+  in
+  (if capture = None && flight = None then Fireaxe.Resilience.Supervisor.run sv ~cycles
+   else begin
+     (* Per-cycle driving so every target cycle lands in the capture and
+        the flight ring; supervisor rollbacks re-run cycles the trace
+        already holds, which the samplers ignore.  A worker can also die
+        during the sample itself (it is a protocol read outside the
+        supervised advance) — heal and re-advance, exactly like a death
+        inside the chunk. *)
+     let start = Fireaxe.Runtime.cycle h 0 in
+     for c = start + 1 to cycles do
+       let rec advance_and_sample () =
+         Fireaxe.Resilience.Supervisor.run sv ~cycles:c;
+         try
+           (match capture with
+           | Some (_, cap) -> Fireaxe.Debug.Capture.sample cap ~cycle:c
+           | None -> ());
+           match flight with
+           | Some fl -> Fireaxe.Debug.Flight.record fl ~cycle:c
+           | None -> ()
+         with Libdn.Remote_engine.Worker_died { label; status; _ } ->
+           Fireaxe.Resilience.Supervisor.heal sv ~label ~status;
+           advance_and_sample ()
+       in
+       advance_and_sample ();
+       match progress with
+       | Some p when p > 0 && (c mod p = 0 || c = cycles) ->
+         Fmt.pr "progress: cycle %d/%d (%d token transfers)@." c cycles
+           (Fireaxe.Runtime.token_transfers h)
+       | _ -> ()
+     done
+   end);
+  (match capture with
+  | Some (path, cap) ->
+    Fireaxe.Debug.Capture.save cap ~path;
+    Fmt.pr "wrote %s (%d probes across %d partitions, %d samples)@." path
+      (List.length probes) n
+      (Fireaxe.Debug.Capture.sample_count cap)
+  | None -> ());
   Fmt.pr "ran %d target cycles across %d processes (%d token transfers, %d respawns)@."
     cycles n
     (Fireaxe.Runtime.token_transfers h)
@@ -383,7 +478,8 @@ let run_remote ~telemetry ~scheduler ~checkpoint_dir ~checkpoint_every ~chaos_se
   end
 
 let run design mode select routers scheduler cycles vcd_path sample every resume save_snap
-    check remote metrics trace_file progress checkpoint_dir checkpoint_every chaos_seed =
+    check remote metrics trace_file progress checkpoint_dir checkpoint_every chaos_seed
+    flight_depth flight_dir wavediff =
   (* A live sink only when some exporter was requested; otherwise the
      shared disabled sink keeps the hot path free. *)
   let telemetry =
@@ -405,97 +501,179 @@ let run design mode select routers scheduler cycles vcd_path sample every resume
     | Some path -> Telemetry.write_metrics telemetry ~path
     | None -> ()
   in
-  let circuit = design.d_circuit () in
-  let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
+  let flight_ref = ref None in
   match
-    if remote then
-      run_remote ~telemetry ~scheduler ~checkpoint_dir ~checkpoint_every ~chaos_seed
-        ~resume design plan cycles
-  else begin
-  let h = Fireaxe.instantiate ~scheduler ~telemetry plan in
-  do_resume h ~checkpoint_dir resume;
-  (* With a checkpoint dir, plain in-process runs also advance under
-     the supervisor so bundles land on every interval. *)
-  let advance ~cycles =
-    match checkpoint_dir with
-    | Some _ ->
-      let sv =
-        Fireaxe.Resilience.Supervisor.create ?checkpoint_dir ~every:checkpoint_every
-          ~on_event:pp_resilience_event ~worker:(worker_path ()) h
-      in
-      Fireaxe.Resilience.Supervisor.run sv ~cycles
-    | None -> Fireaxe.Runtime.run h ~cycles
-  in
-  (match (vcd_path, sample) with
-  | None, Some signals ->
-    (* AutoCounter-style out-of-band sampling while the run advances. *)
-    let signals = String.split_on_char ',' signals in
-    let samples = Fireaxe.Counters.collect h ~signals ~every ~cycles in
-    print_string (Fireaxe.Counters.to_csv samples)
-  | None, None -> (
-    match progress with
-    | Some n when n > 0 ->
-      (* Chunked run with a progress line every [n] target cycles. *)
-      let rec go c =
-        let next = min cycles (c + n) in
-        advance ~cycles:next;
-        Fmt.pr "progress: cycle %d/%d (%d token transfers)@." next cycles
+    if wavediff then begin
+      (* Side-by-side monolithic vs partitioned capture over the probe
+         signals; the diff localizes the first divergent cycle. *)
+      let probes = probes_of design sample in
+      require_probes design probes ~flag:"--wave-diff";
+      match
+        Fireaxe.wave_diff ~scheduler ~mode ~circuit:design.d_circuit
+          ~selection:(selection_of design select routers) ~probes ~cycles ()
+      with
+      | None ->
+        Fmt.pr "no divergence: monolithic and partitioned traces match over %d cycles (%d probes)@."
+          cycles (List.length probes)
+      | Some dv ->
+        Fmt.pr "first divergence: cycle %d, signal %s (monolithic %d, partitioned %d)@."
+          dv.Fireaxe.Debug.Capture.dv_cycle dv.Fireaxe.Debug.Capture.dv_signal
+          dv.Fireaxe.Debug.Capture.dv_a dv.Fireaxe.Debug.Capture.dv_b;
+        exit 6
+    end
+    else begin
+      let circuit = design.d_circuit () in
+      let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
+      if remote then
+        run_remote ~telemetry ~scheduler ~checkpoint_dir ~checkpoint_every ~chaos_seed
+          ~resume ~vcd_path ~sample ~flight_depth ~flight_dir ~flight_ref ~progress
+          design plan cycles
+      else begin
+        let h = Fireaxe.instantiate ~scheduler ~telemetry plan in
+        do_resume h ~checkpoint_dir resume;
+        (* With a checkpoint dir, plain in-process runs also advance under
+           one supervisor so bundles land on every interval, even when the
+           capture loop drives it a single target cycle at a time. *)
+        let sv =
+          Option.map
+            (fun _ ->
+              Fireaxe.Resilience.Supervisor.create ?checkpoint_dir
+                ~every:checkpoint_every ~on_event:pp_resilience_event
+                ~worker:(worker_path ()) h)
+            checkpoint_dir
+        in
+        let advance ~cycles =
+          match sv with
+          | Some sv -> Fireaxe.Resilience.Supervisor.run sv ~cycles
+          | None -> Fireaxe.Runtime.run h ~cycles
+        in
+        let probes = probes_of design sample in
+        let flight =
+          Option.map
+            (fun depth ->
+              let fl =
+                Fireaxe.Debug.Flight.of_handle ~depth ~dir:flight_dir ~probes h
+              in
+              flight_ref := Some fl;
+              fl)
+            flight_depth
+        in
+        let progress_line c =
+          match progress with
+          | Some p when p > 0 && (c mod p = 0 || c = cycles) ->
+            Fmt.pr "progress: cycle %d/%d (%d token transfers)@." c cycles
+              (Fireaxe.Runtime.token_transfers h)
+          | _ -> ()
+        in
+        (* Per-cycle driving, shared by waveform capture and the flight
+           recorder: every target cycle is advanced (under the supervisor
+           when checkpointing), sampled, recorded, and reported. *)
+        let stepped sample_cycle =
+          let start = Fireaxe.Runtime.cycle h 0 in
+          for c = start + 1 to cycles do
+            advance ~cycles:c;
+            sample_cycle c;
+            (match flight with
+            | Some fl -> Fireaxe.Debug.Flight.record fl ~cycle:c
+            | None -> ());
+            progress_line c
+          done
+        in
+        (match (vcd_path, sample) with
+        | None, Some signals ->
+          (* AutoCounter-style out-of-band sampling while the run advances. *)
+          let signals = String.split_on_char ',' signals in
+          let samples = Fireaxe.Counters.collect h ~signals ~every ~cycles in
+          print_string (Fireaxe.Counters.to_csv samples)
+        | None, None when flight <> None -> stepped (fun _ -> ())
+        | None, None -> (
+          match progress with
+          | Some n when n > 0 ->
+            (* Chunked run with a progress line every [n] target cycles. *)
+            let rec go c =
+              let next = min cycles (c + n) in
+              advance ~cycles:next;
+              Fmt.pr "progress: cycle %d/%d (%d token transfers)@." next cycles
+                (Fireaxe.Runtime.token_transfers h);
+              if next < cycles then go next
+            in
+            let start = Fireaxe.Runtime.cycle h 0 in
+            if start < cycles then go start
+          | _ -> advance ~cycles)
+        | Some path, _ ->
+          (* Full-design waveform: every probe is captured in whichever
+             partition holds it — local simulator or remote worker — into
+             one VCD with a scope per partition plus the boundary-channel
+             token tracks. *)
+          require_probes design probes ~flag:"--vcd";
+          let cap = Fireaxe.Debug.Capture.of_handle h ~probes in
+          stepped (fun c -> Fireaxe.Debug.Capture.sample cap ~cycle:c);
+          Fireaxe.Debug.Capture.save cap ~path;
+          Fmt.pr "wrote %s (%d probes across %d partitions, %d samples)@." path
+            (List.length probes)
+            (Fireaxe.Plan.n_units plan)
+            (Fireaxe.Debug.Capture.sample_count cap));
+        Fmt.pr "ran %d target cycles on %d partitions (%d token transfers)@." cycles
+          (Fireaxe.Plan.n_units plan)
           (Fireaxe.Runtime.token_transfers h);
-        if next < cycles then go next
-      in
-      let start = Fireaxe.Runtime.cycle h 0 in
-      if start < cycles then go start
-    | _ -> advance ~cycles)
-  | Some path, _ ->
-    (* Dump the probe signals of the unit that holds them, sampled per
-       target cycle. *)
-    let u = Fireaxe.Runtime.locate h (List.hd design.d_probes) in
-    let sim = Fireaxe.Runtime.sim_of h u in
-    let signals = List.filter (fun p -> Fireaxe.Runtime.locate h p = u) design.d_probes in
-    let vcd = Rtlsim.Vcd.create sim ~signals in
-    for c = 1 to cycles do
-      Fireaxe.Runtime.run h ~cycles:c;
-      Rtlsim.Vcd.sample vcd
-    done;
-    Rtlsim.Vcd.save vcd ~path;
-    Fmt.pr "wrote %s@." path);
-  Fmt.pr "ran %d target cycles on %d partitions (%d token transfers)@." cycles
-    (Fireaxe.Plan.n_units plan)
-    (Fireaxe.Runtime.token_transfers h);
-  (match save_snap with
-  | Some path ->
-    Fireaxe.Runtime.save h ~path;
-    Fmt.pr "snapshot written to %s@." path
-  | None -> ());
-  if check then begin
-    match Fireaxe.Runtime.assertions_violated h with
-    | [] ->
-      Fmt.pr "assertions: %d polled, none violated@."
-        (List.length (Fireaxe.Runtime.assertions h))
-    | bad -> Fmt.pr "ASSERTION VIOLATIONS: %s@." (String.concat ", " bad)
-  end;
-  (* Cross-check against the monolithic simulation. *)
-  let mono = Rtlsim.Sim.of_circuit (design.d_circuit ()) in
-  for _ = 1 to cycles do
-    Rtlsim.Sim.step mono
-  done;
-  List.iter
-    (fun probe ->
-      let u = Fireaxe.Runtime.locate h probe in
-      let v = Rtlsim.Sim.get (Fireaxe.Runtime.sim_of h u) probe in
-      let m = Rtlsim.Sim.get mono probe in
-      Fmt.pr "  %-28s = %-8d (monolithic %d%s)@." probe v m
-        (if v = m then ", exact" else " -- DIFFERS"))
-    design.d_probes
-  end
+        (match save_snap with
+        | Some path ->
+          Fireaxe.Runtime.save h ~path;
+          Fmt.pr "snapshot written to %s@." path
+        | None -> ());
+        if check then begin
+          match Fireaxe.Runtime.assertions_violated h with
+          | [] ->
+            Fmt.pr "assertions: %d polled, none violated@."
+              (List.length (Fireaxe.Runtime.assertions h))
+          | bad ->
+            Fmt.pr "ASSERTION VIOLATIONS: %s@." (String.concat ", " bad);
+            report_flight flight_ref ~reason:"assertion" ()
+        end;
+        (* Cross-check against the monolithic simulation. *)
+        let mono = Rtlsim.Sim.of_circuit (design.d_circuit ()) in
+        for _ = 1 to cycles do
+          Rtlsim.Sim.step mono
+        done;
+        List.iter
+          (fun probe ->
+            let u = Fireaxe.Runtime.locate h probe in
+            let v = Rtlsim.Sim.get (Fireaxe.Runtime.sim_of h u) probe in
+            let m = Rtlsim.Sim.get mono probe in
+            Fmt.pr "  %-28s = %-8d (monolithic %d%s)@." probe v m
+              (if v = m then ", exact" else " -- DIFFERS"))
+          design.d_probes
+      end
+    end
   with
   | () -> emit_telemetry ()
   | exception Libdn.Network.Deadlock msg ->
     (* The snapshot was already recorded into the sinks by the raise
-       site; flush them, then report the structured message. *)
+       site, and the flight recorder's deadlock hook already dumped the
+       ring; flush the exporters, then report. *)
     emit_telemetry ();
+    report_flight flight_ref ();
     Fmt.epr "%s@." msg;
     exit 3
+  | exception Fireaxe.Debug.Capture.Unknown_signal names ->
+    Fmt.epr "unresolvable probe signal(s): %s@." (String.concat ", " names);
+    Fmt.epr "(probe names are flattened register names; try --sample with names from 'describe')@.";
+    exit 2
+  | exception (Libdn.Remote_engine.Worker_died _ as e) ->
+    emit_telemetry ();
+    report_flight flight_ref ~reason:"worker-died" ();
+    Fmt.epr "%s@." (Printexc.to_string e);
+    exit 5
+  | exception (Fireaxe.Resilience.Supervisor.Gave_up _ as e) ->
+    emit_telemetry ();
+    report_flight flight_ref ~reason:"gave-up" ();
+    Fmt.epr "%s@." (Printexc.to_string e);
+    exit 5
+  | exception (Fireaxe.Resilience.Supervisor.Recovery_failed _ as e) ->
+    emit_telemetry ();
+    report_flight flight_ref ~reason:"recovery-failed" ();
+    Fmt.epr "%s@." (Printexc.to_string e);
+    exit 5
 
 let cycles_arg =
   Arg.(value & opt int 1000 & info [ "cycles" ] ~doc:"Target cycles to simulate.")
@@ -504,7 +682,12 @@ let vcd_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "vcd" ] ~doc:"Dump the design's probe signals to this VCD file.")
+    & info [ "vcd" ]
+        ~doc:
+          "Capture the design's probe signals (or the $(b,--sample) list) to this VCD \
+           file: every probe is sampled in whichever partition holds it — local or \
+           remote — and merged into one file with a scope per partition plus the \
+           LI-BDN boundary-channel token tracks.")
 
 let sample_arg =
   Arg.(
@@ -593,6 +776,33 @@ let chaos_arg =
           "Deterministic fault injection (with $(b,--remote)): SIGKILL a worker at a \
            seed-chosen cycle mid-run, exercising crash recovery.")
 
+let flight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "flight-recorder" ] ~docv:"N"
+        ~doc:
+          "Keep a ring of the last $(docv) target cycles of the probe signals and \
+           boundary-channel state; on deadlock, worker death, supervisor exhaustion \
+           or assertion failure the ring is dumped as a VCD + JSON flight bundle \
+           naming the blocked channels and their last in-flight tokens.")
+
+let flight_dir_arg =
+  Arg.(
+    value
+    & opt string "flight"
+    & info [ "flight-dir" ] ~docv:"DIR"
+        ~doc:"Directory flight bundles are dumped under (default $(b,flight)).")
+
+let wave_diff_arg =
+  Arg.(
+    value & flag
+    & info [ "wave-diff" ]
+        ~doc:
+          "Instead of a normal run, capture the probe signals monolithically and \
+           partitioned side by side for $(b,--cycles) cycles and report the first \
+           divergent (cycle, signal); exits 6 when a divergence is found.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a partitioned simulation and cross-check it against the monolithic one.")
@@ -600,7 +810,8 @@ let run_cmd =
       const run $ design_arg $ mode_arg $ select_arg $ routers_arg $ scheduler_arg
       $ cycles_arg $ vcd_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
       $ check_arg $ remote_arg $ metrics_arg $ trace_file_arg $ progress_arg
-      $ checkpoint_dir_arg $ checkpoint_every_arg $ chaos_arg)
+      $ checkpoint_dir_arg $ checkpoint_every_arg $ chaos_arg $ flight_arg
+      $ flight_dir_arg $ wave_diff_arg)
 
 let sweep transport =
   Fmt.pr "simulation rate (MHz) vs interface width, %s@." (Platform.Transport.name transport);

@@ -57,6 +57,19 @@ let () =
       | [ "poke"; mem; addr; v ] ->
         Rtlsim.Sim.poke_mem sim mem (int_of_string addr) (int_of_string v)
       | [ "peek"; mem; addr ] -> reply "%d" (Rtlsim.Sim.peek_mem sim mem (int_of_string addr))
+      | "sample" :: names ->
+        (* Batched signal read for waveform capture: one round trip
+           returns every value, space-joined, in request order. *)
+        reply "%s"
+          (String.concat " "
+             (List.map (fun n -> string_of_int (eng.Libdn.Engine.get n)) names))
+      | [ "width"; name ] ->
+        (* Signal width in bits; -1 when the name is not a signal here
+           (memories included: they cannot be waveform-sampled). *)
+        reply "%d"
+          (match Hashtbl.find_opt sim.Rtlsim.Sim.slots name with
+          | Some i -> sim.Rtlsim.Sim.widths.(i)
+          | None -> -1)
       | [ "has"; name ] ->
         reply "%d"
           (if Hashtbl.mem sim.Rtlsim.Sim.slots name || Hashtbl.mem sim.Rtlsim.Sim.mems name

@@ -1,0 +1,242 @@
+(* Post-mortem flight recorder: a bounded ring buffer holding the last
+   N target cycles of watched signals plus per-channel queue depths,
+   dumped as a VCD + JSON bundle when the simulation dies — LI-BDN
+   deadlock (through the network's deadlock hook), worker death,
+   supervisor exhaustion, or an assertion failure.  The dump names the
+   blocked channels and their last in-flight tokens, which is usually
+   enough to localize a mis-cut partition boundary without re-running. *)
+
+module Json = Telemetry.Json
+
+type t = {
+  fl_probes : Capture.probes;
+  fl_tracks : Capture.track array;
+  fl_offset : int;
+  fl_depth : int;
+  fl_dir : string;
+  fl_net : Libdn.Network.t;
+  fl_ring : (int * int array * int array) option array;  (* ring of samples *)
+  mutable fl_next : int;  (* ring write position *)
+  mutable fl_count : int;
+  mutable fl_last_cycle : int;
+  mutable fl_dumps : string list;  (* dump directories, newest first *)
+}
+
+let default_depth = 256
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Records the watched values for target cycle [cycle], evicting the
+    oldest sample once the ring is full.  Re-recording an
+    already-recorded cycle is a no-op (rollback + re-execution safe). *)
+let record t ~cycle =
+  if cycle > t.fl_last_cycle then begin
+    (* Read before committing: a failed read (e.g. a worker dying under
+       a remote sample) must leave the ring untouched so a retry after
+       recovery still records this cycle. *)
+    let pv = t.fl_probes.Capture.pb_read () in
+    let tv = Array.map (fun tr -> tr.Capture.tr_read ()) t.fl_tracks in
+    t.fl_last_cycle <- cycle;
+    t.fl_ring.(t.fl_next) <- Some (cycle, pv, tv);
+    t.fl_next <- (t.fl_next + 1) mod t.fl_depth;
+    t.fl_count <- min t.fl_depth (t.fl_count + 1)
+  end
+
+(* Ring contents, oldest first. *)
+let samples t =
+  let start = (t.fl_next - t.fl_count + t.fl_depth) mod t.fl_depth in
+  List.init t.fl_count (fun i ->
+      Option.get t.fl_ring.((start + i) mod t.fl_depth))
+
+(* ------------------------------------------------------------------ *)
+(* Dumping                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let slug reason =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' -> c | _ -> '-')
+    (String.lowercase_ascii reason)
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* Per-channel live state: queue depth and the head (oldest in-flight)
+   token, read straight from the network queues. *)
+let channels_json t =
+  Json.List
+    (Libdn.Network.partitions t.fl_net
+    |> Array.to_list
+    |> List.concat_map (fun (p : Libdn.Network.partition) ->
+           Array.to_list p.Libdn.Network.pt_ins
+           |> List.map (fun (ic : Libdn.Network.in_chan) ->
+                  let q = ic.Libdn.Network.ic_queue in
+                  Json.Obj
+                    [
+                      ("partition", Json.String p.Libdn.Network.pt_name);
+                      ( "channel",
+                        Json.String ic.Libdn.Network.ic_spec.Libdn.Channel.name );
+                      ("depth", Json.Int (Libdn.Channel.Bqueue.length q));
+                      ( "last_token",
+                        match Libdn.Channel.Bqueue.peek_opt q with
+                        | Some tok ->
+                          Json.List
+                            (Array.to_list tok |> List.map (fun v -> Json.Int v))
+                        | None -> Json.Null );
+                    ])))
+
+(** Dumps the ring as [flight.vcd] + [flight.json] under a fresh
+    directory [<dir>/flight-c<cycle>-<reason>]; returns its path.
+    [snapshot] supplies the structured network state when the caller
+    already has one (the deadlock hook does); otherwise it is read
+    live. *)
+let dump ?snapshot t ~reason =
+  let snap =
+    match snapshot with Some s -> s | None -> Libdn.Network.introspect t.fl_net
+  in
+  let dir =
+    Filename.concat t.fl_dir
+      (Printf.sprintf "flight-c%d-%s"
+         (max 0 t.fl_last_cycle)
+         (slug reason))
+  in
+  mkdir_p dir;
+  let samples = samples t in
+  write_file
+    (Filename.concat dir "flight.vcd")
+    (Capture.render_vcd ~version:"fireaxe flight recorder" ~probes:t.fl_probes
+       ~tracks:t.fl_tracks ~offset:t.fl_offset ~samples ());
+  let first_cycle = match samples with (c, _, _) :: _ -> c | [] -> -1 in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "fireaxe-flight-1");
+        ("reason", Json.String reason);
+        ("first_cycle", Json.Int first_cycle);
+        ("last_cycle", Json.Int t.fl_last_cycle);
+        ("samples", Json.Int t.fl_count);
+        ( "probes",
+          Json.List
+            (Array.to_list
+               (Array.mapi
+                  (fun i name ->
+                    Json.Obj
+                      [
+                        ("name", Json.String name);
+                        ("scope", Json.String t.fl_probes.Capture.pb_scopes.(i));
+                        ("width", Json.Int t.fl_probes.Capture.pb_widths.(i));
+                      ])
+                  t.fl_probes.Capture.pb_names)) );
+        ( "blocked",
+          Json.List
+            (Telemetry.Snapshot.blocked snap
+            |> List.map (fun (part, chan) ->
+                   Json.Obj
+                     [
+                       ("partition", Json.String part);
+                       ("channel", Json.String chan);
+                     ])) );
+        ("channels", channels_json t);
+        ("network", Telemetry.Snapshot.to_json snap);
+      ]
+  in
+  write_file (Filename.concat dir "flight.json") (Json.to_string json);
+  t.fl_dumps <- dir :: t.fl_dumps;
+  dir
+
+(* A dump must never mask the failure that triggered it. *)
+let safe_dump ?snapshot t ~reason =
+  try ignore (dump ?snapshot t ~reason) with _ -> ()
+
+let last_dump t = match t.fl_dumps with [] -> None | d :: _ -> Some d
+let dumps t = List.rev t.fl_dumps
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make ?(depth = default_depth) ?(dir = "flight") ~probes ~tracks ~offset net =
+  if depth <= 0 then invalid_arg "Flight.create: depth must be positive";
+  let t =
+    {
+      fl_probes = probes;
+      fl_tracks = tracks;
+      fl_offset = offset;
+      fl_depth = depth;
+      fl_dir = dir;
+      fl_net = net;
+      fl_ring = Array.make depth None;
+      fl_next = 0;
+      fl_count = 0;
+      fl_last_cycle = min_int;
+      fl_dumps = [];
+    }
+  in
+  (* A deadlock dumps automatically, with the raise site's snapshot. *)
+  Libdn.Network.add_deadlock_hook net (fun snap ->
+      safe_dump ~snapshot:snap t ~reason:"deadlock");
+  t
+
+(** Flight recorder over a partitioned handle: watches [probes]
+    (resolved anywhere, local or remote) plus every boundary channel,
+    keeps the last [depth] recorded cycles, dumps under [dir].
+    Registers itself on the network's deadlock hook. *)
+let of_handle ?depth ?dir ?(probes = []) h =
+  make ?depth ?dir
+    ~probes:(Capture.resolve h probes)
+    ~tracks:(Capture.network_tracks h.Fireripper.Runtime.h_net)
+    ~offset:(Capture.seed_offset h)
+    h.Fireripper.Runtime.h_net
+
+(** Flight recorder over a bare LI-BDN network (no plan/handle), for
+    network-level harnesses: [probes] are (name, width, read) triples
+    rendered under a [top] scope. *)
+let of_network ?depth ?dir ?(probes = []) net =
+  let names = Array.of_list (List.map (fun (n, _, _) -> n) probes) in
+  let widths = Array.of_list (List.map (fun (_, w, _) -> w) probes) in
+  let reads = Array.of_list (List.map (fun (_, _, r) -> r) probes) in
+  make ?depth ?dir
+    ~probes:
+      {
+        Capture.pb_names = names;
+        pb_scopes = Array.make (Array.length names) "top";
+        pb_widths = widths;
+        pb_read = (fun () -> Array.map (fun r -> r ()) reads);
+      }
+    ~tracks:(Capture.network_tracks net) ~offset:0 net
+
+(* ------------------------------------------------------------------ *)
+(* Guarded execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Runs [f], dumping the ring before re-raising when it dies of a
+    worker crash, supervisor exhaustion, failed recovery, or a
+    simulator error.  Deadlocks are already dumped by the network hook,
+    so they pass through untouched. *)
+let guard t f =
+  try f () with
+  | Libdn.Remote_engine.Worker_died _ as e ->
+    safe_dump t ~reason:"worker-died";
+    raise e
+  | Resilience.Supervisor.Gave_up _ as e ->
+    safe_dump t ~reason:"gave-up";
+    raise e
+  | Resilience.Supervisor.Recovery_failed _ as e ->
+    safe_dump t ~reason:"recovery-failed";
+    raise e
+  | Rtlsim.Sim.Sim_error _ as e ->
+    safe_dump t ~reason:"sim-error";
+    raise e

@@ -1,0 +1,53 @@
+(** Post-mortem flight recorder: a bounded ring buffer of the last N
+    target cycles of watched signals and boundary-channel depths,
+    dumped automatically as a VCD + JSON bundle when the simulation
+    dies — LI-BDN deadlock (via {!Libdn.Network.add_deadlock_hook}),
+    worker death, supervisor exhaustion ({!guard}), or explicitly
+    ({!dump}, e.g. on an assertion failure).  The JSON names the
+    blocked channels and their last in-flight tokens. *)
+
+type t
+
+val default_depth : int
+
+(** Flight recorder over a partitioned handle: watches [probes]
+    (resolved anywhere — local or remote units; raises
+    {!Capture.Unknown_signal} for unresolvable names) plus every
+    boundary channel, keeps the last [depth] (default
+    {!default_depth}) recorded cycles, dumps under [dir] (default
+    ["flight"]).  Registers itself on the network's deadlock hook. *)
+val of_handle :
+  ?depth:int -> ?dir:string -> ?probes:string list -> Fireripper.Runtime.handle -> t
+
+(** Flight recorder over a bare LI-BDN network: [probes] are
+    (name, width, read) triples rendered under a [top] scope. *)
+val of_network :
+  ?depth:int ->
+  ?dir:string ->
+  ?probes:(string * int * (unit -> int)) list ->
+  Libdn.Network.t ->
+  t
+
+(** Records the watched values for target cycle [cycle]; the oldest
+    sample is evicted once the ring is full.  Re-recording a cycle is a
+    no-op (rollback + re-execution safe). *)
+val record : t -> cycle:int -> unit
+
+(** Dumps the ring as [flight.vcd] + [flight.json] under a fresh
+    directory [<dir>/flight-c<cycle>-<reason>]; returns its path.
+    [snapshot] supplies the structured network state when already
+    captured (the deadlock hook passes the raise site's). *)
+val dump : ?snapshot:Telemetry.Snapshot.t -> t -> reason:string -> string
+
+(** The newest dump directory, if any dump happened. *)
+val last_dump : t -> string option
+
+(** Every dump directory, oldest first. *)
+val dumps : t -> string list
+
+(** Runs [f], dumping the ring before re-raising when it dies of a
+    worker crash ({!Libdn.Remote_engine.Worker_died}), supervisor
+    exhaustion ({!Resilience.Supervisor.Gave_up}), failed recovery, or
+    a simulator error.  Deadlocks are already dumped by the network
+    hook and pass through untouched. *)
+val guard : t -> (unit -> 'a) -> 'a

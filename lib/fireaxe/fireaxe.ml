@@ -27,6 +27,7 @@ module Counters = Fireripper.Counters
 module Tracer = Fireripper.Tracer
 module Clockdiv = Goldengate.Clockdiv
 module Resilience = Resilience
+module Debug = Debug
 
 (** Compiles a monolithic circuit into a partition plan. *)
 let compile = Compile.compile
@@ -95,18 +96,48 @@ type validation = {
   v_fast_cycles : int;
   v_exact_error_pct : float;
   v_fast_error_pct : float;
+  v_divergence : Debug.Capture.divergence option;
+      (** first divergent (cycle, signal) between the monolithic and
+          exact-partitioned runs, when [probes] were given *)
 }
 
 let error_pct ~reference cycles =
   100. *. Float.abs (float_of_int (cycles - reference)) /. float_of_int reference
 
+(** Runs the same workload monolithically and exact-partitioned side by
+    side for [cycles] target cycles, capturing [probes] on both, and
+    returns the first divergent (cycle, signal) — [None] certifies the
+    partitioning cycle-exact over the watched signals.  [mode] defaults
+    to exact; pass [Spec.Fast] to measure where the injected boundary
+    latency first becomes architecturally visible. *)
+let wave_diff ?(scheduler = Libdn.Scheduler.default) ?(mode = Spec.Exact)
+    ~circuit ~selection ?(setup = fun ~poke:_ -> ()) ~probes ~cycles () =
+  let mono = Rtlsim.Sim.of_circuit (circuit ()) in
+  setup ~poke:(fun ~mem addr v -> Rtlsim.Sim.poke_mem mono mem addr v);
+  let config = { Spec.default_config with Spec.mode; selection } in
+  let plan = compile ~config (circuit ()) in
+  let handle = instantiate ~scheduler plan in
+  setup ~poke:(fun ~mem addr v ->
+      let u = Runtime.locate handle mem in
+      Rtlsim.Sim.poke_mem (Runtime.sim_of handle u) mem addr v);
+  let ca = Debug.Capture.of_sim mono ~probes in
+  let cb = Debug.Capture.of_handle ~channels:false handle ~probes in
+  for c = 1 to cycles do
+    Rtlsim.Sim.step mono;
+    Runtime.run handle ~cycles:c;
+    Debug.Capture.sample ca ~cycle:c;
+    Debug.Capture.sample cb ~cycle:c
+  done;
+  Debug.Capture.diff ca cb
+
 (** Runs the same workload monolithically, exact-partitioned and
     fast-partitioned, and reports cycle counts and error rates.
     [circuit] is re-generated per run so simulations are independent.
-    [scheduler] picks the execution policy of the partitioned runs; the
-    results are identical either way (LI-BDN determinism). *)
-let validate ?(scheduler = Libdn.Scheduler.default) ~name ~circuit ~selection
-    ?(setup = fun ~poke:_ -> ()) ~finished ?(max_cycles = 1_000_000) () =
+    When [probes] are given, a side-by-side {!wave_diff} of the
+    monolithic and exact runs localizes any divergence. *)
+let validate ?(scheduler = Libdn.Scheduler.default) ?(probes = []) ~name
+    ~circuit ~selection ?(setup = fun ~poke:_ -> ()) ~finished
+    ?(max_cycles = 1_000_000) () =
   let mono =
     run_monolithic_until (circuit ()) ~setup ~finished ~max_cycles
   in
@@ -118,6 +149,10 @@ let validate ?(scheduler = Libdn.Scheduler.default) ~name ~circuit ~selection
   in
   let exact = partitioned Spec.Exact in
   let fast = partitioned Spec.Fast in
+  let divergence =
+    if probes = [] then None
+    else wave_diff ~scheduler ~circuit ~selection ~setup ~probes ~cycles:mono ()
+  in
   {
     v_name = name;
     v_monolithic_cycles = mono;
@@ -125,6 +160,7 @@ let validate ?(scheduler = Libdn.Scheduler.default) ~name ~circuit ~selection
     v_fast_cycles = fast;
     v_exact_error_pct = error_pct ~reference:mono exact;
     v_fast_error_pct = error_pct ~reference:mono fast;
+    v_divergence = divergence;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -147,13 +183,14 @@ type divergence = {
     bad cycle and signal.  Returns [None] if no divergence appears
     within [max_cycles]. *)
 let find_divergence ~golden ~handle ~signals ?(stride = 500) ~max_cycles () =
-  let units = List.map (fun s -> (s, Runtime.locate handle s)) signals in
-  let differs () =
-    List.find_opt
-      (fun (s, u) ->
-        Rtlsim.Sim.get golden s <> Rtlsim.Sim.get (Runtime.sim_of handle u) s)
-      units
+  (* One batched reader per side: the partitioned probes resolve into
+     whichever unit holds them — a local simulator or a remote worker
+     (one [sample] round trip per worker). *)
+  let pb = Debug.Capture.resolve handle signals in
+  let golden_read () =
+    Array.of_list (List.map (Rtlsim.Sim.get golden) signals)
   in
+  let differs () = golden_read () <> pb.Debug.Capture.pb_read () in
   let run_both ~upto =
     while Rtlsim.Sim.cycle golden < upto do
       Rtlsim.Sim.step golden
@@ -167,32 +204,38 @@ let find_divergence ~golden ~handle ~signals ?(stride = 500) ~max_cycles () =
       let golden_state = Rtlsim.Sim.save_state golden in
       let restore_handle = Runtime.checkpoint handle in
       run_both ~upto;
-      match differs () with
-      | None -> window upto
-      | Some _ ->
-        (* Roll back and replay this window one cycle at a time.
+      if not (differs ()) then window upto
+      else begin
+        (* Roll back and replay this window one cycle at a time,
+           capturing every watched signal on both sides; the capture
+           diff pinpoints the first divergent (cycle, signal).
            [restore_state] restores the cycle counter along with the
            architectural state, so the replay resumes right at the
            window start. *)
         Rtlsim.Sim.restore_state golden golden_state;
         restore_handle ();
+        let ca = Debug.Capture.of_sim golden ~probes:signals in
+        let cb = Debug.Capture.of_probes pb in
         let rec fine c =
           if c > upto then None
           else begin
             run_both ~upto:c;
-            match differs () with
-            | Some (s, u) ->
+            Debug.Capture.sample ca ~cycle:c;
+            Debug.Capture.sample cb ~cycle:c;
+            match Debug.Capture.diff ca cb with
+            | Some dv ->
               Some
                 {
-                  d_cycle = c;
-                  d_signal = s;
-                  d_golden = Rtlsim.Sim.get golden s;
-                  d_partitioned = Rtlsim.Sim.get (Runtime.sim_of handle u) s;
+                  d_cycle = dv.Debug.Capture.dv_cycle;
+                  d_signal = dv.Debug.Capture.dv_signal;
+                  d_golden = dv.Debug.Capture.dv_a;
+                  d_partitioned = dv.Debug.Capture.dv_b;
                 }
             | None -> fine (c + 1)
           end
         in
         fine (Rtlsim.Sim.cycle golden + 1)
+      end
     end
   in
   window 0

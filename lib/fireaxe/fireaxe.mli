@@ -31,6 +31,10 @@ module Clockdiv = Goldengate.Clockdiv
     supervision, and deterministic fault injection. *)
 module Resilience = Resilience
 
+(** Partition-aware waveform capture ({!Debug.Capture}) and the
+    post-mortem flight recorder ({!Debug.Flight}). *)
+module Debug = Debug
+
 val compile : ?config:Spec.config -> Firrtl.Ast.circuit -> Plan.t
 val report : Plan.t -> Report.t
 
@@ -86,13 +90,37 @@ type validation = {
   v_fast_cycles : int;
   v_exact_error_pct : float;
   v_fast_error_pct : float;
+  v_divergence : Debug.Capture.divergence option;
+      (** first divergent (cycle, signal) between the monolithic and
+          exact-partitioned runs, when [probes] were given *)
 }
+
+(** Runs the same workload monolithically and exact-partitioned side by
+    side for [cycles] target cycles, capturing [probes] on both, and
+    returns the first divergent (cycle, signal) — [None] certifies the
+    partitioning cycle-exact over the watched signals.  [mode] defaults
+    to exact; pass [Spec.Fast] to measure where the injected boundary
+    latency first becomes architecturally visible. *)
+val wave_diff :
+  ?scheduler:Libdn.Scheduler.t ->
+  ?mode:Spec.mode ->
+  circuit:(unit -> Firrtl.Ast.circuit) ->
+  selection:Spec.selection ->
+  ?setup:(poke:(mem:string -> int -> int -> unit) -> unit) ->
+  probes:string list ->
+  cycles:int ->
+  unit ->
+  Debug.Capture.divergence option
 
 (** Runs the same workload monolithically, exact-partitioned and
     fast-partitioned (Table II): exact is always cycle-identical.
-    [scheduler] picks the execution policy of the partitioned runs. *)
+    [scheduler] picks the execution policy of the partitioned runs.
+    When [probes] are given, a side-by-side {!wave_diff} of the
+    monolithic and exact runs localizes any divergence into
+    [v_divergence]. *)
 val validate :
   ?scheduler:Libdn.Scheduler.t ->
+  ?probes:string list ->
   name:string ->
   circuit:(unit -> Firrtl.Ast.circuit) ->
   selection:Spec.selection ->

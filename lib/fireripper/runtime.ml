@@ -244,18 +244,27 @@ let sim_of h k =
   | None -> invalid_arg "sim_of: unit is FAME-5 threaded; use fame5_of"
 
 (** Which unit ended up holding the (flattened) signal or memory [name],
-    searching all units.  Returns (unit index, name). *)
+    searching local simulators first, then remote workers over the pipe
+    protocol.  [None] when no unit holds it. *)
+let locate_opt h name =
+  let local k =
+    match h.h_sims.(k) with
+    | Some sim ->
+      Hashtbl.mem sim.Rtlsim.Sim.slots name || Hashtbl.mem sim.Rtlsim.Sim.mems name
+    | None -> false
+  in
+  let remote k =
+    match h.h_remote.(k) with
+    | Some conn -> Libdn.Remote_engine.has conn name
+    | None -> false
+  in
+  let n = Array.length h.h_sims in
+  let rec find pred k = if k >= n then None else if pred k then Some k else find pred (k + 1) in
+  match find local 0 with Some _ as s -> s | None -> find remote 0
+
+(** Like {!locate_opt}, raising [Invalid_argument] when absent. *)
 let locate h name =
-  let found = ref None in
-  Array.iteri
-    (fun k sim ->
-      match sim with
-      | Some sim when !found = None ->
-        if Hashtbl.mem sim.Rtlsim.Sim.slots name || Hashtbl.mem sim.Rtlsim.Sim.mems name
-        then found := Some k
-      | _ -> ())
-    h.h_sims;
-  match !found with
+  match locate_opt h name with
   | Some k -> k
   | None -> invalid_arg (Printf.sprintf "locate: %s not found in any unit" name)
 

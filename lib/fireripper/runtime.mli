@@ -81,7 +81,12 @@ val fame5_of : handle -> int -> Goldengate.Fame5.t option
     state inspection).  Raises for FAME-5 units. *)
 val sim_of : handle -> int -> Rtlsim.Sim.t
 
-(** Which unit holds the (flattened) signal or memory [name]. *)
+(** Which unit holds the (flattened) signal or memory [name]: local
+    simulators first, then remote workers over the pipe protocol.
+    [None] when no unit holds it. *)
+val locate_opt : handle -> string -> int option
+
+(** Like {!locate_opt}, raising [Invalid_argument] when absent. *)
 val locate : handle -> string -> int
 
 (** Captures the entire partitioned simulation; the thunk rolls back. *)

@@ -63,6 +63,10 @@ type t = {
   tel_on : bool;
       (** cached [Telemetry.enabled tel]: gates instrumentation that must
           do extra work to compute a sample (queue lengths) *)
+  mutable on_deadlock : (Telemetry.Snapshot.t -> unit) list;
+      (** observers invoked (newest last) before {!raise_deadlock}
+          raises — how a flight recorder dumps post-mortem state without
+          this layer depending on it *)
 }
 
 exception Deadlock of string
@@ -78,9 +82,15 @@ let create ?(queue_capacity = default_queue_capacity) ?(telemetry = Telemetry.nu
     token_transfers = Atomic.make 0;
     tel = telemetry;
     tel_on = Telemetry.enabled telemetry;
+    on_deadlock = [];
   }
 
 let telemetry t = t.tel
+
+(** Registers an observer of {!raise_deadlock}: it receives the
+    structured snapshot before the {!Deadlock} exception propagates.
+    Observer exceptions are swallowed — the deadlock must surface. *)
+let add_deadlock_hook t f = t.on_deadlock <- f :: t.on_deadlock
 
 (** Declares a partition.  [outs] gives each output channel's spec
     together with the names of the input channels it combinationally
@@ -391,6 +401,7 @@ let deadlock_message t =
 let raise_deadlock t =
   let snap = introspect t in
   Telemetry.record_deadlock t.tel snap;
+  List.iter (fun f -> try f snap with _ -> ()) (List.rev t.on_deadlock);
   raise
     (Deadlock
        ("LI-BDN deadlock: network is quiescent — no output channel can fire \

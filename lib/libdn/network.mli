@@ -130,9 +130,16 @@ val record_stall : partition -> string option
 (** The message schedulers put in {!Deadlock} (includes {!diagnose}). *)
 val deadlock_message : t -> string
 
+(** Registers an observer of {!raise_deadlock}: it receives the
+    structured snapshot before the {!Deadlock} exception propagates
+    (how a flight recorder dumps post-mortem state without this layer
+    depending on it).  Observer exceptions are swallowed. *)
+val add_deadlock_hook : t -> (Telemetry.Snapshot.t -> unit) -> unit
+
 (** Captures {!introspect}, records it on the telemetry sinks (metrics
-    registry and trace collector), and raises {!Deadlock} with the human
-    rendering embedded in the message. *)
+    registry and trace collector), notifies {!add_deadlock_hook}
+    observers, and raises {!Deadlock} with the human rendering embedded
+    in the message. *)
 val raise_deadlock : t -> 'a
 
 (** Captures the whole network (engine state, in-flight tokens, fired

@@ -12,6 +12,8 @@
      set <name> <int>          -> (no reply)
      eval | step | runcone <id> | restore <id>   -> (no reply)
      get <name>                -> <int>
+     sample <name...>          -> space-joined ints, one per name
+     width <name>              -> <int> (-1: not a signal there)
      deps <port>               -> space-joined names (possibly empty)
      cone <root...>            -> <id>
      checkpoint                -> <id>
@@ -336,6 +338,37 @@ let get conn name = ask_int conn "get %s" name
 
 (** Whether the remote unit holds a signal or memory of that name. *)
 let has conn name = ask_int conn "has %s" name <> 0
+
+(** Reads many remote signals in ONE round trip (the waveform-capture
+    hot path: per-cycle sampling pays one RTT per worker, not one per
+    signal).  Values come back in request order. *)
+let sample conn names =
+  match names with
+  | [] -> []
+  | _ ->
+    let line = "sample " ^ String.concat " " names in
+    let reply = ask conn "%s" line in
+    let values =
+      String.split_on_char ' ' reply
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some v -> v
+             | None ->
+               failwith
+                 (Printf.sprintf "remote engine: bad sample reply %S to %S" reply line))
+    in
+    if List.length values <> List.length names then
+      failwith
+        (Printf.sprintf "remote engine: sample reply has %d values for %d names"
+           (List.length values) (List.length names));
+    values
+
+(** The width in bits of a remote SIGNAL; [None] when the worker holds
+    no signal of that name (memories included — they cannot be
+    waveform-sampled). *)
+let signal_width conn name =
+  match ask_int conn "width %s" name with -1 -> None | w -> Some w
 
 (* ------------------------------------------------------------------ *)
 (* Durable state transfer                                              *)

@@ -64,6 +64,14 @@ val get : conn -> string -> int
 (** Whether the remote unit holds a signal or memory of that name. *)
 val has : conn -> string -> bool
 
+(** Reads many remote signals in one round trip (the waveform-capture
+    hot path); values in request order. *)
+val sample : conn -> string list -> int list
+
+(** The width in bits of a remote signal; [None] when the worker holds
+    no signal of that name. *)
+val signal_width : conn -> string -> int option
+
 (** The remote unit's full architectural state as the standard
     {!Rtlsim.Sim.state_to_string} text — what lets durable
     whole-simulation checkpoints cover remote partitions. *)

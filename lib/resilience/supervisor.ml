@@ -36,6 +36,8 @@ type t = {
   sv_recovery_us : Telemetry.hist;
   mutable sv_restarts : int;  (** total respawns over the supervisor's life *)
   mutable sv_consecutive : int;  (** failures since the last completed chunk *)
+  mutable sv_last_ckpt : int;  (** cycle of the newest bundle this supervisor wrote *)
+  mutable sv_floored : bool;  (** the recovery-floor bundle check already ran *)
 }
 
 let create ?checkpoint_dir ?(every = 1000) ?(policy = Policy.default) ?chaos
@@ -56,6 +58,8 @@ let create ?checkpoint_dir ?(every = 1000) ?(policy = Policy.default) ?chaos
     sv_recovery_us = Telemetry.hist tel "resilience.recovery_us";
     sv_restarts = 0;
     sv_consecutive = 0;
+    sv_last_ckpt = 0;
+    sv_floored = false;
   }
 
 let handle t = t.sv_handle
@@ -71,6 +75,7 @@ let checkpoint t =
     Telemetry.observe t.sv_ckpt_us
       (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
     Telemetry.incr t.sv_ckpts;
+    t.sv_last_ckpt <- cycle0 t;
     t.sv_on_event (Checkpointed { cycle = cycle0 t; path });
     Some path
 
@@ -119,6 +124,8 @@ let recover t =
   Telemetry.observe t.sv_recovery_us
     (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
 
+(* Also exposed as [heal]: the same path serves crashes observed
+   outside [run], e.g. during an out-of-band waveform sample. *)
 let on_death t ~label ~status =
   t.sv_on_event (Worker_down { label; status });
   t.sv_consecutive <- t.sv_consecutive + 1;
@@ -126,6 +133,8 @@ let on_death t ~label ~status =
     raise (Gave_up { label; attempts = t.sv_consecutive });
   Policy.sleep_ms (Policy.delay_ms t.sv_policy ~attempt:t.sv_consecutive);
   recover t
+
+let heal = on_death
 
 (* Fire the next due chaos kill: advance to its cycle, then SIGKILL the
    victim worker.  The death surfaces as [Worker_died] on the next
@@ -142,10 +151,15 @@ let fire_kill t (k : Chaos.kill) =
     Chaos.sigkill (Libdn.Remote_engine.pid conn)
 
 let run t ~cycles:target =
-  (* A recovery floor must exist before anything can crash. *)
-  (match t.sv_dir with
-  | Some dir when Bundle.list_bundles ~dir = [] -> ignore (checkpoint t)
-  | _ -> ());
+  (* A recovery floor must exist before anything can crash (checked
+     once: callers that advance cycle by cycle — waveform capture —
+     must not pay a directory listing per target cycle). *)
+  if not t.sv_floored then begin
+    (match t.sv_dir with
+    | Some dir when Bundle.list_bundles ~dir = [] -> ignore (checkpoint t)
+    | _ -> ());
+    t.sv_floored <- true
+  end;
   let rec step () =
     let now = cycle0 t in
     if now < target then begin
@@ -156,7 +170,11 @@ let run t ~cycles:target =
         match Fireripper.Runtime.run t.sv_handle ~cycles:next with
         | () ->
           t.sv_consecutive <- 0;
-          ignore (checkpoint t)
+          (* Checkpoint on interval boundaries, not per chunk: a caller
+             driving the supervisor one target cycle at a time (the
+             capture loop) still gets a bundle every [sv_every] cycles
+             rather than one per cycle. *)
+          if cycle0 t - t.sv_last_ckpt >= t.sv_every then ignore (checkpoint t)
         | exception Libdn.Remote_engine.Worker_died { label; status; _ } ->
           on_death t ~label ~status));
       step ()

@@ -64,6 +64,14 @@ val run : t -> cycles:int -> unit
 (** Takes a checkpoint right now; [None] without a checkpoint dir. *)
 val checkpoint : t -> string option
 
+(** Runs the full death-recovery path for a crash observed {e outside}
+    {!run} — e.g. a {!Libdn.Remote_engine.Worker_died} raised by an
+    out-of-band read such as a waveform sample: emits [Worker_down],
+    charges the restart budget (raising {!Gave_up} past it), respawns
+    dead workers and rolls the network back to the newest restorable
+    bundle.  The caller then re-advances with {!run}. *)
+val heal : t -> label:string -> status:string -> unit
+
 (** Closes every remote worker connection (bounded, idempotent). *)
 val close : t -> unit
 

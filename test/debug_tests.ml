@@ -1,0 +1,435 @@
+(* Tests for lib/debug: the deterministic VCD writer, partition-aware
+   waveform capture (byte-identical probe traces across monolithic,
+   partitioned-local and partitioned-remote runs of every example
+   design), divergence localization with Capture.diff, and the
+   post-mortem flight recorder (deadlock dumps naming the blocked
+   channels, ring bounding, capture under a checkpointing supervisor). *)
+
+module FR = Fireripper
+module D = Debug
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let worker =
+  Filename.concat
+    (Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin")
+    "fireaxe_worker.exe"
+
+let designs_dir =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "examples/designs"
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "fireaxe_debug" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* The deterministic VCD writer                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_writer_dedups_and_orders () =
+  let w = Rtlsim.Vcd.Writer.create ~version:"t" () in
+  Rtlsim.Vcd.Writer.scope w "top";
+  let a = Rtlsim.Vcd.Writer.var w ~name:"a" ~width:1 in
+  let b = Rtlsim.Vcd.Writer.var w ~name:"b" ~width:8 in
+  Rtlsim.Vcd.Writer.upscope w;
+  Rtlsim.Vcd.Writer.time w 1;
+  Rtlsim.Vcd.Writer.change w a 1;
+  Rtlsim.Vcd.Writer.change w b 5;
+  Rtlsim.Vcd.Writer.time w 2;
+  (* Unchanged values emit nothing — the timestamp stays pending and is
+     dropped entirely. *)
+  Rtlsim.Vcd.Writer.change w a 1;
+  Rtlsim.Vcd.Writer.change w b 5;
+  Rtlsim.Vcd.Writer.time w 3;
+  Rtlsim.Vcd.Writer.change w b 6;
+  let doc = Rtlsim.Vcd.Writer.contents w in
+  check_bool "no dead timestamp" false (contains doc "#2");
+  check_bool "first cycle present" true (contains doc "#1");
+  check_bool "change at 3 present" true (contains doc "#3\nb00000110");
+  check_bool "scalar format" true (contains doc "\n1!");
+  (* Time must be monotone. *)
+  check_bool "backwards time rejected" true
+    (try
+       Rtlsim.Vcd.Writer.time w 2;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identical probe traces: monolithic vs partitioned              *)
+(* ------------------------------------------------------------------ *)
+
+(* Probe registers per example design; the first main-module instance
+   is the extracted partition, so every list crosses the cut. *)
+let example_probes = function
+  | "counter.fir" -> [ "a$acc"; "b$acc"; "seed" ]
+  | "pingpong.fir" -> [ "a$hits"; "a$v"; "b$have" ]
+  | "blinker.fir" -> [ "b$c" ]
+  | f -> failwith ("no probes for " ^ f)
+
+let load_design file =
+  let circuit = Firrtl.Text.load ~path:(Filename.concat designs_dir file) in
+  let first_inst =
+    match Firrtl.Hierarchy.instances (Firrtl.Ast.main_module circuit) with
+    | (name, _) :: _ -> name
+    | [] -> failwith (file ^ ": no instances to partition")
+  in
+  (circuit, first_inst)
+
+let exact_plan circuit first_inst =
+  let config =
+    {
+      FR.Spec.default_config with
+      FR.Spec.selection = FR.Spec.Instances [ [ first_inst ] ];
+    }
+  in
+  FR.Compile.compile ~config circuit
+
+(* Runs the monolithic simulation and the partitioned handle side by
+   side for [cycles], capturing [probes] on both; returns both
+   captures. *)
+let capture_both ~mono ~handle ~probes ~cycles =
+  let ca = D.Capture.of_sim mono ~probes in
+  let cb = D.Capture.of_handle handle ~probes in
+  for c = 1 to cycles do
+    Rtlsim.Sim.step mono;
+    FR.Runtime.run handle ~cycles:c;
+    D.Capture.sample ca ~cycle:c;
+    D.Capture.sample cb ~cycle:c
+  done;
+  (ca, cb)
+
+let byte_identical_trace ~scheduler ~remote file =
+  let circuit, first_inst = load_design file in
+  let plan = exact_plan circuit first_inst in
+  let mono = Rtlsim.Sim.of_circuit circuit in
+  let handle, conns =
+    if remote then FR.Runtime.instantiate_remote ~scheduler ~worker ~remote_units:[ 1 ] plan
+    else (FR.Runtime.instantiate ~scheduler plan, [])
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, c) -> Libdn.Remote_engine.close c) conns)
+    (fun () ->
+      let probes = example_probes file in
+      let ca, cb = capture_both ~mono ~handle ~probes ~cycles:60 in
+      check_string
+        (Printf.sprintf "%s probe trace (%s%s)" file
+           (Libdn.Scheduler.name scheduler)
+           (if remote then ", remote" else ""))
+        (D.Capture.probe_trace ca) (D.Capture.probe_trace cb))
+
+let test_byte_identity_local () =
+  List.iter
+    (fun file ->
+      List.iter
+        (fun scheduler -> byte_identical_trace ~scheduler ~remote:false file)
+        [ Libdn.Scheduler.Sequential; Libdn.Scheduler.Parallel ])
+    [ "counter.fir"; "pingpong.fir"; "blinker.fir" ]
+
+let test_byte_identity_remote () =
+  List.iter
+    (fun scheduler -> byte_identical_trace ~scheduler ~remote:true "counter.fir")
+    [ Libdn.Scheduler.Sequential; Libdn.Scheduler.Parallel ]
+
+let test_merged_vcd_shape () =
+  (* The merged document scopes probes by owning partition and adds the
+     boundary channels as a track scope, timestamps monotone. *)
+  let circuit, first_inst = load_design "counter.fir" in
+  let plan = exact_plan circuit first_inst in
+  let h = FR.Runtime.instantiate plan in
+  let cap = D.Capture.of_handle h ~probes:(example_probes "counter.fir") in
+  for c = 1 to 20 do
+    FR.Runtime.run h ~cycles:c;
+    D.Capture.sample cap ~cycle:c
+  done;
+  let doc = D.Capture.contents cap in
+  check_bool "header" true (contains doc "$enddefinitions $end");
+  check_bool "channels scope" true (contains doc "$scope module channels $end");
+  let scopes =
+    String.split_on_char '\n' doc
+    |> List.filter (fun l -> String.length l > 6 && String.sub l 0 6 = "$scope")
+  in
+  check_int "one scope per partition plus channels"
+    (FR.Plan.n_units plan + 1)
+    (List.length scopes);
+  (* Timestamps strictly increase. *)
+  let times =
+    String.split_on_char '\n' doc
+    |> List.filter_map (fun l ->
+           if String.length l > 1 && l.[0] = '#' then
+             int_of_string_opt (String.sub l 1 (String.length l - 1))
+           else None)
+  in
+  check_bool "monotone timestamps" true
+    (List.for_all2
+       (fun a b -> a < b)
+       (List.filteri (fun i _ -> i < List.length times - 1) times)
+       (List.tl times))
+
+let test_unknown_signal_rejected () =
+  let circuit, first_inst = load_design "counter.fir" in
+  let h = FR.Runtime.instantiate (exact_plan circuit first_inst) in
+  match D.Capture.of_handle h ~probes:[ "a$acc"; "nope1"; "nope2" ] with
+  | _ -> Alcotest.fail "expected Unknown_signal"
+  | exception D.Capture.Unknown_signal names ->
+    check_bool "lists every unresolvable name" true
+      (List.mem "nope1" names && List.mem "nope2" names
+      && not (List.mem "a$acc" names))
+
+let test_fast_mode_offset_remaps_tracks () =
+  let circuit, first_inst = load_design "counter.fir" in
+  let config =
+    {
+      FR.Spec.default_config with
+      FR.Spec.mode = FR.Spec.Fast;
+      FR.Spec.selection = FR.Spec.Instances [ [ first_inst ] ];
+    }
+  in
+  let fast = FR.Runtime.instantiate (FR.Compile.compile ~config circuit) in
+  let exact = FR.Runtime.instantiate (exact_plan circuit first_inst) in
+  check_int "fast seed offset" 1 (D.Capture.seed_offset fast);
+  check_int "exact seed offset" 0 (D.Capture.seed_offset exact);
+  (* With offset 1, the channel event of target cycle 1 lands at #0 —
+     before any probe event. *)
+  let cap = D.Capture.of_handle fast ~probes:[ "seed" ] in
+  for c = 1 to 5 do
+    FR.Runtime.run fast ~cycles:c;
+    D.Capture.sample cap ~cycle:c
+  done;
+  check_bool "remapped track event at #0" true
+    (contains (D.Capture.contents cap) "\n#0\n")
+
+(* ------------------------------------------------------------------ *)
+(* Divergence localization                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_diff_pinpoints_seeded_divergence () =
+  let circuit, first_inst = load_design "counter.fir" in
+  let plan = exact_plan circuit first_inst in
+  let mono = Rtlsim.Sim.of_circuit circuit in
+  let h = FR.Runtime.instantiate plan in
+  let probes = example_probes "counter.fir" in
+  let ca = D.Capture.of_sim mono ~probes in
+  let cb = D.Capture.of_handle h ~probes in
+  for c = 1 to 40 do
+    Rtlsim.Sim.step mono;
+    FR.Runtime.run h ~cycles:c;
+    D.Capture.sample ca ~cycle:c;
+    D.Capture.sample cb ~cycle:c;
+    (* Seed a single-register corruption into the partitioned side
+       right after cycle 20 was sampled. *)
+    if c = 20 then begin
+      let u = FR.Runtime.locate h "a$acc" in
+      let sim = FR.Runtime.sim_of h u in
+      Rtlsim.Sim.set_input sim "a$acc" (Rtlsim.Sim.get sim "a$acc" lxor 1)
+    end
+  done;
+  match D.Capture.diff ca cb with
+  | None -> Alcotest.fail "expected a divergence"
+  | Some dv ->
+    check_int "first divergent cycle" 21 dv.D.Capture.dv_cycle;
+    check_string "first divergent signal" "a$acc" dv.D.Capture.dv_signal;
+    check_bool "values differ" true (dv.D.Capture.dv_a <> dv.D.Capture.dv_b)
+
+let test_diff_silent_when_identical () =
+  let circuit, first_inst = load_design "blinker.fir" in
+  let mono = Rtlsim.Sim.of_circuit circuit in
+  let h = FR.Runtime.instantiate (exact_plan circuit first_inst) in
+  let ca, cb =
+    capture_both ~mono ~handle:h ~probes:(example_probes "blinker.fir") ~cycles:50
+  in
+  check_bool "no divergence" true (D.Capture.diff ca cb = None)
+
+let test_find_divergence_uses_capture () =
+  (* The §V-A workflow end to end through the new capture plumbing:
+     corrupt one partitioned register up front, then hunt. *)
+  let circuit, first_inst = load_design "counter.fir" in
+  let golden = Rtlsim.Sim.of_circuit circuit in
+  let h = FR.Runtime.instantiate (exact_plan circuit first_inst) in
+  let u = FR.Runtime.locate h "b$acc" in
+  Rtlsim.Sim.set_input (FR.Runtime.sim_of h u) "b$acc" 7;
+  match
+    Fireaxe.find_divergence ~golden ~handle:h
+      ~signals:[ "a$acc"; "b$acc" ] ~stride:16 ~max_cycles:200 ()
+  with
+  | None -> Alcotest.fail "expected a divergence"
+  | Some d ->
+    check_string "signal" "b$acc" d.Fireaxe.d_signal;
+    check_bool "cycle in first window" true (d.Fireaxe.d_cycle <= 16)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_member name j =
+  match Telemetry.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "flight.json: missing %S" name
+
+let test_flight_dumps_on_deadlock () =
+  (* The Fig. 2a merged-channel network deadlocks on the first cycle;
+     the recorder's network hook must dump a bundle naming the blocked
+     channels and their (empty) queues. *)
+  with_tmpdir (fun dir ->
+      let net, p1, _ = Libdn_tests.build_pair_network ~split:false ~seeded:false in
+      let read_x () =
+        (Libdn.Network.partition net p1).Libdn.Network.pt_engine.Libdn.Engine.get "x"
+      in
+      let fl =
+        D.Flight.of_network ~depth:16 ~dir ~probes:[ ("p1.x", 8, read_x) ] net
+      in
+      (try
+         Libdn.Scheduler.run net ~cycles:1;
+         Alcotest.fail "expected deadlock"
+       with Libdn.Network.Deadlock _ -> ());
+      match D.Flight.last_dump fl with
+      | None -> Alcotest.fail "deadlock must dump a flight bundle"
+      | Some d ->
+        check_bool "dump dir under requested root" true
+          (String.length d > String.length dir && String.sub d 0 (String.length dir) = dir);
+        check_bool "vcd written" true
+          (contains (read_file (Filename.concat d "flight.vcd")) "$enddefinitions");
+        let j =
+          match Telemetry.Json.parse (read_file (Filename.concat d "flight.json")) with
+          | Ok j -> j
+          | Error m -> Alcotest.failf "flight.json unparsable: %s" m
+        in
+        check_bool "reason" true
+          (Telemetry.Json.to_str (json_member "reason" j) = Some "deadlock");
+        let blocked = Option.get (Telemetry.Json.to_list (json_member "blocked" j)) in
+        check_bool "names blocked channels" true (List.length blocked > 0);
+        List.iter
+          (fun b ->
+            check_bool "blocked channel is the merged input" true
+              (Telemetry.Json.to_str (json_member "channel" b) = Some "in"))
+          blocked;
+        let channels = Option.get (Telemetry.Json.to_list (json_member "channels" j)) in
+        check_int "one entry per input channel" 2 (List.length channels);
+        List.iter
+          (fun c ->
+            check_bool "starved queue" true
+              (Telemetry.Json.to_int (json_member "depth" c) = Some 0))
+          channels)
+
+let test_flight_ring_is_bounded () =
+  with_tmpdir (fun dir ->
+      let net, p1, _ = Libdn_tests.build_pair_network ~split:true ~seeded:false in
+      let read_x () =
+        (Libdn.Network.partition net p1).Libdn.Network.pt_engine.Libdn.Engine.get "x"
+      in
+      let fl =
+        D.Flight.of_network ~depth:16 ~dir ~probes:[ ("p1.x", 8, read_x) ] net
+      in
+      for c = 1 to 100 do
+        Libdn.Scheduler.run net ~cycles:c;
+        D.Flight.record fl ~cycle:c
+      done;
+      let d = D.Flight.dump fl ~reason:"test reason!" in
+      check_bool "reason slugged into the dir name" true
+        (contains d "flight-c100-test-reason-");
+      let j =
+        match Telemetry.Json.parse (read_file (Filename.concat d "flight.json")) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "flight.json unparsable: %s" m
+      in
+      check_bool "ring keeps the last 16" true
+        (Telemetry.Json.to_int (json_member "samples" j) = Some 16);
+      check_bool "first retained cycle" true
+        (Telemetry.Json.to_int (json_member "first_cycle" j) = Some 85);
+      check_bool "last cycle" true
+        (Telemetry.Json.to_int (json_member "last_cycle" j) = Some 100))
+
+let test_capture_under_supervisor () =
+  (* Per-cycle capture driving a checkpointing supervisor must neither
+     corrupt the trace (rollback re-execution) nor checkpoint per
+     cycle: bundles land only on interval boundaries. *)
+  with_tmpdir (fun dir ->
+      let circuit, first_inst = load_design "counter.fir" in
+      let plan = exact_plan circuit first_inst in
+      let mono = Rtlsim.Sim.of_circuit circuit in
+      let h = FR.Runtime.instantiate plan in
+      let sv =
+        Resilience.Supervisor.create ~checkpoint_dir:dir ~every:20 ~worker h
+      in
+      let probes = example_probes "counter.fir" in
+      let ca = D.Capture.of_sim mono ~probes in
+      let cb = D.Capture.of_handle h ~probes in
+      for c = 1 to 50 do
+        Rtlsim.Sim.step mono;
+        Resilience.Supervisor.run sv ~cycles:c;
+        D.Capture.sample ca ~cycle:c;
+        D.Capture.sample cb ~cycle:c
+      done;
+      check_string "trace matches monolithic" (D.Capture.probe_trace ca)
+        (D.Capture.probe_trace cb);
+      let bundle_cycles =
+        List.map fst (Resilience.Bundle.list_bundles ~dir)
+      in
+      check_bool "bundles only on interval boundaries"
+        true
+        (bundle_cycles = [ 0; 20; 40 ]))
+
+let suite =
+  [
+    ( "debug.writer",
+      [
+        Alcotest.test_case "dedups values, drops dead timestamps" `Quick
+          test_writer_dedups_and_orders;
+      ] );
+    ( "debug.capture",
+      [
+        Alcotest.test_case "byte-identical probe traces (local, both schedulers)"
+          `Quick test_byte_identity_local;
+        Alcotest.test_case "byte-identical probe traces (remote)" `Quick
+          test_byte_identity_remote;
+        Alcotest.test_case "merged VCD: scope per partition + channel tracks" `Quick
+          test_merged_vcd_shape;
+        Alcotest.test_case "unresolvable probes rejected with names" `Quick
+          test_unknown_signal_rejected;
+        Alcotest.test_case "fast-mode boundary cycles remapped" `Quick
+          test_fast_mode_offset_remaps_tracks;
+      ] );
+    ( "debug.diff",
+      [
+        Alcotest.test_case "pinpoints a seeded single-bit divergence" `Quick
+          test_diff_pinpoints_seeded_divergence;
+        Alcotest.test_case "silent when traces match" `Quick
+          test_diff_silent_when_identical;
+        Alcotest.test_case "find_divergence rides the capture plumbing" `Quick
+          test_find_divergence_uses_capture;
+      ] );
+    ( "debug.flight",
+      [
+        Alcotest.test_case "deadlock dumps blocked channels + tokens" `Quick
+          test_flight_dumps_on_deadlock;
+        Alcotest.test_case "ring bounded to the newest N cycles" `Quick
+          test_flight_ring_is_bounded;
+        Alcotest.test_case "capture composes with the supervisor" `Quick
+          test_capture_under_supervisor;
+      ] );
+  ]

@@ -33,4 +33,5 @@ let () =
          Scheduler_tests.suite;
          Telemetry_tests.suite;
          Resilience_tests.suite;
+         Debug_tests.suite;
        ])
