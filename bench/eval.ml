@@ -1,0 +1,112 @@
+(* Evaluation-engine microbench: the same monolithic designs stepped
+   under the closure engine, the compiled bytecode engine, and the
+   deliberately naive fixpoint sweep, reporting cycles/s for each.
+
+   All three produce bit-identical values (the engine crosscheck tests
+   assert it), so this is a pure evaluation-strategy comparison: how
+   much the flat instruction streams buy over per-assignment closures,
+   and how much levelization buys over sweeping to a fixpoint. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* One evaluation strategy: a fresh simulator plus the per-cycle body
+   it is driven with. *)
+type strategy = { st_name : string; st_make : unit -> Rtlsim.Sim.t * (unit -> unit) }
+
+let strategies flat =
+  let engined engine =
+    let sim = Rtlsim.Sim.create ~engine flat in
+    (sim, fun () -> Rtlsim.Sim.step sim)
+  in
+  [
+    { st_name = "closure"; st_make = (fun () -> engined Rtlsim.Sim.Closure) };
+    { st_name = "bytecode"; st_make = (fun () -> engined Rtlsim.Sim.Bytecode) };
+    {
+      st_name = "fixpoint";
+      st_make =
+        (fun () ->
+          (* The closure engine swept in reverse declaration order until
+             no value changes — the ablation baseline for levelization. *)
+          let sim = Rtlsim.Sim.create ~engine:Rtlsim.Sim.Closure flat in
+          ( sim,
+            fun () ->
+              Rtlsim.Sim.eval_comb_fixpoint sim;
+              Rtlsim.Sim.step_seq sim ));
+    };
+  ]
+
+let report_rows : (string * Telemetry.Json.t) list list ref = ref []
+
+let bench ~name ~cycles circuit =
+  let flat = Firrtl.Flatten.flatten circuit in
+  Printf.printf "%-12s %d target cycles\n" name cycles;
+  let rows =
+    List.map
+      (fun st ->
+        let _, step = st.st_make () in
+        (* Warm up: a few cycles touch every code path (and fault in the
+           compiled program) before the clock starts. *)
+        for _ = 1 to 16 do
+          step ()
+        done;
+        let secs = time (fun () -> for _ = 1 to cycles do step () done) in
+        let rate = float_of_int cycles /. secs in
+        Printf.printf "  %-9s %8.3f s %12.0f cycles/s\n" st.st_name secs rate;
+        (st.st_name, secs, rate))
+      (strategies flat)
+  in
+  let rate_of n = List.find_map (fun (s, _, r) -> if s = n then Some r else None) rows in
+  (match (rate_of "bytecode", rate_of "closure") with
+  | Some b, Some c -> Printf.printf "  bytecode/closure: %.2fx\n" (b /. c)
+  | _ -> ());
+  report_rows :=
+    ([
+       ("name", Telemetry.Json.String name);
+       ("cycles", Telemetry.Json.Int cycles);
+     ]
+    @ List.map
+        (fun (st, secs, rate) ->
+          ( st,
+            Telemetry.Json.Obj
+              [
+                ("secs", Telemetry.Json.Float secs);
+                ("cycles_per_s", Telemetry.Json.Float rate);
+              ] ))
+        rows
+    @ [
+        ( "bytecode_vs_closure",
+          Telemetry.Json.Float
+            (match (rate_of "bytecode", rate_of "closure") with
+            | Some b, Some c -> b /. c
+            | _ -> 0.) );
+      ])
+    :: !report_rows
+
+(** Writes the machine-readable counterpart of the stdout table. *)
+let write_report ~path =
+  let doc =
+    Telemetry.Json.Obj
+      [
+        ("schema", Telemetry.Json.String "fireaxe-bench-eval-1");
+        ( "designs",
+          Telemetry.Json.List
+            (List.rev_map (fun fields -> Telemetry.Json.Obj fields) !report_rows) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let run () =
+  Printf.printf "\n== evaluation engines (monolithic cycles/s) ==\n";
+  bench ~name:"soc/1core" ~cycles:30_000 (Socgen.Soc.single_core_soc ~mem_latency:1 ());
+  bench ~name:"soc/sha3" ~cycles:100_000 (Socgen.Soc.accel_soc Socgen.Soc.Sha3);
+  bench ~name:"ring-8" ~cycles:20_000 (Socgen.Ring_noc.ring_soc ~n_tiles:8 ~period:4 ());
+  bench ~name:"mesh-4x4" ~cycles:4_000
+    (Socgen.Mesh_noc.mesh_soc ~width:4 ~height:4 ~period:4 ());
+  write_report ~path:"BENCH_eval.json"

@@ -1,0 +1,4 @@
+(* Standalone entry point for the evaluation-engine microbench, so the
+   closure-vs-bytecode comparison can be run without the full figure
+   suite. *)
+let () = Eval.run ()

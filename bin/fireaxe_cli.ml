@@ -188,6 +188,22 @@ let scheduler_arg =
            cycle-identical results; any other value is rejected with the accepted \
            list.")
 
+let engine_arg =
+  let e =
+    Arg.conv
+      ( (fun str -> Result.map_error (fun m -> `Msg m) (Rtlsim.Sim.engine_of_string str)),
+        fun ppf v -> Fmt.string ppf (Rtlsim.Sim.engine_name v) )
+  in
+  Arg.(
+    value
+    & opt e Rtlsim.Sim.default_engine
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "RTL evaluation engine: $(b,bytecode) (levelized assignments compiled to \
+           flat instruction streams, the default) or $(b,closure) (the closure-tree \
+           reference evaluator).  Both are bit-exact; closure keeps per-assignment \
+           evaluation inspectable for debugging.")
+
 let parse_groups kind s =
   String.split_on_char ';' s
   |> List.map (fun group ->
@@ -366,9 +382,9 @@ let report_flight flight_ref ?reason () =
     | Some d -> Fmt.pr "flight bundle: %s@." d
     | None -> ())
 
-let run_remote ~telemetry ~scheduler ~checkpoint_dir ~checkpoint_every ~chaos_seed
-    ~resume ~vcd_path ~sample ~flight_depth ~flight_dir ~flight_ref ~progress design
-    plan cycles =
+let run_remote ~telemetry ~scheduler ~engine ~checkpoint_dir ~checkpoint_every
+    ~chaos_seed ~resume ~vcd_path ~sample ~flight_depth ~flight_dir ~flight_ref
+    ~progress design plan cycles =
   let n = Fireaxe.Plan.n_units plan in
   let chaos =
     Option.map
@@ -386,8 +402,8 @@ let run_remote ~telemetry ~scheduler ~checkpoint_dir ~checkpoint_every ~chaos_se
     | _ -> ()
   in
   let sv =
-    Fireaxe.supervise ~scheduler ~telemetry ?checkpoint_dir ~every:checkpoint_every
-      ?chaos ~on_event ~worker:(worker_path ())
+    Fireaxe.supervise ~scheduler ~telemetry ~engine ?checkpoint_dir
+      ~every:checkpoint_every ?chaos ~on_event ~worker:(worker_path ())
       ~remote_units:(List.init n Fun.id) plan
   in
   let h = Fireaxe.Resilience.Supervisor.handle sv in
@@ -477,9 +493,9 @@ let run_remote ~telemetry ~scheduler ~checkpoint_dir ~checkpoint_every ~chaos_se
     exit 4
   end
 
-let run design mode select routers scheduler cycles vcd_path sample every resume save_snap
-    check remote metrics trace_file progress checkpoint_dir checkpoint_every chaos_seed
-    flight_depth flight_dir wavediff =
+let run design mode select routers scheduler engine cycles vcd_path sample every resume
+    save_snap check remote metrics trace_file progress checkpoint_dir checkpoint_every
+    chaos_seed flight_depth flight_dir wavediff =
   (* A live sink only when some exporter was requested; otherwise the
      shared disabled sink keeps the hot path free. *)
   let telemetry =
@@ -509,7 +525,7 @@ let run design mode select routers scheduler cycles vcd_path sample every resume
       let probes = probes_of design sample in
       require_probes design probes ~flag:"--wave-diff";
       match
-        Fireaxe.wave_diff ~scheduler ~mode ~circuit:design.d_circuit
+        Fireaxe.wave_diff ~scheduler ~mode ~engine ~circuit:design.d_circuit
           ~selection:(selection_of design select routers) ~probes ~cycles ()
       with
       | None ->
@@ -525,11 +541,11 @@ let run design mode select routers scheduler cycles vcd_path sample every resume
       let circuit = design.d_circuit () in
       let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
       if remote then
-        run_remote ~telemetry ~scheduler ~checkpoint_dir ~checkpoint_every ~chaos_seed
-          ~resume ~vcd_path ~sample ~flight_depth ~flight_dir ~flight_ref ~progress
-          design plan cycles
+        run_remote ~telemetry ~scheduler ~engine ~checkpoint_dir ~checkpoint_every
+          ~chaos_seed ~resume ~vcd_path ~sample ~flight_depth ~flight_dir ~flight_ref
+          ~progress design plan cycles
       else begin
-        let h = Fireaxe.instantiate ~scheduler ~telemetry plan in
+        let h = Fireaxe.instantiate ~scheduler ~telemetry ~engine plan in
         do_resume h ~checkpoint_dir resume;
         (* With a checkpoint dir, plain in-process runs also advance under
            one supervisor so bundles land on every interval, even when the
@@ -808,7 +824,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a partitioned simulation and cross-check it against the monolithic one.")
     Term.(
       const run $ design_arg $ mode_arg $ select_arg $ routers_arg $ scheduler_arg
-      $ cycles_arg $ vcd_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
+      $ engine_arg $ cycles_arg $ vcd_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
       $ check_arg $ remote_arg $ metrics_arg $ trace_file_arg $ progress_arg
       $ checkpoint_dir_arg $ checkpoint_every_arg $ chaos_arg $ flight_arg
       $ flight_dir_arg $ wave_diff_arg)

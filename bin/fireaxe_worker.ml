@@ -1,15 +1,26 @@
 (* Worker process for multi-process partitioned simulation: loads a
    (flattened) circuit from the .fir file given on the command line and
    serves the Remote_engine pipe protocol on stdin/stdout.  One worker
-   hosts one partition unit — the process-level stand-in for one FPGA. *)
+   hosts one partition unit — the process-level stand-in for one FPGA.
+   An optional second argument picks the evaluation engine
+   (closure|bytecode); the simulator's default applies otherwise. *)
 
 let () =
-  if Array.length Sys.argv <> 2 then begin
-    prerr_endline "usage: fireaxe-worker <circuit.fir>";
+  if Array.length Sys.argv < 2 || Array.length Sys.argv > 3 then begin
+    prerr_endline "usage: fireaxe-worker <circuit.fir> [closure|bytecode]";
     exit 2
   end;
+  let engine =
+    if Array.length Sys.argv < 3 then None
+    else
+      match Rtlsim.Sim.engine_of_string Sys.argv.(2) with
+      | Ok e -> Some e
+      | Error m ->
+        prerr_endline ("fireaxe-worker: " ^ m);
+        exit 2
+  in
   let circuit = Firrtl.Text.load ~path:Sys.argv.(1) in
-  let sim = Rtlsim.Sim.of_circuit circuit in
+  let sim = Rtlsim.Sim.of_circuit ?engine circuit in
   let eng = Libdn.Engine.of_sim sim in
   (* Cones and checkpoints draw from SEPARATE id counters: cone ids are
      then a pure function of registration order, which is what lets a

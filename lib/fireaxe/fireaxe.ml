@@ -44,10 +44,10 @@ let instantiate = Runtime.instantiate
     workers respawned under [policy], optional seeded [chaos].  Drive
     it with {!Resilience.Supervisor.run}; {!Resilience.Supervisor.close}
     when done. *)
-let supervise ?scheduler ?read_timeout ?telemetry ?checkpoint_dir ?every ?policy
-    ?chaos ?on_event ~worker ~remote_units plan =
+let supervise ?scheduler ?read_timeout ?telemetry ?engine ?checkpoint_dir ?every
+    ?policy ?chaos ?on_event ~worker ~remote_units plan =
   let handle, _conns =
-    Runtime.instantiate_remote ?scheduler ?read_timeout ?telemetry ~worker
+    Runtime.instantiate_remote ?scheduler ?read_timeout ?telemetry ?engine ~worker
       ~remote_units plan
   in
   Resilience.Supervisor.create ?checkpoint_dir ?every ?policy ?chaos ?on_event
@@ -110,13 +110,13 @@ let error_pct ~reference cycles =
     partitioning cycle-exact over the watched signals.  [mode] defaults
     to exact; pass [Spec.Fast] to measure where the injected boundary
     latency first becomes architecturally visible. *)
-let wave_diff ?(scheduler = Libdn.Scheduler.default) ?(mode = Spec.Exact)
+let wave_diff ?(scheduler = Libdn.Scheduler.default) ?(mode = Spec.Exact) ?engine
     ~circuit ~selection ?(setup = fun ~poke:_ -> ()) ~probes ~cycles () =
-  let mono = Rtlsim.Sim.of_circuit (circuit ()) in
+  let mono = Rtlsim.Sim.of_circuit ?engine (circuit ()) in
   setup ~poke:(fun ~mem addr v -> Rtlsim.Sim.poke_mem mono mem addr v);
   let config = { Spec.default_config with Spec.mode; selection } in
   let plan = compile ~config (circuit ()) in
-  let handle = instantiate ~scheduler plan in
+  let handle = instantiate ~scheduler ?engine plan in
   setup ~poke:(fun ~mem addr v ->
       let u = Runtime.locate handle mem in
       Rtlsim.Sim.poke_mem (Runtime.sim_of handle u) mem addr v);

@@ -42,6 +42,7 @@ val instantiate :
   ?fame5:bool ->
   ?scheduler:Libdn.Scheduler.t ->
   ?telemetry:Telemetry.t ->
+  ?engine:Rtlsim.Sim.engine ->
   Plan.t ->
   Runtime.handle
 
@@ -57,6 +58,7 @@ val supervise :
   ?scheduler:Libdn.Scheduler.t ->
   ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
+  ?engine:Rtlsim.Sim.engine ->
   ?checkpoint_dir:string ->
   ?every:int ->
   ?policy:Resilience.Policy.t ->
@@ -104,6 +106,7 @@ type validation = {
 val wave_diff :
   ?scheduler:Libdn.Scheduler.t ->
   ?mode:Spec.mode ->
+  ?engine:Rtlsim.Sim.engine ->
   circuit:(unit -> Firrtl.Ast.circuit) ->
   selection:Spec.selection ->
   ?setup:(poke:(mem:string -> int -> int -> unit) -> unit) ->

@@ -93,7 +93,7 @@ let build_network ?(telemetry = Telemetry.null) (plan : Plan.t) engines =
     [telemetry] (default {!Telemetry.null}) makes every layer of the
     resulting simulation record into the given sink. *)
 let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default)
-    ?(telemetry = Telemetry.null) (plan : Plan.t) =
+    ?(telemetry = Telemetry.null) ?engine (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -107,11 +107,11 @@ let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default)
             { u.Plan.u_circuit with Ast.main = tile_module; cname = tile_module }
           in
           let tile_flat = Flatten.flatten (Hierarchy.prune tile_circuit) in
-          let f5 = Goldengate.Fame5.create ~flat:tile_flat ~insts in
+          let f5 = Goldengate.Fame5.create ?engine ~flat:tile_flat ~insts () in
           fame5s.(u.Plan.u_index) <- Some f5;
           Goldengate.Fame5.engine f5
         | None ->
-          let sim = Rtlsim.Sim.create (Lazy.force u.Plan.u_flat) in
+          let sim = Rtlsim.Sim.create ?engine (Lazy.force u.Plan.u_flat) in
           sims.(u.Plan.u_index) <- Some sim;
           Libdn.Engine.of_sim sim
       in
@@ -149,7 +149,7 @@ let with_unit_fir (plan : Plan.t) k f =
     (snapshots DO cover them, through the worker pipe protocol).
     [read_timeout] bounds every worker reply wait in seconds. *)
 let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ?read_timeout
-    ?(telemetry = Telemetry.null) ~worker ~remote_units (plan : Plan.t) =
+    ?(telemetry = Telemetry.null) ?engine ~worker ~remote_units (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -162,13 +162,13 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ?read_timeout
           let conn =
             with_unit_fir plan u.Plan.u_index (fun path ->
                 Libdn.Remote_engine.spawn ~label:u.Plan.u_name ?read_timeout ~telemetry
-                  ~worker ~fir_path:path ())
+                  ?engine ~worker ~fir_path:path ())
           in
           conns := (u.Plan.u_index, conn) :: !conns;
           Libdn.Remote_engine.engine conn
         end
         else begin
-          let sim = Rtlsim.Sim.create (Lazy.force u.Plan.u_flat) in
+          let sim = Rtlsim.Sim.create ?engine (Lazy.force u.Plan.u_flat) in
           sims.(u.Plan.u_index) <- Some sim;
           Libdn.Engine.of_sim sim
         end

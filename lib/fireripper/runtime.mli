@@ -21,11 +21,13 @@ val fame5_eligible : Plan.unit_part -> (string list * string) option
     [scheduler] picks the execution policy for [run]/[run_until]
     ({!Libdn.Scheduler.Sequential} by default); [telemetry] (default
     {!Telemetry.null}, free on the hot path) makes every layer record
-    into the given sink. *)
+    into the given sink; [engine] selects every unit simulator's
+    evaluation engine ({!Rtlsim.Sim.default_engine} otherwise). *)
 val instantiate :
   ?fame5:bool ->
   ?scheduler:Libdn.Scheduler.t ->
   ?telemetry:Telemetry.t ->
+  ?engine:Rtlsim.Sim.engine ->
   Plan.t ->
   handle
 
@@ -42,6 +44,7 @@ val instantiate_remote :
   ?scheduler:Libdn.Scheduler.t ->
   ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
+  ?engine:Rtlsim.Sim.engine ->
   worker:string ->
   remote_units:int list ->
   Plan.t ->

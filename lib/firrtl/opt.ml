@@ -1,0 +1,447 @@
+(* Optimization passes over FLAT modules, feeding the bytecode
+   evaluation engine (Rtlsim.Bytecode).
+
+   Every pass is semantics-preserving at the granularity the simulator
+   observes: the value stored in each named slot after a combinational
+   evaluation is bit-identical to the unoptimized module's — including
+   the exact masking behavior of the closure engine (widths drive where
+   values wrap, so every rewrite is guarded on [Ast.width_of] equality
+   between the original expression and its replacement).
+
+   - {!fold_module}: bottom-up constant folding plus width-safe
+     algebraic identities (x+0, x*1, x&0, mux on a literal...).
+   - {!share_wires}: wire-level common-subexpression elimination — a
+     wire whose (folded) driver is structurally identical to an earlier
+     same-width wire's becomes a [Ref] to it.
+   - {!share_exprs}: global subexpression sharing — a subexpression
+     occurring in two or more distinct connect sources is hoisted into
+     a fresh wire, evaluated once per cycle instead of once per use.
+   - {!dead_assigns}: removes combinational assignments (and their
+     wires) that no live root can observe.  NOT value-preserving for
+     the removed wires, so it is opt-in (the default simulator pipeline
+     keeps every named slot observable). *)
+
+exception Opt_error of string
+
+let opt_error fmt = Format.kasprintf (fun s -> raise (Opt_error s)) fmt
+
+(** Width environment of a flat module (no instances). *)
+let flat_env (m : Ast.module_def) =
+  let circuit = { Ast.cname = m.Ast.name; main = m.Ast.name; modules = [ m ] } in
+  Ast.module_env circuit m
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact replicas of the closure-engine operator semantics
+   (lib/rtlsim/sim.ml): folding computes precisely the value the
+   interpreter would have, including wrap-around masking and the
+   division-by-zero and oversized-shift conventions. *)
+let eval_binop op a b ~m =
+  match op with
+  | Ast.Add -> (a + b) land m
+  | Ast.Sub -> (a - b) land m
+  | Ast.Mul -> a * b land m
+  | Ast.Div -> if b = 0 then 0 else a / b
+  | Ast.Rem -> if b = 0 then 0 else a mod b
+  | Ast.And -> a land b
+  | Ast.Or -> a lor b
+  | Ast.Xor -> a lxor b
+  | Ast.Shl -> if b > Ast.max_width then 0 else (a lsl b) land m
+  | Ast.Shr -> if b > Ast.max_width then 0 else a lsr b
+  | Ast.Eq -> if a = b then 1 else 0
+  | Ast.Neq -> if a <> b then 1 else 0
+  | Ast.Lt -> if a < b then 1 else 0
+  | Ast.Le -> if a <= b then 1 else 0
+  | Ast.Gt -> if a > b then 1 else 0
+  | Ast.Ge -> if a >= b then 1 else 0
+
+let eval_unop op a ~m =
+  match op with
+  | Ast.Not -> lnot a land m
+  | Ast.Neg -> -a land m
+  | Ast.Andr -> if a = m then 1 else 0
+  | Ast.Orr -> if a <> 0 then 1 else 0
+  | Ast.Xorr ->
+    let rec parity acc v = if v = 0 then acc else parity (acc lxor (v land 1)) (v lsr 1) in
+    parity 0 a
+
+let is_lit v = function Ast.Lit { value; _ } -> value = v | _ -> false
+
+(** Folds [e] bottom-up.  Identity rewrites only apply when the
+    replacement has the same [Ast.width_of] as the original — masking
+    in enclosing operators depends on operand widths, so a
+    width-changing rewrite would change values even when the replaced
+    subexpression's value is identical. *)
+let rec const_fold env e =
+  let width_eq a b = Ast.width_of env a = Ast.width_of env b in
+  match e with
+  | Ast.Lit _ | Ast.Ref _ -> e
+  | Ast.Mux (c, a, b) -> begin
+    let c = const_fold env c
+    and a = const_fold env a
+    and b = const_fold env b in
+    let e' = Ast.Mux (c, a, b) in
+    match c with
+    | Ast.Lit { value; _ } ->
+      let pick = if value <> 0 then a else b in
+      if width_eq pick e' then pick else e'
+    | _ -> if a = b && width_eq a e' then a else e'
+  end
+  | Ast.Binop (op, a, b) -> begin
+    let a = const_fold env a and b = const_fold env b in
+    let e' = Ast.Binop (op, a, b) in
+    let w = Ast.width_of env e' in
+    match (a, b) with
+    | Ast.Lit { value = va; _ }, Ast.Lit { value = vb; _ } ->
+      Ast.Lit { value = eval_binop op va vb ~m:(Ast.mask w); width = w }
+    | _ -> begin
+      (* Width-guarded algebraic identities. *)
+      let keep_l = width_eq a e' and keep_r = width_eq b e' in
+      match op with
+      | Ast.Add | Ast.Or | Ast.Xor ->
+        if is_lit 0 b && keep_l then a else if is_lit 0 a && keep_r then b else e'
+      | Ast.Sub | Ast.Shl | Ast.Shr -> if is_lit 0 b && keep_l then a else e'
+      | Ast.Mul ->
+        if is_lit 0 a || is_lit 0 b then Ast.Lit { value = 0; width = w }
+        else if is_lit 1 b && keep_l then a
+        else if is_lit 1 a && keep_r then b
+        else e'
+      | Ast.And ->
+        if is_lit 0 a || is_lit 0 b then Ast.Lit { value = 0; width = w }
+        else begin
+          (* x & ones: the literal covers every bit x can carry. *)
+          let covers x = function
+            | Ast.Lit { value; _ } ->
+              let mx = Ast.mask (Ast.width_of env x) in
+              value land mx = mx
+            | _ -> false
+          in
+          if covers a b && keep_l then a
+          else if covers b a && keep_r then b
+          else e'
+        end
+      | _ -> e'
+    end
+  end
+  | Ast.Unop (op, a) -> begin
+    let a = const_fold env a in
+    let e' = Ast.Unop (op, a) in
+    match a with
+    | Ast.Lit { value; _ } ->
+      let w = Ast.width_of env e' in
+      let m = Ast.mask (Ast.width_of env a) in
+      Ast.Lit { value = eval_unop op value ~m; width = w }
+    | _ -> e'
+  end
+  | Ast.Bits { e = a; hi; lo } -> begin
+    let a = const_fold env a in
+    match a with
+    | Ast.Lit { value; _ } ->
+      Ast.Lit { value = (value lsr lo) land Ast.mask (hi - lo + 1); width = hi - lo + 1 }
+    | _ -> Ast.Bits { e = a; hi; lo }
+  end
+  | Ast.Cat (a, b) -> begin
+    let a = const_fold env a and b = const_fold env b in
+    let wa = Ast.width_of env a and wb = Ast.width_of env b in
+    match (a, b) with
+    (* Folding an oversized cat would hide the compile-time error the
+       simulator raises for it; leave those alone. *)
+    | Ast.Lit { value = va; _ }, Ast.Lit { value = vb; _ }
+      when wa + wb <= Ast.max_width ->
+      Ast.Lit { value = (va lsl wb) lor vb; width = wa + wb }
+    | _ -> Ast.Cat (a, b)
+  end
+  | Ast.Read { mem; addr } -> Ast.Read { mem; addr = const_fold env addr }
+
+let fold_stmt env s =
+  match s with
+  | Ast.Connect { dst; src } -> Ast.Connect { dst; src = const_fold env src }
+  | Ast.Reg_update { reg; next; enable } ->
+    Ast.Reg_update
+      { reg; next = const_fold env next; enable = Option.map (const_fold env) enable }
+  | Ast.Mem_write { mem; addr; data; enable } ->
+    Ast.Mem_write
+      {
+        mem;
+        addr = const_fold env addr;
+        data = const_fold env data;
+        enable = const_fold env enable;
+      }
+
+(** Constant-folds every statement of a flat module. *)
+let fold_module (m : Ast.module_def) =
+  let env = flat_env m in
+  { m with Ast.stmts = List.map (fold_stmt env) m.Ast.stmts }
+
+(* ------------------------------------------------------------------ *)
+(* Wire-level common-subexpression elimination                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Rewrites the driver of any connect whose source expression is
+    structurally identical to an earlier same-width connect's into a
+    [Ref] to that first destination.  The rewritten wire then costs one
+    copy instead of a whole re-evaluation, and downstream passes (the
+    bytecode compiler's per-assignment CSE) see smaller cones.  Trivial
+    sources ([Ref]/[Lit]) are left alone — sharing those saves
+    nothing.  Sound because connect destinations always hold their
+    source masked to the destination width, so equal widths + equal
+    sources means equal stored values; and no cycle can appear: the
+    representative's own driver is untouched, so the rewritten wire's
+    dependency chain strictly shortens. *)
+let share_wires (m : Ast.module_def) =
+  let env = flat_env m in
+  let seen = Hashtbl.create 64 in
+  let stmts =
+    List.map
+      (fun s ->
+        match s with
+        | Ast.Connect { dst; src } -> begin
+          match src with
+          | Ast.Ref _ | Ast.Lit _ -> s
+          | _ -> begin
+            let key = (src, env.Ast.width_of_name dst) in
+            match Hashtbl.find_opt seen key with
+            | Some rep -> Ast.Connect { dst; src = Ast.Ref rep }
+            | None ->
+              Hashtbl.add seen key dst;
+              s
+          end
+        end
+        | Ast.Reg_update _ | Ast.Mem_write _ -> s)
+      m.Ast.stmts
+  in
+  { m with Ast.stmts }
+
+(* ------------------------------------------------------------------ *)
+(* Global subexpression sharing                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Hoists any non-trivial subexpression occurring in two or more
+    DISTINCT connect sources into a fresh wire ([cse$N]) driven by
+    that subexpression, and rewrites every occurrence (in connect
+    sources and sequential operands alike) into a [Ref] to it: the
+    shared logic then evaluates once per cycle instead of once per
+    use.  Repeats within one source are not counted — the bytecode
+    compiler's per-assignment hash-consing already shares those.
+
+    Sound because the hoisted wire's width is exactly the
+    subexpression's [Ast.width_of], so every enclosing operator sees an
+    operand of unchanged width, and simulator values always fit their
+    expression's width (operators that can overflow mask by their own
+    width).  Subexpressions containing memory reads are left alone:
+    [poke_mem] can plant values wider than the memory, and a hoisted
+    (width-masked) wire would launder them where the inline expression
+    would not.  No combinational cycle can appear — a hoisted wire
+    depends only on names its users already depended on. *)
+let share_exprs (m : Ast.module_def) =
+  let env = flat_env m in
+  let rec has_read = function
+    | Ast.Read _ -> true
+    | Ast.Lit _ | Ast.Ref _ -> false
+    | Ast.Mux (c, a, b) -> has_read c || has_read a || has_read b
+    | Ast.Binop (_, a, b) | Ast.Cat (a, b) -> has_read a || has_read b
+    | Ast.Unop (_, a) -> has_read a
+    | Ast.Bits { e; _ } -> has_read e
+  in
+  (* Occurrences per subexpression, counted once per connect source. *)
+  let counts = Hashtbl.create 256 in
+  let count_source src =
+    let seen = Hashtbl.create 32 in
+    let rec go e =
+      match e with
+      | Ast.Lit _ | Ast.Ref _ -> ()
+      | _ ->
+        if not (Hashtbl.mem seen e) then begin
+          Hashtbl.replace seen e ();
+          if not (has_read e) then
+            Hashtbl.replace counts e
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts e));
+          match e with
+          | Ast.Lit _ | Ast.Ref _ -> ()
+          | Ast.Mux (c, a, b) ->
+            go c;
+            go a;
+            go b
+          | Ast.Binop (_, a, b) | Ast.Cat (a, b) ->
+            go a;
+            go b
+          | Ast.Unop (_, a) -> go a
+          | Ast.Bits { e; _ } -> go e
+          | Ast.Read { addr; _ } -> go addr
+        end
+    in
+    go src
+  in
+  List.iter
+    (function Ast.Connect { src; _ } -> count_source src | _ -> ())
+    m.Ast.stmts;
+  let shared e =
+    match Hashtbl.find_opt counts e with Some c -> c >= 2 | None -> false
+  in
+  let used = Hashtbl.create 64 in
+  List.iter (fun (p : Ast.port) -> Hashtbl.replace used p.Ast.pname ()) m.Ast.ports;
+  List.iter
+    (fun c ->
+      match c with
+      | Ast.Wire { name; _ }
+      | Ast.Reg { name; _ }
+      | Ast.Mem { name; _ }
+      | Ast.Inst { name; _ } -> Hashtbl.replace used name ())
+    m.Ast.comps;
+  let counter = ref 0 in
+  let rec fresh_name () =
+    let n = Printf.sprintf "cse$%d" !counter in
+    incr counter;
+    if Hashtbl.mem used n then fresh_name ()
+    else begin
+      Hashtbl.replace used n ();
+      n
+    end
+  in
+  let by_expr = Hashtbl.create 64 in
+  let new_wires = ref [] in
+  (* [rewrite] folds shared subexpressions into wire refs; [descend]
+     rewrites only the children (used for a hoisted wire's own driver,
+     which must keep its top operator). *)
+  let rec rewrite e =
+    match e with
+    | Ast.Lit _ | Ast.Ref _ -> e
+    | _ -> if shared e then Ast.Ref (wire_for e) else descend e
+  and descend e =
+    match e with
+    | Ast.Lit _ | Ast.Ref _ -> e
+    | Ast.Mux (c, a, b) -> Ast.Mux (rewrite c, rewrite a, rewrite b)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, rewrite a, rewrite b)
+    | Ast.Unop (op, a) -> Ast.Unop (op, rewrite a)
+    | Ast.Bits { e = x; hi; lo } -> Ast.Bits { e = rewrite x; hi; lo }
+    | Ast.Cat (a, b) -> Ast.Cat (rewrite a, rewrite b)
+    | Ast.Read { mem; addr } -> Ast.Read { mem; addr = rewrite addr }
+  and wire_for e =
+    match Hashtbl.find_opt by_expr e with
+    | Some n -> n
+    | None ->
+      let n = fresh_name () in
+      Hashtbl.replace by_expr e n;
+      (* [descend] may itself hoist nested wires, so it must run before
+         [new_wires] is read — inlining it into the [::] would let the
+         unspecified evaluation order drop those nested entries. *)
+      let driver = descend e in
+      new_wires := (n, Ast.width_of env e, driver) :: !new_wires;
+      n
+  in
+  let stmts =
+    List.map
+      (fun s ->
+        match s with
+        | Ast.Connect { dst; src } -> Ast.Connect { dst; src = rewrite src }
+        | Ast.Reg_update { reg; next; enable } ->
+          Ast.Reg_update
+            { reg; next = rewrite next; enable = Option.map rewrite enable }
+        | Ast.Mem_write { mem; addr; data; enable } ->
+          Ast.Mem_write
+            { mem; addr = rewrite addr; data = rewrite data; enable = rewrite enable })
+      m.Ast.stmts
+  in
+  let wires = List.rev !new_wires in
+  {
+    m with
+    Ast.comps =
+      m.Ast.comps
+      @ List.map (fun (name, width, _) -> Ast.Wire { name; width }) wires;
+    stmts =
+      stmts
+      @ List.map (fun (name, _, driver) -> Ast.Connect { dst = name; src = driver }) wires;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Dead-assignment elimination                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** The set of names whose combinational values any live root can
+    observe: [roots] (e.g. probes, LI-BDN boundary cones), every output
+    port, and everything sequential state transitions read (register
+    next/enable expressions, memory write operands) — closed
+    transitively over connect drivers. *)
+let live_names ~roots (m : Ast.module_def) =
+  let driver = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match s with
+      | Ast.Connect { dst; src } -> Hashtbl.replace driver dst src
+      | Ast.Reg_update _ | Ast.Mem_write _ -> ())
+    m.Ast.stmts;
+  let forced =
+    List.concat
+      [
+        roots;
+        List.filter_map
+          (fun (p : Ast.port) -> if p.Ast.pdir = Ast.Output then Some p.Ast.pname else None)
+          m.Ast.ports;
+        List.concat_map
+          (fun s ->
+            match s with
+            | Ast.Connect _ -> []
+            | Ast.Reg_update { next; enable; _ } ->
+              Ast.expr_refs next
+              @ (match enable with Some e -> Ast.expr_refs e | None -> [])
+            | Ast.Mem_write { addr; data; enable; _ } ->
+              Ast.expr_refs addr @ Ast.expr_refs data @ Ast.expr_refs enable)
+          m.Ast.stmts;
+      ]
+  in
+  let live = Hashtbl.create 128 in
+  let rec mark n =
+    if not (Hashtbl.mem live n) then begin
+      Hashtbl.replace live n ();
+      match Hashtbl.find_opt driver n with
+      | Some e -> List.iter mark (Ast.expr_refs e)
+      | None -> ()
+    end
+  in
+  List.iter mark forced;
+  live
+
+(** Removes combinational assignments to wires outside
+    {!live_names}, together with the wire declarations themselves.
+    [roots] names what must stay observable beyond the always-live set
+    (outputs, sequential inputs).  Raises {!Opt_error} if a root does
+    not exist in the module. *)
+let dead_assigns ~roots (m : Ast.module_def) =
+  let env = flat_env m in
+  List.iter
+    (fun r ->
+      try ignore (env.Ast.width_of_name r)
+      with Ast.Ir_error _ -> opt_error "dead_assigns: unknown root %s" r)
+    roots;
+  let live = live_names ~roots m in
+  let keep n = Hashtbl.mem live n in
+  let stmts =
+    List.filter
+      (fun s ->
+        match s with
+        | Ast.Connect { dst; _ } -> keep dst
+        | Ast.Reg_update _ | Ast.Mem_write _ -> true)
+      m.Ast.stmts
+  in
+  let comps =
+    List.filter
+      (fun c -> match c with Ast.Wire { name; _ } -> keep name | _ -> true)
+      m.Ast.comps
+  in
+  { m with Ast.stmts; comps }
+
+(* ------------------------------------------------------------------ *)
+(* The default pipeline                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** The value-preserving pipeline the bytecode engine applies by
+    default: fold constants, share duplicate wire drivers, then hoist
+    globally shared subexpressions.  Every named slot's evaluated value
+    is unchanged (the hoisted [cse$N] wires are additions).  Pass
+    [roots] to also run {!dead_assigns} against them (opt-in: dead
+    slots then go stale). *)
+let optimize ?roots (m : Ast.module_def) =
+  let m = share_exprs (share_wires (fold_module m)) in
+  match roots with None -> m | Some roots -> dead_assigns ~roots m

@@ -1,0 +1,53 @@
+(** Optimization passes over flat modules, feeding the bytecode
+    evaluation engine ([Rtlsim.Bytecode]).
+
+    {!fold_module} and {!share_wires} are value-preserving for every
+    named slot: the value observable after a combinational evaluation is
+    bit-identical to the unoptimized module's, including the closure
+    engine's exact masking behavior (every algebraic rewrite is guarded
+    on [Ast.width_of] equality, since enclosing operators mask by
+    operand width).  {!dead_assigns} is opt-in: removed wires stop being
+    evaluated at all. *)
+
+exception Opt_error of string
+
+(** Width environment of a flat (instance-free) module. *)
+val flat_env : Ast.module_def -> Ast.env
+
+(** Exact replicas of the simulator's operator semantics (wrap-around
+    masking, division-by-zero yields 0, oversized shifts yield 0) —
+    exposed so engines can share one definition of ground truth. *)
+val eval_binop : Ast.binop -> int -> int -> m:int -> int
+
+val eval_unop : Ast.unop -> int -> m:int -> int
+
+(** Bottom-up constant folding plus width-safe algebraic identities
+    (x+0, x*1, x&0, mux on a literal condition, equal mux arms). *)
+val const_fold : Ast.env -> Ast.expr -> Ast.expr
+
+(** {!const_fold} applied to every statement of a flat module. *)
+val fold_module : Ast.module_def -> Ast.module_def
+
+(** Wire-level CSE: a connect whose source is structurally identical to
+    an earlier same-width connect's becomes a [Ref] to that first
+    destination.  Trivial ([Ref]/[Lit]) sources are left alone. *)
+val share_wires : Ast.module_def -> Ast.module_def
+
+(** Global subexpression sharing: any subexpression occurring in two or
+    more distinct connect sources is hoisted into a fresh [cse$N] wire
+    and every occurrence becomes a [Ref] to it — shared logic then
+    evaluates once per cycle.  Subexpressions containing memory reads
+    are left alone.  Purely additive: no existing name changes value. *)
+val share_exprs : Ast.module_def -> Ast.module_def
+
+(** Names observable from [roots] ∪ output ports ∪ sequential-update
+    operands, closed transitively over connect drivers. *)
+val live_names : roots:string list -> Ast.module_def -> (string, unit) Hashtbl.t
+
+(** Drops combinational assignments (and wire declarations) outside
+    {!live_names}.  Raises {!Opt_error} on an unknown root. *)
+val dead_assigns : roots:string list -> Ast.module_def -> Ast.module_def
+
+(** [fold_module], [share_wires], then [share_exprs]; with [roots],
+    also {!dead_assigns} against them. *)
+val optimize : ?roots:string list -> Ast.module_def -> Ast.module_def

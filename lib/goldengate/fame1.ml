@@ -41,7 +41,8 @@ let wrap_engine ~engine ~ins ~outs =
   }
 
 (** Wraps a flat target module with the given channelization. *)
-let wrap ~flat ~ins ~outs = wrap_engine ~engine:(Libdn.Engine.of_flat flat) ~ins ~outs
+let wrap ?engine ~flat ~ins ~outs () =
+  wrap_engine ~engine:(Libdn.Engine.of_flat ?engine flat) ~ins ~outs
 
 (** Adds a wrapped target to a network as a new partition. *)
 let add_to_network net ~name w =

@@ -26,9 +26,11 @@ val wrap_engine :
 
 (** Wraps a flat target module with the given channelization. *)
 val wrap :
+  ?engine:Rtlsim.Sim.engine ->
   flat:Firrtl.Ast.module_def ->
   ins:Libdn.Channel.spec list ->
   outs:Libdn.Channel.spec list ->
+  unit ->
   wrapped
 
 (** Adds a wrapped target to a network as a new partition; returns its

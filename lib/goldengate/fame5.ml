@@ -61,8 +61,8 @@ let apply_inputs t k = Hashtbl.iter (Rtlsim.Sim.set_input t.sim) t.in_latch.(k)
 let capture_outputs t k ports =
   List.iter (fun p -> Hashtbl.replace t.out_latch.(k) p (Rtlsim.Sim.get t.sim p)) ports
 
-let create ~flat ~insts =
-  let sim = Rtlsim.Sim.create flat in
+let create ?engine ~flat ~insts () =
+  let sim = Rtlsim.Sim.create ?engine flat in
   let n = List.length insts in
   {
     sim;

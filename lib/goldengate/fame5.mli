@@ -10,8 +10,10 @@
 type t
 
 (** [create ~flat ~insts] builds the threaded context: one state bank
-    per instance name in [insts]. *)
-val create : flat:Firrtl.Ast.module_def -> insts:string list -> t
+    per instance name in [insts].  [engine] selects the evaluation
+    engine of the shared simulation. *)
+val create :
+  ?engine:Rtlsim.Sim.engine -> flat:Firrtl.Ast.module_def -> insts:string list -> unit -> t
 
 (** Runs [f] with thread [k]'s state resident (e.g. to load a
     per-thread program image). *)

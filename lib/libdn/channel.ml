@@ -40,17 +40,35 @@ module Notifier = struct
     n_mu : Mutex.t;
     n_cond : Condition.t;
     n_version : int Atomic.t;
+    mutable n_waiters : int;  (** parked waiters; guarded by [n_mu] *)
   }
 
   let create () =
-    { n_mu = Mutex.create (); n_cond = Condition.create (); n_version = Atomic.make 0 }
+    {
+      n_mu = Mutex.create ();
+      n_cond = Condition.create ();
+      n_version = Atomic.make 0;
+      n_waiters = 0;
+    }
 
   let version t = Atomic.get t.n_version
 
-  (* Must be called with [n_mu] held. *)
+  (* Must be called with [n_mu] held.  The version always advances — it
+     is the lock-free progress guard that spinning consumers poll — but
+     the broadcast (a syscall when contended) is skipped unless someone
+     is actually parked, which under the spin-then-park idle policy is
+     the uncommon case. *)
   let bump t =
     Atomic.incr t.n_version;
-    Condition.broadcast t.n_cond
+    if t.n_waiters > 0 then Condition.broadcast t.n_cond
+
+  (* One condition wait, registered so {!bump} knows a broadcast is
+     needed.  Must be called with [n_mu] held; re-check the guarded
+     condition on return as usual. *)
+  let wait t =
+    t.n_waiters <- t.n_waiters + 1;
+    Condition.wait t.n_cond t.n_mu;
+    t.n_waiters <- t.n_waiters - 1
 
   (* Wakes any waiter (used to abort a parallel run from outside). *)
   let poke t =
@@ -95,7 +113,7 @@ module Bqueue = struct
     Mutex.lock n.Notifier.n_mu;
     if block then begin
       while Queue.length t.bq_q >= t.bq_capacity && not (abort ()) do
-        Condition.wait n.Notifier.n_cond n.Notifier.n_mu
+        Notifier.wait n
       done;
       if abort () then begin
         Mutex.unlock n.Notifier.n_mu;
@@ -115,6 +133,16 @@ module Bqueue = struct
     let v = Queue.peek_opt t.bq_q in
     Mutex.unlock t.bq_notif.Notifier.n_mu;
     v
+
+  (* Head peek without taking the notifier mutex: for batched sweeps
+     that snapshot several sibling queues under one lock the caller
+     already holds. *)
+  let peek_opt_unlocked t = Queue.peek_opt t.bq_q
+
+  (* Pops the head without bumping the notifier: the caller batches
+     drops across sibling queues under one lock and bumps once.  Must be
+     called with the notifier mutex held and the queue non-empty. *)
+  let drop_unlocked t = ignore (Queue.pop t.bq_q)
 
   (* Drops the head token (consumer side), freeing space and waking any
      producer blocked on a full queue. *)

@@ -24,19 +24,27 @@ val pp_spec : Format.formatter -> spec -> unit
 (** Per-partition synchronization point: one mutex + condition variable
     shared by all of a partition's input queues, plus a version counter
     bumped on every mutation (the missed-wakeup guard for schedulers
-    that block). *)
+    that block, and the lock-free progress signal spinning consumers
+    poll). *)
 module Notifier : sig
   type t = {
     n_mu : Mutex.t;
     n_cond : Condition.t;
     n_version : int Atomic.t;
+    mutable n_waiters : int;  (** parked waiters; guarded by [n_mu] *)
   }
 
   val create : unit -> t
   val version : t -> int
 
-  (** Bumps the version and broadcasts.  Call with [n_mu] held. *)
+  (** Bumps the version; broadcasts only when waiters are parked.  Call
+      with [n_mu] held. *)
   val bump : t -> unit
+
+  (** One condition wait, registered in [n_waiters] so {!bump}
+      broadcasts.  Call with [n_mu] held; re-check the guarded condition
+      on return. *)
+  val wait : t -> unit
 
   (** Locks, bumps, broadcasts, unlocks — wakes any waiter from outside
       (abort paths). *)
@@ -66,8 +74,18 @@ module Bqueue : sig
 
   val peek_opt : 'a t -> 'a option
 
+  (** Head peek without locking: for batched sweeps that snapshot
+      several sibling queues under one notifier lock the caller already
+      holds. *)
+  val peek_opt_unlocked : 'a t -> 'a option
+
   (** Drops the head token, waking producers blocked on a full queue. *)
   val drop : 'a t -> unit
+
+  (** Pops the head without bumping the notifier: callers batch drops
+      across sibling queues under one lock and bump once.  Call with the
+      notifier mutex held and the queue non-empty. *)
+  val drop_unlocked : 'a t -> unit
 
   val is_empty : 'a t -> bool
   val length : 'a t -> int

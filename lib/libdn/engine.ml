@@ -35,4 +35,4 @@ let of_sim sim =
         fun () -> Rtlsim.Sim.restore_state sim st);
   }
 
-let of_flat flat = of_sim (Rtlsim.Sim.create flat)
+let of_flat ?engine flat = of_sim (Rtlsim.Sim.create ?engine flat)

@@ -18,4 +18,7 @@ type t = {
 }
 
 val of_sim : Rtlsim.Sim.t -> t
-val of_flat : Firrtl.Ast.module_def -> t
+
+(** Builds a fresh simulation of [flat] and wraps it; [engine] selects
+    the evaluation engine ({!Rtlsim.Sim.default_engine} otherwise). *)
+val of_flat : ?engine:Rtlsim.Sim.engine -> Firrtl.Ast.module_def -> t

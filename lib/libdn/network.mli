@@ -109,6 +109,15 @@ val try_fire :
     whether it advanced. *)
 val try_advance : partition -> bool
 
+(** One batched attempt over everything [p] can do: a single notifier
+    lock snapshots all input heads, every locally-ready output fires
+    from the snapshot (each head applied to the engine at most once),
+    and the advance rule consumes all heads under one lock with a
+    single wakeup bump.  Equivalent to [try_fire] on every output then
+    [try_advance], with constant lock traffic per sweep.  Returns
+    whether any transition happened. *)
+val sweep : t -> partition -> block:bool -> abort:(unit -> bool) -> bool
+
 (** Whether the firing rules permit [p] any transition, judged purely
     from token availability and fired flags.  Unsynchronized reads —
     only call when every mutating domain is parked. *)

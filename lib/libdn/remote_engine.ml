@@ -40,6 +40,9 @@ type conn = {
   mutable c_alive : bool;
   mutable c_closed : bool;  (** [close] already ran (idempotence) *)
   c_timeout : float option;  (** max seconds to wait for a reply byte *)
+  c_engine : string option;
+      (** evaluation-engine name passed on the worker's command line;
+          replayed verbatim by {!reconnect} *)
   c_scratch : Bytes.t;  (** read(2) staging, owned by this conn's domain *)
   mutable c_pending : string;  (** bytes read but not yet consumed *)
   mutable c_cones : (string * int) list;
@@ -188,12 +191,15 @@ let ask_int conn fmt =
    the write end of its own stdin pipe would keep EOF from ever
    arriving after the parent exits); [create_process] dup2s the
    child-side ends onto fds 0/1, which survive the exec. *)
-let launch ~worker ~fir_path =
+let launch ~worker ~fir_path ~engine =
   let parent_read, child_write = Unix.pipe ~cloexec:true () in
   let child_read, parent_write = Unix.pipe ~cloexec:true () in
-  let pid =
-    Unix.create_process worker [| worker; fir_path |] child_read child_write Unix.stderr
+  let argv =
+    match engine with
+    | None -> [| worker; fir_path |]
+    | Some e -> [| worker; fir_path; e |]
   in
+  let pid = Unix.create_process worker argv child_read child_write Unix.stderr in
   Unix.close child_read;
   Unix.close child_write;
   (parent_read, Unix.out_channel_of_descr parent_write, pid)
@@ -212,12 +218,13 @@ let await_ready conn =
 (** Spawns a worker process serving the circuit in [fir_path].  [label]
     names the partition in diagnostics when the worker dies.
     [read_timeout] bounds every reply wait (default: wait forever). *)
-let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null) ~worker
-    ~fir_path () =
+let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null) ?engine
+    ~worker ~fir_path () =
   (* A dead worker must surface as a {!Worker_died} diagnosis, not a
      fatal SIGPIPE when the parent next writes to the closed pipe. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let parent_read, out, pid = launch ~worker ~fir_path in
+  let engine = Option.map Rtlsim.Sim.engine_name engine in
+  let parent_read, out, pid = launch ~worker ~fir_path ~engine in
   let metric kind = Printf.sprintf "remote.%s.%s" label kind in
   let conn =
     {
@@ -229,6 +236,7 @@ let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null) ~work
       c_alive = true;
       c_closed = false;
       c_timeout = read_timeout;
+      c_engine = engine;
       c_scratch = Bytes.create 65536;
       c_pending = "";
       c_cones = [];
@@ -306,7 +314,7 @@ let reconnect conn ~worker ~fir_path =
   (try Unix.close conn.c_fd_in with Unix.Unix_error _ -> ());
   (try close_out_noerr conn.c_out with Sys_error _ -> ());
   (try ignore (Unix.waitpid [ Unix.WNOHANG ] conn.c_pid) with Unix.Unix_error _ -> ());
-  let parent_read, out, pid = launch ~worker ~fir_path in
+  let parent_read, out, pid = launch ~worker ~fir_path ~engine:conn.c_engine in
   conn.c_fd_in <- parent_read;
   conn.c_out <- out;
   conn.c_pid <- pid;

@@ -19,11 +19,14 @@ exception Worker_died of { label : string; last_command : string; status : strin
     as {!Worker_died} with the command in flight instead of hanging the
     simulation.  [telemetry] (default {!Telemetry.null}) records
     [remote.<label>.bytes_out]/[.bytes_in] counters and a
-    [remote.<label>.rtt_us] round-trip latency histogram. *)
+    [remote.<label>.rtt_us] round-trip latency histogram.  [engine]
+    selects the worker's evaluation engine (passed on its command line
+    and replayed by {!reconnect}; the worker's own default otherwise). *)
 val spawn :
   ?label:string ->
   ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
+  ?engine:Rtlsim.Sim.engine ->
   worker:string ->
   fir_path:string ->
   unit ->

@@ -13,8 +13,18 @@
      paper's deployment where each FPGA simulates its partition
      concurrently and simulation tokens are the only synchronization.
      Tokens move through the bounded thread-safe queues of
-     {!Channel.Bqueue}; a partition that cannot fire or advance parks on
-     its notifier until a token arrives.
+     {!Channel.Bqueue}; an idle partition first spins on its notifier
+     version for an adaptive budget, then parks until a token arrives.
+
+   The parallel policy is host-adaptive: it sizes its execution to
+   [Domain.recommended_domain_count].  On a host with a single hardware
+   thread, domains cannot run concurrently — spawning them only adds
+   context switches and futex traffic on top of the sequential sweep —
+   so the policy multiplexes every partition cooperatively on the
+   calling domain (same firing rules, same deadlock judgment, same
+   telemetry schema).  With fewer hardware threads than partitions,
+   domains are spawned but spinning is disabled: a spinner would burn a
+   core its producer needs.
 
    Deadlock (the Fig. 2a merged-channel scenario) is detected in both
    policies by the same authoritative quiescence check
@@ -41,14 +51,11 @@ let of_string = function
 
 let never_abort () = false
 
-(* One round-robin attempt over everything partition [p] can do. *)
-let sweep net p ~block ~abort =
-  let progress = ref false in
-  Array.iter
-    (fun oc -> if Network.try_fire net p oc ~block ~abort then progress := true)
-    p.Network.pt_outs;
-  if Network.try_advance p then progress := true;
-  !progress
+(* One round-robin attempt over everything partition [p] can do — the
+   batched {!Network.sweep}: one lock to snapshot all input heads, all
+   locally-ready outputs fired per shared-queue touch, all heads
+   consumed under one lock on advance. *)
+let sweep net p ~block ~abort = Network.sweep net p ~block ~abort
 
 (* ------------------------------------------------------------------ *)
 (* Sequential                                                          *)
@@ -121,7 +128,7 @@ let par_block net mon p ~cycles ~seen =
     if declare then Mutex.unlock n.Channel.Notifier.n_mu
     else begin
       while Channel.Notifier.version n = seen && not (Atomic.get mon.m_abort) do
-        Condition.wait n.Channel.Notifier.n_cond n.Channel.Notifier.n_mu
+        Channel.Notifier.wait n
       done;
       Mutex.unlock n.Channel.Notifier.n_mu
     end;
@@ -204,34 +211,82 @@ let par_span w ~name ~args ~ts ~dur =
   | Some tr when dur > 0. -> Telemetry.Chrome_trace.span tr ~name ~args ~ts ~dur ()
   | _ -> ()
 
-let par_worker net mon p ~cycles ~finished ~slot =
+(* Adaptive spin-then-park idle policy.  Parking costs a futex round
+   trip plus a broadcast on the producer side — orders of magnitude more
+   than a typical inter-token gap once the evaluation engine is fast —
+   so an idle worker first spins on the (lock-free) notifier version for
+   a bounded budget, and only then takes the full park path.  The budget
+   adapts: doubled when the spin caught a wakeup (tokens are arriving at
+   spinnable rates), halved when it didn't (the partition is genuinely
+   blocked, stop burning cycles). *)
+let spin_min = 64
+
+let spin_max = 32768
+let spin_initial = 1024
+
+(* Hardware parallelism actually available, read once.  Sizes the
+   parallel policy: cooperative fallback at 1, spin-then-park only when
+   every partition domain can hold a core. *)
+let host_domains = lazy (Domain.recommended_domain_count ())
+
+(* Polls for a version change (or abort) for at most [budget] relax
+   hints; true if one arrived. *)
+let spin_for notif ~seen ~abort ~budget =
+  let rec go k =
+    if Channel.Notifier.version notif <> seen || abort () then true
+    else if k >= budget then false
+    else begin
+      Domain.cpu_relax ();
+      go (k + 1)
+    end
+  in
+  go 0
+
+let par_worker net mon p ~cycles ~finished ~slot ~spin =
   let abort () = Atomic.get mon.m_abort in
   let w = par_tel net p in
+  let tel = Network.telemetry net in
+  let metric kind = Printf.sprintf "sched.par.%s.%s" p.Network.pt_name kind in
+  let spins = Telemetry.counter tel (metric "spins") in
+  let parks = Telemetry.counter tel (metric "parks") in
+  let notif = p.Network.pt_notif in
+  let spin_budget = ref spin_initial in
   let seg_start = ref (w.w_clock ()) in
   (* Closes the current "run" segment at [now] and charges it. *)
   let end_run now =
     Telemetry.add w.w_run_ns (ns_of_us (now -. !seg_start));
     par_span w ~name:"run" ~args:[] ~ts:!seg_start ~dur:(now -. !seg_start)
   in
+  let park ~seen =
+    if not w.w_on then par_block net mon p ~cycles ~seen
+    else begin
+      let t_park = w.w_clock () in
+      end_run t_park;
+      let blocked_on = Network.record_stall p in
+      par_block net mon p ~cycles ~seen;
+      let t_wake = w.w_clock () in
+      Telemetry.add w.w_idle_ns (ns_of_us (t_wake -. t_park));
+      let args =
+        match blocked_on with
+        | None -> []
+        | Some chan -> [ ("blocked_on", Telemetry.Json.String chan) ]
+      in
+      par_span w ~name:"stall" ~args ~ts:t_park ~dur:(t_wake -. t_park);
+      seg_start := t_wake
+    end
+  in
   (try
      while p.Network.pt_cycle < cycles && not (abort ()) do
-       let seen = Channel.Notifier.version p.Network.pt_notif in
+       let seen = Channel.Notifier.version notif in
        if not (sweep net p ~block:true ~abort) then
-         if not w.w_on then par_block net mon p ~cycles ~seen
+         if spin && spin_for notif ~seen ~abort ~budget:!spin_budget then begin
+           Telemetry.incr spins;
+           spin_budget := min spin_max (2 * !spin_budget)
+         end
          else begin
-           let t_park = w.w_clock () in
-           end_run t_park;
-           let blocked_on = Network.record_stall p in
-           par_block net mon p ~cycles ~seen;
-           let t_wake = w.w_clock () in
-           Telemetry.add w.w_idle_ns (ns_of_us (t_wake -. t_park));
-           let args =
-             match blocked_on with
-             | None -> []
-             | Some chan -> [ ("blocked_on", Telemetry.Json.String chan) ]
-           in
-           par_span w ~name:"stall" ~args ~ts:t_park ~dur:(t_wake -. t_park);
-           seg_start := t_wake
+           Telemetry.incr parks;
+           spin_budget := max spin_min (!spin_budget / 2);
+           park ~seen
          end
      done
    with e -> par_fail net mon e);
@@ -242,8 +297,91 @@ let par_worker net mon p ~cycles ~finished ~slot =
   end;
   par_exit net mon ~cycles
 
-(* Runs every unfinished partition on its own domain to [cycles]. *)
+(* Cooperative fallback for hosts without real parallelism.  With one
+   hardware thread, one-domain-per-partition only layers context
+   switches, futex round trips and cache churn on top of the sequential
+   sweep (measured 2-5x slower); the parallel policy therefore
+   multiplexes every partition on the calling domain, exactly like
+   {!run_seq} — same firing rules, same no-progress => quiescent =>
+   deadlock judgment — while still registering the per-partition
+   [sched.par.*] counters so telemetry consumers see a stable schema
+   (run time is attributed per partition; spins and parks stay zero
+   because an idle policy never arises). *)
+let run_par_cooperative net ~cycles =
+  let parts = Network.partitions net in
+  let tel = Network.telemetry net in
+  let on = Telemetry.enabled tel in
+  let ws =
+    Array.map
+      (fun p ->
+        let metric kind =
+          Printf.sprintf "sched.par.%s.%s" p.Network.pt_name kind
+        in
+        List.iter
+          (fun k -> ignore (Telemetry.counter tel (metric k)))
+          [ "spins"; "parks" ];
+        par_tel net p)
+      parts
+  in
+  (* Per-partition run/stall segments, mirroring the per-domain spans of
+     {!par_worker}: a partition is "running" between visits that make
+     progress and "stalled" across consecutive visits that make none.
+     Segments include time spent sweeping the other partitions — on one
+     hardware thread wall time is shared, so per-partition attribution
+     is inherently approximate. *)
+  let seg_start = Array.map (fun w -> w.w_clock ()) ws in
+  let stalled = Array.make (Array.length parts) false in
+  let blocked = Array.make (Array.length parts) None in
+  let close i ~now =
+    let w = ws.(i) in
+    let dur = now -. seg_start.(i) in
+    if stalled.(i) then begin
+      Telemetry.add w.w_idle_ns (ns_of_us dur);
+      let args =
+        match blocked.(i) with
+        | None -> []
+        | Some chan -> [ ("blocked_on", Telemetry.Json.String chan) ]
+      in
+      par_span w ~name:"stall" ~args ~ts:seg_start.(i) ~dur
+    end
+    else begin
+      Telemetry.add w.w_run_ns (ns_of_us dur);
+      par_span w ~name:"run" ~args:[] ~ts:seg_start.(i) ~dur
+    end;
+    seg_start.(i) <- now
+  in
+  let visit i p =
+    let progressed = sweep net p ~block:false ~abort:never_abort in
+    if on && progressed = stalled.(i) then begin
+      (* Segment boundary: the partition switched between running and
+         being unable to progress. *)
+      close i ~now:(ws.(i).w_clock ());
+      if not progressed then blocked.(i) <- Network.record_stall p;
+      stalled.(i) <- not progressed
+    end;
+    progressed
+  in
+  let behind () = Array.exists (fun p -> p.Network.pt_cycle < cycles) parts in
+  while behind () do
+    let progress = ref false in
+    Array.iteri
+      (fun i p ->
+        if p.Network.pt_cycle < cycles then
+          if visit i p then progress := true)
+      parts;
+    if (not !progress) && behind () then begin
+      assert (Network.quiescent net ~target:cycles);
+      Network.raise_deadlock net
+    end
+  done;
+  if on then Array.iteri (fun i w -> close i ~now:(w.w_clock ())) ws
+
+(* Runs every unfinished partition on its own domain to [cycles] — or
+   cooperatively on the calling domain when the host cannot actually run
+   domains concurrently. *)
 let run_par net ~cycles =
+  if Lazy.force host_domains <= 1 then run_par_cooperative net ~cycles
+  else
   let parts = Network.partitions net in
   let workers =
     Array.to_list parts |> List.filter (fun p -> p.Network.pt_cycle < cycles)
@@ -262,10 +400,15 @@ let run_par net ~cycles =
       }
     in
     let finished = Array.make (List.length workers) 0. in
+    (* Spinning is only profitable when every partition domain can hold
+       a hardware thread; oversubscribed, a spinner burns the core its
+       producer needs to make the token it is waiting for. *)
+    let spin = Lazy.force host_domains >= List.length workers in
     let domains =
       List.mapi
         (fun slot p ->
-          Domain.spawn (fun () -> par_worker net mon p ~cycles ~finished ~slot))
+          Domain.spawn (fun () ->
+              par_worker net mon p ~cycles ~finished ~slot ~spin))
         workers
     in
     List.iter Domain.join domains;

@@ -1,0 +1,72 @@
+(** Compiled bytecode evaluation engine: levelized combinational
+    assignments, register updates and memory writes lowered into flat
+    int-array instruction streams (opcode + operand slot indices over
+    the simulator's shared value array) executed by a tight dispatch
+    loop — no closures, no allocation per cycle.
+
+    The compiler tracks a conservative "natural mask" per produced
+    value to skip redundant masking; the emitted semantics are
+    bit-exact with the closure engine in [Sim], including wrap-around
+    masking, division-by-zero yielding 0, oversized shifts yielding 0,
+    and raw (unmasked) literal and memory values. *)
+
+exception Error of string
+
+type t
+
+(** Lowers [flat] (levelized by [analysis]) against the simulator's
+    slot table and memory backing arrays.  [live] filters which driven
+    names get a combinational segment (default: all).  [wrapped] is
+    bumped once per out-of-range memory write address. *)
+val compile :
+  flat:Firrtl.Ast.module_def ->
+  analysis:Firrtl.Analysis.t ->
+  slots:(string, int) Hashtbl.t ->
+  widths:int array ->
+  mems:(string, int array) Hashtbl.t ->
+  mem_widths:(string, int) Hashtbl.t ->
+  ?live:(string -> bool) ->
+  wrapped:Telemetry.counter ->
+  unit ->
+  t
+
+val n_named : t -> int
+
+(** Expression temporaries needed above the named and literal-pool
+    slots (the maximum over any single assignment — temporaries are
+    segment-local). *)
+val n_temps : t -> int
+
+(** [n_named] + literal-pool size + [n_temps]: the value array size
+    the program requires. *)
+val n_slots : t -> int
+
+val n_comb_instrs : t -> int
+val n_seq_instrs : t -> int
+
+(** Number of combinational assignments (levelized segments). *)
+val n_segments : t -> int
+
+(** Per register (statement order): its value-array slot. *)
+val reg_slots : t -> int array
+
+(** Attaches the value array the program executes over; named slots
+    must occupy the first [n_named] entries.  Writes the literal pool
+    into its slots (directly above the named ones). *)
+val bind : t -> int array -> unit
+
+(** One full levelized combinational pass. *)
+val eval_comb : t -> unit
+
+(** One reverse sweep over all segments; [true] if any destination
+    changed (the naive-fixpoint ablation's inner loop). *)
+val fixpoint_sweep : t -> bool
+
+(** Concatenates the segments of the given (levelized) cone names into
+    one dedicated instruction stream; names without a segment (ports,
+    registers) contribute nothing. *)
+val make_cone : t -> string list -> unit -> unit
+
+(** Runs the staging program, then commits memory writes and register
+    updates (two-phase; the caller advances the cycle counter). *)
+val stage_and_commit_seq : t -> unit

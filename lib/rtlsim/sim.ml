@@ -1,17 +1,45 @@
 (* Cycle-accurate RTL simulator over flat [Firrtl] modules.
 
-   The simulator compiles the levelized combinational assignments into
-   an array of closures evaluated once per cycle (no fixpoint), then
-   applies register and memory updates with two-phase commit, so
-   evaluation order never affects results.  This is the substrate that
-   plays the role of both the FPGA execution of the target design and
-   the commercial software RTL simulator baseline in the paper. *)
+   Two interchangeable evaluation engines share one front-end (slot
+   assignment, levelization, two-phase sequential commit):
+
+   - [Bytecode] (the default): the levelized combinational assignments,
+     register updates and memory writes are lowered — after constant
+     folding and wire-level CSE ([Firrtl.Opt]) — into flat int-array
+     instruction streams executed by a tight dispatch loop
+     ([Bytecode]).  No closures, no allocation per cycle.
+   - [Closure]: each expression compiles to a tree of [unit -> int]
+     closures, one indirect call per node per cycle.  Slower, but the
+     evaluation of any subexpression maps 1:1 onto the IR, which keeps
+     it useful as the reference semantics and for debugging the
+     compiler itself.
+
+   Both engines apply register and memory updates with two-phase
+   commit, so evaluation order never affects results.  This is the
+   substrate that plays the role of both the FPGA execution of the
+   target design and the commercial software RTL simulator baseline in
+   the paper. *)
 
 open Firrtl
 
 exception Sim_error of string
 
 let sim_error fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+type engine =
+  | Closure
+  | Bytecode
+
+let default_engine = Bytecode
+
+let engine_name = function
+  | Closure -> "closure"
+  | Bytecode -> "bytecode"
+
+let engine_of_string = function
+  | "closure" -> Ok Closure
+  | "bytecode" -> Ok Bytecode
+  | s -> Error (Printf.sprintf "unknown engine %S (expected closure or bytecode)" s)
 
 type instr = {
   i_slot : int;
@@ -39,20 +67,33 @@ type mem_write = {
   mutable w_val : int;
 }
 
+type exec =
+  | Ex_closure of {
+      comb : instr array;
+      by_name : (string, instr) Hashtbl.t;  (** comb instr per driven name *)
+      regs : reg_update array;
+      reg_staging : int array;
+      writes : mem_write array;
+    }
+  | Ex_bytecode of Bytecode.t
+
 type t = {
-  flat : Ast.module_def;
-  analysis : Analysis.t;
+  flat : Ast.module_def;  (** the module as given (pre-optimization) *)
+  analysis : Analysis.t;  (** of the module the engine actually evaluates *)
+  engine : engine;
   slots : (string, int) Hashtbl.t;
   widths : int array;
   values : int array;
+      (** named slots first (indexed by [slots]); the bytecode engine's
+          expression temporaries, if any, live above them *)
   mems : (string, int array) Hashtbl.t;
-  comb : instr array;
-  by_name : (string, instr) Hashtbl.t;  (** comb instr per driven name *)
-  regs : reg_update array;
-  reg_staging : int array;
-  writes : mem_write array;
+  exec : exec;
+  reg_slots : int array;  (** per [Reg_update] (stmt order): its value slot *)
+  wrapped : Telemetry.counter;  (** out-of-range memory write addresses *)
   mutable cycle : int;
 }
+
+let engine_of t = t.engine
 
 let slot t name =
   match Hashtbl.find_opt t.slots name with
@@ -60,18 +101,22 @@ let slot t name =
   | None -> sim_error "no such signal: %s" name
 
 (* Compiles an expression to a closure over the value array. *)
-let rec compile t env e =
+let rec compile slots values mems env e =
+  let compile = compile slots values mems env in
   match e with
   | Ast.Lit { value; _ } -> fun () -> value
   | Ast.Ref name ->
-    let i = slot t name in
-    let values = t.values in
+    let i =
+      match Hashtbl.find_opt slots name with
+      | Some i -> i
+      | None -> sim_error "no such signal: %s" name
+    in
     fun () -> values.(i)
   | Ast.Mux (c, a, b) ->
-    let fc = compile t env c and fa = compile t env a and fb = compile t env b in
+    let fc = compile c and fa = compile a and fb = compile b in
     fun () -> if fc () <> 0 then fa () else fb ()
   | Ast.Binop (op, a, b) ->
-    let fa = compile t env a and fb = compile t env b in
+    let fa = compile a and fb = compile b in
     let m = Ast.mask (Ast.width_of env e) in
     (match op with
     | Add -> fun () -> (fa () + fb ()) land m
@@ -103,7 +148,7 @@ let rec compile t env e =
     | Gt -> fun () -> if fa () > fb () then 1 else 0
     | Ge -> fun () -> if fa () >= fb () then 1 else 0)
   | Ast.Unop (op, a) ->
-    let fa = compile t env a in
+    let fa = compile a in
     let wa = Ast.width_of env a in
     let m = Ast.mask wa in
     (match op with
@@ -116,27 +161,30 @@ let rec compile t env e =
         let rec parity acc v = if v = 0 then acc else parity (acc lxor (v land 1)) (v lsr 1) in
         parity 0 (fa ()))
   | Ast.Bits { e = a; hi; lo } ->
-    let fa = compile t env a in
+    let fa = compile a in
     let m = Ast.mask (hi - lo + 1) in
     fun () -> (fa () lsr lo) land m
   | Ast.Cat (a, b) ->
-    let fa = compile t env a and fb = compile t env b in
+    let fa = compile a and fb = compile b in
     let wb = Ast.width_of env b in
     if Ast.width_of env a + wb > Ast.max_width then
       sim_error "cat result exceeds %d bits" Ast.max_width;
     fun () -> (fa () lsl wb) lor fb ()
   | Ast.Read { mem; addr } ->
     let arr =
-      match Hashtbl.find_opt t.mems mem with
+      match Hashtbl.find_opt mems mem with
       | Some a -> a
       | None -> sim_error "no such memory: %s" mem
     in
     let depth = Array.length arr in
-    let fa = compile t env addr in
+    let fa = compile addr in
     fun () -> arr.(fa () mod depth)
 
-let create flat =
-  let analysis = Analysis.build flat in
+let create ?(engine = default_engine) ?(telemetry = Telemetry.null) ?dce_roots flat =
+  (* Build the analysis of the module as given first: comb-cycle and
+     missing-driver diagnostics must not depend on the engine (or on
+     what the optimizer would have deleted). *)
+  let base_analysis = Analysis.build flat in
   let slots = Hashtbl.create 256 in
   let widths_l = ref [] in
   let n_slots = ref 0 in
@@ -162,110 +210,178 @@ let create flat =
       | Ast.Wire _ | Ast.Reg _ | Ast.Inst _ -> ())
     flat.comps;
   let widths = Array.of_list (List.rev !widths_l) in
-  let values = Array.make (Array.length widths) 0 in
   (* Registers get their init values. *)
-  List.iter
-    (fun c ->
-      match c with
-      | Ast.Reg { name; width; init } ->
-        values.(Hashtbl.find slots name) <- Ast.truncate width init
-      | Ast.Wire _ | Ast.Mem _ | Ast.Inst _ -> ())
-    flat.comps;
-  let t =
-    {
-      flat;
-      analysis;
-      slots;
-      widths;
-      values;
-      mems;
-      comb = [||];
-      by_name = Hashtbl.create 256;
-      regs = [||];
-      reg_staging = [||];
-      writes = [||];
-      cycle = 0;
-    }
+  let init_regs values =
+    List.iter
+      (fun c ->
+        match c with
+        | Ast.Reg { name; width; init } ->
+          values.(Hashtbl.find slots name) <- Ast.truncate width init
+        | Ast.Wire _ | Ast.Mem _ | Ast.Inst _ -> ())
+      flat.comps
   in
-  let env =
-    {
-      Ast.width_of_name =
-        (fun n ->
-          match Hashtbl.find_opt slots n with
-          | Some i -> widths.(i)
-          | None -> sim_error "unknown name %s" n);
-      Ast.width_of_mem =
-        (fun n ->
-          match Hashtbl.find_opt mem_widths n with
-          | Some w -> w
-          | None -> sim_error "unknown memory %s" n);
-    }
-  in
-  (* Combinational instructions in levelized order. *)
-  let comb =
-    List.map
-      (fun name ->
-        let i_slot = Hashtbl.find slots name in
-        let src =
-          match Analysis.driver_of analysis name with
-          | Some e -> e
-          | None -> sim_error "%s has no driver" name
-        in
-        let i_width = widths.(i_slot) in
-        let f = compile t env src in
-        let m = Ast.mask i_width in
-        let instr = { i_slot; i_width; i_eval = (fun () -> f () land m) } in
-        Hashtbl.replace t.by_name name instr;
-        instr)
-      analysis.Analysis.order
-    |> Array.of_list
-  in
-  let regs =
+  let reg_slots =
     List.filter_map
       (fun s ->
         match s with
-        | Ast.Reg_update { reg; next; enable } ->
-          let r_slot = Hashtbl.find slots reg in
-          let r_width = widths.(r_slot) in
-          let f = compile t env next in
-          let m = Ast.mask r_width in
-          Some
-            {
-              r_slot;
-              r_width;
-              r_next = (fun () -> f () land m);
-              r_enable = Option.map (compile t env) enable;
-            }
+        | Ast.Reg_update { reg; _ } -> Some (Hashtbl.find slots reg)
         | Ast.Connect _ | Ast.Mem_write _ -> None)
       flat.stmts
     |> Array.of_list
   in
-  let writes =
-    List.filter_map
-      (fun s ->
-        match s with
-        | Ast.Mem_write { mem; addr; data; enable } ->
-          let arr = Hashtbl.find mems mem in
-          let w = Hashtbl.find mem_widths mem in
-          Some
-            {
-              w_mem = arr;
-              w_depth = Array.length arr;
-              w_addr = compile t env addr;
-              w_data = compile t env data;
-              w_width = w;
-              w_enable = compile t env enable;
-              w_fire = false;
-              w_idx = 0;
-              w_val = 0;
-            }
-        | Ast.Connect _ | Ast.Reg_update _ -> None)
-      flat.stmts
-    |> Array.of_list
-  in
-  { t with comb; regs; reg_staging = Array.make (Array.length regs) 0; writes }
+  let wrapped = Telemetry.counter telemetry "rtlsim.mem.addr_wrapped" in
+  match engine with
+  | Bytecode ->
+    let opt_flat =
+      try Opt.optimize ?roots:dce_roots flat
+      with Opt.Opt_error msg -> sim_error "%s" msg
+    in
+    (* The optimizer may introduce fresh wires (global subexpression
+       sharing); slot them above every original name so original
+       indices — and everything keyed on them — are untouched. *)
+    let widths =
+      let extra =
+        List.filter_map
+          (fun c ->
+            match c with
+            | Ast.Wire { name; width } when not (Hashtbl.mem slots name) ->
+              Some (name, width)
+            | Ast.Wire _ | Ast.Reg _ | Ast.Mem _ | Ast.Inst _ -> None)
+          opt_flat.Ast.comps
+      in
+      if extra = [] then widths
+      else begin
+        let base = Array.length widths in
+        let ext = Array.make (base + List.length extra) 0 in
+        Array.blit widths 0 ext 0 base;
+        List.iteri
+          (fun i (name, w) ->
+            Hashtbl.replace slots name (base + i);
+            ext.(base + i) <- w)
+          extra;
+        ext
+      end
+    in
+    let analysis = Analysis.build opt_flat in
+    let bc =
+      try Bytecode.compile ~flat:opt_flat ~analysis ~slots ~widths ~mems ~mem_widths ~wrapped ()
+      with Bytecode.Error msg -> sim_error "%s" msg
+    in
+    let values = Array.make (Bytecode.n_slots bc) 0 in
+    init_regs values;
+    Bytecode.bind bc values;
+    {
+      flat;
+      analysis;
+      engine;
+      slots;
+      widths;
+      values;
+      mems;
+      exec = Ex_bytecode bc;
+      reg_slots;
+      wrapped;
+      cycle = 0;
+    }
+  | Closure ->
+    let analysis = base_analysis in
+    let values = Array.make (Array.length widths) 0 in
+    init_regs values;
+    let env =
+      {
+        Ast.width_of_name =
+          (fun n ->
+            match Hashtbl.find_opt slots n with
+            | Some i -> widths.(i)
+            | None -> sim_error "unknown name %s" n);
+        Ast.width_of_mem =
+          (fun n ->
+            match Hashtbl.find_opt mem_widths n with
+            | Some w -> w
+            | None -> sim_error "unknown memory %s" n);
+      }
+    in
+    let compile = compile slots values mems env in
+    (* Combinational instructions in levelized order. *)
+    let by_name = Hashtbl.create 256 in
+    let comb =
+      List.map
+        (fun name ->
+          let i_slot = Hashtbl.find slots name in
+          let src =
+            match Analysis.driver_of analysis name with
+            | Some e -> e
+            | None -> sim_error "%s has no driver" name
+          in
+          let i_width = widths.(i_slot) in
+          let f = compile src in
+          let m = Ast.mask i_width in
+          let instr = { i_slot; i_width; i_eval = (fun () -> f () land m) } in
+          Hashtbl.replace by_name name instr;
+          instr)
+        analysis.Analysis.order
+      |> Array.of_list
+    in
+    let regs =
+      List.filter_map
+        (fun s ->
+          match s with
+          | Ast.Reg_update { reg; next; enable } ->
+            let r_slot = Hashtbl.find slots reg in
+            let r_width = widths.(r_slot) in
+            let f = compile next in
+            let m = Ast.mask r_width in
+            Some
+              {
+                r_slot;
+                r_width;
+                r_next = (fun () -> f () land m);
+                r_enable = Option.map compile enable;
+              }
+          | Ast.Connect _ | Ast.Mem_write _ -> None)
+        flat.stmts
+      |> Array.of_list
+    in
+    let writes =
+      List.filter_map
+        (fun s ->
+          match s with
+          | Ast.Mem_write { mem; addr; data; enable } ->
+            let arr = Hashtbl.find mems mem in
+            let w = Hashtbl.find mem_widths mem in
+            Some
+              {
+                w_mem = arr;
+                w_depth = Array.length arr;
+                w_addr = compile addr;
+                w_data = compile data;
+                w_width = w;
+                w_enable = compile enable;
+                w_fire = false;
+                w_idx = 0;
+                w_val = 0;
+              }
+          | Ast.Connect _ | Ast.Reg_update _ -> None)
+        flat.stmts
+      |> Array.of_list
+    in
+    {
+      flat;
+      analysis;
+      engine;
+      slots;
+      widths;
+      values;
+      mems;
+      exec =
+        Ex_closure { comb; by_name; regs; reg_staging = Array.make (Array.length regs) 0; writes };
+      reg_slots;
+      wrapped;
+      cycle = 0;
+    }
 
-let of_circuit circuit = create (Flatten.flatten circuit)
+let of_circuit ?engine ?telemetry ?dce_roots circuit =
+  create ?engine ?telemetry ?dce_roots (Flatten.flatten circuit)
 
 let cycle t = t.cycle
 
@@ -277,11 +393,13 @@ let get t name = t.values.(slot t name)
 
 (** Full combinational evaluation pass (call after setting inputs). *)
 let eval_comb t =
-  let comb = t.comb in
-  for i = 0 to Array.length comb - 1 do
-    let ins = Array.unsafe_get comb i in
-    t.values.(ins.i_slot) <- ins.i_eval ()
-  done
+  match t.exec with
+  | Ex_bytecode bc -> Bytecode.eval_comb bc
+  | Ex_closure { comb; _ } ->
+    for i = 0 to Array.length comb - 1 do
+      let ins = Array.unsafe_get comb i in
+      t.values.(ins.i_slot) <- ins.i_eval ()
+    done
 
 (** Naive fixpoint evaluation: repeatedly sweeps the combinational
     assignments in (deliberately unhelpful) reverse declaration order
@@ -289,22 +407,31 @@ let eval_comb t =
     levelization is purely a performance optimization, and the
     [ablation_levelize] bench measures how much it buys. *)
 let eval_comb_fixpoint t =
-  let comb = t.comb in
-  let changed = ref true in
-  let sweeps = ref 0 in
-  while !changed do
-    changed := false;
-    incr sweeps;
-    if !sweeps > Array.length comb + 2 then sim_error "fixpoint did not converge";
-    for i = Array.length comb - 1 downto 0 do
-      let ins = Array.unsafe_get comb i in
-      let v = ins.i_eval () in
-      if t.values.(ins.i_slot) <> v then begin
-        t.values.(ins.i_slot) <- v;
-        changed := true
-      end
+  match t.exec with
+  | Ex_bytecode bc ->
+    let changed = ref true in
+    let sweeps = ref 0 in
+    while !changed do
+      incr sweeps;
+      if !sweeps > Bytecode.n_segments bc + 2 then sim_error "fixpoint did not converge";
+      changed := Bytecode.fixpoint_sweep bc
     done
-  done
+  | Ex_closure { comb; _ } ->
+    let changed = ref true in
+    let sweeps = ref 0 in
+    while !changed do
+      changed := false;
+      incr sweeps;
+      if !sweeps > Array.length comb + 2 then sim_error "fixpoint did not converge";
+      for i = Array.length comb - 1 downto 0 do
+        let ins = Array.unsafe_get comb i in
+        let v = ins.i_eval () in
+        if t.values.(ins.i_slot) <> v then begin
+          t.values.(ins.i_slot) <- v;
+          changed := true
+        end
+      done
+    done
 
 (** Sequential update: assumes [eval_comb] ran with all inputs set.
     Two-phase: ALL register next-values and memory-write operands are
@@ -313,28 +440,32 @@ let eval_comb_fixpoint t =
     same cycle (registers banked into memories by the FAME-5 hardware
     transform make that race universal). *)
 let step_seq t =
-  let regs = t.regs in
-  for i = 0 to Array.length regs - 1 do
-    let r = Array.unsafe_get regs i in
-    let keep =
-      match r.r_enable with
-      | None -> false
-      | Some en -> en () = 0
-    in
-    t.reg_staging.(i) <- (if keep then t.values.(r.r_slot) else r.r_next ())
-  done;
-  Array.iter
-    (fun w ->
-      w.w_fire <- w.w_enable () <> 0;
-      if w.w_fire then begin
-        w.w_idx <- w.w_addr () mod w.w_depth;
-        w.w_val <- w.w_data () land Ast.mask w.w_width
-      end)
-    t.writes;
-  Array.iter (fun w -> if w.w_fire then w.w_mem.(w.w_idx) <- w.w_val) t.writes;
-  for i = 0 to Array.length regs - 1 do
-    t.values.(regs.(i).r_slot) <- t.reg_staging.(i)
-  done;
+  (match t.exec with
+  | Ex_bytecode bc -> Bytecode.stage_and_commit_seq bc
+  | Ex_closure { regs; reg_staging; writes; _ } ->
+    for i = 0 to Array.length regs - 1 do
+      let r = Array.unsafe_get regs i in
+      let keep =
+        match r.r_enable with
+        | None -> false
+        | Some en -> en () = 0
+      in
+      reg_staging.(i) <- (if keep then t.values.(r.r_slot) else r.r_next ())
+    done;
+    Array.iter
+      (fun w ->
+        w.w_fire <- w.w_enable () <> 0;
+        if w.w_fire then begin
+          let a = w.w_addr () in
+          if a >= w.w_depth then Telemetry.incr t.wrapped;
+          w.w_idx <- a mod w.w_depth;
+          w.w_val <- w.w_data () land Ast.mask w.w_width
+        end)
+      writes;
+    Array.iter (fun w -> if w.w_fire then w.w_mem.(w.w_idx) <- w.w_val) writes;
+    for i = 0 to Array.length regs - 1 do
+      t.values.(regs.(i).r_slot) <- reg_staging.(i)
+    done);
   t.cycle <- t.cycle + 1
 
 (** Simulates one full target cycle. *)
@@ -347,14 +478,17 @@ let step t =
     other inputs are stale.  Used by LI-BDN output-channel firing. *)
 let make_cone_eval t roots =
   let order = Analysis.cone t.analysis roots in
-  let instrs =
-    List.filter_map (fun name -> Hashtbl.find_opt t.by_name name) order |> Array.of_list
-  in
-  fun () ->
-    for i = 0 to Array.length instrs - 1 do
-      let ins = Array.unsafe_get instrs i in
-      t.values.(ins.i_slot) <- ins.i_eval ()
-    done
+  match t.exec with
+  | Ex_bytecode bc -> Bytecode.make_cone bc order
+  | Ex_closure { by_name; _ } ->
+    let instrs =
+      List.filter_map (fun name -> Hashtbl.find_opt by_name name) order |> Array.of_list
+    in
+    fun () ->
+      for i = 0 to Array.length instrs - 1 do
+        let ins = Array.unsafe_get instrs i in
+        t.values.(ins.i_slot) <- ins.i_eval ()
+      done
 
 (* ------------------------------------------------------------------ *)
 (* Memory access (program loading, result inspection)                  *)
@@ -375,23 +509,23 @@ let load_mem t name values = List.iteri (fun i v -> poke_mem t name i v) values
 (* ------------------------------------------------------------------ *)
 
 type state = {
-  s_regs : int array;  (** indexed like [t.regs] *)
+  s_regs : int array;  (** indexed like [t.reg_slots] (stmt order) *)
   s_mems : (string * int array) list;
   s_cycle : int;
 }
 
 let save_state t =
   {
-    s_regs = Array.map (fun r -> t.values.(r.r_slot)) t.regs;
+    s_regs = Array.map (fun s -> t.values.(s)) t.reg_slots;
     s_mems = Hashtbl.fold (fun n a acc -> (n, Array.copy a) :: acc) t.mems [];
     s_cycle = t.cycle;
   }
 
 let restore_state t st =
-  if Array.length st.s_regs <> Array.length t.regs then
+  if Array.length st.s_regs <> Array.length t.reg_slots then
     sim_error "restore_state: %d registers in snapshot, %d in circuit"
-      (Array.length st.s_regs) (Array.length t.regs);
-  Array.iteri (fun i r -> t.values.(r.r_slot) <- st.s_regs.(i)) t.regs;
+      (Array.length st.s_regs) (Array.length t.reg_slots);
+  Array.iteri (fun i s -> t.values.(s) <- st.s_regs.(i)) t.reg_slots;
   List.iter
     (fun (n, a) ->
       let dst = mem_array t n in

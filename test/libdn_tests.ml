@@ -62,7 +62,7 @@ let build_pair_network ~split ~seeded =
         ( [ chan "in" [ ("a_src", 8); ("a_snk", 8) ] ],
           [ chan "out" [ ("d_src", 8); ("d_snk", 8) ] ] )
     in
-    let w = Goldengate.Fame1.wrap ~flat ~ins ~outs in
+    let w = Goldengate.Fame1.wrap ~flat ~ins ~outs () in
     Goldengate.Fame1.add_to_network net ~name w
   in
   let p1 = add "half1" 1 in
@@ -171,7 +171,7 @@ let test_external_drive () =
   Builder.connect b "out" acc;
   let flat = Builder.finish b in
   let net = Libdn.Network.create () in
-  let w = Goldengate.Fame1.wrap ~flat ~ins:[] ~outs:[] in
+  let w = Goldengate.Fame1.wrap ~flat ~ins:[] ~outs:[] () in
   let p = Goldengate.Fame1.add_to_network net ~name:"extsum" w in
   Libdn.Network.set_drive net p (fun eng cyc -> eng.Libdn.Engine.set_input "x" cyc);
   Libdn.Scheduler.run net ~cycles:5;
@@ -198,7 +198,7 @@ let tile_flat () =
 
 let test_fame5_matches_replicated () =
   let flat = tile_flat () in
-  let f5 = Goldengate.Fame5.create ~flat ~insts:[ "t0"; "t1"; "t2" ] in
+  let f5 = Goldengate.Fame5.create ~flat ~insts:[ "t0"; "t1"; "t2" ] () in
   let eng = Goldengate.Fame5.engine f5 in
   (* Reference: three independent sims. *)
   let refs = Array.init 3 (fun _ -> Rtlsim.Sim.create (tile_flat ())) in
@@ -231,7 +231,7 @@ let test_fame5_per_bank_setup () =
   Builder.output b "data" 8;
   Builder.connect b "data" (Dsl.read rom addr);
   let flat = Builder.finish b in
-  let f5 = Goldengate.Fame5.create ~flat ~insts:[ "a"; "b" ] in
+  let f5 = Goldengate.Fame5.create ~flat ~insts:[ "a"; "b" ] () in
   Goldengate.Fame5.with_bank f5 0 (fun sim -> Rtlsim.Sim.poke_mem sim "rom" 3 11);
   Goldengate.Fame5.with_bank f5 1 (fun sim -> Rtlsim.Sim.poke_mem sim "rom" 3 22);
   let eng = Goldengate.Fame5.engine f5 in
@@ -248,7 +248,7 @@ let test_fame5_comb_deps () =
   Builder.output b "y" 8;
   Builder.connect b "y" Dsl.(x +: lit ~width:8 1);
   let flat = Builder.finish b in
-  let f5 = Goldengate.Fame5.create ~flat ~insts:[ "t0"; "t1" ] in
+  let f5 = Goldengate.Fame5.create ~flat ~insts:[ "t0"; "t1" ] () in
   let eng = Goldengate.Fame5.engine f5 in
   Alcotest.(check (list string))
     "deps stay within thread" [ "t1#x" ]
@@ -286,6 +286,7 @@ let prop_exact_mode_equivalence =
           Goldengate.Fame1.wrap ~flat
             ~ins:[ chan "in_src" [ ("a_src", 8) ]; chan "in_snk" [ ("a_snk", 8) ] ]
             ~outs:[ chan "out_src" [ ("d_src", 8) ]; chan "out_snk" [ ("d_snk", 8) ] ]
+            ()
         in
         Goldengate.Fame1.add_to_network net ~name w
       in

@@ -127,7 +127,7 @@ let build_pair_network ~telemetry ~split =
         ( [ chan "in" [ ("a_src", 8); ("a_snk", 8) ] ],
           [ chan "out" [ ("d_src", 8); ("d_snk", 8) ] ] )
     in
-    let w = Goldengate.Fame1.wrap ~flat ~ins ~outs in
+    let w = Goldengate.Fame1.wrap ~flat ~ins ~outs () in
     Goldengate.Fame1.add_to_network net ~name w
   in
   let p1 = add "half1" 1 in
@@ -266,12 +266,17 @@ let test_trace_shape () =
   for u = 0 to Fireaxe.Plan.n_units plan - 1 do
     check_bool (Printf.sprintf "track for partition %d" u) true (List.mem u pids)
   done;
-  (* Nonzero run and stall spans under the parallel scheduler. *)
+  (* Nonzero run spans under the parallel scheduler.  Stall spans are a
+     host-scheduling artifact: with real hardware parallelism workers
+     genuinely park waiting for tokens, but on a single-thread host the
+     parallel policy degrades to the cooperative sweep, where the ring
+     never catches a partition unable to progress. *)
   let named n =
     List.length (List.filter (fun e -> J.to_str (field "name" e) = n) spans)
   in
   check_bool "run spans" true (named "run" > 0);
-  check_bool "stall spans" true (named "stall" > 0);
+  if Domain.recommended_domain_count () > 1 then
+    check_bool "stall spans" true (named "stall" > 0);
   (* Per-track timestamps are monotonically non-decreasing in recording
      order. *)
   let last = Hashtbl.create 8 in

@@ -34,4 +34,5 @@ let () =
          Telemetry_tests.suite;
          Resilience_tests.suite;
          Debug_tests.suite;
+         Engine_tests.suite;
        ])
