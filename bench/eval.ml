@@ -5,12 +5,11 @@
    All three produce bit-identical values (the engine crosscheck tests
    assert it), so this is a pure evaluation-strategy comparison: how
    much the flat instruction streams buy over per-assignment closures,
-   and how much levelization buys over sweeping to a fixpoint. *)
+   and how much levelization buys over sweeping to a fixpoint.
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Unix.gettimeofday () -. t0
+   A second sweep measures vectorization: one N-lane bytecode sim
+   (one instruction stream, N value images in lockstep) against N
+   sequential single-lane sims, in aggregate cycles/s. *)
 
 (* One evaluation strategy: a fresh simulator plus the per-cycle body
    it is driven with. *)
@@ -47,12 +46,8 @@ let bench ~name ~cycles circuit =
     List.map
       (fun st ->
         let _, step = st.st_make () in
-        (* Warm up: a few cycles touch every code path (and fault in the
-           compiled program) before the clock starts. *)
-        for _ = 1 to 16 do
-          step ()
-        done;
-        let secs = time (fun () -> for _ = 1 to cycles do step () done) in
+        Harness.warmup step;
+        let secs = Harness.time (fun () -> for _ = 1 to cycles do step () done) in
         let rate = float_of_int cycles /. secs in
         Printf.printf "  %-9s %8.3f s %12.0f cycles/s\n" st.st_name secs rate;
         (st.st_name, secs, rate))
@@ -85,28 +80,74 @@ let bench ~name ~cycles circuit =
       ])
     :: !report_rows
 
-(** Writes the machine-readable counterpart of the stdout table. *)
-let write_report ~path =
-  let doc =
+(* ------------------------------------------------------------------ *)
+(* Lane sweep                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lane_rows : Telemetry.Json.t list ref = ref []
+
+(* For each lane count N: wall-clock of N sequential fresh single-lane
+   bytecode sims stepping [cycles] each, against ONE N-lane sim
+   stepping [cycles] — both deliver N*cycles simulated cycles, so the
+   honest comparison is aggregate cycles/s.  Construction and warmup
+   stay outside the clock on both sides. *)
+let bench_lanes ~name ~cycles circuit =
+  let flat = Firrtl.Flatten.flatten circuit in
+  Printf.printf "%-12s lane sweep, %d target cycles per lane\n" name cycles;
+  let sweep =
+    List.map
+      (fun n ->
+        let solos =
+          Array.init n (fun _ -> Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode flat)
+        in
+        Array.iter (fun s -> Harness.warmup (fun () -> Rtlsim.Sim.step s)) solos;
+        let solo_secs =
+          Harness.time (fun () ->
+              Array.iter
+                (fun s -> for _ = 1 to cycles do Rtlsim.Sim.step s done)
+                solos)
+        in
+        let vec = Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode ~lanes:n flat in
+        Harness.warmup (fun () -> Rtlsim.Sim.step vec);
+        let vec_secs =
+          Harness.time (fun () -> for _ = 1 to cycles do Rtlsim.Sim.step vec done)
+        in
+        let agg secs = float_of_int (n * cycles) /. secs in
+        let speedup = solo_secs /. vec_secs in
+        Printf.printf
+          "  %d lane%s  solo %8.3f s %12.0f cyc/s   vec %8.3f s %12.0f cyc/s   %5.2fx\n"
+          n
+          (if n = 1 then " " else "s")
+          solo_secs (agg solo_secs) vec_secs (agg vec_secs) speedup;
+        Telemetry.Json.Obj
+          [
+            ("lanes", Telemetry.Json.Int n);
+            ("solo_secs", Telemetry.Json.Float solo_secs);
+            ("solo_agg_cycles_per_s", Telemetry.Json.Float (agg solo_secs));
+            ("vec_secs", Telemetry.Json.Float vec_secs);
+            ("vec_agg_cycles_per_s", Telemetry.Json.Float (agg vec_secs));
+            ("speedup", Telemetry.Json.Float speedup);
+          ])
+      [ 1; 2; 4; 8 ]
+  in
+  lane_rows :=
     Telemetry.Json.Obj
       [
-        ("schema", Telemetry.Json.String "fireaxe-bench-eval-1");
-        ( "designs",
-          Telemetry.Json.List
-            (List.rev_map (fun fields -> Telemetry.Json.Obj fields) !report_rows) );
+        ("name", Telemetry.Json.String name);
+        ("cycles", Telemetry.Json.Int cycles);
+        ("sweep", Telemetry.Json.List sweep);
       ]
-  in
-  let oc = open_out path in
-  output_string oc (Telemetry.Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s\n" path
+    :: !lane_rows
 
 let run () =
   Printf.printf "\n== evaluation engines (monolithic cycles/s) ==\n";
   bench ~name:"soc/1core" ~cycles:30_000 (Socgen.Soc.single_core_soc ~mem_latency:1 ());
   bench ~name:"soc/sha3" ~cycles:100_000 (Socgen.Soc.accel_soc Socgen.Soc.Sha3);
-  bench ~name:"ring-8" ~cycles:20_000 (Socgen.Ring_noc.ring_soc ~n_tiles:8 ~period:4 ());
-  bench ~name:"mesh-4x4" ~cycles:4_000
-    (Socgen.Mesh_noc.mesh_soc ~width:4 ~height:4 ~period:4 ());
-  write_report ~path:"BENCH_eval.json"
+  bench ~name:"ring-8" ~cycles:20_000 (Harness.ring8 ());
+  bench ~name:"mesh-4x4" ~cycles:4_000 (Harness.mesh4x4 ());
+  Printf.printf "\n== vectorized lanes (aggregate cycles/s, N-lane vs N solo) ==\n";
+  bench_lanes ~name:"ring-8" ~cycles:5_000 (Harness.ring8 ());
+  bench_lanes ~name:"mesh-4x4" ~cycles:1_000 (Harness.mesh4x4 ());
+  Harness.write_report ~schema:"fireaxe-bench-eval-1"
+    ~extra:[ ("lane_sweep", Telemetry.Json.List (List.rev !lane_rows)) ]
+    ~designs:!report_rows ~path:"BENCH_eval.json" ()

@@ -1,0 +1,51 @@
+(* Shared bench harness: the timing, warmup, design-construction and
+   JSON-report scaffolding that every microbench in this directory was
+   duplicating.  Each bench keeps its own measurement loop and row
+   shape; what lives here is the machinery around it. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* A few cycles touch every code path (and fault in compiled programs)
+   before the clock starts. *)
+let warmup ?(cycles = 16) step =
+  for _ = 1 to cycles do
+    step ()
+  done
+
+(* The benchmark NoC designs shared across benches: a ring of 8 routers
+   and a 4x4 mesh, both with period-4 traffic generators. *)
+let ring8 () = Socgen.Ring_noc.ring_soc ~n_tiles:8 ~period:4 ()
+let mesh4x4 () = Socgen.Mesh_noc.mesh_soc ~width:4 ~height:4 ~period:4 ()
+
+let noc_plan ~groups circuit =
+  let config =
+    {
+      Fireripper.Spec.default_config with
+      Fireripper.Spec.selection = Fireripper.Spec.Noc_routers groups;
+    }
+  in
+  Fireripper.Compile.compile ~config circuit
+
+(** Writes the machine-readable counterpart of a bench's stdout table:
+    [{schema; <extra fields>; designs: [{...}]}].  [designs] rows are
+    taken newest-first (the order benches accumulate them in) and
+    written oldest-first. *)
+let write_report ~schema ?(extra = []) ~designs ~path () =
+  let doc =
+    Telemetry.Json.Obj
+      ([ ("schema", Telemetry.Json.String schema) ]
+      @ extra
+      @ [
+          ( "designs",
+            Telemetry.Json.List
+              (List.rev_map (fun fields -> Telemetry.Json.Obj fields) designs) );
+        ])
+  in
+  let oc = open_out path in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path

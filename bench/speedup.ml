@@ -9,11 +9,6 @@
    concurrency — which is why the host's domain count is printed with
    the results. *)
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Unix.gettimeofday () -. t0
-
 (* Each measurement runs with a live telemetry sink so the JSON report
    can break wall-clock down into per-partition run/idle/barrier time
    and per-channel stall attribution (the breakdown is only populated
@@ -21,7 +16,7 @@ let time f =
 let measure plan ~cycles scheduler =
   let telemetry = Telemetry.create () in
   let h = Fireripper.Runtime.instantiate ~scheduler ~telemetry plan in
-  let secs = time (fun () -> Fireripper.Runtime.run h ~cycles) in
+  let secs = Harness.time (fun () -> Fireripper.Runtime.run h ~cycles) in
   (secs, Fireripper.Runtime.token_transfers h, telemetry)
 
 (* Per-partition run/idle/barrier nanoseconds, keyed from the
@@ -99,51 +94,27 @@ let bench ~name ~cycles plan =
     ]
     :: !report_rows
 
-(** Writes the machine-readable counterpart of the stdout table. *)
-let write_report ~path =
-  let doc =
-    Telemetry.Json.Obj
-      [
-        ("schema", Telemetry.Json.String "fireaxe-bench-speedup-1");
-        ("host_domains", Telemetry.Json.Int (Domain.recommended_domain_count ()));
-        ( "designs",
-          Telemetry.Json.List
-            (List.rev_map (fun fields -> Telemetry.Json.Obj fields) !report_rows) );
-      ]
-  in
-  let oc = open_out path in
-  output_string oc (Telemetry.Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s\n" path
-
-let noc_plan ~groups circuit =
-  let config =
-    {
-      Fireripper.Spec.default_config with
-      Fireripper.Spec.selection = Fireripper.Spec.Noc_routers groups;
-    }
-  in
-  Fireripper.Compile.compile ~config circuit
-
 let run () =
   Printf.printf "\n== scheduler speedup (host domains: %d) ==\n"
     (Domain.recommended_domain_count ());
   (* Ring of 8 routers cut into 4 partitions of 2 (plus none left over:
      the reflector/tile wrapper is its own unit). *)
   bench ~name:"ring-8/4way" ~cycles:2_000
-    (noc_plan
+    (Harness.noc_plan
        ~groups:[ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ]; [ 6; 7 ] ]
-       (Socgen.Ring_noc.ring_soc ~n_tiles:8 ~period:4 ()));
+       (Harness.ring8 ()));
   (* 4x4 mesh cut into row bands (rows 0-2 extracted, row 3 stays with
      the tile wrapper). *)
   bench ~name:"mesh-4x4/4way" ~cycles:1_000
-    (noc_plan
+    (Harness.noc_plan
        ~groups:
          [
            Socgen.Mesh_noc.row_group ~width:4 0;
            Socgen.Mesh_noc.row_group ~width:4 1;
            Socgen.Mesh_noc.row_group ~width:4 2;
          ]
-       (Socgen.Mesh_noc.mesh_soc ~width:4 ~height:4 ~period:4 ()));
-  write_report ~path:"BENCH_speedup.json"
+       (Harness.mesh4x4 ()));
+  Harness.write_report ~schema:"fireaxe-bench-speedup-1"
+    ~extra:
+      [ ("host_domains", Telemetry.Json.Int (Domain.recommended_domain_count ())) ]
+    ~designs:!report_rows ~path:"BENCH_speedup.json" ()

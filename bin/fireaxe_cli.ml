@@ -204,6 +204,25 @@ let engine_arg =
            reference evaluator).  Both are bit-exact; closure keeps per-assignment \
            evaluation inspectable for debugging.")
 
+let lanes_arg =
+  let positive =
+    Arg.conv
+      ( (fun s ->
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Ok n
+          | _ -> Error (`Msg (Printf.sprintf "bad lane count %S (want a positive int)" s))),
+        Fmt.int )
+  in
+  Arg.(
+    value
+    & opt positive 1
+    & info [ "lanes" ] ~docv:"N"
+        ~doc:
+          "Engine lanes: advance $(docv) identical copies of every partition in \
+           lockstep through one vectorized evaluation pass (bytecode engine only).  \
+           Inputs are broadcast to all lanes, so the copies must stay bit-identical; \
+           the post-run probe check verifies they do.")
+
 let parse_groups kind s =
   String.split_on_char ';' s
   |> List.map (fun group ->
@@ -382,7 +401,31 @@ let report_flight flight_ref ?reason () =
     | Some d -> Fmt.pr "flight bundle: %s@." d
     | None -> ())
 
-let run_remote ~telemetry ~scheduler ~engine ~checkpoint_dir ~checkpoint_every
+(* With several engine lanes every lane advanced an identical broadcast
+   copy of the design, so any probe disagreeing across lanes is a
+   vectorization bug; fail the run (CI's lane smoke rides on this). *)
+let check_lane_agreement ~lanes ~read_lane probes =
+  if lanes > 1 then begin
+    let bad = ref 0 in
+    List.iter
+      (fun probe ->
+        let v0 = read_lane probe 0 in
+        for l = 1 to lanes - 1 do
+          if read_lane probe l <> v0 then begin
+            incr bad;
+            Fmt.epr "lane %d disagrees with lane 0 on %s@." l probe
+          end
+        done)
+      probes;
+    if !bad > 0 then begin
+      Fmt.epr "%d probe/lane disagreement(s) across %d lanes@." !bad lanes;
+      exit 4
+    end;
+    Fmt.pr "lanes: %d broadcast lanes agree on all %d probes@." lanes
+      (List.length probes)
+  end
+
+let run_remote ~telemetry ~scheduler ~engine ~lanes ~checkpoint_dir ~checkpoint_every
     ~chaos_seed ~resume ~vcd_path ~sample ~flight_depth ~flight_dir ~flight_ref
     ~progress design plan cycles =
   let n = Fireaxe.Plan.n_units plan in
@@ -402,9 +445,10 @@ let run_remote ~telemetry ~scheduler ~engine ~checkpoint_dir ~checkpoint_every
     | _ -> ()
   in
   let sv =
-    Fireaxe.supervise ~scheduler ~telemetry ~engine ?checkpoint_dir
-      ~every:checkpoint_every ?chaos ~on_event ~worker:(worker_path ())
-      ~remote_units:(List.init n Fun.id) plan
+    Fireaxe.supervise ~scheduler ~telemetry ~engine
+      ?lanes:(if lanes > 1 then Some lanes else None)
+      ?checkpoint_dir ~every:checkpoint_every ?chaos ~on_event
+      ~worker:(worker_path ()) ~remote_units:(List.init n Fun.id) plan
   in
   let h = Fireaxe.Resilience.Supervisor.handle sv in
   let conns = Fireaxe.Runtime.remote_conns h in
@@ -487,15 +531,21 @@ let run_remote ~telemetry ~scheduler ~engine ~checkpoint_dir ~checkpoint_every
         Fmt.pr "  %-28s = %-8d (monolithic %d%s)@." probe v m
           (if v = m then ", exact" else " -- DIFFERS"))
     design.d_probes;
+  check_lane_agreement ~lanes
+    ~read_lane:(fun probe l ->
+      match List.find_opt (fun (_, c) -> Libdn.Remote_engine.has c probe) conns with
+      | Some (_, c) -> Libdn.Remote_engine.get_lane c probe ~lane:l
+      | None -> 0)
+    design.d_probes;
   Fireaxe.Resilience.Supervisor.close sv;
   if !mismatches > 0 then begin
     Fmt.epr "%d probe(s) differ from the monolithic reference@." !mismatches;
     exit 4
   end
 
-let run design mode select routers scheduler engine cycles vcd_path sample every resume
-    save_snap check remote metrics trace_file progress checkpoint_dir checkpoint_every
-    chaos_seed flight_depth flight_dir wavediff =
+let run design mode select routers scheduler engine lanes cycles vcd_path sample every
+    resume save_snap check remote metrics trace_file progress checkpoint_dir
+    checkpoint_every chaos_seed flight_depth flight_dir wavediff =
   (* A live sink only when some exporter was requested; otherwise the
      shared disabled sink keeps the hot path free. *)
   let telemetry =
@@ -541,11 +591,11 @@ let run design mode select routers scheduler engine cycles vcd_path sample every
       let circuit = design.d_circuit () in
       let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
       if remote then
-        run_remote ~telemetry ~scheduler ~engine ~checkpoint_dir ~checkpoint_every
-          ~chaos_seed ~resume ~vcd_path ~sample ~flight_depth ~flight_dir ~flight_ref
-          ~progress design plan cycles
+        run_remote ~telemetry ~scheduler ~engine ~lanes ~checkpoint_dir
+          ~checkpoint_every ~chaos_seed ~resume ~vcd_path ~sample ~flight_depth
+          ~flight_dir ~flight_ref ~progress design plan cycles
       else begin
-        let h = Fireaxe.instantiate ~scheduler ~telemetry ~engine plan in
+        let h = Fireaxe.instantiate ~scheduler ~telemetry ~engine ~lanes plan in
         do_resume h ~checkpoint_dir resume;
         (* With a checkpoint dir, plain in-process runs also advance under
            one supervisor so bundles land on every interval, even when the
@@ -658,6 +708,11 @@ let run design mode select routers scheduler engine cycles vcd_path sample every
             let m = Rtlsim.Sim.get mono probe in
             Fmt.pr "  %-28s = %-8d (monolithic %d%s)@." probe v m
               (if v = m then ", exact" else " -- DIFFERS"))
+          design.d_probes;
+        check_lane_agreement ~lanes
+          ~read_lane:(fun probe l ->
+            let u = Fireaxe.Runtime.locate h probe in
+            Rtlsim.Sim.get ~lane:l (Fireaxe.Runtime.sim_of h u) probe)
           design.d_probes
       end
     end
@@ -824,7 +879,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a partitioned simulation and cross-check it against the monolithic one.")
     Term.(
       const run $ design_arg $ mode_arg $ select_arg $ routers_arg $ scheduler_arg
-      $ engine_arg $ cycles_arg $ vcd_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
+      $ engine_arg $ lanes_arg $ cycles_arg $ vcd_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
       $ check_arg $ remote_arg $ metrics_arg $ trace_file_arg $ progress_arg
       $ checkpoint_dir_arg $ checkpoint_every_arg $ chaos_arg $ flight_arg
       $ flight_dir_arg $ wave_diff_arg)
@@ -850,14 +905,14 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Print the interface-width performance sweep for a transport.")
     Term.(const sweep $ transport_arg)
 
-let validate design scheduler =
+let validate design scheduler engine lanes =
   (* Generic validation: run until a design-specific "finished" register
      condition; for designs without one, compare state after N cycles. *)
   match design.d_name with
   | "soc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
     let v =
-      Fireaxe.validate ~scheduler ~name:design.d_name
+      Fireaxe.validate ~scheduler ~engine ~lanes ~name:design.d_name
         ~circuit:(fun () -> Socgen.Soc.single_core_soc ())
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -872,7 +927,7 @@ let validate design scheduler =
   | "dramsoc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
     let v =
-      Fireaxe.validate ~scheduler ~name:design.d_name
+      Fireaxe.validate ~scheduler ~engine ~lanes ~name:design.d_name
         ~circuit:(fun () -> Socgen.Dram.dram_soc ())
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -890,7 +945,7 @@ let validate design scheduler =
       else (Socgen.Soc.Gemmini, Socgen.Accel.g_done)
     in
     let v =
-      Fireaxe.validate ~scheduler ~name:design.d_name
+      Fireaxe.validate ~scheduler ~engine ~lanes ~name:design.d_name
         ~circuit:(fun () -> Socgen.Soc.accel_soc kind)
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -907,7 +962,7 @@ let validate design scheduler =
   | "k5soc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
     let v =
-      Fireaxe.validate ~scheduler ~name:design.d_name
+      Fireaxe.validate ~scheduler ~engine ~lanes ~name:design.d_name
         ~circuit:(fun () -> Socgen.Kite5_core.soc ())
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -924,7 +979,7 @@ let validate design scheduler =
 let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Table II methodology: monolithic vs exact vs fast cycle counts.")
-    Term.(const validate $ design_arg $ scheduler_arg)
+    Term.(const validate $ design_arg $ scheduler_arg $ engine_arg $ lanes_arg)
 
 let runs_arg = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Simulations in the campaign.")
 

@@ -3,11 +3,13 @@
    serves the Remote_engine pipe protocol on stdin/stdout.  One worker
    hosts one partition unit — the process-level stand-in for one FPGA.
    An optional second argument picks the evaluation engine
-   (closure|bytecode); the simulator's default applies otherwise. *)
+   (closure|bytecode); the simulator's default applies otherwise.  An
+   optional third argument sets the engine's lane count (vectorized
+   N-copy execution; bytecode engine only). *)
 
 let () =
-  if Array.length Sys.argv < 2 || Array.length Sys.argv > 3 then begin
-    prerr_endline "usage: fireaxe-worker <circuit.fir> [closure|bytecode]";
+  if Array.length Sys.argv < 2 || Array.length Sys.argv > 4 then begin
+    prerr_endline "usage: fireaxe-worker <circuit.fir> [closure|bytecode] [lanes]";
     exit 2
   end;
   let engine =
@@ -19,8 +21,19 @@ let () =
         prerr_endline ("fireaxe-worker: " ^ m);
         exit 2
   in
+  let lanes =
+    if Array.length Sys.argv < 4 then None
+    else
+      match int_of_string_opt Sys.argv.(3) with
+      | Some n when n >= 1 -> Some n
+      | _ ->
+        prerr_endline
+          (Printf.sprintf "fireaxe-worker: bad lane count %S (want a positive int)"
+             Sys.argv.(3));
+        exit 2
+  in
   let circuit = Firrtl.Text.load ~path:Sys.argv.(1) in
-  let sim = Rtlsim.Sim.of_circuit ?engine circuit in
+  let sim = Rtlsim.Sim.of_circuit ?engine ?lanes circuit in
   let eng = Libdn.Engine.of_sim sim in
   (* Cones and checkpoints draw from SEPARATE id counters: cone ids are
      then a pure function of registration order, which is what lets a
@@ -55,6 +68,11 @@ let () =
       match words line with
       | [ "set"; name; v ] -> eng.Libdn.Engine.set_input name (int_of_string v)
       | [ "get"; name ] -> reply "%d" (eng.Libdn.Engine.get name)
+      | [ "get"; name; lane ] ->
+        (* Per-lane read: lets the parent check lane agreement or probe
+           an individual copy when the engine runs several lanes. *)
+        reply "%d" (Rtlsim.Sim.get ~lane:(int_of_string lane) sim name)
+      | [ "lanes" ] -> reply "%d" (Rtlsim.Sim.lanes sim)
       | [ "eval" ] -> eng.Libdn.Engine.eval_comb ()
       | [ "step" ] -> eng.Libdn.Engine.step_seq ()
       | "cone" :: roots ->

@@ -38,11 +38,15 @@ module Debug = Debug
 val compile : ?config:Spec.config -> Firrtl.Ast.circuit -> Plan.t
 val report : Plan.t -> Report.t
 
+(** See {!Fireripper.Runtime.instantiate}.  [lanes] gives every
+    non-FAME-5 unit engine that many execution lanes (N identical
+    copies advanced in lockstep; bytecode engine only). *)
 val instantiate :
   ?fame5:bool ->
   ?scheduler:Libdn.Scheduler.t ->
   ?telemetry:Telemetry.t ->
   ?engine:Rtlsim.Sim.engine ->
+  ?lanes:int ->
   Plan.t ->
   Runtime.handle
 
@@ -59,6 +63,7 @@ val supervise :
   ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
   ?engine:Rtlsim.Sim.engine ->
+  ?lanes:int ->
   ?checkpoint_dir:string ->
   ?every:int ->
   ?policy:Resilience.Policy.t ->
@@ -117,12 +122,17 @@ val wave_diff :
 
 (** Runs the same workload monolithically, exact-partitioned and
     fast-partitioned (Table II): exact is always cycle-identical.
-    [scheduler] picks the execution policy of the partitioned runs.
+    [scheduler] picks the execution policy of the partitioned runs;
+    [engine] their evaluation engine and [lanes] its lane count (the
+    partitioned runs then advance N broadcast-identical copies in
+    lockstep — a vectorization smoke test on top of the validation).
     When [probes] are given, a side-by-side {!wave_diff} of the
     monolithic and exact runs localizes any divergence into
     [v_divergence]. *)
 val validate :
   ?scheduler:Libdn.Scheduler.t ->
+  ?engine:Rtlsim.Sim.engine ->
+  ?lanes:int ->
   ?probes:string list ->
   name:string ->
   circuit:(unit -> Firrtl.Ast.circuit) ->

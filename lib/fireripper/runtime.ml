@@ -91,9 +91,13 @@ let build_network ?(telemetry = Telemetry.null) (plan : Plan.t) engines =
     wrapper units (duplicate-module partitions); [scheduler] picks the
     execution policy ({!Libdn.Scheduler.Sequential} by default);
     [telemetry] (default {!Telemetry.null}) makes every layer of the
-    resulting simulation record into the given sink. *)
+    resulting simulation record into the given sink.  [lanes] gives
+    every non-FAME-5 unit engine that many lanes (N identical copies of
+    the partitioned design advanced in lockstep; inputs broadcast to
+    all lanes).  FAME-5 units ignore it — their lane count is their
+    thread count. *)
 let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default)
-    ?(telemetry = Telemetry.null) ?engine (plan : Plan.t) =
+    ?(telemetry = Telemetry.null) ?engine ?lanes (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -111,7 +115,7 @@ let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default)
           fame5s.(u.Plan.u_index) <- Some f5;
           Goldengate.Fame5.engine f5
         | None ->
-          let sim = Rtlsim.Sim.create ?engine (Lazy.force u.Plan.u_flat) in
+          let sim = Rtlsim.Sim.create ?engine ?lanes (Lazy.force u.Plan.u_flat) in
           sims.(u.Plan.u_index) <- Some sim;
           Libdn.Engine.of_sim sim
       in
@@ -149,7 +153,7 @@ let with_unit_fir (plan : Plan.t) k f =
     (snapshots DO cover them, through the worker pipe protocol).
     [read_timeout] bounds every worker reply wait in seconds. *)
 let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ?read_timeout
-    ?(telemetry = Telemetry.null) ?engine ~worker ~remote_units (plan : Plan.t) =
+    ?(telemetry = Telemetry.null) ?engine ?lanes ~worker ~remote_units (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -162,13 +166,13 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ?read_timeout
           let conn =
             with_unit_fir plan u.Plan.u_index (fun path ->
                 Libdn.Remote_engine.spawn ~label:u.Plan.u_name ?read_timeout ~telemetry
-                  ?engine ~worker ~fir_path:path ())
+                  ?engine ?lanes ~worker ~fir_path:path ())
           in
           conns := (u.Plan.u_index, conn) :: !conns;
           Libdn.Remote_engine.engine conn
         end
         else begin
-          let sim = Rtlsim.Sim.create ?engine (Lazy.force u.Plan.u_flat) in
+          let sim = Rtlsim.Sim.create ?engine ?lanes (Lazy.force u.Plan.u_flat) in
           sims.(u.Plan.u_index) <- Some sim;
           Libdn.Engine.of_sim sim
         end

@@ -22,12 +22,17 @@ val fame5_eligible : Plan.unit_part -> (string list * string) option
     ({!Libdn.Scheduler.Sequential} by default); [telemetry] (default
     {!Telemetry.null}, free on the hot path) makes every layer record
     into the given sink; [engine] selects every unit simulator's
-    evaluation engine ({!Rtlsim.Sim.default_engine} otherwise). *)
+    evaluation engine ({!Rtlsim.Sim.default_engine} otherwise);
+    [lanes] gives every non-FAME-5 unit engine that many lanes —
+    N identical copies of the partitioned design advanced in lockstep,
+    inputs broadcast to all lanes (bytecode engine only).  FAME-5
+    units ignore [lanes]: their lane count is their thread count. *)
 val instantiate :
   ?fame5:bool ->
   ?scheduler:Libdn.Scheduler.t ->
   ?telemetry:Telemetry.t ->
   ?engine:Rtlsim.Sim.engine ->
+  ?lanes:int ->
   Plan.t ->
   handle
 
@@ -39,12 +44,15 @@ val instantiate :
     connection's poke/peek instead.  Snapshots DO cover remote units,
     through the worker pipe protocol.  [read_timeout] bounds every
     worker reply wait in seconds (a wedged worker then surfaces as
-    {!Libdn.Remote_engine.Worker_died} instead of hanging). *)
+    {!Libdn.Remote_engine.Worker_died} instead of hanging).  [lanes]
+    applies to local units directly and to remote units through the
+    worker's command line (replayed on respawn). *)
 val instantiate_remote :
   ?scheduler:Libdn.Scheduler.t ->
   ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
   ?engine:Rtlsim.Sim.engine ->
+  ?lanes:int ->
   worker:string ->
   remote_units:int list ->
   Plan.t ->

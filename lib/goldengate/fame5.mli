@@ -1,23 +1,34 @@
 (** FAME-5 transform (Golden Gate): simulator-level multithreading of
     duplicate module instances — one shared combinational evaluator (the
-    compiled RTL simulation) and one register/memory bank per thread.
-    One target cycle costs N host evaluations, the trade the platform
-    model charges for (paper §VI-B).
+    compiled RTL simulation) and one state bank per thread.  With the
+    bytecode engine the threads map 1:1 onto the engine's execution
+    lanes (one vectorized evaluation pass advances every thread); the
+    single-lane closure engine falls back to swapping register/memory
+    snapshot banks through the one simulation.  One target cycle costs N
+    threads' worth of evaluation, the trade the platform model charges
+    for (paper §VI-B).
 
     The engine exposes thread [k]'s port [p] as ["<inst_k>#p"], matching
     the names FireRipper's grouping pass punches through wrappers. *)
 
 type t
 
-(** [create ~flat ~insts] builds the threaded context: one state bank
-    per instance name in [insts].  [engine] selects the evaluation
-    engine of the shared simulation. *)
+(** [create ~flat ~insts] builds the threaded context: one bank (engine
+    lane, or snapshot for the closure fallback) per instance name in
+    [insts].  [engine] selects the evaluation engine of the shared
+    simulation ({!Rtlsim.Sim.default_engine} otherwise). *)
 val create :
   ?engine:Rtlsim.Sim.engine -> flat:Firrtl.Ast.module_def -> insts:string list -> unit -> t
 
-(** Runs [f] with thread [k]'s state resident (e.g. to load a
-    per-thread program image). *)
-val with_bank : t -> int -> (Rtlsim.Sim.t -> 'a) -> 'a
+(** Whether threads are engine lanes (bytecode) rather than swapped
+    state banks (closure fallback). *)
+val laned : t -> bool
+
+(** [with_bank t k f] runs [f sim lane] with thread [k]'s state resident
+    on [lane] of [sim] — e.g. to load a per-thread program image with
+    [Rtlsim.Sim.poke_mem ~lane], or read per-thread state with
+    [Rtlsim.Sim.get ~lane]. *)
+val with_bank : t -> int -> (Rtlsim.Sim.t -> int -> 'a) -> 'a
 
 val threads : t -> int
 

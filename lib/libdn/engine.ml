@@ -23,16 +23,16 @@ type t = {
 let of_sim sim =
   let analysis = sim.Rtlsim.Sim.analysis in
   {
-    set_input = Rtlsim.Sim.set_input sim;
+    (* Broadcast stimulus: with N lanes the engine advances N identical
+       copies in lockstep, so every lane sees every input.  (Reads come
+       from lane 0; all lanes agree under broadcast driving.) *)
+    set_input = Rtlsim.Sim.set_input_all sim;
     get = Rtlsim.Sim.get sim;
     eval_comb = (fun () -> Rtlsim.Sim.eval_comb sim);
     step_seq = (fun () -> Rtlsim.Sim.step_seq sim);
     make_cone_eval = Rtlsim.Sim.make_cone_eval sim;
     output_comb_deps = (fun port -> Firrtl.Analysis.comb_inputs analysis port);
-    checkpoint =
-      (fun () ->
-        let st = Rtlsim.Sim.save_state sim in
-        fun () -> Rtlsim.Sim.restore_state sim st);
+    checkpoint = (fun () -> Rtlsim.Sim.checkpoint sim);
   }
 
-let of_flat ?engine flat = of_sim (Rtlsim.Sim.create ?engine flat)
+let of_flat ?engine ?lanes flat = of_sim (Rtlsim.Sim.create ?engine ?lanes flat)

@@ -20,5 +20,8 @@ type t = {
 val of_sim : Rtlsim.Sim.t -> t
 
 (** Builds a fresh simulation of [flat] and wraps it; [engine] selects
-    the evaluation engine ({!Rtlsim.Sim.default_engine} otherwise). *)
-val of_flat : ?engine:Rtlsim.Sim.engine -> Firrtl.Ast.module_def -> t
+    the evaluation engine ({!Rtlsim.Sim.default_engine} otherwise) and
+    [lanes] its lane count (default 1).  With several lanes the wrapped
+    engine broadcasts inputs to every lane, advancing N identical
+    copies of the design in lockstep. *)
+val of_flat : ?engine:Rtlsim.Sim.engine -> ?lanes:int -> Firrtl.Ast.module_def -> t

@@ -43,6 +43,9 @@ type conn = {
   c_engine : string option;
       (** evaluation-engine name passed on the worker's command line;
           replayed verbatim by {!reconnect} *)
+  c_lanes : int option;
+      (** engine lane count passed on the worker's command line;
+          replayed verbatim by {!reconnect} *)
   c_scratch : Bytes.t;  (** read(2) staging, owned by this conn's domain *)
   mutable c_pending : string;  (** bytes read but not yet consumed *)
   mutable c_cones : (string * int) list;
@@ -191,13 +194,23 @@ let ask_int conn fmt =
    the write end of its own stdin pipe would keep EOF from ever
    arriving after the parent exits); [create_process] dup2s the
    child-side ends onto fds 0/1, which survive the exec. *)
-let launch ~worker ~fir_path ~engine =
+let launch ~worker ~fir_path ~engine ~lanes =
   let parent_read, child_write = Unix.pipe ~cloexec:true () in
   let child_read, parent_write = Unix.pipe ~cloexec:true () in
   let argv =
-    match engine with
-    | None -> [| worker; fir_path |]
-    | Some e -> [| worker; fir_path; e |]
+    (* Lanes ride in the third argv slot, so requesting them forces the
+       engine name into the second (the default's name when the caller
+       left the engine unspecified). *)
+    match engine, lanes with
+    | None, None -> [| worker; fir_path |]
+    | Some e, None -> [| worker; fir_path; e |]
+    | e, Some n ->
+      let e =
+        match e with
+        | Some e -> e
+        | None -> Rtlsim.Sim.engine_name Rtlsim.Sim.default_engine
+      in
+      [| worker; fir_path; e; string_of_int n |]
   in
   let pid = Unix.create_process worker argv child_read child_write Unix.stderr in
   Unix.close child_read;
@@ -219,12 +232,12 @@ let await_ready conn =
     names the partition in diagnostics when the worker dies.
     [read_timeout] bounds every reply wait (default: wait forever). *)
 let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null) ?engine
-    ~worker ~fir_path () =
+    ?lanes ~worker ~fir_path () =
   (* A dead worker must surface as a {!Worker_died} diagnosis, not a
      fatal SIGPIPE when the parent next writes to the closed pipe. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let engine = Option.map Rtlsim.Sim.engine_name engine in
-  let parent_read, out, pid = launch ~worker ~fir_path ~engine in
+  let parent_read, out, pid = launch ~worker ~fir_path ~engine ~lanes in
   let metric kind = Printf.sprintf "remote.%s.%s" label kind in
   let conn =
     {
@@ -237,6 +250,7 @@ let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null) ?engi
       c_closed = false;
       c_timeout = read_timeout;
       c_engine = engine;
+      c_lanes = lanes;
       c_scratch = Bytes.create 65536;
       c_pending = "";
       c_cones = [];
@@ -314,7 +328,9 @@ let reconnect conn ~worker ~fir_path =
   (try Unix.close conn.c_fd_in with Unix.Unix_error _ -> ());
   (try close_out_noerr conn.c_out with Sys_error _ -> ());
   (try ignore (Unix.waitpid [ Unix.WNOHANG ] conn.c_pid) with Unix.Unix_error _ -> ());
-  let parent_read, out, pid = launch ~worker ~fir_path ~engine:conn.c_engine in
+  let parent_read, out, pid =
+    launch ~worker ~fir_path ~engine:conn.c_engine ~lanes:conn.c_lanes
+  in
   conn.c_fd_in <- parent_read;
   conn.c_out <- out;
   conn.c_pid <- pid;
@@ -343,6 +359,12 @@ let peek_mem conn mem addr = ask_int conn "peek %s %d" mem addr
 
 (** Reads any remote signal (forces a flush of pipelined commands). *)
 let get conn name = ask_int conn "get %s" name
+
+(** Reads a remote signal on one specific engine lane. *)
+let get_lane conn name ~lane = ask_int conn "get %s %d" name lane
+
+(** The remote engine's lane count. *)
+let lanes conn = ask_int conn "lanes"
 
 (** Whether the remote unit holds a signal or memory of that name. *)
 let has conn name = ask_int conn "has %s" name <> 0

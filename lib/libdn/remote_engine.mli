@@ -21,12 +21,17 @@ exception Worker_died of { label : string; last_command : string; status : strin
     [remote.<label>.bytes_out]/[.bytes_in] counters and a
     [remote.<label>.rtt_us] round-trip latency histogram.  [engine]
     selects the worker's evaluation engine (passed on its command line
-    and replayed by {!reconnect}; the worker's own default otherwise). *)
+    and replayed by {!reconnect}; the worker's own default otherwise).
+    [lanes] sets the worker engine's lane count — N identical copies of
+    the unit advanced in lockstep by vectorized evaluation (bytecode
+    engine only); also passed on the command line and replayed by
+    {!reconnect}. *)
 val spawn :
   ?label:string ->
   ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
   ?engine:Rtlsim.Sim.engine ->
+  ?lanes:int ->
   worker:string ->
   fir_path:string ->
   unit ->
@@ -63,6 +68,12 @@ val peek_mem : conn -> string -> int -> int
 
 (** Reads any remote signal (forces a flush of pipelined commands). *)
 val get : conn -> string -> int
+
+(** Reads a remote signal on one specific engine lane. *)
+val get_lane : conn -> string -> lane:int -> int
+
+(** The remote engine's lane count. *)
+val lanes : conn -> int
 
 (** Whether the remote unit holds a signal or memory of that name. *)
 val has : conn -> string -> bool

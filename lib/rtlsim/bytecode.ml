@@ -14,6 +14,17 @@
    self-contained — which is what lets cones concatenate segments and
    the fixpoint sweep replay them individually.
 
+   Lanes.  A program can drive N independent copies of the design in
+   lockstep (structure of arrays): ONE instruction stream, N value
+   arrays, N memory images, N staging buffers.  The compiled program is
+   lane-count independent — [set_lanes] only allocates execution state.
+   Lane 0 is the scalar lane: with one lane, execution takes the exact
+   dispatch loop the scalar engine always had; with more, [exec_all]
+   decodes each instruction once and applies it to every lane, so
+   dispatch, operand fetch and program-counter arithmetic are amortized
+   over all lanes.  That amortization is the aggregate-throughput win
+   FAME-5 threading and multi-tenant packing ride on.
+
    Masking discipline mirrors the closure engine exactly: operators
    that wrap (add/sub/mul/shl, not/neg, bit slices) carry their mask as
    an immediate; operators whose result provably fits the destination
@@ -83,15 +94,20 @@ type t = {
   bc_n_named : int;
   bc_pool : int array;  (** literal pool: values preloaded at [bind] time *)
   bc_n_temps : int;
-  bc_mems : int array array;
+  bc_mem_ids : (string, int) Hashtbl.t;  (** memory name -> id into per-lane images *)
+  bc_w_mem_ids : int array;  (** per memory write (stmt order): its memory's id *)
   bc_reg_slots : int array;  (** per register (stmt order): its value slot *)
-  bc_staging : int array;
-  bc_w_mem : int array array;  (** per memory write (stmt order): backing array *)
-  bc_w_fire : bool array;
-  bc_w_idx : int array;
-  bc_w_val : int array;
   bc_wrapped : Telemetry.counter;
-  mutable bc_vals : int array;
+  (* Per-lane execution state (structure of arrays; index = lane).
+     Lane 0's memory images alias the simulator's own backing arrays;
+     higher lanes get private copies allocated by [set_lanes]. *)
+  mutable bc_vals : int array array;
+  mutable bc_lmems : int array array array;  (** per lane: image per mem id *)
+  mutable bc_staging : int array array;
+  mutable bc_w_mem : int array array array;  (** per lane: image per write *)
+  mutable bc_w_fire : bool array array;
+  mutable bc_w_idx : int array array;
+  mutable bc_w_val : int array array;
 }
 
 (* Growable int buffer. *)
@@ -146,20 +162,35 @@ let compile ~flat ~analysis ~slots ~widths ~mems ~mem_widths ?(live = fun _ -> t
     | Some i -> i
     | None -> error "no such signal: %s" name
   in
-  (* Memory identity: stable ids into [bc_mems]. *)
+  (* Memory identity: stable ids into the per-lane memory images.
+     EVERY simulator memory is registered up front — declaration order
+     first, then (sorted) any backing array the optimizer's [flat] no
+     longer declares — so higher lanes can snapshot/restore the same
+     state a single-lane simulator would, and ids never depend on which
+     memories the program happens to touch. *)
   let mem_ids = Hashtbl.create 8 in
   let mem_list = ref [] in
-  let mem_id name =
-    match Hashtbl.find_opt mem_ids name with
-    | Some i -> i
-    | None -> (
+  let register name =
+    if not (Hashtbl.mem mem_ids name) then
       match Hashtbl.find_opt mems name with
       | None -> error "no such memory: %s" name
       | Some arr ->
-        let i = Hashtbl.length mem_ids in
-        Hashtbl.replace mem_ids name i;
-        mem_list := arr :: !mem_list;
-        i)
+        Hashtbl.replace mem_ids name (Hashtbl.length mem_ids);
+        mem_list := arr :: !mem_list
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | Ast.Mem { name; _ } -> register name
+      | Ast.Wire _ | Ast.Reg _ | Ast.Inst _ -> ())
+    flat.Ast.comps;
+  Hashtbl.fold (fun name _ acc -> name :: acc) mems []
+  |> List.sort compare
+  |> List.iter register;
+  let mem_id name =
+    match Hashtbl.find_opt mem_ids name with
+    | Some i -> i
+    | None -> error "no such memory: %s" name
   in
   (* Literal pool: every literal operand value gets a dedicated slot
      just above the named ones, written once at [bind] time — no
@@ -435,7 +466,7 @@ let compile ~flat ~analysis ~slots ~widths ~mems ~mem_widths ?(live = fun _ -> t
   reset_temps ();
   let cse = Hashtbl.create 32 in
   let reg_slots = ref [] in
-  let w_mems = ref [] in
+  let w_ids = ref [] in
   let n_regs = ref 0 in
   let n_writes = ref 0 in
   List.iter
@@ -460,7 +491,7 @@ let compile ~flat ~analysis ~slots ~widths ~mems ~mem_widths ?(live = fun _ -> t
           | Some a -> a
           | None -> error "no such memory: %s" mem
         in
-        w_mems := arr :: !w_mems;
+        w_ids := mem_id mem :: !w_ids;
         let w =
           match Hashtbl.find_opt mem_widths mem with
           | Some w -> w
@@ -473,6 +504,8 @@ let compile ~flat ~analysis ~slots ~widths ~mems ~mem_widths ?(live = fun _ -> t
       | Ast.Connect _ -> ())
     flat.Ast.stmts;
   let bc_seq = buf_contents buf in
+  let lane0_mems = Array.of_list (List.rev !mem_list) in
+  let bc_w_mem_ids = Array.of_list (List.rev !w_ids) in
   {
     bc_code;
     bc_segs;
@@ -481,31 +514,97 @@ let compile ~flat ~analysis ~slots ~widths ~mems ~mem_widths ?(live = fun _ -> t
     bc_n_named = n_named;
     bc_pool = Array.of_list (List.rev !pool_values);
     bc_n_temps = !max_temps;
-    bc_mems = Array.of_list (List.rev !mem_list);
+    bc_mem_ids = mem_ids;
+    bc_w_mem_ids;
     bc_reg_slots = Array.of_list (List.rev !reg_slots);
-    bc_staging = Array.make !n_regs 0;
-    bc_w_mem = Array.of_list (List.rev !w_mems);
-    bc_w_fire = Array.make !n_writes false;
-    bc_w_idx = Array.make !n_writes 0;
-    bc_w_val = Array.make !n_writes 0;
     bc_wrapped = wrapped;
-    bc_vals = [||];
+    bc_vals = [| [||] |];
+    bc_lmems = [| lane0_mems |];
+    bc_staging = [| Array.make !n_regs 0 |];
+    bc_w_mem = [| Array.map (fun id -> lane0_mems.(id)) bc_w_mem_ids |];
+    bc_w_fire = [| Array.make !n_writes false |];
+    bc_w_idx = [| Array.make !n_writes 0 |];
+    bc_w_val = [| Array.make !n_writes 0 |];
   }
 
-let n_named t = t.bc_n_named
-let n_temps t = t.bc_n_temps
-let n_slots t = t.bc_n_named + Array.length t.bc_pool + t.bc_n_temps
-let n_comb_instrs t = Array.length t.bc_code
-let n_seq_instrs t = Array.length t.bc_seq
-let n_segments t = Array.length t.bc_segs
+(* ------------------------------------------------------------------ *)
+(* Program facts and lane management                                   *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  named : int;
+  temps : int;
+  slots : int;
+  comb_instrs : int;
+  seq_instrs : int;
+  segments : int;
+  lanes : int;
+}
+
+let lanes t = Array.length t.bc_vals
+
+let stats t =
+  {
+    named = t.bc_n_named;
+    temps = t.bc_n_temps;
+    slots = t.bc_n_named + Array.length t.bc_pool + t.bc_n_temps;
+    comb_instrs = Array.length t.bc_code;
+    seq_instrs = Array.length t.bc_seq;
+    segments = Array.length t.bc_segs;
+    lanes = lanes t;
+  }
+
 let reg_slots t = t.bc_reg_slots
 
-let bind t vals =
+(* Order-sensitive fold over both instruction streams; used by tests to
+   check that the compiled program is independent of the lane count. *)
+let program_hash t =
+  let mix h v = (h * 31) + v in
+  let h = Array.fold_left mix 17 t.bc_code in
+  Array.fold_left mix h t.bc_seq
+
+let check_lane t lane =
+  if lane < 0 || lane >= lanes t then
+    error "lane %d out of range (%d lanes)" lane (lanes t)
+
+let set_lanes t n =
+  if n < 1 then error "set_lanes: need at least one lane, got %d" n;
+  let cur = lanes t in
+  let lane0_mems = t.bc_lmems.(0) in
+  let n_regs = Array.length t.bc_staging.(0) in
+  let n_writes = Array.length t.bc_w_fire.(0) in
+  let keep old fresh = Array.init n (fun k -> if k < cur then old.(k) else fresh k) in
+  t.bc_lmems <-
+    keep t.bc_lmems (fun _ -> Array.map (fun a -> Array.make (Array.length a) 0) lane0_mems);
+  t.bc_vals <- keep t.bc_vals (fun _ -> [||]);
+  t.bc_staging <- keep t.bc_staging (fun _ -> Array.make n_regs 0);
+  t.bc_w_mem <-
+    Array.init n (fun k ->
+        if k < cur then t.bc_w_mem.(k)
+        else Array.map (fun id -> t.bc_lmems.(k).(id)) t.bc_w_mem_ids);
+  t.bc_w_fire <- keep t.bc_w_fire (fun _ -> Array.make n_writes false);
+  t.bc_w_idx <- keep t.bc_w_idx (fun _ -> Array.make n_writes 0);
+  t.bc_w_val <- keep t.bc_w_val (fun _ -> Array.make n_writes 0)
+
+let n_slots t = t.bc_n_named + Array.length t.bc_pool + t.bc_n_temps
+
+let bind_lane t lane vals =
+  check_lane t lane;
   if Array.length vals < n_slots t then
     error "bind: value array has %d slots, program needs %d" (Array.length vals)
       (n_slots t);
   Array.iteri (fun k v -> vals.(t.bc_n_named + k) <- v) t.bc_pool;
-  t.bc_vals <- vals
+  t.bc_vals.(lane) <- vals
+
+let bind t vals = bind_lane t 0 vals
+
+(* Lane [lane]'s image of memory [name] (lane 0 aliases the simulator's
+   own backing array). *)
+let lane_mem t ~lane name =
+  check_lane t lane;
+  match Hashtbl.find_opt t.bc_mem_ids name with
+  | Some id -> t.bc_lmems.(lane).(id)
+  | None -> error "no such memory: %s" name
 
 let rec parity acc v = if v = 0 then acc else parity (acc lxor (v land 1)) (v lsr 1)
 
@@ -516,8 +615,13 @@ let rec parity acc v = if v = 0 then acc else parity (acc lxor (v land 1)) (v ls
    (the compiler only emits in-bounds program counters); value-array
    accesses are unsafe too — every slot index was derived from the
    validated slot table or the temp allocator. *)
-let exec t code start stop =
-  let vals = t.bc_vals in
+let exec t ~lane code start stop =
+  let vals = Array.unsafe_get t.bc_vals lane in
+  let mems = Array.unsafe_get t.bc_lmems lane in
+  let staging = Array.unsafe_get t.bc_staging lane in
+  let w_fire = Array.unsafe_get t.bc_w_fire lane in
+  let w_idx = Array.unsafe_get t.bc_w_idx lane in
+  let w_val = Array.unsafe_get t.bc_w_val lane in
   let rec go p =
     if p < stop then begin
       let dst = Array.unsafe_get code (p + 1) in
@@ -713,19 +817,19 @@ let exec t code start stop =
         go (p + 5)
       | 27 ->
         (* read: dst mem a *)
-        let arr = Array.unsafe_get t.bc_mems (Array.unsafe_get code (p + 2)) in
+        let arr = Array.unsafe_get mems (Array.unsafe_get code (p + 2)) in
         Array.unsafe_set vals dst
           (Array.unsafe_get arr
              (Array.unsafe_get vals (Array.unsafe_get code (p + 3)) mod Array.length arr));
         go (p + 4)
       | 28 ->
         (* stage: r a *)
-        Array.unsafe_set t.bc_staging dst
+        Array.unsafe_set staging dst
           (Array.unsafe_get vals (Array.unsafe_get code (p + 2)));
         go (p + 3)
       | 29 ->
         (* stage_en: r a en slot *)
-        Array.unsafe_set t.bc_staging dst
+        Array.unsafe_set staging dst
           (if Array.unsafe_get vals (Array.unsafe_get code (p + 3)) = 0 then
              Array.unsafe_get vals (Array.unsafe_get code (p + 4))
            else Array.unsafe_get vals (Array.unsafe_get code (p + 2)));
@@ -733,19 +837,19 @@ let exec t code start stop =
       | 30 ->
         (* wstage: j en a d depth *)
         if Array.unsafe_get vals (Array.unsafe_get code (p + 2)) <> 0 then begin
-          Array.unsafe_set t.bc_w_fire dst true;
+          Array.unsafe_set w_fire dst true;
           let a = Array.unsafe_get vals (Array.unsafe_get code (p + 3)) in
           let depth = Array.unsafe_get code (p + 5) in
           if a >= depth then Telemetry.incr t.bc_wrapped;
-          Array.unsafe_set t.bc_w_idx dst (a mod depth);
-          Array.unsafe_set t.bc_w_val dst
+          Array.unsafe_set w_idx dst (a mod depth);
+          Array.unsafe_set w_val dst
             (Array.unsafe_get vals (Array.unsafe_get code (p + 4)))
         end
-        else Array.unsafe_set t.bc_w_fire dst false;
+        else Array.unsafe_set w_fire dst false;
         go (p + 6)
       | _ ->
         (* read_p2: dst mem a m *)
-        let arr = Array.unsafe_get t.bc_mems (Array.unsafe_get code (p + 2)) in
+        let arr = Array.unsafe_get mems (Array.unsafe_get code (p + 2)) in
         Array.unsafe_set vals dst
           (Array.unsafe_get arr
              (Array.unsafe_get vals (Array.unsafe_get code (p + 3))
@@ -755,27 +859,353 @@ let exec t code start stop =
   in
   go start
 
-let eval_comb t = exec t t.bc_code 0 (Array.length t.bc_code)
+(* The vectorized dispatch loop: decodes each instruction ONCE and
+   applies it to every lane before advancing the program counter, so
+   dispatch, operand-slot fetch and PC arithmetic are amortized over
+   all lanes — this inner lane loop is where the N-lane mode's
+   aggregate-throughput win over N scalar passes comes from.  Per-lane
+   state is indexed structure-of-arrays style from the hoisted lane
+   tables; the opcode semantics are byte-identical to [exec]. *)
+let exec_all t code start stop =
+  let lvals = t.bc_vals in
+  let nl = Array.length lvals in
+  let lmems = t.bc_lmems in
+  let lstage = t.bc_staging in
+  let lfire = t.bc_w_fire in
+  let lidx = t.bc_w_idx in
+  let lval = t.bc_w_val in
+  let rec go p =
+    if p < stop then begin
+      let dst = Array.unsafe_get code (p + 1) in
+      match Array.unsafe_get code p with
+      | 0 ->
+        let imm = Array.unsafe_get code (p + 2) in
+        for l = 0 to nl - 1 do
+          Array.unsafe_set (Array.unsafe_get lvals l) dst imm
+        done;
+        go (p + 3)
+      | 1 ->
+        let a = Array.unsafe_get code (p + 2) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (Array.unsafe_get v a)
+        done;
+        go (p + 3)
+      | 2 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let m = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (Array.unsafe_get v a land m)
+        done;
+        go (p + 4)
+      | 3 ->
+        let c = Array.unsafe_get code (p + 2) in
+        let a = Array.unsafe_get code (p + 3) in
+        let b = Array.unsafe_get code (p + 4) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst
+            (if Array.unsafe_get v c <> 0 then Array.unsafe_get v a
+             else Array.unsafe_get v b)
+        done;
+        go (p + 5)
+      | 4 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        let m = Array.unsafe_get code (p + 4) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst ((Array.unsafe_get v a + Array.unsafe_get v b) land m)
+        done;
+        go (p + 5)
+      | 5 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        let m = Array.unsafe_get code (p + 4) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst ((Array.unsafe_get v a - Array.unsafe_get v b) land m)
+        done;
+        go (p + 5)
+      | 6 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        let m = Array.unsafe_get code (p + 4) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (Array.unsafe_get v a * Array.unsafe_get v b land m)
+        done;
+        go (p + 5)
+      | 7 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          let d = Array.unsafe_get v b in
+          Array.unsafe_set v dst (if d = 0 then 0 else Array.unsafe_get v a / d)
+        done;
+        go (p + 4)
+      | 8 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          let d = Array.unsafe_get v b in
+          Array.unsafe_set v dst (if d = 0 then 0 else Array.unsafe_get v a mod d)
+        done;
+        go (p + 4)
+      | 9 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (Array.unsafe_get v a land Array.unsafe_get v b)
+        done;
+        go (p + 4)
+      | 10 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (Array.unsafe_get v a lor Array.unsafe_get v b)
+        done;
+        go (p + 4)
+      | 11 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (Array.unsafe_get v a lxor Array.unsafe_get v b)
+        done;
+        go (p + 4)
+      | 12 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        let m = Array.unsafe_get code (p + 4) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          let s = Array.unsafe_get v b in
+          Array.unsafe_set v dst
+            (if s > Ast.max_width then 0 else Array.unsafe_get v a lsl s land m)
+        done;
+        go (p + 5)
+      | 13 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          let s = Array.unsafe_get v b in
+          Array.unsafe_set v dst
+            (if s > Ast.max_width then 0 else Array.unsafe_get v a lsr s)
+        done;
+        go (p + 4)
+      | 14 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst
+            (if Array.unsafe_get v a = Array.unsafe_get v b then 1 else 0)
+        done;
+        go (p + 4)
+      | 15 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst
+            (if Array.unsafe_get v a <> Array.unsafe_get v b then 1 else 0)
+        done;
+        go (p + 4)
+      | 16 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst
+            (if Array.unsafe_get v a < Array.unsafe_get v b then 1 else 0)
+        done;
+        go (p + 4)
+      | 17 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst
+            (if Array.unsafe_get v a <= Array.unsafe_get v b then 1 else 0)
+        done;
+        go (p + 4)
+      | 18 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst
+            (if Array.unsafe_get v a > Array.unsafe_get v b then 1 else 0)
+        done;
+        go (p + 4)
+      | 19 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst
+            (if Array.unsafe_get v a >= Array.unsafe_get v b then 1 else 0)
+        done;
+        go (p + 4)
+      | 20 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let m = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (lnot (Array.unsafe_get v a) land m)
+        done;
+        go (p + 4)
+      | 21 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let m = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (-Array.unsafe_get v a land m)
+        done;
+        go (p + 4)
+      | 22 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let m = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (if Array.unsafe_get v a = m then 1 else 0)
+        done;
+        go (p + 4)
+      | 23 ->
+        let a = Array.unsafe_get code (p + 2) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (if Array.unsafe_get v a <> 0 then 1 else 0)
+        done;
+        go (p + 3)
+      | 24 ->
+        let a = Array.unsafe_get code (p + 2) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (parity 0 (Array.unsafe_get v a))
+        done;
+        go (p + 3)
+      | 25 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let lo = Array.unsafe_get code (p + 3) in
+        let m = Array.unsafe_get code (p + 4) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (Array.unsafe_get v a lsr lo land m)
+        done;
+        go (p + 5)
+      | 26 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let b = Array.unsafe_get code (p + 3) in
+        let wb = Array.unsafe_get code (p + 4) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set v dst (Array.unsafe_get v a lsl wb lor Array.unsafe_get v b)
+        done;
+        go (p + 5)
+      | 27 ->
+        let mid = Array.unsafe_get code (p + 2) in
+        let a = Array.unsafe_get code (p + 3) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          let arr = Array.unsafe_get (Array.unsafe_get lmems l) mid in
+          Array.unsafe_set v dst
+            (Array.unsafe_get arr (Array.unsafe_get v a mod Array.length arr))
+        done;
+        go (p + 4)
+      | 28 ->
+        let a = Array.unsafe_get code (p + 2) in
+        for l = 0 to nl - 1 do
+          Array.unsafe_set (Array.unsafe_get lstage l) dst
+            (Array.unsafe_get (Array.unsafe_get lvals l) a)
+        done;
+        go (p + 3)
+      | 29 ->
+        let a = Array.unsafe_get code (p + 2) in
+        let en = Array.unsafe_get code (p + 3) in
+        let slot = Array.unsafe_get code (p + 4) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          Array.unsafe_set (Array.unsafe_get lstage l) dst
+            (if Array.unsafe_get v en = 0 then Array.unsafe_get v slot
+             else Array.unsafe_get v a)
+        done;
+        go (p + 5)
+      | 30 ->
+        let en = Array.unsafe_get code (p + 2) in
+        let a = Array.unsafe_get code (p + 3) in
+        let d = Array.unsafe_get code (p + 4) in
+        let depth = Array.unsafe_get code (p + 5) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          if Array.unsafe_get v en <> 0 then begin
+            Array.unsafe_set (Array.unsafe_get lfire l) dst true;
+            let addr = Array.unsafe_get v a in
+            if addr >= depth then Telemetry.incr t.bc_wrapped;
+            Array.unsafe_set (Array.unsafe_get lidx l) dst (addr mod depth);
+            Array.unsafe_set (Array.unsafe_get lval l) dst (Array.unsafe_get v d)
+          end
+          else Array.unsafe_set (Array.unsafe_get lfire l) dst false
+        done;
+        go (p + 6)
+      | _ ->
+        let mid = Array.unsafe_get code (p + 2) in
+        let a = Array.unsafe_get code (p + 3) in
+        let m = Array.unsafe_get code (p + 4) in
+        for l = 0 to nl - 1 do
+          let v = Array.unsafe_get lvals l in
+          let arr = Array.unsafe_get (Array.unsafe_get lmems l) mid in
+          Array.unsafe_set v dst
+            (Array.unsafe_get arr (Array.unsafe_get v a land m))
+        done;
+        go (p + 5)
+    end
+  in
+  go start
 
-(* One reverse sweep over the segments, replaying each assignment and
-   reporting whether any destination changed — the bytecode counterpart
-   of the closure engine's naive-fixpoint inner loop. *)
+(* Lane 0's combinational pass — the scalar path, byte-identical to the
+   pre-lane engine. *)
+let eval_comb t = exec t ~lane:0 t.bc_code 0 (Array.length t.bc_code)
+
+(* One full levelized combinational pass over EVERY lane in lockstep;
+   with a single lane this is exactly the scalar [eval_comb]. *)
+let eval_comb_all t =
+  if Array.length t.bc_vals = 1 then eval_comb t
+  else exec_all t t.bc_code 0 (Array.length t.bc_code)
+
+(* One reverse sweep over the segments of every lane, replaying each
+   assignment and reporting whether any destination changed — the
+   bytecode counterpart of the closure engine's naive-fixpoint inner
+   loop. *)
 let fixpoint_sweep t =
   let changed = ref false in
   let segs = t.bc_segs in
-  for i = Array.length segs - 1 downto 0 do
-    let sg = Array.unsafe_get segs i in
-    let before = t.bc_vals.(sg.sg_dst) in
-    exec t t.bc_code sg.sg_start sg.sg_stop;
-    if t.bc_vals.(sg.sg_dst) <> before then changed := true
+  for lane = 0 to lanes t - 1 do
+    let vals = t.bc_vals.(lane) in
+    for i = Array.length segs - 1 downto 0 do
+      let sg = Array.unsafe_get segs i in
+      let before = vals.(sg.sg_dst) in
+      exec t ~lane t.bc_code sg.sg_start sg.sg_stop;
+      if vals.(sg.sg_dst) <> before then changed := true
+    done
   done;
   !changed
 
+let fixpoint_bound t = Array.length t.bc_segs + 2
+
 (** Concatenates the segments of the given (levelized) cone names into
-    one dedicated instruction stream; names without a segment (ports,
-    registers) contribute nothing, exactly like the closure engine's
-    cone evaluator skips names without an instruction. *)
-let make_cone t names =
+    one dedicated instruction stream over [lane]'s state; names without
+    a segment (ports, registers) contribute nothing, exactly like the
+    closure engine's cone evaluator skips names without an instruction. *)
+let make_cone t ~lane names =
+  check_lane t lane;
   let buf = buf_create () in
   List.iter
     (fun name ->
@@ -789,21 +1219,42 @@ let make_cone t names =
     names;
   let code = buf_contents buf in
   let stop = Array.length code in
-  fun () -> exec t code 0 stop
+  fun () ->
+    check_lane t lane;
+    exec t ~lane code 0 stop
 
-(** Runs the staging program, then commits memory writes and register
-    updates — the bytecode counterpart of the closure engine's
-    two-phase [step_seq] body (the caller advances the cycle counter). *)
-let stage_and_commit_seq t =
-  exec t t.bc_seq 0 (Array.length t.bc_seq);
-  let fire = t.bc_w_fire in
+(* Commits lane [lane]'s staged memory writes and register updates. *)
+let commit_lane t lane =
+  let fire = t.bc_w_fire.(lane) in
+  let w_mem = t.bc_w_mem.(lane) in
+  let w_idx = t.bc_w_idx.(lane) in
+  let w_val = t.bc_w_val.(lane) in
   for j = 0 to Array.length fire - 1 do
     if Array.unsafe_get fire j then
-      (Array.unsafe_get t.bc_w_mem j).(Array.unsafe_get t.bc_w_idx j) <-
-        Array.unsafe_get t.bc_w_val j
+      (Array.unsafe_get w_mem j).(Array.unsafe_get w_idx j) <- Array.unsafe_get w_val j
   done;
   let regs = t.bc_reg_slots in
-  let vals = t.bc_vals in
+  let vals = t.bc_vals.(lane) in
+  let staging = t.bc_staging.(lane) in
   for r = 0 to Array.length regs - 1 do
-    Array.unsafe_set vals (Array.unsafe_get regs r) (Array.unsafe_get t.bc_staging r)
+    Array.unsafe_set vals (Array.unsafe_get regs r) (Array.unsafe_get staging r)
   done
+
+(** Runs the staging program over every lane, then commits each lane's
+    memory writes and register updates — the bytecode counterpart of
+    the closure engine's two-phase [step_seq] body (the caller advances
+    the cycle counter). *)
+let stage_and_commit_all t =
+  let nl = Array.length t.bc_vals in
+  if nl = 1 then begin
+    exec t ~lane:0 t.bc_seq 0 (Array.length t.bc_seq);
+    commit_lane t 0
+  end
+  else begin
+    exec_all t t.bc_seq 0 (Array.length t.bc_seq);
+    for lane = 0 to nl - 1 do
+      commit_lane t lane
+    done
+  end
+
+let name = "bytecode"

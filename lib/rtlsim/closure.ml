@@ -1,0 +1,292 @@
+(* Closure evaluation engine: each expression compiles to a tree of
+   [unit -> int] closures, one indirect call per node per cycle.
+   Slower than the compiled bytecode, but the evaluation of any
+   subexpression maps 1:1 onto the IR, which keeps it useful as the
+   reference semantics and for debugging the bytecode compiler itself.
+   Single-lane by construction — lane parallelism lives in [Bytecode];
+   this engine's job is to be the simplest possible oracle. *)
+
+open Firrtl
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type instr = {
+  i_slot : int;
+  i_eval : unit -> int;
+}
+
+type reg_update = {
+  r_slot : int;
+  r_next : unit -> int;
+  r_enable : (unit -> int) option;
+}
+
+type mem_write = {
+  w_mem : int array;
+  w_depth : int;
+  w_addr : unit -> int;
+  w_data : unit -> int;
+  w_width : int;
+  w_enable : unit -> int;
+  (* Staging slots so all writes commit from pre-update state. *)
+  mutable w_fire : bool;
+  mutable w_idx : int;
+  mutable w_val : int;
+}
+
+type t = {
+  cl_comb : instr array;
+  cl_by_name : (string, instr) Hashtbl.t;  (** comb instr per driven name *)
+  cl_regs : reg_update array;
+  cl_staging : int array;
+  cl_writes : mem_write array;
+  cl_vals : int array;
+  cl_wrapped : Telemetry.counter;
+}
+
+(* Compiles an expression to a closure over the value array. *)
+let rec compile_expr slots values mems env e =
+  let compile = compile_expr slots values mems env in
+  match e with
+  | Ast.Lit { value; _ } -> fun () -> value
+  | Ast.Ref name ->
+    let i =
+      match Hashtbl.find_opt slots name with
+      | Some i -> i
+      | None -> error "no such signal: %s" name
+    in
+    fun () -> values.(i)
+  | Ast.Mux (c, a, b) ->
+    let fc = compile c and fa = compile a and fb = compile b in
+    fun () -> if fc () <> 0 then fa () else fb ()
+  | Ast.Binop (op, a, b) ->
+    let fa = compile a and fb = compile b in
+    let m = Ast.mask (Ast.width_of env e) in
+    (match op with
+    | Add -> fun () -> (fa () + fb ()) land m
+    | Sub -> fun () -> (fa () - fb ()) land m
+    | Mul -> fun () -> fa () * fb () land m
+    | Div ->
+      fun () ->
+        let d = fb () in
+        if d = 0 then 0 else fa () / d
+    | Rem ->
+      fun () ->
+        let d = fb () in
+        if d = 0 then 0 else fa () mod d
+    | And -> fun () -> fa () land fb ()
+    | Or -> fun () -> fa () lor fb ()
+    | Xor -> fun () -> fa () lxor fb ()
+    | Shl ->
+      fun () ->
+        let s = fb () in
+        if s > Ast.max_width then 0 else (fa () lsl s) land m
+    | Shr ->
+      fun () ->
+        let s = fb () in
+        if s > Ast.max_width then 0 else fa () lsr s
+    | Eq -> fun () -> if fa () = fb () then 1 else 0
+    | Neq -> fun () -> if fa () <> fb () then 1 else 0
+    | Lt -> fun () -> if fa () < fb () then 1 else 0
+    | Le -> fun () -> if fa () <= fb () then 1 else 0
+    | Gt -> fun () -> if fa () > fb () then 1 else 0
+    | Ge -> fun () -> if fa () >= fb () then 1 else 0)
+  | Ast.Unop (op, a) ->
+    let fa = compile a in
+    let wa = Ast.width_of env a in
+    let m = Ast.mask wa in
+    (match op with
+    | Not -> fun () -> lnot (fa ()) land m
+    | Neg -> fun () -> -fa () land m
+    | Andr -> fun () -> if fa () = m then 1 else 0
+    | Orr -> fun () -> if fa () <> 0 then 1 else 0
+    | Xorr ->
+      fun () ->
+        let rec parity acc v =
+          if v = 0 then acc else parity (acc lxor (v land 1)) (v lsr 1)
+        in
+        parity 0 (fa ()))
+  | Ast.Bits { e = a; hi; lo } ->
+    let fa = compile a in
+    let m = Ast.mask (hi - lo + 1) in
+    fun () -> (fa () lsr lo) land m
+  | Ast.Cat (a, b) ->
+    let fa = compile a and fb = compile b in
+    let wb = Ast.width_of env b in
+    if Ast.width_of env a + wb > Ast.max_width then
+      error "cat result exceeds %d bits" Ast.max_width;
+    fun () -> (fa () lsl wb) lor fb ()
+  | Ast.Read { mem; addr } ->
+    let arr =
+      match Hashtbl.find_opt mems mem with
+      | Some a -> a
+      | None -> error "no such memory: %s" mem
+    in
+    let depth = Array.length arr in
+    let fa = compile addr in
+    fun () -> arr.(fa () mod depth)
+
+(** Compiles [flat] (levelized by [analysis]) to closure instructions
+    over the given [values] array.  [wrapped] is bumped once per
+    out-of-range memory write address. *)
+let compile ~flat ~analysis ~slots ~widths ~mems ~mem_widths ~values ~wrapped () =
+  let env =
+    {
+      Ast.width_of_name =
+        (fun n ->
+          match Hashtbl.find_opt slots n with
+          | Some i -> widths.(i)
+          | None -> error "unknown name %s" n);
+      Ast.width_of_mem =
+        (fun n ->
+          match Hashtbl.find_opt mem_widths n with
+          | Some w -> w
+          | None -> error "unknown memory %s" n);
+    }
+  in
+  let compile = compile_expr slots values mems env in
+  (* Combinational instructions in levelized order. *)
+  let by_name = Hashtbl.create 256 in
+  let comb =
+    List.map
+      (fun name ->
+        let i_slot = Hashtbl.find slots name in
+        let src =
+          match Analysis.driver_of analysis name with
+          | Some e -> e
+          | None -> error "%s has no driver" name
+        in
+        let f = compile src in
+        let m = Ast.mask widths.(i_slot) in
+        let instr = { i_slot; i_eval = (fun () -> f () land m) } in
+        Hashtbl.replace by_name name instr;
+        instr)
+      analysis.Analysis.order
+    |> Array.of_list
+  in
+  let regs =
+    List.filter_map
+      (fun s ->
+        match s with
+        | Ast.Reg_update { reg; next; enable } ->
+          let r_slot = Hashtbl.find slots reg in
+          let f = compile next in
+          let m = Ast.mask widths.(r_slot) in
+          Some
+            {
+              r_slot;
+              r_next = (fun () -> f () land m);
+              r_enable = Option.map compile enable;
+            }
+        | Ast.Connect _ | Ast.Mem_write _ -> None)
+      flat.Ast.stmts
+    |> Array.of_list
+  in
+  let writes =
+    List.filter_map
+      (fun s ->
+        match s with
+        | Ast.Mem_write { mem; addr; data; enable } ->
+          let arr = Hashtbl.find mems mem in
+          let w = Hashtbl.find mem_widths mem in
+          Some
+            {
+              w_mem = arr;
+              w_depth = Array.length arr;
+              w_addr = compile addr;
+              w_data = compile data;
+              w_width = w;
+              w_enable = compile enable;
+              w_fire = false;
+              w_idx = 0;
+              w_val = 0;
+            }
+        | Ast.Connect _ | Ast.Reg_update _ -> None)
+      flat.Ast.stmts
+    |> Array.of_list
+  in
+  {
+    cl_comb = comb;
+    cl_by_name = by_name;
+    cl_regs = regs;
+    cl_staging = Array.make (Array.length regs) 0;
+    cl_writes = writes;
+    cl_vals = values;
+    cl_wrapped = wrapped;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Engine interface ({!Engine.S})                                      *)
+(* ------------------------------------------------------------------ *)
+
+let name = "closure"
+
+let lanes _ = 1
+
+let eval_comb_all t =
+  let vals = t.cl_vals in
+  for i = 0 to Array.length t.cl_comb - 1 do
+    let ins = Array.unsafe_get t.cl_comb i in
+    vals.(ins.i_slot) <- ins.i_eval ()
+  done
+
+let fixpoint_sweep t =
+  let vals = t.cl_vals in
+  let changed = ref false in
+  for i = Array.length t.cl_comb - 1 downto 0 do
+    let ins = Array.unsafe_get t.cl_comb i in
+    let v = ins.i_eval () in
+    if vals.(ins.i_slot) <> v then begin
+      vals.(ins.i_slot) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let fixpoint_bound t = Array.length t.cl_comb + 2
+
+(* Two-phase: ALL register next-values and memory-write operands are
+   computed from pre-update state before any commit — otherwise a later
+   write's enable/data would observe an earlier write of the same cycle
+   (registers banked into memories by the FAME-5 hardware transform
+   make that race universal). *)
+let stage_and_commit_all t =
+  let vals = t.cl_vals in
+  let regs = t.cl_regs in
+  for i = 0 to Array.length regs - 1 do
+    let r = Array.unsafe_get regs i in
+    let keep =
+      match r.r_enable with
+      | None -> false
+      | Some en -> en () = 0
+    in
+    t.cl_staging.(i) <- (if keep then vals.(r.r_slot) else r.r_next ())
+  done;
+  Array.iter
+    (fun w ->
+      w.w_fire <- w.w_enable () <> 0;
+      if w.w_fire then begin
+        let a = w.w_addr () in
+        if a >= w.w_depth then Telemetry.incr t.cl_wrapped;
+        w.w_idx <- a mod w.w_depth;
+        w.w_val <- w.w_data () land Ast.mask w.w_width
+      end)
+    t.cl_writes;
+  Array.iter (fun w -> if w.w_fire then w.w_mem.(w.w_idx) <- w.w_val) t.cl_writes;
+  for i = 0 to Array.length regs - 1 do
+    vals.(regs.(i).r_slot) <- t.cl_staging.(i)
+  done
+
+let make_cone t ~lane names =
+  if lane <> 0 then error "closure engine is single-lane (lane %d requested)" lane;
+  let instrs =
+    List.filter_map (fun name -> Hashtbl.find_opt t.cl_by_name name) names
+    |> Array.of_list
+  in
+  fun () ->
+    for i = 0 to Array.length instrs - 1 do
+      let ins = Array.unsafe_get instrs i in
+      t.cl_vals.(ins.i_slot) <- ins.i_eval ()
+    done

@@ -1,0 +1,45 @@
+(* The one evaluation-engine interface every [Rtlsim] engine
+   implements.  [Sim] packs an engine as a first-class module together
+   with its state, so the simulator front-end (slot assignment,
+   levelization, two-phase cycle structure, snapshots) is written once
+   against this signature and "how many lanes" is a property OF the
+   engine rather than something callers emulate with N independent
+   simulators.
+
+   Contract:
+   - [lanes] is fixed for the lifetime of the packed state (the
+     simulator sizes its per-lane views at creation).
+   - [eval_comb_all] and [stage_and_commit_all] advance EVERY lane in
+     lockstep; engines that only support one lane simply have
+     [lanes _ = 1].
+   - [fixpoint_sweep] is one reverse sweep over all combinational
+     assignments of every lane, returning whether anything changed;
+     [fixpoint_bound] is the sweep count past which non-convergence is
+     a combinational cycle, not slow convergence.
+   - [make_cone] pre-compiles evaluation of just the given (levelized)
+     cone names over one lane's state; names the engine has no
+     combinational assignment for (ports, registers) contribute
+     nothing. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  val lanes : t -> int
+  val eval_comb_all : t -> unit
+  val fixpoint_sweep : t -> bool
+  val fixpoint_bound : t -> int
+  val stage_and_commit_all : t -> unit
+  val make_cone : t -> lane:int -> string list -> unit -> unit
+end
+
+(** An engine packed with its state: what [Sim] dispatches through. *)
+type packed = Packed : (module S with type t = 'e) * 'e -> packed
+
+let eval_comb_all (Packed ((module E), e)) = E.eval_comb_all e
+let fixpoint_sweep (Packed ((module E), e)) = E.fixpoint_sweep e
+let fixpoint_bound (Packed ((module E), e)) = E.fixpoint_bound e
+let stage_and_commit_all (Packed ((module E), e)) = E.stage_and_commit_all e
+let make_cone (Packed ((module E), e)) ~lane names = E.make_cone e ~lane names
+let lanes (Packed ((module E), e)) = E.lanes e
+let name (Packed ((module E), _)) = E.name

@@ -1,18 +1,27 @@
 (* Cycle-accurate RTL simulator over flat [Firrtl] modules.
 
-   Two interchangeable evaluation engines share one front-end (slot
-   assignment, levelization, two-phase sequential commit):
+   Two interchangeable evaluation engines implement the one
+   {!Engine.S} signature and share this front-end (slot assignment,
+   levelization, two-phase cycle structure, snapshots):
 
    - [Bytecode] (the default): the levelized combinational assignments,
      register updates and memory writes are lowered — after constant
      folding and wire-level CSE ([Firrtl.Opt]) — into flat int-array
      instruction streams executed by a tight dispatch loop
-     ([Bytecode]).  No closures, no allocation per cycle.
+     ([Bytecode]).  No closures, no allocation per cycle.  Supports N
+     execution lanes advanced in lockstep from one compiled program.
    - [Closure]: each expression compiles to a tree of [unit -> int]
-     closures, one indirect call per node per cycle.  Slower, but the
-     evaluation of any subexpression maps 1:1 onto the IR, which keeps
-     it useful as the reference semantics and for debugging the
-     compiler itself.
+     closures, one indirect call per node per cycle.  Slower and
+     single-lane, but the evaluation of any subexpression maps 1:1
+     onto the IR, which keeps it useful as the reference semantics and
+     for debugging the compiler itself.
+
+   Lanes.  [create ~lanes:n] makes one simulator advance [n]
+   independent copies of the design in lockstep: one compiled program,
+   per-lane value arrays and memory images.  Lane 0 is the scalar lane
+   (all unlabeled accessors read and write it); [?lane] arguments on
+   the accessors select another lane's view.  [eval_comb], [step_seq]
+   and [step] always advance EVERY lane.
 
    Both engines apply register and memory updates with two-phase
    commit, so evaluation order never affects results.  This is the
@@ -41,42 +50,6 @@ let engine_of_string = function
   | "bytecode" -> Ok Bytecode
   | s -> Error (Printf.sprintf "unknown engine %S (expected closure or bytecode)" s)
 
-type instr = {
-  i_slot : int;
-  i_width : int;
-  i_eval : unit -> int;
-}
-
-type reg_update = {
-  r_slot : int;
-  r_width : int;
-  r_next : unit -> int;
-  r_enable : (unit -> int) option;
-}
-
-type mem_write = {
-  w_mem : int array;
-  w_depth : int;
-  w_addr : unit -> int;
-  w_data : unit -> int;
-  w_width : int;
-  w_enable : unit -> int;
-  (* Staging slots so all writes commit from pre-update state. *)
-  mutable w_fire : bool;
-  mutable w_idx : int;
-  mutable w_val : int;
-}
-
-type exec =
-  | Ex_closure of {
-      comb : instr array;
-      by_name : (string, instr) Hashtbl.t;  (** comb instr per driven name *)
-      regs : reg_update array;
-      reg_staging : int array;
-      writes : mem_write array;
-    }
-  | Ex_bytecode of Bytecode.t
-
 type t = {
   flat : Ast.module_def;  (** the module as given (pre-optimization) *)
   analysis : Analysis.t;  (** of the module the engine actually evaluates *)
@@ -84,10 +57,18 @@ type t = {
   slots : (string, int) Hashtbl.t;
   widths : int array;
   values : int array;
-      (** named slots first (indexed by [slots]); the bytecode engine's
-          expression temporaries, if any, live above them *)
-  mems : (string, int array) Hashtbl.t;
-  exec : exec;
+      (** lane 0's value array: named slots first (indexed by [slots]);
+          the bytecode engine's literal pool and expression
+          temporaries, if any, live above them *)
+  lane_values : int array array;
+      (** per lane; index 0 aliases [values] *)
+  mems : (string, int array) Hashtbl.t;  (** lane 0's memory images *)
+  lane_mems : (string, int array) Hashtbl.t array;
+      (** per lane; index 0 aliases [mems] *)
+  exec : Engine.packed;
+  bc : Bytecode.t option;
+      (** the compiled program when [engine = Bytecode] (stats, lane
+          plumbing, introspection) *)
   reg_slots : int array;  (** per [Reg_update] (stmt order): its value slot *)
   wrapped : Telemetry.counter;  (** out-of-range memory write addresses *)
   mutable cycle : int;
@@ -95,92 +76,20 @@ type t = {
 
 let engine_of t = t.engine
 
+let lanes t = Array.length t.lane_values
+
+let check_lane t lane =
+  if lane < 0 || lane >= lanes t then
+    sim_error "lane %d out of range (%d lanes)" lane (lanes t)
+
 let slot t name =
   match Hashtbl.find_opt t.slots name with
   | Some i -> i
   | None -> sim_error "no such signal: %s" name
 
-(* Compiles an expression to a closure over the value array. *)
-let rec compile slots values mems env e =
-  let compile = compile slots values mems env in
-  match e with
-  | Ast.Lit { value; _ } -> fun () -> value
-  | Ast.Ref name ->
-    let i =
-      match Hashtbl.find_opt slots name with
-      | Some i -> i
-      | None -> sim_error "no such signal: %s" name
-    in
-    fun () -> values.(i)
-  | Ast.Mux (c, a, b) ->
-    let fc = compile c and fa = compile a and fb = compile b in
-    fun () -> if fc () <> 0 then fa () else fb ()
-  | Ast.Binop (op, a, b) ->
-    let fa = compile a and fb = compile b in
-    let m = Ast.mask (Ast.width_of env e) in
-    (match op with
-    | Add -> fun () -> (fa () + fb ()) land m
-    | Sub -> fun () -> (fa () - fb ()) land m
-    | Mul -> fun () -> fa () * fb () land m
-    | Div ->
-      fun () ->
-        let d = fb () in
-        if d = 0 then 0 else fa () / d
-    | Rem ->
-      fun () ->
-        let d = fb () in
-        if d = 0 then 0 else fa () mod d
-    | And -> fun () -> fa () land fb ()
-    | Or -> fun () -> fa () lor fb ()
-    | Xor -> fun () -> fa () lxor fb ()
-    | Shl ->
-      fun () ->
-        let s = fb () in
-        if s > Ast.max_width then 0 else (fa () lsl s) land m
-    | Shr ->
-      fun () ->
-        let s = fb () in
-        if s > Ast.max_width then 0 else fa () lsr s
-    | Eq -> fun () -> if fa () = fb () then 1 else 0
-    | Neq -> fun () -> if fa () <> fb () then 1 else 0
-    | Lt -> fun () -> if fa () < fb () then 1 else 0
-    | Le -> fun () -> if fa () <= fb () then 1 else 0
-    | Gt -> fun () -> if fa () > fb () then 1 else 0
-    | Ge -> fun () -> if fa () >= fb () then 1 else 0)
-  | Ast.Unop (op, a) ->
-    let fa = compile a in
-    let wa = Ast.width_of env a in
-    let m = Ast.mask wa in
-    (match op with
-    | Not -> fun () -> lnot (fa ()) land m
-    | Neg -> fun () -> -fa () land m
-    | Andr -> fun () -> if fa () = m then 1 else 0
-    | Orr -> fun () -> if fa () <> 0 then 1 else 0
-    | Xorr ->
-      fun () ->
-        let rec parity acc v = if v = 0 then acc else parity (acc lxor (v land 1)) (v lsr 1) in
-        parity 0 (fa ()))
-  | Ast.Bits { e = a; hi; lo } ->
-    let fa = compile a in
-    let m = Ast.mask (hi - lo + 1) in
-    fun () -> (fa () lsr lo) land m
-  | Ast.Cat (a, b) ->
-    let fa = compile a and fb = compile b in
-    let wb = Ast.width_of env b in
-    if Ast.width_of env a + wb > Ast.max_width then
-      sim_error "cat result exceeds %d bits" Ast.max_width;
-    fun () -> (fa () lsl wb) lor fb ()
-  | Ast.Read { mem; addr } ->
-    let arr =
-      match Hashtbl.find_opt mems mem with
-      | Some a -> a
-      | None -> sim_error "no such memory: %s" mem
-    in
-    let depth = Array.length arr in
-    let fa = compile addr in
-    fun () -> arr.(fa () mod depth)
-
-let create ?(engine = default_engine) ?(telemetry = Telemetry.null) ?dce_roots flat =
+let create ?(engine = default_engine) ?(telemetry = Telemetry.null) ?dce_roots
+    ?(lanes = 1) flat =
+  if lanes < 1 then sim_error "create: need at least one lane, got %d" lanes;
   (* Build the analysis of the module as given first: comb-cycle and
      missing-driver diagnostics must not depend on the engine (or on
      what the optimizer would have deleted). *)
@@ -267,9 +176,32 @@ let create ?(engine = default_engine) ?(telemetry = Telemetry.null) ?dce_roots f
       try Bytecode.compile ~flat:opt_flat ~analysis ~slots ~widths ~mems ~mem_widths ~wrapped ()
       with Bytecode.Error msg -> sim_error "%s" msg
     in
-    let values = Array.make (Bytecode.n_slots bc) 0 in
+    let lane_slots = (Bytecode.stats bc).Bytecode.slots in
+    let values = Array.make lane_slots 0 in
     init_regs values;
     Bytecode.bind bc values;
+    Bytecode.set_lanes bc lanes;
+    let lane_values =
+      Array.init lanes (fun k ->
+          if k = 0 then values
+          else begin
+            let v = Array.make lane_slots 0 in
+            init_regs v;
+            Bytecode.bind_lane bc k v;
+            v
+          end)
+    in
+    let lane_mems =
+      Array.init lanes (fun k ->
+          if k = 0 then mems
+          else begin
+            let h = Hashtbl.create (Hashtbl.length mems) in
+            Hashtbl.iter
+              (fun name _ -> Hashtbl.replace h name (Bytecode.lane_mem bc ~lane:k name))
+              mems;
+            h
+          end)
+    in
     {
       flat;
       analysis;
@@ -277,93 +209,25 @@ let create ?(engine = default_engine) ?(telemetry = Telemetry.null) ?dce_roots f
       slots;
       widths;
       values;
+      lane_values;
       mems;
-      exec = Ex_bytecode bc;
+      lane_mems;
+      exec = Engine.Packed ((module Bytecode : Engine.S with type t = Bytecode.t), bc);
+      bc = Some bc;
       reg_slots;
       wrapped;
       cycle = 0;
     }
   | Closure ->
+    if lanes > 1 then
+      sim_error "engine closure is single-lane; lanes=%d requires the bytecode engine"
+        lanes;
     let analysis = base_analysis in
     let values = Array.make (Array.length widths) 0 in
     init_regs values;
-    let env =
-      {
-        Ast.width_of_name =
-          (fun n ->
-            match Hashtbl.find_opt slots n with
-            | Some i -> widths.(i)
-            | None -> sim_error "unknown name %s" n);
-        Ast.width_of_mem =
-          (fun n ->
-            match Hashtbl.find_opt mem_widths n with
-            | Some w -> w
-            | None -> sim_error "unknown memory %s" n);
-      }
-    in
-    let compile = compile slots values mems env in
-    (* Combinational instructions in levelized order. *)
-    let by_name = Hashtbl.create 256 in
-    let comb =
-      List.map
-        (fun name ->
-          let i_slot = Hashtbl.find slots name in
-          let src =
-            match Analysis.driver_of analysis name with
-            | Some e -> e
-            | None -> sim_error "%s has no driver" name
-          in
-          let i_width = widths.(i_slot) in
-          let f = compile src in
-          let m = Ast.mask i_width in
-          let instr = { i_slot; i_width; i_eval = (fun () -> f () land m) } in
-          Hashtbl.replace by_name name instr;
-          instr)
-        analysis.Analysis.order
-      |> Array.of_list
-    in
-    let regs =
-      List.filter_map
-        (fun s ->
-          match s with
-          | Ast.Reg_update { reg; next; enable } ->
-            let r_slot = Hashtbl.find slots reg in
-            let r_width = widths.(r_slot) in
-            let f = compile next in
-            let m = Ast.mask r_width in
-            Some
-              {
-                r_slot;
-                r_width;
-                r_next = (fun () -> f () land m);
-                r_enable = Option.map compile enable;
-              }
-          | Ast.Connect _ | Ast.Mem_write _ -> None)
-        flat.stmts
-      |> Array.of_list
-    in
-    let writes =
-      List.filter_map
-        (fun s ->
-          match s with
-          | Ast.Mem_write { mem; addr; data; enable } ->
-            let arr = Hashtbl.find mems mem in
-            let w = Hashtbl.find mem_widths mem in
-            Some
-              {
-                w_mem = arr;
-                w_depth = Array.length arr;
-                w_addr = compile addr;
-                w_data = compile data;
-                w_width = w;
-                w_enable = compile enable;
-                w_fire = false;
-                w_idx = 0;
-                w_val = 0;
-              }
-          | Ast.Connect _ | Ast.Reg_update _ -> None)
-        flat.stmts
-      |> Array.of_list
+    let cl =
+      try Closure.compile ~flat ~analysis ~slots ~widths ~mems ~mem_widths ~values ~wrapped ()
+      with Closure.Error msg -> sim_error "%s" msg
     in
     {
       flat;
@@ -372,34 +236,46 @@ let create ?(engine = default_engine) ?(telemetry = Telemetry.null) ?dce_roots f
       slots;
       widths;
       values;
+      lane_values = [| values |];
       mems;
-      exec =
-        Ex_closure { comb; by_name; regs; reg_staging = Array.make (Array.length regs) 0; writes };
+      lane_mems = [| mems |];
+      exec = Engine.Packed ((module Closure : Engine.S with type t = Closure.t), cl);
+      bc = None;
       reg_slots;
       wrapped;
       cycle = 0;
     }
 
-let of_circuit ?engine ?telemetry ?dce_roots circuit =
-  create ?engine ?telemetry ?dce_roots (Flatten.flatten circuit)
+let of_circuit ?engine ?telemetry ?dce_roots ?lanes circuit =
+  create ?engine ?telemetry ?dce_roots ?lanes (Flatten.flatten circuit)
 
 let cycle t = t.cycle
 
-let set_input t name v =
+(* Program facts of the compiled bytecode program, when that engine is
+   underneath (compiler introspection; [None] for the closure engine). *)
+let bytecode_stats t = Option.map Bytecode.stats t.bc
+let bytecode_program_hash t = Option.map Bytecode.program_hash t.bc
+
+let lane_vals t lane =
+  check_lane t lane;
+  t.lane_values.(lane)
+
+let set_input ?(lane = 0) t name v =
   let i = slot t name in
-  t.values.(i) <- v land Ast.mask t.widths.(i)
+  (lane_vals t lane).(i) <- v land Ast.mask t.widths.(i)
 
-let get t name = t.values.(slot t name)
+(** Drives [name] to [v] on EVERY lane — broadcast stimulus, the common
+    case when N lanes simulate N identical copies. *)
+let set_input_all t name v =
+  let i = slot t name in
+  let v = v land Ast.mask t.widths.(i) in
+  Array.iter (fun vals -> vals.(i) <- v) t.lane_values
 
-(** Full combinational evaluation pass (call after setting inputs). *)
-let eval_comb t =
-  match t.exec with
-  | Ex_bytecode bc -> Bytecode.eval_comb bc
-  | Ex_closure { comb; _ } ->
-    for i = 0 to Array.length comb - 1 do
-      let ins = Array.unsafe_get comb i in
-      t.values.(ins.i_slot) <- ins.i_eval ()
-    done
+let get ?(lane = 0) t name = (lane_vals t lane).(slot t name)
+
+(** Full combinational evaluation pass over every lane (call after
+    setting inputs). *)
+let eval_comb t = Engine.eval_comb_all t.exec
 
 (** Naive fixpoint evaluation: repeatedly sweeps the combinational
     assignments in (deliberately unhelpful) reverse declaration order
@@ -407,102 +283,53 @@ let eval_comb t =
     levelization is purely a performance optimization, and the
     [ablation_levelize] bench measures how much it buys. *)
 let eval_comb_fixpoint t =
-  match t.exec with
-  | Ex_bytecode bc ->
-    let changed = ref true in
-    let sweeps = ref 0 in
-    while !changed do
-      incr sweeps;
-      if !sweeps > Bytecode.n_segments bc + 2 then sim_error "fixpoint did not converge";
-      changed := Bytecode.fixpoint_sweep bc
-    done
-  | Ex_closure { comb; _ } ->
-    let changed = ref true in
-    let sweeps = ref 0 in
-    while !changed do
-      changed := false;
-      incr sweeps;
-      if !sweeps > Array.length comb + 2 then sim_error "fixpoint did not converge";
-      for i = Array.length comb - 1 downto 0 do
-        let ins = Array.unsafe_get comb i in
-        let v = ins.i_eval () in
-        if t.values.(ins.i_slot) <> v then begin
-          t.values.(ins.i_slot) <- v;
-          changed := true
-        end
-      done
-    done
+  let bound = Engine.fixpoint_bound t.exec in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed do
+    incr sweeps;
+    if !sweeps > bound then sim_error "fixpoint did not converge";
+    changed := Engine.fixpoint_sweep t.exec
+  done
 
-(** Sequential update: assumes [eval_comb] ran with all inputs set.
-    Two-phase: ALL register next-values and memory-write operands are
-    computed from pre-update state before any commit — otherwise a
-    later write's enable/data would observe an earlier write of the
-    same cycle (registers banked into memories by the FAME-5 hardware
-    transform make that race universal). *)
+(** Sequential update of every lane: assumes [eval_comb] ran with all
+    inputs set.  Two-phase: ALL register next-values and memory-write
+    operands are computed from pre-update state before any commit —
+    otherwise a later write's enable/data would observe an earlier
+    write of the same cycle (registers banked into memories by the
+    FAME-5 hardware transform make that race universal). *)
 let step_seq t =
-  (match t.exec with
-  | Ex_bytecode bc -> Bytecode.stage_and_commit_seq bc
-  | Ex_closure { regs; reg_staging; writes; _ } ->
-    for i = 0 to Array.length regs - 1 do
-      let r = Array.unsafe_get regs i in
-      let keep =
-        match r.r_enable with
-        | None -> false
-        | Some en -> en () = 0
-      in
-      reg_staging.(i) <- (if keep then t.values.(r.r_slot) else r.r_next ())
-    done;
-    Array.iter
-      (fun w ->
-        w.w_fire <- w.w_enable () <> 0;
-        if w.w_fire then begin
-          let a = w.w_addr () in
-          if a >= w.w_depth then Telemetry.incr t.wrapped;
-          w.w_idx <- a mod w.w_depth;
-          w.w_val <- w.w_data () land Ast.mask w.w_width
-        end)
-      writes;
-    Array.iter (fun w -> if w.w_fire then w.w_mem.(w.w_idx) <- w.w_val) writes;
-    for i = 0 to Array.length regs - 1 do
-      t.values.(regs.(i).r_slot) <- reg_staging.(i)
-    done);
+  Engine.stage_and_commit_all t.exec;
   t.cycle <- t.cycle + 1
 
-(** Simulates one full target cycle. *)
+(** Simulates one full target cycle (all lanes). *)
 let step t =
   eval_comb t;
   step_seq t
 
 (** Pre-compiled evaluation of just the combinational cone feeding
-    [roots]; valid whenever the inputs in that cone are set, even if
-    other inputs are stale.  Used by LI-BDN output-channel firing. *)
-let make_cone_eval t roots =
+    [roots] over [lane]'s state; valid whenever the inputs in that cone
+    are set, even if other inputs are stale.  Used by LI-BDN
+    output-channel firing. *)
+let make_cone_eval ?(lane = 0) t roots =
+  check_lane t lane;
   let order = Analysis.cone t.analysis roots in
-  match t.exec with
-  | Ex_bytecode bc -> Bytecode.make_cone bc order
-  | Ex_closure { by_name; _ } ->
-    let instrs =
-      List.filter_map (fun name -> Hashtbl.find_opt by_name name) order |> Array.of_list
-    in
-    fun () ->
-      for i = 0 to Array.length instrs - 1 do
-        let ins = Array.unsafe_get instrs i in
-        t.values.(ins.i_slot) <- ins.i_eval ()
-      done
+  Engine.make_cone t.exec ~lane order
 
 (* ------------------------------------------------------------------ *)
 (* Memory access (program loading, result inspection)                  *)
 (* ------------------------------------------------------------------ *)
 
-let mem_array t name =
-  match Hashtbl.find_opt t.mems name with
+let mem_array ?(lane = 0) t name =
+  check_lane t lane;
+  match Hashtbl.find_opt t.lane_mems.(lane) name with
   | Some a -> a
   | None -> sim_error "no such memory: %s" name
 
-let poke_mem t name addr v = (mem_array t name).(addr) <- v
-let peek_mem t name addr = (mem_array t name).(addr)
+let poke_mem ?lane t name addr v = (mem_array ?lane t name).(addr) <- v
+let peek_mem ?lane t name addr = (mem_array ?lane t name).(addr)
 
-let load_mem t name values = List.iteri (fun i v -> poke_mem t name i v) values
+let load_mem ?lane t name values = List.iteri (fun i v -> poke_mem ?lane t name i v) values
 
 (* ------------------------------------------------------------------ *)
 (* State snapshots (FAME-5 threading, checkpointing)                   *)
@@ -514,27 +341,35 @@ type state = {
   s_cycle : int;
 }
 
-let save_state t =
+let save_state ?(lane = 0) t =
+  let vals = lane_vals t lane in
   {
-    s_regs = Array.map (fun s -> t.values.(s)) t.reg_slots;
-    s_mems = Hashtbl.fold (fun n a acc -> (n, Array.copy a) :: acc) t.mems [];
+    s_regs = Array.map (fun s -> vals.(s)) t.reg_slots;
+    s_mems = Hashtbl.fold (fun n a acc -> (n, Array.copy a) :: acc) t.lane_mems.(lane) [];
     s_cycle = t.cycle;
   }
 
-let restore_state t st =
+let restore_state ?(lane = 0) t st =
+  let vals = lane_vals t lane in
   if Array.length st.s_regs <> Array.length t.reg_slots then
     sim_error "restore_state: %d registers in snapshot, %d in circuit"
       (Array.length st.s_regs) (Array.length t.reg_slots);
-  Array.iteri (fun i s -> t.values.(s) <- st.s_regs.(i)) t.reg_slots;
+  Array.iteri (fun i s -> vals.(s) <- st.s_regs.(i)) t.reg_slots;
   List.iter
     (fun (n, a) ->
-      let dst = mem_array t n in
+      let dst = mem_array ~lane t n in
       if Array.length a <> Array.length dst then
         sim_error "restore_state: memory %s has depth %d in snapshot, %d in circuit" n
           (Array.length a) (Array.length dst);
       Array.blit a 0 dst 0 (Array.length a))
     st.s_mems;
   t.cycle <- st.s_cycle
+
+(** Captures every lane's architectural state; the returned thunk rolls
+    all lanes (and the cycle counter) back. *)
+let checkpoint t =
+  let states = Array.init (lanes t) (fun k -> save_state ~lane:k t) in
+  fun () -> Array.iteri (fun k st -> restore_state ~lane:k t st) states
 
 (* Text serialization of a {!state} for on-disk snapshots: one [cycle]
    line, one [regs] line, then one [mem] line per memory, all values as

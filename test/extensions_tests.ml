@@ -248,7 +248,10 @@ let test_checkpoint_fame5 () =
   let restore = Fireripper.Runtime.checkpoint h in
   let f5 = Option.get (Fireripper.Runtime.fame5_of h 1) in
   let probe () =
-    List.map (fun k -> Goldengate.Fame5.with_bank f5 k (fun s -> Rtlsim.Sim.get s "core$pc")) [ 0; 1; 2 ]
+    List.map
+      (fun k ->
+        Goldengate.Fame5.with_bank f5 k (fun s lane -> Rtlsim.Sim.get ~lane s "core$pc"))
+      [ 0; 1; 2 ]
   in
   Fireripper.Runtime.run h ~cycles:500;
   let after_first = probe () in

@@ -233,8 +233,8 @@ let test_fame5_partition () =
     ignore h;
     List.for_all
       (fun k ->
-        Goldengate.Fame5.with_bank f5 k (fun sim ->
-            Rtlsim.Sim.get sim "core$state" = Socgen.Kite_core.s_halted))
+        Goldengate.Fame5.with_bank f5 k (fun sim lane ->
+            Rtlsim.Sim.get ~lane sim "core$state" = Socgen.Kite_core.s_halted))
       [ 0; 1; 2; 3 ]
   in
   let cycles = run_partitioned_until h ~max_cycles:500_000 all_halted in

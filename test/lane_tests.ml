@@ -1,0 +1,261 @@
+(* Tests for the vectorized N-lane evaluation substrate: an N-lane
+   bytecode simulation (one compiled instruction stream, N value images
+   advanced in lockstep) must be bit-exact against N INDEPENDENT
+   single-lane simulations fed the same per-lane stimuli — per-cycle
+   observables, per-lane memories, and final architectural state.  Plus
+   the compile-invariance properties backing the design: the optimizer
+   pipeline is idempotent, and the lane count never changes the
+   compiled instruction stream (lanes scale data, not code). *)
+
+open Firrtl
+module E = Engine_tests
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Canonical state text: [save_state] renders memories in hash-table
+   fold order, which legitimately differs between a sim's own tables
+   and the per-lane views built from them — sort before comparing. *)
+let canon_state st =
+  Rtlsim.Sim.state_to_string
+    { st with Rtlsim.Sim.s_mems = List.sort compare st.Rtlsim.Sim.s_mems }
+
+(* Deterministic per-lane stimulus: distinct across lanes, cycles and
+   input ports, so every lane computes on genuinely different data. *)
+let stim ~lane ~cycle ~i mask = (((lane * 37) + (cycle * 13) + (i * 7)) * 31 + 5) land mask
+
+let input_masks flat =
+  List.map
+    (fun p -> (p.Ast.pname, (1 lsl min p.Ast.pwidth 16) - 1))
+    (Ast.input_ports flat)
+
+(* The core crosscheck: one [n]-lane bytecode sim vs [n] independent
+   single-lane sims, cycle-locked, every observable compared on every
+   cycle and the full per-lane state at the end. *)
+let crosscheck_lanes ~what ~flat ~cycles ?(poke = fun _ ~lane:_ _ -> ()) () =
+  let n = 4 in
+  let vec = Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode ~lanes:n flat in
+  check_int (what ^ ": lane count") n (Rtlsim.Sim.lanes vec);
+  let solo = Array.init n (fun _ -> Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode flat) in
+  for k = 0 to n - 1 do
+    poke vec ~lane:k k;
+    poke solo.(k) ~lane:0 k
+  done;
+  let inputs = input_masks flat in
+  let names = E.observables flat in
+  for c = 1 to cycles do
+    for k = 0 to n - 1 do
+      List.iteri
+        (fun i (name, mask) ->
+          let v = stim ~lane:k ~cycle:c ~i mask in
+          Rtlsim.Sim.set_input ~lane:k vec name v;
+          Rtlsim.Sim.set_input solo.(k) name v)
+        inputs
+    done;
+    Rtlsim.Sim.eval_comb vec;
+    Array.iter Rtlsim.Sim.eval_comb solo;
+    for k = 0 to n - 1 do
+      List.iter
+        (fun name ->
+          check_int
+            (Printf.sprintf "%s: %s lane %d @%d" what name k c)
+            (Rtlsim.Sim.get solo.(k) name)
+            (Rtlsim.Sim.get ~lane:k vec name))
+        names
+    done;
+    Rtlsim.Sim.step_seq vec;
+    Array.iter Rtlsim.Sim.step_seq solo
+  done;
+  for k = 0 to n - 1 do
+    check_string
+      (Printf.sprintf "%s: final state lane %d" what k)
+      (canon_state (Rtlsim.Sim.save_state solo.(k)))
+      (canon_state (Rtlsim.Sim.save_state ~lane:k vec))
+  done
+
+let test_lanes_examples () =
+  let designs = E.example_designs () in
+  check_bool "example designs present" true (designs <> []);
+  List.iter
+    (fun file ->
+      crosscheck_lanes ~what:file ~flat:(Flatten.flatten (E.load file)) ~cycles:100 ())
+    designs
+
+let test_lanes_alu () =
+  (* The operator-torture design, plus lane-distinct initial memory
+     contents loaded through the per-lane poke view. *)
+  crosscheck_lanes ~what:"alu" ~flat:(E.alu_flat ()) ~cycles:80
+    ~poke:(fun sim ~lane k ->
+      for a = 0 to 4 do
+        Rtlsim.Sim.poke_mem ~lane sim "m" a ((k * 11) + a + 3)
+      done)
+    ()
+
+let test_lane_checkpoint () =
+  (* [Sim.checkpoint] must capture and restore EVERY lane, not just
+     lane 0: run divergent lanes, checkpoint, run on, roll back, and
+     every lane's state must match its captured text. *)
+  let flat = E.alu_flat () in
+  let n = 3 in
+  let sim = Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode ~lanes:n flat in
+  let drive c =
+    for k = 0 to n - 1 do
+      Rtlsim.Sim.set_input ~lane:k sim "x" ((k * 19) + c);
+      Rtlsim.Sim.set_input ~lane:k sim "y" ((k * 5) + (c * 3));
+      Rtlsim.Sim.set_input ~lane:k sim "sel" (k land 3)
+    done;
+    Rtlsim.Sim.eval_comb sim;
+    Rtlsim.Sim.step_seq sim
+  in
+  for c = 1 to 20 do
+    drive c
+  done;
+  let saved = Array.init n (fun k -> canon_state (Rtlsim.Sim.save_state ~lane:k sim)) in
+  let rollback = Rtlsim.Sim.checkpoint sim in
+  for c = 21 to 40 do
+    drive c
+  done;
+  check_bool "state moved on" true
+    (canon_state (Rtlsim.Sim.save_state ~lane:1 sim) <> saved.(1));
+  rollback ();
+  for k = 0 to n - 1 do
+    check_string
+      (Printf.sprintf "checkpoint restores lane %d" k)
+      saved.(k)
+      (canon_state (Rtlsim.Sim.save_state ~lane:k sim))
+  done
+
+let test_closure_rejects_lanes () =
+  check_bool "closure + lanes>1 is refused" true
+    (try
+       ignore (Rtlsim.Sim.create ~engine:Rtlsim.Sim.Closure ~lanes:2 (E.alu_flat ()));
+       false
+     with Rtlsim.Sim.Sim_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* FAME-5 threads as engine lanes                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A small tile with an input-dependent register, duplicated N times:
+   the laned (bytecode) FAME-5 context and the bank-swapping (closure)
+   fallback must agree thread for thread, cycle for cycle. *)
+let tile_flat () =
+  let b = Builder.create "tile" in
+  let x = Builder.input b "x" 8 in
+  let acc = Builder.reg b ~init:0 "acc" 8 in
+  Builder.reg_next b "acc" (Ast.Binop (Ast.Add, acc, x));
+  Builder.output b "out" 8;
+  Builder.connect b "out" (Ast.Binop (Ast.Xor, acc, x));
+  Builder.finish b
+
+let test_fame5_laned_vs_banked () =
+  let flat = tile_flat () in
+  let insts = [ "t0"; "t1"; "t2"; "t3" ] in
+  let mk engine = Goldengate.Fame5.create ~engine ~flat ~insts () in
+  let laned = mk Rtlsim.Sim.Bytecode in
+  let banked = mk Rtlsim.Sim.Closure in
+  check_bool "bytecode context is laned" true (Goldengate.Fame5.laned laned);
+  check_bool "closure context is banked" false (Goldengate.Fame5.laned banked);
+  let ea = Goldengate.Fame5.engine laned in
+  let eb = Goldengate.Fame5.engine banked in
+  (* The FAME-5 engine defers evaluation into step_seq (one vectorized
+     pass per target cycle); outputs are latched during the step. *)
+  for c = 1 to 50 do
+    List.iteri
+      (fun k inst ->
+        let v = stim ~lane:k ~cycle:c ~i:0 255 in
+        ea.Libdn.Engine.set_input (inst ^ "#x") v;
+        eb.Libdn.Engine.set_input (inst ^ "#x") v)
+      insts;
+    ea.Libdn.Engine.step_seq ();
+    eb.Libdn.Engine.step_seq ();
+    List.iteri
+      (fun k inst ->
+        check_int
+          (Printf.sprintf "fame5 thread %d out @%d" k c)
+          (eb.Libdn.Engine.get (inst ^ "#out"))
+          (ea.Libdn.Engine.get (inst ^ "#out")))
+      insts
+  done;
+  (* Per-thread state read through with_bank agrees too. *)
+  List.iteri
+    (fun k _ ->
+      check_int
+        (Printf.sprintf "fame5 thread %d acc" k)
+        (Goldengate.Fame5.with_bank banked k (fun sim lane ->
+             Rtlsim.Sim.get ~lane sim "acc"))
+        (Goldengate.Fame5.with_bank laned k (fun sim lane ->
+             Rtlsim.Sim.get ~lane sim "acc")))
+    insts
+
+(* ------------------------------------------------------------------ *)
+(* Compile invariance                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let prop_opt_idempotent =
+  (* Running the optimizer pipeline twice is the same as running it
+     once — no pass un-does or re-triggers another on its own output. *)
+  QCheck.Test.make ~name:"opt: pipeline is idempotent" ~count:40
+    QCheck.(pair small_int (int_bound 2))
+    (fun (seed, extra) ->
+      let flat =
+        Flatten.flatten (Extensions_tests.random_circuit (seed + 71) (4 + extra))
+      in
+      let once = Opt.optimize flat in
+      once = Opt.optimize once)
+
+let prop_lanes_do_not_change_program =
+  (* Lanes scale the data images, never the code: the compiled
+     instruction stream (hashed over comb + seq code) is identical for
+     every lane count, and the engine reports the requested width. *)
+  QCheck.Test.make ~name:"lanes: compiled instruction stream is lane-invariant" ~count:20
+    QCheck.(pair small_int (int_bound 2))
+    (fun (seed, extra) ->
+      let flat =
+        Flatten.flatten (Extensions_tests.random_circuit (seed + 53) (4 + extra))
+      in
+      let hash lanes =
+        let sim = Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode ~lanes flat in
+        if Rtlsim.Sim.lanes sim <> lanes then failwith "wrong lane count";
+        match Rtlsim.Sim.bytecode_program_hash sim with
+        | Some h -> h
+        | None -> failwith "no bytecode program"
+      in
+      let h1 = hash 1 in
+      List.for_all (fun n -> hash n = h1) [ 2; 4; 8 ])
+
+let test_program_hash_examples () =
+  List.iter
+    (fun file ->
+      let flat = Flatten.flatten (E.load file) in
+      let hash lanes =
+        Rtlsim.Sim.bytecode_program_hash
+          (Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode ~lanes flat)
+      in
+      let h1 = hash 1 in
+      check_bool (file ^ ": program hash present") true (h1 <> None);
+      List.iter
+        (fun n -> check_bool (Printf.sprintf "%s: hash @%d lanes" file n) true (hash n = h1))
+        [ 2; 8 ])
+    (E.example_designs ())
+
+let suite =
+  [
+    ( "rtlsim.lanes",
+      [
+        Alcotest.test_case "example designs: N-lane vs N independent sims" `Quick
+          test_lanes_examples;
+        Alcotest.test_case "alu: divergent stimuli and per-lane memories" `Quick
+          test_lanes_alu;
+        Alcotest.test_case "checkpoint covers every lane" `Quick test_lane_checkpoint;
+        Alcotest.test_case "closure engine rejects lanes>1" `Quick
+          test_closure_rejects_lanes;
+        Alcotest.test_case "fame5: laned vs banked threads agree" `Quick
+          test_fame5_laned_vs_banked;
+        Alcotest.test_case "program hash lane-invariant on examples" `Quick
+          test_program_hash_examples;
+        QCheck_alcotest.to_alcotest prop_opt_idempotent;
+        QCheck_alcotest.to_alcotest prop_lanes_do_not_change_program;
+      ] );
+  ]

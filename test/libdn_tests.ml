@@ -232,8 +232,8 @@ let test_fame5_per_bank_setup () =
   Builder.connect b "data" (Dsl.read rom addr);
   let flat = Builder.finish b in
   let f5 = Goldengate.Fame5.create ~flat ~insts:[ "a"; "b" ] () in
-  Goldengate.Fame5.with_bank f5 0 (fun sim -> Rtlsim.Sim.poke_mem sim "rom" 3 11);
-  Goldengate.Fame5.with_bank f5 1 (fun sim -> Rtlsim.Sim.poke_mem sim "rom" 3 22);
+  Goldengate.Fame5.with_bank f5 0 (fun sim lane -> Rtlsim.Sim.poke_mem ~lane sim "rom" 3 11);
+  Goldengate.Fame5.with_bank f5 1 (fun sim lane -> Rtlsim.Sim.poke_mem ~lane sim "rom" 3 22);
   let eng = Goldengate.Fame5.engine f5 in
   eng.Libdn.Engine.set_input "a#addr" 3;
   eng.Libdn.Engine.set_input "b#addr" 3;

@@ -35,4 +35,5 @@ let () =
          Resilience_tests.suite;
          Debug_tests.suite;
          Engine_tests.suite;
+         Lane_tests.suite;
        ])
