@@ -139,6 +139,54 @@ let bench_lanes ~name ~cycles circuit =
       ]
     :: !lane_rows
 
+(* ------------------------------------------------------------------ *)
+(* Engine profiling overhead                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The same monolithic bytecode sim stepped with the disabled
+   {!Telemetry.Profile.null} sink and with a live profile: the delta is
+   the cost of the per-pass counters and clock reads on the engine hot
+   path.  The live run also reports the retired opcode-class totals the
+   profile attributes (static histogram x passes, so they are exact). *)
+let profile_overhead ~name ~cycles circuit =
+  let flat = Firrtl.Flatten.flatten circuit in
+  let time profile =
+    let sim = Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode ~profile flat in
+    let step () = Rtlsim.Sim.step sim in
+    Harness.warmup step;
+    Harness.time (fun () -> for _ = 1 to cycles do step () done)
+  in
+  let off_secs = time Telemetry.Profile.null in
+  let profile = Telemetry.Profile.create () in
+  let on_secs = time profile in
+  let overhead_pct = 100. *. (on_secs -. off_secs) /. off_secs in
+  let retired =
+    match Telemetry.Profile.to_json profile with
+    | Telemetry.Json.Obj fields -> (
+      match List.assoc_opt "opcode_classes" fields with
+      | Some (Telemetry.Json.Obj classes) ->
+        List.fold_left
+          (fun acc (_, v) ->
+            match v with Telemetry.Json.Int n -> acc + n | _ -> acc)
+          0 classes
+      | _ -> 0)
+    | _ -> 0
+  in
+  Printf.printf
+    "%-12s off %8.3f s   on %8.3f s   overhead %5.1f%%   %d instrs retired\n" name
+    off_secs on_secs overhead_pct retired;
+  Telemetry.Json.Obj
+    [
+      ("name", Telemetry.Json.String name);
+      ("cycles", Telemetry.Json.Int cycles);
+      ("off_secs", Telemetry.Json.Float off_secs);
+      ("off_cycles_per_s", Telemetry.Json.Float (float_of_int cycles /. off_secs));
+      ("on_secs", Telemetry.Json.Float on_secs);
+      ("on_cycles_per_s", Telemetry.Json.Float (float_of_int cycles /. on_secs));
+      ("overhead_pct", Telemetry.Json.Float overhead_pct);
+      ("retired_instrs", Telemetry.Json.Int retired);
+    ]
+
 let run () =
   Printf.printf "\n== evaluation engines (monolithic cycles/s) ==\n";
   bench ~name:"soc/1core" ~cycles:30_000 (Socgen.Soc.single_core_soc ~mem_latency:1 ());
@@ -148,6 +196,17 @@ let run () =
   Printf.printf "\n== vectorized lanes (aggregate cycles/s, N-lane vs N solo) ==\n";
   bench_lanes ~name:"ring-8" ~cycles:5_000 (Harness.ring8 ());
   bench_lanes ~name:"mesh-4x4" ~cycles:1_000 (Harness.mesh4x4 ());
+  Printf.printf "\n== engine profiling overhead (bytecode, profile on vs off) ==\n";
+  let engine_profile =
+    [
+      profile_overhead ~name:"ring-8" ~cycles:20_000 (Harness.ring8 ());
+      profile_overhead ~name:"mesh-4x4" ~cycles:4_000 (Harness.mesh4x4 ());
+    ]
+  in
   Harness.write_report ~schema:"fireaxe-bench-eval-1"
-    ~extra:[ ("lane_sweep", Telemetry.Json.List (List.rev !lane_rows)) ]
+    ~extra:
+      [
+        ("lane_sweep", Telemetry.Json.List (List.rev !lane_rows));
+        ("engine_profile", Telemetry.Json.List engine_profile);
+      ]
     ~designs:!report_rows ~path:"BENCH_eval.json" ()

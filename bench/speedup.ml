@@ -7,42 +7,26 @@
    the ratio hovers around (or below) 1x — one domain per partition
    only pays off once [Domain.recommended_domain_count] admits real
    concurrency — which is why the host's domain count is printed with
-   the results. *)
+   the results.
+
+   A second measurement per design forces one REAL domain per partition
+   ([Libdn.Scheduler.set_host_domains]) and runs twice — once with the
+   disabled {!Telemetry.Profile.null} sink, once with a live profile —
+   so the report carries (a) a truthful per-partition
+   run/exchange/spin/park/barrier stall breakdown (the cooperative
+   single-core fallback structurally cannot produce one: every
+   round-robin visit progresses, so its spin/park counters sit at
+   zero), and (b) the profiler's enabled-vs-disabled overhead measured
+   on the same execution path. *)
 
 (* Each measurement runs with a live telemetry sink so the JSON report
    can break wall-clock down into per-partition run/idle/barrier time
-   and per-channel stall attribution (the breakdown is only populated
-   under the parallel scheduler). *)
-let measure plan ~cycles scheduler =
+   and per-channel stall attribution. *)
+let measure ?profile plan ~cycles scheduler =
   let telemetry = Telemetry.create () in
-  let h = Fireripper.Runtime.instantiate ~scheduler ~telemetry plan in
+  let h = Fireripper.Runtime.instantiate ~scheduler ~telemetry ?profile plan in
   let secs = Harness.time (fun () -> Fireripper.Runtime.run h ~cycles) in
   (secs, Fireripper.Runtime.token_transfers h, telemetry)
-
-(* Per-partition run/idle/barrier nanoseconds, keyed from the
-   [sched.par.<part>.<kind>_ns] counters. *)
-let stall_breakdown tel =
-  let tail s pre = String.sub s (String.length pre) (String.length s - String.length pre) in
-  let parts = Hashtbl.create 8 in
-  List.iter
-    (fun (name, v) ->
-      let pre = "sched.par." in
-      if String.length name > String.length pre && String.starts_with ~prefix:pre name
-      then begin
-        let rest = tail name pre in
-        match String.rindex_opt rest '.' with
-        | Some i ->
-          let part = String.sub rest 0 i in
-          let kind = String.sub rest (i + 1) (String.length rest - i - 1) in
-          let cur =
-            match Hashtbl.find_opt parts part with Some l -> l | None -> []
-          in
-          Hashtbl.replace parts part ((kind, Telemetry.Json.Int v) :: cur)
-        | None -> ()
-      end)
-    (Telemetry.counters tel);
-  Hashtbl.fold (fun part fields acc -> (part, Telemetry.Json.Obj (List.rev fields)) :: acc) parts []
-  |> List.sort compare
 
 (* Total stalls attributed to each input channel
    ([net.<part>.in.<chan>.stalled], nonzero entries only). *)
@@ -54,24 +38,72 @@ let stalled_channels tel =
       else None)
     (Telemetry.counters tel)
 
+(* Per-partition stall breakdown, lifted from the profile document so
+   the bench reports exactly what [--profile] users will see: measured
+   run/exchange/spin/park/barrier nanoseconds plus spin/park counts. *)
+let stall_breakdown profile =
+  let module J = Telemetry.Json in
+  match Telemetry.Profile.to_json profile with
+  | J.Obj fields -> (
+    match List.assoc_opt "partitions" fields with
+    | Some (J.List parts) ->
+      List.filter_map
+        (fun p ->
+          match p with
+          | J.Obj pf -> (
+            match List.assoc_opt "name" pf with
+            | Some (J.String name) ->
+              let keep =
+                List.filter
+                  (fun (k, _) ->
+                    List.mem k
+                      [
+                        "run_ns"; "exchange_ns"; "spin_ns"; "park_ns";
+                        "barrier_ns"; "spins"; "parks";
+                      ])
+                  pf
+              in
+              Some (name, J.Obj keep)
+            | _ -> None)
+          | _ -> None)
+        parts
+      |> List.sort compare
+    | _ -> [])
+  | _ -> []
+
 (* Collected per-design rows for the machine-readable report. *)
 let report_rows : (string * Telemetry.Json.t) list list ref = ref []
 
 let bench ~name ~cycles plan =
   Printf.printf "%-12s %d partitions, %d target cycles\n" name
     (Fireripper.Plan.n_units plan) cycles;
-  let run scheduler =
-    let secs, tokens, tel = measure plan ~cycles scheduler in
-    Printf.printf "  %-4s %8.3f s %12.0f tokens/s %10.0f cycles/s\n"
-      (Libdn.Scheduler.name scheduler)
-      secs
+  let run ?profile ~tag scheduler =
+    let secs, tokens, tel = measure ?profile plan ~cycles scheduler in
+    Printf.printf "  %-9s %8.3f s %12.0f tokens/s %10.0f cycles/s\n" tag secs
       (float_of_int tokens /. secs)
       (float_of_int cycles /. secs);
     (secs, tokens, tel)
   in
-  let seq_secs, seq_tokens, _ = run Libdn.Scheduler.Sequential in
-  let par_secs, par_tokens, par_tel = run Libdn.Scheduler.Parallel in
+  let seq_secs, seq_tokens, _ =
+    run ~tag:"seq" Libdn.Scheduler.Sequential
+  in
+  let par_secs, par_tokens, _ = run ~tag:"par" Libdn.Scheduler.Parallel in
   Printf.printf "  speedup (seq/par wall-clock): %.2fx\n" (seq_secs /. par_secs);
+  (* Real-domain section: force one domain per partition — even on a
+     single-core host — so the profiled and unprofiled runs take the
+     SAME execution path and their delta is the profiler's cost, not a
+     cooperative-vs-domains policy change. *)
+  let n_units = Fireripper.Plan.n_units plan in
+  Libdn.Scheduler.set_host_domains n_units;
+  let base_secs, _, _ = run ~tag:"domains" Libdn.Scheduler.Parallel in
+  let profile = Telemetry.Profile.create () in
+  let prof_secs, _, prof_tel =
+    run ~profile ~tag:"profiled" Libdn.Scheduler.Parallel
+  in
+  Libdn.Scheduler.set_host_domains 0;
+  let overhead_pct = 100. *. (prof_secs -. base_secs) /. base_secs in
+  Printf.printf "  profile overhead (enabled vs disabled, real domains): %.1f%%\n"
+    overhead_pct;
   let sched_row secs tokens =
     Telemetry.Json.Obj
       [
@@ -89,8 +121,21 @@ let bench ~name ~cycles plan =
       ("seq", sched_row seq_secs seq_tokens);
       ("par", sched_row par_secs par_tokens);
       ("speedup", Telemetry.Json.Float (seq_secs /. par_secs));
-      ("stall_breakdown", Telemetry.Json.Obj (stall_breakdown par_tel));
-      ("stalled_channels", Telemetry.Json.Obj (stalled_channels par_tel));
+      ( "par_domains",
+        Telemetry.Json.Obj
+          [
+            ("secs", Telemetry.Json.Float base_secs);
+            ("cycles_per_s", Telemetry.Json.Float (float_of_int cycles /. base_secs));
+          ] );
+      ( "par_profiled",
+        Telemetry.Json.Obj
+          [
+            ("secs", Telemetry.Json.Float prof_secs);
+            ("cycles_per_s", Telemetry.Json.Float (float_of_int cycles /. prof_secs));
+          ] );
+      ("profile_overhead_pct", Telemetry.Json.Float overhead_pct);
+      ("stall_breakdown", Telemetry.Json.Obj (stall_breakdown profile));
+      ("stalled_channels", Telemetry.Json.Obj (stalled_channels prof_tel));
     ]
     :: !report_rows
 

@@ -403,8 +403,10 @@ let report_flight flight_ref ?reason () =
 
 (* With several engine lanes every lane advanced an identical broadcast
    copy of the design, so any probe disagreeing across lanes is a
-   vectorization bug; fail the run (CI's lane smoke rides on this). *)
-let check_lane_agreement ~lanes ~read_lane probes =
+   vectorization bug; fail the run (CI's lane smoke rides on this).
+   [flush] drains the metrics/trace/profile exporters first, so the
+   diagnostic artifacts of the divergent run survive the exit. *)
+let check_lane_agreement ~flush ~lanes ~read_lane probes =
   if lanes > 1 then begin
     let bad = ref 0 in
     List.iter
@@ -419,15 +421,39 @@ let check_lane_agreement ~lanes ~read_lane probes =
       probes;
     if !bad > 0 then begin
       Fmt.epr "%d probe/lane disagreement(s) across %d lanes@." !bad lanes;
+      flush ();
       exit 4
     end;
     Fmt.pr "lanes: %d broadcast lanes agree on all %d probes@." lanes
       (List.length probes)
   end
 
-let run_remote ~telemetry ~scheduler ~engine ~lanes ~checkpoint_dir ~checkpoint_every
-    ~chaos_seed ~resume ~vcd_path ~sample ~flight_depth ~flight_dir ~flight_ref
-    ~progress design plan cycles =
+(* Progress lines with live throughput: instantaneous tokens/s since
+   the previous line, aggregate simulated cycles/s (target rate x
+   partitions), and the ETA the aggregate rate implies. *)
+let make_progress_printer ~cycles ~units ~transfers () =
+  let t_start = Unix.gettimeofday () in
+  let last_t = ref t_start in
+  let last_tok = ref (transfers ()) in
+  fun c ->
+    let now = Unix.gettimeofday () in
+    let tok = transfers () in
+    let dt = now -. !last_t in
+    let tok_s = if dt > 0. then float_of_int (tok - !last_tok) /. dt else 0. in
+    let elapsed = now -. t_start in
+    let cyc_s = if elapsed > 0. then float_of_int c /. elapsed else 0. in
+    let eta = if cyc_s > 0. then float_of_int (max 0 (cycles - c)) /. cyc_s else 0. in
+    last_t := now;
+    last_tok := tok;
+    Fmt.pr
+      "progress: cycle %d/%d (%d token transfers, %.0f tokens/s, %.0f cycles/s aggregate, ETA %.1fs)@."
+      c cycles tok tok_s
+      (cyc_s *. float_of_int units)
+      eta
+
+let run_remote ~telemetry ~profile ~profile_handle ~collect ~flush ~scheduler ~engine ~lanes
+    ~checkpoint_dir ~checkpoint_every ~chaos_seed ~resume ~vcd_path ~sample
+    ~flight_depth ~flight_dir ~flight_ref ~progress design plan cycles =
   let n = Fireaxe.Plan.n_units plan in
   let chaos =
     Option.map
@@ -445,12 +471,13 @@ let run_remote ~telemetry ~scheduler ~engine ~lanes ~checkpoint_dir ~checkpoint_
     | _ -> ()
   in
   let sv =
-    Fireaxe.supervise ~scheduler ~telemetry ~engine
+    Fireaxe.supervise ~scheduler ~telemetry ~profile ~engine
       ?lanes:(if lanes > 1 then Some lanes else None)
       ?checkpoint_dir ~every:checkpoint_every ?chaos ~on_event
       ~worker:(worker_path ()) ~remote_units:(List.init n Fun.id) plan
   in
   let h = Fireaxe.Resilience.Supervisor.handle sv in
+  profile_handle := Some h;
   let conns = Fireaxe.Runtime.remote_conns h in
   Fmt.pr "spawned %d worker processes (one per unit)@." (List.length conns);
   do_resume h ~checkpoint_dir resume;
@@ -469,6 +496,11 @@ let run_remote ~telemetry ~scheduler ~engine ~lanes ~checkpoint_dir ~checkpoint_
         require_probes design probes ~flag:"--vcd";
         (path, Fireaxe.Debug.Capture.of_handle h ~probes))
       vcd_path
+  in
+  let progress_print =
+    make_progress_printer ~cycles ~units:n
+      ~transfers:(fun () -> Fireaxe.Runtime.token_transfers h)
+      ()
   in
   (if capture = None && flight = None then Fireaxe.Resilience.Supervisor.run sv ~cycles
    else begin
@@ -495,9 +527,7 @@ let run_remote ~telemetry ~scheduler ~engine ~lanes ~checkpoint_dir ~checkpoint_
        in
        advance_and_sample ();
        match progress with
-       | Some p when p > 0 && (c mod p = 0 || c = cycles) ->
-         Fmt.pr "progress: cycle %d/%d (%d token transfers)@." c cycles
-           (Fireaxe.Runtime.token_transfers h)
+       | Some p when p > 0 && (c mod p = 0 || c = cycles) -> progress_print c
        | _ -> ()
      done
    end);
@@ -531,27 +561,48 @@ let run_remote ~telemetry ~scheduler ~engine ~lanes ~checkpoint_dir ~checkpoint_
         Fmt.pr "  %-28s = %-8d (monolithic %d%s)@." probe v m
           (if v = m then ", exact" else " -- DIFFERS"))
     design.d_probes;
-  check_lane_agreement ~lanes
+  check_lane_agreement ~flush
+    ~lanes
     ~read_lane:(fun probe l ->
       match List.find_opt (fun (_, c) -> Libdn.Remote_engine.has c probe) conns with
       | Some (_, c) -> Libdn.Remote_engine.get_lane c probe ~lane:l
       | None -> 0)
     design.d_probes;
+  (* Remote profile slices must cross the pipe while the workers are
+     still alive; [collect] is once-only, so the exporter flush after
+     this returns does not re-fetch. *)
+  collect ();
   Fireaxe.Resilience.Supervisor.close sv;
   if !mismatches > 0 then begin
     Fmt.epr "%d probe(s) differ from the monolithic reference@." !mismatches;
+    flush ();
     exit 4
   end
 
 let run design mode select routers scheduler engine lanes cycles vcd_path sample every
     resume save_snap check remote metrics trace_file progress checkpoint_dir
-    checkpoint_every chaos_seed flight_depth flight_dir wavediff =
+    checkpoint_every chaos_seed flight_depth flight_dir wavediff profile_file =
   (* A live sink only when some exporter was requested; otherwise the
      shared disabled sink keeps the hot path free. *)
   let telemetry =
     if metrics <> None || trace_file <> None then
       Telemetry.create ~trace:(trace_file <> None) ()
     else Telemetry.null
+  in
+  let profile =
+    if profile_file <> None then Telemetry.Profile.create () else Telemetry.Profile.null
+  in
+  let profile_handle = ref None in
+  (* Remote profile slices are fetched over the worker pipe, so they
+     must be collected while the workers are alive — and only once. *)
+  let profile_collected = ref false in
+  let collect_profiles () =
+    if not !profile_collected then begin
+      profile_collected := true;
+      match !profile_handle with
+      | Some h -> ( try Fireaxe.Runtime.collect_remote_profiles h with _ -> ())
+      | None -> ()
+    end
   in
   (* Exporters run on success AND on deadlock, so a dead network still
      leaves its metrics snapshot and trace behind. *)
@@ -566,6 +617,20 @@ let run design mode select routers scheduler engine lanes cycles vcd_path sample
     match metrics with
     | Some path -> Telemetry.write_metrics telemetry ~path
     | None -> ()
+  in
+  let emit_profile () =
+    match profile_file with
+    | None -> ()
+    | Some path ->
+      collect_profiles ();
+      Telemetry.Profile.write profile ~path;
+      Telemetry.Profile.write_trace profile ~path:(path ^ ".trace.json");
+      Fmt.pr "profile written to %s (flamegraph view: %s.trace.json)@." path path;
+      print_string (Telemetry.Profile.report_string profile)
+  in
+  let emit_exporters () =
+    emit_telemetry ();
+    emit_profile ()
   in
   let flight_ref = ref None in
   match
@@ -591,11 +656,13 @@ let run design mode select routers scheduler engine lanes cycles vcd_path sample
       let circuit = design.d_circuit () in
       let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
       if remote then
-        run_remote ~telemetry ~scheduler ~engine ~lanes ~checkpoint_dir
+        run_remote ~telemetry ~profile ~profile_handle ~collect:collect_profiles
+          ~flush:emit_exporters ~scheduler ~engine ~lanes ~checkpoint_dir
           ~checkpoint_every ~chaos_seed ~resume ~vcd_path ~sample ~flight_depth
           ~flight_dir ~flight_ref ~progress design plan cycles
       else begin
-        let h = Fireaxe.instantiate ~scheduler ~telemetry ~engine ~lanes plan in
+        let h = Fireaxe.instantiate ~scheduler ~telemetry ~profile ~engine ~lanes plan in
+        profile_handle := Some h;
         do_resume h ~checkpoint_dir resume;
         (* With a checkpoint dir, plain in-process runs also advance under
            one supervisor so bundles land on every interval, even when the
@@ -624,11 +691,14 @@ let run design mode select routers scheduler engine lanes cycles vcd_path sample
               fl)
             flight_depth
         in
+        let progress_print =
+          make_progress_printer ~cycles ~units:(Fireaxe.Plan.n_units plan)
+            ~transfers:(fun () -> Fireaxe.Runtime.token_transfers h)
+            ()
+        in
         let progress_line c =
           match progress with
-          | Some p when p > 0 && (c mod p = 0 || c = cycles) ->
-            Fmt.pr "progress: cycle %d/%d (%d token transfers)@." c cycles
-              (Fireaxe.Runtime.token_transfers h)
+          | Some p when p > 0 && (c mod p = 0 || c = cycles) -> progress_print c
           | _ -> ()
         in
         (* Per-cycle driving, shared by waveform capture and the flight
@@ -659,8 +729,7 @@ let run design mode select routers scheduler engine lanes cycles vcd_path sample
             let rec go c =
               let next = min cycles (c + n) in
               advance ~cycles:next;
-              Fmt.pr "progress: cycle %d/%d (%d token transfers)@." next cycles
-                (Fireaxe.Runtime.token_transfers h);
+              progress_print next;
               if next < cycles then go next
             in
             let start = Fireaxe.Runtime.cycle h 0 in
@@ -709,7 +778,7 @@ let run design mode select routers scheduler engine lanes cycles vcd_path sample
             Fmt.pr "  %-28s = %-8d (monolithic %d%s)@." probe v m
               (if v = m then ", exact" else " -- DIFFERS"))
           design.d_probes;
-        check_lane_agreement ~lanes
+        check_lane_agreement ~flush:emit_exporters ~lanes
           ~read_lane:(fun probe l ->
             let u = Fireaxe.Runtime.locate h probe in
             Rtlsim.Sim.get ~lane:l (Fireaxe.Runtime.sim_of h u) probe)
@@ -717,12 +786,12 @@ let run design mode select routers scheduler engine lanes cycles vcd_path sample
       end
     end
   with
-  | () -> emit_telemetry ()
+  | () -> emit_exporters ()
   | exception Libdn.Network.Deadlock msg ->
     (* The snapshot was already recorded into the sinks by the raise
        site, and the flight recorder's deadlock hook already dumped the
        ring; flush the exporters, then report. *)
-    emit_telemetry ();
+    emit_exporters ();
     report_flight flight_ref ();
     Fmt.epr "%s@." msg;
     exit 3
@@ -731,17 +800,17 @@ let run design mode select routers scheduler engine lanes cycles vcd_path sample
     Fmt.epr "(probe names are flattened register names; try --sample with names from 'describe')@.";
     exit 2
   | exception (Libdn.Remote_engine.Worker_died _ as e) ->
-    emit_telemetry ();
+    emit_exporters ();
     report_flight flight_ref ~reason:"worker-died" ();
     Fmt.epr "%s@." (Printexc.to_string e);
     exit 5
   | exception (Fireaxe.Resilience.Supervisor.Gave_up _ as e) ->
-    emit_telemetry ();
+    emit_exporters ();
     report_flight flight_ref ~reason:"gave-up" ();
     Fmt.epr "%s@." (Printexc.to_string e);
     exit 5
   | exception (Fireaxe.Resilience.Supervisor.Recovery_failed _ as e) ->
-    emit_telemetry ();
+    emit_exporters ();
     report_flight flight_ref ~reason:"recovery-failed" ();
     Fmt.epr "%s@." (Printexc.to_string e);
     exit 5
@@ -865,6 +934,22 @@ let flight_dir_arg =
     & info [ "flight-dir" ] ~docv:"DIR"
         ~doc:"Directory flight bundles are dumped under (default $(b,flight)).")
 
+let profile_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Write a hot-path profile (schema $(b,fireaxe-profile-1)) to $(docv) after \
+           the run — also on deadlock or divergence: per-opcode-class retired \
+           instruction counts, per-cone eval time, per-partition \
+           run/exchange/spin/park/barrier breakdown, per-channel exchange cost, \
+           remote-worker wire cost, and the static-vs-measured partition load model.  \
+           A flamegraph-compatible Chrome-trace view lands next to it as \
+           $(docv).trace.json.  Profiled $(b,--scheduler par) runs always use one \
+           domain per partition (never the cooperative single-core fallback), so the \
+           breakdown reflects real parallel execution.")
+
 let wave_diff_arg =
   Arg.(
     value & flag
@@ -882,7 +967,7 @@ let run_cmd =
       $ engine_arg $ lanes_arg $ cycles_arg $ vcd_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
       $ check_arg $ remote_arg $ metrics_arg $ trace_file_arg $ progress_arg
       $ checkpoint_dir_arg $ checkpoint_every_arg $ chaos_arg $ flight_arg
-      $ flight_dir_arg $ wave_diff_arg)
+      $ flight_dir_arg $ wave_diff_arg $ profile_file_arg)
 
 let sweep transport =
   Fmt.pr "simulation rate (MHz) vs interface width, %s@." (Platform.Transport.name transport);
@@ -905,14 +990,17 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Print the interface-width performance sweep for a transport.")
     Term.(const sweep $ transport_arg)
 
-let validate design scheduler engine lanes =
+let validate design scheduler engine lanes profile_file =
   (* Generic validation: run until a design-specific "finished" register
      condition; for designs without one, compare state after N cycles. *)
-  match design.d_name with
+  let profile =
+    if profile_file <> None then Telemetry.Profile.create () else Telemetry.Profile.null
+  in
+  (match design.d_name with
   | "soc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
     let v =
-      Fireaxe.validate ~scheduler ~engine ~lanes ~name:design.d_name
+      Fireaxe.validate ~scheduler ~engine ~lanes ~profile ~name:design.d_name
         ~circuit:(fun () -> Socgen.Soc.single_core_soc ())
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -927,7 +1015,7 @@ let validate design scheduler engine lanes =
   | "dramsoc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
     let v =
-      Fireaxe.validate ~scheduler ~engine ~lanes ~name:design.d_name
+      Fireaxe.validate ~scheduler ~engine ~lanes ~profile ~name:design.d_name
         ~circuit:(fun () -> Socgen.Dram.dram_soc ())
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -945,7 +1033,7 @@ let validate design scheduler engine lanes =
       else (Socgen.Soc.Gemmini, Socgen.Accel.g_done)
     in
     let v =
-      Fireaxe.validate ~scheduler ~engine ~lanes ~name:design.d_name
+      Fireaxe.validate ~scheduler ~engine ~lanes ~profile ~name:design.d_name
         ~circuit:(fun () -> Socgen.Soc.accel_soc kind)
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -962,7 +1050,7 @@ let validate design scheduler engine lanes =
   | "k5soc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
     let v =
-      Fireaxe.validate ~scheduler ~engine ~lanes ~name:design.d_name
+      Fireaxe.validate ~scheduler ~engine ~lanes ~profile ~name:design.d_name
         ~circuit:(fun () -> Socgen.Kite5_core.soc ())
         ~selection:design.d_selection
         ~setup:(fun ~poke ->
@@ -974,12 +1062,23 @@ let validate design scheduler engine lanes =
     Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@." v.Fireaxe.v_monolithic_cycles
       v.Fireaxe.v_exact_cycles v.Fireaxe.v_exact_error_pct v.Fireaxe.v_fast_cycles
       v.Fireaxe.v_fast_error_pct
-  | _ -> Fmt.pr "validate supports: soc, dramsoc, k5soc, sha3, gemmini (use 'run' for other designs)@."
+  | _ -> Fmt.pr "validate supports: soc, dramsoc, k5soc, sha3, gemmini (use 'run' for other designs)@.");
+  match profile_file with
+  | None -> ()
+  | Some path ->
+    (* Both partitioned runs (exact and fast) accumulated into the one
+       sink, so the profile covers the whole validation. *)
+    Telemetry.Profile.write profile ~path;
+    Telemetry.Profile.write_trace profile ~path:(path ^ ".trace.json");
+    Fmt.pr "profile written to %s (flamegraph view: %s.trace.json)@." path path;
+    print_string (Telemetry.Profile.report_string profile)
 
 let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Table II methodology: monolithic vs exact vs fast cycle counts.")
-    Term.(const validate $ design_arg $ scheduler_arg $ engine_arg $ lanes_arg)
+    Term.(
+      const validate $ design_arg $ scheduler_arg $ engine_arg $ lanes_arg
+      $ profile_file_arg)
 
 let runs_arg = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Simulations in the campaign.")
 

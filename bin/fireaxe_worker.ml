@@ -5,11 +5,15 @@
    An optional second argument picks the evaluation engine
    (closure|bytecode); the simulator's default applies otherwise.  An
    optional third argument sets the engine's lane count (vectorized
-   N-copy execution; bytecode engine only). *)
+   N-copy execution; bytecode engine only).  An optional fourth
+   argument, the literal token "profile", enables hot-path profiling of
+   this worker's sim; the parent fetches the resulting one-line JSON
+   slice with the "profile" command. *)
 
 let () =
-  if Array.length Sys.argv < 2 || Array.length Sys.argv > 4 then begin
-    prerr_endline "usage: fireaxe-worker <circuit.fir> [closure|bytecode] [lanes]";
+  if Array.length Sys.argv < 2 || Array.length Sys.argv > 5 then begin
+    prerr_endline
+      "usage: fireaxe-worker <circuit.fir> [closure|bytecode] [lanes] [profile]";
     exit 2
   end;
   let engine =
@@ -32,8 +36,18 @@ let () =
              Sys.argv.(3));
         exit 2
   in
+  let profile =
+    if Array.length Sys.argv < 5 then Telemetry.Profile.null
+    else if Sys.argv.(4) = "profile" then Telemetry.Profile.create ()
+    else begin
+      prerr_endline
+        (Printf.sprintf "fireaxe-worker: bad flag %S (want \"profile\")"
+           Sys.argv.(4));
+      exit 2
+    end
+  in
   let circuit = Firrtl.Text.load ~path:Sys.argv.(1) in
-  let sim = Rtlsim.Sim.of_circuit ?engine ?lanes circuit in
+  let sim = Rtlsim.Sim.of_circuit ?engine ?lanes ~profile circuit in
   let eng = Libdn.Engine.of_sim sim in
   (* Cones and checkpoints draw from SEPARATE id counters: cone ids are
      then a pure function of registration order, which is what lets a
@@ -128,6 +142,7 @@ let () =
          with
         | End_of_file -> running := false
         | Rtlsim.Sim.Sim_error m -> reply "error: %s" m)
+      | [ "profile" ] -> reply "%s" (Telemetry.Profile.slice_string profile)
       | [ "quit" ] -> running := false
       | _ -> bad line)
   done

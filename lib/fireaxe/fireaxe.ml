@@ -44,11 +44,11 @@ let instantiate = Runtime.instantiate
     workers respawned under [policy], optional seeded [chaos].  Drive
     it with {!Resilience.Supervisor.run}; {!Resilience.Supervisor.close}
     when done. *)
-let supervise ?scheduler ?read_timeout ?telemetry ?engine ?lanes ?checkpoint_dir
-    ?every ?policy ?chaos ?on_event ~worker ~remote_units plan =
+let supervise ?scheduler ?read_timeout ?telemetry ?profile ?engine ?lanes
+    ?checkpoint_dir ?every ?policy ?chaos ?on_event ~worker ~remote_units plan =
   let handle, _conns =
-    Runtime.instantiate_remote ?scheduler ?read_timeout ?telemetry ?engine ?lanes
-      ~worker ~remote_units plan
+    Runtime.instantiate_remote ?scheduler ?read_timeout ?telemetry ?profile
+      ?engine ?lanes ~worker ~remote_units plan
   in
   Resilience.Supervisor.create ?checkpoint_dir ?every ?policy ?chaos ?on_event
     ~worker handle
@@ -135,16 +135,16 @@ let wave_diff ?(scheduler = Libdn.Scheduler.default) ?(mode = Spec.Exact) ?engin
     [circuit] is re-generated per run so simulations are independent.
     When [probes] are given, a side-by-side {!wave_diff} of the
     monolithic and exact runs localizes any divergence. *)
-let validate ?(scheduler = Libdn.Scheduler.default) ?engine ?lanes ?(probes = [])
-    ~name ~circuit ~selection ?(setup = fun ~poke:_ -> ()) ~finished
-    ?(max_cycles = 1_000_000) () =
+let validate ?(scheduler = Libdn.Scheduler.default) ?engine ?lanes ?profile
+    ?(probes = []) ~name ~circuit ~selection ?(setup = fun ~poke:_ -> ())
+    ~finished ?(max_cycles = 1_000_000) () =
   let mono =
     run_monolithic_until (circuit ()) ~setup ~finished ~max_cycles
   in
   let partitioned mode =
     let config = { Spec.default_config with Spec.mode; selection } in
     let plan = compile ~config (circuit ()) in
-    let handle = instantiate ~scheduler ?engine ?lanes plan in
+    let handle = instantiate ~scheduler ?engine ?lanes ?profile plan in
     run_partitioned_until handle ~setup ~finished ~max_cycles
   in
   let exact = partitioned Spec.Exact in

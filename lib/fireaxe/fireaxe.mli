@@ -45,6 +45,7 @@ val instantiate :
   ?fame5:bool ->
   ?scheduler:Libdn.Scheduler.t ->
   ?telemetry:Telemetry.t ->
+  ?profile:Telemetry.Profile.t ->
   ?engine:Rtlsim.Sim.engine ->
   ?lanes:int ->
   Plan.t ->
@@ -62,6 +63,7 @@ val supervise :
   ?scheduler:Libdn.Scheduler.t ->
   ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
+  ?profile:Telemetry.Profile.t ->
   ?engine:Rtlsim.Sim.engine ->
   ?lanes:int ->
   ?checkpoint_dir:string ->
@@ -125,7 +127,9 @@ val wave_diff :
     [scheduler] picks the execution policy of the partitioned runs;
     [engine] their evaluation engine and [lanes] its lane count (the
     partitioned runs then advance N broadcast-identical copies in
-    lockstep — a vectorization smoke test on top of the validation).
+    lockstep — a vectorization smoke test on top of the validation);
+    [profile] threads a hot-path profiling sink into the partitioned
+    runs (both exact and fast accumulate into it).
     When [probes] are given, a side-by-side {!wave_diff} of the
     monolithic and exact runs localizes any divergence into
     [v_divergence]. *)
@@ -133,6 +137,7 @@ val validate :
   ?scheduler:Libdn.Scheduler.t ->
   ?engine:Rtlsim.Sim.engine ->
   ?lanes:int ->
+  ?profile:Telemetry.Profile.t ->
   ?probes:string list ->
   name:string ->
   circuit:(unit -> Firrtl.Ast.circuit) ->

@@ -52,9 +52,10 @@ let zero_token (spec : Libdn.Channel.spec) =
 
 (* Wires [engines] (one per plan unit, in order) into an LI-BDN
    network: FAME-1 wrap, channel connections, fast-mode seed tokens. *)
-let build_network ?(telemetry = Telemetry.null) (plan : Plan.t) engines =
+let build_network ?(telemetry = Telemetry.null)
+    ?(profile = Telemetry.Profile.null) (plan : Plan.t) engines =
   let pairs = Plan.channel_pairs plan in
-  let net = Libdn.Network.create ~telemetry () in
+  let net = Libdn.Network.create ~telemetry ~profile () in
   (* Partitions are added in unit order so network index = unit index. *)
   Array.iteri
     (fun k engine ->
@@ -91,13 +92,17 @@ let build_network ?(telemetry = Telemetry.null) (plan : Plan.t) engines =
     wrapper units (duplicate-module partitions); [scheduler] picks the
     execution policy ({!Libdn.Scheduler.Sequential} by default);
     [telemetry] (default {!Telemetry.null}) makes every layer of the
-    resulting simulation record into the given sink.  [lanes] gives
+    resulting simulation record into the given sink; [profile]
+    (default {!Telemetry.Profile.null}) likewise threads a hot-path
+    profiling sink into each unit's engine and the network/scheduler
+    layers.  [lanes] gives
     every non-FAME-5 unit engine that many lanes (N identical copies of
     the partitioned design advanced in lockstep; inputs broadcast to
     all lanes).  FAME-5 units ignore it — their lane count is their
     thread count. *)
 let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default)
-    ?(telemetry = Telemetry.null) ?engine ?lanes (plan : Plan.t) =
+    ?(telemetry = Telemetry.null) ?(profile = Telemetry.Profile.null) ?engine
+    ?lanes (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -115,14 +120,17 @@ let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default)
           fame5s.(u.Plan.u_index) <- Some f5;
           Goldengate.Fame5.engine f5
         | None ->
-          let sim = Rtlsim.Sim.create ?engine ?lanes (Lazy.force u.Plan.u_flat) in
+          let sim =
+            Rtlsim.Sim.create ?engine ?lanes ~profile ~label:u.Plan.u_name
+              (Lazy.force u.Plan.u_flat)
+          in
           sims.(u.Plan.u_index) <- Some sim;
           Libdn.Engine.of_sim sim
       in
       engines.(u.Plan.u_index) <- Some engine)
     plan.Plan.p_units;
   let engines = Array.map Option.get engines in
-  let net = build_network ~telemetry plan engines in
+  let net = build_network ~telemetry ~profile plan engines in
   {
     h_plan = plan;
     h_net = net;
@@ -153,7 +161,8 @@ let with_unit_fir (plan : Plan.t) k f =
     (snapshots DO cover them, through the worker pipe protocol).
     [read_timeout] bounds every worker reply wait in seconds. *)
 let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ?read_timeout
-    ?(telemetry = Telemetry.null) ?engine ?lanes ~worker ~remote_units (plan : Plan.t) =
+    ?(telemetry = Telemetry.null) ?(profile = Telemetry.Profile.null) ?engine
+    ?lanes ~worker ~remote_units (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -166,13 +175,16 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ?read_timeout
           let conn =
             with_unit_fir plan u.Plan.u_index (fun path ->
                 Libdn.Remote_engine.spawn ~label:u.Plan.u_name ?read_timeout ~telemetry
-                  ?engine ?lanes ~worker ~fir_path:path ())
+                  ~profile ?engine ?lanes ~worker ~fir_path:path ())
           in
           conns := (u.Plan.u_index, conn) :: !conns;
           Libdn.Remote_engine.engine conn
         end
         else begin
-          let sim = Rtlsim.Sim.create ?engine ?lanes (Lazy.force u.Plan.u_flat) in
+          let sim =
+            Rtlsim.Sim.create ?engine ?lanes ~profile ~label:u.Plan.u_name
+              (Lazy.force u.Plan.u_flat)
+          in
           sims.(u.Plan.u_index) <- Some sim;
           Libdn.Engine.of_sim sim
         end
@@ -180,7 +192,7 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ?read_timeout
       engines.(u.Plan.u_index) <- Some engine)
     plan.Plan.p_units;
   let engines = Array.map Option.get engines in
-  let net = build_network ~telemetry plan engines in
+  let net = build_network ~telemetry ~profile plan engines in
   let remote = Array.make n None in
   List.iter (fun (k, conn) -> remote.(k) <- Some conn) !conns;
   ( {
@@ -219,6 +231,23 @@ let scheduler h = h.h_scheduler
 (** The sink every layer of this handle records into ({!Telemetry.null}
     when instantiated without one). *)
 let telemetry h = Libdn.Network.telemetry h.h_net
+
+(** The profiling sink every layer of this handle records into
+    ({!Telemetry.Profile.null} when instantiated without one). *)
+let profile h = Libdn.Network.profile h.h_net
+
+(** Pulls each live remote worker's profile document over the pipe and
+    attaches it to [profile h] as a remote slice (one per worker, keyed
+    by unit name).  No-op for handles without profiled remote units. *)
+let collect_remote_profiles h =
+  List.iter
+    (fun (k, conn) ->
+      match Libdn.Remote_engine.fetch_profile conn with
+      | Some j ->
+        Telemetry.Profile.add_slice (profile h)
+          ~label:h.h_plan.Plan.p_units.(k).Plan.u_name j
+      | None -> ())
+    (remote_conns h)
 
 let run h ~cycles = Libdn.Scheduler.run ~scheduler:h.h_scheduler h.h_net ~cycles
 

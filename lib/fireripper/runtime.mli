@@ -21,7 +21,10 @@ val fame5_eligible : Plan.unit_part -> (string list * string) option
     [scheduler] picks the execution policy for [run]/[run_until]
     ({!Libdn.Scheduler.Sequential} by default); [telemetry] (default
     {!Telemetry.null}, free on the hot path) makes every layer record
-    into the given sink; [engine] selects every unit simulator's
+    into the given sink; [profile] (default {!Telemetry.Profile.null},
+    same discipline) threads a hot-path profiling sink into each unit's
+    engine and the network/scheduler layers; [engine] selects every
+    unit simulator's
     evaluation engine ({!Rtlsim.Sim.default_engine} otherwise);
     [lanes] gives every non-FAME-5 unit engine that many lanes —
     N identical copies of the partitioned design advanced in lockstep,
@@ -31,6 +34,7 @@ val instantiate :
   ?fame5:bool ->
   ?scheduler:Libdn.Scheduler.t ->
   ?telemetry:Telemetry.t ->
+  ?profile:Telemetry.Profile.t ->
   ?engine:Rtlsim.Sim.engine ->
   ?lanes:int ->
   Plan.t ->
@@ -51,6 +55,7 @@ val instantiate_remote :
   ?scheduler:Libdn.Scheduler.t ->
   ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
+  ?profile:Telemetry.Profile.t ->
   ?engine:Rtlsim.Sim.engine ->
   ?lanes:int ->
   worker:string ->
@@ -77,6 +82,15 @@ val scheduler : handle -> Libdn.Scheduler.t
 (** The sink every layer of this handle records into ({!Telemetry.null}
     when instantiated without one). *)
 val telemetry : handle -> Telemetry.t
+
+(** The profiling sink every layer of this handle records into
+    ({!Telemetry.Profile.null} when instantiated without one). *)
+val profile : handle -> Telemetry.Profile.t
+
+(** Pulls each live remote worker's profile document over the pipe and
+    attaches it to [profile h] as a remote slice, keyed by unit name.
+    No-op for handles without profiled remote units. *)
+val collect_remote_profiles : handle -> unit
 
 val run : handle -> cycles:int -> unit
 val run_until : handle -> max_cycles:int -> (handle -> bool) -> int

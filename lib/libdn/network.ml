@@ -28,6 +28,8 @@ type in_chan = {
   ic_stalled : Telemetry.counter;
       (** times this input was the blocking one when its partition
           stalled (see {!blocking_input}) *)
+  ic_prof : Telemetry.Profile.chan;
+      (** per-channel exchange cost (enq+deq ns, batch sizes) *)
 }
 
 type out_chan = {
@@ -52,6 +54,8 @@ type partition = {
   mutable pt_drive : Engine.t -> int -> unit;
       (** Hook that sets the partition's external (non-channel) inputs
           for the given target cycle. *)
+  pt_prof : Telemetry.Profile.part;
+      (** the scheduler's run/exchange/spin/park/barrier timeline *)
 }
 
 type t = {
@@ -63,6 +67,10 @@ type t = {
   tel_on : bool;
       (** cached [Telemetry.enabled tel]: gates instrumentation that must
           do extra work to compute a sample (queue lengths) *)
+  prof : Telemetry.Profile.t;
+  prof_on : bool;
+      (** cached [Telemetry.Profile.enabled prof]: gates the clock reads
+          around token pushes/drops *)
   mutable on_deadlock : (Telemetry.Snapshot.t -> unit) list;
       (** observers invoked (newest last) before {!raise_deadlock}
           raises — how a flight recorder dumps post-mortem state without
@@ -74,7 +82,7 @@ exception Deadlock of string
 let default_queue_capacity = 1024
 
 let create ?(queue_capacity = default_queue_capacity) ?(telemetry = Telemetry.null)
-    () =
+    ?(profile = Telemetry.Profile.null) () =
   {
     parts = [];
     frozen = [||];
@@ -82,10 +90,14 @@ let create ?(queue_capacity = default_queue_capacity) ?(telemetry = Telemetry.nu
     token_transfers = Atomic.make 0;
     tel = telemetry;
     tel_on = Telemetry.enabled telemetry;
+    prof = profile;
+    prof_on = Telemetry.Profile.enabled profile;
     on_deadlock = [];
   }
 
 let telemetry t = t.tel
+let profile t = t.prof
+let profile_enabled t = t.prof_on
 
 (** Registers an observer of {!raise_deadlock}: it receives the
     structured snapshot before the {!Deadlock} exception propagates.
@@ -116,6 +128,7 @@ let add_partition t ~name ~engine ~(ins : Channel.spec list)
              ic_deq = Telemetry.counter t.tel (in_metric chan "deq");
              ic_peak = Telemetry.gauge t.tel (in_metric chan "peak");
              ic_stalled = Telemetry.counter t.tel (in_metric chan "stalled");
+             ic_prof = Telemetry.Profile.channel t.prof ~part:name ~name:chan;
            })
          ins)
   in
@@ -153,6 +166,8 @@ let add_partition t ~name ~engine ~(ins : Channel.spec list)
       pt_outs;
       pt_cycle = 0;
       pt_drive = (fun _ _ -> ());
+      pt_prof =
+        Telemetry.Profile.part t.prof ~name ~index:(List.length t.parts);
     }
   in
   t.parts <- part :: t.parts;
@@ -381,7 +396,16 @@ let sweep t p ~block ~abort =
         List.iter
           (fun (dp, di) ->
             let dst = t.frozen.(dp).pt_ins.(di) in
-            Channel.Bqueue.push dst.ic_queue (Array.copy tok) ~block ~abort;
+            if t.prof_on then begin
+              (* Enqueue cost lands on the destination channel and on
+                 the executing partition's exchange slice. *)
+              let t0 = Telemetry.Profile.now_ns t.prof in
+              Channel.Bqueue.push dst.ic_queue (Array.copy tok) ~block ~abort;
+              let dt = Telemetry.Profile.now_ns t.prof - t0 in
+              Telemetry.Profile.add_enq dst.ic_prof ~tokens:1 dt;
+              Telemetry.Profile.add_exchange p.pt_prof dt
+            end
+            else Channel.Bqueue.push dst.ic_queue (Array.copy tok) ~block ~abort;
             Atomic.incr t.token_transfers;
             if t.tel_on then begin
               Telemetry.incr dst.ic_enq;
@@ -400,6 +424,9 @@ let sweep t p ~block ~abort =
     p.pt_engine.Engine.eval_comb ();
     p.pt_engine.Engine.step_seq ();
     if ni > 0 then begin
+      (* The batched drop is one locked section for all ni heads; its
+         cost is split evenly across the consumed channels. *)
+      let t0 = if t.prof_on then Telemetry.Profile.now_ns t.prof else 0 in
       Mutex.lock n.Channel.Notifier.n_mu;
       Array.iter
         (fun ic ->
@@ -407,10 +434,19 @@ let sweep t p ~block ~abort =
           Telemetry.incr ic.ic_deq)
         p.pt_ins;
       Channel.Notifier.bump n;
-      Mutex.unlock n.Channel.Notifier.n_mu
+      Mutex.unlock n.Channel.Notifier.n_mu;
+      if t.prof_on then begin
+        let dt = Telemetry.Profile.now_ns t.prof - t0 in
+        Telemetry.Profile.add_exchange p.pt_prof dt;
+        let share = dt / ni in
+        Array.iter
+          (fun ic -> Telemetry.Profile.add_deq ic.ic_prof ~tokens:1 share)
+          p.pt_ins
+      end
     end;
     Array.iter (fun oc -> oc.oc_fired <- false) p.pt_outs;
     p.pt_cycle <- p.pt_cycle + 1;
+    if t.prof_on then Telemetry.Profile.add_cycles p.pt_prof 1;
     p.pt_drive p.pt_engine p.pt_cycle;
     progress := true
   end;

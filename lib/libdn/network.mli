@@ -16,6 +16,7 @@ type in_chan = {
   ic_deq : Telemetry.counter;
   ic_peak : Telemetry.gauge;
   ic_stalled : Telemetry.counter;
+  ic_prof : Telemetry.Profile.chan;
 }
 
 type out_chan = {
@@ -37,6 +38,7 @@ type partition = {
   pt_outs : out_chan array;
   mutable pt_cycle : int;
   mutable pt_drive : Engine.t -> int -> unit;
+  pt_prof : Telemetry.Profile.part;
 }
 
 type t
@@ -48,13 +50,20 @@ exception Deadlock of string
     a full queue, the sequential one treats it as a hard error.
     [telemetry] (default {!Telemetry.null}, free on the hot path) makes
     every channel register per-channel counters and gauges. *)
-val create : ?queue_capacity:int -> ?telemetry:Telemetry.t -> unit -> t
+val create :
+  ?queue_capacity:int -> ?telemetry:Telemetry.t -> ?profile:Telemetry.Profile.t -> unit -> t
 
 val default_queue_capacity : int
 
 (** The sink the network records into ({!Telemetry.null} if none was
     given). *)
 val telemetry : t -> Telemetry.t
+
+(** The profile sink the network (and the schedulers running it)
+    record into ({!Telemetry.Profile.null} if none was given). *)
+val profile : t -> Telemetry.Profile.t
+
+val profile_enabled : t -> bool
 
 (** Declares a partition; [outs] pairs each output channel with the
     names of the input channels it combinationally depends on.  Returns

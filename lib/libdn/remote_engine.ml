@@ -21,6 +21,7 @@
      peek <mem> <addr>         -> <int>
      savestate                 -> "state <n>" then n lines of state text
      loadstate <n> (+ n lines) -> "ok" | "error: <msg>"
+     profile                   -> one-line JSON (fireaxe-profile-1 slice)
      quit                      -> (worker exits)
 
    Reads go through a select(2)-guarded line reader, so a worker that
@@ -55,6 +56,11 @@ type conn = {
   c_bytes_out : Telemetry.counter;  (** protocol bytes written (incl. newline) *)
   c_bytes_in : Telemetry.counter;  (** reply bytes read (incl. newline) *)
   c_rtt : Telemetry.hist;  (** request/reply round-trip latency, µs *)
+  c_profile : bool;
+      (** worker spawned with profiling on (5th argv slot; replayed by
+          {!reconnect}) *)
+  c_prof_on : bool;  (** gates the wire-cost clock reads *)
+  c_wire : Telemetry.Profile.wire;  (** round trips, bytes, wire ns *)
 }
 
 exception Worker_died of { label : string; last_command : string; status : string }
@@ -168,14 +174,21 @@ let send conn fmt = Printf.ksprintf (write_line conn) fmt
 let ask conn fmt =
   Printf.ksprintf
     (fun line ->
-      let t0 = if conn.c_tel_on then Unix.gettimeofday () else 0. in
+      let timed = conn.c_tel_on || conn.c_prof_on in
+      let t0 = if timed then Unix.gettimeofday () else 0. in
       write_line conn line;
       (try flush conn.c_out with Sys_error _ -> died conn);
       let reply = read_line conn in
-      if conn.c_tel_on then begin
-        Telemetry.observe conn.c_rtt
-          (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
-        Telemetry.add conn.c_bytes_in (String.length reply + 1)
+      if timed then begin
+        let dt = Unix.gettimeofday () -. t0 in
+        if conn.c_tel_on then begin
+          Telemetry.observe conn.c_rtt (int_of_float (dt *. 1e6));
+          Telemetry.add conn.c_bytes_in (String.length reply + 1)
+        end;
+        Telemetry.Profile.add_wire conn.c_wire
+          ~bytes_out:(String.length line + 1)
+          ~bytes_in:(String.length reply + 1)
+          (int_of_float (dt *. 1e9))
       end;
       reply)
     fmt
@@ -194,23 +207,28 @@ let ask_int conn fmt =
    the write end of its own stdin pipe would keep EOF from ever
    arriving after the parent exits); [create_process] dup2s the
    child-side ends onto fds 0/1, which survive the exec. *)
-let launch ~worker ~fir_path ~engine ~lanes =
+let launch ~worker ~fir_path ~engine ~lanes ~profile =
   let parent_read, child_write = Unix.pipe ~cloexec:true () in
   let child_read, parent_write = Unix.pipe ~cloexec:true () in
   let argv =
-    (* Lanes ride in the third argv slot, so requesting them forces the
-       engine name into the second (the default's name when the caller
-       left the engine unspecified). *)
-    match engine, lanes with
-    | None, None -> [| worker; fir_path |]
-    | Some e, None -> [| worker; fir_path; e |]
-    | e, Some n ->
-      let e =
-        match e with
-        | Some e -> e
-        | None -> Rtlsim.Sim.engine_name Rtlsim.Sim.default_engine
-      in
-      [| worker; fir_path; e; string_of_int n |]
+    (* Positional argv slots: lanes ride third, so requesting them
+       forces the engine name into the second; the "profile" token
+       rides fourth and forces both (defaults spelled out when the
+       caller left them unspecified). *)
+    let engine_name () =
+      match engine with
+      | Some e -> e
+      | None -> Rtlsim.Sim.engine_name Rtlsim.Sim.default_engine
+    in
+    match engine, lanes, profile with
+    | None, None, false -> [| worker; fir_path |]
+    | Some e, None, false -> [| worker; fir_path; e |]
+    | _, Some n, false -> [| worker; fir_path; engine_name (); string_of_int n |]
+    | _, n, true ->
+      [|
+        worker; fir_path; engine_name ();
+        string_of_int (Option.value n ~default:1); "profile";
+      |]
   in
   let pid = Unix.create_process worker argv child_read child_write Unix.stderr in
   Unix.close child_read;
@@ -231,13 +249,16 @@ let await_ready conn =
 (** Spawns a worker process serving the circuit in [fir_path].  [label]
     names the partition in diagnostics when the worker dies.
     [read_timeout] bounds every reply wait (default: wait forever). *)
-let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null) ?engine
-    ?lanes ~worker ~fir_path () =
+let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null)
+    ?(profile = Telemetry.Profile.null) ?engine ?lanes ~worker ~fir_path () =
   (* A dead worker must surface as a {!Worker_died} diagnosis, not a
      fatal SIGPIPE when the parent next writes to the closed pipe. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let engine = Option.map Rtlsim.Sim.engine_name engine in
-  let parent_read, out, pid = launch ~worker ~fir_path ~engine ~lanes in
+  let profiled = Telemetry.Profile.enabled profile in
+  let parent_read, out, pid =
+    launch ~worker ~fir_path ~engine ~lanes ~profile:profiled
+  in
   let metric kind = Printf.sprintf "remote.%s.%s" label kind in
   let conn =
     {
@@ -258,6 +279,9 @@ let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null) ?engi
       c_bytes_out = Telemetry.counter telemetry (metric "bytes_out");
       c_bytes_in = Telemetry.counter telemetry (metric "bytes_in");
       c_rtt = Telemetry.hist telemetry (metric "rtt_us");
+      c_profile = profiled;
+      c_prof_on = profiled;
+      c_wire = Telemetry.Profile.wire profile ~label;
     }
   in
   (* The worker announces itself once the circuit is loaded, so the
@@ -330,6 +354,7 @@ let reconnect conn ~worker ~fir_path =
   (try ignore (Unix.waitpid [ Unix.WNOHANG ] conn.c_pid) with Unix.Unix_error _ -> ());
   let parent_read, out, pid =
     launch ~worker ~fir_path ~engine:conn.c_engine ~lanes:conn.c_lanes
+      ~profile:conn.c_profile
   in
   conn.c_fd_in <- parent_read;
   conn.c_out <- out;
@@ -443,6 +468,20 @@ let load_state conn text =
     failwith
       (Printf.sprintf "remote engine: loadstate for partition %S failed: %s"
          conn.c_label other)
+
+(** The worker's own profile document — the one-line JSON slice the
+    [profile] worker command ships back; [None] when the worker was not
+    spawned with profiling enabled. *)
+let fetch_profile conn =
+  if not conn.c_profile then None
+  else
+    let reply = ask conn "profile" in
+    match Telemetry.Json.parse reply with
+    | Ok j -> Some j
+    | Error m ->
+      failwith
+        (Printf.sprintf "remote engine: bad profile reply from %S: %s" conn.c_label
+           m)
 
 (** The remote unit as an ordinary LI-BDN engine. *)
 let engine conn =

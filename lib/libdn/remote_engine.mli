@@ -30,6 +30,7 @@ val spawn :
   ?label:string ->
   ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
+  ?profile:Telemetry.Profile.t ->
   ?engine:Rtlsim.Sim.engine ->
   ?lanes:int ->
   worker:string ->
@@ -94,6 +95,13 @@ val save_state : conn -> string
 (** Restores a {!save_state} text into the remote unit.  Raises
     [Failure] with the worker's diagnostic if the state does not fit. *)
 val load_state : conn -> string -> unit
+
+(** The worker's own profile document (the one-line JSON slice shipped
+    back by the [profile] worker command); [None] when the worker was
+    not spawned with profiling enabled.  An enabled [?profile] at
+    {!spawn} also records wire cost per round trip (round-trip count,
+    request/reply bytes, wire ns) into the given sink. *)
+val fetch_profile : conn -> Telemetry.Json.t option
 
 (** The remote unit as an ordinary LI-BDN engine. *)
 val engine : conn -> Engine.t

@@ -193,7 +193,12 @@ let par_tel net p =
              ~pname:("partition " ^ name) ~name:"domain" ()),
         fun () -> Telemetry.Chrome_trace.now_us tc )
     | None ->
-      (None, if Telemetry.enabled tel then fun () -> Telemetry.now_us tel else fun () -> 0.)
+      ( None,
+        (* The barrier attribution after the joins also needs finish
+           stamps when only the profiler is live. *)
+        if Telemetry.enabled tel || Network.profile_enabled net then
+          fun () -> Telemetry.now_us tel
+        else fun () -> 0. )
   in
   {
     w_on = Telemetry.enabled tel;
@@ -229,6 +234,19 @@ let spin_initial = 1024
    every partition domain can hold a core. *)
 let host_domains = lazy (Domain.recommended_domain_count ())
 
+(* Test/bench override of the host-domain count (0 = auto).  Lets the
+   real-domain path and its stall accounting be exercised — and its
+   overhead measured against a like-for-like baseline — on hosts where
+   [Domain.recommended_domain_count] would force the cooperative
+   fallback. *)
+let host_override = Atomic.make 0
+
+let set_host_domains n = Atomic.set host_override (max 0 n)
+
+let host_domains_now () =
+  let o = Atomic.get host_override in
+  if o > 0 then o else Lazy.force host_domains
+
 (* Polls for a version change (or abort) for at most [budget] relax
    hints; true if one arrived. *)
 let spin_for notif ~seen ~abort ~budget =
@@ -242,27 +260,30 @@ let spin_for notif ~seen ~abort ~budget =
   in
   go 0
 
-let par_worker net mon p ~cycles ~finished ~slot ~spin =
+let par_worker net mon p ~cycles ~started ~finished ~slot ~spin =
   let abort () = Atomic.get mon.m_abort in
   let w = par_tel net p in
   let tel = Network.telemetry net in
   let metric kind = Printf.sprintf "sched.par.%s.%s" p.Network.pt_name kind in
   let spins = Telemetry.counter tel (metric "spins") in
   let parks = Telemetry.counter tel (metric "parks") in
+  let prof = Network.profile net in
+  let pr = p.Network.pt_prof in
+  let pon = Telemetry.Profile.part_enabled pr in
   let notif = p.Network.pt_notif in
   let spin_budget = ref spin_initial in
   let seg_start = ref (w.w_clock ()) in
+  if w.w_on || pon then started.(slot) <- !seg_start;
   (* Closes the current "run" segment at [now] and charges it. *)
   let end_run now =
     Telemetry.add w.w_run_ns (ns_of_us (now -. !seg_start));
     par_span w ~name:"run" ~args:[] ~ts:!seg_start ~dur:(now -. !seg_start)
   in
-  let park ~seen =
+  let park ~seen ~blocked_on =
     if not w.w_on then par_block net mon p ~cycles ~seen
     else begin
       let t_park = w.w_clock () in
       end_run t_park;
-      let blocked_on = Network.record_stall p in
       par_block net mon p ~cycles ~seen;
       let t_wake = w.w_clock () in
       Telemetry.add w.w_idle_ns (ns_of_us (t_wake -. t_park));
@@ -275,24 +296,60 @@ let par_worker net mon p ~cycles ~finished ~slot ~spin =
       seg_start := t_wake
     end
   in
+  (* One idle episode after a failed sweep: the stall is attributed to
+     the blocking channel up front (spin or park alike — the spin fast
+     path used to skip attribution entirely), then the worker spins on
+     the notifier version and finally parks. *)
+  let idle ~seen =
+    let blocked_on = if w.w_on then Network.record_stall p else None in
+    if spin && spin_for notif ~seen ~abort ~budget:!spin_budget then begin
+      Telemetry.incr spins;
+      spin_budget := min spin_max (2 * !spin_budget)
+    end
+    else begin
+      Telemetry.incr parks;
+      spin_budget := max spin_min (!spin_budget / 2);
+      park ~seen ~blocked_on
+    end
+  in
   (try
-     while p.Network.pt_cycle < cycles && not (abort ()) do
-       let seen = Channel.Notifier.version notif in
-       if not (sweep net p ~block:true ~abort) then
-         if spin && spin_for notif ~seen ~abort ~budget:!spin_budget then begin
-           Telemetry.incr spins;
-           spin_budget := min spin_max (2 * !spin_budget)
-         end
+     if pon then
+       (* Profiled loop: every iteration is classified — a productive
+          sweep is "run" (token exchange carved out by the network), a
+          failed sweep plus its busy-wait is "spin", and the off-CPU
+          wait inside [par_block] is "park" — so the per-partition
+          components sum to this domain's wall time. *)
+       while p.Network.pt_cycle < cycles && not (abort ()) do
+         let seen = Channel.Notifier.version notif in
+         let t0 = Telemetry.Profile.now_ns prof in
+         if sweep net p ~block:true ~abort then
+           Telemetry.Profile.add_run pr (Telemetry.Profile.now_ns prof - t0)
          else begin
-           Telemetry.incr parks;
-           spin_budget := max spin_min (!spin_budget / 2);
-           park ~seen
+           let blocked_on = if w.w_on then Network.record_stall p else None in
+           if spin && spin_for notif ~seen ~abort ~budget:!spin_budget then begin
+             Telemetry.Profile.add_spin pr (Telemetry.Profile.now_ns prof - t0);
+             Telemetry.incr spins;
+             spin_budget := min spin_max (2 * !spin_budget)
+           end
+           else begin
+             let tp = Telemetry.Profile.now_ns prof in
+             Telemetry.Profile.add_spin pr (tp - t0);
+             Telemetry.incr parks;
+             spin_budget := max spin_min (!spin_budget / 2);
+             park ~seen ~blocked_on;
+             Telemetry.Profile.add_park pr (Telemetry.Profile.now_ns prof - tp)
+           end
          end
-     done
+       done
+     else
+       while p.Network.pt_cycle < cycles && not (abort ()) do
+         let seen = Channel.Notifier.version notif in
+         if not (sweep net p ~block:true ~abort) then idle ~seen
+       done
    with e -> par_fail net mon e);
-  if w.w_on then begin
+  if w.w_on || pon then begin
     let t_done = w.w_clock () in
-    end_run t_done;
+    if w.w_on then end_run t_done;
     finished.(slot) <- t_done
   end;
   par_exit net mon ~cycles
@@ -304,22 +361,30 @@ let par_worker net mon p ~cycles ~finished ~slot ~spin =
    multiplexes every partition on the calling domain, exactly like
    {!run_seq} — same firing rules, same no-progress => quiescent =>
    deadlock judgment — while still registering the per-partition
-   [sched.par.*] counters so telemetry consumers see a stable schema
-   (run time is attributed per partition; spins and parks stay zero
-   because an idle policy never arises). *)
+   [sched.par.*] counters so telemetry consumers see a stable schema.
+   Parks stay zero — an off-CPU idle policy never arises — but each
+   visit that finds a partition unable to progress counts as one spin:
+   the cooperative analogue of a failed poll (they used to stay zero
+   too, which is what left the bench stall breakdown all-zero whenever
+   this fallback was active). *)
 let run_par_cooperative net ~cycles =
   let parts = Network.partitions net in
   let tel = Network.telemetry net in
   let on = Telemetry.enabled tel in
+  let spins =
+    Array.map
+      (fun p ->
+        Telemetry.counter tel
+          (Printf.sprintf "sched.par.%s.spins" p.Network.pt_name))
+      parts
+  in
   let ws =
     Array.map
       (fun p ->
         let metric kind =
           Printf.sprintf "sched.par.%s.%s" p.Network.pt_name kind
         in
-        List.iter
-          (fun k -> ignore (Telemetry.counter tel (metric k)))
-          [ "spins"; "parks" ];
+        ignore (Telemetry.counter tel (metric "parks"));
         par_tel net p)
       parts
   in
@@ -352,6 +417,7 @@ let run_par_cooperative net ~cycles =
   in
   let visit i p =
     let progressed = sweep net p ~block:false ~abort:never_abort in
+    if on && not progressed then Telemetry.incr spins.(i);
     if on && progressed = stalled.(i) then begin
       (* Segment boundary: the partition switched between running and
          being unable to progress. *)
@@ -380,7 +446,13 @@ let run_par_cooperative net ~cycles =
    cooperatively on the calling domain when the host cannot actually run
    domains concurrently. *)
 let run_par net ~cycles =
-  if Lazy.force host_domains <= 1 then run_par_cooperative net ~cycles
+  (* A live profile forces the real-domain path: the cooperative
+     multiplexer shares one thread's wall clock between partitions, so
+     its per-partition timing is structurally unable to show where the
+     parallel policy's time would go — which is the question a profiled
+     run asks. *)
+  let profiled = Network.profile_enabled net in
+  if host_domains_now () <= 1 && not profiled then run_par_cooperative net ~cycles
   else
   let parts = Network.partitions net in
   let workers =
@@ -399,16 +471,19 @@ let run_par net ~cycles =
         m_abort = Atomic.make false;
       }
     in
+    let started = Array.make (List.length workers) 0. in
     let finished = Array.make (List.length workers) 0. in
     (* Spinning is only profitable when every partition domain can hold
        a hardware thread; oversubscribed, a spinner burns the core its
-       producer needs to make the token it is waiting for. *)
-    let spin = Lazy.force host_domains >= List.length workers in
+       producer needs to make the token it is waiting for.  Profiled
+       runs keep it on so the spin phase is observable (the bounded
+       budget keeps the distortion small). *)
+    let spin = profiled || host_domains_now () >= List.length workers in
     let domains =
       List.mapi
         (fun slot p ->
           Domain.spawn (fun () ->
-              par_worker net mon p ~cycles ~finished ~slot ~spin))
+              par_worker net mon p ~cycles ~started ~finished ~slot ~spin))
         workers
     in
     List.iter Domain.join domains;
@@ -416,16 +491,31 @@ let run_par net ~cycles =
        finish and the last domain's — computed here, after the joins, so
        no cross-domain synchronization is needed while running. *)
     let tel = Network.telemetry net in
-    if Telemetry.enabled tel && mon.m_error = None && not mon.m_dead then begin
+    if (Telemetry.enabled tel || profiled) && mon.m_error = None && not mon.m_dead
+    then begin
       let last = Array.fold_left max 0. finished in
+      let first = Array.fold_left min infinity started in
       List.iteri
         (fun slot p ->
-          let c =
-            Telemetry.counter tel
-              (Printf.sprintf "sched.par.%s.barrier_ns" p.Network.pt_name)
-          in
-          Telemetry.add c (ns_of_us (last -. finished.(slot))))
-        workers
+          let gap = ns_of_us (last -. finished.(slot)) in
+          if Telemetry.enabled tel then begin
+            let c =
+              Telemetry.counter tel
+                (Printf.sprintf "sched.par.%s.barrier_ns" p.Network.pt_name)
+            in
+            Telemetry.add c gap
+          end;
+          Telemetry.Profile.add_barrier p.Network.pt_prof gap;
+          (* A late domain start is also synchronization overhead: the
+             partition existed but had no CPU yet.  Charged as barrier,
+             so every worker's phases tile [first, last] — the span
+             accumulated as the export's wall-clock denominator. *)
+          Telemetry.Profile.add_barrier p.Network.pt_prof
+            (ns_of_us (started.(slot) -. first)))
+        workers;
+      if profiled then
+        Telemetry.Profile.add_wall_ns (Network.profile net)
+          (ns_of_us (last -. first))
     end;
     (match mon.m_error with
     | Some e -> raise e

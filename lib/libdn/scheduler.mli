@@ -38,3 +38,10 @@ val run : ?scheduler:t -> Network.t -> cycles:int -> unit
     sweep; Parallel checks at whole-cycle barriers (all partition
     domains joined, so [pred] never races with them). *)
 val run_until : ?scheduler:t -> Network.t -> max_cycles:int -> (Network.t -> bool) -> int
+
+(** Overrides the host-domain count the parallel policy sizes itself to
+    ([Domain.recommended_domain_count] by default; [0] restores it).
+    Lets benches and tests exercise the real-domain path — and measure
+    the profiler against a like-for-like baseline — on hosts whose
+    hardware thread count would force the cooperative fallback. *)
+val set_host_domains : int -> unit

@@ -1258,3 +1258,82 @@ let stage_and_commit_all t =
   end
 
 let name = "bytecode"
+
+(* ------------------------------------------------------------------ *)
+(* Static profiling facts                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Encoded length (opcode word included) per opcode — the stride table
+   the histogram walker uses.  Must track the encodings at the top of
+   this file; profile_tests pins it against hand-assembled designs. *)
+let op_len =
+  [|
+    3 (* const *); 3 (* mov *); 4 (* mask *); 5 (* mux *); 5 (* add *);
+    5 (* sub *); 5 (* mul *); 4 (* div *); 4 (* rem *); 4 (* and *);
+    4 (* or *); 4 (* xor *); 5 (* shl *); 4 (* shr *); 4 (* eq *);
+    4 (* neq *); 4 (* lt *); 4 (* le *); 4 (* gt *); 4 (* ge *);
+    4 (* not *); 4 (* neg *); 4 (* andr *); 3 (* orr *); 3 (* xorr *);
+    5 (* bits *); 5 (* cat *); 4 (* read *); 3 (* stage *);
+    5 (* stage_en *); 6 (* wstage *); 5 (* read_p2 *);
+  |]
+
+(* The opcode-class names the profiler reports, in report order. *)
+let class_names =
+  [ "mov"; "mux"; "arith"; "logic"; "cmp"; "reduce"; "bits"; "mem"; "state" ]
+
+let op_class op =
+  if op = op_const || op = op_mov || op = op_mask then "mov"
+  else if op = op_mux then "mux"
+  else if op >= op_add && op <= op_rem then "arith"
+  else if (op >= op_and && op <= op_shr) || op = op_not || op = op_neg then "logic"
+  else if op >= op_eq && op <= op_ge then "cmp"
+  else if op >= op_andr && op <= op_xorr then "reduce"
+  else if op = op_bits || op = op_cat then "bits"
+  else if op = op_read || op = op_read_p2 then "mem"
+  else "state"
+
+(* Walks [code.(start, stop)] by instruction, tallying per class. *)
+let hist_into counts code start stop =
+  let n = ref 0 in
+  let p = ref start in
+  while !p < stop do
+    let op = code.(!p) in
+    incr n;
+    (match Hashtbl.find_opt counts (op_class op) with
+    | Some r -> incr r
+    | None -> Hashtbl.add counts (op_class op) (ref 1));
+    p := !p + op_len.(op)
+  done;
+  !n
+
+let hist_list counts =
+  List.filter_map
+    (fun c -> Option.map (fun r -> (c, !r)) (Hashtbl.find_opt counts c))
+    class_names
+
+let hist_range code start stop =
+  let counts = Hashtbl.create 8 in
+  ignore (hist_into counts code start stop);
+  hist_list counts
+
+(** Static opcode-class histogram of one combinational pass. *)
+let comb_class_hist t = hist_range t.bc_code 0 (Array.length t.bc_code)
+
+(** Static opcode-class histogram of one sequential staging step. *)
+let seq_class_hist t = hist_range t.bc_seq 0 (Array.length t.bc_seq)
+
+(** Static profile of a cone built from [names]: its instruction count
+    and opcode-class histogram — what one [make_cone] eval retires. *)
+let cone_profile t names =
+  let counts = Hashtbl.create 8 in
+  let n =
+    List.fold_left
+      (fun acc name ->
+        match Hashtbl.find_opt t.bc_seg_by_name name with
+        | None -> acc
+        | Some i ->
+          let sg = t.bc_segs.(i) in
+          acc + hist_into counts t.bc_code sg.sg_start sg.sg_stop)
+      0 names
+  in
+  (n, hist_list counts)

@@ -116,3 +116,22 @@ val make_cone : t -> lane:int -> string list -> unit -> unit
     memory writes and register updates (two-phase; the caller advances
     the cycle counter). *)
 val stage_and_commit_all : t -> unit
+
+(** {1 Static profiling facts}
+
+    The compiled streams are straight-line, so per-opcode-class retired
+    counts are a pure function of the program: histogram x executions.
+    These walkers give the profiler the static side. *)
+
+(** The opcode-class names the histograms use, in report order. *)
+val class_names : string list
+
+(** Opcode-class histogram of one combinational pass. *)
+val comb_class_hist : t -> (string * int) list
+
+(** Opcode-class histogram of one sequential staging step. *)
+val seq_class_hist : t -> (string * int) list
+
+(** Instruction count and opcode-class histogram of the cone the given
+    names resolve to — the static work of one cone eval. *)
+val cone_profile : t -> string list -> int * (string * int) list

@@ -290,3 +290,18 @@ let make_cone t ~lane names =
       let ins = Array.unsafe_get instrs i in
       t.cl_vals.(ins.i_slot) <- ins.i_eval ()
     done
+
+(* Static profiling facts: the closure engine has no opcode stream, so
+   its unit of retired work is the evaluated node (one closure call). *)
+let comb_class_hist t = [ ("node", Array.length t.cl_comb) ]
+
+let seq_class_hist t =
+  [ ("state", Array.length t.cl_regs + Array.length t.cl_writes) ]
+
+let cone_profile t names =
+  let n =
+    List.fold_left
+      (fun acc name -> if Hashtbl.mem t.cl_by_name name then acc + 1 else acc)
+      0 names
+  in
+  (n, [ ("node", n) ])

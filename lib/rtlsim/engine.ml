@@ -31,6 +31,13 @@ module type S = sig
   val fixpoint_bound : t -> int
   val stage_and_commit_all : t -> unit
   val make_cone : t -> lane:int -> string list -> unit -> unit
+
+  (* Static profiling facts: opcode-class histograms of one
+     combinational pass / sequential step, and the instruction count +
+     histogram of one eval of the cone the given names resolve to. *)
+  val comb_class_hist : t -> (string * int) list
+  val seq_class_hist : t -> (string * int) list
+  val cone_profile : t -> string list -> int * (string * int) list
 end
 
 (** An engine packed with its state: what [Sim] dispatches through. *)
@@ -43,3 +50,6 @@ let stage_and_commit_all (Packed ((module E), e)) = E.stage_and_commit_all e
 let make_cone (Packed ((module E), e)) ~lane names = E.make_cone e ~lane names
 let lanes (Packed ((module E), e)) = E.lanes e
 let name (Packed ((module E), _)) = E.name
+let comb_class_hist (Packed ((module E), e)) = E.comb_class_hist e
+let seq_class_hist (Packed ((module E), e)) = E.seq_class_hist e
+let cone_profile (Packed ((module E), e)) names = E.cone_profile e names

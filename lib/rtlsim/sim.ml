@@ -71,6 +71,9 @@ type t = {
           plumbing, introspection) *)
   reg_slots : int array;  (** per [Reg_update] (stmt order): its value slot *)
   wrapped : Telemetry.counter;  (** out-of-range memory write addresses *)
+  profile : Telemetry.Profile.t;
+  plabel : string;  (** the unit name profile recorders are filed under *)
+  eprof : Telemetry.Profile.engine;
   mutable cycle : int;
 }
 
@@ -87,9 +90,10 @@ let slot t name =
   | Some i -> i
   | None -> sim_error "no such signal: %s" name
 
-let create ?(engine = default_engine) ?(telemetry = Telemetry.null) ?dce_roots
-    ?(lanes = 1) flat =
+let create ?(engine = default_engine) ?(telemetry = Telemetry.null)
+    ?(profile = Telemetry.Profile.null) ?label ?dce_roots ?(lanes = 1) flat =
   if lanes < 1 then sim_error "create: need at least one lane, got %d" lanes;
+  let plabel = match label with Some l -> l | None -> flat.Ast.name in
   (* Build the analysis of the module as given first: comb-cycle and
      missing-driver diagnostics must not depend on the engine (or on
      what the optimizer would have deleted). *)
@@ -216,6 +220,12 @@ let create ?(engine = default_engine) ?(telemetry = Telemetry.null) ?dce_roots
       bc = Some bc;
       reg_slots;
       wrapped;
+      profile;
+      plabel;
+      eprof =
+        Telemetry.Profile.engine profile ~label:plabel ~kind:Bytecode.name ~lanes
+          ~comb_hist:(Bytecode.comb_class_hist bc)
+          ~seq_hist:(Bytecode.seq_class_hist bc);
       cycle = 0;
     }
   | Closure ->
@@ -243,13 +253,24 @@ let create ?(engine = default_engine) ?(telemetry = Telemetry.null) ?dce_roots
       bc = None;
       reg_slots;
       wrapped;
+      profile;
+      plabel;
+      eprof =
+        Telemetry.Profile.engine profile ~label:plabel ~kind:Closure.name ~lanes
+          ~comb_hist:(Closure.comb_class_hist cl)
+          ~seq_hist:(Closure.seq_class_hist cl);
       cycle = 0;
     }
 
-let of_circuit ?engine ?telemetry ?dce_roots ?lanes circuit =
-  create ?engine ?telemetry ?dce_roots ?lanes (Flatten.flatten circuit)
+let of_circuit ?engine ?telemetry ?profile ?label ?dce_roots ?lanes circuit =
+  create ?engine ?telemetry ?profile ?label ?dce_roots ?lanes (Flatten.flatten circuit)
 
 let cycle t = t.cycle
+
+(* The profile sink this simulator records into ([Profile.null] if none
+   was given) and the label its recorders are filed under. *)
+let profile t = t.profile
+let profile_label t = t.plabel
 
 (* Program facts of the compiled bytecode program, when that engine is
    underneath (compiler introspection; [None] for the closure engine). *)
@@ -274,8 +295,15 @@ let set_input_all t name v =
 let get ?(lane = 0) t name = (lane_vals t lane).(slot t name)
 
 (** Full combinational evaluation pass over every lane (call after
-    setting inputs). *)
-let eval_comb t = Engine.eval_comb_all t.exec
+    setting inputs).  With profiling enabled the pass is counted and
+    timed; disabled, the cost is one predicted branch. *)
+let eval_comb t =
+  if Telemetry.Profile.engine_enabled t.eprof then begin
+    let t0 = Telemetry.Profile.now_ns t.profile in
+    Engine.eval_comb_all t.exec;
+    Telemetry.Profile.add_comb t.eprof (Telemetry.Profile.now_ns t.profile - t0)
+  end
+  else Engine.eval_comb_all t.exec
 
 (** Naive fixpoint evaluation: repeatedly sweeps the combinational
     assignments in (deliberately unhelpful) reverse declaration order
@@ -299,7 +327,12 @@ let eval_comb_fixpoint t =
     write of the same cycle (registers banked into memories by the
     FAME-5 hardware transform make that race universal). *)
 let step_seq t =
-  Engine.stage_and_commit_all t.exec;
+  if Telemetry.Profile.engine_enabled t.eprof then begin
+    let t0 = Telemetry.Profile.now_ns t.profile in
+    Engine.stage_and_commit_all t.exec;
+    Telemetry.Profile.add_seq t.eprof (Telemetry.Profile.now_ns t.profile - t0)
+  end
+  else Engine.stage_and_commit_all t.exec;
   t.cycle <- t.cycle + 1
 
 (** Simulates one full target cycle (all lanes). *)
@@ -314,7 +347,21 @@ let step t =
 let make_cone_eval ?(lane = 0) t roots =
   check_lane t lane;
   let order = Analysis.cone t.analysis roots in
-  Engine.make_cone t.exec ~lane order
+  let eval = Engine.make_cone t.exec ~lane order in
+  (* The timing wrapper only exists when this profile is live: the
+     disabled path hands back the engine's raw closure untouched. *)
+  if not (Telemetry.Profile.enabled t.profile) then eval
+  else begin
+    let instrs, hist = Engine.cone_profile t.exec order in
+    let cn =
+      Telemetry.Profile.cone t.profile ~label:t.plabel
+        ~name:(String.concat "," roots) ~instrs ~hist
+    in
+    fun () ->
+      let t0 = Telemetry.Profile.now_ns t.profile in
+      eval ();
+      Telemetry.Profile.add_cone_eval cn (Telemetry.Profile.now_ns t.profile - t0)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Memory access (program loading, result inspection)                  *)

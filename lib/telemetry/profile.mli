@@ -1,0 +1,118 @@
+(** Hot-path profiling sink.
+
+    Attributes wall time and retired work at three granularities:
+
+    - {b engine}: per-opcode-class retired-instruction counts and
+      per-cone eval time.  The bytecode programs are straight-line, so
+      the static class histogram captured at registration times the
+      pass count gives exact retired counts — the hot loop only bumps a
+      pass counter and (optionally) a clock pair.
+    - {b scheduler}: per-partition run / token-exchange / spin / park /
+      barrier time per target-cycle run.
+    - {b network}: per-channel enqueue/dequeue cost and batch sizes,
+      plus remote-worker wire cost.
+
+    Recorders follow the [Telemetry.null] discipline: each carries its
+    own [on] flag captured at registration, so a disabled profile costs
+    one predictable branch per record call and never allocates. *)
+
+type t
+
+(** Registered recorders.  Registration is thread-safe and build-time
+    only; recording into a recorder is lock-free (atomics). *)
+type engine
+
+type cone
+type part
+type chan
+type wire
+
+val null : t
+(** The shared disabled sink: recorders minted from it are permanently
+    off. *)
+
+val create : unit -> t
+val enabled : t -> bool
+
+val now_ns : t -> int
+(** Nanoseconds since the profile was created; [0] when disabled, so
+    callers can take timestamps unconditionally. *)
+
+val set_wall_ns : t -> int -> unit
+(** Pins the wall-clock denominator used by the export.  Unpinned, the
+    export uses the scheduler-accumulated parallel-section time
+    ({!add_wall_ns}), or the profile's age when nothing accumulated. *)
+
+val add_wall_ns : t -> int -> unit
+(** Accumulates one parallel section's wall time into the export
+    denominator — the scheduler calls this around each profiled
+    [run_par]. *)
+
+(** {1 Registration} *)
+
+val engine :
+  t ->
+  label:string ->
+  kind:string ->
+  lanes:int ->
+  comb_hist:(string * int) list ->
+  seq_hist:(string * int) list ->
+  engine
+(** [comb_hist]/[seq_hist] are static opcode-class histograms of one
+    combinational pass / one sequential step. *)
+
+val cone :
+  t -> label:string -> name:string -> instrs:int -> hist:(string * int) list -> cone
+
+val part : t -> name:string -> index:int -> part
+(** Get-or-create by [name]: repeated runs of the same network keep
+    accumulating into one row. *)
+
+val channel : t -> part:string -> name:string -> chan
+val wire : t -> label:string -> wire
+
+val add_slice : t -> label:string -> Json.t -> unit
+(** Attach a remote worker's shipped profile document verbatim. *)
+
+(** {1 Recording} — one branch when the recorder is disabled. *)
+
+val engine_enabled : engine -> bool
+val add_comb : engine -> int -> unit
+val add_seq : engine -> int -> unit
+val cone_enabled : cone -> bool
+val add_cone_eval : cone -> int -> unit
+val part_enabled : part -> bool
+val add_run : part -> int -> unit
+val add_exchange : part -> int -> unit
+val add_spin : part -> int -> unit
+val add_park : part -> int -> unit
+val add_barrier : part -> int -> unit
+val add_cycles : part -> int -> unit
+val chan_enabled : chan -> bool
+val add_enq : chan -> tokens:int -> int -> unit
+val add_deq : chan -> tokens:int -> int -> unit
+val add_wire : wire -> bytes_out:int -> bytes_in:int -> int -> unit
+
+(** {1 Export} *)
+
+val to_json : t -> Json.t
+(** The whole profile as a [fireaxe-profile-1] document: engines,
+    retired opcode-class totals, cones, partitions, channels, wires,
+    remote slices and the partition load model. *)
+
+val slice_string : t -> string
+(** One-line JSON encoding of {!to_json} — what a worker ships back
+    over the pipe protocol. *)
+
+val write : t -> path:string -> unit
+
+val report_string : t -> string
+(** Human-readable load-model report: per-partition predicted
+    vs. measured weights, imbalance factors, scheduler breakdown, and
+    the top-K costliest cones and channels. *)
+
+val trace_into : t -> Chrome_trace.t -> unit
+(** Renders the profile as flamegraph-style phase spans (cones nested
+    inside run) into an existing Chrome-trace collector. *)
+
+val write_trace : t -> path:string -> unit

@@ -20,6 +20,7 @@
 module Json = Json
 module Chrome_trace = Chrome_trace
 module Snapshot = Snapshot
+module Profile = Profile
 
 type counter = {
   c_name : string;

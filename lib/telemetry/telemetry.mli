@@ -15,6 +15,7 @@ module Json = Json
 
 module Chrome_trace = Chrome_trace
 module Snapshot = Snapshot
+module Profile = Profile
 
 type counter
 type gauge

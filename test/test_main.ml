@@ -36,4 +36,5 @@ let () =
          Debug_tests.suite;
          Engine_tests.suite;
          Lane_tests.suite;
+         Profile_tests.suite;
        ])
