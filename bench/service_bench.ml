@@ -1,0 +1,158 @@
+(* Simulation-service microbench: prices the session server end to end,
+   over its real socket protocol.
+
+   Two measurements, reported on stdout and as BENCH_service.json:
+
+   - session churn: create/kill round trips per second against a warm
+     server, plus the cold-vs-warm create split — the first create of a
+     design pays FIRRTL parse + flatten + estimate + engine compile,
+     every later create of the same text rides the bind-time compile
+     cache;
+
+   - tenant packing: N same-design sessions stepped as lanes of ONE
+     vectorized bytecode engine (create with pack=1, fill the credit
+     barrier with step_async, collect with wait) against the same N
+     sessions as private engines (pack=0, blocking steps), both in
+     aggregate cycles/s.  The packed/independent ratio is the headline
+     [speedup] the CI gate holds. *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "fireaxe_svc_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let ms secs = secs *. 1000.
+
+let with_server dir f =
+  let socket_path = Filename.concat dir "svc.sock" in
+  let cfg = Service.Server.default_config ~socket_path in
+  let d = Domain.spawn (fun () -> Service.Server.run cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Service.Client.connect ~retry_for:2. ~socket_path () in
+         Service.Client.shutdown c;
+         Service.Client.close c
+       with _ -> ());
+      Domain.join d)
+    (fun () ->
+      let c = Service.Client.connect ~retry_for:5. ~socket_path () in
+      Fun.protect ~finally:(fun () -> Service.Client.close c) (fun () -> f c))
+
+(* ------------------------------------------------------------------ *)
+(* Session churn                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bench_churn c =
+  let text = Firrtl.Text.emit (Harness.ring8 ()) in
+  let create () =
+    Harness.time (fun () ->
+        let r = Service.Client.create c ~design:text in
+        Service.Client.kill c ~sid:r.Service.Client.c_sid)
+  in
+  let cold_secs = create () in
+  let pairs = 24 in
+  let warm_secs = Harness.time (fun () -> for _ = 1 to pairs do ignore (create ()) done) in
+  let warm_each = warm_secs /. float_of_int pairs in
+  let rate = float_of_int pairs /. warm_secs in
+  Printf.printf "churn    cold create+kill %8.2f ms   warm %8.2f ms   %8.1f sessions/s\n"
+    (ms cold_secs) (ms warm_each) rate;
+  ( "churn",
+    Telemetry.Json.Obj
+      [
+        ("name", Telemetry.Json.String "ring-8");
+        ("pairs", Telemetry.Json.Int pairs);
+        ("create_cold_ms", Telemetry.Json.Float (ms cold_secs));
+        ("create_warm_ms", Telemetry.Json.Float (ms warm_each));
+        ("cold_vs_warm", Telemetry.Json.Float (cold_secs /. warm_each));
+        ("sessions_per_s", Telemetry.Json.Float rate);
+      ] )
+
+(* ------------------------------------------------------------------ *)
+(* Tenant packing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_packing c =
+  let tenants = 8 and cycles = 2_000 in
+  let text = Firrtl.Text.emit (Harness.mesh4x4 ()) in
+  let batch ~pack =
+    let sids =
+      Array.init tenants (fun _ ->
+          (Service.Client.create ~pack c ~design:text).Service.Client.c_sid)
+    in
+    Fun.protect
+      ~finally:(fun () -> Array.iter (fun sid -> Service.Client.kill c ~sid) sids)
+      (fun () ->
+        (* Fault everything in (compiled programs, value images) before
+           the clock starts, mirroring the engine benches.  The packed
+           batch must warm up the way it runs — async grants filling the
+           credit barrier; a blocking [step] would park at the barrier
+           until [pack_wait] expired and the server detached the tenant
+           into a private engine, silently unpacking the whole batch. *)
+        let run n =
+          if pack then begin
+            Array.iter (fun sid -> ignore (Service.Client.step_async c ~sid n)) sids;
+            Array.iter (fun sid -> ignore (Service.Client.wait c ~sid)) sids
+          end
+          else Array.iter (fun sid -> ignore (Service.Client.step c ~sid n)) sids
+        in
+        run 16;
+        Harness.time (fun () -> run cycles))
+  in
+  let indep_secs = batch ~pack:false in
+  let packed_secs = batch ~pack:true in
+  let agg secs = float_of_int (tenants * cycles) /. secs in
+  let speedup = indep_secs /. packed_secs in
+  Printf.printf
+    "packing  %d tenants x %d cycles   independent %8.3f s %10.0f cyc/s   packed %8.3f s %10.0f cyc/s   %.2fx\n"
+    tenants cycles indep_secs (agg indep_secs) packed_secs (agg packed_secs) speedup;
+  ( "packing",
+    Telemetry.Json.Obj
+      [
+        ("name", Telemetry.Json.String "mesh-4x4");
+        ("tenants", Telemetry.Json.Int tenants);
+        ("cycles", Telemetry.Json.Int cycles);
+        ("independent_secs", Telemetry.Json.Float indep_secs);
+        ("independent_agg_cycles_per_s", Telemetry.Json.Float (agg indep_secs));
+        ("packed_secs", Telemetry.Json.Float packed_secs);
+        ("packed_agg_cycles_per_s", Telemetry.Json.Float (agg packed_secs));
+        ("speedup", Telemetry.Json.Float speedup);
+      ] )
+
+let () =
+  Printf.printf "== simulation service (socket protocol end to end) ==\n";
+  with_tmpdir (fun dir ->
+      with_server dir (fun c ->
+          let churn = bench_churn c in
+          let packing = bench_packing c in
+          (* The server's own counters close the loop: the churn creates
+             must be cache hits, the packed batch must report packing. *)
+          let stats = Service.Client.stats c in
+          let counter k =
+            Telemetry.Json.(member "counters" stats |> Option.map (member k) |> Option.join)
+            |> Option.value ~default:Telemetry.Json.Null
+          in
+          Harness.write_report ~schema:"fireaxe-bench-service-1"
+            ~extra:
+              [
+                churn;
+                packing;
+                ( "server_counters",
+                  Telemetry.Json.Obj
+                    [
+                      ("cache_hits", counter "cache_hits");
+                      ("cache_misses", counter "cache_misses");
+                      ("packed", counter "packed");
+                    ] );
+              ]
+            ~designs:[] ~path:"BENCH_service.json" ()))

@@ -1170,6 +1170,324 @@ let advise_cmd =
        ~doc:"Hybrid cloud/on-prem deployment advice for a simulation campaign (paper              Section VIII-A).")
     Term.(const advise $ design_arg $ runs_arg $ cycles_per_run_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Simulation service                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/fireaxe-service.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the simulation service.")
+
+let board_arg =
+  Arg.(
+    value
+    & opt (enum [ ("u250", Platform.Fpga.u250); ("vu9p_f1", Platform.Fpga.vu9p_f1) ])
+        Platform.Fpga.u250
+    & info [ "board" ] ~doc:"FPGA board modeling the admission budget.")
+
+let serve socket state_dir board threshold no_pack pack_wait queue_wait max_sessions
+    metrics =
+  let telemetry = if metrics <> None then Telemetry.create () else Telemetry.null in
+  let cfg =
+    {
+      (Service.Server.default_config ~socket_path:socket) with
+      Service.Server.state_dir;
+      board;
+      fit_threshold = threshold;
+      pack = not no_pack;
+      pack_wait;
+      queue_wait;
+      max_sessions;
+      telemetry;
+    }
+  in
+  Fmt.pr "fireaxe service: listening on %s (budget %s at %.0f%%, packing %s%s)@." socket
+    board.Platform.Fpga.board_name (threshold *. 100.)
+    (if no_pack then "off" else "on")
+    (match state_dir with
+    | Some d -> Printf.sprintf ", state under %s" d
+    | None -> ", no state dir");
+  Fun.protect
+    ~finally:(fun () ->
+      match metrics with
+      | Some path ->
+        Telemetry.write_metrics telemetry ~path;
+        Fmt.pr "metrics written to %s@." path
+      | None -> ())
+    (fun () -> Service.Server.run cfg);
+  Fmt.pr "fireaxe service: shut down@."
+
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for session checkpoint bundles; enables eviction, \
+           $(b,checkpoint)/$(b,evict) and restart resurrection.")
+
+let threshold_arg =
+  Arg.(
+    value & opt float 0.85
+    & info [ "threshold" ] ~doc:"Routability threshold of the admission fit check.")
+
+let no_pack_arg =
+  Arg.(
+    value & flag
+    & info [ "no-pack" ]
+        ~doc:"Disable tenant packing: every session gets a private engine.")
+
+let pack_wait_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "pack-wait" ] ~docv:"SECONDS"
+        ~doc:
+          "How long a packed tenant's step may stall on the credit barrier before it \
+           is detached into a private engine.")
+
+let queue_wait_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "queue-wait" ] ~docv:"SECONDS"
+        ~doc:"How long a queue=1 create may wait for capacity before rejection.")
+
+let max_sessions_arg =
+  Arg.(value & opt int 64 & info [ "max-sessions" ] ~doc:"Session cap.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the simulation service: concurrent sessions over one socket, with \
+          admission control against an FPGA budget and same-design tenant packing.")
+    Term.(
+      const serve $ socket_arg $ state_dir_arg $ board_arg $ threshold_arg $ no_pack_arg
+      $ pack_wait_arg $ queue_wait_arg $ max_sessions_arg $ metrics_arg)
+
+(* One service request per invocation: the scriptable face of the
+   client library. *)
+let client_run socket engine lanes pack queue args =
+  let c = Service.Client.connect ~retry_for:5. ~socket_path:socket () in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let int w = Libdn.Wire.int_word ~context:"client" w in
+  match args with
+  | [ "create"; d ] -> (
+    match parse_design d with
+    | Error (`Msg m) ->
+      Fmt.epr "%s@." m;
+      exit 2
+    | Ok design ->
+      let r =
+        Service.Client.create ~engine:(Rtlsim.Sim.engine_name engine) ~lanes ~pack ~queue c
+          ~design:(Firrtl.Text.emit (design.d_circuit ()))
+      in
+      Fmt.pr "session %s cycle %d packed %b group %d engine-lanes %d@."
+        r.Service.Client.c_sid r.Service.Client.c_cycle r.Service.Client.c_packed
+        r.Service.Client.c_group r.Service.Client.c_lanes)
+  | [ "step"; sid; n ] -> Fmt.pr "cycle %d@." (Service.Client.step c ~sid (int n))
+  | [ "step-async"; sid; n ] ->
+    let cycle, pending = Service.Client.step_async c ~sid (int n) in
+    Fmt.pr "cycle %d pending %d@." cycle pending
+  | [ "wait"; sid ] -> Fmt.pr "cycle %d@." (Service.Client.wait c ~sid)
+  | [ "set"; sid; name; v ] -> Service.Client.set c ~sid name (int v)
+  | [ "get"; sid; name ] -> Fmt.pr "%d@." (Service.Client.get c ~sid name)
+  | "probe" :: sid :: names ->
+    List.iter2
+      (fun n v -> Fmt.pr "%s %d@." n v)
+      names
+      (Service.Client.probe c ~sid names)
+  | [ "poke"; sid; mem; addr; v ] -> Service.Client.poke_mem c ~sid mem (int addr) (int v)
+  | [ "peek"; sid; mem; addr ] ->
+    Fmt.pr "%d@." (Service.Client.peek_mem c ~sid mem (int addr))
+  | [ "checkpoint"; sid ] ->
+    let cycle, path = Service.Client.checkpoint c ~sid in
+    Fmt.pr "cycle %d bundle %s@." cycle path
+  | [ "evict"; sid ] -> Fmt.pr "evicted at cycle %d@." (Service.Client.evict c ~sid)
+  | [ "resume"; sid ] -> Fmt.pr "cycle %d@." (Service.Client.resume c ~sid)
+  | [ "kill"; sid ] -> Service.Client.kill c ~sid
+  | [ "list" ] ->
+    List.iter
+      (fun r ->
+        Fmt.pr "%-8s %-8s cycle %-8d %-8s group %-3d lane %-3d pending %d@."
+          r.Service.Protocol.r_sid r.Service.Protocol.r_status r.Service.Protocol.r_cycle
+          r.Service.Protocol.r_engine r.Service.Protocol.r_group r.Service.Protocol.r_lane
+          r.Service.Protocol.r_pending)
+      (Service.Client.list c)
+  | [ "stats" ] -> print_endline (Telemetry.Json.to_string (Service.Client.stats c))
+  | [ "shutdown" ] -> Service.Client.shutdown c
+  | ws ->
+    Fmt.epr
+      "unknown client verb %S (try: create, step, step-async, wait, set, get, probe, \
+       poke, peek, checkpoint, evict, resume, kill, list, stats, shutdown)@."
+      (String.concat " " ws);
+    exit 2
+
+let client socket engine lanes pack queue args =
+  try client_run socket engine lanes pack queue args with
+  | Service.Client.Rejected m ->
+    Fmt.epr "rejected: %s@." m;
+    exit 7
+  | Service.Client.Service_error m ->
+    Fmt.epr "service error: %s@." m;
+    exit 2
+  | Libdn.Wire.Closed _ | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+    Fmt.epr "cannot reach a service at %s (is 'fireaxe-cli serve' running?)@." socket;
+    exit 2
+
+let client_pack_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "pack" ] ~doc:"Allow create to land as a lane of a shared engine.")
+
+let client_queue_arg =
+  Arg.(
+    value & flag
+    & info [ "queue" ] ~doc:"Wait for capacity instead of taking a create rejection.")
+
+let client_args =
+  Arg.(value & pos_all string [] & info [] ~docv:"VERB" ~doc:"Request and its arguments.")
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running simulation service (see 'serve').")
+    Term.(
+      const client $ socket_arg $ engine_arg $ lanes_arg $ client_pack_arg
+      $ client_queue_arg $ client_args)
+
+(* The concurrent-session soak: N same-design sessions driven through
+   interleaved lifecycles on separate connections — packed tenants
+   filling the credit barrier round by round — with an optional
+   mid-run eviction+resume and an optional mid-run chaos kill.  Every
+   survivor must finish bit-exact against a monolithic reference sim;
+   CI's service smoke rides on the exit code. *)
+let soak socket design sessions cycles rounds evict_one kill_one =
+  if sessions < 2 then begin
+    Fmt.epr "soak needs at least 2 sessions@.";
+    exit 2
+  end;
+  let circuit = design.d_circuit () in
+  let text = Firrtl.Text.emit circuit in
+  let per_round = max 1 (cycles / rounds) in
+  let conns =
+    Array.init sessions (fun _ ->
+        Service.Client.connect ~retry_for:5. ~socket_path:socket ())
+  in
+  Fun.protect ~finally:(fun () -> Array.iter Service.Client.close conns) @@ fun () ->
+  let created = Array.map (fun c -> Service.Client.create c ~design:text) conns in
+  let sids = Array.map (fun r -> r.Service.Client.c_sid) created in
+  let packed = Array.fold_left (fun n r -> if r.Service.Client.c_packed then n + 1 else n) 0 created in
+  Fmt.pr "soak: %d sessions over %s (%d landed packed), %d rounds x %d cycles@." sessions
+    design.d_name packed rounds per_round;
+  let alive = Array.make sessions true in
+  let killed = ref None in
+  let evicted = ref None in
+  for r = 1 to rounds do
+    if r = max 2 (rounds / 2) then begin
+      (if kill_one then begin
+         (* Chaos: a tenant dies mid-run; its lane-mates must not notice. *)
+         let victim = sessions - 1 in
+         Service.Client.kill conns.(victim) ~sid:sids.(victim);
+         alive.(victim) <- false;
+         killed := Some sids.(victim);
+         Fmt.pr "soak: killed %s mid-run@." sids.(victim)
+       end);
+      if evict_one then begin
+        let v = Service.Client.evict conns.(0) ~sid:sids.(0) in
+        evicted := Some (sids.(0), v);
+        Fmt.pr "soak: evicted %s at cycle %d (next step resumes it)@." sids.(0) v
+      end
+    end;
+    (* Fill the barrier first, then collect: every live tenant gets its
+       credits before anyone blocks. *)
+    Array.iteri
+      (fun i c ->
+        if alive.(i) then ignore (Service.Client.step_async c ~sid:sids.(i) per_round))
+      conns;
+    Array.iteri
+      (fun i c -> if alive.(i) then ignore (Service.Client.wait c ~sid:sids.(i)))
+      conns
+  done;
+  let total = rounds * per_round in
+  let probes = design.d_probes in
+  let mono = Rtlsim.Sim.of_circuit circuit in
+  for _ = 1 to total do
+    Rtlsim.Sim.step mono
+  done;
+  Rtlsim.Sim.eval_comb mono;
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if alive.(i) then begin
+        let cyc = Service.Client.wait c ~sid:sids.(i) in
+        if cyc <> total then begin
+          incr mismatches;
+          Fmt.epr "soak: %s finished at cycle %d, wanted %d@." sids.(i) cyc total
+        end;
+        if probes <> [] then
+          List.iter2
+            (fun name v ->
+              let m = Rtlsim.Sim.get mono name in
+              if v <> m then begin
+                incr mismatches;
+                Fmt.epr "soak: %s: %s = %d, monolithic %d@." sids.(i) name v m
+              end)
+            probes
+            (Service.Client.probe c ~sid:sids.(i) probes)
+      end)
+    conns;
+  (match !evicted with
+  | Some (sid, _) -> Fmt.pr "soak: %s was evicted and resumed transparently@." sid
+  | None -> ());
+  (match !killed with
+  | Some sid -> Fmt.pr "soak: %s was chaos-killed; survivors unaffected@." sid
+  | None -> ());
+  if !mismatches > 0 then begin
+    Fmt.epr "soak: %d mismatch(es) across %d surviving sessions@." !mismatches
+      (Array.fold_left (fun n a -> if a then n + 1 else n) 0 alive);
+    exit 4
+  end;
+  Fmt.pr "soak: all survivors bit-exact against the monolithic reference over %d cycles@."
+    total
+
+let soak_sessions_arg =
+  Arg.(value & opt int 8 & info [ "sessions" ] ~doc:"Concurrent sessions to drive.")
+
+let soak_rounds_arg =
+  Arg.(value & opt int 10 & info [ "rounds" ] ~doc:"Credit-grant rounds.")
+
+let soak_evict_arg =
+  Arg.(
+    value & flag
+    & info [ "evict-one" ]
+        ~doc:
+          "Mid-run, force one session out to its bundle and let the next step resume \
+           it (server must run with --state-dir).")
+
+let soak_no_kill_arg =
+  Arg.(value & flag & info [ "no-kill" ] ~doc:"Skip the mid-run chaos kill.")
+
+let soak_main socket design sessions cycles rounds evict_one no_kill =
+  try soak socket design sessions cycles rounds evict_one (not no_kill) with
+  | Service.Client.Rejected m ->
+    Fmt.epr "rejected: %s@." m;
+    exit 7
+  | Service.Client.Service_error m ->
+    Fmt.epr "service error: %s@." m;
+    exit 2
+
+let soak_cmd =
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Drive many concurrent sessions through interleaved lifecycles against a \
+          running service and verify every survivor bit-exact.")
+    Term.(
+      const soak_main $ socket_arg $ design_arg $ soak_sessions_arg $ cycles_arg
+      $ soak_rounds_arg $ soak_evict_arg $ soak_no_kill_arg)
+
 let () =
   let info =
     Cmd.info "fireaxe-cli" ~version:"1.0.0"
@@ -1180,5 +1498,5 @@ let () =
        (Cmd.group info
           [
             describe_cmd; plan_cmd; run_cmd; trace_cmd; sweep_cmd; validate_cmd; advise_cmd;
-            emit_cmd;
+            emit_cmd; serve_cmd; client_cmd; soak_cmd;
           ]))

@@ -71,7 +71,7 @@ let () =
         flush stdout)
       fmt
   in
-  let words line = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+  let words = Libdn.Wire.words in
   let bad line = failwith (Printf.sprintf "fireaxe-worker: bad command %S" line) in
   let running = ref true in
   reply "ready";

@@ -33,7 +33,7 @@
    engine closures; only the process behind the pipe changes). *)
 
 type conn = {
-  mutable c_fd_in : Unix.file_descr;
+  mutable c_rd : Wire.reader;  (** buffered line reader over the worker's stdout *)
   mutable c_out : out_channel;
   mutable c_pid : int;
   c_label : string;  (** partition/unit name, for diagnostics *)
@@ -47,8 +47,6 @@ type conn = {
   c_lanes : int option;
       (** engine lane count passed on the worker's command line;
           replayed verbatim by {!reconnect} *)
-  c_scratch : Bytes.t;  (** read(2) staging, owned by this conn's domain *)
-  mutable c_pending : string;  (** bytes read but not yet consumed *)
   mutable c_cones : (string * int) list;
       (** cone registrations (command line, id), newest first — replayed
           verbatim by {!reconnect} so baked-in cone ids stay valid *)
@@ -116,50 +114,14 @@ let timed_out conn t =
          status = Printf.sprintf "read timeout after %gs (worker wedged)" t;
        })
 
-(* Pulls at least one byte into [c_pending], honoring [timeout]. *)
-let refill conn ~timeout =
-  (match timeout with
-  | None -> ()
-  | Some t ->
-    let deadline = Unix.gettimeofday () +. t in
-    let rec wait () =
-      let left = deadline -. Unix.gettimeofday () in
-      if left <= 0. then timed_out conn t
-      else begin
-        match Unix.select [ conn.c_fd_in ] [] [] left with
-        | [], _, _ -> timed_out conn t
-        | _ -> ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
-      end
-    in
-    wait ());
-  let n =
-    let rec read () =
-      try Unix.read conn.c_fd_in conn.c_scratch 0 (Bytes.length conn.c_scratch) with
-      | Unix.Unix_error (Unix.EINTR, _, _) -> read ()
-      | Unix.Unix_error _ -> 0
-    in
-    read ()
-  in
-  if n = 0 then died conn
-  else conn.c_pending <- conn.c_pending ^ Bytes.sub_string conn.c_scratch 0 n
-
-(* Reads one protocol line (without the newline).  Raises {!Worker_died}
-   on EOF, pipe errors, or a [timeout] expiry. *)
+(* Reads one protocol line (without the newline) through the shared
+   {!Wire} reader.  Raises {!Worker_died} on EOF, pipe errors, or a
+   [timeout] expiry. *)
 let read_line ?timeout conn =
   let timeout = match timeout with Some _ as t -> t | None -> conn.c_timeout in
-  let rec go () =
-    match String.index_opt conn.c_pending '\n' with
-    | Some i ->
-      let line = String.sub conn.c_pending 0 i in
-      conn.c_pending <-
-        String.sub conn.c_pending (i + 1) (String.length conn.c_pending - i - 1);
-      line
-    | None ->
-      refill conn ~timeout;
-      go ()
-  in
-  go ()
+  try Wire.read_line ?timeout conn.c_rd with
+  | Wire.Closed _ -> died conn
+  | Wire.Timeout t -> timed_out conn t
 
 let write_line conn line =
   conn.c_last <- line;
@@ -262,7 +224,7 @@ let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null)
   let metric kind = Printf.sprintf "remote.%s.%s" label kind in
   let conn =
     {
-      c_fd_in = parent_read;
+      c_rd = Wire.reader ~label parent_read;
       c_out = out;
       c_pid = pid;
       c_label = label;
@@ -272,8 +234,6 @@ let spawn ?(label = "unnamed") ?read_timeout ?(telemetry = Telemetry.null)
       c_timeout = read_timeout;
       c_engine = engine;
       c_lanes = lanes;
-      c_scratch = Bytes.create 65536;
-      c_pending = "";
       c_cones = [];
       c_tel_on = Telemetry.enabled telemetry;
       c_bytes_out = Telemetry.counter telemetry (metric "bytes_out");
@@ -336,7 +296,7 @@ let close ?(grace = 1.0) conn =
       | exception Unix.Unix_error _ -> ()
     in
     reap (Unix.gettimeofday () +. grace) ~killed:false;
-    (try Unix.close conn.c_fd_in with Unix.Unix_error _ -> ());
+    (try Unix.close (Wire.fd conn.c_rd) with Unix.Unix_error _ -> ());
     try close_out_noerr conn.c_out with Sys_error _ -> ()
   end
 
@@ -349,17 +309,16 @@ let close ?(grace = 1.0) conn =
 let reconnect conn ~worker ~fir_path =
   if conn.c_closed then invalid_arg "Remote_engine.reconnect: connection closed";
   (* Release the dead process's plumbing; it may already be reaped. *)
-  (try Unix.close conn.c_fd_in with Unix.Unix_error _ -> ());
+  (try Unix.close (Wire.fd conn.c_rd) with Unix.Unix_error _ -> ());
   (try close_out_noerr conn.c_out with Sys_error _ -> ());
   (try ignore (Unix.waitpid [ Unix.WNOHANG ] conn.c_pid) with Unix.Unix_error _ -> ());
   let parent_read, out, pid =
     launch ~worker ~fir_path ~engine:conn.c_engine ~lanes:conn.c_lanes
       ~profile:conn.c_profile
   in
-  conn.c_fd_in <- parent_read;
+  conn.c_rd <- Wire.reader ~label:conn.c_label parent_read;
   conn.c_out <- out;
   conn.c_pid <- pid;
-  conn.c_pending <- "";
   conn.c_last <- "(reconnect)";
   conn.c_alive <- true;
   await_ready conn;
@@ -404,8 +363,7 @@ let sample conn names =
     let line = "sample " ^ String.concat " " names in
     let reply = ask conn "%s" line in
     let values =
-      String.split_on_char ' ' reply
-      |> List.filter (fun s -> s <> "")
+      Wire.words reply
       |> List.map (fun s ->
              match int_of_string_opt s with
              | Some v -> v
@@ -434,7 +392,7 @@ let signal_width conn name =
     whole-simulation checkpoint cover remote partitions. *)
 let save_state conn =
   let header = ask conn "savestate" in
-  match String.split_on_char ' ' header |> List.filter (fun w -> w <> "") with
+  match Wire.words header with
   | [ "state"; n ] ->
     let n =
       match int_of_string_opt n with
@@ -499,7 +457,7 @@ let engine conn =
     output_comb_deps =
       (fun port ->
         let reply = ask conn "deps %s" port in
-        String.split_on_char ' ' reply |> List.filter (fun s -> s <> ""));
+        Wire.words reply);
     checkpoint =
       (fun () ->
         let id = ask_int conn "checkpoint" in

@@ -1,0 +1,169 @@
+(* Shared framing for the worker pipe (line frames) and the simulation
+   service socket (length-prefixed frames): one buffered reader with
+   select(2)-guarded refills, plus the word-level command codec.  See
+   wire.mli for the contract. *)
+
+exception Closed of string
+exception Timeout of float
+
+let () =
+  Printexc.register_printer (function
+    | Closed who -> Some (Printf.sprintf "wire: peer %s closed the connection" who)
+    | Timeout t -> Some (Printf.sprintf "wire: no reply within %gs" t)
+    | _ -> None)
+
+type reader = {
+  r_fd : Unix.file_descr;
+  r_label : string;
+  r_scratch : Bytes.t;
+  mutable r_pending : string;  (** bytes read but not yet consumed *)
+}
+
+let reader ?(label = "peer") ?(scratch = 65536) fd =
+  { r_fd = fd; r_label = label; r_scratch = Bytes.create scratch; r_pending = "" }
+
+let fd r = r.r_fd
+let label r = r.r_label
+let reset r = r.r_pending <- ""
+
+(* One read(2) into the pending buffer.  [timeout] bounds the wait for
+   the first byte; EOF and unreadable descriptors raise [Closed]. *)
+let refill r ~timeout =
+  (match timeout with
+  | None -> ()
+  | Some t ->
+    let deadline = Unix.gettimeofday () +. t in
+    let rec wait () =
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0. then raise (Timeout t)
+      else begin
+        match Unix.select [ r.r_fd ] [] [] left with
+        | [], _, _ -> raise (Timeout t)
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      end
+    in
+    wait ());
+  let n =
+    let rec read () =
+      try Unix.read r.r_fd r.r_scratch 0 (Bytes.length r.r_scratch) with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> read ()
+      | Unix.Unix_error _ -> 0
+    in
+    read ()
+  in
+  if n = 0 then raise (Closed r.r_label)
+  else r.r_pending <- r.r_pending ^ Bytes.sub_string r.r_scratch 0 n
+
+(* A refill only when the kernel already has bytes for us: the event
+   loop's per-readable-descriptor pump must never block. *)
+let refill_nonblocking r =
+  match Unix.select [ r.r_fd ] [] [] 0. with
+  | [], _, _ -> false
+  | _ ->
+    refill r ~timeout:None;
+    true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let read_line ?timeout r =
+  let rec go () =
+    match String.index_opt r.r_pending '\n' with
+    | Some i ->
+      let line = String.sub r.r_pending 0 i in
+      r.r_pending <- String.sub r.r_pending (i + 1) (String.length r.r_pending - i - 1);
+      line
+    | None ->
+      refill r ~timeout;
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Length-prefixed frames                                              *)
+(* ------------------------------------------------------------------ *)
+
+let max_frame = 64 * 1024 * 1024
+
+let frame_len r =
+  let b i = Char.code r.r_pending.[i] in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  if n < 0 || n > max_frame then
+    raise (Closed (Printf.sprintf "%s (insane frame length %d)" r.r_label n));
+  n
+
+(* Extracts a complete frame from the pending buffer, if present. *)
+let take_frame r =
+  if String.length r.r_pending < 4 then None
+  else begin
+    let n = frame_len r in
+    if String.length r.r_pending < 4 + n then None
+    else begin
+      let payload = String.sub r.r_pending 4 n in
+      r.r_pending <-
+        String.sub r.r_pending (4 + n) (String.length r.r_pending - 4 - n);
+      Some payload
+    end
+  end
+
+let read_frame ?timeout r =
+  let rec go () =
+    match take_frame r with
+    | Some payload -> payload
+    | None ->
+      refill r ~timeout;
+      go ()
+  in
+  go ()
+
+let try_read_frame r =
+  match take_frame r with
+  | Some _ as got -> got
+  | None -> if refill_nonblocking r then take_frame r else None
+
+let frame payload =
+  let n = String.length payload in
+  if n > max_frame then invalid_arg (Printf.sprintf "Wire.frame: %d-byte payload" n);
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let write_frame ?(label = "peer") fd payload =
+  let data = frame payload in
+  let len = String.length data in
+  let rec push off =
+    if off < len then begin
+      let n =
+        try Unix.write_substring fd data off (len - off) with
+        | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+        | Unix.Unix_error _ -> raise (Closed label)
+      in
+      push (off + n)
+    end
+  in
+  push 0
+
+(* ------------------------------------------------------------------ *)
+(* Command codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let words line = String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let int_word ~context w =
+  match int_of_string_opt w with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: expected an integer, got %S" context w)
+
+let split_payload payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, "")
+  | Some i ->
+    ( String.sub payload 0 i,
+      String.sub payload (i + 1) (String.length payload - i - 1) )
+
+let join_payload line blob =
+  if String.contains line '\n' then invalid_arg "Wire.join_payload: newline in line";
+  if blob = "" then line else line ^ "\n" ^ blob

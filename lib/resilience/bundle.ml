@@ -194,6 +194,178 @@ let want path json name conv =
   | Some v -> v
   | None -> fail "%s: MANIFEST missing %s" path name
 
+(* ------------------------------------------------------------------ *)
+(* Session bundles (simulation-service eviction / resume)              *)
+(* ------------------------------------------------------------------ *)
+
+(* A session bundle checkpoints ONE monolithic tenant of the simulation
+   service rather than a partitioned network: the design source rides
+   inside so an evicted session can be revived — or a restarted server
+   can resurrect it — without the client re-shipping the circuit.
+
+     <dir>/session-<id>/ckpt-<cycle>/
+       MANIFEST     schema fireaxe-session-1: id, engine, cycle,
+                    design hash, per-file byte counts and checksums
+       design.fir   the session's circuit text
+       sim.state    the standard Rtlsim.Sim state text
+
+   The same atomic-rename write and validate-before-touch restore
+   discipline as whole-network bundles. *)
+
+let session_schema = "fireaxe-session-1"
+let hash_text = fnv1a64
+let design_file = "design.fir"
+let state_file = "sim.state"
+
+type session_ckpt = {
+  sc_id : string;
+  sc_engine : string;
+  sc_cycle : int;
+  sc_design_hash : string;
+  sc_design : string;
+  sc_state : string;
+}
+
+let session_dir_name id = "session-" ^ id
+
+let id_of_session_dir name =
+  let prefix = "session-" in
+  let n = String.length prefix in
+  if String.length name > n && String.sub name 0 n = prefix then
+    Some (String.sub name n (String.length name - n))
+  else None
+
+(* Session ids land in directory names; anything path-hostile is the
+   caller's bug, caught loudly rather than written somewhere surprising. *)
+let check_session_id id =
+  if
+    id = ""
+    || not
+         (String.for_all
+            (fun c ->
+              (c >= 'a' && c <= 'z')
+              || (c >= 'A' && c <= 'Z')
+              || (c >= '0' && c <= '9')
+              || c = '-' || c = '_')
+            id)
+  then fail "bad session id %S (want [A-Za-z0-9_-]+)" id
+
+let save_session ~dir ~id ~engine ~design ~cycle ~state =
+  check_session_id id;
+  let sdir = Filename.concat dir (session_dir_name id) in
+  mkdir_p sdir;
+  let tmp =
+    Filename.concat sdir (Printf.sprintf ".tmp-ckpt-%d-%d" (Unix.getpid ()) cycle)
+  in
+  remove_tree tmp;
+  Unix.mkdir tmp 0o755;
+  let files = ref [] in
+  let put name text =
+    write_file (Filename.concat tmp name) text;
+    files :=
+      Telemetry.Json.Obj
+        [
+          ("name", Telemetry.Json.String name);
+          ("bytes", Telemetry.Json.Int (String.length text));
+          ("checksum", Telemetry.Json.String (fnv1a64 text));
+        ]
+      :: !files
+  in
+  put design_file design;
+  put state_file state;
+  let manifest =
+    Telemetry.Json.Obj
+      [
+        ("schema", Telemetry.Json.String session_schema);
+        ("id", Telemetry.Json.String id);
+        ("engine", Telemetry.Json.String engine);
+        ("cycle", Telemetry.Json.Int cycle);
+        ("design", Telemetry.Json.String (fnv1a64 design));
+        ("files", Telemetry.Json.List (List.rev !files));
+      ]
+  in
+  write_file (Filename.concat tmp manifest_file) (Telemetry.Json.to_string manifest);
+  let final = Filename.concat sdir (bundle_name cycle) in
+  remove_tree final;
+  Sys.rename tmp final;
+  final
+
+let session_bundles ~dir ~id =
+  check_session_id id;
+  list_bundles ~dir:(Filename.concat dir (session_dir_name id))
+
+let session_latest ~dir ~id =
+  match List.rev (session_bundles ~dir ~id) with
+  | [] -> None
+  | newest :: _ -> Some newest
+
+let session_list ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match id_of_session_dir name with
+           | Some id when Sys.is_directory (Filename.concat dir name) -> (
+             match session_latest ~dir ~id with
+             | Some (cycle, path) -> Some (id, cycle, path)
+             | None -> None)
+           | _ -> None)
+    |> List.sort compare
+
+let load_session ~path =
+  let file = Filename.concat path manifest_file in
+  if not (Sys.file_exists file) then fail "%s: no MANIFEST" path;
+  let json =
+    match Telemetry.Json.parse (read_file file) with
+    | Error m -> fail "%s: unparseable MANIFEST (%s)" path m
+    | Ok json -> json
+  in
+  (match Option.bind (Telemetry.Json.member "schema" json) Telemetry.Json.to_str with
+  | Some s when s = session_schema -> ()
+  | Some s -> fail "%s: unsupported schema %S (want %S)" path s session_schema
+  | None -> fail "%s: MANIFEST has no schema tag" path);
+  let str name = want path json name Telemetry.Json.to_str in
+  let entries =
+    match Option.bind (Telemetry.Json.member "files" json) Telemetry.Json.to_list with
+    | Some l -> l
+    | None -> fail "%s: MANIFEST missing files" path
+  in
+  (* Validate every blob before handing any of it back. *)
+  let blobs = Hashtbl.create 4 in
+  List.iter
+    (fun entry ->
+      let name = want path entry "name" Telemetry.Json.to_str in
+      let bytes = want path entry "bytes" Telemetry.Json.to_int in
+      let checksum = want path entry "checksum" Telemetry.Json.to_str in
+      let file = Filename.concat path name in
+      if not (Sys.file_exists file) then fail "%s: missing blob %s" path name;
+      let text = read_file file in
+      if String.length text <> bytes then
+        fail "%s: blob %s is %d bytes, MANIFEST declares %d (truncated?)" path name
+          (String.length text) bytes;
+      if fnv1a64 text <> checksum then
+        fail "%s: blob %s fails its checksum (corrupted)" path name;
+      Hashtbl.replace blobs name text)
+    entries;
+  let blob name =
+    match Hashtbl.find_opt blobs name with
+    | Some text -> text
+    | None -> fail "%s: MANIFEST lists no %s" path name
+  in
+  let design = blob design_file in
+  let design_hash = str "design" in
+  if fnv1a64 design <> design_hash then
+    fail "%s: design text hashes to %s, MANIFEST declares %s" path (fnv1a64 design)
+      design_hash;
+  {
+    sc_id = str "id";
+    sc_engine = str "engine";
+    sc_cycle = want path json "cycle" Telemetry.Json.to_int;
+    sc_design_hash = design_hash;
+    sc_design = design;
+    sc_state = blob state_file;
+  }
+
 let restore ~path (h : Fireripper.Runtime.handle) =
   let plan = h.Fireripper.Runtime.h_plan in
   let json = manifest ~path in

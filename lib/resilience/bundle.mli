@@ -57,3 +57,55 @@ val latest : dir:string -> (int * string) option
     (tests and the CLI use it for introspection).  Raises
     {!Bundle_error} when unreadable or the wrong schema. *)
 val manifest : path:string -> Telemetry.Json.t
+
+(** {1 Session bundles}
+
+    The simulation service's per-tenant checkpoints: one monolithic
+    session's design text + architectural state, keyed by session id
+    under [<dir>/session-<id>/ckpt-<cycle>].  The design source rides
+    inside the bundle, so eviction and resume (and server restarts)
+    never need the client to re-ship the circuit.  Same atomic-write /
+    validate-everything-before-restore discipline as whole-network
+    bundles. *)
+
+(** Manifest schema tag of session bundles: ["fireaxe-session-1"]. *)
+val session_schema : string
+
+(** FNV-1a 64-bit hash (hex) of arbitrary text — the design-hash used
+    to key the service's compile cache and pack groups. *)
+val hash_text : string -> string
+
+type session_ckpt = {
+  sc_id : string;
+  sc_engine : string;  (** evaluation-engine name *)
+  sc_cycle : int;
+  sc_design_hash : string;
+  sc_design : string;  (** full circuit text *)
+  sc_state : string;  (** {!Rtlsim.Sim.state_to_string} text *)
+}
+
+(** Writes one session bundle (atomically; an existing same-cycle
+    bundle is replaced) and returns its path.  Session ids must match
+    [[A-Za-z0-9_-]+] — they become directory names. *)
+val save_session :
+  dir:string ->
+  id:string ->
+  engine:string ->
+  design:string ->
+  cycle:int ->
+  state:string ->
+  string
+
+(** Reads and fully validates the session bundle at [path].  Raises
+    {!Bundle_error} on any schema, size or checksum mismatch. *)
+val load_session : path:string -> session_ckpt
+
+(** A session's bundles as [(cycle, path)], cycle-ascending. *)
+val session_bundles : dir:string -> id:string -> (int * string) list
+
+(** The session's highest-cycle bundle, if any. *)
+val session_latest : dir:string -> id:string -> (int * string) option
+
+(** Every session with at least one bundle under [dir], as
+    [(id, latest cycle, latest path)], id-ascending. *)
+val session_list : dir:string -> (string * int * string) list

@@ -60,11 +60,14 @@ type t = {
       (** lane 0's value array: named slots first (indexed by [slots]);
           the bytecode engine's literal pool and expression
           temporaries, if any, live above them *)
-  lane_values : int array array;
-      (** per lane; index 0 aliases [values] *)
+  mutable lane_values : int array array;
+      (** per lane; index 0 aliases [values]; grown by {!attach_lane} *)
   mems : (string, int array) Hashtbl.t;  (** lane 0's memory images *)
-  lane_mems : (string, int array) Hashtbl.t array;
+  mutable lane_mems : (string, int array) Hashtbl.t array;
       (** per lane; index 0 aliases [mems] *)
+  reg_inits : (int * int) array;
+      (** every register's (value slot, init value) — what
+          {!attach_lane} and {!reset_lane} stamp into a power-on lane *)
   exec : Engine.packed;
   bc : Bytecode.t option;
       (** the compiled program when [engine = Bytecode] (stats, lane
@@ -140,6 +143,16 @@ let create ?(engine = default_engine) ?(telemetry = Telemetry.null)
         | Ast.Reg_update { reg; _ } -> Some (Hashtbl.find slots reg)
         | Ast.Connect _ | Ast.Mem_write _ -> None)
       flat.stmts
+    |> Array.of_list
+  in
+  let reg_inits =
+    List.filter_map
+      (fun c ->
+        match c with
+        | Ast.Reg { name; width; init } ->
+          Some (Hashtbl.find slots name, Ast.truncate width init)
+        | Ast.Wire _ | Ast.Mem _ | Ast.Inst _ -> None)
+      flat.comps
     |> Array.of_list
   in
   let wrapped = Telemetry.counter telemetry "rtlsim.mem.addr_wrapped" in
@@ -219,6 +232,7 @@ let create ?(engine = default_engine) ?(telemetry = Telemetry.null)
       exec = Engine.Packed ((module Bytecode : Engine.S with type t = Bytecode.t), bc);
       bc = Some bc;
       reg_slots;
+      reg_inits;
       wrapped;
       profile;
       plabel;
@@ -252,6 +266,7 @@ let create ?(engine = default_engine) ?(telemetry = Telemetry.null)
       exec = Engine.Packed ((module Closure : Engine.S with type t = Closure.t), cl);
       bc = None;
       reg_slots;
+      reg_inits;
       wrapped;
       profile;
       plabel;
@@ -417,6 +432,51 @@ let restore_state ?(lane = 0) t st =
 let checkpoint t =
   let states = Array.init (lanes t) (fun k -> save_state ~lane:k t) in
   fun () -> Array.iteri (fun k st -> restore_state ~lane:k t st) states
+
+(* ------------------------------------------------------------------ *)
+(* Lane attach / detach (multi-tenant packing)                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Grows the simulator by one fresh lane at power-on state (registers
+    at their init values, memories zeroed) and returns its index.  The
+    compiled program is shared — the new lane rides the same dispatch
+    loop from the next [eval_comb]/[step] on.  The cycle counter is
+    global across lanes, so attaching mid-flight leaves the new lane's
+    notion of time to the caller (the simulation service only packs
+    lanes into engines that have not stepped yet).  Bytecode engine
+    only: the closure engine is single-lane. *)
+let attach_lane t =
+  match t.bc with
+  | None ->
+    sim_error "attach_lane: engine %s is single-lane (bytecode required)"
+      (Engine.name t.exec)
+  | Some bc ->
+    let k = lanes t in
+    Bytecode.set_lanes bc (k + 1);
+    let v = Array.make (Bytecode.stats bc).Bytecode.slots 0 in
+    Array.iter (fun (s, init) -> v.(s) <- init) t.reg_inits;
+    Bytecode.bind_lane bc k v;
+    t.lane_values <- Array.append t.lane_values [| v |];
+    let h = Hashtbl.create (max 8 (Hashtbl.length t.mems)) in
+    Hashtbl.iter
+      (fun name _ -> Hashtbl.replace h name (Bytecode.lane_mem bc ~lane:k name))
+      t.mems;
+    t.lane_mems <- Array.append t.lane_mems [| h |];
+    k
+
+(** Returns [lane] to power-on state (registers re-initialized, every
+    other value and memory word zeroed) so a detached tenant's lane can
+    be handed to a new one.  The global cycle counter is untouched —
+    callers reuse lanes only in engines still at the reset lane's
+    cycle. *)
+let reset_lane t ~lane =
+  check_lane t lane;
+  let v = lane_vals t lane in
+  Array.fill v 0 (Array.length v) 0;
+  Array.iter (fun (s, init) -> v.(s) <- init) t.reg_inits;
+  (* Re-binding rewrites the literal pool the fill just cleared. *)
+  (match t.bc with Some bc -> Bytecode.bind_lane bc lane v | None -> ());
+  Hashtbl.iter (fun _ a -> Array.fill a 0 (Array.length a) 0) t.lane_mems.(lane)
 
 (* Text serialization of a {!state} for on-disk snapshots: one [cycle]
    line, one [regs] line, then one [mem] line per memory, all values as

@@ -1,0 +1,145 @@
+(* Blocking service client; see client.mli. *)
+
+module Wire = Libdn.Wire
+
+exception Service_error of string
+exception Rejected of string
+
+let () =
+  Printexc.register_printer (function
+    | Service_error m -> Some ("service error: " ^ m)
+    | Rejected m -> Some ("service rejected: " ^ m)
+    | _ -> None)
+
+type t = {
+  t_fd : Unix.file_descr;
+  t_rd : Wire.reader;
+  t_timeout : float option;
+}
+
+let int_word = Wire.int_word ~context:"service reply"
+
+(* One round trip.  Raises [Service_error]/[Rejected] per the reply
+   status; transport failures surface as [Wire.Closed]/[Wire.Timeout]. *)
+let request t line ~blob =
+  Wire.write_frame ~label:"service" t.t_fd (Wire.join_payload line blob);
+  match Protocol.parse_reply (Wire.read_frame ?timeout:t.t_timeout t.t_rd) with
+  | Protocol.Ok (ws, blob) -> (ws, blob)
+  | Protocol.Error m -> raise (Service_error m)
+  | Protocol.Rejected m -> raise (Rejected m)
+
+let connect ?timeout ?(retry_for = 0.) ~socket_path () =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec dial () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () -> fd
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
+      when Unix.gettimeofday () < deadline ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.02;
+      dial ()
+  in
+  let fd = dial () in
+  let t = { t_fd = fd; t_rd = Wire.reader ~label:"service" fd; t_timeout = timeout } in
+  (match request t ("hello " ^ Protocol.schema) ~blob:"" with
+  | [ s ], _ when s = Protocol.schema -> ()
+  | ws, _ ->
+    raise (Service_error (Printf.sprintf "bad handshake reply %S" (String.concat " " ws))));
+  t
+
+let close t = try Unix.close t.t_fd with Unix.Unix_error _ -> ()
+
+type created = {
+  c_sid : string;
+  c_cycle : int;
+  c_packed : bool;
+  c_group : int;
+  c_lanes : int;
+}
+
+let create ?(engine = "bytecode") ?(lanes = 1) ?(scheduler = "seq") ?(pack = true)
+    ?(queue = false) t ~design =
+  let flag b = if b then "1" else "0" in
+  let line =
+    Printf.sprintf "create engine=%s lanes=%d scheduler=%s pack=%s queue=%s" engine lanes
+      scheduler (flag pack) (flag queue)
+  in
+  match request t line ~blob:design with
+  | [ sid; cycle; packed; group; glanes ], _ ->
+    {
+      c_sid = sid;
+      c_cycle = int_word cycle;
+      c_packed = packed = "1";
+      c_group = int_word group;
+      c_lanes = int_word glanes;
+    }
+  | ws, _ ->
+    raise (Service_error (Printf.sprintf "bad create reply %S" (String.concat " " ws)))
+
+let one_int who = function
+  | [ v ], _ -> int_word v
+  | ws, _ -> raise (Service_error (Printf.sprintf "bad %s reply %S" who (String.concat " " ws)))
+
+let step t ~sid n = one_int "step" (request t (Printf.sprintf "step %s %d" sid n) ~blob:"")
+
+let step_async t ~sid n =
+  match request t (Printf.sprintf "step_async %s %d" sid n) ~blob:"" with
+  | [ cycle; pending ], _ -> (int_word cycle, int_word pending)
+  | ws, _ ->
+    raise (Service_error (Printf.sprintf "bad step_async reply %S" (String.concat " " ws)))
+
+let wait t ~sid = one_int "wait" (request t ("wait " ^ sid) ~blob:"")
+
+let set t ~sid name v =
+  ignore (request t (Printf.sprintf "set %s %s %d" sid name v) ~blob:"")
+
+let get t ~sid name = one_int "get" (request t (Printf.sprintf "get %s %s" sid name) ~blob:"")
+
+let probe t ~sid names =
+  let ws, _ = request t (String.concat " " ("probe" :: sid :: names)) ~blob:"" in
+  if List.length ws <> List.length names then
+    raise
+      (Service_error
+         (Printf.sprintf "probe: %d values for %d signals" (List.length ws)
+            (List.length names)));
+  List.map int_word ws
+
+let poke_mem t ~sid mem addr v =
+  ignore (request t (Printf.sprintf "poke %s %s %d %d" sid mem addr v) ~blob:"")
+
+let peek_mem t ~sid mem addr =
+  one_int "peek" (request t (Printf.sprintf "peek %s %s %d" sid mem addr) ~blob:"")
+
+let checkpoint t ~sid =
+  match request t ("checkpoint " ^ sid) ~blob:"" with
+  | [ cycle ], path -> (int_word cycle, path)
+  | ws, _ ->
+    raise (Service_error (Printf.sprintf "bad checkpoint reply %S" (String.concat " " ws)))
+
+let evict t ~sid = one_int "evict" (request t ("evict " ^ sid) ~blob:"")
+let resume t ~sid = one_int "resume" (request t ("resume " ^ sid) ~blob:"")
+let kill t ~sid = ignore (request t ("kill " ^ sid) ~blob:"")
+
+let list t =
+  match request t "list" ~blob:"" with
+  | [ n ], blob ->
+    let rows =
+      String.split_on_char '\n' blob
+      |> List.filter (fun l -> String.trim l <> "")
+      |> List.map Protocol.row_of_line
+    in
+    if List.length rows <> int_word n then
+      raise
+        (Service_error
+           (Printf.sprintf "list: %d rows announced, %d sent" (int_word n) (List.length rows)));
+    rows
+  | ws, _ -> raise (Service_error (Printf.sprintf "bad list reply %S" (String.concat " " ws)))
+
+let stats t =
+  let _, blob = request t "stats" ~blob:"" in
+  match Telemetry.Json.parse blob with
+  | Ok j -> j
+  | Error m -> raise (Service_error ("stats: unparseable JSON: " ^ m))
+
+let shutdown t = ignore (request t "shutdown" ~blob:"")

@@ -1,0 +1,86 @@
+(** Blocking client for the simulation service ({!Protocol.schema}).
+
+    One connection, one outstanding request: every call writes a frame
+    and blocks until the server's reply — including [step] on a packed
+    session, which returns only once the cycles have actually executed
+    (the server detaches the session into a private engine if its
+    lane-mates stall it past the pack patience, so the call always
+    terminates). *)
+
+(** The server answered ["error <msg>"]. *)
+exception Service_error of string
+
+(** Admission control answered ["rejected <msg>"]. *)
+exception Rejected of string
+
+type t
+
+(** Connects and performs the schema handshake.  [retry_for] keeps
+    retrying a missing or refusing socket for that many seconds — the
+    standard way to ride out a server that is still starting.
+    [timeout] bounds every subsequent reply wait. *)
+val connect : ?timeout:float -> ?retry_for:float -> socket_path:string -> unit -> t
+
+val close : t -> unit
+
+type created = {
+  c_sid : string;
+  c_cycle : int;
+  c_packed : bool;  (** landed as a lane of an already-tenanted engine *)
+  c_group : int;
+  c_lanes : int;  (** lanes of the engine it landed in *)
+}
+
+(** Creates a session over [design] (circuit text).  [engine] is
+    ["bytecode"] (default) or ["closure"]; [lanes] > 1 replicates the
+    design across broadcast lanes of a private engine; [pack:false]
+    opts out of tenant packing; [queue:true] waits for capacity instead
+    of taking a rejection.  Raises {!Rejected} when admission says
+    no. *)
+val create :
+  ?engine:string ->
+  ?lanes:int ->
+  ?scheduler:string ->
+  ?pack:bool ->
+  ?queue:bool ->
+  t ->
+  design:string ->
+  created
+
+(** Runs [n] more cycles and returns the session's cycle count. *)
+val step : t -> sid:string -> int -> int
+
+(** Grants [n] cycle credits without waiting for them to execute;
+    returns (cycle so far, credits still pending).  Packed tenants use
+    this to feed the credit barrier from one thread of control. *)
+val step_async : t -> sid:string -> int -> int * int
+
+(** Blocks until every granted credit has executed; returns the cycle. *)
+val wait : t -> sid:string -> int
+
+val set : t -> sid:string -> string -> int -> unit
+val get : t -> sid:string -> string -> int
+
+(** Reads several signals in one round trip. *)
+val probe : t -> sid:string -> string list -> int list
+
+val poke_mem : t -> sid:string -> string -> int -> int -> unit
+val peek_mem : t -> sid:string -> string -> int -> int
+
+(** Cuts a session bundle; returns (cycle, bundle path). *)
+val checkpoint : t -> sid:string -> int * string
+
+(** Forces the session out to its bundle now; any later command
+    resumes it transparently.  Returns the evicted cycle. *)
+val evict : t -> sid:string -> int
+
+(** Explicitly revives an evicted session; returns its cycle. *)
+val resume : t -> sid:string -> int
+
+val kill : t -> sid:string -> unit
+val list : t -> Protocol.row list
+
+(** The server's stats document ({!Protocol.stats_schema}). *)
+val stats : t -> Telemetry.Json.t
+
+val shutdown : t -> unit

@@ -1,0 +1,83 @@
+(* The fireaxe-service-1 protocol, shared by {!Server} and {!Client}.
+
+   Transport: length-prefixed frames ({!Libdn.Wire}) over a Unix-domain
+   stream socket.  Strictly one outstanding request per connection; the
+   server replies to every request exactly once (possibly late — a
+   parked [step]/[wait] replies when the session's cycles have actually
+   executed).
+
+   A frame payload is one command line of space-separated words,
+   optionally followed by a newline and a bulk blob (circuit text on
+   [create], the table on [list], JSON on [stats]):
+
+     hello fireaxe-service-1                  -> ok fireaxe-service-1
+     create k=v ...  \n<circuit text>         -> ok <sid> <cycle> <packed> <group> <lanes>
+       options: engine=closure|bytecode  lanes=N  scheduler=seq
+                pack=0|1  queue=0|1
+     step <sid> <n>                           -> ok <cycle>      (runs all n)
+     step_async <sid> <n>                     -> ok <cycle> <pending>
+     wait <sid>                               -> ok <cycle>      (pending drained)
+     set <sid> <name> <v>                     -> ok
+     get <sid> <name>                         -> ok <v>
+     probe <sid> <name...>                    -> ok <v...>
+     poke <sid> <mem> <addr> <v>              -> ok
+     peek <sid> <mem> <addr>                  -> ok <v>
+     checkpoint <sid>                         -> ok <cycle> \n<bundle path>
+     evict <sid>                              -> ok <cycle>
+     resume <sid>                             -> ok <cycle>
+     kill <sid>                               -> ok
+     list                                     -> ok <n> \n<rows>
+     stats                                    -> ok \n<JSON>
+     shutdown                                 -> ok
+
+   Error replies: "error <message>" for malformed or failed requests,
+   "rejected <message>" when admission control turns a create (or a
+   resume that cannot fit) away.  Any command addressed to an evicted
+   session transparently resumes it first (resume-on-touch). *)
+
+let schema = "fireaxe-service-1"
+let stats_schema = "fireaxe-service-stats-1"
+
+(* [list] rows: one session per line. *)
+type row = {
+  r_sid : string;
+  r_status : string;  (** "live" or "evicted" *)
+  r_cycle : int;
+  r_engine : string;
+  r_group : int;  (** pack-group id; -1 when evicted *)
+  r_lane : int;  (** lane within the group; -1 when evicted *)
+  r_pending : int;  (** step credits not yet executed *)
+}
+
+let row_to_line r =
+  Printf.sprintf "%s %s %d %s %d %d %d" r.r_sid r.r_status r.r_cycle r.r_engine
+    r.r_group r.r_lane r.r_pending
+
+let row_of_line line =
+  match Libdn.Wire.words line with
+  | [ sid; status; cycle; engine; group; lane; pending ] ->
+    let int w = Libdn.Wire.int_word ~context:"service list row" w in
+    {
+      r_sid = sid;
+      r_status = status;
+      r_cycle = int cycle;
+      r_engine = engine;
+      r_group = int group;
+      r_lane = int lane;
+      r_pending = int pending;
+    }
+  | _ -> failwith (Printf.sprintf "service: bad list row %S" line)
+
+(* Reply classification, shared by the client and the CLI. *)
+type reply =
+  | Ok of string list * string  (** words after "ok", blob *)
+  | Error of string
+  | Rejected of string
+
+let parse_reply payload =
+  let line, blob = Libdn.Wire.split_payload payload in
+  match Libdn.Wire.words line with
+  | "ok" :: rest -> Ok (rest, blob)
+  | "error" :: rest -> Error (String.concat " " rest)
+  | "rejected" :: rest -> Rejected (String.concat " " rest)
+  | _ -> failwith (Printf.sprintf "service: unparseable reply %S" line)

@@ -1,0 +1,50 @@
+(** The simulation-session server: one process multiplexing many
+    concurrent RTL simulations over a Unix-domain socket speaking
+    {!Protocol.schema} frames.
+
+    Two mechanisms make it more than a sim-per-request loop:
+
+    - {e Admission control and placement}: every session is estimated
+      against a {!Platform.Fpga.board} budget before it is built.  A
+      create that would blow the budget first tries to LRU-evict idle
+      sessions into {!Resilience.Bundle} session checkpoints, then is
+      rejected (or parked, with [queue=1], until capacity frees).
+      Evicted sessions resume transparently on their next command.
+
+    - {e Tenant packing}: sessions over the same design (same text
+      hash, bytecode engine) are packed as lanes of ONE vectorized
+      engine pass — the FAME-5 threading economics applied to service
+      tenants.  Stimuli, probes and memories stay per-lane, so packing
+      is invisible except in throughput.  Packed tenants advance under
+      a credit barrier: [step] grants cycle credits and the group
+      executes the minimum outstanding across its lanes; a tenant kept
+      waiting longer than [pack_wait] seconds by a slower lane-mate is
+      detached into a private engine (lane state carried over
+      bit-exactly) and finishes alone. *)
+
+type config = {
+  socket_path : string;
+  state_dir : string option;
+      (** Root for eviction/checkpoint bundles; [None] disables
+          eviction, [checkpoint], [evict] and restart resurrection. *)
+  board : Platform.Fpga.board;  (** admission budget *)
+  fit_threshold : float;  (** routability threshold for {!Platform.Fpga.fits} *)
+  pack : bool;  (** allow tenant packing (per-create [pack=0] opts out) *)
+  pack_wait : float;
+      (** seconds a packed tenant's [step]/[wait] may stall on the
+          credit barrier before it is detached into a private engine *)
+  queue_wait : float;  (** seconds a [queue=1] create may wait for capacity *)
+  max_sessions : int;
+  telemetry : Telemetry.t;
+}
+
+(** [u250] budget, threshold 0.85, packing on with a 0.2 s barrier
+    patience, 30 s create queue, 64 sessions, no state dir, telemetry
+    off. *)
+val default_config : socket_path:string -> config
+
+(** Runs the server until a [shutdown] request: binds [socket_path]
+    (replacing a stale socket file), resurrects any session bundles
+    under [state_dir] as evicted sessions, then serves.  Blocks the
+    calling domain; tests run it via [Domain.spawn]. *)
+val run : config -> unit

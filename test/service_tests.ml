@@ -1,0 +1,518 @@
+(* Tests for the simulation service: the shared wire codec, the
+   lane-attach substrate it packs tenants onto, session lifecycle over
+   the socket protocol, bit-exact isolation of packed tenants
+   (property-based), evict→resume round trips, admission control
+   against a board budget, and the ≥8-session soak with an interleaved
+   eviction+resume and a chaos kill. *)
+
+open Firrtl
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "fireaxe_service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* The tenant design                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A seeded accumulator with a self-writing memory: enough state that
+   packing, eviction and restore bugs cannot hide (registers, a
+   memory, and an input whose value matters every cycle). *)
+let tenant_flat () =
+  let b = Builder.create "tenant" in
+  let seed = Builder.input b "seed" 16 in
+  let acc = Builder.reg b ~init:0 "acc" 16 in
+  Builder.reg_next b "acc" Dsl.(acc +: seed);
+  let cnt = Builder.reg b ~init:0 "cnt" 8 in
+  Builder.reg_next b "cnt" Dsl.(cnt +: lit ~width:8 1);
+  let _ = Builder.mem b "scratch" ~width:16 ~depth:8 in
+  Builder.mem_write b "scratch" ~addr:Dsl.(bits cnt ~hi:2 ~lo:0) ~data:acc ~enable:Dsl.one;
+  Builder.output b "out" 16;
+  Builder.connect b "out" acc;
+  Builder.finish b
+
+let tenant_text () = Text.emit (Flatten.to_circuit (tenant_flat ()))
+
+(* The local reference a service session must match: same design, same
+   stimulus, stepped privately. *)
+let reference ~seed ~cycles =
+  let sim = Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode (tenant_flat ()) in
+  Rtlsim.Sim.set_input sim "seed" seed;
+  for _ = 1 to cycles do
+    Rtlsim.Sim.step sim
+  done;
+  Rtlsim.Sim.eval_comb sim;
+  sim
+
+(* ------------------------------------------------------------------ *)
+(* Server harness                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?state_dir ?board ?(pack = true) ?(pack_wait = 0.15) ?(max_sessions = 64)
+    dir f =
+  let socket_path = Filename.concat dir "svc.sock" in
+  let cfg =
+    {
+      (Service.Server.default_config ~socket_path) with
+      Service.Server.state_dir;
+      pack;
+      pack_wait;
+      max_sessions;
+      board = Option.value board ~default:Platform.Fpga.u250;
+    }
+  in
+  let d = Domain.spawn (fun () -> Service.Server.run cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Service.Client.connect ~retry_for:2. ~socket_path () in
+         Service.Client.shutdown c;
+         Service.Client.close c
+       with _ -> ());
+      Domain.join d)
+    (fun () -> f socket_path)
+
+let connect socket_path = Service.Client.connect ~retry_for:5. ~socket_path ()
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec (the extracted framing satellite)                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_payload_codec () =
+  check_string "join/split" "cmd a b"
+    (fst (Libdn.Wire.split_payload (Libdn.Wire.join_payload "cmd a b" "")));
+  let line, blob = Libdn.Wire.split_payload (Libdn.Wire.join_payload "cmd" "blob\nwith\nlines") in
+  check_string "line" "cmd" line;
+  check_string "blob" "blob\nwith\nlines" blob;
+  check_bool "newline rejected" true
+    (try
+       ignore (Libdn.Wire.join_payload "a\nb" "");
+       false
+     with Invalid_argument _ -> true)
+
+let test_wire_frame_roundtrip () =
+  let prop payload =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.close a;
+        Unix.close b)
+      (fun () ->
+        Libdn.Wire.write_frame a payload;
+        Libdn.Wire.write_frame a payload;
+        let rd = Libdn.Wire.reader b in
+        (* Both pipelined frames must come back intact and in order. *)
+        Libdn.Wire.read_frame ~timeout:5. rd = payload
+        && Libdn.Wire.read_frame ~timeout:5. rd = payload)
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:50 ~name:"length-prefixed frames round-trip"
+       QCheck.(string_of_size (Gen.int_bound 4096))
+       prop)
+
+let test_wire_partial_frames () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let close fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect
+    ~finally:(fun () ->
+      close a;
+      close b)
+    (fun () ->
+      let payload = "hello service" in
+      let framed = Libdn.Wire.frame payload in
+      let rd = Libdn.Wire.reader b in
+      (* Nothing sent yet: the non-blocking probe must not block or
+         fabricate a frame. *)
+      check_bool "no frame yet" true (Libdn.Wire.try_read_frame rd = None);
+      (* First half only: still no complete frame. *)
+      let half = String.length framed / 2 in
+      ignore (Unix.write_substring a framed 0 half);
+      check_bool "half a frame" true (Libdn.Wire.try_read_frame rd = None);
+      ignore (Unix.write_substring a framed half (String.length framed - half));
+      (match Libdn.Wire.try_read_frame rd with
+      | Some got -> check_string "reassembled" payload got
+      | None -> Alcotest.fail "frame not reassembled");
+      (* Peer gone -> Closed, not a hang. *)
+      Unix.close a;
+      check_bool "closed" true
+        (try
+           ignore (Libdn.Wire.read_frame ~timeout:1. rd);
+           false
+         with Libdn.Wire.Closed _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Lane attach/detach substrate                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_attach_lane () =
+  let flat = tenant_flat () in
+  let vec = Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode flat in
+  check_int "starts single-lane" 1 (Rtlsim.Sim.lanes vec);
+  let l1 = Rtlsim.Sim.attach_lane vec in
+  check_int "second lane index" 1 l1;
+  check_int "two lanes" 2 (Rtlsim.Sim.lanes vec);
+  let solo = Array.init 2 (fun _ -> Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode flat) in
+  for k = 0 to 1 do
+    Rtlsim.Sim.set_input ~lane:k vec "seed" (100 + k);
+    Rtlsim.Sim.set_input solo.(k) "seed" (100 + k)
+  done;
+  for _ = 1 to 20 do
+    Rtlsim.Sim.step vec;
+    Array.iter Rtlsim.Sim.step solo
+  done;
+  Rtlsim.Sim.eval_comb vec;
+  Array.iter Rtlsim.Sim.eval_comb solo;
+  for k = 0 to 1 do
+    check_int
+      (Printf.sprintf "lane %d acc" k)
+      (Rtlsim.Sim.get solo.(k) "out")
+      (Rtlsim.Sim.get ~lane:k vec "out");
+    check_int
+      (Printf.sprintf "lane %d scratch" k)
+      (Rtlsim.Sim.peek_mem solo.(k) "scratch" 3)
+      (Rtlsim.Sim.peek_mem ~lane:k vec "scratch" 3)
+  done
+
+let test_reset_lane () =
+  let flat = tenant_flat () in
+  let vec = Rtlsim.Sim.create ~engine:Rtlsim.Sim.Bytecode ~lanes:2 flat in
+  Rtlsim.Sim.set_input ~lane:0 vec "seed" 7;
+  Rtlsim.Sim.set_input ~lane:1 vec "seed" 9;
+  (* Dirty lane 1, then hand it to a "new tenant" before any stepping:
+     it must look exactly like power-on. *)
+  Rtlsim.Sim.poke_mem ~lane:1 vec "scratch" 5 999;
+  Rtlsim.Sim.reset_lane vec ~lane:1;
+  Rtlsim.Sim.eval_comb vec;
+  check_int "registers re-initialized" 0 (Rtlsim.Sim.get ~lane:1 vec "acc");
+  check_int "inputs cleared" 0 (Rtlsim.Sim.get ~lane:1 vec "seed");
+  check_int "memory zeroed" 0 (Rtlsim.Sim.peek_mem ~lane:1 vec "scratch" 5);
+  (* Lane 0 untouched by its neighbor's reset. *)
+  check_int "lane 0 keeps its stimulus" 7 (Rtlsim.Sim.get ~lane:0 vec "seed")
+
+(* ------------------------------------------------------------------ *)
+(* Session lifecycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_lifecycle () =
+  with_tmpdir @@ fun dir ->
+  with_server dir @@ fun socket_path ->
+  let c = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let r = Service.Client.create c ~design:(tenant_text ()) in
+  check_int "born at cycle 0" 0 r.Service.Client.c_cycle;
+  check_bool "first tenant is unpacked" false r.Service.Client.c_packed;
+  let sid = r.Service.Client.c_sid in
+  Service.Client.set c ~sid "seed" 5;
+  check_int "stepped" 10 (Service.Client.step c ~sid 10);
+  check_int "acc = 10 cycles of +5" 50 (Service.Client.get c ~sid "out");
+  (match Service.Client.probe c ~sid [ "out"; "cnt" ] with
+  | [ out; cnt ] ->
+    check_int "probe out" 50 out;
+    check_int "probe cnt" 10 cnt
+  | _ -> Alcotest.fail "probe arity");
+  Service.Client.poke_mem c ~sid "scratch" 7 4242;
+  check_int "poked memory" 4242 (Service.Client.peek_mem c ~sid "scratch" 7);
+  (match Service.Client.list c with
+  | [ row ] ->
+    check_string "listed" sid row.Service.Protocol.r_sid;
+    check_string "live" "live" row.Service.Protocol.r_status;
+    check_int "cycle" 10 row.Service.Protocol.r_cycle
+  | rows -> Alcotest.fail (Printf.sprintf "%d rows" (List.length rows)));
+  Service.Client.kill c ~sid;
+  check_int "killed" 0 (List.length (Service.Client.list c));
+  check_bool "commands on a killed session fail" true
+    (try
+       ignore (Service.Client.step c ~sid 1);
+       false
+     with Service.Client.Service_error _ -> true)
+
+(* Property: N same-design tenants packed as lanes of one engine, each
+   with a distinct seed, are bit-exact against N independent private
+   sims — on the probe, the architectural registers, and the memory. *)
+let test_pack_isolation () =
+  let prop seeds =
+    with_tmpdir @@ fun dir ->
+    with_server dir @@ fun socket_path ->
+    let seeds = Array.of_list seeds in
+    let n = Array.length seeds in
+    let conns = Array.init n (fun _ -> connect socket_path) in
+    Fun.protect ~finally:(fun () -> Array.iter Service.Client.close conns) @@ fun () ->
+    let text = tenant_text () in
+    let rs = Array.map (fun c -> Service.Client.create c ~design:text) conns in
+    (* All but the first must have landed as lanes of the seed group. *)
+    Array.iteri
+      (fun i r -> if i > 0 && not r.Service.Client.c_packed then failwith "not packed")
+      rs;
+    Array.iteri
+      (fun i c -> Service.Client.set c ~sid:rs.(i).Service.Client.c_sid "seed" seeds.(i))
+      conns;
+    (* Fill the credit barrier, then collect. *)
+    let cycles = 25 in
+    Array.iteri
+      (fun i c -> ignore (Service.Client.step_async c ~sid:rs.(i).Service.Client.c_sid cycles))
+      conns;
+    Array.iteri
+      (fun i c ->
+        if Service.Client.wait c ~sid:rs.(i).Service.Client.c_sid <> cycles then
+          failwith "wrong cycle")
+      conns;
+    Array.for_all Fun.id
+      (Array.mapi
+         (fun i c ->
+           let sid = rs.(i).Service.Client.c_sid in
+           let want = reference ~seed:seeds.(i) ~cycles in
+           Service.Client.probe c ~sid [ "out"; "acc"; "cnt" ]
+           = [
+               Rtlsim.Sim.get want "out"; Rtlsim.Sim.get want "acc"; Rtlsim.Sim.get want "cnt";
+             ]
+           && Service.Client.peek_mem c ~sid "scratch" 2
+              = Rtlsim.Sim.peek_mem want "scratch" 2)
+         conns)
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:8 ~name:"packed tenants are bit-exact vs private sims"
+       QCheck.(list_of_size (Gen.int_range 2 5) (int_bound 0xffff))
+       prop)
+
+let test_evict_resume_roundtrip () =
+  with_tmpdir @@ fun dir ->
+  let state = Filename.concat dir "state" in
+  with_server ~state_dir:state dir @@ fun socket_path ->
+  let c = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let r = Service.Client.create c ~design:(tenant_text ()) in
+  let sid = r.Service.Client.c_sid in
+  Service.Client.set c ~sid "seed" 3;
+  (* Record a probe trace up to the eviction point... *)
+  let trace_before =
+    List.init 10 (fun _ ->
+        ignore (Service.Client.step c ~sid 1);
+        Service.Client.get c ~sid "out")
+  in
+  check_int "evicted at its cycle" 10 (Service.Client.evict c ~sid);
+  (match Service.Client.list c with
+  | [ row ] ->
+    check_string "status" "evicted" row.Service.Protocol.r_status;
+    check_int "cycle preserved" 10 row.Service.Protocol.r_cycle
+  | _ -> Alcotest.fail "list");
+  (* ...then touch it: transparent resume, and the trace must continue
+     exactly where it left off. *)
+  check_int "resume-on-touch sees the evicted value" (List.nth trace_before 9)
+    (Service.Client.get c ~sid "out");
+  check_int "memory survived the round trip" (3 * 3)
+    (* scratch[3] was written at cycle 4 with acc after 3 cycles of +3 *)
+    (Service.Client.peek_mem c ~sid "scratch" 3);
+  Service.Client.set c ~sid "seed" 3;
+  let trace_after =
+    List.init 10 (fun _ ->
+        ignore (Service.Client.step c ~sid 1);
+        Service.Client.get c ~sid "out")
+  in
+  let want = List.init 20 (fun i -> 3 * (i + 1)) in
+  check_bool "full 20-cycle trace intact" true (trace_before @ trace_after = want)
+
+(* A board too small for the tenant: admission must reject, not build. *)
+let test_admission_rejection () =
+  with_tmpdir @@ fun dir ->
+  let board =
+    { Platform.Fpga.u250 with Platform.Fpga.board_name = "matchbox"; luts = 10; ffs = 10 }
+  in
+  with_server ~board dir @@ fun socket_path ->
+  let c = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  check_bool "rejected" true
+    (try
+       ignore (Service.Client.create c ~design:(tenant_text ()));
+       false
+     with Service.Client.Rejected _ -> true);
+  (* The server survives the rejection and still answers. *)
+  check_int "no sessions" 0 (List.length (Service.Client.list c))
+
+(* A board that fits exactly one private tenant: the second create must
+   LRU-evict the idle first tenant rather than reject, and the evictee
+   must come back bit-exact when touched. *)
+let test_admission_evicts_lru () =
+  with_tmpdir @@ fun dir ->
+  let est = Platform.Resource.estimate_flat (tenant_flat ()) in
+  let board =
+    {
+      Platform.Fpga.u250 with
+      Platform.Fpga.board_name = "one-tenant";
+      luts = max 16 (est.Platform.Resource.luts * 3 / 2);
+      ffs = max 16 (est.Platform.Resource.ffs * 3 / 2);
+    }
+  in
+  let state = Filename.concat dir "state" in
+  with_server ~board ~state_dir:state ~pack:false dir @@ fun socket_path ->
+  let c = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let r1 = Service.Client.create c ~design:(tenant_text ()) in
+  let sid1 = r1.Service.Client.c_sid in
+  Service.Client.set c ~sid:sid1 "seed" 11;
+  ignore (Service.Client.step c ~sid:sid1 5);
+  let r2 = Service.Client.create c ~design:(tenant_text ()) in
+  let status sid =
+    (List.find (fun r -> r.Service.Protocol.r_sid = sid) (Service.Client.list c))
+      .Service.Protocol.r_status
+  in
+  check_string "first tenant was evicted to make room" "evicted" (status sid1);
+  check_string "second tenant admitted" "live" (status r2.Service.Client.c_sid);
+  (* Touching the evictee swaps capacity back (the now-idle second
+     tenant becomes the LRU victim) and restores its state. *)
+  check_int "evictee resumed bit-exact" 55 (Service.Client.get c ~sid:sid1 "out")
+
+(* A queue=1 create parks until capacity frees (here: the blocking
+   tenant is killed from another connection). *)
+let test_queued_create () =
+  with_tmpdir @@ fun dir ->
+  let est = Platform.Resource.estimate_flat (tenant_flat ()) in
+  let board =
+    {
+      Platform.Fpga.u250 with
+      Platform.Fpga.board_name = "one-tenant";
+      luts = max 16 (est.Platform.Resource.luts * 3 / 2);
+      ffs = max 16 (est.Platform.Resource.ffs * 3 / 2);
+    }
+  in
+  (* No state dir: eviction unavailable, so the only way in is the
+     blocker dying. *)
+  with_server ~board ~pack:false dir @@ fun socket_path ->
+  let c = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let r1 = Service.Client.create c ~design:(tenant_text ()) in
+  let text = tenant_text () in
+  let queued =
+    Domain.spawn (fun () ->
+        let c2 = connect socket_path in
+        Fun.protect
+          ~finally:(fun () -> Service.Client.close c2)
+          (fun () -> Service.Client.create ~queue:true c2 ~design:text))
+  in
+  Unix.sleepf 0.1;
+  Service.Client.kill c ~sid:r1.Service.Client.c_sid;
+  let r2 = Domain.join queued in
+  check_int "queued create admitted after the kill" 0 r2.Service.Client.c_cycle;
+  check_int "one live session" 1 (List.length (Service.Client.list c))
+
+(* The acceptance soak: >= 8 concurrent sessions with interleaved
+   lifecycles, one eviction+resume and one chaos kill mid-run; every
+   survivor must finish bit-exact. *)
+let test_soak () =
+  with_tmpdir @@ fun dir ->
+  let state = Filename.concat dir "state" in
+  with_server ~state_dir:state dir @@ fun socket_path ->
+  let n = 8 in
+  let conns = Array.init n (fun _ -> connect socket_path) in
+  Fun.protect ~finally:(fun () -> Array.iter Service.Client.close conns) @@ fun () ->
+  let text = tenant_text () in
+  let rs = Array.map (fun c -> Service.Client.create c ~design:text) conns in
+  let sids = Array.map (fun r -> r.Service.Client.c_sid) rs in
+  let alive = Array.make n true in
+  Array.iteri (fun i c -> Service.Client.set c ~sid:sids.(i) "seed" (1 + i)) conns;
+  let rounds = 6 and per_round = 10 in
+  let executed = Array.make n 0 in
+  for r = 1 to rounds do
+    if r = 3 then begin
+      (* Chaos: one tenant dies mid-run... *)
+      Service.Client.kill conns.(n - 1) ~sid:sids.(n - 1);
+      alive.(n - 1) <- false;
+      (* ...and another is forced out to disk; its next step resumes it. *)
+      check_int "evicted mid-soak" executed.(0) (Service.Client.evict conns.(0) ~sid:sids.(0))
+    end;
+    Array.iteri
+      (fun i c ->
+        if alive.(i) then ignore (Service.Client.step_async c ~sid:sids.(i) per_round))
+      conns;
+    Array.iteri
+      (fun i c ->
+        if alive.(i) then begin
+          let cyc = Service.Client.wait c ~sid:sids.(i) in
+          executed.(i) <- executed.(i) + per_round;
+          check_int (Printf.sprintf "session %d at round %d" i r) executed.(i) cyc
+        end)
+      conns
+  done;
+  (* The eviction really happened (the victim resumed transparently on
+     its post-eviction step), and the survivors are all bit-exact. *)
+  Array.iteri
+    (fun i c ->
+      if alive.(i) then begin
+        let want = reference ~seed:(1 + i) ~cycles:executed.(i) in
+        check_int (Printf.sprintf "survivor %d out" i) (Rtlsim.Sim.get want "out")
+          (Service.Client.get c ~sid:sids.(i) "out");
+        check_int
+          (Printf.sprintf "survivor %d scratch" i)
+          (Rtlsim.Sim.peek_mem want "scratch" 4)
+          (Service.Client.peek_mem c ~sid:sids.(i) "scratch" 4)
+      end)
+    conns;
+  check_bool "the killed tenant is gone" true
+    (not (List.exists (fun r -> r.Service.Protocol.r_sid = sids.(n - 1)) (Service.Client.list conns.(0))))
+
+(* Checkpoint bundles survive a full server restart: sessions come back
+   as evicted entries and resume where the bundle left them. *)
+let test_restart_resurrection () =
+  with_tmpdir @@ fun dir ->
+  let state = Filename.concat dir "state" in
+  let first =
+    with_server ~state_dir:state dir @@ fun socket_path ->
+    let c = connect socket_path in
+    Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+    let r = Service.Client.create c ~design:(tenant_text ()) in
+    let sid = r.Service.Client.c_sid in
+    Service.Client.set c ~sid "seed" 2;
+    ignore (Service.Client.step c ~sid 15);
+    ignore (Service.Client.evict c ~sid);
+    sid
+  in
+  with_server ~state_dir:state dir @@ fun socket_path ->
+  let c = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  (match Service.Client.list c with
+  | [ row ] ->
+    check_string "resurrected" first row.Service.Protocol.r_sid;
+    check_string "as evicted" "evicted" row.Service.Protocol.r_status;
+    check_int "at its bundle cycle" 15 row.Service.Protocol.r_cycle
+  | rows -> Alcotest.fail (Printf.sprintf "%d rows after restart" (List.length rows)));
+  check_int "state intact across restart" 30 (Service.Client.get c ~sid:first "out")
+
+let suite =
+  [
+    ( "service.wire",
+      [
+        Alcotest.test_case "payload codec" `Quick test_wire_payload_codec;
+        Alcotest.test_case "frame round-trip (qcheck)" `Quick test_wire_frame_roundtrip;
+        Alcotest.test_case "partial frames and closed peers" `Quick test_wire_partial_frames;
+      ] );
+    ( "service.lanes",
+      [
+        Alcotest.test_case "attach_lane matches private sims" `Quick test_attach_lane;
+        Alcotest.test_case "reset_lane returns a lane to power-on" `Quick test_reset_lane;
+      ] );
+    ( "service.sessions",
+      [
+        Alcotest.test_case "lifecycle over the socket" `Quick test_lifecycle;
+        Alcotest.test_case "packed-tenant isolation (qcheck)" `Quick test_pack_isolation;
+        Alcotest.test_case "evict/resume round trip" `Quick test_evict_resume_roundtrip;
+        Alcotest.test_case "admission rejects an oversized design" `Quick test_admission_rejection;
+        Alcotest.test_case "admission evicts the LRU idle tenant" `Quick test_admission_evicts_lru;
+        Alcotest.test_case "queue=1 create waits for capacity" `Quick test_queued_create;
+        Alcotest.test_case "8-session soak with eviction and chaos kill" `Quick test_soak;
+        Alcotest.test_case "bundles resurrect across server restart" `Quick test_restart_resurrection;
+      ] );
+  ]

@@ -37,4 +37,5 @@ let () =
          Engine_tests.suite;
          Lane_tests.suite;
          Profile_tests.suite;
+         Service_tests.suite;
        ])
