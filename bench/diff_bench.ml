@@ -28,7 +28,10 @@ let collect json =
   let label_of fields i =
     match List.assoc_opt "name" fields with
     | Some (J.String n) -> n
-    | _ -> string_of_int i
+    | _ -> (
+      match List.assoc_opt "config" fields with
+      | Some (J.String n) -> n
+      | _ -> string_of_int i)
   in
   let rec walk path j =
     match j with

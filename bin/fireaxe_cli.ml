@@ -452,7 +452,7 @@ let make_progress_printer ~cycles ~units ~transfers () =
       eta
 
 let run_remote ~telemetry ~profile ~profile_handle ~collect ~flush ~scheduler ~engine ~lanes
-    ~checkpoint_dir ~checkpoint_every ~chaos_seed ~resume ~vcd_path ~sample
+    ~checkpoint_dir ~checkpoint_every ~chaos_seed ~resume ~vcd_path ~wave_out ~sample
     ~flight_depth ~flight_dir ~flight_ref ~progress design plan cycles =
   let n = Fireaxe.Plan.n_units plan in
   let chaos =
@@ -491,11 +491,12 @@ let run_remote ~telemetry ~profile ~profile_handle ~collect ~flush ~scheduler ~e
       flight_depth
   in
   let capture =
-    Option.map
-      (fun path ->
-        require_probes design probes ~flag:"--vcd";
-        (path, Fireaxe.Debug.Capture.of_handle h ~probes))
-      vcd_path
+    if vcd_path = None && wave_out = None then None
+    else begin
+      require_probes design probes
+        ~flag:(if vcd_path <> None then "--vcd" else "--wave-out");
+      Some (Fireaxe.Debug.Capture.of_handle h ~probes)
+    end
   in
   let progress_print =
     make_progress_printer ~cycles ~units:n
@@ -516,7 +517,7 @@ let run_remote ~telemetry ~profile ~profile_handle ~collect ~flush ~scheduler ~e
          Fireaxe.Resilience.Supervisor.run sv ~cycles:c;
          try
            (match capture with
-           | Some (_, cap) -> Fireaxe.Debug.Capture.sample cap ~cycle:c
+           | Some cap -> Fireaxe.Debug.Capture.sample cap ~cycle:c
            | None -> ());
            match flight with
            | Some fl -> Fireaxe.Debug.Flight.record fl ~cycle:c
@@ -532,11 +533,21 @@ let run_remote ~telemetry ~profile ~profile_handle ~collect ~flush ~scheduler ~e
      done
    end);
   (match capture with
-  | Some (path, cap) ->
-    Fireaxe.Debug.Capture.save cap ~path;
-    Fmt.pr "wrote %s (%d probes across %d partitions, %d samples)@." path
-      (List.length probes) n
-      (Fireaxe.Debug.Capture.sample_count cap)
+  | Some cap ->
+    (match vcd_path with
+    | Some path ->
+      Fireaxe.Debug.Capture.save cap ~path;
+      Fmt.pr "wrote %s (%d probes across %d partitions, %d samples)@." path
+        (List.length probes) n
+        (Fireaxe.Debug.Capture.sample_count cap)
+    | None -> ());
+    (match wave_out with
+    | Some path ->
+      Fireaxe.Debug.Capture.save_wave cap ~path;
+      Fmt.pr "wrote %s (binary wavestore, %d probes, %d samples)@." path
+        (List.length probes)
+        (Fireaxe.Debug.Capture.sample_count cap)
+    | None -> ())
   | None -> ());
   Fmt.pr "ran %d target cycles across %d processes (%d token transfers, %d respawns)@."
     cycles n
@@ -579,8 +590,8 @@ let run_remote ~telemetry ~profile ~profile_handle ~collect ~flush ~scheduler ~e
     exit 4
   end
 
-let run design mode select routers scheduler engine lanes cycles vcd_path sample every
-    resume save_snap check remote metrics trace_file progress checkpoint_dir
+let run design mode select routers scheduler engine lanes cycles vcd_path wave_out sample
+    every resume save_snap check remote metrics trace_file progress checkpoint_dir
     checkpoint_every chaos_seed flight_depth flight_dir wavediff profile_file =
   (* A live sink only when some exporter was requested; otherwise the
      shared disabled sink keeps the hot path free. *)
@@ -658,7 +669,7 @@ let run design mode select routers scheduler engine lanes cycles vcd_path sample
       if remote then
         run_remote ~telemetry ~profile ~profile_handle ~collect:collect_profiles
           ~flush:emit_exporters ~scheduler ~engine ~lanes ~checkpoint_dir
-          ~checkpoint_every ~chaos_seed ~resume ~vcd_path ~sample ~flight_depth
+          ~checkpoint_every ~chaos_seed ~resume ~vcd_path ~wave_out ~sample ~flight_depth
           ~flight_dir ~flight_ref ~progress design plan cycles
       else begin
         let h = Fireaxe.instantiate ~scheduler ~telemetry ~profile ~engine ~lanes plan in
@@ -715,14 +726,14 @@ let run design mode select routers scheduler engine lanes cycles vcd_path sample
             progress_line c
           done
         in
-        (match (vcd_path, sample) with
-        | None, Some signals ->
+        (match (vcd_path, wave_out, sample) with
+        | None, None, Some signals ->
           (* AutoCounter-style out-of-band sampling while the run advances. *)
           let signals = String.split_on_char ',' signals in
           let samples = Fireaxe.Counters.collect h ~signals ~every ~cycles in
           print_string (Fireaxe.Counters.to_csv samples)
-        | None, None when flight <> None -> stepped (fun _ -> ())
-        | None, None -> (
+        | None, None, None when flight <> None -> stepped (fun _ -> ())
+        | None, None, None -> (
           match progress with
           | Some n when n > 0 ->
             (* Chunked run with a progress line every [n] target cycles. *)
@@ -735,19 +746,31 @@ let run design mode select routers scheduler engine lanes cycles vcd_path sample
             let start = Fireaxe.Runtime.cycle h 0 in
             if start < cycles then go start
           | _ -> advance ~cycles)
-        | Some path, _ ->
+        | _ ->
           (* Full-design waveform: every probe is captured in whichever
-             partition holds it — local simulator or remote worker — into
-             one VCD with a scope per partition plus the boundary-channel
-             token tracks. *)
-          require_probes design probes ~flag:"--vcd";
+             partition holds it — local simulator or remote worker — then
+             rendered as a VCD (a scope per partition plus the
+             boundary-channel token tracks) and/or the compact indexed
+             binary wavestore, per flag. *)
+          require_probes design probes
+            ~flag:(if vcd_path <> None then "--vcd" else "--wave-out");
           let cap = Fireaxe.Debug.Capture.of_handle h ~probes in
           stepped (fun c -> Fireaxe.Debug.Capture.sample cap ~cycle:c);
-          Fireaxe.Debug.Capture.save cap ~path;
-          Fmt.pr "wrote %s (%d probes across %d partitions, %d samples)@." path
-            (List.length probes)
-            (Fireaxe.Plan.n_units plan)
-            (Fireaxe.Debug.Capture.sample_count cap));
+          (match vcd_path with
+          | Some path ->
+            Fireaxe.Debug.Capture.save cap ~path;
+            Fmt.pr "wrote %s (%d probes across %d partitions, %d samples)@." path
+              (List.length probes)
+              (Fireaxe.Plan.n_units plan)
+              (Fireaxe.Debug.Capture.sample_count cap)
+          | None -> ());
+          (match wave_out with
+          | Some path ->
+            Fireaxe.Debug.Capture.save_wave cap ~path;
+            Fmt.pr "wrote %s (binary wavestore, %d probes, %d samples)@." path
+              (List.length probes)
+              (Fireaxe.Debug.Capture.sample_count cap)
+          | None -> ()));
         Fmt.pr "ran %d target cycles on %d partitions (%d token transfers)@." cycles
           (Fireaxe.Plan.n_units plan)
           (Fireaxe.Runtime.token_transfers h);
@@ -828,6 +851,18 @@ let vcd_arg =
            file: every probe is sampled in whichever partition holds it — local or \
            remote — and merged into one file with a scope per partition plus the \
            LI-BDN boundary-channel token tracks.")
+
+let wave_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wave-out" ] ~docv:"FILE"
+        ~doc:
+          "Capture the same probe signals as $(b,--vcd), but into the compact indexed \
+           binary waveform store (schema $(b,fireaxe-wave-1)): change-only records \
+           with varint cycle deltas plus periodic keyframes and a cycle index for \
+           random access.  Inspect or convert with the $(b,wave) subcommand; may be \
+           combined with $(b,--vcd) to write both from one capture.")
 
 let sample_arg =
   Arg.(
@@ -964,7 +999,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a partitioned simulation and cross-check it against the monolithic one.")
     Term.(
       const run $ design_arg $ mode_arg $ select_arg $ routers_arg $ scheduler_arg
-      $ engine_arg $ lanes_arg $ cycles_arg $ vcd_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
+      $ engine_arg $ lanes_arg $ cycles_arg $ vcd_arg $ wave_out_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
       $ check_arg $ remote_arg $ metrics_arg $ trace_file_arg $ progress_arg
       $ checkpoint_dir_arg $ checkpoint_every_arg $ chaos_arg $ flight_arg
       $ flight_dir_arg $ wave_diff_arg $ profile_file_arg)
@@ -990,78 +1025,75 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Print the interface-width performance sweep for a transport.")
     Term.(const sweep $ transport_arg)
 
-let validate design scheduler engine lanes profile_file =
+let validate design scheduler engine lanes wave_out profile_file =
   (* Generic validation: run until a design-specific "finished" register
      condition; for designs without one, compare state after N cycles. *)
   let profile =
     if profile_file <> None then Telemetry.Profile.create () else Telemetry.Profile.null
   in
+  (* --wave-out additionally captures the golden monolithic trace of the
+     validated workload over the design's probes (which also arms the
+     side-by-side divergence check). *)
+  let probes = if wave_out = None then [] else design.d_probes in
+  if wave_out <> None then require_probes design probes ~flag:"--wave-out";
+  let go ~circuit ~setup ~finished =
+    let v =
+      Fireaxe.validate ~scheduler ~engine ~lanes ~profile ~name:design.d_name ~circuit
+        ~selection:design.d_selection ~probes ?wave_out ~setup ~finished ()
+    in
+    Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@."
+      v.Fireaxe.v_monolithic_cycles v.Fireaxe.v_exact_cycles v.Fireaxe.v_exact_error_pct
+      v.Fireaxe.v_fast_cycles v.Fireaxe.v_fast_error_pct;
+    (match v.Fireaxe.v_divergence with
+    | Some dv ->
+      Fmt.pr "DIVERGENCE: cycle %d, signal %s (monolithic %d, partitioned %d)@."
+        dv.Fireaxe.Debug.Capture.dv_cycle dv.Fireaxe.Debug.Capture.dv_signal
+        dv.Fireaxe.Debug.Capture.dv_a dv.Fireaxe.Debug.Capture.dv_b
+    | None -> ());
+    match wave_out with
+    | Some path ->
+      Fmt.pr "wrote %s (binary wavestore, %d probes, %d samples)@." path
+        (List.length probes) v.Fireaxe.v_monolithic_cycles
+    | None -> ()
+  in
   (match design.d_name with
   | "soc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
-    let v =
-      Fireaxe.validate ~scheduler ~engine ~lanes ~profile ~name:design.d_name
-        ~circuit:(fun () -> Socgen.Soc.single_core_soc ())
-        ~selection:design.d_selection
-        ~setup:(fun ~poke ->
-          List.iteri (fun i w -> poke ~mem:"mem$mem" i w) (Socgen.Kite_isa.assemble program);
-          List.iter (fun i -> poke ~mem:"mem$mem" (32 + i) (i * 3)) (List.init 16 Fun.id))
-        ~finished:(fun ~peek -> peek "tile$core$state" = Socgen.Kite_core.s_halted)
-        ()
-    in
-    Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@." v.Fireaxe.v_monolithic_cycles
-      v.Fireaxe.v_exact_cycles v.Fireaxe.v_exact_error_pct v.Fireaxe.v_fast_cycles
-      v.Fireaxe.v_fast_error_pct
+    go
+      ~circuit:(fun () -> Socgen.Soc.single_core_soc ())
+      ~setup:(fun ~poke ->
+        List.iteri (fun i w -> poke ~mem:"mem$mem" i w) (Socgen.Kite_isa.assemble program);
+        List.iter (fun i -> poke ~mem:"mem$mem" (32 + i) (i * 3)) (List.init 16 Fun.id))
+      ~finished:(fun ~peek -> peek "tile$core$state" = Socgen.Kite_core.s_halted)
   | "dramsoc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
-    let v =
-      Fireaxe.validate ~scheduler ~engine ~lanes ~profile ~name:design.d_name
-        ~circuit:(fun () -> Socgen.Dram.dram_soc ())
-        ~selection:design.d_selection
-        ~setup:(fun ~poke ->
-          List.iteri (fun i w -> poke ~mem:"mem$mem" i w) (Socgen.Kite_isa.assemble program);
-          List.iter (fun i -> poke ~mem:"mem$mem" (32 + i) (i * 3)) (List.init 16 Fun.id))
-        ~finished:(fun ~peek -> peek "tile$core$state" = Socgen.Kite_core.s_halted)
-        ()
-    in
-    Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@." v.Fireaxe.v_monolithic_cycles
-      v.Fireaxe.v_exact_cycles v.Fireaxe.v_exact_error_pct v.Fireaxe.v_fast_cycles
-      v.Fireaxe.v_fast_error_pct
+    go
+      ~circuit:(fun () -> Socgen.Dram.dram_soc ())
+      ~setup:(fun ~poke ->
+        List.iteri (fun i w -> poke ~mem:"mem$mem" i w) (Socgen.Kite_isa.assemble program);
+        List.iter (fun i -> poke ~mem:"mem$mem" (32 + i) (i * 3)) (List.init 16 Fun.id))
+      ~finished:(fun ~peek -> peek "tile$core$state" = Socgen.Kite_core.s_halted)
   | "sha3" | "gemmini" ->
     let kind, done_state =
       if design.d_name = "sha3" then (Socgen.Soc.Sha3, Socgen.Accel.h_done)
       else (Socgen.Soc.Gemmini, Socgen.Accel.g_done)
     in
-    let v =
-      Fireaxe.validate ~scheduler ~engine ~lanes ~profile ~name:design.d_name
-        ~circuit:(fun () -> Socgen.Soc.accel_soc kind)
-        ~selection:design.d_selection
-        ~setup:(fun ~poke ->
-          List.iteri (fun i v -> poke ~mem:"mem$mem" (16 + i) v)
-            (List.init 48 (fun i -> i + 1));
-          List.iteri (fun i v -> poke ~mem:"mem$mem" (80 + i) v)
-            (List.init 16 (fun i -> i + 1)))
-        ~finished:(fun ~peek -> peek "accel$state" = done_state)
-        ()
-    in
-    Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@." v.Fireaxe.v_monolithic_cycles
-      v.Fireaxe.v_exact_cycles v.Fireaxe.v_exact_error_pct v.Fireaxe.v_fast_cycles
-      v.Fireaxe.v_fast_error_pct
+    go
+      ~circuit:(fun () -> Socgen.Soc.accel_soc kind)
+      ~setup:(fun ~poke ->
+        List.iteri (fun i v -> poke ~mem:"mem$mem" (16 + i) v)
+          (List.init 48 (fun i -> i + 1));
+        List.iteri (fun i v -> poke ~mem:"mem$mem" (80 + i) v)
+          (List.init 16 (fun i -> i + 1)))
+      ~finished:(fun ~peek -> peek "accel$state" = done_state)
   | "k5soc" ->
     let program = Socgen.Kite_isa.sum_repeat_program ~base:32 ~n:16 ~reps:8 ~dst:60 in
-    let v =
-      Fireaxe.validate ~scheduler ~engine ~lanes ~profile ~name:design.d_name
-        ~circuit:(fun () -> Socgen.Kite5_core.soc ())
-        ~selection:design.d_selection
-        ~setup:(fun ~poke ->
-          List.iteri (fun i w -> poke ~mem:"core$imem" i w) (Socgen.Kite_isa.assemble program);
-          List.iter (fun i -> poke ~mem:"mem$mem" (32 + i) (i * 3)) (List.init 16 Fun.id))
-        ~finished:(fun ~peek -> peek "core$halted_r" = 1)
-        ()
-    in
-    Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@." v.Fireaxe.v_monolithic_cycles
-      v.Fireaxe.v_exact_cycles v.Fireaxe.v_exact_error_pct v.Fireaxe.v_fast_cycles
-      v.Fireaxe.v_fast_error_pct
+    go
+      ~circuit:(fun () -> Socgen.Kite5_core.soc ())
+      ~setup:(fun ~poke ->
+        List.iteri (fun i w -> poke ~mem:"core$imem" i w) (Socgen.Kite_isa.assemble program);
+        List.iter (fun i -> poke ~mem:"mem$mem" (32 + i) (i * 3)) (List.init 16 Fun.id))
+      ~finished:(fun ~peek -> peek "core$halted_r" = 1)
   | _ -> Fmt.pr "validate supports: soc, dramsoc, k5soc, sha3, gemmini (use 'run' for other designs)@.");
   match profile_file with
   | None -> ()
@@ -1078,7 +1110,7 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Table II methodology: monolithic vs exact vs fast cycle counts.")
     Term.(
       const validate $ design_arg $ scheduler_arg $ engine_arg $ lanes_arg
-      $ profile_file_arg)
+      $ wave_out_arg $ profile_file_arg)
 
 let runs_arg = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Simulations in the campaign.")
 
@@ -1169,6 +1201,152 @@ let advise_cmd =
     (Cmd.info "advise"
        ~doc:"Hybrid cloud/on-prem deployment advice for a simulation campaign (paper              Section VIII-A).")
     Term.(const advise $ design_arg $ runs_arg $ cycles_per_run_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Binary waveform store                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Wavestore = Fireaxe.Debug.Wavestore
+
+let slurp path =
+  match open_in_bin path with
+  | exception Sys_error m ->
+    Fmt.epr "%s@." m;
+    exit 2
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    really_input_string ic (in_channel_length ic)
+
+let load_wave path =
+  match Wavestore.Reader.of_string (slurp path) with
+  | r -> r
+  | exception Wavestore.Corrupt m ->
+    Fmt.epr "%s: not a %s file (%s)@." path Wavestore.schema m;
+    exit 2
+
+let wave_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"Binary waveform store, as written by run/validate $(b,--wave-out).")
+
+let wave_info path =
+  let r = load_wave path in
+  Fmt.pr "schema     %s@." Wavestore.schema;
+  Fmt.pr "bytes      %d@." (Unix.stat path).Unix.st_size;
+  Fmt.pr "samples    %d@." (Wavestore.Reader.sample_count r);
+  Fmt.pr "keyframes  %d (every %d samples)@."
+    (Wavestore.Reader.keyframe_count r)
+    (Wavestore.Reader.keyframe_every r);
+  (match (Wavestore.Reader.first_cycle r, Wavestore.Reader.last_cycle r) with
+  | Some a, Some b -> Fmt.pr "cycles     %d..%d@." a b
+  | _ -> Fmt.pr "cycles     (no samples)@.");
+  Fmt.pr "signals    %d@." (Array.length (Wavestore.Reader.signals r));
+  Array.iter
+    (fun (n, w) -> Fmt.pr "  %-32s %2d bit%s@." n w (if w = 1 then "" else "s"))
+    (Wavestore.Reader.signals r)
+
+let wave_info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print header, index and signal table of a waveform store.")
+    Term.(const wave_info $ wave_file_arg)
+
+let wave_slice path lo hi =
+  let r = load_wave path in
+  let names = Array.map fst (Wavestore.Reader.signals r) in
+  List.iter
+    (fun (c, changes) ->
+      Fmt.pr "%d %s@." c
+        (String.concat " "
+           (List.map (fun (i, v) -> Printf.sprintf "%s=%d" names.(i) v) changes)))
+    (Wavestore.Reader.slice r ~lo ~hi)
+
+let wave_from_arg =
+  Arg.(value & opt int 0 & info [ "from" ] ~docv:"CYCLE" ~doc:"First cycle of the slice.")
+
+let wave_to_arg =
+  Arg.(
+    value & opt int max_int
+    & info [ "to" ] ~docv:"CYCLE" ~doc:"Last cycle of the slice (inclusive).")
+
+let wave_slice_cmd =
+  Cmd.v
+    (Cmd.info "slice"
+       ~doc:
+         "Print a cycle range of the store: the first line is a full snapshot \
+          (reconstructed via the keyframe index, not a linear scan), later lines \
+          carry only the signals that changed.")
+    Term.(const wave_slice $ wave_file_arg $ wave_from_arg $ wave_to_arg)
+
+let wave_to_vcd path out =
+  let r = load_wave path in
+  let vcd = Wavestore.Reader.to_vcd r in
+  match out with
+  | None -> print_string vcd
+  | Some o ->
+    let oc = open_out_bin o in
+    output_string oc vcd;
+    close_out oc;
+    Fmt.pr "wrote %s (%d signals, %d samples)@." o
+      (Array.length (Wavestore.Reader.signals r))
+      (Wavestore.Reader.sample_count r)
+
+let wave_vcd_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output VCD path (default: stdout).")
+
+let wave_to_vcd_cmd =
+  Cmd.v
+    (Cmd.info "to-vcd"
+       ~doc:
+         "Convert a waveform store to VCD, losslessly — byte-identical to the VCD a \
+          direct $(b,--vcd) capture of the same probes would have written.")
+    Term.(const wave_to_vcd $ wave_file_arg $ wave_vcd_out_arg)
+
+let wave_diff_files a b =
+  let ra = load_wave a in
+  let bc = slurp b in
+  (* The right-hand side may be another store or a VCD; a store always
+     starts with the schema magic, so parse failure means VCD. *)
+  let issues =
+    match Wavestore.Reader.of_string bc with
+    | rb -> Wavestore.diff_stores ra rb
+    | exception Wavestore.Corrupt _ -> Wavestore.diff_vcd ra bc
+  in
+  match issues with
+  | [] ->
+    Fmt.pr "match: %s and %s carry the same waveforms (%d signals, %d samples)@." a b
+      (Array.length (Wavestore.Reader.signals ra))
+      (Wavestore.Reader.sample_count ra)
+  | l ->
+    List.iter (fun m -> Fmt.epr "  %s@." m) l;
+    Fmt.epr "%d difference(s) between %s and %s@." (List.length l) a b;
+    exit 6
+
+let wave_b_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"OTHER" ~doc:"Second trace: a waveform store or a VCD file.")
+
+let wave_diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare a waveform store against another store or a VCD capture of the \
+          same signals; exits 6 when any sample differs.")
+    Term.(const wave_diff_files $ wave_file_arg $ wave_b_arg)
+
+let wave_cmd =
+  Cmd.group
+    (Cmd.info "wave"
+       ~doc:
+         "Inspect, slice, convert and compare compact binary waveform stores \
+          (schema fireaxe-wave-1) written by $(b,--wave-out).")
+    [ wave_info_cmd; wave_slice_cmd; wave_to_vcd_cmd; wave_diff_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* Simulation service                                                   *)
@@ -1317,10 +1495,96 @@ let client_run socket engine lanes pack queue args =
       (Service.Client.list c)
   | [ "stats" ] -> print_endline (Telemetry.Json.to_string (Service.Client.stats c))
   | [ "shutdown" ] -> Service.Client.shutdown c
+  | "watch" :: sid :: rest ->
+    (* Tail a live session: subscribe, then print every pushed delta
+       frame as a full "cycle N sig=v ..." snapshot line.  Options ride
+       as k=v words like the wire protocol's own: every=N (push period),
+       count=M (exit after M frames; 0 = forever), timeout=S. *)
+    let opts, probes = Service.Protocol.split_options rest in
+    let bad_opt k allowed =
+      Fmt.epr "unknown %s option %S (try: %s)@." "watch" k allowed;
+      exit 2
+    in
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k [ "every"; "count"; "timeout" ]) then
+          bad_opt k "every=N, count=M, timeout=S")
+      opts;
+    if probes = [] then begin
+      Fmt.epr "watch: no probe signals given@.";
+      exit 2
+    end;
+    let geti k d = match List.assoc_opt k opts with Some v -> int v | None -> d in
+    let timeout =
+      match List.assoc_opt "timeout" opts with
+      | None -> 30.
+      | Some v -> (
+        match float_of_string_opt v with
+        | Some f -> f
+        | None ->
+          Fmt.epr "watch: timeout=%S is not a number@." v;
+          exit 2)
+    in
+    let count = geti "count" 0 in
+    let wid = Service.Client.subscribe ~every:(geti "every" 1) c ~sid ~probes in
+    let seen = ref 0 in
+    while count = 0 || !seen < count do
+      match Service.Client.next_push ~timeout c with
+      | None ->
+        Fmt.epr "watch: no push within %.0fs (session done, killed, or idle?)@." timeout;
+        exit 3
+      | Some (Service.Client.Watch { w_wid; w_cycle; w_values; _ }) when w_wid = wid ->
+        incr seen;
+        Fmt.pr "cycle %d %s@." w_cycle
+          (String.concat " " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) w_values))
+      | Some _ -> ()
+    done
+  | "events" :: rest ->
+    (* Tail the server lifecycle journal as JSONL, one fireaxe-events-1
+       document per line.  from=N replays retained history first. *)
+    let opts, extra = Service.Protocol.split_options rest in
+    if extra <> [] then begin
+      Fmt.epr "events takes only from=N, count=M, timeout=S options@.";
+      exit 2
+    end;
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k [ "from"; "count"; "timeout" ]) then begin
+          Fmt.epr "unknown events option %S (try: from=N, count=M, timeout=S)@." k;
+          exit 2
+        end)
+      opts;
+    let geti k d = match List.assoc_opt k opts with Some v -> int v | None -> d in
+    let timeout =
+      match List.assoc_opt "timeout" opts with
+      | None -> 30.
+      | Some v -> (
+        match float_of_string_opt v with
+        | Some f -> f
+        | None ->
+          Fmt.epr "events: timeout=%S is not a number@." v;
+          exit 2)
+    in
+    let count = geti "count" 0 in
+    let from = Option.map int (List.assoc_opt "from" opts) in
+    let start = Service.Client.events ?from c in
+    Fmt.epr "events: streaming from seq %d@." start;
+    let seen = ref 0 in
+    while count = 0 || !seen < count do
+      match Service.Client.next_push ~timeout c with
+      | None ->
+        Fmt.epr "events: no event within %.0fs@." timeout;
+        exit 3
+      | Some (Service.Client.Event { e_json; _ }) ->
+        incr seen;
+        print_endline (Telemetry.Json.to_string e_json)
+      | Some _ -> ()
+    done
   | ws ->
     Fmt.epr
       "unknown client verb %S (try: create, step, step-async, wait, set, get, probe, \
-       poke, peek, checkpoint, evict, resume, kill, list, stats, shutdown)@."
+       poke, peek, checkpoint, evict, resume, kill, list, stats, watch, events, \
+       shutdown)@."
       (String.concat " " ws);
     exit 2
 
@@ -1498,5 +1762,5 @@ let () =
        (Cmd.group info
           [
             describe_cmd; plan_cmd; run_cmd; trace_cmd; sweep_cmd; validate_cmd; advise_cmd;
-            emit_cmd; serve_cmd; client_cmd; soak_cmd;
+            emit_cmd; wave_cmd; serve_cmd; client_cmd; soak_cmd;
           ]))

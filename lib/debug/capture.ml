@@ -115,14 +115,30 @@ let resolve h names =
         in
         group := (i, names.(i)) :: !group)
     resolved;
-  let locals = List.rev !locals in
+  (* Hoist the name→slot hash lookup out of the per-cycle read: during
+     capture every probe is read every target cycle, and the lookups
+     dominate the sampling cost.  Lane 0's value array is stable for
+     the life of the simulation, so the slot index alone suffices. *)
+  let locals =
+    Array.of_list
+      (List.rev_map
+         (fun (sim, i, name) -> (sim.Rtlsim.Sim.values, i, Rtlsim.Sim.slot sim name))
+         !locals)
+  in
+  (* Unboxed parallel arrays: the read runs once per target cycle. *)
+  let l_vals = Array.map (fun (v, _, _) -> v) locals in
+  let l_idx = Array.map (fun (_, i, _) -> i) locals in
+  let l_slot = Array.map (fun (_, _, s) -> s) locals in
+  let n_local = Array.length locals in
   let remotes =
     Hashtbl.fold (fun _ (conn, group) acc -> (conn, List.rev !group) :: acc)
       remote_groups []
   in
   let read () =
     let out = Array.make n 0 in
-    List.iter (fun (sim, i, name) -> out.(i) <- Rtlsim.Sim.get sim name) locals;
+    for k = 0 to n_local - 1 do
+      out.(l_idx.(k)) <- l_vals.(k).(l_slot.(k))
+    done;
     List.iter
       (fun (conn, group) ->
         let values = Libdn.Remote_engine.sample conn (List.map snd group) in
@@ -259,15 +275,16 @@ let of_sim sim ~probes =
     |> List.filter (fun s -> not (Hashtbl.mem sim.Rtlsim.Sim.slots s))
   in
   if unknown <> [] then raise (Unknown_signal unknown);
+  (* Same hoist as [resolve]: slot indices once, direct value-array
+     reads per cycle. *)
+  let slots = Array.map (fun s -> Hashtbl.find sim.Rtlsim.Sim.slots s) names in
+  let vals = sim.Rtlsim.Sim.values in
   of_probes
     {
       pb_names = names;
       pb_scopes = Array.make (Array.length names) "top";
-      pb_widths =
-        Array.map
-          (fun s -> sim.Rtlsim.Sim.widths.(Hashtbl.find sim.Rtlsim.Sim.slots s))
-          names;
-      pb_read = (fun () -> Array.map (fun s -> Rtlsim.Sim.get sim s) names);
+      pb_widths = Array.map (fun s -> sim.Rtlsim.Sim.widths.(s)) slots;
+      pb_read = (fun () -> Array.map (fun s -> vals.(s)) slots);
     }
 
 (** Records the watched values for target cycle [cycle] (call right
@@ -310,6 +327,25 @@ let probe_trace t =
 let save t ~path =
   let oc = open_out path in
   output_string oc (contents t);
+  close_out oc
+
+(** The probe samples re-encoded as a [fireaxe-wave-1] binary store
+    (signal table in probe order, no channel tracks) — the affordable
+    full-capture sink.  [Wavestore.Reader.to_vcd] of these bytes
+    reproduces {!probe_trace} byte for byte. *)
+let wave_contents t =
+  let signals =
+    Array.to_list
+      (Array.map2 (fun n w -> (n, w)) t.cp_probes.pb_names t.cp_probes.pb_widths)
+  in
+  let w = Wavestore.Writer.create ~signals () in
+  List.iter (fun (c, pv, _) -> Wavestore.Writer.sample w ~cycle:c pv)
+    (List.rev t.cp_samples);
+  Wavestore.Writer.contents w
+
+let save_wave t ~path =
+  let oc = open_out_bin path in
+  output_string oc (wave_contents t);
   close_out oc
 
 (* ------------------------------------------------------------------ *)

@@ -93,6 +93,14 @@ val probe_trace : t -> string
 (** Writes {!contents} to [path]. *)
 val save : t -> path:string -> unit
 
+(** The probe samples as a [fireaxe-wave-1] binary store (signal table
+    in probe order, no channel tracks).  [Wavestore.Reader.to_vcd] of
+    these bytes reproduces {!probe_trace} byte for byte. *)
+val wave_contents : t -> string
+
+(** Writes {!wave_contents} to [path]. *)
+val save_wave : t -> path:string -> unit
+
 (** The first (cycle, signal) at which two captures of the same probe
     list disagree, comparing the cycles both sampled.  [None] when all
     common samples match. *)

@@ -1,0 +1,112 @@
+(** Compact indexed binary waveform store — schema [fireaxe-wave-1].
+
+    The affordable full-capture sink: per-sample change-only records
+    with varint cycle deltas, a keyframe carrying every signal value
+    every [keyframe_every] samples, and a trailing cycle index so
+    random access ({!Reader.values_at}, {!Reader.slice}) is a binary
+    search over keyframes plus a bounded forward scan.  Conversion back
+    to VCD ({!Reader.to_vcd}) is lossless — with the default options it
+    reproduces [Capture.probe_trace] byte for byte — so GTKWave
+    workflows lose nothing by capturing binary first.
+
+    The varint/delta codec is exposed ({!Codec}) because the service's
+    [watch] push frames carry probe deltas in exactly this encoding. *)
+
+val schema : string
+
+(** The store bytes are not a valid [fireaxe-wave-1] document (bad
+    magic, truncated varint, out-of-range offset...). *)
+exception Corrupt of string
+
+(** LEB128 varints over the int's unsigned bit pattern, plus the
+    probe-delta record shared with the service push protocol. *)
+module Codec : sig
+  val add_varint : Buffer.t -> int -> unit
+
+  (** Reads one varint at [!pos], advancing it.  Raises {!Corrupt} on
+      truncation or overflow. *)
+  val read_varint : string -> int ref -> int
+
+  (** One delta record: target cycle + (signal index, value) changes. *)
+  val encode_delta : cycle:int -> changes:(int * int) list -> string
+
+  val decode_delta : string -> int * (int * int) list
+end
+
+module Writer : sig
+  type t
+
+  (** [create ~signals ()] opens a store over the ordered signal table
+      [(name, width)].  [keyframe_every] (default 64) bounds the scan
+      distance after an index seek. *)
+  val create : ?keyframe_every:int -> signals:(string * int) list -> unit -> t
+
+  (** Records the full value snapshot for [cycle]; only changes are
+      stored.  Cycles must be strictly increasing. *)
+  val sample : t -> cycle:int -> int array -> unit
+
+  val sample_count : t -> int
+
+  (** The complete store (header + frames + index + trailer).  The
+      writer remains usable; call again after more samples. *)
+  val contents : t -> string
+
+  val save : t -> path:string -> unit
+end
+
+module Reader : sig
+  type t
+
+  (** Raises {!Corrupt} on malformed bytes. *)
+  val of_string : string -> t
+
+  val load : string -> t
+  val signals : t -> (string * int) array
+  val sample_count : t -> int
+  val keyframe_count : t -> int
+  val keyframe_every : t -> int
+  val first_cycle : t -> int option
+  val last_cycle : t -> int option
+  val signal_index : t -> string -> int option
+
+  (** The full snapshot at the latest sample with cycle <= [cycle]
+      (index seek + bounded scan); [None] before the first sample. *)
+  val values_at : t -> cycle:int -> int array option
+
+  (** One signal's value under the {!values_at} contract. *)
+  val value_at : t -> cycle:int -> string -> int option
+
+  (** Samples with cycle in [lo, hi], oldest first, as (cycle,
+      (signal index, value) changes); the first returned sample carries
+      a full snapshot so a slice is self-contained. *)
+  val slice : t -> lo:int -> hi:int -> (int * (int * int) list) list
+
+  (** Per-signal (cycle, value) change lists, oldest first — the
+      canonical semantic view both diffs compare. *)
+  val change_lists : t -> (int * int) list array
+
+  (** Lossless VCD text.  Defaults (single [top] scope, vars in signal
+      order, version ["fireaxe probes"]) reproduce
+      [Capture.probe_trace] byte for byte for the same samples. *)
+  val to_vcd : ?version:string -> t -> string
+end
+
+(** Minimal reader for VCDs this repo writes, for crosschecks. *)
+module Vcd_in : sig
+  type t
+
+  val parse : string -> t
+  val signals : t -> (string * int) array
+
+  (** Change list of the var with this (sanitized) leaf name. *)
+  val changes : t -> string -> (int * int) list option
+end
+
+(** Semantic store-vs-VCD comparison: every store signal must appear in
+    the VCD (sanitized leaf name) with an identical change list;
+    VCD-only vars (channel tracks) are ignored.  Returns divergence
+    descriptions; [[]] certifies a match. *)
+val diff_vcd : Reader.t -> string -> string list
+
+(** Store-vs-store comparison under the same contract. *)
+val diff_stores : Reader.t -> Reader.t -> string list

@@ -136,11 +136,25 @@ let wave_diff ?(scheduler = Libdn.Scheduler.default) ?(mode = Spec.Exact) ?engin
     When [probes] are given, a side-by-side {!wave_diff} of the
     monolithic and exact runs localizes any divergence. *)
 let validate ?(scheduler = Libdn.Scheduler.default) ?engine ?lanes ?profile
-    ?(probes = []) ~name ~circuit ~selection ?(setup = fun ~poke:_ -> ())
+    ?(probes = []) ?wave_out ~name ~circuit ~selection ?(setup = fun ~poke:_ -> ())
     ~finished ?(max_cycles = 1_000_000) () =
   let mono =
     run_monolithic_until (circuit ()) ~setup ~finished ~max_cycles
   in
+  (match wave_out with
+  | None -> ()
+  | Some path ->
+    (* The golden reference trace of the validated workload, replayed
+       monolithically over [probes] into the compact binary store. *)
+    if probes = [] then invalid_arg "Fireaxe.validate: wave_out requires probes";
+    let sim = Rtlsim.Sim.of_circuit (circuit ()) in
+    setup ~poke:(fun ~mem addr v -> Rtlsim.Sim.poke_mem sim mem addr v);
+    let cap = Debug.Capture.of_sim sim ~probes in
+    for c = 1 to mono do
+      Rtlsim.Sim.step sim;
+      Debug.Capture.sample cap ~cycle:c
+    done;
+    Debug.Capture.save_wave cap ~path);
   let partitioned mode =
     let config = { Spec.default_config with Spec.mode; selection } in
     let plan = compile ~config (circuit ()) in

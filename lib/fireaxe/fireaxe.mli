@@ -132,13 +132,16 @@ val wave_diff :
     runs (both exact and fast accumulate into it).
     When [probes] are given, a side-by-side {!wave_diff} of the
     monolithic and exact runs localizes any divergence into
-    [v_divergence]. *)
+    [v_divergence].  [wave_out] (requires [probes]) additionally writes
+    the golden monolithic trace of the workload to that path in the
+    compact {!Debug.Wavestore} binary format. *)
 val validate :
   ?scheduler:Libdn.Scheduler.t ->
   ?engine:Rtlsim.Sim.engine ->
   ?lanes:int ->
   ?profile:Telemetry.Profile.t ->
   ?probes:string list ->
+  ?wave_out:string ->
   name:string ->
   circuit:(unit -> Firrtl.Ast.circuit) ->
   selection:Spec.selection ->

@@ -147,6 +147,22 @@ let write_frame ?(label = "peer") fd payload =
   push 0
 
 (* ------------------------------------------------------------------ *)
+(* Tagged frames                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tag_reply = 'R'
+let tag_push = 'P'
+
+let tag_frame tag payload = String.make 1 tag ^ payload
+
+let untag_frame payload =
+  if payload = "" then invalid_arg "Wire.untag_frame: empty frame";
+  (payload.[0], String.sub payload 1 (String.length payload - 1))
+
+let write_tagged ?label fd ~tag payload =
+  write_frame ?label fd (tag_frame tag payload)
+
+(* ------------------------------------------------------------------ *)
 (* Command codec                                                       *)
 (* ------------------------------------------------------------------ *)
 

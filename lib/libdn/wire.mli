@@ -68,6 +68,28 @@ val write_frame : ?label:string -> Unix.file_descr -> string -> unit
     gigabytes. *)
 val max_frame : int
 
+(** {1 Tagged frames}
+
+    [fireaxe-service-2] multiplexes server-initiated pushes with the
+    one-outstanding-request reply discipline by prefixing every frame
+    payload with a one-byte tag: {!tag_reply} for the reply the client
+    is waiting on, {!tag_push} for an unsolicited [watch]/[event]
+    frame.  Untagged framing (the worker pipes, [fireaxe-service-1]
+    peers) is untouched — a tag is just the payload's first byte. *)
+
+val tag_reply : char
+val tag_push : char
+
+(** [tag_frame tag payload] prefixes the tag byte. *)
+val tag_frame : char -> string -> string
+
+(** Splits a tagged payload into (tag, rest); [Invalid_argument] on an
+    empty frame. *)
+val untag_frame : string -> char * string
+
+(** {!write_frame} of [tag_frame tag payload]. *)
+val write_tagged : ?label:string -> Unix.file_descr -> tag:char -> string -> unit
+
 (** {1 Command codec}
 
     Requests and replies are lines of space-separated words; bulk data

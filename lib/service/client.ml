@@ -11,19 +11,96 @@ let () =
     | Rejected m -> Some ("service rejected: " ^ m)
     | _ -> None)
 
+(* Client-side state of one watch subscription: probe names in server
+   index order plus the reconstructed snapshot the deltas patch. *)
+type sub = {
+  sb_sid : string;
+  sb_probes : string array;
+  mutable sb_cycle : int;
+  mutable sb_values : int array;  (* [||] until the first frame *)
+}
+
+type push =
+  | Watch of {
+      w_wid : int;
+      w_sid : string;
+      w_cycle : int;
+      w_changes : (string * int) list;
+      w_values : (string * int) list;  (* full snapshot after the delta *)
+    }
+  | Event of { e_seq : int; e_json : Telemetry.Json.t }
+
 type t = {
   t_fd : Unix.file_descr;
   t_rd : Wire.reader;
   t_timeout : float option;
+  t_subs : (int, sub) Hashtbl.t;
+  t_pushes : push Queue.t;  (* decoded pushes not yet handed out *)
 }
 
 let int_word = Wire.int_word ~context:"service reply"
+
+(* Decodes one push frame, patches the subscription snapshot, and
+   queues the typed push for [next_push].  Frames for a wid we no
+   longer track (a push racing our [unwatch]) are dropped. *)
+let stash_push t payload =
+  match Protocol.parse_push payload with
+  | Protocol.Push_watch { pw_wid; pw_sid; pw_cycle; pw_changes } -> (
+    match Hashtbl.find_opt t.t_subs pw_wid with
+    | None -> ()
+    | Some sub ->
+      if Array.length sub.sb_values = 0 then
+        sub.sb_values <- Array.make (Array.length sub.sb_probes) 0;
+      List.iter
+        (fun (i, v) ->
+          if i < 0 || i >= Array.length sub.sb_probes then
+            raise
+              (Service_error
+                 (Printf.sprintf "watch %d: probe index %d out of range" pw_wid i));
+          sub.sb_values.(i) <- v)
+        pw_changes;
+      sub.sb_cycle <- pw_cycle;
+      let name i = sub.sb_probes.(i) in
+      Queue.add
+        (Watch
+           {
+             w_wid = pw_wid;
+             w_sid = pw_sid;
+             w_cycle = pw_cycle;
+             w_changes = List.map (fun (i, v) -> (name i, v)) pw_changes;
+             w_values = Array.to_list (Array.mapi (fun i v -> (name i, v)) sub.sb_values);
+           })
+        t.t_pushes)
+  | Protocol.Push_event { pe_seq; pe_json } ->
+    let json =
+      match Telemetry.Json.parse pe_json with
+      | Ok j -> j
+      | Error m -> raise (Service_error ("event push: unparseable JSON: " ^ m))
+    in
+    Queue.add (Event { e_seq = pe_seq; e_json = json }) t.t_pushes
+
+(* Reads frames until the awaited reply, stashing any pushes that
+   arrive in between.  An untagged frame (first byte is no tag) is a
+   fireaxe-service-1 server's reply, accepted as-is for interop. *)
+let read_reply ?timeout t =
+  let rec go () =
+    let payload = Wire.read_frame ?timeout t.t_rd in
+    if payload = "" then raise (Service_error "empty frame from server")
+    else
+      match payload.[0] with
+      | c when c = Wire.tag_push ->
+        stash_push t (snd (Wire.untag_frame payload));
+        go ()
+      | c when c = Wire.tag_reply -> snd (Wire.untag_frame payload)
+      | _ -> payload
+  in
+  go ()
 
 (* One round trip.  Raises [Service_error]/[Rejected] per the reply
    status; transport failures surface as [Wire.Closed]/[Wire.Timeout]. *)
 let request t line ~blob =
   Wire.write_frame ~label:"service" t.t_fd (Wire.join_payload line blob);
-  match Protocol.parse_reply (Wire.read_frame ?timeout:t.t_timeout t.t_rd) with
+  match Protocol.parse_reply (read_reply ?timeout:t.t_timeout t) with
   | Protocol.Ok (ws, blob) -> (ws, blob)
   | Protocol.Error m -> raise (Service_error m)
   | Protocol.Rejected m -> raise (Rejected m)
@@ -41,7 +118,15 @@ let connect ?timeout ?(retry_for = 0.) ~socket_path () =
       dial ()
   in
   let fd = dial () in
-  let t = { t_fd = fd; t_rd = Wire.reader ~label:"service" fd; t_timeout = timeout } in
+  let t =
+    {
+      t_fd = fd;
+      t_rd = Wire.reader ~label:"service" fd;
+      t_timeout = timeout;
+      t_subs = Hashtbl.create 7;
+      t_pushes = Queue.create ();
+    }
+  in
   (match request t ("hello " ^ Protocol.schema) ~blob:"" with
   | [ s ], _ when s = Protocol.schema -> ()
   | ws, _ ->
@@ -143,3 +228,59 @@ let stats t =
   | Error m -> raise (Service_error ("stats: unparseable JSON: " ^ m))
 
 let shutdown t = ignore (request t "shutdown" ~blob:"")
+
+(* ------------------------------------------------------------------ *)
+(* Subscriptions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let subscribe ?(every = 1) t ~sid ~probes =
+  if probes = [] then invalid_arg "Client.subscribe: no probes";
+  let line =
+    String.concat " " ("watch" :: sid :: Printf.sprintf "every=%d" every :: probes)
+  in
+  match request t line ~blob:"" with
+  | [ wid ], _ ->
+    let wid = int_word wid in
+    Hashtbl.replace t.t_subs wid
+      { sb_sid = sid; sb_probes = Array.of_list probes; sb_cycle = -1; sb_values = [||] };
+    wid
+  | ws, _ ->
+    raise (Service_error (Printf.sprintf "bad watch reply %S" (String.concat " " ws)))
+
+let unsubscribe t ~wid =
+  ignore (request t (Printf.sprintf "unwatch %d" wid) ~blob:"");
+  Hashtbl.remove t.t_subs wid
+
+let events ?from t =
+  let line =
+    match from with
+    | Some n -> Printf.sprintf "events from=%d" n
+    | None -> "events"
+  in
+  one_int "events" (request t line ~blob:"")
+
+let next_push ?timeout t =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  let rec go () =
+    if not (Queue.is_empty t.t_pushes) then Some (Queue.pop t.t_pushes)
+    else begin
+      let left =
+        match deadline with
+        | None -> None
+        | Some d -> Some (Float.max 0.0001 (d -. Unix.gettimeofday ()))
+      in
+      match Wire.read_frame ?timeout:left t.t_rd with
+      | exception Wire.Timeout _ -> None
+      | payload ->
+        if payload = "" then raise (Service_error "empty frame from server")
+        else if payload.[0] = Wire.tag_push then begin
+          stash_push t (snd (Wire.untag_frame payload));
+          go ()
+        end
+        else
+          raise
+            (Service_error
+               (Printf.sprintf "unexpected reply frame while idle: %S" payload))
+    end
+  in
+  go ()

@@ -13,6 +13,20 @@ exception Service_error of string
 (** Admission control answered ["rejected <msg>"]. *)
 exception Rejected of string
 
+(** One decoded server push (v2 connections only).  [Watch] carries
+    both the delta the server sent and the full snapshot the client
+    reconstructed from it — values are bit-exact with what [probe]
+    would have returned at that cycle. *)
+type push =
+  | Watch of {
+      w_wid : int;
+      w_sid : string;
+      w_cycle : int;
+      w_changes : (string * int) list;
+      w_values : (string * int) list;
+    }
+  | Event of { e_seq : int; e_json : Telemetry.Json.t }
+
 type t
 
 (** Connects and performs the schema handshake.  [retry_for] keeps
@@ -84,3 +98,30 @@ val list : t -> Protocol.row list
 val stats : t -> Telemetry.Json.t
 
 val shutdown : t -> unit
+
+(** {1 Subscriptions}
+
+    Push frames arrive whenever the server has something to say; they
+    are decoded and queued as they are encountered — transparently
+    while waiting for a reply, or explicitly via {!next_push}. *)
+
+(** Subscribes to [probes] of [sid]: the server pushes one delta frame
+    whenever the session's cycle advances by at least [every] (default
+    1) target cycles, starting with a full snapshot.  Returns the watch
+    id.  A slow subscriber loses oldest frames first (counted in the
+    server's [service.sub.dropped]); the stream resynchronizes with a
+    full snapshot after a drop. *)
+val subscribe : ?every:int -> t -> sid:string -> probes:string list -> int
+
+val unsubscribe : t -> wid:int -> unit
+
+(** Subscribes to the server lifecycle journal
+    ({!Protocol.events_schema}), replaying retained entries from [from]
+    (default: now).  Returns the sequence number the live stream starts
+    at. *)
+val events : ?from:int -> t -> int
+
+(** The next queued or arriving push; [None] once [timeout] seconds
+    (forever when omitted) pass without one.  Select-driven: safe to
+    call in a loop as a poor man's event loop. *)
+val next_push : ?timeout:float -> t -> push option

@@ -1,4 +1,4 @@
-(* The fireaxe-service-1 protocol, shared by {!Server} and {!Client}.
+(* The fireaxe-service-2 protocol, shared by {!Server} and {!Client}.
 
    Transport: length-prefixed frames ({!Libdn.Wire}) over a Unix-domain
    stream socket.  Strictly one outstanding request per connection; the
@@ -6,11 +6,20 @@
    parked [step]/[wait] replies when the session's cycles have actually
    executed).
 
+   Version 2 adds server-initiated push frames.  A v2 connection (one
+   that said [hello fireaxe-service-2]) receives every frame with a
+   one-byte tag prefix ({!Libdn.Wire.tag_reply} / [tag_push]): pushes
+   may arrive at any moment, including between a request and its reply,
+   and the client skips them while waiting.  A v1 peer keeps the exact
+   fireaxe-service-1 byte stream — no tags, no pushes — so old clients
+   interoperate unchanged.
+
    A frame payload is one command line of space-separated words,
    optionally followed by a newline and a bulk blob (circuit text on
    [create], the table on [list], JSON on [stats]):
 
-     hello fireaxe-service-1                  -> ok fireaxe-service-1
+     hello fireaxe-service-2                  -> ok fireaxe-service-2
+     hello fireaxe-service-1                  -> ok fireaxe-service-1   (untagged conn)
      create k=v ...  \n<circuit text>         -> ok <sid> <cycle> <packed> <group> <lanes>
        options: engine=closure|bytecode  lanes=N  scheduler=seq
                 pack=0|1  queue=0|1
@@ -28,15 +37,43 @@
      kill <sid>                               -> ok
      list                                     -> ok <n> \n<rows>
      stats                                    -> ok \n<JSON>
+     watch <sid> [every=N] <probe...>         -> ok <wid>        (v2 only)
+     unwatch <wid>                            -> ok              (v2 only)
+     events [from=N]                          -> ok <next_seq>   (v2 only)
      shutdown                                 -> ok
+
+   Push frames (tag 'P', v2 connections only):
+
+     watch <wid> <sid> \n<delta blob>
+
+       One probe-delta per watched session per progress pass once the
+       session's cycle reaches the next [every] boundary.  The blob is
+       a {!Debug.Wavestore.Codec} delta record — varint cycle plus
+       (probe index, value) changes vs the previously pushed frame; the
+       first frame after [watch] (and after a drop) carries every
+       probe.
+
+     event <seq> \n<JSON>
+
+       One [fireaxe-events-1] lifecycle-journal entry (kinds: create,
+       pack, detach, evict, resume, kill, reject, queue, shutdown).
+       Sequence numbers are global and monotone; [events from=N]
+       replays what the journal ring still holds before going live.
+
+   Pushes are queued per connection with a bounded queue; when a slow
+   subscriber falls behind, the oldest queued push is dropped (counted
+   in [service.sub.dropped] and per-session in [stats]) and the next
+   [watch] frame re-carries every probe so the stream resynchronizes.
 
    Error replies: "error <message>" for malformed or failed requests,
    "rejected <message>" when admission control turns a create (or a
    resume that cannot fit) away.  Any command addressed to an evicted
    session transparently resumes it first (resume-on-touch). *)
 
-let schema = "fireaxe-service-1"
+let schema = "fireaxe-service-2"
+let schema_v1 = "fireaxe-service-1"
 let stats_schema = "fireaxe-service-stats-1"
+let events_schema = "fireaxe-events-1"
 
 (* [list] rows: one session per line. *)
 type row = {
@@ -81,3 +118,45 @@ let parse_reply payload =
   | "error" :: rest -> Error (String.concat " " rest)
   | "rejected" :: rest -> Rejected (String.concat " " rest)
   | _ -> failwith (Printf.sprintf "service: unparseable reply %S" line)
+
+(* Push classification (v2 frames tagged {!Libdn.Wire.tag_push}). *)
+type push =
+  | Push_watch of {
+      pw_wid : int;
+      pw_sid : string;
+      pw_cycle : int;
+      pw_changes : (int * int) list;  (** (probe index, value) *)
+    }
+  | Push_event of { pe_seq : int; pe_json : string }
+
+let parse_push payload =
+  let line, blob = Libdn.Wire.split_payload payload in
+  match Libdn.Wire.words line with
+  | [ "watch"; wid; sid ] ->
+    let cycle, changes = Debug.Wavestore.Codec.decode_delta blob in
+    Push_watch
+      {
+        pw_wid = Libdn.Wire.int_word ~context:"watch push" wid;
+        pw_sid = sid;
+        pw_cycle = cycle;
+        pw_changes = changes;
+      }
+  | [ "event"; seq ] ->
+    Push_event { pe_seq = Libdn.Wire.int_word ~context:"event push" seq; pe_json = blob }
+  | _ -> failwith (Printf.sprintf "service: unparseable push %S" line)
+
+(* Parses trailing [k=v] options out of a word list, returning the
+   option table and the remaining bare words in order — shared by the
+   server's [watch]/[events] handlers and the CLI's client verbs. *)
+let split_options words =
+  let opts, bare =
+    List.partition_map
+      (fun w ->
+        match String.index_opt w '=' with
+        | Some i ->
+          Either.Left
+            (String.sub w 0 i, String.sub w (i + 1) (String.length w - i - 1))
+        | None -> Either.Right w)
+      words
+  in
+  (opts, bare)

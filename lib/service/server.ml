@@ -103,12 +103,43 @@ type parked =
   | P_wait of { p_sess : session; p_deadline : float }
   | P_create of { p_opts : string list; p_design : string; p_deadline : float }
 
+(* One probe subscription: after every progress pass the session's
+   current probe values are diffed against the last pushed frame and
+   the changes streamed as a [watch] push once the cycle reaches
+   [w_next].  [w_last = [||]] marks a resync — the next frame carries
+   every probe (the first frame after [watch], and after a drop). *)
+type watch = {
+  w_id : int;
+  w_sid : string;
+  w_probes : string array;
+  w_every : int;  (* minimum target cycles between frames *)
+  mutable w_last : int array;
+  mutable w_next : int;  (* cycle the next frame is due at *)
+  mutable w_sent : int;  (* cycle of the last pushed frame *)
+}
+
+(* One lifecycle-journal entry ([fireaxe-events-1]). *)
+type event = {
+  e_seq : int;
+  e_time : float;
+  e_kind : string;
+  e_sid : string;
+  e_cycle : int;
+  e_detail : string;
+}
+
 type conn = {
   k_fd : Unix.file_descr;
   k_rd : Wire.reader;
   mutable k_hello : bool;
+  mutable k_v2 : bool;  (* said hello fireaxe-service-2: tagged frames, may subscribe *)
   mutable k_parked : parked option;
   mutable k_dead : bool;
+  mutable k_watches : watch list;
+  mutable k_events : bool;  (* subscribed to the lifecycle journal *)
+  k_pushq : (string option * string) Queue.t;
+      (* (session of a watch frame — drop accounting — or None for an
+         event frame, untagged push payload), bounded by [max_pushq] *)
 }
 
 (* Plain tallies so [stats] works with telemetry disabled; mirrored into
@@ -125,6 +156,8 @@ type tallies = {
   mutable t_cycles : int;
   mutable t_cache_hits : int;
   mutable t_cache_misses : int;
+  mutable t_pushes : int;
+  mutable t_push_dropped : int;
 }
 
 type t = {
@@ -135,8 +168,13 @@ type t = {
   mutable conns : conn list;
   mutable next_sid : int;
   mutable next_gid : int;
+  mutable next_wid : int;
   mutable touch_clock : int;
   mutable running : bool;
+  started : float;
+  ev_ring : event option array;  (* journal ring, indexed seq mod length *)
+  mutable ev_seq : int;  (* next sequence number *)
+  dropped_by : (string, int) Hashtbl.t;  (* per-session dropped pushes *)
   tl : tallies;
   m_created : Telemetry.counter;
   m_rejected : Telemetry.counter;
@@ -146,8 +184,11 @@ type t = {
   m_packed : Telemetry.counter;
   m_detached : Telemetry.counter;
   m_cycles : Telemetry.counter;
+  m_pushes : Telemetry.counter;
+  m_push_dropped : Telemetry.counter;
   m_live : Telemetry.gauge;
   m_groups : Telemetry.gauge;
+  m_subs : Telemetry.gauge;
 }
 
 let now () = Unix.gettimeofday ()
@@ -155,6 +196,77 @@ let now () = Unix.gettimeofday ()
 let touch sv sess =
   sv.touch_clock <- sv.touch_clock + 1;
   sess.s_touch <- sv.touch_clock
+
+(* ------------------------------------------------------------------ *)
+(* Push queues + lifecycle journal                                      *)
+(* ------------------------------------------------------------------ *)
+
+let max_pushq = 256
+let ev_ring_len = 512
+
+(* Drop-oldest backpressure: a subscriber that cannot keep up loses its
+   oldest queued push (counted globally and per session), and any watch
+   on the dropped frame's session is forced to resync so the stream
+   stays a faithful delta chain. *)
+let drop_oldest sv conn =
+  match Queue.take_opt conn.k_pushq with
+  | None -> ()
+  | Some (sid, _) ->
+    sv.tl.t_push_dropped <- sv.tl.t_push_dropped + 1;
+    Telemetry.incr sv.m_push_dropped;
+    (match sid with
+    | None -> ()
+    | Some sid ->
+      Hashtbl.replace sv.dropped_by sid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt sv.dropped_by sid));
+      List.iter (fun w -> if w.w_sid = sid then w.w_last <- [||]) conn.k_watches)
+
+let enqueue_push sv conn ?sid payload =
+  if conn.k_v2 && not conn.k_dead then begin
+    Queue.add (sid, payload) conn.k_pushq;
+    if Queue.length conn.k_pushq > max_pushq then drop_oldest sv conn
+  end
+
+let subscription_count sv =
+  List.fold_left
+    (fun acc c -> acc + List.length c.k_watches + (if c.k_events then 1 else 0))
+    0 sv.conns
+
+let event_json e =
+  let module J = Telemetry.Json in
+  J.Obj
+    [
+      ("schema", J.String Protocol.events_schema);
+      ("seq", J.Int e.e_seq);
+      ("time", J.Float e.e_time);
+      ("kind", J.String e.e_kind);
+      ("sid", J.String e.e_sid);
+      ("cycle", J.Int e.e_cycle);
+      ("detail", J.String e.e_detail);
+    ]
+
+let event_frame e =
+  Wire.join_payload
+    (Printf.sprintf "event %d" e.e_seq)
+    (Telemetry.Json.to_string (event_json e))
+
+(* Appends one entry to the journal ring and fans it out to every
+   events subscriber.  The frames only leave with the next push flush,
+   after the current request completes. *)
+let journal sv ~kind ?(sid = "-") ?(cycle = -1) ?(detail = "") () =
+  let e =
+    {
+      e_seq = sv.ev_seq;
+      e_time = Unix.gettimeofday ();
+      e_kind = kind;
+      e_sid = sid;
+      e_cycle = cycle;
+      e_detail = detail;
+    }
+  in
+  sv.ev_ring.(sv.ev_seq mod ev_ring_len) <- Some e;
+  sv.ev_seq <- sv.ev_seq + 1;
+  List.iter (fun conn -> if conn.k_events then enqueue_push sv conn (event_frame e)) sv.conns
 
 (* ------------------------------------------------------------------ *)
 (* Admission accounting                                                 *)
@@ -357,6 +469,7 @@ let evict_session sv sess =
   sess.s_body <- Evicted path;
   sv.tl.t_evicted <- sv.tl.t_evicted + 1;
   Telemetry.incr sv.m_evicted;
+  journal sv ~kind:"evict" ~sid:sess.s_id ~cycle:sess.s_cycle ();
   path
 
 (* Idle private sessions, least-recently-touched first — the LRU
@@ -418,7 +531,8 @@ let revive sv sess =
     sess.s_body <- Live { b_grp = g; b_lane = 0 };
     sess.s_cycle <- Sim.cycle g.g_sim;
     sv.tl.t_resumed <- sv.tl.t_resumed + 1;
-    Telemetry.incr sv.m_resumed
+    Telemetry.incr sv.m_resumed;
+    journal sv ~kind:"resume" ~sid:sess.s_id ~cycle:sess.s_cycle ()
 
 let ensure_live sv sess =
   revive sv sess;
@@ -456,6 +570,7 @@ let detach sv sess =
     b.b_lane <- 0;
     sv.tl.t_detached <- sv.tl.t_detached + 1;
     Telemetry.incr sv.m_detached;
+    journal sv ~kind:"detach" ~sid:sess.s_id ~cycle:(Sim.cycle g.g_sim) ();
     drain sv old;
     drain sv g
   end
@@ -590,15 +705,26 @@ let create_session sv req design =
   touch sv sess;
   sv.tl.t_created <- sv.tl.t_created + 1;
   Telemetry.incr sv.m_created;
+  journal sv ~kind:"create" ~sid ~cycle:(Sim.cycle grp.g_sim)
+    ~detail:(Sim.engine_name req.cr_engine) ();
+  if List.length grp.g_members > 1 then
+    journal sv ~kind:"pack" ~sid ~cycle:(Sim.cycle grp.g_sim)
+      ~detail:(Printf.sprintf "group=%d lane=%d" grp.g_id lane) ();
   sess
 
 (* ------------------------------------------------------------------ *)
 (* Replies                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* A v2 connection gets every frame tagged (replies [tag_reply],
+   pushes [tag_push]); a v1 connection keeps the untagged
+   fireaxe-service-1 byte stream. *)
 let send conn payload =
   if not conn.k_dead then
-    try Wire.write_frame ~label:"client" conn.k_fd payload
+    try
+      if conn.k_v2 then
+        Wire.write_tagged ~label:"client" conn.k_fd ~tag:Wire.tag_reply payload
+      else Wire.write_frame ~label:"client" conn.k_fd payload
     with Wire.Closed _ -> conn.k_dead <- true
 
 let one_line s =
@@ -669,12 +795,14 @@ let handle_create sv conn opts design =
   | exception No_capacity msg ->
     if req.cr_queue then begin
       sv.tl.t_queued <- sv.tl.t_queued + 1;
+      journal sv ~kind:"queue" ~detail:msg ();
       conn.k_parked <-
         Some (P_create { p_opts = opts; p_design = design; p_deadline = now () +. sv.cfg.queue_wait })
     end
     else begin
       sv.tl.t_rejected <- sv.tl.t_rejected + 1;
       Telemetry.incr sv.m_rejected;
+      journal sv ~kind:"reject" ~detail:msg ();
       reply_rejected conn msg
     end
 
@@ -710,6 +838,7 @@ let handle_kill sv conn sid =
     sv.conns;
   sv.tl.t_killed <- sv.tl.t_killed + 1;
   Telemetry.incr sv.m_killed;
+  journal sv ~kind:"kill" ~sid ();
   reply_ok conn []
 
 let handle_list sv conn =
@@ -793,12 +922,21 @@ let handle_stats sv conn =
       sv.groups
   in
   let tl = sv.tl in
+  let dropped_by =
+    Hashtbl.fold (fun sid n acc -> (sid, J.Int n) :: acc) sv.dropped_by []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   let doc =
     J.Obj
       [
         ("schema", J.String Protocol.stats_schema);
+        ("protocol", J.String Protocol.schema);
+        ("uptime_s", J.Float (now () -. sv.started));
         ("board", J.String sv.cfg.board.Fpga.board_name);
         ("sessions", J.Int (Hashtbl.length sv.sessions));
+        ("subscriptions", J.Int (subscription_count sv));
+        ("events_seq", J.Int sv.ev_seq);
+        ("dropped_by_session", J.Obj dropped_by);
         ("live", J.Int live);
         ("evicted", J.Int evicted);
         ("groups", J.Int (List.length sv.groups));
@@ -825,6 +963,8 @@ let handle_stats sv conn =
               ("cycles", J.Int tl.t_cycles);
               ("cache_hits", J.Int tl.t_cache_hits);
               ("cache_misses", J.Int tl.t_cache_misses);
+              ("pushes", J.Int tl.t_pushes);
+              ("push_dropped", J.Int tl.t_push_dropped);
             ] );
         ("session_detail", J.List sessions);
         ("group_detail", J.List groups);
@@ -838,12 +978,18 @@ let handle sv conn payload =
   match Wire.words line with
   | [ "hello"; s ] when s = Protocol.schema ->
     conn.k_hello <- true;
+    conn.k_v2 <- true;  (* before the reply: the hello reply itself is tagged *)
     reply_ok conn [ Protocol.schema ]
+  | [ "hello"; s ] when s = Protocol.schema_v1 ->
+    conn.k_hello <- true;
+    conn.k_v2 <- false;
+    reply_ok conn [ Protocol.schema_v1 ]
   | "hello" :: rest ->
     reply_err conn
-      (Printf.sprintf "schema mismatch: server speaks %s, client sent %S" Protocol.schema
-         (String.concat " " rest))
-  | _ when not conn.k_hello -> reply_err conn "expected: hello fireaxe-service-1"
+      (Printf.sprintf "schema mismatch: server speaks %s (or %s), client sent %S"
+         Protocol.schema Protocol.schema_v1 (String.concat " " rest))
+  | _ when not conn.k_hello ->
+    reply_err conn (Printf.sprintf "expected: hello %s" Protocol.schema)
   | "create" :: opts -> handle_create sv conn opts blob
   | [ "step"; sid; n ] ->
     let sess = session_exn sv sid in
@@ -917,7 +1063,66 @@ let handle sv conn payload =
   | [ "kill"; sid ] -> handle_kill sv conn sid
   | [ "list" ] -> handle_list sv conn
   | [ "stats" ] -> handle_stats sv conn
+  | "watch" :: sid :: rest ->
+    if not conn.k_v2 then failwith "watch requires fireaxe-service-2";
+    let opts, probes = Protocol.split_options rest in
+    let every =
+      match List.assoc_opt "every" opts with Some v -> int v | None -> 1
+    in
+    if every < 1 then failwith "watch: every must be >= 1";
+    if probes = [] then failwith "watch: no probes given";
+    List.iter
+      (fun (k, _) -> if k <> "every" then failwith (Printf.sprintf "watch: unknown option %S" k))
+      opts;
+    let sess = session_exn sv sid in
+    ensure_live sv sess;
+    (* Validate every probe now so a typo is an error reply, not a
+       silently dead subscription. *)
+    List.iter (fun p -> ignore (do_get sess p : int)) probes;
+    let w =
+      {
+        w_id = sv.next_wid;
+        w_sid = sess.s_id;
+        w_probes = Array.of_list probes;
+        w_every = every;
+        w_last = [||];
+        w_next = 0;
+        w_sent = -1;
+      }
+    in
+    sv.next_wid <- sv.next_wid + 1;
+    conn.k_watches <- conn.k_watches @ [ w ];
+    reply_ok conn [ string_of_int w.w_id ]
+  | [ "unwatch"; wid ] ->
+    if not conn.k_v2 then failwith "unwatch requires fireaxe-service-2";
+    let wid = int wid in
+    if not (List.exists (fun w -> w.w_id = wid) conn.k_watches) then
+      failwith (Printf.sprintf "no such watch on this connection: %d" wid);
+    conn.k_watches <- List.filter (fun w -> w.w_id <> wid) conn.k_watches;
+    reply_ok conn []
+  | "events" :: rest ->
+    if not conn.k_v2 then failwith "events requires fireaxe-service-2";
+    let opts, bare = Protocol.split_options rest in
+    if bare <> [] then
+      failwith (Printf.sprintf "events: unexpected word %S" (List.hd bare));
+    let from =
+      match List.assoc_opt "from" opts with Some v -> int v | None -> sv.ev_seq
+    in
+    List.iter
+      (fun (k, _) -> if k <> "from" then failwith (Printf.sprintf "events: unknown option %S" k))
+      opts;
+    conn.k_events <- true;
+    (* Replay what the journal ring still holds before going live; the
+       reply's <next_seq> tells the client where the live stream will
+       start, so it can detect what the ring had already forgotten. *)
+    for seq = max 0 (max from (sv.ev_seq - ev_ring_len)) to sv.ev_seq - 1 do
+      match sv.ev_ring.(seq mod ev_ring_len) with
+      | Some e when e.e_seq = seq -> enqueue_push sv conn (event_frame e)
+      | _ -> ()
+    done;
+    reply_ok conn [ string_of_int sv.ev_seq ]
   | [ "shutdown" ] ->
+    journal sv ~kind:"shutdown" ();
     reply_ok conn [];
     sv.running <- false
   | ws -> failwith (Printf.sprintf "unknown request %S" (String.concat " " ws))
@@ -927,6 +1132,7 @@ let safe_handle sv conn payload =
   | Reject msg ->
     sv.tl.t_rejected <- sv.tl.t_rejected + 1;
     Telemetry.incr sv.m_rejected;
+    journal sv ~kind:"reject" ~detail:msg ();
     reply_rejected conn msg
   | Failure msg -> reply_err conn msg
   | Sim.Sim_error msg -> reply_err conn msg
@@ -938,6 +1144,83 @@ let safe_handle sv conn payload =
 (* ------------------------------------------------------------------ *)
 (* Progress: the deferred-reply machinery                               *)
 (* ------------------------------------------------------------------ *)
+
+(* Generates due watch frames: for every live watched session whose
+   cycle has reached the subscription's next boundary (or whose stream
+   needs a resync), diff the probe values against the last pushed frame
+   and queue the delta.  Watches on killed sessions are dropped;
+   evicted sessions stay subscribed with a frozen cycle and resume
+   streaming after resume-on-touch. *)
+let push_watches sv =
+  List.iter
+    (fun conn ->
+      if conn.k_v2 && not conn.k_dead then
+        conn.k_watches <-
+          List.filter
+            (fun w ->
+              match Hashtbl.find_opt sv.sessions w.w_sid with
+              | None -> false
+              | Some sess -> (
+                match sess.s_body with
+                | Evicted _ -> true
+                | Live b -> (
+                  let c = Sim.cycle b.b_grp.g_sim in
+                  if w.w_last = [||] || (c >= w.w_next && c > w.w_sent) then begin
+                    match
+                      ensure_fresh b.b_grp;
+                      Array.map (fun p -> Sim.get ~lane:b.b_lane b.b_grp.g_sim p) w.w_probes
+                    with
+                    | vals ->
+                      let changes =
+                        if w.w_last = [||] then
+                          Array.to_list (Array.mapi (fun i v -> (i, v)) vals)
+                        else begin
+                          let acc = ref [] in
+                          for i = Array.length vals - 1 downto 0 do
+                            if vals.(i) <> w.w_last.(i) then acc := (i, vals.(i)) :: !acc
+                          done;
+                          !acc
+                        end
+                      in
+                      enqueue_push sv conn ~sid:w.w_sid
+                        (Wire.join_payload
+                           (Printf.sprintf "watch %d %s" w.w_id w.w_sid)
+                           (Debug.Wavestore.Codec.encode_delta ~cycle:c ~changes));
+                      w.w_last <- vals;
+                      w.w_sent <- c;
+                      w.w_next <- c + w.w_every;
+                      true
+                    | exception _ -> false
+                  end
+                  else true)))
+            conn.k_watches)
+    sv.conns
+
+(* Writes queued pushes out while the socket can take them without
+   blocking the loop; what remains waits for the next pass. *)
+let flush_pushes sv conn =
+  if conn.k_v2 && not conn.k_dead then begin
+    let writable () =
+      match Unix.select [] [ conn.k_fd ] [] 0. with
+      | _, _ :: _, _ -> true
+      | _ -> false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    let continue = ref true in
+    while !continue && not (Queue.is_empty conn.k_pushq) do
+      if writable () then begin
+        let _, payload = Queue.pop conn.k_pushq in
+        try
+          Wire.write_tagged ~label:"client" conn.k_fd ~tag:Wire.tag_push payload;
+          sv.tl.t_pushes <- sv.tl.t_pushes + 1;
+          Telemetry.incr sv.m_pushes
+        with Wire.Closed _ ->
+          conn.k_dead <- true;
+          continue := false
+      end
+      else continue := false
+    done
+  end
 
 let progress sv =
   drain_all sv;
@@ -985,29 +1268,37 @@ let progress sv =
               conn.k_parked <- None;
               sv.tl.t_rejected <- sv.tl.t_rejected + 1;
               Telemetry.incr sv.m_rejected;
+              journal sv ~kind:"reject" ~detail:(msg ^ " (queue expired)") ();
               reply_rejected conn (msg ^ " (queue expired)")
             end
           | exception e ->
             conn.k_parked <- None;
             reply_err conn (Printexc.to_string e)))
     sv.conns;
+  push_watches sv;
+  List.iter (flush_pushes sv) sv.conns;
   Telemetry.set sv.m_live
     (Hashtbl.fold
        (fun _ s acc -> match s.s_body with Live _ -> acc + 1 | Evicted _ -> acc)
        sv.sessions 0);
-  Telemetry.set sv.m_groups (List.length sv.groups)
+  Telemetry.set sv.m_groups (List.length sv.groups);
+  Telemetry.set sv.m_subs (subscription_count sv)
 
-(* The select timeout: tight when a parked deadline approaches, lazy
-   otherwise. *)
+(* The select timeout: tight when a parked deadline approaches or a
+   subscriber still has queued pushes, lazy otherwise. *)
 let loop_timeout sv =
   let t = now () in
+  let base =
+    if List.exists (fun c -> not (Queue.is_empty c.k_pushq)) sv.conns then 0.02
+    else 0.25
+  in
   List.fold_left
     (fun acc conn ->
       match conn.k_parked with
       | Some (P_wait { p_deadline; _ }) | Some (P_create { p_deadline; _ }) ->
         Float.min acc (Float.max 0.005 (p_deadline -. t))
       | None -> acc)
-    0.25 sv.conns
+    base sv.conns
 
 (* ------------------------------------------------------------------ *)
 (* Event loop                                                           *)
@@ -1089,8 +1380,13 @@ let run cfg =
       conns = [];
       next_sid = 1;
       next_gid = 1;
+      next_wid = 1;
       touch_clock = 0;
       running = true;
+      started = now ();
+      ev_ring = Array.make ev_ring_len None;
+      ev_seq = 0;
+      dropped_by = Hashtbl.create 7;
       tl =
         {
           t_created = 0;
@@ -1104,6 +1400,8 @@ let run cfg =
           t_cycles = 0;
           t_cache_hits = 0;
           t_cache_misses = 0;
+          t_pushes = 0;
+          t_push_dropped = 0;
         };
       m_created = Telemetry.counter cfg.telemetry "service.sessions.created";
       m_rejected = Telemetry.counter cfg.telemetry "service.sessions.rejected";
@@ -1113,8 +1411,11 @@ let run cfg =
       m_packed = Telemetry.counter cfg.telemetry "service.pack.attached";
       m_detached = Telemetry.counter cfg.telemetry "service.pack.detached";
       m_cycles = Telemetry.counter cfg.telemetry "service.cycles";
+      m_pushes = Telemetry.counter cfg.telemetry "service.sub.pushed";
+      m_push_dropped = Telemetry.counter cfg.telemetry "service.sub.dropped";
       m_live = Telemetry.gauge cfg.telemetry "service.sessions.live";
       m_groups = Telemetry.gauge cfg.telemetry "service.groups";
+      m_subs = Telemetry.gauge cfg.telemetry "service.subscriptions";
     }
   in
   resurrect sv;
@@ -1144,8 +1445,12 @@ let run cfg =
                     k_fd = fd;
                     k_rd = Wire.reader ~label:"client" fd;
                     k_hello = false;
+                    k_v2 = false;
                     k_parked = None;
                     k_dead = false;
+                    k_watches = [];
+                    k_events = false;
+                    k_pushq = Queue.create ();
                   };
                 ]
           | exception Unix.Unix_error _ -> ()

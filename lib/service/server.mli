@@ -20,7 +20,20 @@
       executes the minimum outstanding across its lanes; a tenant kept
       waiting longer than [pack_wait] seconds by a slower lane-mate is
       detached into a private engine (lane state carried over
-      bit-exactly) and finishes alone. *)
+      bit-exactly) and finishes alone.
+
+    Version 2 of the protocol adds the live observability plane: v2
+    connections may [watch] a session's probes (delta frames in the
+    {!Debug.Wavestore.Codec} encoding, pushed once the cycle crosses
+    each [every] boundary) and subscribe to the [events] lifecycle
+    journal (sequence-numbered [fireaxe-events-1] entries, replayed
+    from a bounded ring for late subscribers).  Pushes ride tagged
+    frames interleaved with the one-outstanding-request reply
+    discipline; each subscriber has a bounded queue with drop-oldest
+    backpressure ([service.sub.dropped]), and a dropped watch frame
+    forces the next one to carry a full snapshot so the stream
+    resynchronizes.  v1 ({!Protocol.schema_v1}) clients keep the exact
+    untagged byte stream and simply cannot subscribe. *)
 
 type config = {
   socket_path : string;

@@ -491,6 +491,158 @@ let test_restart_resurrection () =
   | rows -> Alcotest.fail (Printf.sprintf "%d rows after restart" (List.length rows)));
   check_int "state intact across restart" 30 (Service.Client.get c ~sid:first "out")
 
+(* ------------------------------------------------------------------ *)
+(* Live observability: watch subscriptions and the event journal       *)
+(* ------------------------------------------------------------------ *)
+
+let next_watch c =
+  match Service.Client.next_push ~timeout:10. c with
+  | Some (Service.Client.Watch { w_cycle; w_values; _ }) -> (w_cycle, w_values)
+  | Some (Service.Client.Event _) -> Alcotest.fail "unexpected event push"
+  | None -> Alcotest.fail "timed out waiting for a watch frame"
+
+(* Every pushed frame must be bit-exact with what polling the same
+   probes at that cycle would have returned — checked against a private
+   reference sim, across an evict→resume round trip. *)
+let test_watch_stream_bit_exact () =
+  with_tmpdir @@ fun dir ->
+  let state = Filename.concat dir "state" in
+  with_server ~state_dir:state dir @@ fun socket_path ->
+  let c = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let r = Service.Client.create c ~design:(tenant_text ()) in
+  let sid = r.Service.Client.c_sid in
+  Service.Client.set c ~sid "seed" 3;
+  let wid = Service.Client.subscribe c ~sid ~probes:[ "out"; "cnt" ] in
+  let expect_frame () =
+    let cycle, values = next_watch c in
+    let want = reference ~seed:3 ~cycles:cycle in
+    List.iter
+      (fun (name, v) ->
+        check_int (Printf.sprintf "%s at cycle %d" name cycle) (Rtlsim.Sim.get want name) v)
+      values;
+    check_int
+      (Printf.sprintf "frame carries both probes at %d" cycle)
+      2 (List.length values);
+    cycle
+  in
+  (* subscribing pushes an immediate full snapshot at the current cycle *)
+  check_int "snapshot frame at cycle 0" 0 (expect_frame ());
+  for i = 1 to 5 do
+    ignore (Service.Client.step c ~sid 4);
+    check_int "one frame per advance" (4 * i) (expect_frame ())
+  done;
+  (* the frames must also agree with polling the live session *)
+  check_bool "watch agrees with probe" true
+    (Service.Client.probe c ~sid [ "out"; "cnt" ]
+    = [ Rtlsim.Sim.get (reference ~seed:3 ~cycles:20) "out";
+        Rtlsim.Sim.get (reference ~seed:3 ~cycles:20) "cnt" ]);
+  (* evict → resume: the subscription survives and stays bit-exact *)
+  check_int "evicted" 20 (Service.Client.evict c ~sid);
+  check_int "resumed" 20 (Service.Client.resume c ~sid);
+  Service.Client.set c ~sid "seed" 3;
+  ignore (Service.Client.step c ~sid 4);
+  check_int "frame after evict/resume" 24 (expect_frame ());
+  Service.Client.unsubscribe c ~wid;
+  ignore (Service.Client.step c ~sid 4);
+  check_bool "no frames after unsubscribe" true
+    (Service.Client.next_push ~timeout:0.3 c = None)
+
+(* [every=N] thins the stream: frames arrive only once the session has
+   advanced N more target cycles. *)
+let test_watch_every () =
+  with_tmpdir @@ fun dir ->
+  with_server dir @@ fun socket_path ->
+  let c = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let r = Service.Client.create c ~design:(tenant_text ()) in
+  let sid = r.Service.Client.c_sid in
+  ignore (Service.Client.subscribe ~every:10 c ~sid ~probes:[ "cnt" ]);
+  check_int "snapshot" 0 (fst (next_watch c));
+  ignore (Service.Client.step c ~sid 4);
+  check_bool "4 < every: no frame" true (Service.Client.next_push ~timeout:0.3 c = None);
+  ignore (Service.Client.step c ~sid 4);
+  check_bool "8 < every: still no frame" true
+    (Service.Client.next_push ~timeout:0.3 c = None);
+  ignore (Service.Client.step c ~sid 4);
+  check_int "12 >= every: frame" 12 (fst (next_watch c))
+
+(* The lifecycle journal: a subscriber from seq 0 replays the retained
+   history and then streams live entries, gaplessly sequence-numbered,
+   with the kinds the lifecycle actually produced. *)
+let test_events_journal () =
+  with_tmpdir @@ fun dir ->
+  let state = Filename.concat dir "state" in
+  with_server ~state_dir:state dir @@ fun socket_path ->
+  let c = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let r = Service.Client.create c ~design:(tenant_text ()) in
+  let sid = r.Service.Client.c_sid in
+  ignore (Service.Client.step c ~sid 5);
+  check_int "evict journaled" 5 (Service.Client.evict c ~sid);
+  check_int "resume journaled" 5 (Service.Client.resume c ~sid);
+  (* subscribe on a second connection: replay must not depend on having
+     witnessed the events *)
+  let ec = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close ec) @@ fun () ->
+  let live_from = Service.Client.events ~from:0 ec in
+  check_int "live stream starts after the retained entries" 3 live_from;
+  Service.Client.kill c ~sid;
+  let next_event () =
+    match Service.Client.next_push ~timeout:10. ec with
+    | Some (Service.Client.Event { e_seq; e_json }) ->
+      let kind =
+        match e_json with
+        | Telemetry.Json.Obj fields -> (
+          match List.assoc_opt "kind" fields with
+          | Some (Telemetry.Json.String k) -> k
+          | _ -> "?")
+        | _ -> "?"
+      in
+      (e_seq, kind)
+    | Some (Service.Client.Watch _) -> Alcotest.fail "unexpected watch push"
+    | None -> Alcotest.fail "timed out waiting for an event"
+  in
+  let got = List.init 4 (fun _ -> next_event ()) in
+  check_bool "gapless sequence from 0" true (List.map fst got = [ 0; 1; 2; 3 ]);
+  check_bool "kinds reflect the lifecycle" true
+    (List.map snd got = [ "create"; "evict"; "resume"; "kill" ])
+
+(* Protocol v2 is additive: a v1 hello still gets untagged frames, and
+   the stats document advertises the negotiated schema plus the new
+   subscription counters. *)
+let test_v2_stats_and_v1_compat () =
+  with_tmpdir @@ fun dir ->
+  with_server dir @@ fun socket_path ->
+  let c = connect socket_path in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let r = Service.Client.create c ~design:(tenant_text ()) in
+  ignore (Service.Client.subscribe c ~sid:r.Service.Client.c_sid ~probes:[ "out" ]);
+  (match Service.Client.stats c with
+  | Telemetry.Json.Obj fields ->
+    check_bool "negotiated v2" true
+      (List.assoc_opt "protocol" fields
+      = Some (Telemetry.Json.String "fireaxe-service-2"));
+    check_bool "subscriptions counted" true
+      (List.assoc_opt "subscriptions" fields = Some (Telemetry.Json.Int 1));
+    check_bool "events_seq present" true
+      (match List.assoc_opt "events_seq" fields with
+      | Some (Telemetry.Json.Int n) -> n >= 1
+      | _ -> false)
+  | _ -> Alcotest.fail "stats is not an object");
+  (* raw v1 handshake on the same socket: replies stay untagged *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  let rd = Libdn.Wire.reader fd in
+  Libdn.Wire.write_frame fd "hello fireaxe-service-1";
+  let hello = Libdn.Wire.read_frame ~timeout:10. rd in
+  check_string "v1 hello accepted, reply untagged" "ok fireaxe-service-1" hello;
+  Libdn.Wire.write_frame fd "list";
+  let reply = Libdn.Wire.read_frame ~timeout:10. rd in
+  check_bool "v1 reply untagged" true
+    (String.length reply >= 2 && String.sub reply 0 2 = "ok")
+
 let suite =
   [
     ( "service.wire",
@@ -514,5 +666,14 @@ let suite =
         Alcotest.test_case "queue=1 create waits for capacity" `Quick test_queued_create;
         Alcotest.test_case "8-session soak with eviction and chaos kill" `Quick test_soak;
         Alcotest.test_case "bundles resurrect across server restart" `Quick test_restart_resurrection;
+      ] );
+    ( "service.observe",
+      [
+        Alcotest.test_case "watch frames bit-exact incl. evict/resume" `Quick
+          test_watch_stream_bit_exact;
+        Alcotest.test_case "every=N thins the stream" `Quick test_watch_every;
+        Alcotest.test_case "event journal replays gaplessly" `Quick test_events_journal;
+        Alcotest.test_case "v2 stats fields and v1 compatibility" `Quick
+          test_v2_stats_and_v1_compat;
       ] );
   ]

@@ -38,4 +38,5 @@ let () =
          Lane_tests.suite;
          Profile_tests.suite;
          Service_tests.suite;
+         Wavestore_tests.suite;
        ])
