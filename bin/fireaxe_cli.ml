@@ -223,6 +223,62 @@ let lanes_arg =
            Inputs are broadcast to all lanes, so the copies must stay bit-identical; \
            the post-run probe check verifies they do.")
 
+let batch_cycles_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "batch-cycles" ] ~docv:"K"
+        ~doc:
+          "Exchange boundary tokens in batches of up to $(docv) target cycles per \
+           channel transfer — the software analogue of the paper's fast-mode \
+           crossing amortization, generalized into the scheduler.  Bit-exact for \
+           any $(docv) by LI-BDN determinism; the scheduler adapts the actual \
+           batch depth per partition (starting at 1, growing while no channel \
+           starves) up to this cap.  1, the default, keeps the historical \
+           per-cycle exchange; anything below 1 exits 2.")
+
+let spin_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "spin-budget" ] ~docv:"SPINS"
+        ~doc:
+          "Initial spin budget of the parallel scheduler's spin-then-park idle \
+           policy: a starved domain re-checks its inputs $(docv) times before \
+           parking on its notifier.  $(b,0) parks immediately (kindest on \
+           oversubscribed hosts); unset keeps the adaptive default.  Negative \
+           values exit 2.")
+
+let placement_arg =
+  Arg.(
+    value
+    & opt string "spread"
+    & info [ "placement" ] ~docv:"POLICY"
+        ~doc:
+          "Partition-to-domain placement of the parallel scheduler: $(b,spread) \
+           (one domain per partition — the historical mapping and the default) or \
+           $(b,auto) (bin-pack partitions onto the available host domains, \
+           weighted by a prior profile's load model when one is supplied, else by \
+           the static resource estimate).  Any other value exits 2.")
+
+(* Validates the scheduler-tuning flags together (exit 2 on bad values)
+   and resolves the placement spelling to its policy. *)
+let scheduler_knobs ~batch_cycles ~spin_budget ~placement =
+  if batch_cycles < 1 then begin
+    Fmt.epr "--batch-cycles %d: want a positive target-cycle count@." batch_cycles;
+    exit 2
+  end;
+  (match spin_budget with
+  | Some s when s < 0 ->
+    Fmt.epr "--spin-budget %d: want a non-negative spin count@." s;
+    exit 2
+  | _ -> ());
+  match Fireaxe.Place.policy_of_string placement with
+  | Ok p -> p
+  | Error msg ->
+    Fmt.epr "--placement: %s@." msg;
+    exit 2
+
 let parse_groups kind s =
   String.split_on_char ';' s
   |> List.map (fun group ->
@@ -451,7 +507,8 @@ let make_progress_printer ~cycles ~units ~transfers () =
       (cyc_s *. float_of_int units)
       eta
 
-let run_remote ~telemetry ~profile ~profile_handle ~collect ~flush ~scheduler ~engine ~lanes
+let run_remote ~telemetry ~profile ~profile_handle ~collect ~flush ~scheduler
+    ~batch_cycles ~spin_budget ~placement ~engine ~lanes
     ~checkpoint_dir ~checkpoint_every ~chaos_seed ~resume ~vcd_path ~wave_out ~sample
     ~flight_depth ~flight_dir ~flight_ref ~progress design plan cycles =
   let n = Fireaxe.Plan.n_units plan in
@@ -471,7 +528,8 @@ let run_remote ~telemetry ~profile ~profile_handle ~collect ~flush ~scheduler ~e
     | _ -> ()
   in
   let sv =
-    Fireaxe.supervise ~scheduler ~telemetry ~profile ~engine
+    Fireaxe.supervise ~scheduler ~batch_cycles ?spin_budget ~placement
+      ~telemetry ~profile ~engine
       ?lanes:(if lanes > 1 then Some lanes else None)
       ?checkpoint_dir ~every:checkpoint_every ?chaos ~on_event
       ~worker:(worker_path ()) ~remote_units:(List.init n Fun.id) plan
@@ -590,9 +648,11 @@ let run_remote ~telemetry ~profile ~profile_handle ~collect ~flush ~scheduler ~e
     exit 4
   end
 
-let run design mode select routers scheduler engine lanes cycles vcd_path wave_out sample
+let run design mode select routers scheduler batch_cycles spin_budget placement
+    engine lanes cycles vcd_path wave_out sample
     every resume save_snap check remote metrics trace_file progress checkpoint_dir
     checkpoint_every chaos_seed flight_depth flight_dir wavediff profile_file =
+  let placement = scheduler_knobs ~batch_cycles ~spin_budget ~placement in
   (* A live sink only when some exporter was requested; otherwise the
      shared disabled sink keeps the hot path free. *)
   let telemetry =
@@ -668,11 +728,15 @@ let run design mode select routers scheduler engine lanes cycles vcd_path wave_o
       let plan = Fireaxe.compile ~config:(config_of design mode select routers) circuit in
       if remote then
         run_remote ~telemetry ~profile ~profile_handle ~collect:collect_profiles
-          ~flush:emit_exporters ~scheduler ~engine ~lanes ~checkpoint_dir
+          ~flush:emit_exporters ~scheduler ~batch_cycles ~spin_budget ~placement
+          ~engine ~lanes ~checkpoint_dir
           ~checkpoint_every ~chaos_seed ~resume ~vcd_path ~wave_out ~sample ~flight_depth
           ~flight_dir ~flight_ref ~progress design plan cycles
       else begin
-        let h = Fireaxe.instantiate ~scheduler ~telemetry ~profile ~engine ~lanes plan in
+        let h =
+          Fireaxe.instantiate ~scheduler ~batch_cycles ?spin_budget ~placement
+            ~telemetry ~profile ~engine ~lanes plan
+        in
         profile_handle := Some h;
         do_resume h ~checkpoint_dir resume;
         (* With a checkpoint dir, plain in-process runs also advance under
@@ -999,6 +1063,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a partitioned simulation and cross-check it against the monolithic one.")
     Term.(
       const run $ design_arg $ mode_arg $ select_arg $ routers_arg $ scheduler_arg
+      $ batch_cycles_arg $ spin_budget_arg $ placement_arg
       $ engine_arg $ lanes_arg $ cycles_arg $ vcd_arg $ wave_out_arg $ sample_arg $ every_arg $ resume_arg $ save_snap_arg
       $ check_arg $ remote_arg $ metrics_arg $ trace_file_arg $ progress_arg
       $ checkpoint_dir_arg $ checkpoint_every_arg $ chaos_arg $ flight_arg
@@ -1025,9 +1090,11 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Print the interface-width performance sweep for a transport.")
     Term.(const sweep $ transport_arg)
 
-let validate design scheduler engine lanes wave_out profile_file =
+let validate design scheduler batch_cycles spin_budget placement engine lanes
+    wave_out profile_file =
   (* Generic validation: run until a design-specific "finished" register
      condition; for designs without one, compare state after N cycles. *)
+  let placement = scheduler_knobs ~batch_cycles ~spin_budget ~placement in
   let profile =
     if profile_file <> None then Telemetry.Profile.create () else Telemetry.Profile.null
   in
@@ -1038,7 +1105,8 @@ let validate design scheduler engine lanes wave_out profile_file =
   if wave_out <> None then require_probes design probes ~flag:"--wave-out";
   let go ~circuit ~setup ~finished =
     let v =
-      Fireaxe.validate ~scheduler ~engine ~lanes ~profile ~name:design.d_name ~circuit
+      Fireaxe.validate ~scheduler ~batch_cycles ?spin_budget ~placement ~engine
+        ~lanes ~profile ~name:design.d_name ~circuit
         ~selection:design.d_selection ~probes ?wave_out ~setup ~finished ()
     in
     Fmt.pr "monolithic %d | exact %d (%.2f%%) | fast %d (%.2f%%)@."
@@ -1109,7 +1177,8 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Table II methodology: monolithic vs exact vs fast cycle counts.")
     Term.(
-      const validate $ design_arg $ scheduler_arg $ engine_arg $ lanes_arg
+      const validate $ design_arg $ scheduler_arg $ batch_cycles_arg
+      $ spin_budget_arg $ placement_arg $ engine_arg $ lanes_arg
       $ wave_out_arg $ profile_file_arg)
 
 let runs_arg = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Simulations in the campaign.")

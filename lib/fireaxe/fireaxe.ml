@@ -36,7 +36,24 @@ let compile = Compile.compile
     crossings per cycle. *)
 let report plan = Report.build plan
 
-let instantiate = Runtime.instantiate
+(** The domain-placement policy of an instantiation: [Platform.Place]
+    re-exported so callers can say [Fireaxe.Place.Auto]. *)
+module Place = Platform.Place
+
+(* The placement assignment for [plan] under [policy], weighted by a
+   previous run's [profile] when it recorded one (else the static
+   resource estimate).  [None] policy = spread, the historical
+   one-domain-per-partition mapping. *)
+let placement_groups ?profile ?placement plan =
+  match placement with
+  | None -> None
+  | Some policy -> Platform.Place.groups ?profile ~policy plan
+
+let instantiate ?fame5 ?scheduler ?batch_cycles ?spin_budget ?placement
+    ?telemetry ?profile ?engine ?lanes plan =
+  let groups = placement_groups ?profile ?placement plan in
+  Runtime.instantiate ?fame5 ?scheduler ?batch_cycles ?spin_budget ?groups
+    ?telemetry ?profile ?engine ?lanes plan
 
 (** Instantiates [plan] with [remote_units] hosted in worker processes
     and wraps the handle in a crash-recovering supervisor: durable
@@ -44,11 +61,14 @@ let instantiate = Runtime.instantiate
     workers respawned under [policy], optional seeded [chaos].  Drive
     it with {!Resilience.Supervisor.run}; {!Resilience.Supervisor.close}
     when done. *)
-let supervise ?scheduler ?read_timeout ?telemetry ?profile ?engine ?lanes
-    ?checkpoint_dir ?every ?policy ?chaos ?on_event ~worker ~remote_units plan =
+let supervise ?scheduler ?batch_cycles ?spin_budget ?placement ?read_timeout
+    ?telemetry ?profile ?engine ?lanes ?checkpoint_dir ?every ?policy ?chaos
+    ?on_event ~worker ~remote_units plan =
+  let groups = placement_groups ?profile ?placement plan in
   let handle, _conns =
-    Runtime.instantiate_remote ?scheduler ?read_timeout ?telemetry ?profile
-      ?engine ?lanes ~worker ~remote_units plan
+    Runtime.instantiate_remote ?scheduler ?batch_cycles ?spin_budget ?groups
+      ?read_timeout ?telemetry ?profile ?engine ?lanes ~worker ~remote_units
+      plan
   in
   Resilience.Supervisor.create ?checkpoint_dir ?every ?policy ?chaos ?on_event
     ~worker handle
@@ -135,9 +155,10 @@ let wave_diff ?(scheduler = Libdn.Scheduler.default) ?(mode = Spec.Exact) ?engin
     [circuit] is re-generated per run so simulations are independent.
     When [probes] are given, a side-by-side {!wave_diff} of the
     monolithic and exact runs localizes any divergence. *)
-let validate ?(scheduler = Libdn.Scheduler.default) ?engine ?lanes ?profile
-    ?(probes = []) ?wave_out ~name ~circuit ~selection ?(setup = fun ~poke:_ -> ())
-    ~finished ?(max_cycles = 1_000_000) () =
+let validate ?(scheduler = Libdn.Scheduler.default) ?batch_cycles ?spin_budget
+    ?placement ?engine ?lanes ?profile ?(probes = []) ?wave_out ~name ~circuit
+    ~selection ?(setup = fun ~poke:_ -> ()) ~finished ?(max_cycles = 1_000_000)
+    () =
   let mono =
     run_monolithic_until (circuit ()) ~setup ~finished ~max_cycles
   in
@@ -158,7 +179,10 @@ let validate ?(scheduler = Libdn.Scheduler.default) ?engine ?lanes ?profile
   let partitioned mode =
     let config = { Spec.default_config with Spec.mode; selection } in
     let plan = compile ~config (circuit ()) in
-    let handle = instantiate ~scheduler ?engine ?lanes ?profile plan in
+    let handle =
+      instantiate ~scheduler ?batch_cycles ?spin_budget ?placement ?engine
+        ?lanes ?profile plan
+    in
     run_partitioned_until handle ~setup ~finished ~max_cycles
   in
   let exact = partitioned Spec.Exact in
@@ -263,9 +287,9 @@ let find_divergence ~golden ~handle ~signals ?(stride = 500) ~max_cycles () =
     state (registers, memories, cycle counter).  Returns the names of
     mismatching units: [[]] certifies that the parallel scheduler is
     cycle-identical to the sequential reference on this plan. *)
-let crosscheck_schedulers ?(cycles = 100) plan =
+let crosscheck_schedulers ?(cycles = 100) ?batch_cycles ?placement plan =
   let snapshot scheduler =
-    let handle = Runtime.instantiate ~scheduler plan in
+    let handle = instantiate ~scheduler ?batch_cycles ?placement plan in
     Runtime.run handle ~cycles;
     Array.map
       (fun (u : Plan.unit_part) ->

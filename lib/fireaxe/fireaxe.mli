@@ -35,15 +35,33 @@ module Resilience = Resilience
     post-mortem flight recorder ({!Debug.Flight}). *)
 module Debug = Debug
 
+(** Static load-balanced domain placement ({!Platform.Place}
+    re-exported): [Place.Auto] bin-packs partitions onto the available
+    host domains by profiled or estimated load; [Place.Spread] keeps
+    the historical one-domain-per-partition mapping. *)
+module Place = Platform.Place
+
 val compile : ?config:Spec.config -> Firrtl.Ast.circuit -> Plan.t
 val report : Plan.t -> Report.t
 
 (** See {!Fireripper.Runtime.instantiate}.  [lanes] gives every
     non-FAME-5 unit engine that many execution lanes (N identical
-    copies advanced in lockstep; bytecode engine only). *)
+    copies advanced in lockstep; bytecode engine only).
+
+    [batch_cycles] caps cycle-batched token exchange — the software
+    analogue of the paper's fast-mode crossing amortization (1 =
+    per-cycle, the default; bit-exact either way by LI-BDN
+    determinism).  [spin_budget] tunes the parallel scheduler's
+    spin-then-park idle policy (0 = never spin).  [placement] picks the
+    partition-to-domain assignment; [Place.Auto] weighs units by
+    [profile]'s load model when it recorded one (a previous run's
+    measured truth), else by the static resource estimate. *)
 val instantiate :
   ?fame5:bool ->
   ?scheduler:Libdn.Scheduler.t ->
+  ?batch_cycles:int ->
+  ?spin_budget:int ->
+  ?placement:Place.policy ->
   ?telemetry:Telemetry.t ->
   ?profile:Telemetry.Profile.t ->
   ?engine:Rtlsim.Sim.engine ->
@@ -61,6 +79,9 @@ val instantiate :
     workers when done. *)
 val supervise :
   ?scheduler:Libdn.Scheduler.t ->
+  ?batch_cycles:int ->
+  ?spin_budget:int ->
+  ?placement:Place.policy ->
   ?read_timeout:float ->
   ?telemetry:Telemetry.t ->
   ?profile:Telemetry.Profile.t ->
@@ -137,6 +158,9 @@ val wave_diff :
     compact {!Debug.Wavestore} binary format. *)
 val validate :
   ?scheduler:Libdn.Scheduler.t ->
+  ?batch_cycles:int ->
+  ?spin_budget:int ->
+  ?placement:Place.policy ->
   ?engine:Rtlsim.Sim.engine ->
   ?lanes:int ->
   ?profile:Telemetry.Profile.t ->
@@ -174,8 +198,16 @@ val find_divergence :
 (** Instantiates [plan] under both schedulers, runs [cycles] target
     cycles each, and compares every unit's architectural state
     (registers, memories, cycle counter).  Returns the names of
-    mismatching units — [[]] certifies scheduler equivalence. *)
-val crosscheck_schedulers : ?cycles:int -> Plan.t -> string list
+    mismatching units — [[]] certifies scheduler equivalence.
+    [batch_cycles]/[placement] apply to both runs, so a batched,
+    fused-domain parallel run is checked against the batched sequential
+    reference. *)
+val crosscheck_schedulers :
+  ?cycles:int ->
+  ?batch_cycles:int ->
+  ?placement:Place.policy ->
+  Plan.t ->
+  string list
 
 (** Automated partitioning (§VIII-B): greedy instance assignment onto
     [n_fpgas] by size and connectivity, then compilation. *)

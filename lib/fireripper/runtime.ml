@@ -12,6 +12,9 @@ type handle = {
   h_plan : Plan.t;
   h_net : Libdn.Network.t;
   h_scheduler : Libdn.Scheduler.t;  (** execution policy for [run]/[run_until] *)
+  h_batch_cycles : int;
+      (** cap on cycle-batched token exchange (1 = per-cycle) *)
+  h_spin_budget : int option;  (** spin-then-park tuning (0 = never spin) *)
   h_engines : Libdn.Engine.t array;  (** indexed by plan unit *)
   h_sims : Rtlsim.Sim.t option array;  (** backing sims of non-FAME-5 units *)
   h_fame5 : Goldengate.Fame5.t option array;
@@ -99,8 +102,15 @@ let build_network ?(telemetry = Telemetry.null)
     every non-FAME-5 unit engine that many lanes (N identical copies of
     the partitioned design advanced in lockstep; inputs broadcast to
     all lanes).  FAME-5 units ignore it — their lane count is their
-    thread count. *)
+    thread count.
+
+    [batch_cycles] caps cycle-batched token exchange (1 = per-cycle,
+    the default; bit-exact either way); [spin_budget] tunes the
+    parallel scheduler's spin-then-park idle policy (0 = never spin);
+    [groups] applies a domain-placement assignment (one slot per unit —
+    see [Platform.Place]) fusing partitions onto shared domains. *)
 let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default)
+    ?(batch_cycles = Libdn.Scheduler.default_batch_cycles) ?spin_budget ?groups
     ?(telemetry = Telemetry.null) ?(profile = Telemetry.Profile.null) ?engine
     ?lanes (plan : Plan.t) =
   let n = Plan.n_units plan in
@@ -131,10 +141,13 @@ let instantiate ?(fame5 = false) ?(scheduler = Libdn.Scheduler.default)
     plan.Plan.p_units;
   let engines = Array.map Option.get engines in
   let net = build_network ~telemetry ~profile plan engines in
+  Option.iter (Libdn.Network.set_groups net) groups;
   {
     h_plan = plan;
     h_net = net;
     h_scheduler = scheduler;
+    h_batch_cycles = batch_cycles;
+    h_spin_budget = spin_budget;
     h_engines = engines;
     h_sims = sims;
     h_fame5 = fame5s;
@@ -160,9 +173,11 @@ let with_unit_fir (plan : Plan.t) k f =
     and [locate] skip them; use the connection's poke/peek instead
     (snapshots DO cover them, through the worker pipe protocol).
     [read_timeout] bounds every worker reply wait in seconds. *)
-let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ?read_timeout
-    ?(telemetry = Telemetry.null) ?(profile = Telemetry.Profile.null) ?engine
-    ?lanes ~worker ~remote_units (plan : Plan.t) =
+let instantiate_remote ?(scheduler = Libdn.Scheduler.default)
+    ?(batch_cycles = Libdn.Scheduler.default_batch_cycles) ?spin_budget ?groups
+    ?read_timeout ?(telemetry = Telemetry.null)
+    ?(profile = Telemetry.Profile.null) ?engine ?lanes ~worker ~remote_units
+    (plan : Plan.t) =
   let n = Plan.n_units plan in
   let engines = Array.make n None in
   let sims = Array.make n None in
@@ -193,12 +208,15 @@ let instantiate_remote ?(scheduler = Libdn.Scheduler.default) ?read_timeout
     plan.Plan.p_units;
   let engines = Array.map Option.get engines in
   let net = build_network ~telemetry ~profile plan engines in
+  Option.iter (Libdn.Network.set_groups net) groups;
   let remote = Array.make n None in
   List.iter (fun (k, conn) -> remote.(k) <- Some conn) !conns;
   ( {
       h_plan = plan;
       h_net = net;
       h_scheduler = scheduler;
+      h_batch_cycles = batch_cycles;
+      h_spin_budget = spin_budget;
       h_engines = engines;
       h_sims = sims;
       h_fame5 = fame5s;
@@ -227,6 +245,7 @@ let respawn_remote h k ~worker =
         Libdn.Remote_engine.reconnect conn ~worker ~fir_path:path)
 
 let scheduler h = h.h_scheduler
+let batch_cycles h = h.h_batch_cycles
 
 (** The sink every layer of this handle records into ({!Telemetry.null}
     when instantiated without one). *)
@@ -249,10 +268,15 @@ let collect_remote_profiles h =
       | None -> ())
     (remote_conns h)
 
-let run h ~cycles = Libdn.Scheduler.run ~scheduler:h.h_scheduler h.h_net ~cycles
+let run h ~cycles =
+  Libdn.Scheduler.run ~scheduler:h.h_scheduler ~batch_cycles:h.h_batch_cycles
+    ?spin_budget:h.h_spin_budget h.h_net ~cycles
 
 let run_until h ~max_cycles pred =
-  Libdn.Scheduler.run_until ~scheduler:h.h_scheduler h.h_net ~max_cycles (fun _ -> pred h)
+  Libdn.Scheduler.run_until ~scheduler:h.h_scheduler
+    ~batch_cycles:h.h_batch_cycles ?spin_budget:h.h_spin_budget h.h_net
+    ~max_cycles
+    (fun _ -> pred h)
 
 let engine h k = h.h_engines.(k)
 

@@ -254,6 +254,7 @@ let engine t : Libdn.Engine.t =
   {
     Libdn.Engine.set_input;
     get;
+    get_ports = List.map get;
     eval_comb = (fun () -> ());
     step_seq;
     make_cone_eval;

@@ -8,6 +8,10 @@
 type t = {
   set_input : string -> int -> unit;
   get : string -> int;
+  get_ports : string list -> int list;
+      (** Batched read of several signals, in request order — one
+          protocol round trip for remote engines (the per-channel token
+          gather), a plain map for local ones. *)
   eval_comb : unit -> unit;
   step_seq : unit -> unit;
   make_cone_eval : string list -> unit -> unit;
@@ -28,6 +32,7 @@ let of_sim sim =
        from lane 0; all lanes agree under broadcast driving.) *)
     set_input = Rtlsim.Sim.set_input_all sim;
     get = Rtlsim.Sim.get sim;
+    get_ports = List.map (Rtlsim.Sim.get sim);
     eval_comb = (fun () -> Rtlsim.Sim.eval_comb sim);
     step_seq = (fun () -> Rtlsim.Sim.step_seq sim);
     make_cone_eval = Rtlsim.Sim.make_cone_eval sim;

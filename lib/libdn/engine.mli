@@ -5,6 +5,11 @@
 type t = {
   set_input : string -> int -> unit;
   get : string -> int;
+  get_ports : string list -> int list;
+      (** Batched read of several signals, in request order.  The
+          network gathers each fired channel's token through this, so a
+          remote engine pays one protocol round trip per CHANNEL (the
+          worker's [sample] command) instead of one per port. *)
   eval_comb : unit -> unit;
   step_seq : unit -> unit;
   make_cone_eval : string list -> unit -> unit;

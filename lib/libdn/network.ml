@@ -46,8 +46,9 @@ type partition = {
   pt_index : int;
   pt_name : string;
   pt_engine : Engine.t;
-  pt_notif : Channel.Notifier.t;
-      (** synchronization point shared by this partition's input queues *)
+  mutable pt_notif : Channel.Notifier.t;
+      (** synchronization point shared by this partition's input queues
+          (and, under fused domain placement, by the whole group's) *)
   pt_ins : in_chan array;
   pt_outs : out_chan array;
   mutable pt_cycle : int;
@@ -75,6 +76,10 @@ type t = {
       (** observers invoked (newest last) before {!raise_deadlock}
           raises — how a flight recorder dumps post-mortem state without
           this layer depending on it *)
+  mutable groups : int array;
+      (** domain-placement assignment: [groups.(i)] is partition [i]'s
+          domain slot.  [[||]] (the default) means one domain per
+          partition. *)
 }
 
 exception Deadlock of string
@@ -93,6 +98,7 @@ let create ?(queue_capacity = default_queue_capacity) ?(telemetry = Telemetry.nu
     prof = profile;
     prof_on = Telemetry.Profile.enabled profile;
     on_deadlock = [];
+    groups = [||];
   }
 
 let telemetry t = t.tel
@@ -225,6 +231,44 @@ let cycle_of t part = (partition t part).pt_cycle
 
 let token_transfers t = Atomic.get t.token_transfers
 
+(** Applies a domain-placement assignment: partitions sharing a slot in
+    [assign] are fused onto one domain and one synchronization point —
+    their notifiers (and their input queues') are re-pointed at a shared
+    per-group notifier, so a producer waking any member wakes the
+    domain that multiplexes them all.  Slots must cover 0..max
+    contiguously in the sense that every value in [0, max] appears.
+    Only legal between runs (no domain may be blocked on the old
+    notifiers); the assignment sticks until replaced.  An empty array
+    restores the default one-domain-per-partition mapping (fresh
+    per-partition notifiers). *)
+let set_groups t assign =
+  freeze t;
+  let n = Array.length t.frozen in
+  let rewire p notif =
+    p.pt_notif <- notif;
+    Array.iter (fun ic -> Channel.Bqueue.set_notifier ic.ic_queue notif) p.pt_ins
+  in
+  if Array.length assign = 0 then begin
+    Array.iter (fun p -> rewire p (Channel.Notifier.create ())) t.frozen;
+    t.groups <- [||]
+  end
+  else begin
+    if Array.length assign <> n then
+      invalid_arg "Network.set_groups: one slot per partition required";
+    let slots = 1 + Array.fold_left max 0 assign in
+    Array.iter
+      (fun g ->
+        if g < 0 || g >= n then invalid_arg "Network.set_groups: slot out of range")
+      assign;
+    let notifs = Array.init slots (fun _ -> Channel.Notifier.create ()) in
+    Array.iteri (fun i p -> rewire p notifs.(assign.(i))) t.frozen;
+    t.groups <- Array.copy assign
+  end
+
+(** The current placement assignment ([[||]] = one domain per
+    partition). *)
+let groups t = t.groups
+
 (** Applies every partition's drive hook for target cycle 0.  Schedulers
     call this once at the start of each run. *)
 let prime t =
@@ -298,7 +342,7 @@ let try_fire t p oc ~block ~abort =
   then begin
     List.iter (apply_head p) oc.oc_deps;
     oc.oc_eval ();
-    let tok = Channel.token_of_ports oc.oc_spec p.pt_engine.Engine.get in
+    let tok = Channel.token_of_ports_batch oc.oc_spec p.pt_engine.Engine.get_ports in
     oc.oc_fired <- true;
     List.iter
       (fun (dp, di) ->
@@ -391,7 +435,7 @@ let sweep t p ~block ~abort =
       if (not oc.oc_fired) && List.for_all have oc.oc_deps then begin
         List.iter apply_once oc.oc_deps;
         oc.oc_eval ();
-        let tok = Channel.token_of_ports oc.oc_spec p.pt_engine.Engine.get in
+        let tok = Channel.token_of_ports_batch oc.oc_spec p.pt_engine.Engine.get_ports in
         oc.oc_fired <- true;
         List.iter
           (fun (dp, di) ->
@@ -451,6 +495,168 @@ let sweep t p ~block ~abort =
     progress := true
   end;
   !progress
+
+(** Cycle-batched sweep — the software generalization of the paper's
+    fast-mode crossing amortization: fire and advance partition [p] for
+    up to [max_cycles] consecutive target cycles from ONE snapshot of
+    its input queues, deferring every cross-partition token until the
+    end so the whole batch costs one locked snapshot, one locked
+    multi-drop and one slab push per destination queue — instead of
+    that much synchronization PER CYCLE.
+
+    Equivalence with per-cycle exchange is by construction: the LI-BDN
+    firing rules make token streams deterministic regardless of attempt
+    order, and deferring a push is merely a different attempt order (the
+    destination sees the same tokens in the same sequence, just later in
+    wall time).  Exact mode therefore preserves LI-BDN timing bit-for-
+    bit; fast mode works unchanged on top of its seed tokens (the seeded
+    slack is precisely what lets a batch run longer than one cycle).
+
+    Internals:
+    - ONE notifier lock snapshots up to [max_cycles] tokens per input
+      channel (sound: this domain is the sole consumer, so snapshot
+      heads stay the heads until we drop them).
+    - A local loop fires ready outputs and advances the fireFSM against
+      cursor positions into the snapshot; produced tokens accumulate in
+      per-output pending slabs.  Self-destined tokens are ALSO deferred
+      — the next call picks them up, matching the unbatched sweep,
+      which likewise never sees its own sweep's pushes (its head
+      snapshot predates them).
+    - Flush: first the consumed input heads are dropped under one lock
+      with a single wakeup bump (freeing space for our producers —
+      dropping BEFORE pushing is what keeps two mutually-full partitions
+      from blocking on each other's flushes), then each pending slab is
+      pushed with one {!Channel.Bqueue.push_list} per destination.
+
+    Never advances past [limit] (the run target).  Returns
+    [(cycles_advanced, any_progress)]; no pending state survives the
+    call, so quiescence checks, checkpoints and introspection stay
+    sound unchanged. *)
+let sweep_batch t p ~limit ~max_cycles ~block ~abort =
+  freeze t;
+  let budget = min max_cycles (limit - p.pt_cycle) in
+  if budget <= 1 then begin
+    let c0 = p.pt_cycle in
+    let progress = sweep t p ~block ~abort in
+    (p.pt_cycle - c0, progress)
+  end
+  else begin
+    let n = p.pt_notif in
+    let ni = Array.length p.pt_ins in
+    let heads =
+      if ni = 0 then [||]
+      else begin
+        Mutex.lock n.Channel.Notifier.n_mu;
+        let hs =
+          Array.map
+            (fun ic -> Channel.Bqueue.peek_upto_unlocked ic.ic_queue budget)
+            p.pt_ins
+        in
+        Mutex.unlock n.Channel.Notifier.n_mu;
+        hs
+      end
+    in
+    let pos = Array.make (max ni 1) 0 in
+    let applied = Array.make (max ni 1) (-1) in
+    let no = Array.length p.pt_outs in
+    let pending = Array.make (max no 1) [] in
+    let progress = ref false in
+    let advanced = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let step = !advanced in
+      let avail i = pos.(i) < Array.length heads.(i) in
+      let apply_once i =
+        if applied.(i) < step then begin
+          applied.(i) <- step;
+          Channel.apply_token p.pt_ins.(i).ic_spec p.pt_engine.Engine.set_input
+            heads.(i).(pos.(i))
+        end
+      in
+      Array.iteri
+        (fun oi oc ->
+          Telemetry.incr oc.oc_attempts;
+          if (not oc.oc_fired) && List.for_all avail oc.oc_deps then begin
+            List.iter apply_once oc.oc_deps;
+            oc.oc_eval ();
+            let tok = Channel.token_of_ports_batch oc.oc_spec p.pt_engine.Engine.get_ports in
+            oc.oc_fired <- true;
+            if oc.oc_dests <> [] then pending.(oi) <- tok :: pending.(oi);
+            Telemetry.incr oc.oc_fires;
+            progress := true
+          end)
+        p.pt_outs;
+      let all_inputs =
+        let rec go i = i >= ni || (avail i && go (i + 1)) in
+        go 0
+      in
+      if all_inputs && Array.for_all (fun oc -> oc.oc_fired) p.pt_outs then begin
+        for i = 0 to ni - 1 do
+          apply_once i
+        done;
+        p.pt_engine.Engine.eval_comb ();
+        p.pt_engine.Engine.step_seq ();
+        for i = 0 to ni - 1 do
+          pos.(i) <- pos.(i) + 1
+        done;
+        Array.iter (fun oc -> oc.oc_fired <- false) p.pt_outs;
+        p.pt_cycle <- p.pt_cycle + 1;
+        incr advanced;
+        progress := true;
+        p.pt_drive p.pt_engine p.pt_cycle;
+        if !advanced >= budget then continue_ := false
+      end
+      else continue_ := false
+    done;
+    if t.prof_on && !advanced > 0 then Telemetry.Profile.add_cycles p.pt_prof !advanced;
+    (* Flush, drops first: every advance consumed one head per input. *)
+    if ni > 0 && !advanced > 0 then begin
+      let t0 = if t.prof_on then Telemetry.Profile.now_ns t.prof else 0 in
+      Mutex.lock n.Channel.Notifier.n_mu;
+      Array.iter
+        (fun ic ->
+          Channel.Bqueue.drop_n_unlocked ic.ic_queue !advanced;
+          Telemetry.add ic.ic_deq !advanced)
+        p.pt_ins;
+      Channel.Notifier.bump n;
+      Mutex.unlock n.Channel.Notifier.n_mu;
+      if t.prof_on then begin
+        let dt = Telemetry.Profile.now_ns t.prof - t0 in
+        Telemetry.Profile.add_exchange p.pt_prof dt;
+        let share = dt / ni in
+        Array.iter
+          (fun ic -> Telemetry.Profile.add_deq ic.ic_prof ~tokens:!advanced share)
+          p.pt_ins
+      end
+    end;
+    Array.iteri
+      (fun oi oc ->
+        match pending.(oi) with
+        | [] -> ()
+        | rev_toks ->
+          let toks = List.rev rev_toks in
+          let k = List.length toks in
+          List.iter
+            (fun (dp, di) ->
+              let dst = t.frozen.(dp).pt_ins.(di) in
+              let copies = List.map Array.copy toks in
+              if t.prof_on then begin
+                let t0 = Telemetry.Profile.now_ns t.prof in
+                Channel.Bqueue.push_list dst.ic_queue copies ~block ~abort;
+                let dt = Telemetry.Profile.now_ns t.prof - t0 in
+                Telemetry.Profile.add_enq dst.ic_prof ~tokens:k dt;
+                Telemetry.Profile.add_exchange p.pt_prof dt
+              end
+              else Channel.Bqueue.push_list dst.ic_queue copies ~block ~abort;
+              ignore (Atomic.fetch_and_add t.token_transfers k);
+              if t.tel_on then begin
+                Telemetry.add dst.ic_enq k;
+                Telemetry.set_max dst.ic_peak (Channel.Bqueue.length dst.ic_queue)
+              end)
+            oc.oc_dests)
+      p.pt_outs;
+    (!advanced, !progress)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Quiescence (deadlock detection)                                     *)

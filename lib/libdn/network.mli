@@ -33,7 +33,7 @@ type partition = {
   pt_index : int;
   pt_name : string;
   pt_engine : Engine.t;
-  pt_notif : Channel.Notifier.t;
+  mutable pt_notif : Channel.Notifier.t;
   pt_ins : in_chan array;
   pt_outs : out_chan array;
   mutable pt_cycle : int;
@@ -93,6 +93,17 @@ val set_drive : t -> int -> (Engine.t -> int -> unit) -> unit
 val cycle_of : t -> int -> int
 val token_transfers : t -> int
 
+(** Applies a domain-placement assignment: partitions sharing a slot
+    are fused onto one domain and one shared notifier (their input
+    queues re-pointed), so the parallel scheduler spawns one domain per
+    group instead of one per partition.  Only legal between runs; an
+    empty array restores one-domain-per-partition (fresh notifiers). *)
+val set_groups : t -> int array -> unit
+
+(** The current placement assignment ([[||]] = one domain per
+    partition). *)
+val groups : t -> int array
+
 (** Applies every partition's drive hook for target cycle 0; schedulers
     call this once at the start of each run. *)
 val prime : t -> unit
@@ -126,6 +137,25 @@ val try_advance : partition -> bool
     [try_advance], with constant lock traffic per sweep.  Returns
     whether any transition happened. *)
 val sweep : t -> partition -> block:bool -> abort:(unit -> bool) -> bool
+
+(** Cycle-batched {!sweep} — the software generalization of the paper's
+    fast-mode crossing amortization: fires and advances [p] for up to
+    [max_cycles] consecutive target cycles (never past [limit]) from
+    ONE locked snapshot of its input queues, deferring every produced
+    token into per-output slabs flushed at the end (consumed heads
+    dropped under one lock, then one {!Channel.Bqueue.push_list} per
+    destination).  Bit-exact vs per-cycle exchange by LI-BDN
+    determinism — deferral is merely a different attempt order.  No
+    pending state survives the call.  Returns
+    [(cycles_advanced, any_progress)]. *)
+val sweep_batch :
+  t ->
+  partition ->
+  limit:int ->
+  max_cycles:int ->
+  block:bool ->
+  abort:(unit -> bool) ->
+  int * bool
 
 (** Whether the firing rules permit [p] any transition, judged purely
     from token availability and fired flags.  Unsynchronized reads —

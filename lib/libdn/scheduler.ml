@@ -51,17 +51,61 @@ let of_string = function
 
 let never_abort () = false
 
-(* One round-robin attempt over everything partition [p] can do — the
-   batched {!Network.sweep}: one lock to snapshot all input heads, all
-   locally-ready outputs fired per shared-queue touch, all heads
-   consumed under one lock on advance. *)
-let sweep net p ~block ~abort = Network.sweep net p ~block ~abort
+(* Default cap on cycle-batched exchange (the [--batch-cycles] knob).
+   1 = per-cycle exchange, the historical behavior; schedulers receive
+   the cap explicitly from the runtime/CLI. *)
+let default_batch_cycles = 1
+
+(* ------------------------------------------------------------------ *)
+(* Static load-balanced placement (bin packing)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Longest-processing-time greedy bin packing: heaviest partition first
+   into the least-loaded domain.  Classic 4/3-approximate makespan —
+   good enough for a handful of partitions, and deterministic.  Returns
+   the domain slot per partition, normalized so every slot in
+   [0, slots) is used. *)
+let pack ~weights ~domains =
+  let n = Array.length weights in
+  if n = 0 then [||]
+  else begin
+    let d = max 1 (min domains n) in
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        match compare weights.(b) weights.(a) with 0 -> compare a b | c -> c)
+      order;
+    let load = Array.make d 0 in
+    let assign = Array.make n 0 in
+    Array.iter
+      (fun i ->
+        let best = ref 0 in
+        for b = 1 to d - 1 do
+          if load.(b) < load.(!best) then best := b
+        done;
+        assign.(i) <- !best;
+        load.(!best) <- load.(!best) + max 1 weights.(i))
+      order;
+    (* Normalize slot numbering to drop any unused bins (d > distinct
+       assignments can happen when weights collapse). *)
+    let remap = Array.make d (-1) in
+    let next = ref 0 in
+    Array.iter
+      (fun i ->
+        let g = assign.(i) in
+        if remap.(g) < 0 then begin
+          remap.(g) <- !next;
+          incr next
+        end)
+      (Array.init n Fun.id);
+    Array.map (fun g -> remap.(g)) assign
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Sequential                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_seq net ~cycles =
+let run_seq ?(batch_cycles = default_batch_cycles) net ~cycles =
   let parts = Network.partitions net in
   let sweeps = Telemetry.counter (Network.telemetry net) "sched.seq.sweeps" in
   let behind () = Array.exists (fun p -> p.Network.pt_cycle < cycles) parts in
@@ -70,8 +114,13 @@ let run_seq net ~cycles =
     let progress = ref false in
     Array.iter
       (fun p ->
-        if p.Network.pt_cycle < cycles then
-          if sweep net p ~block:false ~abort:never_abort then progress := true)
+        if p.Network.pt_cycle < cycles then begin
+          let _, prog =
+            Network.sweep_batch net p ~limit:cycles ~max_cycles:batch_cycles
+              ~block:false ~abort:never_abort
+          in
+          if prog then progress := true
+        end)
       parts;
     if (not !progress) && behind () then begin
       (* A no-progress sweep implies quiescence; the check is the
@@ -106,14 +155,15 @@ let declare_dead mon =
   mon.m_dead <- true;
   Atomic.set mon.m_abort true
 
-(* Parks partition [p]'s domain until its input state changes (version
-   guard against missed wakeups).  The last unfinished domain to park
-   runs the quiescence check: with every other mutator registered as
-   parked (registration orders their writes before our read via
-   [m_mu]), the unsynchronized reads inside {!Network.quiescent} are
-   sound. *)
-let par_block net mon p ~cycles ~seen =
-  let n = p.Network.pt_notif in
+(* Parks a domain on [notif] (its partition's notifier — or the shared
+   group notifier under fused placement) until the input state changes
+   (version guard against missed wakeups).  The last unfinished domain
+   to park runs the quiescence check: with every other mutator
+   registered as parked (registration orders their writes before our
+   read via [m_mu]), the unsynchronized reads inside
+   {!Network.quiescent} are sound. *)
+let par_block net mon ~notif ~cycles ~seen =
+  let n = notif in
   Mutex.lock n.Channel.Notifier.n_mu;
   if Channel.Notifier.version n <> seen || Atomic.get mon.m_abort then
     Mutex.unlock n.Channel.Notifier.n_mu
@@ -247,6 +297,8 @@ let host_domains_now () =
   let o = Atomic.get host_override in
   if o > 0 then o else Lazy.force host_domains
 
+let effective_host_domains = host_domains_now
+
 (* Polls for a version change (or abort) for at most [budget] relax
    hints; true if one arrived. *)
 let spin_for notif ~seen ~abort ~budget =
@@ -260,7 +312,31 @@ let spin_for notif ~seen ~abort ~budget =
   in
   go 0
 
-let par_worker net mon p ~cycles ~started ~finished ~slot ~spin =
+(* Spin-policy knobs for one run: [sp_initial]/[sp_max] bound the
+   adaptive budget; [sp_enabled] gates spinning entirely (the
+   [--spin-budget 0] escape hatch, and the oversubscription guard). *)
+type spin_cfg = { sp_enabled : bool; sp_initial : int; sp_max : int }
+
+let spin_cfg ~spin ~spin_budget =
+  match spin_budget with
+  | Some 0 -> { sp_enabled = false; sp_initial = spin_min; sp_max = spin_min }
+  | Some s when s > 0 ->
+    { sp_enabled = spin; sp_initial = s; sp_max = max s spin_min }
+  | _ -> { sp_enabled = spin; sp_initial = spin_initial; sp_max = spin_max }
+
+(* Per-partition adaptive batch depth: starts at 1 and doubles while
+   batches run their full budget (tokens are plentiful — no channel
+   starved mid-batch), halves when a visit advanced nothing (the
+   partition is starving; back off toward per-cycle exchange and its
+   prompt wakeups).  Capped by [batch_cycles]. *)
+let adapt_batch k ~cap ~advanced =
+  if cap > 1 then begin
+    if advanced >= !k then k := min cap (!k * 2)
+    else if advanced = 0 then k := max 1 (!k / 2)
+  end
+
+let par_worker net mon p ~cycles ~started ~finished ~slot ~spin ~batch_cycles
+    ~spin_budget =
   let abort () = Atomic.get mon.m_abort in
   let w = par_tel net p in
   let tel = Network.telemetry net in
@@ -271,7 +347,18 @@ let par_worker net mon p ~cycles ~started ~finished ~slot ~spin =
   let pr = p.Network.pt_prof in
   let pon = Telemetry.Profile.part_enabled pr in
   let notif = p.Network.pt_notif in
-  let spin_budget = ref spin_initial in
+  let cfg = spin_cfg ~spin ~spin_budget in
+  let spin = cfg.sp_enabled in
+  let spin_budget = ref cfg.sp_initial in
+  let batch = ref 1 in
+  let sweep_p () =
+    let advanced, prog =
+      Network.sweep_batch net p ~limit:cycles ~max_cycles:!batch ~block:true
+        ~abort
+    in
+    adapt_batch batch ~cap:batch_cycles ~advanced;
+    prog
+  in
   let seg_start = ref (w.w_clock ()) in
   if w.w_on || pon then started.(slot) <- !seg_start;
   (* Closes the current "run" segment at [now] and charges it. *)
@@ -280,11 +367,11 @@ let par_worker net mon p ~cycles ~started ~finished ~slot ~spin =
     par_span w ~name:"run" ~args:[] ~ts:!seg_start ~dur:(now -. !seg_start)
   in
   let park ~seen ~blocked_on =
-    if not w.w_on then par_block net mon p ~cycles ~seen
+    if not w.w_on then par_block net mon ~notif ~cycles ~seen
     else begin
       let t_park = w.w_clock () in
       end_run t_park;
-      par_block net mon p ~cycles ~seen;
+      par_block net mon ~notif ~cycles ~seen;
       let t_wake = w.w_clock () in
       Telemetry.add w.w_idle_ns (ns_of_us (t_wake -. t_park));
       let args =
@@ -304,7 +391,7 @@ let par_worker net mon p ~cycles ~started ~finished ~slot ~spin =
     let blocked_on = if w.w_on then Network.record_stall p else None in
     if spin && spin_for notif ~seen ~abort ~budget:!spin_budget then begin
       Telemetry.incr spins;
-      spin_budget := min spin_max (2 * !spin_budget)
+      spin_budget := min cfg.sp_max (2 * !spin_budget)
     end
     else begin
       Telemetry.incr parks;
@@ -322,14 +409,14 @@ let par_worker net mon p ~cycles ~started ~finished ~slot ~spin =
        while p.Network.pt_cycle < cycles && not (abort ()) do
          let seen = Channel.Notifier.version notif in
          let t0 = Telemetry.Profile.now_ns prof in
-         if sweep net p ~block:true ~abort then
+         if sweep_p () then
            Telemetry.Profile.add_run pr (Telemetry.Profile.now_ns prof - t0)
          else begin
            let blocked_on = if w.w_on then Network.record_stall p else None in
            if spin && spin_for notif ~seen ~abort ~budget:!spin_budget then begin
              Telemetry.Profile.add_spin pr (Telemetry.Profile.now_ns prof - t0);
              Telemetry.incr spins;
-             spin_budget := min spin_max (2 * !spin_budget)
+             spin_budget := min cfg.sp_max (2 * !spin_budget)
            end
            else begin
              let tp = Telemetry.Profile.now_ns prof in
@@ -344,7 +431,7 @@ let par_worker net mon p ~cycles ~started ~finished ~slot ~spin =
      else
        while p.Network.pt_cycle < cycles && not (abort ()) do
          let seen = Channel.Notifier.version notif in
-         if not (sweep net p ~block:true ~abort) then idle ~seen
+         if not (sweep_p ()) then idle ~seen
        done
    with e -> par_fail net mon e);
   if w.w_on || pon then begin
@@ -352,6 +439,73 @@ let par_worker net mon p ~cycles ~started ~finished ~slot ~spin =
     if w.w_on then end_run t_done;
     finished.(slot) <- t_done
   end;
+  par_exit net mon ~cycles
+
+(* One domain multiplexing a fused GROUP of partitions (load-balanced
+   placement): round-robin over the members, idling on their SHARED
+   notifier only when no member could progress in a full round.
+   Telemetry is coarser than the one-domain-per-partition path —
+   spins/parks are charged to every member that failed to progress in
+   the idle round, and no per-partition Chrome spans are recorded (use
+   spread placement for those).  Profiled runs never take this path:
+   the profiler's phase accounting wants one domain per partition. *)
+let par_worker_group net mon ps ~cycles ~started ~finished ~slot ~spin
+    ~batch_cycles ~spin_budget =
+  let abort () = Atomic.get mon.m_abort in
+  let tel = Network.telemetry net in
+  let on = Telemetry.enabled tel in
+  let metric p kind = Printf.sprintf "sched.par.%s.%s" p.Network.pt_name kind in
+  let spins = Array.map (fun p -> Telemetry.counter tel (metric p "spins")) ps in
+  let parks = Array.map (fun p -> Telemetry.counter tel (metric p "parks")) ps in
+  let notif = ps.(0).Network.pt_notif in
+  let cfg = spin_cfg ~spin ~spin_budget in
+  let spin = cfg.sp_enabled in
+  let spin_budget = ref cfg.sp_initial in
+  let batch = Array.map (fun _ -> ref 1) ps in
+  let stalled = Array.make (Array.length ps) false in
+  let unfinished () = Array.exists (fun p -> p.Network.pt_cycle < cycles) ps in
+  if on then started.(slot) <- Telemetry.now_us tel;
+  (try
+     while unfinished () && not (abort ()) do
+       let seen = Channel.Notifier.version notif in
+       let progress = ref false in
+       Array.iteri
+         (fun i p ->
+           if p.Network.pt_cycle < cycles then begin
+             let advanced, prog =
+               Network.sweep_batch net p ~limit:cycles ~max_cycles:!(batch.(i))
+                 ~block:true ~abort
+             in
+             adapt_batch batch.(i) ~cap:batch_cycles ~advanced;
+             if prog then progress := true;
+             stalled.(i) <- not prog
+           end
+           else stalled.(i) <- false)
+         ps;
+       if (not !progress) && unfinished () && not (abort ()) then begin
+         let charge cs =
+           if on then
+             Array.iteri
+               (fun i p ->
+                 if stalled.(i) && p.Network.pt_cycle < cycles then begin
+                   ignore (Network.record_stall p);
+                   Telemetry.incr cs.(i)
+                 end)
+               ps
+         in
+         if spin && spin_for notif ~seen ~abort ~budget:!spin_budget then begin
+           charge spins;
+           spin_budget := min cfg.sp_max (2 * !spin_budget)
+         end
+         else begin
+           charge parks;
+           spin_budget := max spin_min (!spin_budget / 2);
+           par_block net mon ~notif ~cycles ~seen
+         end
+       end
+     done
+   with e -> par_fail net mon e);
+  if on then finished.(slot) <- Telemetry.now_us tel;
   par_exit net mon ~cycles
 
 (* Cooperative fallback for hosts without real parallelism.  With one
@@ -367,8 +521,9 @@ let par_worker net mon p ~cycles ~started ~finished ~slot ~spin =
    the cooperative analogue of a failed poll (they used to stay zero
    too, which is what left the bench stall breakdown all-zero whenever
    this fallback was active). *)
-let run_par_cooperative net ~cycles =
+let run_par_cooperative ?(batch_cycles = default_batch_cycles) net ~cycles =
   let parts = Network.partitions net in
+  let batch = Array.map (fun _ -> ref 1) parts in
   let tel = Network.telemetry net in
   let on = Telemetry.enabled tel in
   let spins =
@@ -416,7 +571,11 @@ let run_par_cooperative net ~cycles =
     seg_start.(i) <- now
   in
   let visit i p =
-    let progressed = sweep net p ~block:false ~abort:never_abort in
+    let advanced, progressed =
+      Network.sweep_batch net p ~limit:cycles ~max_cycles:!(batch.(i))
+        ~block:false ~abort:never_abort
+    in
+    adapt_batch batch.(i) ~cap:batch_cycles ~advanced;
     if on && not progressed then Telemetry.incr spins.(i);
     if on && progressed = stalled.(i) then begin
       (* Segment boundary: the partition switched between running and
@@ -442,49 +601,81 @@ let run_par_cooperative net ~cycles =
   done;
   if on then Array.iteri (fun i w -> close i ~now:(w.w_clock ())) ws
 
-(* Runs every unfinished partition on its own domain to [cycles] — or
-   cooperatively on the calling domain when the host cannot actually run
-   domains concurrently. *)
-let run_par net ~cycles =
+(* Runs every unfinished partition to [cycles] on its own domain — or
+   one domain per placement GROUP when {!Network.set_groups} fused
+   partitions together, or cooperatively on the calling domain when the
+   host cannot actually run domains concurrently. *)
+let run_par ?(batch_cycles = default_batch_cycles) ?spin_budget net ~cycles =
   (* A live profile forces the real-domain path: the cooperative
      multiplexer shares one thread's wall clock between partitions, so
      its per-partition timing is structurally unable to show where the
      parallel policy's time would go — which is the question a profiled
      run asks. *)
   let profiled = Network.profile_enabled net in
-  if host_domains_now () <= 1 && not profiled then run_par_cooperative net ~cycles
+  if host_domains_now () <= 1 && not profiled then
+    run_par_cooperative net ~cycles ~batch_cycles
   else
   let parts = Network.partitions net in
-  let workers =
+  let unfinished =
     Array.to_list parts |> List.filter (fun p -> p.Network.pt_cycle < cycles)
   in
-  match workers with
+  (* One worker per placement group (identity — one per partition — when
+     no placement was applied, and always under a live profile: the
+     profiler's per-partition phase accounting assumes a dedicated
+     domain). *)
+  let assign = Network.groups net in
+  let groups =
+    if profiled || Array.length assign = 0 then
+      List.map (fun p -> [| p |]) unfinished
+    else begin
+      let slots = 1 + Array.fold_left max 0 assign in
+      let buckets = Array.make slots [] in
+      List.iter
+        (fun p ->
+          let g = assign.(p.Network.pt_index) in
+          buckets.(g) <- p :: buckets.(g))
+        unfinished;
+      Array.to_list buckets
+      |> List.filter_map (function
+           | [] -> None
+           | ps -> Some (Array.of_list (List.rev ps)))
+    end
+  in
+  match groups with
   | [] -> ()
-  | workers ->
+  | groups ->
+    let nw = List.length groups in
     let mon =
       {
         m_mu = Mutex.create ();
         m_blocked = 0;
-        m_unfinished = List.length workers;
+        m_unfinished = nw;
         m_dead = false;
         m_error = None;
         m_abort = Atomic.make false;
       }
     in
-    let started = Array.make (List.length workers) 0. in
-    let finished = Array.make (List.length workers) 0. in
-    (* Spinning is only profitable when every partition domain can hold
-       a hardware thread; oversubscribed, a spinner burns the core its
-       producer needs to make the token it is waiting for.  Profiled
-       runs keep it on so the spin phase is observable (the bounded
-       budget keeps the distortion small). *)
-    let spin = profiled || host_domains_now () >= List.length workers in
+    let started = Array.make nw 0. in
+    let finished = Array.make nw 0. in
+    (* Spinning is only profitable when every worker domain can hold a
+       hardware thread; oversubscribed, a spinner burns the core its
+       producer needs to make the token it is waiting for.  Fused
+       placement shrinks the worker count, which is exactly what
+       re-enables spinning on small hosts.  Profiled runs keep it on so
+       the spin phase is observable (the bounded budget keeps the
+       distortion small). *)
+    let spin = profiled || host_domains_now () >= nw in
     let domains =
       List.mapi
-        (fun slot p ->
+        (fun slot ps ->
           Domain.spawn (fun () ->
-              par_worker net mon p ~cycles ~started ~finished ~slot ~spin))
-        workers
+              if Array.length ps = 1 then
+                par_worker net mon ps.(0) ~cycles ~started ~finished ~slot ~spin
+                  ~batch_cycles ~spin_budget
+              else
+                par_worker_group net mon ps ~cycles ~started ~finished ~slot
+                  ~spin ~batch_cycles ~spin_budget))
+        groups
     in
     List.iter Domain.join domains;
     (* Barrier-wait attribution: time each domain idled between its own
@@ -496,23 +687,27 @@ let run_par net ~cycles =
       let last = Array.fold_left max 0. finished in
       let first = Array.fold_left min infinity started in
       List.iteri
-        (fun slot p ->
-          let gap = ns_of_us (last -. finished.(slot)) in
-          if Telemetry.enabled tel then begin
-            let c =
-              Telemetry.counter tel
-                (Printf.sprintf "sched.par.%s.barrier_ns" p.Network.pt_name)
-            in
-            Telemetry.add c gap
-          end;
-          Telemetry.Profile.add_barrier p.Network.pt_prof gap;
-          (* A late domain start is also synchronization overhead: the
-             partition existed but had no CPU yet.  Charged as barrier,
-             so every worker's phases tile [first, last] — the span
-             accumulated as the export's wall-clock denominator. *)
-          Telemetry.Profile.add_barrier p.Network.pt_prof
-            (ns_of_us (started.(slot) -. first)))
-        workers;
+        (fun slot ps ->
+          Array.iter
+            (fun p ->
+              let gap = ns_of_us (last -. finished.(slot)) in
+              if Telemetry.enabled tel then begin
+                let c =
+                  Telemetry.counter tel
+                    (Printf.sprintf "sched.par.%s.barrier_ns" p.Network.pt_name)
+                in
+                Telemetry.add c gap
+              end;
+              Telemetry.Profile.add_barrier p.Network.pt_prof gap;
+              (* A late domain start is also synchronization overhead:
+                 the partition existed but had no CPU yet.  Charged as
+                 barrier, so every worker's phases tile [first, last] —
+                 the span accumulated as the export's wall-clock
+                 denominator. *)
+              Telemetry.Profile.add_barrier p.Network.pt_prof
+                (ns_of_us (started.(slot) -. first)))
+            ps)
+        groups;
       if profiled then
         Telemetry.Profile.add_wall_ns (Network.profile net)
           (ns_of_us (last -. first))
@@ -526,13 +721,18 @@ let run_par net ~cycles =
 (* ------------------------------------------------------------------ *)
 
 (** Runs every partition up to [cycles] target cycles under the chosen
-    scheduler.  Raises {!Network.Deadlock} with a channel-state report
-    if no forward progress is possible (Fig. 2a). *)
-let run ?(scheduler = default) net ~cycles =
+    scheduler.  [batch_cycles] caps cycle-batched token exchange (1 =
+    per-cycle, the default; the parallel policy adapts the actual batch
+    depth per partition within the cap); [spin_budget] tunes the
+    spin-then-park idle policy (0 disables spinning).  Raises
+    {!Network.Deadlock} with a channel-state report if no forward
+    progress is possible (Fig. 2a). *)
+let run ?(scheduler = default) ?(batch_cycles = default_batch_cycles)
+    ?spin_budget net ~cycles =
   Network.prime net;
   match scheduler with
-  | Sequential -> run_seq net ~cycles
-  | Parallel -> run_par net ~cycles
+  | Sequential -> run_seq net ~cycles ~batch_cycles
+  | Parallel -> run_par net ~cycles ~batch_cycles ?spin_budget
 
 (** Runs until [pred] holds or all partitions reach [max_cycles];
     returns the reached cycle of partition 0.  The sequential scheduler
@@ -541,7 +741,8 @@ let run ?(scheduler = default) net ~cycles =
     whole-cycle barriers, where every partition holds the same cycle —
     [pred] must not race with partition domains, so it only runs while
     they are joined. *)
-let run_until ?(scheduler = default) net ~max_cycles pred =
+let run_until ?(scheduler = default) ?(batch_cycles = default_batch_cycles)
+    ?spin_budget net ~max_cycles pred =
   Network.prime net;
   match scheduler with
   | Sequential ->
@@ -554,8 +755,13 @@ let run_until ?(scheduler = default) net ~max_cycles pred =
       let progress = ref false in
       Array.iter
         (fun p ->
-          if p.Network.pt_cycle < max_cycles then
-            if sweep net p ~block:false ~abort:never_abort then progress := true)
+          if p.Network.pt_cycle < max_cycles then begin
+            let _, prog =
+              Network.sweep_batch net p ~limit:max_cycles
+                ~max_cycles:batch_cycles ~block:false ~abort:never_abort
+            in
+            if prog then progress := true
+          end)
         parts;
       if pred net then stop := true
       else if not !progress then begin
@@ -573,7 +779,7 @@ let run_until ?(scheduler = default) net ~max_cycles pred =
       let c = min_cycle () in
       if c >= max_cycles then parts.(0).Network.pt_cycle
       else begin
-        run_par net ~cycles:(min max_cycles (c + 1));
+        run_par net ~cycles:(min max_cycles (c + 1)) ~batch_cycles ?spin_budget;
         if pred net then parts.(0).Network.pt_cycle else go ()
       end
     in

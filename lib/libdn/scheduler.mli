@@ -29,15 +29,45 @@ val accepted_names : string list
 val of_string : string -> (t, string) result
 (** Accepts {!accepted_names}; the error lists them. *)
 
+val default_batch_cycles : int
+(** [1]: per-cycle token exchange unless a cap is passed explicitly. *)
+
 (** Runs every partition up to [cycles] target cycles; raises
-    {!Network.Deadlock} if the network quiesces short of the target. *)
-val run : ?scheduler:t -> Network.t -> cycles:int -> unit
+    {!Network.Deadlock} if the network quiesces short of the target.
+
+    [batch_cycles] caps cycle-batched token exchange
+    ({!Network.sweep_batch}): partitions fire/advance up to that many
+    consecutive target cycles per synchronization.  The parallel policy
+    adapts the actual batch depth per partition within the cap —
+    starting at 1, doubling while batches run their full budget,
+    halving when a visit starves — so a cap that is too large for the
+    topology's slack costs nothing.  Bit-exact vs [batch_cycles = 1] by
+    LI-BDN determinism.
+
+    [spin_budget] tunes the spin-then-park idle policy: the initial
+    (and maximum) busy-poll budget before a worker parks; [0] disables
+    spinning entirely. *)
+val run :
+  ?scheduler:t ->
+  ?batch_cycles:int ->
+  ?spin_budget:int ->
+  Network.t ->
+  cycles:int ->
+  unit
 
 (** Runs until [pred] holds or all partitions reach [max_cycles];
     returns partition 0's cycle.  Sequential checks [pred] after each
-    sweep; Parallel checks at whole-cycle barriers (all partition
-    domains joined, so [pred] never races with them). *)
-val run_until : ?scheduler:t -> Network.t -> max_cycles:int -> (Network.t -> bool) -> int
+    sweep (note a [batch_cycles] cap > 1 coarsens that sampling to the
+    batch boundary); Parallel checks at whole-cycle barriers (all
+    partition domains joined, so [pred] never races with them). *)
+val run_until :
+  ?scheduler:t ->
+  ?batch_cycles:int ->
+  ?spin_budget:int ->
+  Network.t ->
+  max_cycles:int ->
+  (Network.t -> bool) ->
+  int
 
 (** Overrides the host-domain count the parallel policy sizes itself to
     ([Domain.recommended_domain_count] by default; [0] restores it).
@@ -45,3 +75,15 @@ val run_until : ?scheduler:t -> Network.t -> max_cycles:int -> (Network.t -> boo
     the profiler against a like-for-like baseline — on hosts whose
     hardware thread count would force the cooperative fallback. *)
 val set_host_domains : int -> unit
+
+(** The host-domain count the parallel policy currently sizes itself to
+    (the override if set, else [Domain.recommended_domain_count]).
+    Placement passes use this as the default bin count. *)
+val effective_host_domains : unit -> int
+
+(** Longest-processing-time greedy bin packing: assigns one weight per
+    partition to at most [domains] bins (heaviest first into the
+    least-loaded), returning the bin slot per partition with slots
+    numbered contiguously from 0.  The kernel of load-balanced domain
+    placement; deterministic. *)
+val pack : weights:int array -> domains:int -> int array

@@ -1,0 +1,35 @@
+(** Static load-balanced domain placement: packs plan units onto the
+    available host domains by predicted weight (LPT bin packing via
+    {!Libdn.Scheduler.pack}), replacing one-domain-per-partition when
+    the host has fewer domains than the plan has partitions.
+
+    Weights come from the {!Telemetry.Profile} load model when a
+    profile from a previous run is supplied (measured active ns), else
+    from the {!Resource} estimator (LUTs + FFs per unit). *)
+
+type policy =
+  | Spread  (** one domain per partition — the historical mapping *)
+  | Auto  (** bin-pack partitions onto the available host domains *)
+
+val accepted_names : string list
+(** The spellings {!policy_of_string} accepts: ["auto"]/["spread"]. *)
+
+val policy_of_string : string -> (policy, string) result
+val policy_name : policy -> string
+
+(** One weight per plan unit, in unit order: the profile's load-model
+    weight when available (keyed by unit name), else the resource
+    estimate. *)
+val weights : ?profile:Telemetry.Profile.t -> Fireripper.Plan.t -> int array
+
+(** The assignment for [plan] under [policy]: [None] = one domain per
+    partition; [Some groups] fuses partitions sharing a slot onto one
+    domain (feed it to [Network.set_groups]).  [domains] defaults to
+    {!Libdn.Scheduler.effective_host_domains}; [Auto] collapses to
+    spread when domains >= partitions. *)
+val groups :
+  ?profile:Telemetry.Profile.t ->
+  ?domains:int ->
+  policy:policy ->
+  Fireripper.Plan.t ->
+  int array option

@@ -494,6 +494,19 @@ let load_model t =
   (rows, imbalance (List.map float_of_int predicted),
    imbalance (List.map float_of_int measured))
 
+(* Per-label placement weights distilled from the load model: the
+   measured active time when this profile has recorded any (a previous
+   run's truth beats any static prediction), else the predicted static
+   weight (instrs per target cycle).  Feeds the placement pass that
+   bin-packs partitions onto host domains. *)
+let load_weights t =
+  let rows, _, _ = locked t (fun () -> load_model t) in
+  let any_measured = List.exists (fun r -> r.m_measured_ns > 0) rows in
+  List.map
+    (fun r ->
+      (r.m_name, if any_measured then r.m_measured_ns else r.m_predicted))
+    rows
+
 let top_k k cmp xs =
   let sorted = List.stable_sort cmp xs in
   let rec take n = function

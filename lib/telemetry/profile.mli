@@ -95,6 +95,13 @@ val add_wire : wire -> bytes_out:int -> bytes_in:int -> int -> unit
 
 (** {1 Export} *)
 
+val load_weights : t -> (string * int) list
+(** Per-label placement weights distilled from the load model: measured
+    active ns when this profile recorded any (a previous run's truth
+    beats any static prediction), else the predicted static weight
+    (instrs per target cycle).  Empty for {!null}.  Feeds the placement
+    pass that bin-packs partitions onto host domains. *)
+
 val to_json : t -> Json.t
 (** The whole profile as a [fireaxe-profile-1] document: engines,
     retired opcode-class totals, cones, partitions, channels, wires,

@@ -39,4 +39,5 @@ let () =
          Profile_tests.suite;
          Service_tests.suite;
          Wavestore_tests.suite;
+         Batch_tests.suite;
        ])
